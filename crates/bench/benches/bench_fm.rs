@@ -1,0 +1,44 @@
+//! E7b — Fourier–Motzkin elimination scaling.
+//!
+//! FM's output can grow quadratically per eliminated variable; the paper
+//! leans on it anyway because termination systems are small. This bench
+//! measures projection cost against (a) the number of variables
+//! eliminated and (b) the row count, on random feasible systems.
+
+use argus_bench::workload::{random_feasible_system, rng};
+use argus_linear::fm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_eliminate_vars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm/eliminate-vars");
+    group.sample_size(10);
+    for nvars in [3usize, 5, 7, 9] {
+        let mut r = rng(7);
+        let sys = random_feasible_system(&mut r, nvars, nvars * 2, 3);
+        // Keep only the first variable: eliminate nvars - 1.
+        let keep: BTreeSet<usize> = [0usize].into_iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(nvars), &nvars, |b, _| {
+            b.iter(|| black_box(fm::project_onto_capped(black_box(&sys), &keep, 100_000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eliminate_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm/rows");
+    group.sample_size(10);
+    for nrows in [4usize, 8, 16, 32] {
+        let mut r = rng(11);
+        let sys = random_feasible_system(&mut r, 4, nrows, 3);
+        let keep: BTreeSet<usize> = [0usize, 1].into_iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(nrows), &nrows, |b, _| {
+            b.iter(|| black_box(fm::project_onto_capped(black_box(&sys), &keep, 100_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eliminate_vars, bench_eliminate_rows);
+criterion_main!(benches);

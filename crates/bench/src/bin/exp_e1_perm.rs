@@ -1,0 +1,79 @@
+//! E1 — Example 3.1 / 4.1: the permutation procedure.
+//!
+//! Reproduces: the imported append constraint `a1 + a2 = a3`, the reduced
+//! θ-constraint system (the paper's `2θ ≥ 1`), the witness `θ = 1/2`, and
+//! the claim that the earlier methods all fail on `perm` while this method
+//! proves it.
+
+use argus_baselines::all_methods;
+use argus_bench::ExperimentLog;
+use argus_core::{analyze, AnalysisOptions, SccOutcome, Verdict};
+use argus_logic::PredKey;
+use argus_sizerel::{infer_size_relations, InferOptions};
+
+fn main() {
+    let entry = argus_corpus::find("perm").expect("corpus");
+    let program = entry.program().expect("parse");
+    let (query, adornment) = entry.query_key();
+
+    let mut log = ExperimentLog::new(
+        "E1",
+        "perm/2 with first argument bound",
+        "Example 3.1 / 4.1",
+        &["quantity", "paper", "measured"],
+    );
+
+    // Imported feasibility constraint for append.
+    let rels = infer_size_relations(&program, &InferOptions::default());
+    let app = PredKey::new("append", 3);
+    log.row(&[
+        "imported append constraint".into(),
+        "append1 + append2 = append3".into(),
+        rels.render(&app),
+    ]);
+    log.row(&[
+        "entails a1 + a2 = a3".into(),
+        "yes".into(),
+        if rels.entails_sum_equality(&app, &[0, 1], 2) { "yes" } else { "NO" }.into(),
+    ]);
+
+    // Full analysis.
+    let report = analyze(&program, &query, adornment.clone(), &AnalysisOptions::default());
+    log.row(&[
+        "verdict".into(),
+        "terminates".into(),
+        format!("{:?}", report.verdict),
+    ]);
+    if let Some(scc) = report.scc_of(&PredKey::new("perm", 2)) {
+        for c in scc.render_constraints() {
+            log.row(&["reduced θ constraint".into(), "2θ ≥ 1 (& θ ≥ 0)".into(), c]);
+        }
+        if let SccOutcome::Proved { witness, .. } = &scc.outcome {
+            let w = &witness[&PredKey::new("perm", 2)];
+            log.row(&[
+                "witness θ".into(),
+                "1/2".into(),
+                w.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", "),
+            ]);
+        }
+    }
+
+    // Earlier methods fail.
+    for m in all_methods() {
+        let r = m.prove(&program, &query, &adornment);
+        let expect = if m.name().contains("this paper") { "proves" } else { "fails" };
+        log.row(&[
+            format!("method: {}", m.name()),
+            expect.into(),
+            if r.proved { "proves".into() } else { format!("fails ({})", r.detail) },
+        ]);
+    }
+
+    log.note(
+        "The paper: \"It cannot be shown to terminate (with the first argument \
+         bound) by any of the previous methods cited.\" Reproduced: only the \
+         Sohn–Van Gelder method proves perm.",
+    );
+    assert_eq!(report.verdict, Verdict::Terminates, "E1 regression");
+    log.emit();
+}

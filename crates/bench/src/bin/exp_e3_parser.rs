@@ -1,0 +1,77 @@
+//! E3 — Example 6.1: the arithmetic-expression parser.
+//!
+//! Reproduces: the imported constraints `x1 ≥ 2 + x2` for e/t/n, the δ
+//! pattern (δ_et = δ_tn = 0 forced, δ_ne = 1, self-loops 1), the absence
+//! of zero-weight cycles, and the witness α = β = γ ≥ 1/2 — with both
+//! mutual AND nonlinear recursion in play.
+
+use argus_bench::ExperimentLog;
+use argus_core::{analyze, AnalysisOptions, SccOutcome, Verdict};
+use argus_logic::PredKey;
+use argus_sizerel::{infer_size_relations, InferOptions};
+
+fn main() {
+    let entry = argus_corpus::find("expr_parser").expect("corpus");
+    let program = entry.program().expect("parse");
+    let (query, adornment) = entry.query_key();
+
+    let mut log = ExperimentLog::new(
+        "E3",
+        "expression parser e/t/n (mutual + nonlinear recursion)",
+        "Example 6.1",
+        &["quantity", "paper", "measured"],
+    );
+
+    let rels = infer_size_relations(&program, &InferOptions::default());
+    for name in ["e", "t", "n"] {
+        let p = PredKey::new(name, 2);
+        log.row(&[
+            format!("imported constraint for {name}"),
+            format!("{name}1 ≥ 2 + {name}2"),
+            if rels.entails_gap(&p, 0, 1, 2) { "entailed".into() } else { "MISSING".into() },
+        ]);
+    }
+
+    let report = analyze(&program, &query, adornment, &AnalysisOptions::default());
+    log.row(&["verdict".into(), "terminates".into(), format!("{:?}", report.verdict)]);
+    if let Some(scc) = report.scc_of(&query) {
+        log.row(&[
+            "SCC".into(),
+            "{e, t, n}".into(),
+            format!(
+                "{{{}}}",
+                scc.members.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+        ]);
+        if let SccOutcome::Proved { witness, deltas } = &scc.outcome {
+            let expected = [
+                ("e", "t", "0"),
+                ("t", "n", "0"),
+                ("n", "e", "1"),
+                ("e", "e", "1"),
+                ("t", "t", "1"),
+            ];
+            for (h, s, want) in expected {
+                let got = deltas
+                    .get(&(PredKey::new(h, 2), PredKey::new(s, 2)))
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "-".into());
+                log.row(&[format!("delta[{h} -> {s}]"), want.into(), got]);
+            }
+            for name in ["e", "t", "n"] {
+                let w = &witness[&PredKey::new(name, 2)];
+                log.row(&[
+                    format!("witness theta[{name}]"),
+                    "≥ 1/2".into(),
+                    w.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", "),
+                ]);
+            }
+        }
+    }
+    log.note(
+        "Plümer eliminated the mutual recursion by an ad hoc encoding; this \
+         method handles the three-predicate SCC directly (paper §6).",
+    );
+    assert_eq!(report.verdict, Verdict::Terminates, "E3 regression");
+    log.emit();
+}

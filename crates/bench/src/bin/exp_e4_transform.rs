@@ -1,0 +1,74 @@
+//! E4 — Appendix A, Example A.1: syntactic transformations.
+//!
+//! Reproduces: the raw rules (argument size constant across the apparent
+//! p/q mutual recursion) defeat the analyzer; the automatic sequence of
+//! safe unfolding and predicate splitting exposes that p is not genuinely
+//! recursive, after which termination is detected.
+
+use argus_bench::ExperimentLog;
+use argus_core::{analyze, AnalysisOptions, Verdict};
+use argus_logic::{DepGraph, PredKey};
+use argus_transform::transform_fixed_phases;
+use std::collections::BTreeSet;
+
+fn main() {
+    let entry = argus_corpus::find("appendix_a1").expect("corpus");
+    let program = entry.program().expect("parse");
+    let (query, adornment) = entry.query_key();
+
+    let mut log = ExperimentLog::new(
+        "E4",
+        "Example A.1 before and after the Appendix A transformations",
+        "Appendix A, Example A.1",
+        &["configuration", "paper", "measured"],
+    );
+
+    // Raw analysis (transformations disabled).
+    let raw_opts = AnalysisOptions { transform_phases: 0, ..AnalysisOptions::default() };
+    let raw = analyze(&program, &query, adornment.clone(), &raw_opts);
+    log.row(&[
+        "raw rules".into(),
+        "not detected".into(),
+        format!("{:?}", raw.verdict),
+    ]);
+
+    // Transformation trace.
+    let roots: BTreeSet<PredKey> = [query.clone()].into_iter().collect();
+    let (transformed, tx_report) = transform_fixed_phases(&program, &roots, 3);
+    let graph = DepGraph::build(&transformed);
+    log.row(&[
+        "p recursive after transforms".into(),
+        "no (exposed as nonrecursive)".into(),
+        if graph.is_recursive(&query) { "yes".into() } else { "no".into() },
+    ]);
+    log.row(&[
+        "transform phases used".into(),
+        "unfold, split, unfold".into(),
+        format!(
+            "{} unfold step(s), {} split phase(s)",
+            tx_report.unfold_phases, tx_report.split_phases
+        ),
+    ]);
+    log.row(&[
+        "rule count raw -> transformed".into(),
+        "4 -> 6-ish".into(),
+        format!("{} -> {}", program.rules.len(), transformed.rules.len()),
+    ]);
+
+    // Default (lazy-transform) analysis.
+    let cooked = analyze(&program, &query, adornment, &AnalysisOptions::default());
+    log.row(&[
+        "with transformations".into(),
+        "termination detected".into(),
+        format!("{:?}", cooked.verdict),
+    ]);
+
+    log.note(
+        "Paper: \"Our algorithm does not detect termination of these rules in \
+         their present form. … a sequence of automatic syntactic transformations \
+         puts the rules into a form in which termination is easily detected.\"",
+    );
+    assert_ne!(raw.verdict, Verdict::Terminates, "E4 raw regression");
+    assert_eq!(cooked.verdict, Verdict::Terminates, "E4 cooked regression");
+    log.emit();
+}

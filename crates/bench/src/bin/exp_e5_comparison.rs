@@ -1,0 +1,58 @@
+//! E5 — method-comparison matrix over the whole corpus.
+//!
+//! Regenerates the paper's related-work claims (§1.1, Appendix B) as a
+//! table: which method proves which corpus program. The headline rows are
+//! `perm` (only Sohn–Van Gelder), `merge` (fails under subterm/single-
+//! argument methods, provable with binary orders), and the parser (mutual
+//! recursion defeats Naish-style methods).
+
+use argus_baselines::all_methods;
+use argus_bench::ExperimentLog;
+
+fn main() {
+    let methods = all_methods();
+    let mut columns: Vec<&str> = vec!["program", "terminates?"];
+    let method_names: Vec<&'static str> = methods.iter().map(|m| m.name()).collect();
+    columns.extend(method_names.iter().copied());
+
+    let mut log = ExperimentLog::new(
+        "E5",
+        "who proves what: method × program matrix",
+        "§1.1 related work + Appendix B",
+        &columns,
+    );
+
+    let mut proved_counts = vec![0usize; methods.len()];
+    let mut unsound = Vec::new();
+    for entry in argus_corpus::corpus() {
+        let program = entry.program().expect("parse");
+        let (query, adornment) = entry.query_key();
+        let mut cells = vec![
+            entry.name.to_string(),
+            if entry.terminates { "yes".into() } else { "no".into() },
+        ];
+        for (i, m) in methods.iter().enumerate() {
+            let r = m.prove(&program, &query, &adornment);
+            cells.push(if r.proved { "proved".into() } else { "-".into() });
+            if r.proved {
+                proved_counts[i] += 1;
+                if !entry.terminates {
+                    unsound.push(format!("{} wrongly proved {}", m.name(), entry.name));
+                }
+            }
+        }
+        log.row(&cells);
+    }
+    let mut totals = vec!["TOTAL proved".to_string(), String::new()];
+    totals.extend(proved_counts.iter().map(|c| c.to_string()));
+    log.row(&totals);
+
+    assert!(unsound.is_empty(), "soundness violations: {unsound:?}");
+    log.note(
+        "Expected dominance: Sohn–Van Gelder ⊇ every baseline on this corpus, \
+         and perm is proved ONLY by Sohn–Van Gelder (the 3-variable append \
+         constraint is out of reach of subterm, single-measure, and binary-order \
+         methods).",
+    );
+    log.emit();
+}

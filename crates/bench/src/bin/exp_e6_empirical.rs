@@ -1,0 +1,130 @@
+//! E6 — empirical soundness of the analyzer's verdicts.
+//!
+//! For every corpus program: run the analyzer, then run the SLD
+//! interpreter on the entry's sample queries plus randomized queries of
+//! growing size (for the list-typed programs). A `Terminates` verdict must
+//! coincide with every run completing its whole search tree inside the
+//! step budget; the nonterminating controls must exhaust it.
+
+use argus_bench::workload;
+use argus_bench::ExperimentLog;
+use argus_core::{analyze, AnalysisOptions, Verdict};
+use argus_interp::sld::{solve, InterpOptions};
+use argus_logic::parser::parse_query;
+use argus_logic::program::{Atom, Literal};
+use argus_logic::Term;
+
+/// Randomized queries for entries whose bound arguments are lists/nats.
+fn generated_queries(name: &str, size: usize, seed: u64) -> Vec<Vec<Literal>> {
+    let mut r = workload::rng(seed);
+    let q = |atom: Atom| vec![Literal::pos(atom)];
+    match name {
+        "append_bff" => vec![q(Atom::new(
+            "append",
+            vec![
+                workload::random_atom_list(&mut r, size),
+                Term::var("W"),
+                Term::var("Z"),
+            ],
+        ))],
+        "append_ffb" => vec![q(Atom::new(
+            "append",
+            vec![
+                Term::var("X"),
+                Term::var("Y"),
+                workload::random_atom_list(&mut r, size),
+            ],
+        ))],
+        "perm" => vec![q(Atom::new(
+            "perm",
+            vec![workload::random_atom_list(&mut r, size.min(5)), Term::var("Q")],
+        ))],
+        "merge" => vec![q(Atom::new(
+            "merge",
+            vec![
+                workload::random_int_list(&mut r, size),
+                workload::random_int_list(&mut r, size),
+                Term::var("Z"),
+            ],
+        ))],
+        "quicksort" => vec![q(Atom::new(
+            "qsort",
+            vec![workload::random_int_list(&mut r, size), Term::var("S")],
+        ))],
+        "naive_reverse" => vec![q(Atom::new(
+            "nrev",
+            vec![workload::random_atom_list(&mut r, size), Term::var("R")],
+        ))],
+        "tree_mirror" => vec![q(Atom::new(
+            "mirror",
+            vec![workload::random_tree(&mut r, size), Term::var("M")],
+        ))],
+        "even_odd" => vec![q(Atom::new("even", vec![workload::nat(size)]))],
+        "nat_minus" => vec![q(Atom::new(
+            "minus",
+            vec![workload::nat(size + 2), workload::nat(size), Term::var("D")],
+        ))],
+        _ => Vec::new(),
+    }
+}
+
+fn main() {
+    let mut log = ExperimentLog::new(
+        "E6",
+        "verdict vs. observed behaviour under SLD execution",
+        "§1 (capture rules need sound termination verdicts)",
+        &["program", "verdict", "queries run", "all completed?", "max steps", "consistent?"],
+    );
+
+    let mut inconsistencies = Vec::new();
+    for entry in argus_corpus::corpus() {
+        let program = entry.program().expect("parse");
+        let (query, adornment) = entry.query_key();
+        let report = analyze(&program, &query, adornment, &AnalysisOptions::default());
+        let proved = report.verdict == Verdict::Terminates;
+
+        let mut queries: Vec<Vec<Literal>> = entry
+            .sample_queries
+            .iter()
+            .map(|q| parse_query(q).expect("sample query"))
+            .collect();
+        for size in [2usize, 4, 8] {
+            queries.extend(generated_queries(entry.name, size, 1000 + size as u64));
+        }
+
+        let opts = InterpOptions { max_steps: 300_000, ..InterpOptions::default() };
+        let mut all_completed = true;
+        let mut max_steps = 0u64;
+        let nqueries = queries.len();
+        for goals in &queries {
+            let out = solve(&program, goals, &opts);
+            max_steps = max_steps.max(out.steps());
+            if !out.terminated() {
+                all_completed = false;
+            }
+        }
+        // Soundness: proved => all complete. (The converse need not hold:
+        // budget-bounded runs of nonterminating programs may also finish
+        // small queries.)
+        let consistent = !proved || all_completed;
+        if !consistent {
+            inconsistencies.push(entry.name);
+        }
+        log.row(&[
+            entry.name.into(),
+            format!("{:?}", report.verdict),
+            nqueries.to_string(),
+            if all_completed { "yes".into() } else { "no".into() },
+            max_steps.to_string(),
+            if consistent { "ok".into() } else { "VIOLATION".into() },
+        ]);
+    }
+
+    log.note(
+        "Soundness check: whenever the analyzer says Terminates, every sampled \
+         query explores its full search tree within budget. Unknown verdicts \
+         carry no claim either way.",
+    );
+    assert!(inconsistencies.is_empty(), "E6 soundness: {inconsistencies:?}");
+    log.emit();
+}

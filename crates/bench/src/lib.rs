@@ -1,0 +1,13 @@
+//! # argus-bench — experiment harness
+//!
+//! The binaries (`src/bin/exp_*.rs`) regenerate every experiment recorded
+//! in `EXPERIMENTS.md`; the Criterion benches (`benches/`) measure analysis
+//! cost (experiment E7). This library holds shared harness utilities:
+//! workload generation and report formatting.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod workload;
+
+pub use harness::{markdown_table, ExperimentLog};

@@ -1,0 +1,173 @@
+//! Workload generation: random ground queries and synthetic programs /
+//! constraint systems for the scaling benchmarks.
+
+use argus_linear::{Constraint, ConstraintSystem, LinExpr, Rat};
+use argus_logic::term::Term;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random proper list of `len` small integer atoms.
+pub fn random_int_list(r: &mut StdRng, len: usize) -> Term {
+    Term::list((0..len).map(|_| Term::int(r.random_range(0..100))))
+}
+
+/// A random proper list of lowercase atoms.
+pub fn random_atom_list(r: &mut StdRng, len: usize) -> Term {
+    const ATOMS: &[&str] = &["a", "b", "c", "d", "e", "f", "g", "h"];
+    Term::list((0..len).map(|_| Term::atom(ATOMS[r.random_range(0..ATOMS.len())])))
+}
+
+/// A unary natural `s^n(z)`.
+pub fn nat(n: usize) -> Term {
+    (0..n).fold(Term::atom("z"), |acc, _| Term::app("s", vec![acc]))
+}
+
+/// A random binary tree with `n` internal nodes carrying integer labels.
+pub fn random_tree(r: &mut StdRng, n: usize) -> Term {
+    if n == 0 {
+        return Term::atom("leaf");
+    }
+    let left = r.random_range(0..n);
+    let right = n - 1 - left;
+    Term::app(
+        "node",
+        vec![
+            random_tree(r, left),
+            Term::int(r.random_range(0..100)),
+            random_tree(r, right),
+        ],
+    )
+}
+
+/// A synthetic `append`-chain program with `depth` chained predicates:
+/// `p0` calls `p1` twice, … — used to scale the number of SCCs and the
+/// imported-constraint load for the analysis benchmarks.
+pub fn chained_append_program(depth: usize) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "app([], Ys, Ys).\napp([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).\n",
+    );
+    for i in 0..depth {
+        let callee = if i + 1 == depth {
+            "app(Xs, [x], Ys)".to_string()
+        } else {
+            format!("p{}(Xs, Ys)", i + 1)
+        };
+        out.push_str(&format!(
+            "p{i}([], []).\np{i}([X|Xs], [X|Ys]) :- {callee}, p{i}(Xs, Ws), app(Ws, [], Ys2), eat(Ys2).\n"
+        ));
+    }
+    out.push_str("eat(_).\n");
+    out
+}
+
+/// A random dense constraint system over `nvars` variables with `nrows`
+/// rows and coefficients in `[-bound, bound]` — the FM/simplex scaling
+/// workload.
+pub fn random_system(r: &mut StdRng, nvars: usize, nrows: usize, bound: i64) -> ConstraintSystem {
+    let mut sys = ConstraintSystem::new();
+    for _ in 0..nrows {
+        let mut e = LinExpr::constant(Rat::from_int(r.random_range(-bound..=bound)));
+        for v in 0..nvars {
+            let c = r.random_range(-bound..=bound);
+            e.add_term(v, Rat::from_int(c));
+        }
+        sys.push(Constraint { expr: e, rel: argus_linear::Rel::Le });
+    }
+    sys
+}
+
+/// A feasible random system (random rows all satisfied by a random point,
+/// by correcting the constant) — useful to benchmark the *feasible* path
+/// of the solvers, whose cost profile differs from infeasible inputs.
+pub fn random_feasible_system(
+    r: &mut StdRng,
+    nvars: usize,
+    nrows: usize,
+    bound: i64,
+) -> ConstraintSystem {
+    let point: Vec<i64> = (0..nvars).map(|_| r.random_range(0..=bound)).collect();
+    let mut sys = ConstraintSystem::new();
+    for _ in 0..nrows {
+        let mut e = LinExpr::zero();
+        let mut lhs = 0i64;
+        for (v, pv) in point.iter().enumerate() {
+            let c = r.random_range(-bound..=bound);
+            e.add_term(v, Rat::from_int(c));
+            lhs += c * pv;
+        }
+        // lhs + const <= 0  =>  const <= -lhs; pick a slack of up to bound.
+        let slack = r.random_range(0..=bound);
+        e.add_constant(&Rat::from_int(-lhs - slack));
+        sys.push(Constraint { expr: e, rel: argus_linear::Rel::Le });
+    }
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn lists_have_requested_length() {
+        let mut r = rng(1);
+        let l = random_int_list(&mut r, 5);
+        assert_eq!(l.as_proper_list().unwrap().len(), 5);
+        let a = random_atom_list(&mut r, 3);
+        assert_eq!(a.as_proper_list().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn nats_have_requested_depth() {
+        assert_eq!(nat(0).to_string(), "z");
+        assert_eq!(nat(3).to_string(), "s(s(s(z)))");
+    }
+
+    #[test]
+    fn trees_have_requested_size() {
+        fn internal(t: &Term) -> usize {
+            match t {
+                Term::App(f, args) if &**f == "node" => {
+                    1 + internal(&args[0]) + internal(&args[2])
+                }
+                _ => 0,
+            }
+        }
+        let mut r = rng(2);
+        for n in [0, 1, 7, 20] {
+            assert_eq!(internal(&random_tree(&mut r, n)), n);
+        }
+    }
+
+    #[test]
+    fn chained_program_parses_and_analyzes() {
+        let src = chained_append_program(3);
+        let p = argus_logic::parser::parse_program(&src).unwrap();
+        assert!(p.rules.len() >= 8);
+    }
+
+    #[test]
+    fn feasible_system_is_feasible() {
+        let mut r = rng(3);
+        for _ in 0..10 {
+            let sys = random_feasible_system(&mut r, 4, 6, 5);
+            // Must be satisfiable with nonneg vars (the generating point is
+            // nonnegative).
+            let nn: BTreeSet<usize> = (0..4).collect();
+            assert!(argus_linear::simplex::feasible_point(&sys, &nn).is_some());
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a = random_int_list(&mut rng(42), 4);
+        let b = random_int_list(&mut rng(42), 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,619 @@
+//! The end-to-end termination analyzer.
+//!
+//! Pipeline (paper §3–§6 plus appendices):
+//!
+//! 1. **Preprocess** (Appendix A): eliminate positive equality; alternate
+//!    safe unfolding and predicate splitting for a fixed number of phases.
+//! 2. **Modes**: propagate the query's bound–free adornment so every
+//!    predicate has a single adornment (§3's standing assumption).
+//! 3. **Size relations** (\[VG90\], automated in `argus-sizerel`): infer the
+//!    imported inter-argument feasibility constraints for every predicate —
+//!    required for the *whole* SCC before its termination analysis starts
+//!    (§6.2). Manual constraints may override the inference.
+//! 4. **Per SCC, bottom-up**: build Eq. (1) for every rule × recursive-
+//!    subgoal pair, choose the δ's (§6.1 or Appendix C), take the LP dual
+//!    and eliminate the undistinguished variables by Fourier–Motzkin
+//!    (§4), conjoin all pairs' θ-constraints, and test feasibility with an
+//!    exact simplex. A feasible point is a *termination witness*: per
+//!    predicate, the nonnegative coefficients of a linear combination of
+//!    bound argument sizes that strictly decreases (by δ) on every
+//!    recursive descent.
+
+use crate::delta::{assign_deltas, DeltaOutcome};
+use crate::dual::{eq9_system, feasibility_system, project_pair, DeltaTerm};
+use crate::negweight::{positive_cycle_constraints, DeltaVars};
+use crate::pairs::RuleSubgoalSystem;
+use crate::theta::ThetaSpace;
+use argus_linear::{ConstraintSystem, Rat, Var};
+use argus_logic::modes::{Adornment, ModeMap};
+use argus_logic::{DepGraph, PredKey, Program};
+use argus_sizerel::{infer_size_relations, InferOptions, SizeRelations};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How δ decrements are chosen for mutual recursion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeltaMode {
+    /// The paper's §6.1 procedure: δ ∈ {0, 1} fixed up front, Floyd
+    /// min-plus closure to reject zero-weight cycles.
+    #[default]
+    Paper,
+    /// Appendix C: δ's are variables, positive cycles enforced by path
+    /// constraints; permits negative δ on some edges.
+    PathConstraints,
+}
+
+/// Options for [`analyze`].
+#[derive(Debug, Clone)]
+pub struct AnalysisOptions {
+    /// Rounds of the Appendix A transformation driver (0 disables
+    /// preprocessing; the paper suggests 3).
+    pub transform_phases: usize,
+    /// δ selection strategy.
+    pub delta_mode: DeltaMode,
+    /// Options for the size-relation inference.
+    pub infer: InferOptions,
+    /// Manually supplied size relations (override the inference, exactly
+    /// like the paper's "imported feasibility constraints … taken as
+    /// input").
+    pub imported: Vec<(PredKey, argus_linear::Poly)>,
+    /// Term-size norm used for both the size-relation inference and the
+    /// decrease condition. The paper fixes structural size; [UVG88]'s
+    /// list-length (right spine) is available as an alternative — some
+    /// programs are provable under one and not the other.
+    pub norm: argus_logic::Norm,
+    /// Extension beyond the paper: when the single linear combination fails
+    /// for an SCC, attempt a LEXICOGRAPHIC tuple of combinations
+    /// ([`crate::lexico`]). Lifts the §7 limitation on programs like
+    /// Ackermann whose descent alternates between arguments. Off by
+    /// default to keep the baseline faithful to the paper.
+    pub lexicographic: bool,
+    /// Appendix B: restrict the imported relations to *binary partial-order
+    /// constraints* (two variables, unit coefficients) — the information a
+    /// Brodsky–Sagiv-style argument-mapping method works from. The paper
+    /// observes this restriction still handles Examples 5.1 and 6.1 but
+    /// loses Example 3.1 (`perm`), whose `append` constraint relates three
+    /// sizes at once.
+    pub restrict_imports_to_binary_orders: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> AnalysisOptions {
+        AnalysisOptions {
+            transform_phases: 3,
+            delta_mode: DeltaMode::Paper,
+            infer: InferOptions::default(),
+            imported: Vec::new(),
+            norm: argus_logic::Norm::default(),
+            lexicographic: false,
+            restrict_imports_to_binary_orders: false,
+        }
+    }
+}
+
+/// Outcome of analyzing one SCC.
+#[derive(Debug, Clone)]
+pub enum SccOutcome {
+    /// The SCC is not recursive: nothing to prove.
+    NonRecursive,
+    /// Termination proved; the witness gives, per predicate, the θ vector
+    /// over its bound arguments.
+    Proved {
+        /// Per-predicate θ coefficients (bound argument positions).
+        witness: BTreeMap<PredKey, Vec<Rat>>,
+        /// The δ decrement chosen per dependency edge.
+        deltas: BTreeMap<(PredKey, PredKey), Rat>,
+    },
+    /// Proved by the lexicographic extension ([`crate::lexico`]): a tuple
+    /// of linear combinations ranks the recursion even though no single
+    /// one does.
+    ProvedLexicographic {
+        /// The multi-level ranking.
+        proof: crate::lexico::LexicographicProof,
+    },
+    /// §6.1 step 3 found a zero-weight cycle — strong evidence of
+    /// nontermination.
+    ZeroWeightCycle(Vec<PredKey>),
+    /// The combined θ system is infeasible: no nonnegative linear
+    /// combination of bound argument sizes provably decreases.
+    NoLinearDecrease {
+        /// A Farkas refutation of the θ system (over
+        /// [`SccAnalysis::refutation_system`]), when one was found within
+        /// the certificate budget. Lets the failure be re-checked without
+        /// trusting the simplex: the multipliers combine the system's rows
+        /// into an absurd positive constant.
+        refutation: Option<argus_linear::FarkasCertificate>,
+    },
+}
+
+impl SccOutcome {
+    /// Does this outcome certify termination of the SCC?
+    pub fn is_proved(&self) -> bool {
+        matches!(
+            self,
+            SccOutcome::NonRecursive
+                | SccOutcome::Proved { .. }
+                | SccOutcome::ProvedLexicographic { .. }
+        )
+    }
+}
+
+/// The analysis record of one SCC.
+#[derive(Debug, Clone)]
+pub struct SccAnalysis {
+    /// Predicates of the SCC.
+    pub members: Vec<PredKey>,
+    /// Result.
+    pub outcome: SccOutcome,
+    /// The θ constraint system after eliminating all undistinguished
+    /// variables (for display; empty for nonrecursive SCCs).
+    pub theta_constraints: ConstraintSystem,
+    /// θ variable allocation (for rendering `theta_constraints`).
+    pub theta_space: ThetaSpace,
+    /// Number of rule × recursive-subgoal pairs processed.
+    pub pair_count: usize,
+}
+
+impl SccAnalysis {
+    /// The system a [`SccOutcome::NoLinearDecrease`] refutation certifies
+    /// against: the reduced θ constraints plus the `θ ≥ 0` rows.
+    pub fn refutation_system(&self) -> ConstraintSystem {
+        let mut sys = self.theta_constraints.clone();
+        for v in self.theta_space.all_vars() {
+            sys.push(argus_linear::Constraint::nonneg(v));
+        }
+        sys
+    }
+
+    /// If the outcome carries a Farkas refutation, re-verify it against
+    /// [`SccAnalysis::refutation_system`].
+    pub fn verify_refutation(&self) -> Option<bool> {
+        match &self.outcome {
+            SccOutcome::NoLinearDecrease { refutation: Some(cert) } => {
+                Some(cert.verify(&self.refutation_system()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Render the reduced θ constraints with their paper-style names.
+    pub fn render_constraints(&self) -> Vec<String> {
+        self.theta_constraints
+            .constraints()
+            .iter()
+            .map(|c| self.theta_space.pool().render_constraint(c))
+            .collect()
+    }
+}
+
+/// Overall verdict for the queried predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every recursive SCC reachable from the query has a decrease
+    /// certificate: top-down evaluation terminates.
+    Terminates,
+    /// At least one SCC could not be certified. The method is a sufficient
+    /// condition: this does NOT prove nontermination …
+    Unknown,
+    /// … except that a zero-weight cycle is reported separately as strong
+    /// evidence of nontermination (§6.1).
+    ZeroWeightCycle,
+}
+
+/// Full report of a termination analysis.
+#[derive(Debug, Clone)]
+pub struct TerminationReport {
+    /// The program after Appendix A preprocessing.
+    pub program: Program,
+    /// The query predicate.
+    pub query: PredKey,
+    /// Inferred adornments.
+    pub modes: ModeMap,
+    /// Inferred (or supplied) size relations.
+    pub size_relations: SizeRelations,
+    /// Per-SCC analyses, bottom-up.
+    pub sccs: Vec<SccAnalysis>,
+    /// Overall verdict.
+    pub verdict: Verdict,
+}
+
+impl TerminationReport {
+    /// The analysis record covering predicate `p`, if any.
+    pub fn scc_of(&self, p: &PredKey) -> Option<&SccAnalysis> {
+        self.sccs.iter().find(|s| s.members.contains(p))
+    }
+
+    /// The θ witness for `p`, if the analysis proved its SCC.
+    pub fn witness_for(&self, p: &PredKey) -> Option<&[Rat]> {
+        match &self.scc_of(p)?.outcome {
+            SccOutcome::Proved { witness, .. } => witness.get(p).map(|v| v.as_slice()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TerminationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "query: {} — verdict: {:?}", self.query, self.verdict)?;
+        for scc in &self.sccs {
+            let names: Vec<String> = scc.members.iter().map(|p| p.to_string()).collect();
+            write!(f, "  SCC {{{}}}: ", names.join(", "))?;
+            match &scc.outcome {
+                SccOutcome::NonRecursive => writeln!(f, "nonrecursive")?,
+                SccOutcome::Proved { witness, deltas } => {
+                    writeln!(f, "PROVED")?;
+                    for (p, th) in witness {
+                        let parts: Vec<String> =
+                            th.iter().map(|r| r.to_string()).collect();
+                        writeln!(f, "    theta[{p}] = ({})", parts.join(", "))?;
+                    }
+                    for ((h, s), d) in deltas {
+                        writeln!(f, "    delta[{h} -> {s}] = {d}")?;
+                    }
+                }
+                SccOutcome::ProvedLexicographic { proof } => {
+                    writeln!(f, "PROVED (lexicographic, {} level(s))", proof.levels.len())?;
+                    for (li, level) in proof.levels.iter().enumerate() {
+                        for (p, th) in level {
+                            let parts: Vec<String> =
+                                th.iter().map(|r| r.to_string()).collect();
+                            writeln!(f, "    level {} theta[{p}] = ({})", li + 1, parts.join(", "))?;
+                        }
+                    }
+                }
+                SccOutcome::ZeroWeightCycle(cycle) => {
+                    let names: Vec<String> = cycle.iter().map(|p| p.to_string()).collect();
+                    writeln!(f, "ZERO-WEIGHT CYCLE: {}", names.join(" -> "))?
+                }
+                SccOutcome::NoLinearDecrease { refutation } => writeln!(
+                    f,
+                    "no linear decrease found{}",
+                    if refutation.is_some() { " (Farkas refutation attached)" } else { "" }
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Analyze `program` for top-down termination of `query` called with
+/// `adornment`.
+///
+/// The Appendix A transformations are applied *lazily*: the raw program is
+/// analyzed first, and only when that fails are the transformations run and
+/// the analysis retried (the transformations exist to *enable* analysis on
+/// programs not already in the required form, such as Example A.1; applying
+/// them to already-analyzable programs only obscures the result).
+pub fn analyze(
+    program: &Program,
+    query: &PredKey,
+    adornment: Adornment,
+    options: &AnalysisOptions,
+) -> TerminationReport {
+    let raw = analyze_prepared(program, query, adornment.clone(), options);
+    if raw.verdict == Verdict::Terminates || options.transform_phases == 0 {
+        return raw;
+    }
+    // Retry on the transformed program.
+    let roots: BTreeSet<PredKey> = [query.clone()].into_iter().collect();
+    let (transformed, _report) =
+        argus_transform::transform_fixed_phases(program, &roots, options.transform_phases);
+    if transformed == *program || transformed.rules.len() > 1000 {
+        return raw; // nothing changed, or growth guard tripped
+    }
+    let cooked = analyze_prepared(&transformed, query, adornment, options);
+    if cooked.verdict == Verdict::Terminates {
+        return cooked;
+    }
+    // Neither proved: prefer the raw report when it carries the stronger
+    // zero-weight-cycle evidence.
+    if raw.verdict == Verdict::ZeroWeightCycle {
+        raw
+    } else {
+        cooked
+    }
+}
+
+/// Analyze a program assumed already in the required syntactic form.
+fn analyze_prepared(
+    program: &Program,
+    query: &PredKey,
+    adornment: Adornment,
+    options: &AnalysisOptions,
+) -> TerminationReport {
+    let program = program.clone();
+
+    // 2. Adorn: one predicate copy per calling adornment, so every
+    // predicate has a single bound-free adornment (the paper's standing
+    // assumption in §3).
+    let adorned = argus_logic::adorn_program(&program, query, adornment);
+    let program = adorned.program;
+    let query = &adorned.query;
+    let modes = adorned.modes;
+
+    // 3. Size relations (inferred under the analysis norm).
+    let infer_options = InferOptions { norm: options.norm, ..options.infer.clone() };
+    let mut rels = infer_size_relations(&program, &infer_options);
+    for (p, poly) in &options.imported {
+        rels.insert(p.clone(), poly.clone());
+    }
+    if options.restrict_imports_to_binary_orders {
+        rels = restrict_to_binary_orders(&rels);
+    }
+
+    // 4. SCCs bottom-up.
+    let graph = DepGraph::build(&program);
+    let mut sccs = Vec::new();
+    let mut verdict = Verdict::Terminates;
+
+    for scc_id in graph.sccs_bottom_up() {
+        let members: Vec<PredKey> = graph.scc(scc_id);
+        // Skip SCCs not reachable from the query (no adornment) and
+        // EDB-only SCCs.
+        let reachable = members.iter().any(|p| modes.get(p).is_some());
+        let has_rules = members.iter().any(|p| !program.procedure(p).is_empty());
+        if !reachable || !has_rules {
+            continue;
+        }
+        let recursive = members.iter().any(|p| graph.is_recursive(p));
+        if !recursive {
+            sccs.push(SccAnalysis {
+                members,
+                outcome: SccOutcome::NonRecursive,
+                theta_constraints: ConstraintSystem::new(),
+                theta_space: ThetaSpace::new(),
+                pair_count: 0,
+            });
+            continue;
+        }
+
+        let mut analysis =
+            analyze_scc(&graph, &program, scc_id, &members, &modes, &rels, options);
+        if !analysis.outcome.is_proved() && options.lexicographic {
+            if let Some(proof) = crate::lexico::prove_scc_lexicographic(
+                &program,
+                &graph,
+                scc_id,
+                &modes,
+                &rels,
+                options.norm,
+            ) {
+                analysis.outcome = SccOutcome::ProvedLexicographic { proof };
+            }
+        }
+        match &analysis.outcome {
+            SccOutcome::ZeroWeightCycle(_) => verdict = Verdict::ZeroWeightCycle,
+            SccOutcome::NoLinearDecrease { .. } if verdict == Verdict::Terminates => {
+                verdict = Verdict::Unknown
+            }
+            _ => {}
+        }
+        sccs.push(analysis);
+    }
+
+    TerminationReport {
+        program,
+        query: query.clone(),
+        modes,
+        size_relations: rels,
+        sccs,
+        verdict,
+    }
+}
+
+/// Attempt a Farkas refutation of the θ feasibility system (including its
+/// nonnegativity rows) within a fixed certificate budget.
+fn refute_theta(
+    theta_sys: &ConstraintSystem,
+    nonneg: &BTreeSet<Var>,
+) -> Option<argus_linear::FarkasCertificate> {
+    let mut sys = theta_sys.clone();
+    for &v in nonneg {
+        sys.push(argus_linear::Constraint::nonneg(v));
+    }
+    argus_linear::farkas::refute(&sys, 20_000)
+}
+
+/// Appendix B restriction: keep only constraints with at most two
+/// variables, both with coefficient ±1 after canonicalization — i.e. plain
+/// partial-order (and difference) constraints between argument positions.
+fn restrict_to_binary_orders(rels: &SizeRelations) -> SizeRelations {
+    let mut out = SizeRelations::new();
+    for (p, poly) in rels.iter() {
+        if poly.is_empty() {
+            out.insert(p.clone(), poly.clone());
+            continue;
+        }
+        let kept: Vec<argus_linear::Constraint> = poly
+            .constraints()
+            .constraints()
+            .iter()
+            .filter(|c| {
+                let canon = c.canonicalized();
+                let nvars = canon.expr.terms().count();
+                nvars <= 2
+                    && canon.expr.terms().all(|(_, k)| {
+                        k == &Rat::one() || k == &-Rat::one()
+                    })
+            })
+            .cloned()
+            .collect();
+        out.insert(
+            p.clone(),
+            argus_linear::Poly::from_constraints(
+                p.arity,
+                ConstraintSystem::from_constraints(kept),
+            ),
+        );
+    }
+    out
+}
+
+/// Analyze one recursive SCC.
+fn analyze_scc(
+    graph: &DepGraph,
+    program: &Program,
+    scc_id: usize,
+    members: &[PredKey],
+    modes: &ModeMap,
+    rels: &SizeRelations,
+    options: &AnalysisOptions,
+) -> SccAnalysis {
+    // θ space: one variable per bound argument of each member.
+    let mut space = ThetaSpace::new();
+    for p in members {
+        let bound = modes
+            .get(p)
+            .map(|a| a.bound_positions().len())
+            .unwrap_or(p.arity);
+        space.add_pred(p, bound);
+    }
+
+    // Build all rule × recursive-subgoal pairs.
+    let rules = graph.scc_rules(program, scc_id);
+    let mut pairs: Vec<RuleSubgoalSystem> = Vec::new();
+    for (ri, rule) in rules.iter().enumerate() {
+        for si in graph.recursive_subgoals(rule) {
+            pairs.push(crate::pairs::build_pair_with_norm(rule, ri, si, modes, rels, options.norm));
+        }
+    }
+
+    match options.delta_mode {
+        DeltaMode::Paper => {
+            // §6.1: fixed δ's + zero-cycle check.
+            let assignment = match assign_deltas(members, &pairs) {
+                DeltaOutcome::Ok(a) => a,
+                DeltaOutcome::ZeroWeightCycle(cycle) => {
+                    return SccAnalysis {
+                        members: members.to_vec(),
+                        outcome: SccOutcome::ZeroWeightCycle(cycle),
+                        theta_constraints: ConstraintSystem::new(),
+                        theta_space: space,
+                        pair_count: pairs.len(),
+                    };
+                }
+            };
+            let mut projected = Vec::new();
+            let mut w_base: Var = space.len();
+            let mut ok = true;
+            for pair in &pairs {
+                let d = assignment.get(&pair.head_pred, &pair.sub_pred);
+                let (sys, w) = eq9_system(pair, &space, w_base, DeltaTerm::Constant(d));
+                w_base += w.len();
+                match project_pair(&sys, &w) {
+                    Some(p) => projected.push(p),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            let (theta_sys, nonneg) = feasibility_system(&projected, &space);
+            let outcome = if !ok {
+                SccOutcome::NoLinearDecrease { refutation: None }
+            } else {
+                match argus_linear::simplex::feasible_point(&theta_sys, &nonneg) {
+                    Some(point) => SccOutcome::Proved {
+                        witness: space.extract_witness(&point),
+                        deltas: assignment
+                            .delta
+                            .iter()
+                            .map(|(e, d)| (e.clone(), Rat::from_int(*d)))
+                            .collect(),
+                    },
+                    None => SccOutcome::NoLinearDecrease {
+                        refutation: refute_theta(&theta_sys, &nonneg),
+                    },
+                }
+            };
+            SccAnalysis {
+                members: members.to_vec(),
+                outcome,
+                theta_constraints: theta_sys,
+                theta_space: space,
+                pair_count: pairs.len(),
+            }
+        }
+        DeltaMode::PathConstraints => {
+            // Appendix C: symbolic δ's with positive-cycle path constraints.
+            let edges: BTreeSet<(PredKey, PredKey)> = pairs
+                .iter()
+                .map(|p| (p.head_pred.clone(), p.sub_pred.clone()))
+                .collect();
+            let delta_base: Var = space.len();
+            let deltas = DeltaVars::allocate(&edges, delta_base);
+            let pi_base = delta_base + deltas.len();
+            let cycle_sys = positive_cycle_constraints(members, &deltas, pi_base);
+
+            let mut projected = vec![cycle_sys];
+            let mut w_base: Var = pi_base + members.len() * members.len();
+            let mut ok = true;
+            for pair in &pairs {
+                let dv = deltas
+                    .get(&pair.head_pred, &pair.sub_pred)
+                    .expect("edge allocated");
+                let (sys, w) = eq9_system(pair, &space, w_base, DeltaTerm::Variable(dv));
+                w_base += w.len();
+                match project_pair(&sys, &w) {
+                    Some(p) => projected.push(p),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            let (theta_sys, nonneg) = feasibility_system(&projected, &space);
+            // δ variables stay free (that is the point of Appendix C).
+            let outcome = if !ok {
+                SccOutcome::NoLinearDecrease { refutation: None }
+            } else {
+                match argus_linear::simplex::feasible_point(&theta_sys, &nonneg) {
+                    Some(point) => SccOutcome::Proved {
+                        witness: space.extract_witness(&point),
+                        deltas: deltas
+                            .iter()
+                            .map(|(e, v)| {
+                                (
+                                    e.clone(),
+                                    point.get(v).cloned().unwrap_or_else(Rat::zero),
+                                )
+                            })
+                            .collect(),
+                    },
+                    None => SccOutcome::NoLinearDecrease {
+                        refutation: refute_theta(&theta_sys, &nonneg),
+                    },
+                }
+            };
+            SccAnalysis {
+                members: members.to_vec(),
+                outcome,
+                theta_constraints: theta_sys,
+                theta_space: space,
+                pair_count: pairs.len(),
+            }
+        }
+    }
+}
+
+/// Convenience: parse, analyze with default options, return the report.
+///
+/// `query_spec` is `"name/arity"`, `adornment` a string of `b`/`f`.
+pub fn analyze_source(
+    src: &str,
+    query_spec: &str,
+    adornment: &str,
+) -> Result<TerminationReport, String> {
+    let program = argus_logic::parser::parse_program(src).map_err(|e| e.to_string())?;
+    let (name, arity) = query_spec
+        .rsplit_once('/')
+        .ok_or_else(|| format!("bad query spec {query_spec:?} (want name/arity)"))?;
+    let arity: usize = arity.parse().map_err(|_| format!("bad arity in {query_spec:?}"))?;
+    let query = PredKey::new(name, arity);
+    let adornment = Adornment::parse(adornment)
+        .ok_or_else(|| format!("bad adornment {adornment:?} (want e.g. \"bf\")"))?;
+    if adornment.arity() != arity {
+        return Err(format!("adornment arity {} != predicate arity {arity}", adornment.arity()));
+    }
+    Ok(analyze(&program, &query, adornment, &AnalysisOptions::default()))
+}

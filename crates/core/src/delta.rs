@@ -1,0 +1,231 @@
+//! Choice of the `δᵢⱼ` level decrements for mutual recursion (§6.1) and the
+//! zero-weight-cycle check.
+//!
+//! With mutual recursion the decrease requirement is `θᵢᵀx ≥ θⱼᵀy + δᵢⱼ`
+//! per dependency edge, and the `δᵢⱼ`, viewed as edge weights, must make
+//! every cycle of the SCC's dependency graph strictly positive. The paper's
+//! procedure:
+//!
+//! 1. set `δᵢⱼ = 0` (for `i ≠ j`) where the dual forces it — when a pair's
+//!    value row has only zeros in `cᵀ` and `aᵀ`;
+//! 2. set all other `δᵢⱼ = 1` (and `δᵢᵢ = 1` always);
+//! 3. compute the min-plus closure by Floyd's algorithm and report a
+//!    zero-weight cycle, if any, as strong evidence of nontermination.
+
+use crate::pairs::RuleSubgoalSystem;
+use argus_logic::PredKey;
+use std::collections::BTreeMap;
+
+/// Assignment of δ values to SCC dependency edges `(i, j)`.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaAssignment {
+    /// δ per (head, subgoal) predicate edge.
+    pub delta: BTreeMap<(PredKey, PredKey), i64>,
+}
+
+impl DeltaAssignment {
+    /// The δ for an edge (defaults to 1 for self-edges if unset).
+    pub fn get(&self, head: &PredKey, sub: &PredKey) -> i64 {
+        self.delta
+            .get(&(head.clone(), sub.clone()))
+            .copied()
+            .unwrap_or(if head == sub { 1 } else { 0 })
+    }
+}
+
+/// Outcome of the δ-selection step.
+#[derive(Debug, Clone)]
+pub enum DeltaOutcome {
+    /// An assignment with all cycles strictly positive.
+    Ok(DeltaAssignment),
+    /// A zero-weight cycle exists: the listed predicates form a cycle along
+    /// which no size decrease is required — strong evidence of
+    /// nontermination (paper §6.1 step 3).
+    ZeroWeightCycle(Vec<PredKey>),
+}
+
+/// Run the paper's §6.1 procedure over the rule-subgoal pairs of one SCC.
+///
+/// `members` is the SCC's predicate set; `pairs` all its rule × recursive-
+/// subgoal systems.
+pub fn assign_deltas(members: &[PredKey], pairs: &[RuleSubgoalSystem]) -> DeltaOutcome {
+    // Step 1 & 2: per-edge δ. An edge carries several pairs; if any pair on
+    // the edge forces 0 the whole edge must use 0 (the constraint applies
+    // to every recursive call through that pair).
+    let mut delta: BTreeMap<(PredKey, PredKey), i64> = BTreeMap::new();
+    for pair in pairs {
+        let key = (pair.head_pred.clone(), pair.sub_pred.clone());
+        let forced_zero = pair.head_pred != pair.sub_pred && pair.forces_zero_delta();
+        let value = if forced_zero { 0 } else { 1 };
+        delta
+            .entry(key)
+            .and_modify(|d| *d = (*d).min(value))
+            .or_insert(value);
+    }
+    // δᵢᵢ is always 1 (§4: "simply 1 if i = j").
+    for (edge, d) in delta.iter_mut() {
+        if edge.0 == edge.1 {
+            *d = 1;
+        }
+    }
+
+    // Step 3: min-plus closure by Floyd's algorithm; detect zero cycles.
+    let n = members.len();
+    let index: BTreeMap<&PredKey, usize> =
+        members.iter().enumerate().map(|(i, p)| (p, i)).collect();
+    const INF: i64 = i64::MAX / 4;
+    let mut dist = vec![vec![INF; n]; n];
+    let mut next_hop = vec![vec![usize::MAX; n]; n];
+    for ((h, s), d) in &delta {
+        let (i, j) = (index[h], index[s]);
+        if *d < dist[i][j] {
+            dist[i][j] = *d;
+            next_hop[i][j] = j;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if dist[i][k] == INF {
+                continue;
+            }
+            for j in 0..n {
+                if dist[k][j] == INF {
+                    continue;
+                }
+                let through = dist[i][k] + dist[k][j];
+                if through < dist[i][j] {
+                    dist[i][j] = through;
+                    next_hop[i][j] = next_hop[i][k];
+                }
+            }
+        }
+    }
+    for i in 0..n {
+        if dist[i][i] != INF && dist[i][i] <= 0 {
+            // Reconstruct the offending cycle.
+            let mut cycle = vec![members[i].clone()];
+            let mut cur = next_hop[i][i];
+            while cur != i && cur != usize::MAX && cycle.len() <= n {
+                cycle.push(members[cur].clone());
+                cur = next_hop[cur][i];
+            }
+            return DeltaOutcome::ZeroWeightCycle(cycle);
+        }
+    }
+
+    DeltaOutcome::Ok(DeltaAssignment { delta })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_linear::LinExpr;
+    use argus_linear::Rat;
+
+    fn pk(name: &str) -> PredKey {
+        PredKey::new(name, 2)
+    }
+
+    /// A synthetic pair with chosen constants.
+    fn pair(head: &str, sub: &str, a_const: i64, c_const: i64) -> RuleSubgoalSystem {
+        let mut x = LinExpr::constant(Rat::from_int(a_const));
+        x.add_term(0, Rat::one());
+        let y = LinExpr::var(0);
+        let c_rows = if c_const >= 0 {
+            vec![LinExpr::constant(Rat::from_int(c_const))]
+        } else {
+            vec![]
+        };
+        RuleSubgoalSystem {
+            head_pred: pk(head),
+            sub_pred: pk(sub),
+            rule_index: 0,
+            subgoal_index: 0,
+            alpha_count: 1,
+            x_rows: vec![x],
+            y_rows: vec![y],
+            c_rows,
+            alpha_names: vec!["v".into()],
+        }
+    }
+
+    #[test]
+    fn parser_delta_pattern() {
+        // Example 6.1's edges: (e,t) and (t,n) forced to 0; (n,e) keeps 1;
+        // self loops 1. No zero cycle: e→t→n→e weighs 1.
+        let members = vec![pk("e"), pk("t"), pk("n")];
+        let pairs = vec![
+            pair("e", "e", 0, 4),  // c nonzero -> delta stays 1
+            pair("e", "t", 0, -1), // a = 0, no c -> forced 0
+            pair("t", "t", 0, 4),
+            pair("t", "n", 0, -1), // forced 0
+            pair("n", "e", 2, -1), // a = 2 -> keeps 1
+        ];
+        match assign_deltas(&members, &pairs) {
+            DeltaOutcome::Ok(d) => {
+                assert_eq!(d.get(&pk("e"), &pk("t")), 0);
+                assert_eq!(d.get(&pk("t"), &pk("n")), 0);
+                assert_eq!(d.get(&pk("n"), &pk("e")), 1);
+                assert_eq!(d.get(&pk("e"), &pk("e")), 1);
+            }
+            DeltaOutcome::ZeroWeightCycle(c) => panic!("unexpected zero cycle: {c:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_cycle_detected() {
+        // p→q and q→p both forced to 0: the 2-cycle has weight 0.
+        let members = vec![pk("p"), pk("q")];
+        let pairs = vec![pair("p", "q", 0, -1), pair("q", "p", 0, -1)];
+        match assign_deltas(&members, &pairs) {
+            DeltaOutcome::ZeroWeightCycle(cycle) => {
+                assert!(cycle.contains(&pk("p")) || cycle.contains(&pk("q")));
+                assert!(!cycle.is_empty());
+            }
+            DeltaOutcome::Ok(_) => panic!("expected a zero-weight cycle"),
+        }
+    }
+
+    #[test]
+    fn self_loop_is_always_one() {
+        // Even a self-pair with zero constants keeps δ = 1 (i = j).
+        let members = vec![pk("p")];
+        let pairs = vec![pair("p", "p", 0, -1)];
+        match assign_deltas(&members, &pairs) {
+            DeltaOutcome::Ok(d) => assert_eq!(d.get(&pk("p"), &pk("p")), 1),
+            DeltaOutcome::ZeroWeightCycle(c) => panic!("self loop δ=1: {c:?}"),
+        }
+    }
+
+    #[test]
+    fn min_over_parallel_edges() {
+        // Two pairs on the same edge, one forcing zero: edge gets 0.
+        let members = vec![pk("p"), pk("q")];
+        let pairs = vec![
+            pair("p", "q", 2, -1),
+            pair("p", "q", 0, -1),
+            pair("q", "p", 3, -1),
+        ];
+        match assign_deltas(&members, &pairs) {
+            DeltaOutcome::Ok(d) => {
+                assert_eq!(d.get(&pk("p"), &pk("q")), 0);
+                assert_eq!(d.get(&pk("q"), &pk("p")), 1);
+            }
+            DeltaOutcome::ZeroWeightCycle(c) => panic!("cycle p→q→p weighs 1: {c:?}"),
+        }
+    }
+
+    #[test]
+    fn long_zero_cycle() {
+        let members = vec![pk("a"), pk("b"), pk("c")];
+        let pairs = vec![
+            pair("a", "b", 0, -1),
+            pair("b", "c", 0, -1),
+            pair("c", "a", 0, -1),
+        ];
+        match assign_deltas(&members, &pairs) {
+            DeltaOutcome::ZeroWeightCycle(cycle) => assert_eq!(cycle.len(), 3),
+            DeltaOutcome::Ok(_) => panic!("expected 3-cycle of weight 0"),
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Machine-readable report serialization.
+//!
+//! A small, dependency-free JSON emitter for [`TerminationReport`], so the
+//! CLI (and any embedding tool) can archive or post-process verdicts
+//! without parsing the human-oriented `Display` output. Only emission is
+//! provided — reports are produced, not consumed, by this library.
+
+use crate::analyze::{SccOutcome, TerminationReport, Verdict};
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", esc(s))
+}
+
+fn json_array(items: impl IntoIterator<Item = String>) -> String {
+    let inner: Vec<String> = items.into_iter().collect();
+    format!("[{}]", inner.join(","))
+}
+
+impl TerminationReport {
+    /// Serialize the report as a JSON object.
+    ///
+    /// Shape:
+    /// ```json
+    /// {
+    ///   "query": "perm/2",
+    ///   "verdict": "Terminates",
+    ///   "sccs": [
+    ///     {
+    ///       "members": ["perm/2"],
+    ///       "outcome": "proved",
+    ///       "witness": {"perm/2": ["1/2"]},
+    ///       "deltas": {"perm/2 -> perm/2": "1"},
+    ///       "constraints": ["-2*theta[perm][1] + 1 <= 0", "..."]
+    ///     }
+    ///   ]
+    /// }
+    /// ```
+    /// Rationals are emitted as strings (`"1/2"`) to stay exact.
+    pub fn to_json(&self) -> String {
+        let verdict = match self.verdict {
+            Verdict::Terminates => "Terminates",
+            Verdict::Unknown => "Unknown",
+            Verdict::ZeroWeightCycle => "ZeroWeightCycle",
+        };
+        let sccs = json_array(self.sccs.iter().map(|scc| {
+            let members = json_array(
+                scc.members.iter().map(|p| json_str(&p.to_string())),
+            );
+            let constraints = json_array(
+                scc.render_constraints().iter().map(|c| json_str(c)),
+            );
+            let (outcome, detail) = match &scc.outcome {
+                SccOutcome::NonRecursive => ("nonrecursive".to_string(), String::new()),
+                SccOutcome::Proved { witness, deltas } => {
+                    let w: Vec<String> = witness
+                        .iter()
+                        .map(|(p, th)| {
+                            format!(
+                                "{}:{}",
+                                json_str(&p.to_string()),
+                                json_array(th.iter().map(|r| json_str(&r.to_string())))
+                            )
+                        })
+                        .collect();
+                    let d: Vec<String> = deltas
+                        .iter()
+                        .map(|((a, b), v)| {
+                            format!(
+                                "{}:{}",
+                                json_str(&format!("{a} -> {b}")),
+                                json_str(&v.to_string())
+                            )
+                        })
+                        .collect();
+                    (
+                        "proved".to_string(),
+                        format!(
+                            ",\"witness\":{{{}}},\"deltas\":{{{}}}",
+                            w.join(","),
+                            d.join(",")
+                        ),
+                    )
+                }
+                SccOutcome::ProvedLexicographic { proof } => {
+                    let levels = json_array(proof.levels.iter().map(|level| {
+                        let entries: Vec<String> = level
+                            .iter()
+                            .map(|(p, th)| {
+                                format!(
+                                    "{}:{}",
+                                    json_str(&p.to_string()),
+                                    json_array(
+                                        th.iter().map(|r| json_str(&r.to_string()))
+                                    )
+                                )
+                            })
+                            .collect();
+                        format!("{{{}}}", entries.join(","))
+                    }));
+                    ("proved_lexicographic".to_string(), format!(",\"levels\":{levels}"))
+                }
+                SccOutcome::ZeroWeightCycle(cycle) => (
+                    "zero_weight_cycle".to_string(),
+                    format!(
+                        ",\"cycle\":{}",
+                        json_array(cycle.iter().map(|p| json_str(&p.to_string())))
+                    ),
+                ),
+                SccOutcome::NoLinearDecrease { refutation } => (
+                    "no_linear_decrease".to_string(),
+                    format!(
+                        ",\"has_refutation\":{}",
+                        if refutation.is_some() { "true" } else { "false" }
+                    ),
+                ),
+            };
+            format!(
+                "{{\"members\":{members},\"outcome\":{}{detail},\"constraints\":{constraints}}}",
+                json_str(&outcome)
+            )
+        }));
+        format!(
+            "{{\"query\":{},\"verdict\":{},\"sccs\":{sccs}}}",
+            json_str(&self.query.to_string()),
+            json_str(verdict)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze::analyze_source;
+
+    #[test]
+    fn proved_report_shape() {
+        let report = analyze_source(
+            "append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
+            "append/3",
+            "bff",
+        )
+        .unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"verdict\":\"Terminates\""), "{json}");
+        assert!(json.contains("\"witness\""), "{json}");
+        assert!(json.contains("\"1/2\""), "{json}");
+    }
+
+    #[test]
+    fn failure_report_shape() {
+        let report = analyze_source("p(X) :- p(X).", "p/1", "b").unwrap();
+        let json = report.to_json();
+        assert!(json.contains("\"verdict\":\"Unknown\""), "{json}");
+        assert!(json.contains("no_linear_decrease"), "{json}");
+        assert!(json.contains("\"has_refutation\""), "{json}");
+    }
+
+    #[test]
+    fn zero_cycle_report_shape() {
+        let report =
+            analyze_source("p(X) :- q(X).\nq(X) :- p(X).", "p/1", "b").unwrap();
+        let json = report.to_json();
+        assert!(json.contains("zero_weight_cycle"), "{json}");
+        assert!(json.contains("\"cycle\""), "{json}");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(super::esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::esc("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,339 @@
+//! Lexicographic extension of the linear-decrease method.
+//!
+//! The paper's §7 concedes that a *single* nonnegative linear combination
+//! cannot capture every terminating recursion — Ackermann's function, with
+//! its "first argument decreases OR stays equal while the second
+//! decreases" shape, is the canonical miss. The standard follow-on (known
+//! from later work on linear ranking functions) is a **lexicographic
+//! tuple** of the paper's measures:
+//!
+//! 1. find θ-vectors (one per SCC predicate) under which *every* rule ×
+//!    recursive-subgoal pair is non-increasing (`θᵀx ≥ βᵀy`) and at least
+//!    one pair strictly decreases (`θᵀx ≥ βᵀy + 1`);
+//! 2. discharge every pair that strictly decreases under the found level;
+//! 3. repeat on the remaining pairs with a fresh level.
+//!
+//! If all pairs are discharged, the tuple `(θ¹, θ², …)` ranks every
+//! recursive call lexicographically: the discharged level strictly drops
+//! while all earlier levels are non-increasing, and each level is bounded
+//! below by 0 — a well-founded descent. Every intermediate question is
+//! the same dual construction as the base method, with δ = 1 for the
+//! strict pair and δ = 0 for the rest, so the machinery of §4 is reused
+//! verbatim.
+
+use crate::dual::{eq9_system, feasibility_system, project_pair, DeltaTerm};
+use crate::pairs::RuleSubgoalSystem;
+use crate::theta::ThetaSpace;
+use argus_linear::{LpOutcome, LpProblem, Rat, Var};
+use argus_logic::modes::ModeMap;
+use argus_logic::{Norm, PredKey};
+use std::collections::BTreeMap;
+
+/// One level of a lexicographic ranking: θ coefficients per predicate.
+pub type Level = BTreeMap<PredKey, Vec<Rat>>;
+
+/// A successful lexicographic proof.
+#[derive(Debug, Clone)]
+pub struct LexicographicProof {
+    /// Ranking levels, outermost first.
+    pub levels: Vec<Level>,
+    /// For each rule × subgoal pair `(rule_index, subgoal_index)`, the
+    /// level (0-based) at which it was discharged.
+    pub discharged_at: BTreeMap<(usize, usize), usize>,
+}
+
+/// Attempt a lexicographic proof for the given pairs.
+///
+/// `space` must already contain every SCC member. Returns `None` when some
+/// round can make no pair strictly decrease while keeping the rest
+/// non-increasing.
+pub fn prove_lexicographic(
+    members: &[PredKey],
+    pairs: &[RuleSubgoalSystem],
+    space: &ThetaSpace,
+) -> Option<LexicographicProof> {
+    let mut remaining: Vec<&RuleSubgoalSystem> = pairs.iter().collect();
+    let mut levels: Vec<Level> = Vec::new();
+    let mut discharged_at: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+
+    while !remaining.is_empty() {
+        let level_index = levels.len();
+        // Safety valve: no ranking needs more levels than pairs.
+        if level_index > pairs.len() {
+            return None;
+        }
+        let mut found: Option<(Level, Vec<bool>)> = None;
+
+        // Try each remaining pair as the designated strict one.
+        'candidates: for strict_idx in 0..remaining.len() {
+            let mut projected = Vec::new();
+            let mut w_base: Var = space.len();
+            for (i, pair) in remaining.iter().enumerate() {
+                let delta = if i == strict_idx { 1 } else { 0 };
+                let (sys, w) = eq9_system(pair, space, w_base, DeltaTerm::Constant(delta));
+                w_base += w.len();
+                match project_pair(&sys, &w) {
+                    Some(p) => projected.push(p),
+                    None => continue 'candidates,
+                }
+            }
+            let (theta_sys, nonneg) = feasibility_system(&projected, space);
+            let Some(point) = argus_linear::simplex::feasible_point(&theta_sys, &nonneg)
+            else {
+                continue 'candidates;
+            };
+            let level = space.extract_witness(&point);
+            // Which pairs strictly decrease under this θ? (Check each by
+            // primal LP so we can discharge them all at once.)
+            let strict: Vec<bool> = remaining
+                .iter()
+                .map(|pair| pair_strictly_decreases(pair, &level))
+                .collect();
+            debug_assert!(strict[strict_idx], "designated pair must be strict");
+            found = Some((level, strict));
+            break;
+        }
+
+        let (level, strict) = found?;
+        let mut next_remaining = Vec::new();
+        for (pair, is_strict) in remaining.into_iter().zip(strict) {
+            if is_strict {
+                discharged_at.insert((pair.rule_index, pair.subgoal_index), level_index);
+            } else {
+                next_remaining.push(pair);
+            }
+        }
+        levels.push(level);
+        remaining = next_remaining;
+    }
+
+    let _ = members;
+    Some(LexicographicProof { levels, discharged_at })
+}
+
+/// Does `θᵀx − βᵀy ≥ 1` hold over the pair's Eq. (1) region for the given
+/// level? Decided by primal LP (exact).
+fn pair_strictly_decreases(pair: &RuleSubgoalSystem, level: &Level) -> bool {
+    let Some(theta) = level.get(&pair.head_pred) else { return false };
+    let Some(beta) = level.get(&pair.sub_pred) else { return false };
+    let (primal, x_vars, y_vars, _) = crate::pairs::primal_system(pair);
+    let mut objective = argus_linear::LinExpr::zero();
+    for (i, &xv) in x_vars.iter().enumerate() {
+        objective.add_term(xv, theta[i].clone());
+    }
+    for (j, &yv) in y_vars.iter().enumerate() {
+        objective.add_term(yv, -beta[j].clone());
+    }
+    let nonneg = primal.vars().into_iter().collect();
+    match (LpProblem { objective, constraints: primal, nonneg }).solve() {
+        LpOutcome::Infeasible => true, // vacuous
+        LpOutcome::Optimal { value, .. } => value >= Rat::one(),
+        LpOutcome::Unbounded => false,
+    }
+}
+
+/// Convenience driver: build pairs for one SCC of `program` and attempt a
+/// lexicographic proof. Returns `None` for nonrecursive SCCs too (nothing
+/// to prove).
+pub fn prove_scc_lexicographic(
+    program: &argus_logic::Program,
+    graph: &argus_logic::DepGraph,
+    scc_id: usize,
+    modes: &ModeMap,
+    rels: &argus_sizerel::SizeRelations,
+    norm: Norm,
+) -> Option<LexicographicProof> {
+    let members: Vec<PredKey> = graph.scc(scc_id);
+    let mut space = ThetaSpace::new();
+    for p in &members {
+        let bound = modes
+            .get(p)
+            .map(|a| a.bound_positions().len())
+            .unwrap_or(p.arity);
+        space.add_pred(p, bound);
+    }
+    let mut pairs = Vec::new();
+    for (ri, rule) in graph.scc_rules(program, scc_id).iter().enumerate() {
+        for si in graph.recursive_subgoals(rule) {
+            pairs.push(crate::pairs::build_pair_with_norm(rule, ri, si, modes, rels, norm));
+        }
+    }
+    if pairs.is_empty() {
+        return Some(LexicographicProof { levels: Vec::new(), discharged_at: BTreeMap::new() });
+    }
+    prove_lexicographic(&members, &pairs, &space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_logic::parser::parse_program;
+    use argus_logic::{Adornment, DepGraph};
+    use argus_sizerel::{infer_size_relations, InferOptions};
+
+    /// Run the lexicographic prover on the SCC of `pred` in `src`.
+    fn prove(src: &str, pred: &str, arity: usize, adn: &str) -> Option<LexicographicProof> {
+        let program = parse_program(src).unwrap();
+        let adorned = argus_logic::adorn_program(
+            &program,
+            &PredKey::new(pred, arity),
+            Adornment::parse(adn).unwrap(),
+        );
+        let rels = infer_size_relations(&adorned.program, &InferOptions::default());
+        let graph = DepGraph::build(&adorned.program);
+        let scc_id = graph.scc_id(&adorned.query)?;
+        prove_scc_lexicographic(
+            &adorned.program,
+            &graph,
+            scc_id,
+            &adorned.modes,
+            &rels,
+            Norm::StructuralSize,
+        )
+    }
+
+    /// Ackermann — the paper's method fails (§7); the lexicographic
+    /// extension proves it with two levels: arg1 outer, arg2 inner.
+    #[test]
+    fn ackermann_proved_lexicographically() {
+        let proof = prove(
+            "ack(z, N, s(N)).\n\
+             ack(s(M), z, R) :- ack(M, s(z), R).\n\
+             ack(s(M), s(N), R) :- ack(s(M), N, R1), ack(M, R1, R).",
+            "ack",
+            3,
+            "bbf",
+        )
+        .expect("lexicographic proof exists");
+        assert!(
+            proof.levels.len() >= 2,
+            "Ackermann needs at least two levels, got {}",
+            proof.levels.len()
+        );
+        assert_eq!(proof.discharged_at.len(), 3, "three rule × subgoal pairs");
+    }
+
+    /// Single-level cases: programs the base method proves need exactly
+    /// one lexicographic level.
+    #[test]
+    fn base_method_cases_take_one_level() {
+        for (src, pred, arity, adn) in [
+            (
+                "append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
+                "append",
+                3,
+                "bff",
+            ),
+            (
+                "merge([], Ys, Ys).\n\
+                 merge(Xs, [], Xs).\n\
+                 merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs).\n\
+                 merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, merge(Ys, [X|Xs], Zs).",
+                "merge",
+                3,
+                "bbf",
+            ),
+        ] {
+            let proof = prove(src, pred, arity, adn).expect("provable");
+            assert_eq!(proof.levels.len(), 1, "{pred} takes one level");
+        }
+    }
+
+    /// Loops still fail: no level can make any pair strict.
+    #[test]
+    fn loops_still_unprovable() {
+        assert!(prove("p(X) :- p(X).", "p", 1, "b").is_none());
+        assert!(prove(
+            "p([]).\np([X|Xs]) :- p([a, X|Xs]).",
+            "p",
+            1,
+            "b"
+        )
+        .is_none());
+    }
+
+    /// A hand-built two-level case: outer argument controls an inner
+    /// restart (like Ackermann but first-order on lists).
+    #[test]
+    fn nested_restart_two_levels() {
+        // outer list shrinks on rule 2 while the inner may grow back.
+        let proof = prove(
+            "w([], []).\n\
+             w([_|Os], Is) :- w(Os, [a, a, a]).\n\
+             w(Os, [_|Is]) :- w(Os, Is).",
+            "w",
+            2,
+            "bb",
+        )
+        .expect("two-level ranking exists");
+        assert_eq!(proof.levels.len(), 2);
+    }
+
+    /// The discharged levels really form a valid certificate: re-check the
+    /// lexicographic conditions pairwise.
+    #[test]
+    fn levels_satisfy_lexicographic_conditions() {
+        let src = "ack(z, N, s(N)).\n\
+                   ack(s(M), z, R) :- ack(M, s(z), R).\n\
+                   ack(s(M), s(N), R) :- ack(s(M), N, R1), ack(M, R1, R).";
+        let program = parse_program(src).unwrap();
+        let adorned = argus_logic::adorn_program(
+            &program,
+            &PredKey::new("ack", 3),
+            Adornment::parse("bbf").unwrap(),
+        );
+        let rels = infer_size_relations(&adorned.program, &InferOptions::default());
+        let graph = DepGraph::build(&adorned.program);
+        let scc_id = graph.scc_id(&adorned.query).unwrap();
+        let proof = prove_scc_lexicographic(
+            &adorned.program,
+            &graph,
+            scc_id,
+            &adorned.modes,
+            &rels,
+            Norm::StructuralSize,
+        )
+        .unwrap();
+
+        // Recompute every pair and check: strict at its discharge level,
+        // and non-increasing at all earlier levels.
+        let mut pairs = Vec::new();
+        for (ri, rule) in graph.scc_rules(&adorned.program, scc_id).iter().enumerate() {
+            for si in graph.recursive_subgoals(rule) {
+                pairs.push(crate::pairs::build_pair_with_norm(
+                    rule,
+                    ri,
+                    si,
+                    &adorned.modes,
+                    &rels,
+                    Norm::StructuralSize,
+                ));
+            }
+        }
+        for pair in &pairs {
+            let lvl = proof.discharged_at[&(pair.rule_index, pair.subgoal_index)];
+            assert!(pair_strictly_decreases(pair, &proof.levels[lvl]));
+            for earlier in &proof.levels[..lvl] {
+                // Non-increase: min(θᵀx − βᵀy) ≥ 0.
+                let theta = &earlier[&pair.head_pred];
+                let beta = &earlier[&pair.sub_pred];
+                let (primal, x_vars, y_vars, _) = crate::pairs::primal_system(pair);
+                let mut objective = argus_linear::LinExpr::zero();
+                for (i, &xv) in x_vars.iter().enumerate() {
+                    objective.add_term(xv, theta[i].clone());
+                }
+                for (j, &yv) in y_vars.iter().enumerate() {
+                    objective.add_term(yv, -beta[j].clone());
+                }
+                let nonneg = primal.vars().into_iter().collect();
+                match (LpProblem { objective, constraints: primal, nonneg }).solve() {
+                    LpOutcome::Infeasible => {}
+                    LpOutcome::Optimal { value, .. } => {
+                        assert!(!value.is_negative(), "earlier level increased");
+                    }
+                    LpOutcome::Unbounded => panic!("earlier level unbounded below"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests for the analyzer on generated program families.
+//!
+//! * Programs built to recurse on a *proper subterm* of a bound argument
+//!   are always provable under the structural norm (subterm descent is the
+//!   easy fragment of the method — Naish's class, §1.1).
+//! * Programs whose recursive call repeats the bound argument unchanged
+//!   are never provable (and the analysis must stay sound under arbitrary
+//!   extra structure).
+
+use argus_core::{analyze, AnalysisOptions, Verdict};
+use argus_logic::parser::parse_program;
+use argus_logic::{Adornment, PredKey};
+use proptest::prelude::*;
+
+/// Description of one generated recursive rule: a head pattern with a
+/// functor of `arity` args, recursing on argument `rec_pos`.
+#[derive(Debug, Clone)]
+struct GenRule {
+    functor: &'static str,
+    arity: usize,
+    rec_pos: usize,
+}
+
+fn rule_strategy() -> impl Strategy<Value = GenRule> {
+    (prop_oneof![Just("f"), Just("g"), Just("h")], 1usize..4).prop_flat_map(
+        |(functor, arity)| {
+            (0..arity).prop_map(move |rec_pos| GenRule { functor, arity, rec_pos })
+        },
+    )
+}
+
+/// Assemble a single-predicate program from rule descriptors. Every rule
+/// looks like `p(f(X1, …, Xk)) :- p(Xi).` — guaranteed subterm descent.
+fn descending_program(rules: &[GenRule]) -> String {
+    let mut out = String::from("p(c).\n");
+    for r in rules {
+        let vars: Vec<String> = (0..r.arity).map(|i| format!("X{i}")).collect();
+        out.push_str(&format!(
+            "p({}({})) :- p(X{}).\n",
+            r.functor,
+            vars.join(", "),
+            r.rec_pos
+        ));
+    }
+    out
+}
+
+/// The same shape but recursing on the WHOLE argument (no descent).
+fn stationary_program(rules: &[GenRule]) -> String {
+    let mut out = String::from("p(c).\n");
+    for r in rules {
+        let vars: Vec<String> = (0..r.arity).map(|i| format!("X{i}")).collect();
+        out.push_str(&format!(
+            "p({}({})) :- p({}({})).\n",
+            r.functor,
+            vars.join(", "),
+            r.functor,
+            vars.join(", ")
+        ));
+    }
+    out
+}
+
+fn verdict(src: &str) -> Verdict {
+    let program = parse_program(src).unwrap();
+    analyze(
+        &program,
+        &PredKey::new("p", 1),
+        Adornment::parse("b").unwrap(),
+        &AnalysisOptions::default(),
+    )
+    .verdict
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Completeness on the subterm-descent fragment.
+    #[test]
+    fn subterm_descent_always_proved(rules in proptest::collection::vec(rule_strategy(), 1..5)) {
+        let src = descending_program(&rules);
+        prop_assert_eq!(
+            verdict(&src),
+            Verdict::Terminates,
+            "should prove subterm descent:\n{}",
+            src
+        );
+    }
+
+    /// Soundness on the stationary fragment: same-size recursive calls are
+    /// never proved (they genuinely loop on matching inputs).
+    #[test]
+    fn stationary_recursion_never_proved(rules in proptest::collection::vec(rule_strategy(), 1..5)) {
+        let src = stationary_program(&rules);
+        prop_assert_ne!(
+            verdict(&src),
+            Verdict::Terminates,
+            "must not prove a stationary loop:\n{}",
+            src
+        );
+    }
+
+    /// Mixed programs: one stationary rule poisons an otherwise descending
+    /// procedure.
+    #[test]
+    fn one_stationary_rule_blocks_the_proof(
+        good in proptest::collection::vec(rule_strategy(), 1..4),
+        bad in rule_strategy(),
+    ) {
+        let mut src = descending_program(&good);
+        let vars: Vec<String> = (0..bad.arity).map(|i| format!("X{i}")).collect();
+        src.push_str(&format!(
+            "p({}({})) :- p({}({})).\n",
+            bad.functor, vars.join(", "), bad.functor, vars.join(", ")
+        ));
+        prop_assert_ne!(verdict(&src), Verdict::Terminates, "{}", src);
+    }
+
+    /// Every proof produced on the generated family passes independent
+    /// certification.
+    #[test]
+    fn generated_proofs_certify(rules in proptest::collection::vec(rule_strategy(), 1..4)) {
+        let src = descending_program(&rules);
+        let program = parse_program(&src).unwrap();
+        let report = analyze(
+            &program,
+            &PredKey::new("p", 1),
+            Adornment::parse("b").unwrap(),
+            &AnalysisOptions::default(),
+        );
+        prop_assert_eq!(report.verdict, Verdict::Terminates);
+        let checks = argus_core::verify_report(&report, argus_logic::Norm::StructuralSize)
+            .map_err(|e| TestCaseError::fail(format!("certificate rejected: {e}")))?;
+        prop_assert_eq!(checks, rules.len());
+    }
+}
+
+/// Generated mutual-recursion SCCs: k predicates in a call cycle, a chosen
+/// subset of edges consuming one list cell and the rest passing the
+/// argument through unchanged. Provable iff at least one edge of the cycle
+/// consumes (the δ bookkeeping of §6.1 in the general case).
+mod mutual {
+    use super::*;
+
+    fn verdict_p0(src: &str) -> Verdict {
+        let program = parse_program(src).unwrap();
+        analyze(
+            &program,
+            &PredKey::new("p0", 1),
+            Adornment::parse("b").unwrap(),
+            &AnalysisOptions::default(),
+        )
+        .verdict
+    }
+
+    fn cycle_program(k: usize, consuming: &[bool]) -> String {
+        let mut out = String::new();
+        for (i, consumes) in consuming.iter().enumerate().take(k) {
+            let next = (i + 1) % k;
+            if *consumes {
+                out.push_str(&format!("p{i}([_|Xs]) :- p{next}(Xs).\np{i}([]).\n"));
+            } else {
+                out.push_str(&format!("p{i}(Xs) :- p{next}(Xs).\np{i}([]).\n"));
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn cycles_with_consumption_are_proved(
+            k in 2usize..6,
+            seed in any::<u64>(),
+        ) {
+            // At least one consuming edge, placed pseudo-randomly.
+            let mut consuming = vec![false; k];
+            consuming[(seed as usize) % k] = true;
+            if k > 2 && seed % 3 == 0 {
+                consuming[(seed as usize / 7) % k] = true;
+            }
+            let src = cycle_program(k, &consuming);
+            prop_assert_eq!(
+                verdict_p0(&src),
+                Verdict::Terminates,
+                "cycle with a consuming edge must be proved:\n{}",
+                src
+            );
+            // And the proof certifies.
+            let program = parse_program(&src).unwrap();
+            let report = analyze(
+                &program,
+                &PredKey::new("p0", 1),
+                Adornment::parse("b").unwrap(),
+                &AnalysisOptions::default(),
+            );
+            argus_core::verify_report(&report, argus_logic::Norm::StructuralSize)
+                .map_err(|e| TestCaseError::fail(format!("certificate rejected: {e}")))?;
+        }
+
+        #[test]
+        fn cycles_without_consumption_are_rejected(k in 2usize..6) {
+            let consuming = vec![false; k];
+            let src = cycle_program(k, &consuming);
+            let v = verdict_p0(&src);
+            prop_assert_ne!(v, Verdict::Terminates, "{}", src);
+            // Pure pass-through cycles are exactly the zero-weight-cycle
+            // case of §6.1 step 3.
+            prop_assert_eq!(v, Verdict::ZeroWeightCycle, "{}", src);
+        }
+    }
+}

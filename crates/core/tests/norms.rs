@@ -1,0 +1,155 @@
+//! Norm sensitivity: the analysis is parametric in the term-size measure,
+//! and the choice matters — each norm proves programs the other cannot
+//! (the §1.1 trade-off between structural size and [UVG88]'s right-spine
+//! length, realized as a switch).
+
+use argus_core::{analyze, AnalysisOptions, Verdict};
+use argus_logic::parser::parse_program;
+use argus_logic::{Adornment, Norm, PredKey};
+
+fn run(src: &str, name: &str, arity: usize, adn: &str, norm: Norm) -> Verdict {
+    let program = parse_program(src).unwrap();
+    let options = AnalysisOptions { norm, ..AnalysisOptions::default() };
+    analyze(
+        &program,
+        &PredKey::new(name, arity),
+        Adornment::parse(adn).unwrap(),
+        &options,
+    )
+    .verdict
+}
+
+/// Head [X, Y | Xs] → subgoal [f(X, Y) | Xs]: the list gets SHORTER while
+/// its structural size stays exactly equal (two cells collapse into one
+/// compound element). List-length proves it; structural size cannot.
+#[test]
+fn element_fusion_needs_list_length() {
+    let src = "p([]).\np([X]).\np([X, Y|Xs]) :- p([f(X, Y)|Xs]).";
+    assert_eq!(
+        run(src, "p", 1, "b", Norm::ListLength),
+        Verdict::Terminates,
+        "spine shrinks by one per call"
+    );
+    assert_ne!(
+        run(src, "p", 1, "b", Norm::StructuralSize),
+        Verdict::Terminates,
+        "structural size is preserved: 4+X+Y+Xs -> 4+X+Y+Xs"
+    );
+}
+
+/// Recursion into the LEFT subtree of a binary tree: invisible on the
+/// right spine, obvious structurally.
+#[test]
+fn left_descent_needs_structural_size() {
+    let src = "t(leaf).\nt(node(L, R)) :- t(L).";
+    assert_eq!(
+        run(src, "t", 1, "b", Norm::StructuralSize),
+        Verdict::Terminates,
+        "2 + L + R > L"
+    );
+    assert_ne!(
+        run(src, "t", 1, "b", Norm::ListLength),
+        Verdict::Terminates,
+        "the right spine says nothing about the left child"
+    );
+}
+
+/// The paper's examples are provable under the paper's norm AND under
+/// list-length (their recursions shorten lists, which both measures see).
+#[test]
+fn paper_examples_provable_under_both_norms() {
+    let merge = "merge([], Ys, Ys).\n\
+                 merge(Xs, [], Xs).\n\
+                 merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs).\n\
+                 merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, merge(Ys, [X|Xs], Zs).";
+    for norm in [Norm::StructuralSize, Norm::ListLength] {
+        assert_eq!(
+            run(merge, "merge", 3, "bbf", norm),
+            Verdict::Terminates,
+            "merge under {}",
+            norm.name()
+        );
+    }
+    let perm = "perm([], []).\n\
+                perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).\n\
+                append([], Ys, Ys).\n\
+                append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).";
+    for norm in [Norm::StructuralSize, Norm::ListLength] {
+        assert_eq!(
+            run(perm, "perm", 2, "bf", norm),
+            Verdict::Terminates,
+            "perm under {} (append's length relation |a1|+|a2|=|a3| holds \
+             under both measures)",
+            norm.name()
+        );
+    }
+}
+
+/// Sanity: nonterminating controls stay unprovable under every norm.
+#[test]
+fn loops_unprovable_under_all_norms() {
+    for norm in [Norm::StructuralSize, Norm::ListLength] {
+        assert_ne!(run("p(X) :- p(X).", "p", 1, "b", norm), Verdict::Terminates);
+        assert_ne!(
+            run("p([X|Xs]) :- p([a, X|Xs]).\np([]).", "p", 1, "b", norm),
+            Verdict::Terminates,
+            "growing list under {}",
+            norm.name()
+        );
+    }
+}
+
+/// The size relations themselves differ by norm: append's sum equality
+/// holds for both, but the CONSTANTS differ (cons costs 2 edges
+/// structurally, 1 spine step under list-length).
+#[test]
+fn size_relations_reflect_the_norm() {
+    use argus_sizerel::{infer_size_relations, InferOptions};
+    let program = parse_program(
+        "append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
+    )
+    .unwrap();
+    let app = PredKey::new("append", 3);
+    for norm in [Norm::StructuralSize, Norm::ListLength] {
+        let rels = infer_size_relations(
+            &program,
+            &InferOptions { norm, ..InferOptions::default() },
+        );
+        assert!(
+            rels.entails_sum_equality(&app, &[0, 1], 2),
+            "a1 + a2 = a3 under {}",
+            norm.name()
+        );
+    }
+}
+
+/// The lexicographic extension (off by default) lifts the §7 limitation:
+/// Ackermann flips from Unknown to Terminates when it is enabled, while
+/// genuine loops remain unprovable.
+#[test]
+fn lexicographic_mode_proves_ackermann() {
+    let src = "ack(z, N, s(N)).\n\
+               ack(s(M), z, R) :- ack(M, s(z), R).\n\
+               ack(s(M), s(N), R) :- ack(s(M), N, R1), ack(M, R1, R).";
+    let program = parse_program(src).unwrap();
+    let query = PredKey::new("ack", 3);
+    let adn = Adornment::parse("bbf").unwrap();
+
+    let base = analyze(&program, &query, adn.clone(), &AnalysisOptions::default());
+    assert_eq!(base.verdict, Verdict::Unknown, "paper method cannot prove Ackermann");
+
+    let options = AnalysisOptions { lexicographic: true, ..AnalysisOptions::default() };
+    let lex = analyze(&program, &query, adn, &options);
+    assert_eq!(lex.verdict, Verdict::Terminates, "{lex}");
+    assert!(lex.to_string().contains("lexicographic"), "{lex}");
+
+    // Still sound: loops stay unprovable with the extension on.
+    let loop_program = parse_program("p(X) :- p(X).").unwrap();
+    let looped = analyze(
+        &loop_program,
+        &PredKey::new("p", 1),
+        Adornment::parse("b").unwrap(),
+        &options,
+    );
+    assert_ne!(looped.verdict, Verdict::Terminates);
+}

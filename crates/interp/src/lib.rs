@@ -1,0 +1,39 @@
+//! # argus-interp — executing logic programs
+//!
+//! Two evaluators used to *validate* the termination analyzer empirically:
+//!
+//! * [`sld`] — top-down SLD resolution with the Prolog computation rule
+//!   (left-to-right, depth-first, textual clause order), metered by step
+//!   and depth budgets. A query against a program the analyzer proved
+//!   terminating must explore its whole search tree within budget.
+//! * [`machine`] — a trail-based iterative engine producing identical
+//!   results to [`sld`] with O(1) backtracking and no host-stack
+//!   recursion (the production engine; [`sld`] is its oracle).
+//! * [`bottomup`] — semi-naive forward chaining with a fact budget,
+//!   supplying the other half of the paper's capture-rule motivation
+//!   (§1): recursion on structure typically converges top-down and
+//!   diverges bottom-up.
+//!
+//! ```
+//! use argus_interp::sld::{solve, InterpOptions};
+//! use argus_logic::parser::{parse_program, parse_query};
+//!
+//! let program = parse_program(
+//!     "append([], Ys, Ys).\n\
+//!      append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
+//! ).unwrap();
+//! let goals = parse_query("append(X, Y, [a, b])").unwrap();
+//! let outcome = solve(&program, &goals, &InterpOptions::default());
+//! assert!(outcome.terminated());
+//! assert_eq!(outcome.solution_count(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bottomup;
+pub mod machine;
+pub mod sld;
+
+pub use bottomup::{saturate, BottomUpOptions, Saturation};
+pub use machine::solve_iterative;
+pub use sld::{solve, InterpOptions, Outcome};

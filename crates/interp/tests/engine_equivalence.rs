@@ -1,0 +1,169 @@
+//! The two SLD engines — the cloning reference interpreter and the
+//! trail-based machine — must agree on every query: same termination
+//! behaviour, same number of solutions, same solution order.
+
+use argus_interp::machine::solve_iterative;
+use argus_interp::sld::{solve, InterpOptions};
+use argus_logic::parser::{parse_program, parse_query};
+use argus_logic::program::{Atom, Literal};
+use argus_logic::Term;
+use proptest::prelude::*;
+
+fn opts() -> InterpOptions {
+    InterpOptions { max_steps: 30_000, ..InterpOptions::default() }
+}
+
+/// Compare outcomes: termination flag, solution count, and the resolved
+/// solution terms in order (internal fresh-variable names normalized).
+fn agree(program: &argus_logic::Program, goals: &[Literal]) -> Result<(), String> {
+    let a = solve(program, goals, &opts());
+    let b = solve_iterative(program, goals, &opts());
+    if a.terminated() != b.terminated() {
+        return Err(format!(
+            "termination disagrees: reference={} machine={}",
+            a.terminated(),
+            b.terminated()
+        ));
+    }
+    if !a.terminated() {
+        return Ok(());
+    }
+    if a.solution_count() != b.solution_count() {
+        return Err(format!(
+            "solution counts disagree: reference={} machine={}",
+            a.solution_count(),
+            b.solution_count()
+        ));
+    }
+    let norm = |out: &argus_interp::Outcome| -> Vec<String> {
+        match out {
+            argus_interp::Outcome::Completed { solutions, .. } => solutions
+                .iter()
+                .map(|m| {
+                    let mut s = m
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    for marker in ["_r", "_m"] {
+                        while let Some(pos) = s.find(marker) {
+                            let end = s[pos + marker.len()..]
+                                .find(|c: char| !c.is_ascii_digit())
+                                .map(|e| pos + marker.len() + e)
+                                .unwrap_or(s.len());
+                            s.replace_range(pos..end, "_v");
+                        }
+                    }
+                    s
+                })
+                .collect(),
+            _ => unreachable!(),
+        }
+    };
+    if norm(&a) != norm(&b) {
+        return Err(format!("solutions disagree:\n{:?}\nvs\n{:?}", norm(&a), norm(&b)));
+    }
+    Ok(())
+}
+
+fn list_of(atoms: &[&str]) -> Term {
+    Term::list(atoms.iter().map(|a| Term::atom(*a)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// append with random instantiation patterns.
+    #[test]
+    fn append_equivalence(
+        n1 in 0usize..5,
+        n2 in 0usize..5,
+        pattern in 0u8..4,
+    ) {
+        let program = parse_program(
+            "append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
+        ).unwrap();
+        let atoms = ["a", "b", "c", "d", "e"];
+        let l1 = list_of(&atoms[..n1]);
+        let l2 = list_of(&atoms[..n2]);
+        let goal = match pattern {
+            0 => Atom::new("append", vec![l1, l2, Term::var("Z")]),
+            1 => Atom::new("append", vec![Term::var("X"), Term::var("Y"), l1]),
+            2 => Atom::new("append", vec![l1, Term::var("Y"), Term::var("Z")]),
+            _ => Atom::new("append", vec![Term::var("X"), l2, l1]),
+        };
+        agree(&program, &[Literal::pos(goal)]).map_err(TestCaseError::fail)?;
+    }
+
+    /// Nondeterministic select/member queries (heavy backtracking).
+    #[test]
+    fn select_equivalence(n in 1usize..6) {
+        let program = parse_program(
+            "select(X, [X|Xs], Xs).\nselect(X, [Y|Ys], [Y|Zs]) :- select(X, Ys, Zs).",
+        ).unwrap();
+        let atoms = ["a", "b", "c", "d", "e"];
+        let goal = Atom::new(
+            "select",
+            vec![Term::var("X"), list_of(&atoms[..n]), Term::var("R")],
+        );
+        agree(&program, &[Literal::pos(goal)]).map_err(TestCaseError::fail)?;
+    }
+
+    /// Arithmetic folds.
+    #[test]
+    fn sum_equivalence(values in proptest::collection::vec(0i64..50, 0..6)) {
+        let program = parse_program(
+            "sum([], 0).\nsum([X|Xs], S) :- sum(Xs, S1), S is S1 + X.",
+        ).unwrap();
+        let list = Term::list(values.iter().map(|v| Term::int(*v)));
+        let goal = Atom::new("sum", vec![list, Term::var("S")]);
+        agree(&program, &[Literal::pos(goal)]).map_err(TestCaseError::fail)?;
+    }
+}
+
+#[test]
+fn equivalence_on_corpus_samples() {
+    for entry in argus_corpus_like_samples() {
+        let (src, queries) = entry;
+        let program = parse_program(src).unwrap();
+        for q in queries {
+            let goals = parse_query(q).unwrap();
+            agree(&program, &goals).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+}
+
+/// A hand-picked sample in lieu of a corpus dependency (argus-interp sits
+/// below argus-corpus in the crate graph).
+fn argus_corpus_like_samples() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        (
+            "perm([], []).\n\
+             perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).\n\
+             append([], Ys, Ys).\n\
+             append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
+            vec!["perm([a, b, c], Q)", "perm([], Q)"],
+        ),
+        (
+            "merge([], Ys, Ys).\n\
+             merge(Xs, [], Xs).\n\
+             merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs).\n\
+             merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, merge(Ys, [X|Xs], Zs).",
+            vec!["merge([1, 3, 5], [2, 4], Z)", "merge([], [], Z)"],
+        ),
+        (
+            "e(L, T) :- t(L, ['+'|C]), e(C, T).\n\
+             e(L, T) :- t(L, T).\n\
+             t(L, T) :- n(L, ['*'|C]), t(C, T).\n\
+             t(L, T) :- n(L, T).\n\
+             n(['('|A], T) :- e(A, [')'|T]).\n\
+             n([L|T], T) :- z(L).\n\
+             z(7). z(8). z(9).",
+            vec!["e([7, '+', 8], T)", "e(['(', 7, '+', 8, ')', '*', 9], T)"],
+        ),
+        (
+            "p(a).\nq(X) :- \\+ p(X).\nr(X) :- q(X).",
+            vec!["q(a)", "q(b)", "r(b)"],
+        ),
+    ]
+}

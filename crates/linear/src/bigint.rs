@@ -1,0 +1,817 @@
+//! Arbitrary-precision signed integers.
+//!
+//! Fourier–Motzkin elimination and exact simplex pivoting multiply
+//! coefficients pairwise, so intermediate values can overflow any fixed-width
+//! integer even when the input program is tiny. All arithmetic in this crate
+//! is therefore exact and unbounded.
+//!
+//! The representation is sign-magnitude: a [`Sign`] plus a little-endian
+//! `Vec<u64>` of limbs with no trailing zero limbs. Zero is the unique value
+//! with an empty limb vector and `Sign::Zero`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`]. `Zero` is used exactly when the magnitude is empty,
+/// which keeps equality and hashing structural.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    /// The opposite sign; `Zero` is its own opposite.
+    pub fn negate(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+
+    /// Product-of-signs rule.
+    #[allow(clippy::should_implement_trait)] // deliberate: Sign is Copy and
+    // this is the sign-algebra product, not numeric multiplication
+    pub fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// # Examples
+///
+/// ```
+/// use argus_linear::BigInt;
+/// let a = BigInt::from(1_000_000_007i64);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), "1000000014000000049");
+/// assert_eq!((&b % &a), BigInt::zero());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian limbs; no trailing zeros; empty iff sign is Zero.
+    limbs: Vec<u64>,
+}
+
+impl BigInt {
+    /// The integer 0.
+    pub fn zero() -> BigInt {
+        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+    }
+
+    /// The integer 1.
+    pub fn one() -> BigInt {
+        BigInt { sign: Sign::Positive, limbs: vec![1] }
+    }
+
+    /// The integer -1.
+    pub fn neg_one() -> BigInt {
+        BigInt { sign: Sign::Negative, limbs: vec![1] }
+    }
+
+    /// True iff this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// True iff this is one.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Positive && self.limbs == [1]
+    }
+
+    /// True iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// True iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// The sign of this integer.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: if self.sign == Sign::Zero { Sign::Zero } else { Sign::Positive },
+            limbs: self.limbs.clone(),
+        }
+    }
+
+    /// Construct from sign and magnitude, normalizing trailing zeros.
+    fn from_sign_limbs(sign: Sign, mut limbs: Vec<u64>) -> BigInt {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        if limbs.is_empty() {
+            BigInt::zero()
+        } else {
+            debug_assert_ne!(sign, Sign::Zero);
+            BigInt { sign, limbs }
+        }
+    }
+
+    /// Compare magnitudes only.
+    fn cmp_mag(a: &[u64], b: &[u64]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Magnitude addition.
+    fn add_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let x = long[i] as u128;
+            let y = if i < short.len() { short[i] as u128 } else { 0 };
+            let s = x + y + carry as u128;
+            out.push(s as u64);
+            carry = (s >> 64) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        out
+    }
+
+    /// Magnitude subtraction; requires `a >= b`.
+    fn sub_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i128;
+        for i in 0..a.len() {
+            let x = a[i] as i128;
+            let y = if i < b.len() { b[i] as i128 } else { 0 };
+            let mut d = x - y - borrow;
+            if d < 0 {
+                d += 1i128 << 64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Magnitude multiplication (schoolbook). Inputs here are small in
+    /// practice (a few limbs), so asymptotically faster algorithms would not
+    /// pay for their complexity.
+    fn mul_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &y) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + (x as u128) * (y as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Magnitude division: returns (quotient, remainder). Knuth's Algorithm D
+    /// with 64-bit limbs. `b` must be nonzero.
+    fn divmod_mag(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        assert!(!b.is_empty(), "division by zero");
+        if Self::cmp_mag(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        if b.len() == 1 {
+            // Short division.
+            let d = b[0] as u128;
+            let mut q = vec![0u64; a.len()];
+            let mut rem = 0u128;
+            for i in (0..a.len()).rev() {
+                let cur = (rem << 64) | a[i] as u128;
+                q[i] = (cur / d) as u64;
+                rem = cur % d;
+            }
+            while q.last() == Some(&0) {
+                q.pop();
+            }
+            let r = if rem == 0 { Vec::new() } else { vec![rem as u64] };
+            return (q, r);
+        }
+
+        // Normalize so the divisor's top limb has its high bit set.
+        let shift = b.last().unwrap().leading_zeros();
+        let bn = Self::shl_bits(b, shift);
+        let mut an = Self::shl_bits(a, shift);
+        an.push(0); // extra headroom limb
+        let n = bn.len();
+        let m = an.len() - n - 1;
+        let mut q = vec![0u64; m + 1];
+        let btop = bn[n - 1] as u128;
+        let bsec = bn[n - 2] as u128;
+
+        for j in (0..=m).rev() {
+            // Estimate q̂ from the top two limbs of the current remainder.
+            let top = ((an[j + n] as u128) << 64) | an[j + n - 1] as u128;
+            let mut qhat = top / btop;
+            let mut rhat = top % btop;
+            while qhat >= 1u128 << 64
+                || qhat * bsec > ((rhat << 64) | an[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += btop;
+                if rhat >= 1u128 << 64 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract qhat * bn from an[j..j+n+1].
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * bn[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = (p as u64) as i128;
+                let mut d = an[j + i] as i128 - sub - borrow;
+                if d < 0 {
+                    d += 1i128 << 64;
+                    borrow = 1;
+                } else {
+                    borrow = 0;
+                }
+                an[j + i] = d as u64;
+            }
+            let mut d = an[j + n] as i128 - carry as i128 - borrow;
+            if d < 0 {
+                // q̂ was one too large: add back.
+                d += 1i128 << 64;
+                qhat -= 1;
+                let mut c = 0u128;
+                for i in 0..n {
+                    let s = an[j + i] as u128 + bn[i] as u128 + c;
+                    an[j + i] = s as u64;
+                    c = s >> 64;
+                }
+                d += c as i128;
+                d &= (1i128 << 64) - 1;
+            }
+            an[j + n] = d as u64;
+            q[j] = qhat as u64;
+        }
+
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        an.truncate(n);
+        let r = Self::shr_bits(&an, shift);
+        (q, r)
+    }
+
+    /// Left shift a magnitude by `bits` (< 64).
+    fn shl_bits(a: &[u64], bits: u32) -> Vec<u64> {
+        if bits == 0 {
+            return a.to_vec();
+        }
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry = 0u64;
+        for &x in a {
+            out.push((x << bits) | carry);
+            carry = x >> (64 - bits);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Right shift a magnitude by `bits` (< 64).
+    fn shr_bits(a: &[u64], bits: u32) -> Vec<u64> {
+        if bits == 0 {
+            let mut v = a.to_vec();
+            while v.last() == Some(&0) {
+                v.pop();
+            }
+            return v;
+        }
+        let mut out = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let lo = a[i] >> bits;
+            let hi = if i + 1 < a.len() { a[i + 1] << (64 - bits) } else { 0 };
+            out.push(lo | hi);
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Truncated division with remainder: `self = q * other + r` with
+    /// `|r| < |other|` and `r` having the sign of `self` (or zero).
+    pub fn divmod(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "division by zero");
+        let (qm, rm) = Self::divmod_mag(&self.limbs, &other.limbs);
+        let q = BigInt::from_sign_limbs(self.sign.mul(other.sign), qm);
+        let r = BigInt::from_sign_limbs(self.sign, rm);
+        (q, r)
+    }
+
+    /// Greatest common divisor; always nonnegative. `gcd(0, 0) = 0`.
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = (&a % &b).abs();
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Least common multiple; always nonnegative. `lcm(0, x) = 0`.
+    pub fn lcm(&self, other: &BigInt) -> BigInt {
+        if self.is_zero() || other.is_zero() {
+            return BigInt::zero();
+        }
+        let g = self.gcd(other);
+        (&(self / &g) * other).abs()
+    }
+
+    /// Raise to a nonnegative power.
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Convert to `i128` if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => {
+                let v = self.limbs[0] as i128;
+                Some(if self.sign == Sign::Negative { -v } else { v })
+            }
+            2 => {
+                let mag = ((self.limbs[1] as u128) << 64) | self.limbs[0] as u128;
+                match self.sign {
+                    Sign::Negative => {
+                        if mag <= 1u128 << 127 {
+                            Some((mag as i128).wrapping_neg())
+                        } else {
+                            None
+                        }
+                    }
+                    _ => {
+                        if mag < 1u128 << 127 {
+                            Some(mag as i128)
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of bits in the magnitude (0 for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+        }
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> BigInt {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> BigInt {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> BigInt {
+        if v == 0 {
+            BigInt::zero()
+        } else {
+            BigInt { sign: Sign::Positive, limbs: vec![v] }
+        }
+    }
+}
+
+impl From<usize> for BigInt {
+    fn from(v: usize) -> BigInt {
+        BigInt::from(v as u64)
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> BigInt {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => {
+                let m = v as u128;
+                BigInt::from_sign_limbs(Sign::Positive, vec![m as u64, (m >> 64) as u64])
+            }
+            Ordering::Less => {
+                let m = v.unsigned_abs();
+                BigInt::from_sign_limbs(Sign::Negative, vec![m as u64, (m >> 64) as u64])
+            }
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => match self.sign {
+                Sign::Zero => Ordering::Equal,
+                Sign::Positive => Self::cmp_mag(&self.limbs, &other.limbs),
+                Sign::Negative => Self::cmp_mag(&other.limbs, &self.limbs),
+            },
+            other => other,
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: self.sign.negate(), limbs: self.limbs.clone() }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = self.sign.negate();
+        self
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => {
+                BigInt::from_sign_limbs(a, BigInt::add_mag(&self.limbs, &other.limbs))
+            }
+            _ => match BigInt::cmp_mag(&self.limbs, &other.limbs) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_sign_limbs(
+                    self.sign,
+                    BigInt::sub_mag(&self.limbs, &other.limbs),
+                ),
+                Ordering::Less => BigInt::from_sign_limbs(
+                    other.sign,
+                    BigInt::sub_mag(&other.limbs, &self.limbs),
+                ),
+            },
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, other: &BigInt) -> BigInt {
+        self + &(-other)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, other: &BigInt) -> BigInt {
+        BigInt::from_sign_limbs(
+            self.sign.mul(other.sign),
+            BigInt::mul_mag(&self.limbs, &other.limbs),
+        )
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, other: &BigInt) -> BigInt {
+        self.divmod(other).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, other: &BigInt) -> BigInt {
+        self.divmod(other).1
+    }
+}
+
+macro_rules! forward_binop_owned {
+    ($trait:ident, $method:ident) => {
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, other: BigInt) -> BigInt {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, other: &BigInt) -> BigInt {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, other: BigInt) -> BigInt {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_binop_owned!(Add, add);
+forward_binop_owned!(Sub, sub);
+forward_binop_owned!(Mul, mul);
+forward_binop_owned!(Div, div);
+forward_binop_owned!(Rem, rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, other: &BigInt) {
+        *self = &*self + other;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, other: &BigInt) {
+        *self = &*self - other;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, other: &BigInt) {
+        *self = &*self * other;
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        // Repeated division by 10^19 (largest power of ten in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut mag = self.limbs.clone();
+        let mut chunks: Vec<u64> = Vec::new();
+        while !mag.is_empty() {
+            let mut rem = 0u128;
+            for i in (0..mag.len()).rev() {
+                let cur = (rem << 64) | mag[i] as u128;
+                mag[i] = (cur / CHUNK as u128) as u64;
+                rem = cur % CHUNK as u128;
+            }
+            while mag.last() == Some(&0) {
+                mag.pop();
+            }
+            chunks.push(rem as u64);
+        }
+        let mut iter = chunks.iter().rev();
+        if let Some(first) = iter.next() {
+            write!(f, "{first}")?;
+        }
+        for c in iter {
+            write!(f, "{c:019}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a [`BigInt`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Negative, rest),
+            None => (Sign::Positive, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() {
+            return Err(ParseBigIntError { message: "empty".into() });
+        }
+        let mut acc = BigInt::zero();
+        let ten = BigInt::from(10u64);
+        for ch in digits.chars() {
+            let d = ch
+                .to_digit(10)
+                .ok_or_else(|| ParseBigIntError { message: format!("bad digit {ch:?}") })?;
+            acc = &(&acc * &ten) + &BigInt::from(d as u64);
+        }
+        if sign == Sign::Negative {
+            acc = -acc;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_is_normalized() {
+        assert!(b(0).is_zero());
+        assert_eq!(b(0), BigInt::zero());
+        assert_eq!(b(5) - b(5), BigInt::zero());
+        assert_eq!((b(5) - b(5)).sign(), Sign::Zero);
+    }
+
+    #[test]
+    fn small_arithmetic_matches_i128() {
+        let cases = [
+            (0i128, 0i128),
+            (1, 1),
+            (-1, 1),
+            (123, -456),
+            (i64::MAX as i128, i64::MAX as i128),
+            (i64::MIN as i128, 3),
+            (1 << 70, -(1 << 65)),
+        ];
+        for &(x, y) in &cases {
+            assert_eq!((b(x) + b(y)).to_i128(), Some(x + y), "{x}+{y}");
+            assert_eq!((b(x) - b(y)).to_i128(), Some(x - y), "{x}-{y}");
+            if x.checked_mul(y).is_some() {
+                assert_eq!((b(x) * b(y)).to_i128(), Some(x * y), "{x}*{y}");
+            }
+            if y != 0 {
+                assert_eq!((b(x) / b(y)).to_i128(), Some(x / y), "{x}/{y}");
+                assert_eq!((b(x) % b(y)).to_i128(), Some(x % y), "{x}%{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_limb_mul_div_roundtrip() {
+        let big: BigInt = "123456789012345678901234567890123456789".parse().unwrap();
+        let d: BigInt = "98765432109876543210".parse().unwrap();
+        let (q, r) = big.divmod(&d);
+        assert_eq!(&(&q * &d) + &r, big);
+        assert!(r.abs() < d.abs());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["0", "1", "-1", "18446744073709551616", "-340282366920938463463374607431768211456", "99999999999999999999999999999999"] {
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("12a".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(-12).gcd(&b(18)), b(6));
+        assert_eq!(b(0).gcd(&b(0)), b(0));
+        assert_eq!(b(0).gcd(&b(7)), b(7));
+        assert_eq!(b(4).lcm(&b(6)), b(12));
+        assert_eq!(b(0).lcm(&b(6)), b(0));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(b(-5) < b(-4));
+        assert!(b(-1) < b(0));
+        assert!(b(0) < b(1));
+        assert!(b(1 << 70) > b(i64::MAX as i128));
+        assert!(b(-(1 << 70)) < b(i64::MIN as i128));
+    }
+
+    #[test]
+    fn pow() {
+        assert_eq!(b(2).pow(10), b(1024));
+        assert_eq!(b(10).pow(0), b(1));
+        assert_eq!(b(-3).pow(3), b(-27));
+        assert_eq!(b(2).pow(128).to_string(), "340282366920938463463374607431768211456");
+    }
+
+    #[test]
+    fn knuth_d_addback_case() {
+        // Exercise the rare add-back branch with a crafted divisor/dividend.
+        let a = BigInt::from_sign_limbs(Sign::Positive, vec![0, 0, 0x8000_0000_0000_0000]);
+        let d = BigInt::from_sign_limbs(Sign::Positive, vec![1, 0x8000_0000_0000_0000]);
+        let (q, r) = a.divmod(&d);
+        assert_eq!(&(&q * &d) + &r, a);
+        assert!(r.abs() < d.abs());
+    }
+
+    #[test]
+    fn bits() {
+        assert_eq!(b(0).bits(), 0);
+        assert_eq!(b(1).bits(), 1);
+        assert_eq!(b(255).bits(), 8);
+        assert_eq!(b(256).bits(), 9);
+        assert_eq!(b(1 << 64).bits(), 65);
+    }
+
+    #[test]
+    fn to_i128_bounds() {
+        assert_eq!(BigInt::from(i128::MAX).to_i128(), Some(i128::MAX));
+        assert_eq!(BigInt::from(i128::MIN).to_i128(), Some(i128::MIN));
+        let too_big = BigInt::from(i128::MAX) + BigInt::one();
+        assert_eq!(too_big.to_i128(), None);
+        let min_minus = BigInt::from(i128::MIN) - BigInt::one();
+        assert_eq!(min_minus.to_i128(), None);
+    }
+}

@@ -1,0 +1,371 @@
+//! Fourier–Motzkin elimination.
+//!
+//! Given a conjunction of linear constraints, eliminate a variable `v` so
+//! that the resulting system has exactly the satisfying assignments of the
+//! original projected onto the remaining variables. Equalities mentioning
+//! `v` are used as substitutions (Gaussian step); otherwise every pair of a
+//! lower bound and an upper bound on `v` is combined.
+//!
+//! This is the engine behind the paper's reduction of the dual system
+//! (its Eq. 8) down to constraints on the distinguished θ variables
+//! (its Eq. 9), and behind polyhedron projection and convex hull in
+//! [`crate::poly`].
+
+use crate::expr::{Constraint, ConstraintSystem, LinExpr, Rel, Var};
+use crate::rat::Rat;
+
+/// Outcome of a Fourier–Motzkin elimination round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FmResult {
+    /// The projected system (the variable no longer occurs).
+    Projected(ConstraintSystem),
+    /// Elimination exposed a contradictory constant constraint: the input
+    /// system is unsatisfiable.
+    Infeasible,
+}
+
+impl FmResult {
+    /// Unwrap the projected system, panicking on infeasibility.
+    pub fn expect_projected(self) -> ConstraintSystem {
+        match self {
+            FmResult::Projected(s) => s,
+            FmResult::Infeasible => panic!("system became infeasible during elimination"),
+        }
+    }
+
+    /// The projected system, or `None` if infeasible.
+    pub fn projected(self) -> Option<ConstraintSystem> {
+        match self {
+            FmResult::Projected(s) => Some(s),
+            FmResult::Infeasible => None,
+        }
+    }
+}
+
+/// Eliminate a single variable from `sys` by Fourier–Motzkin.
+///
+/// The result mentions every variable of `sys` except `v` and is satisfiable
+/// by exactly the projections of satisfying points of `sys`. Trivially true
+/// rows are dropped; a trivially false row yields [`FmResult::Infeasible`].
+pub fn eliminate(sys: &ConstraintSystem, v: Var) -> FmResult {
+    eliminate_capped(sys, v, usize::MAX).expect("uncapped elimination cannot overflow")
+}
+
+/// Like [`eliminate`] but refuses (returning `None`) when the pairwise
+/// combination step would produce more than `max_rows` rows.
+pub fn eliminate_capped(sys: &ConstraintSystem, v: Var, max_rows: usize) -> Option<FmResult> {
+    // Prefer a Gaussian step: if some equality mentions v, solve it for v
+    // and substitute everywhere. This is exact and avoids row blowup.
+    for (idx, c) in sys.constraints().iter().enumerate() {
+        if c.rel == Rel::Eq {
+            let coeff = c.expr.coeff(v);
+            if !coeff.is_zero() {
+                // c.expr = coeff*v + rest = 0  =>  v = -rest / coeff
+                let mut rest = c.expr.clone();
+                rest.add_term(v, -coeff.clone());
+                let mut repl = -&rest;
+                repl.scale(&coeff.recip());
+                let mut out = ConstraintSystem::new();
+                for (j, other) in sys.constraints().iter().enumerate() {
+                    if j == idx {
+                        continue;
+                    }
+                    let s = other.substitute(v, &repl);
+                    match s.constant_truth() {
+                        Some(true) => continue,
+                        Some(false) => return Some(FmResult::Infeasible),
+                        None => out.push(s),
+                    }
+                }
+                return Some(FmResult::Projected(out.dedup()));
+            }
+        }
+    }
+
+    // Pure inequality elimination. Partition rows by the sign of v's
+    // coefficient. A row (a·v + rest <= 0) with a > 0 is an upper bound
+    // v <= -rest/a; with a < 0 a lower bound.
+    let mut uppers: Vec<(Rat, LinExpr)> = Vec::new(); // (a > 0, rest)
+    let mut lowers: Vec<(Rat, LinExpr)> = Vec::new(); // (a < 0, rest)
+    let mut kept = ConstraintSystem::new();
+
+    for c in sys.constraints() {
+        let a = c.expr.coeff(v);
+        if a.is_zero() {
+            // Rows (including equalities) not mentioning v pass through.
+            match c.constant_truth() {
+                Some(true) => continue,
+                Some(false) => return Some(FmResult::Infeasible),
+                None => kept.push(c.clone()),
+            }
+            continue;
+        }
+        debug_assert_ne!(c.rel, Rel::Eq, "equalities mentioning v handled by Gaussian step");
+        let mut rest = c.expr.clone();
+        rest.add_term(v, -a.clone());
+        if a.is_positive() {
+            uppers.push((a, rest));
+        } else {
+            lowers.push((a, rest));
+        }
+    }
+
+    // Combine each (lower, upper) pair: from  a·v <= -ru (a>0)  and
+    // b·v <= -rl (b<0):  v <= -ru/a  and  v >= -rl/b (dividing by b flips).
+    // Requiring lower <= upper:  -rl/b <= -ru/a  <=>  a·rl ... careful with
+    // signs; multiply through by a·(-b) > 0:
+    //   (-b)·(-ru)  >=  a·(-rl) · (-1)?  Work it out directly:
+    //   v >= rl' where rl' = -rl/b ; v <= ru' where ru' = -ru/a.
+    //   rl' <= ru'  <=>  -rl/b <= -ru/a. Multiply by a(-b) > 0 (b<0):
+    //   -rl * a * (-b)/b <= -ru * (-b)  <=>  a*rl <= b*ru ... simpler to just
+    //   form: a*rl_expr_scaled etc. Use: combined = a*(rest_l) * ? —
+    // Implemented concretely below with exact rationals.
+    if kept
+        .len()
+        .checked_add(lowers.len().saturating_mul(uppers.len()))
+        .map(|total| total > max_rows)
+        .unwrap_or(true)
+    {
+        return None; // combination step would blow past the cap
+    }
+    let mut out = kept;
+    for (b, rl) in &lowers {
+        // v >= (-rl)/b with b < 0; scale: v >= rl * (-1/b)
+        let lo = rl * &(-b.recip()); // lower bound expression for v
+        for (a, ru) in &uppers {
+            // v <= (-ru)/a = ru * (-1/a)
+            let hi = ru * &(-a.recip());
+            // lo <= hi  =>  lo - hi <= 0
+            let row = Constraint { expr: &lo - &hi, rel: Rel::Le };
+            match row.constant_truth() {
+                Some(true) => continue,
+                Some(false) => return Some(FmResult::Infeasible),
+                None => out.push(row),
+            }
+        }
+    }
+    Some(FmResult::Projected(out.dedup()))
+}
+
+/// Eliminate all variables in `vars` (in the given order) from `sys`.
+pub fn eliminate_all(
+    sys: &ConstraintSystem,
+    vars: impl IntoIterator<Item = Var>,
+) -> FmResult {
+    let mut cur = sys.clone();
+    for v in vars {
+        match eliminate(&cur, v) {
+            FmResult::Projected(next) => cur = next,
+            FmResult::Infeasible => return FmResult::Infeasible,
+        }
+    }
+    FmResult::Projected(cur)
+}
+
+/// Project `sys` onto `keep`: eliminate every variable not in `keep`.
+/// Variables are eliminated in a greedy order that minimizes the product of
+/// positive and negative occurrence counts at each step (a standard
+/// heuristic that curbs FM's row blowup).
+pub fn project_onto(sys: &ConstraintSystem, keep: &std::collections::BTreeSet<Var>) -> FmResult {
+    project_onto_capped(sys, keep, usize::MAX).expect("uncapped projection cannot overflow")
+}
+
+/// Like [`project_onto`] but gives up (returning `None`) if any
+/// intermediate system exceeds `max_rows` rows. Callers use this to bound
+/// FM's worst-case doubly-exponential blowup and fall back to a sound
+/// over-approximation.
+pub fn project_onto_capped(
+    sys: &ConstraintSystem,
+    keep: &std::collections::BTreeSet<Var>,
+    max_rows: usize,
+) -> Option<FmResult> {
+    let mut cur = sys.clone();
+    loop {
+        if cur.len() > max_rows {
+            return None;
+        }
+        let to_go: Vec<Var> = cur.vars().into_iter().filter(|v| !keep.contains(v)).collect();
+        if to_go.is_empty() {
+            return Some(FmResult::Projected(cur));
+        }
+        // Pick the variable whose elimination creates the fewest new rows.
+        let best = to_go
+            .into_iter()
+            .min_by_key(|&v| {
+                let mut pos = 0usize;
+                let mut neg = 0usize;
+                let mut has_eq = false;
+                for c in cur.constraints() {
+                    let a = c.expr.coeff(v);
+                    if a.is_zero() {
+                        continue;
+                    }
+                    if c.rel == Rel::Eq {
+                        has_eq = true;
+                    } else if a.is_positive() {
+                        pos += 1;
+                    } else {
+                        neg += 1;
+                    }
+                }
+                if has_eq {
+                    0 // Gaussian elimination is always cheapest.
+                } else {
+                    pos * neg + 1
+                }
+            })
+            .expect("nonempty");
+        match eliminate_capped(&cur, best, max_rows)? {
+            FmResult::Projected(next) => cur = next,
+            FmResult::Infeasible => return Some(FmResult::Infeasible),
+        }
+    }
+}
+
+/// Decide satisfiability of `sys` (over the rationals, all variables free)
+/// purely with Fourier–Motzkin. Intended for small systems and as a test
+/// oracle for the simplex solver.
+pub fn is_satisfiable_fm(sys: &ConstraintSystem) -> bool {
+    let vars: Vec<Var> = sys.vars().into_iter().collect();
+    match eliminate_all(sys, vars) {
+        FmResult::Infeasible => false,
+        FmResult::Projected(rest) => rest.simplify_trivial().is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::new(n.into(), d.into())
+    }
+
+    fn le(e: LinExpr, bound: i64) -> Constraint {
+        Constraint::le(e, LinExpr::constant(r(bound, 1)))
+    }
+
+    #[test]
+    fn box_projection() {
+        // 0 <= x <= 1, 0 <= y <= 1, x + y <= 3/2; eliminate y.
+        let x = 0;
+        let y = 1;
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::ge(LinExpr::var(x), LinExpr::zero()));
+        sys.push(le(LinExpr::var(x), 1));
+        sys.push(Constraint::ge(LinExpr::var(y), LinExpr::zero()));
+        sys.push(le(LinExpr::var(y), 1));
+        sys.push(Constraint::le(
+            &LinExpr::var(x) + &LinExpr::var(y),
+            LinExpr::constant(r(3, 2)),
+        ));
+        let out = eliminate(&sys, y).expect_projected();
+        // Projection is 0 <= x <= 1 (x + y <= 3/2 is subsumed for x <= 1).
+        let mut p = std::collections::BTreeMap::new();
+        p.insert(x, r(1, 1));
+        assert!(out.holds_at(&p));
+        p.insert(x, r(0, 1));
+        assert!(out.holds_at(&p));
+        p.insert(x, r(2, 1));
+        assert!(!out.holds_at(&p));
+        assert!(!out.vars().contains(&y));
+    }
+
+    #[test]
+    fn gaussian_step_for_equalities() {
+        // x = y + 1, x <= 3 => after eliminating x: y <= 2.
+        let x = 0;
+        let y = 1;
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::eq(
+            LinExpr::var(x),
+            &LinExpr::var(y) + &LinExpr::constant(r(1, 1)),
+        ));
+        sys.push(le(LinExpr::var(x), 3));
+        let out = eliminate(&sys, x).expect_projected();
+        let mut p = std::collections::BTreeMap::new();
+        p.insert(y, r(2, 1));
+        assert!(out.holds_at(&p));
+        p.insert(y, r(5, 2));
+        assert!(!out.holds_at(&p));
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        // x >= 2 and x <= 1.
+        let x = 0;
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::ge(LinExpr::var(x), LinExpr::constant(r(2, 1))));
+        sys.push(le(LinExpr::var(x), 1));
+        assert_eq!(eliminate(&sys, x), FmResult::Infeasible);
+        assert!(!is_satisfiable_fm(&sys));
+    }
+
+    #[test]
+    fn unconstrained_var_elimination_drops_rows() {
+        // x free with only a lower bound: eliminating x keeps nothing
+        // involving x, but unrelated constraints survive.
+        let x = 0;
+        let y = 1;
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::ge(LinExpr::var(x), LinExpr::var(y)));
+        sys.push(le(LinExpr::var(y), 7));
+        let out = eliminate(&sys, x).expect_projected();
+        assert_eq!(out.len(), 1);
+        assert!(!out.vars().contains(&x));
+    }
+
+    #[test]
+    fn project_onto_keeps_requested_vars() {
+        // x <= y, y <= z, project onto {x, z} => x <= z.
+        let (x, y, z) = (0, 1, 2);
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::le(LinExpr::var(x), LinExpr::var(y)));
+        sys.push(Constraint::le(LinExpr::var(y), LinExpr::var(z)));
+        let keep: BTreeSet<Var> = [x, z].into_iter().collect();
+        let out = project_onto(&sys, &keep).expect_projected();
+        let mut p = std::collections::BTreeMap::new();
+        p.insert(x, r(1, 1));
+        p.insert(z, r(2, 1));
+        assert!(out.holds_at(&p));
+        p.insert(z, r(0, 1));
+        assert!(!out.holds_at(&p));
+    }
+
+    #[test]
+    fn satisfiable_system_with_equalities() {
+        // x + y = 1, x >= 0, y >= 0 is satisfiable.
+        let (x, y) = (0, 1);
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::eq(
+            &LinExpr::var(x) + &LinExpr::var(y),
+            LinExpr::constant(r(1, 1)),
+        ));
+        sys.push(Constraint::nonneg(x));
+        sys.push(Constraint::nonneg(y));
+        assert!(is_satisfiable_fm(&sys));
+        // Adding x + y = 2 makes it unsatisfiable.
+        let mut bad = sys.clone();
+        bad.push(Constraint::eq(
+            &LinExpr::var(x) + &LinExpr::var(y),
+            LinExpr::constant(r(2, 1)),
+        ));
+        assert!(!is_satisfiable_fm(&bad));
+    }
+
+    #[test]
+    fn paper_perm_reduction_shape() {
+        // A miniature of the paper's Example 4.1 final step: the system
+        //   2*theta >= delta, theta >= 0, with delta = 1
+        // is satisfiable (theta = 1/2).
+        let theta = 0;
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::ge(
+            LinExpr::term(theta, r(2, 1)),
+            LinExpr::constant(r(1, 1)),
+        ));
+        sys.push(Constraint::nonneg(theta));
+        assert!(is_satisfiable_fm(&sys));
+    }
+}

@@ -1,0 +1,542 @@
+//! Closed convex polyhedra over ℚⁿ, in constraint representation.
+//!
+//! This is the abstract domain used by `argus-sizerel` to infer the
+//! inter-argument size relations the paper imports from \[VG90\] (e.g.
+//! `append: a1 + a2 = a3`). Dimensions are `0..dim`, each standing for one
+//! argument-size variable. Operations:
+//!
+//! * meet (conjunction) — concatenate constraints;
+//! * projection — Fourier–Motzkin ([`crate::fm`]);
+//! * inclusion and emptiness — exact LP ([`crate::simplex`]);
+//! * convex hull — the λ-combination encoding projected by FM
+//!   (Benoy–King: the hull of P₁ ∪ P₂ is the projection of
+//!   `x = y + z, y ∈ σ₁·P₁, z ∈ σ₂·P₂, σ₁ + σ₂ = 1, σ ≥ 0`);
+//! * widening — the standard constraint widening (keep the constraints of
+//!   the old polyhedron that the new one still entails), which guarantees
+//!   fixpoint termination.
+//!
+//! The hull computed this way is the *closure* of the convex hull, which is
+//! the correct over-approximation for abstract interpretation.
+
+use crate::expr::{Constraint, ConstraintSystem, LinExpr, Var};
+use crate::fm::{self, FmResult};
+use crate::rat::Rat;
+use crate::simplex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A closed convex polyhedron over dimensions `0..dim`.
+///
+/// An explicitly-empty polyhedron is represented by `empty = true`; the
+/// constraint system is then irrelevant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    dim: usize,
+    sys: ConstraintSystem,
+    empty: bool,
+}
+
+impl Poly {
+    /// The full space ℚ₊ⁿ restricted by nothing (note: *not* restricted to
+    /// nonnegatives; callers wanting size semantics should use
+    /// [`Poly::nonneg_universe`]).
+    pub fn universe(dim: usize) -> Poly {
+        Poly { dim, sys: ConstraintSystem::new(), empty: false }
+    }
+
+    /// The nonnegative orthant `xᵢ ≥ 0` for all dimensions — the natural
+    /// starting point for argument sizes, which are sizes of terms and hence
+    /// nonnegative (paper §2.2).
+    pub fn nonneg_universe(dim: usize) -> Poly {
+        let mut sys = ConstraintSystem::new();
+        for v in 0..dim {
+            sys.push(Constraint::nonneg(v));
+        }
+        Poly { dim, sys, empty: false }
+    }
+
+    /// The empty polyhedron.
+    pub fn empty(dim: usize) -> Poly {
+        Poly { dim, sys: ConstraintSystem::new(), empty: true }
+    }
+
+    /// Build from constraints (variables must be `< dim`).
+    pub fn from_constraints(dim: usize, sys: ConstraintSystem) -> Poly {
+        debug_assert!(sys.vars().iter().all(|&v| v < dim));
+        let mut p = Poly { dim, sys, empty: false };
+        if p.compute_is_empty() {
+            p.empty = true;
+        }
+        p
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The constraints (meaningless if [`Poly::is_empty`]).
+    pub fn constraints(&self) -> &ConstraintSystem {
+        &self.sys
+    }
+
+    /// True iff the polyhedron has no points.
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// True iff the polyhedron is all of ℚⁿ.
+    pub fn is_universe(&self) -> bool {
+        !self.empty
+            && self
+                .sys
+                .simplify_trivial()
+                .map(|s| s.is_empty())
+                .unwrap_or(false)
+    }
+
+    fn compute_is_empty(&self) -> bool {
+        simplex::feasible_point(&self.sys, &BTreeSet::new()).is_none()
+    }
+
+    /// Membership test.
+    pub fn contains_point(&self, point: &BTreeMap<Var, Rat>) -> bool {
+        !self.empty && self.sys.holds_at(point)
+    }
+
+    /// A sample point, if nonempty.
+    pub fn sample_point(&self) -> Option<BTreeMap<Var, Rat>> {
+        if self.empty {
+            None
+        } else {
+            simplex::feasible_point(&self.sys, &BTreeSet::new())
+        }
+    }
+
+    /// Intersection.
+    pub fn meet(&self, other: &Poly) -> Poly {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in meet");
+        if self.empty || other.empty {
+            return Poly::empty(self.dim);
+        }
+        let mut sys = self.sys.clone();
+        sys.extend(&other.sys);
+        Poly::from_constraints(self.dim, sys.dedup())
+    }
+
+    /// Add a single constraint.
+    pub fn add_constraint(&self, c: Constraint) -> Poly {
+        if self.empty {
+            return self.clone();
+        }
+        let mut sys = self.sys.clone();
+        sys.push(c);
+        Poly::from_constraints(self.dim, sys)
+    }
+
+    /// Inclusion test: `self ⊆ other`.
+    pub fn includes_in(&self, other: &Poly) -> bool {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in inclusion");
+        if self.empty {
+            return true;
+        }
+        if other.empty {
+            return false;
+        }
+        other
+            .sys
+            .constraints()
+            .iter()
+            .all(|c| simplex::is_implied(&self.sys, &BTreeSet::new(), c))
+    }
+
+    /// Semantic equality (mutual inclusion).
+    pub fn same_set(&self, other: &Poly) -> bool {
+        self.includes_in(other) && other.includes_in(self)
+    }
+
+    /// Project onto a subset of dimensions, *keeping the dimension count*:
+    /// constraints on dropped dimensions are existentially quantified away
+    /// and the dropped dimensions become unconstrained.
+    pub fn forget(&self, drop: &BTreeSet<Var>) -> Poly {
+        if self.empty {
+            return self.clone();
+        }
+        let keep: BTreeSet<Var> = (0..self.dim).filter(|v| !drop.contains(v)).collect();
+        match fm::project_onto(&self.sys, &keep) {
+            FmResult::Projected(sys) => Poly { dim: self.dim, sys, empty: false },
+            FmResult::Infeasible => Poly::empty(self.dim),
+        }
+    }
+
+    /// Project onto the first `new_dim` dimensions, dropping the rest and
+    /// shrinking the space.
+    pub fn project_prefix(&self, new_dim: usize) -> Poly {
+        assert!(new_dim <= self.dim);
+        if self.empty {
+            return Poly::empty(new_dim);
+        }
+        let keep: BTreeSet<Var> = (0..new_dim).collect();
+        match fm::project_onto(&self.sys, &keep) {
+            FmResult::Projected(sys) => Poly { dim: new_dim, sys, empty: false },
+            FmResult::Infeasible => Poly::empty(new_dim),
+        }
+    }
+
+    /// Embed into a larger space (new trailing dimensions unconstrained).
+    pub fn extend_dim(&self, new_dim: usize) -> Poly {
+        assert!(new_dim >= self.dim);
+        Poly { dim: new_dim, sys: self.sys.clone(), empty: self.empty }
+    }
+
+    /// Rename dimensions through `map` (entries absent map to themselves).
+    pub fn rename(&self, map: &BTreeMap<Var, Var>, new_dim: usize) -> Poly {
+        Poly { dim: new_dim, sys: self.sys.rename(map), empty: self.empty }
+    }
+
+    /// Closed convex hull of the union (the abstract `join`).
+    pub fn hull(&self, other: &Poly) -> Poly {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in hull");
+        if self.empty {
+            return other.clone();
+        }
+        if other.empty {
+            return self.clone();
+        }
+        let n = self.dim;
+        // Variable layout in the big system:
+        //   0..n        : x (result)
+        //   n..2n       : y (σ1-scaled point of self)
+        //   2n..3n      : z (σ2-scaled point of other)
+        //   3n          : σ1
+        //   3n + 1      : σ2
+        let y0 = n;
+        let z0 = 2 * n;
+        let s1 = 3 * n;
+        let s2 = 3 * n + 1;
+
+        let mut big = ConstraintSystem::new();
+        // x_i = y_i + z_i
+        for i in 0..n {
+            big.push(Constraint::eq(
+                LinExpr::var(i),
+                &LinExpr::var(y0 + i) + &LinExpr::var(z0 + i),
+            ));
+        }
+        // σ1 + σ2 = 1, σ ≥ 0
+        big.push(Constraint::eq(
+            &LinExpr::var(s1) + &LinExpr::var(s2),
+            LinExpr::constant(Rat::one()),
+        ));
+        big.push(Constraint::nonneg(s1));
+        big.push(Constraint::nonneg(s2));
+        // Scaled copies: for a constraint Σa·x + c REL 0 of self,
+        // emit Σa·y + c·σ1 REL 0 (homogenization).
+        let scale_into = |sys: &ConstraintSystem, base: Var, sigma: Var| {
+            let mut out = Vec::new();
+            for c in sys.constraints() {
+                let mut e = LinExpr::zero();
+                for (v, a) in c.expr.terms() {
+                    e.add_term(base + v, a.clone());
+                }
+                e.add_term(sigma, c.expr.constant_term().clone());
+                out.push(Constraint { expr: e, rel: c.rel });
+            }
+            out
+        };
+        for c in scale_into(&self.sys, y0, s1) {
+            big.push(c);
+        }
+        for c in scale_into(&other.sys, z0, s2) {
+            big.push(c);
+        }
+
+        let keep: BTreeSet<Var> = (0..n).collect();
+        // A row cap guards against FM's blowup; past it, fall back to the
+        // cheap weak join, which is sound (it contains the hull) and still
+        // keeps the invariants that appear as rows of either argument.
+        match fm::project_onto_capped(&big, &keep, 120) {
+            Some(FmResult::Projected(sys)) => Poly::from_constraints(n, sys.dedup()),
+            Some(FmResult::Infeasible) => Poly::empty(n),
+            None => self.weak_join(other),
+        }
+    }
+
+    /// A cheap over-approximation of [`Poly::hull`]: keep each constraint
+    /// of either polyhedron that the other one also satisfies. Any point of
+    /// `self ∪ other` satisfies every kept row, so the result contains the
+    /// hull; it may be strictly larger (a valid join for abstract
+    /// interpretation, used when exact hull computation is too expensive).
+    pub fn weak_join(&self, other: &Poly) -> Poly {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in weak_join");
+        if self.empty {
+            return other.clone();
+        }
+        if other.empty {
+            return self.clone();
+        }
+        let mut rows = ConstraintSystem::new();
+        for c in self.sys.constraints() {
+            if simplex::is_implied(&other.sys, &BTreeSet::new(), c) {
+                rows.push(c.clone());
+            }
+        }
+        for c in other.sys.constraints() {
+            if simplex::is_implied(&self.sys, &BTreeSet::new(), c) {
+                rows.push(c.clone());
+            }
+        }
+        Poly { dim: self.dim, sys: rows.dedup(), empty: false }
+    }
+
+    /// Standard widening: keep those constraints of `self` (the previous
+    /// iterate) that `other` (the next iterate) still satisfies. Requires
+    /// `self ⊆ other` to be meaningful, which the fixpoint engine ensures by
+    /// joining first.
+    pub fn widen(&self, other: &Poly) -> Poly {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in widen");
+        if self.empty {
+            return other.clone();
+        }
+        if other.empty {
+            // Should not happen after a join, but be safe.
+            return self.clone();
+        }
+        let mut kept = ConstraintSystem::new();
+        for c in self.sys.constraints() {
+            if simplex::is_implied(&other.sys, &BTreeSet::new(), c) {
+                kept.push(c.clone());
+            }
+        }
+        Poly { dim: self.dim, sys: kept, empty: false }
+    }
+
+    /// Remove redundant constraints (each one implied by the others) to get
+    /// a small canonical-ish representation.
+    ///
+    /// LP-based minimization is quadratic in the row count; beyond a
+    /// threshold only the cheap syntactic dedup is applied (the result is
+    /// the same set, just less canonical).
+    pub fn minimized(&self) -> Poly {
+        if self.empty {
+            return self.clone();
+        }
+        let deduped = self.sys.dedup();
+        if deduped.len() > 160 {
+            return Poly { dim: self.dim, sys: deduped, empty: false };
+        }
+        let rows = deduped.constraints().to_vec();
+        let mut kept: Vec<Constraint> = rows.clone();
+        let mut i = 0;
+        while i < kept.len() {
+            let candidate = kept[i].clone();
+            let others =
+                ConstraintSystem::from_constraints(
+                    kept.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, c)| c.clone()).collect(),
+                );
+            if simplex::is_implied(&others, &BTreeSet::new(), &candidate) {
+                kept.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        Poly {
+            dim: self.dim,
+            sys: ConstraintSystem::from_constraints(kept),
+            empty: false,
+        }
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.empty {
+            write!(f, "⊥ (empty, dim {})", self.dim)
+        } else if self.sys.is_empty() {
+            write!(f, "⊤ (universe, dim {})", self.dim)
+        } else {
+            write!(f, "{}", self.sys)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::new(n.into(), d.into())
+    }
+
+    fn pt(pairs: &[(Var, i64)]) -> BTreeMap<Var, Rat> {
+        pairs.iter().map(|&(v, x)| (v, r(x, 1))).collect()
+    }
+
+    /// The segment from (a, b) to (c, d) as a 2-D polyhedron... here simpler:
+    /// an axis box [lo0, hi0] × [lo1, hi1].
+    fn bbox(lo0: i64, hi0: i64, lo1: i64, hi1: i64) -> Poly {
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::ge(LinExpr::var(0), LinExpr::constant(r(lo0, 1))));
+        sys.push(Constraint::le(LinExpr::var(0), LinExpr::constant(r(hi0, 1))));
+        sys.push(Constraint::ge(LinExpr::var(1), LinExpr::constant(r(lo1, 1))));
+        sys.push(Constraint::le(LinExpr::var(1), LinExpr::constant(r(hi1, 1))));
+        Poly::from_constraints(2, sys)
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Poly::empty(3).is_empty());
+        assert!(!Poly::universe(3).is_empty());
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::ge(LinExpr::var(0), LinExpr::constant(r(1, 1))));
+        sys.push(Constraint::le(LinExpr::var(0), LinExpr::constant(r(0, 1))));
+        assert!(Poly::from_constraints(1, sys).is_empty());
+    }
+
+    #[test]
+    fn meet_boxes() {
+        let a = bbox(0, 2, 0, 2);
+        let b = bbox(1, 3, 1, 3);
+        let m = a.meet(&b);
+        assert!(m.contains_point(&pt(&[(0, 1), (1, 2)])));
+        assert!(!m.contains_point(&pt(&[(0, 0), (1, 0)])));
+        assert!(m.includes_in(&a) && m.includes_in(&b));
+    }
+
+    #[test]
+    fn meet_disjoint_is_empty() {
+        let a = bbox(0, 1, 0, 1);
+        let b = bbox(2, 3, 2, 3);
+        assert!(a.meet(&b).is_empty());
+    }
+
+    #[test]
+    fn inclusion() {
+        let small = bbox(1, 2, 1, 2);
+        let large = bbox(0, 3, 0, 3);
+        assert!(small.includes_in(&large));
+        assert!(!large.includes_in(&small));
+        assert!(Poly::empty(2).includes_in(&small));
+        assert!(!small.includes_in(&Poly::empty(2)));
+        assert!(small.includes_in(&Poly::universe(2)));
+    }
+
+    #[test]
+    fn hull_of_boxes_contains_both_and_midpoints() {
+        let a = bbox(0, 1, 0, 1);
+        let b = bbox(3, 4, 3, 4);
+        let h = a.hull(&b);
+        assert!(a.includes_in(&h));
+        assert!(b.includes_in(&h));
+        // Midpoint of (0,0) and (4,4) is (2,2) — in the hull.
+        assert!(h.contains_point(&pt(&[(0, 2), (1, 2)])));
+        // But (0, 4) is not (the hull of these diagonal boxes is a band).
+        assert!(!h.contains_point(&pt(&[(0, 0), (1, 4)])));
+    }
+
+    #[test]
+    fn hull_with_empty_is_identity() {
+        let a = bbox(0, 1, 0, 1);
+        assert!(a.hull(&Poly::empty(2)).same_set(&a));
+        assert!(Poly::empty(2).hull(&a).same_set(&a));
+    }
+
+    #[test]
+    fn hull_preserves_shared_equalities() {
+        // Both polyhedra satisfy x0 = x1; the hull must too. This mirrors
+        // the sizerel use case: both append clauses satisfy a1 + a2 = a3.
+        let mk = |c: i64| {
+            let mut sys = ConstraintSystem::new();
+            sys.push(Constraint::eq(LinExpr::var(0), LinExpr::var(1)));
+            sys.push(Constraint::eq(LinExpr::var(0), LinExpr::constant(r(c, 1))));
+            Poly::from_constraints(2, sys)
+        };
+        let h = mk(1).hull(&mk(5));
+        let eq = Constraint::eq(LinExpr::var(0), LinExpr::var(1));
+        assert!(simplex::is_implied(h.constraints(), &BTreeSet::new(), &eq));
+        assert!(h.contains_point(&pt(&[(0, 3), (1, 3)])));
+        assert!(!h.contains_point(&pt(&[(0, 3), (1, 4)])));
+    }
+
+    #[test]
+    fn forget_drops_dimension_information() {
+        let a = bbox(1, 2, 5, 6);
+        let f = a.forget(&[1].into_iter().collect());
+        assert!(f.contains_point(&pt(&[(0, 1), (1, 100)])));
+        assert!(!f.contains_point(&pt(&[(0, 0), (1, 5)])));
+    }
+
+    #[test]
+    fn project_prefix_shrinks_space() {
+        let a = bbox(1, 2, 5, 6);
+        let p = a.project_prefix(1);
+        assert_eq!(p.dim(), 1);
+        assert!(p.contains_point(&pt(&[(0, 2)])));
+        assert!(!p.contains_point(&pt(&[(0, 3)])));
+    }
+
+    #[test]
+    fn widen_keeps_stable_constraints() {
+        // Old: 0 <= x <= 1. New: 0 <= x <= 2. Widening keeps x >= 0, drops
+        // the unstable upper bound.
+        let mut old_sys = ConstraintSystem::new();
+        old_sys.push(Constraint::nonneg(0));
+        old_sys.push(Constraint::le(LinExpr::var(0), LinExpr::constant(r(1, 1))));
+        let old = Poly::from_constraints(1, old_sys);
+        let mut new_sys = ConstraintSystem::new();
+        new_sys.push(Constraint::nonneg(0));
+        new_sys.push(Constraint::le(LinExpr::var(0), LinExpr::constant(r(2, 1))));
+        let new = Poly::from_constraints(1, new_sys);
+        let w = old.widen(&new);
+        assert!(w.contains_point(&pt(&[(0, 100)])));
+        assert!(!w.contains_point(&pt(&[(0, -1)])));
+    }
+
+    #[test]
+    fn widening_sequence_stabilizes() {
+        // Iterating widen over growing boxes reaches a fixpoint quickly.
+        let mut cur = bbox(0, 0, 0, 0);
+        for k in 1..10 {
+            let next = cur.hull(&bbox(0, k, 0, k));
+            let widened = cur.widen(&next);
+            if widened.same_set(&cur) {
+                // Stable; and the stable value must include all iterates.
+                assert!(bbox(0, 9, 0, 9).includes_in(&widened));
+                return;
+            }
+            cur = widened;
+        }
+        // Must have stabilized within the loop: widening drops at least one
+        // constraint per non-stable step and never adds any.
+        let final_next = cur.hull(&bbox(0, 100, 0, 100));
+        assert!(cur.widen(&final_next).same_set(&cur));
+    }
+
+    #[test]
+    fn minimized_removes_redundant_rows() {
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::le(LinExpr::var(0), LinExpr::constant(r(1, 1))));
+        sys.push(Constraint::le(LinExpr::var(0), LinExpr::constant(r(2, 1)))); // redundant
+        sys.push(Constraint::nonneg(0));
+        let p = Poly::from_constraints(1, sys);
+        let m = p.minimized();
+        assert_eq!(m.constraints().len(), 2);
+        assert!(m.same_set(&p));
+    }
+
+    #[test]
+    fn nonneg_universe() {
+        let p = Poly::nonneg_universe(2);
+        assert!(p.contains_point(&pt(&[(0, 0), (1, 5)])));
+        assert!(!p.contains_point(&pt(&[(0, -1), (1, 0)])));
+    }
+
+    #[test]
+    fn rename_dims() {
+        let a = bbox(1, 2, 5, 6);
+        let map: BTreeMap<Var, Var> = [(0, 1), (1, 0)].into_iter().collect();
+        let swapped = a.rename(&map, 2);
+        assert!(swapped.contains_point(&pt(&[(0, 5), (1, 1)])));
+        assert!(!swapped.contains_point(&pt(&[(0, 1), (1, 5)])));
+    }
+}

@@ -1,0 +1,426 @@
+//! Exact rational numbers built on [`BigInt`].
+//!
+//! Every value is kept in canonical form: the denominator is strictly
+//! positive and `gcd(|numerator|, denominator) = 1`, so structural equality
+//! and hashing coincide with numeric equality.
+
+use crate::bigint::{BigInt, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number.
+///
+/// # Examples
+///
+/// ```
+/// use argus_linear::Rat;
+/// let half = Rat::new(1.into(), 2.into());
+/// let third = Rat::new(1.into(), 3.into());
+/// assert_eq!((&half + &third).to_string(), "5/6");
+/// assert!(half > third);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: BigInt,
+    /// Strictly positive, coprime with `num`.
+    den: BigInt,
+}
+
+impl Rat {
+    /// Construct `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Rat {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return Rat::zero();
+        }
+        let g = num.gcd(&den);
+        let mut num = &num / &g;
+        let mut den = &den / &g;
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        Rat { num, den }
+    }
+
+    /// The rational 0.
+    pub fn zero() -> Rat {
+        Rat { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The rational 1.
+    pub fn one() -> Rat {
+        Rat { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Construct from an integer.
+    pub fn from_int(v: impl Into<BigInt>) -> Rat {
+        Rat { num: v.into(), den: BigInt::one() }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// True iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// True iff this is an integer (denominator 1).
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rat::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Approximate as `f64` (for reporting only; analysis never uses floats).
+    pub fn to_f64(&self) -> f64 {
+        // Scale to keep both parts in f64 range for the common small case;
+        // fall back to string parsing for huge values.
+        match (self.num.to_i128(), self.den.to_i128()) {
+            (Some(n), Some(d)) => n as f64 / d as f64,
+            _ => {
+                let n: f64 = self.num.to_string().parse().unwrap_or(f64::NAN);
+                let d: f64 = self.den.to_string().parse().unwrap_or(f64::NAN);
+                n / d
+            }
+        }
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.divmod(&self.den);
+        if r.is_negative() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.divmod(&self.den);
+        if r.is_positive() {
+            q + BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Minimum of two rationals.
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two rationals.
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::zero()
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Rat {
+        Rat::from_int(v)
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(v: i32) -> Rat {
+        Rat::from_int(v)
+    }
+}
+
+impl From<BigInt> for Rat {
+    fn from(v: BigInt) -> Rat {
+        Rat { num: v, den: BigInt::one() }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(mut self) -> Rat {
+        self.num = -self.num;
+        self
+    }
+}
+
+impl Add for &Rat {
+    type Output = Rat;
+    fn add(self, other: &Rat) -> Rat {
+        Rat::new(
+            &(&self.num * &other.den) + &(&other.num * &self.den),
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Sub for &Rat {
+    type Output = Rat;
+    fn sub(self, other: &Rat) -> Rat {
+        Rat::new(
+            &(&self.num * &other.den) - &(&other.num * &self.den),
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Mul for &Rat {
+    type Output = Rat;
+    fn mul(self, other: &Rat) -> Rat {
+        Rat::new(&self.num * &other.num, &self.den * &other.den)
+    }
+}
+
+impl Div for &Rat {
+    type Output = Rat;
+    fn div(self, other: &Rat) -> Rat {
+        assert!(!other.is_zero(), "division by zero rational");
+        Rat::new(&self.num * &other.den, &self.den * &other.num)
+    }
+}
+
+macro_rules! forward_rat_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rat {
+            type Output = Rat;
+            fn $method(self, other: Rat) -> Rat {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, other: &Rat) -> Rat {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, other: Rat) -> Rat {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_rat_binop!(Add, add);
+forward_rat_binop!(Sub, sub);
+forward_rat_binop!(Mul, mul);
+forward_rat_binop!(Div, div);
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, other: &Rat) {
+        *self = &*self + other;
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, other: &Rat) {
+        *self = &*self - other;
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, other: &Rat) {
+        *self = &*self * other;
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Error parsing a [`Rat`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatError {
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseRatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseRatError {}
+
+impl FromStr for Rat {
+    type Err = ParseRatError;
+
+    /// Parses `"a"` or `"a/b"` with optional leading sign on `a`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            None => {
+                let n: BigInt =
+                    s.parse().map_err(|e| ParseRatError { message: format!("{e}") })?;
+                Ok(Rat::from(n))
+            }
+            Some((ns, ds)) => {
+                let n: BigInt =
+                    ns.parse().map_err(|e| ParseRatError { message: format!("{e}") })?;
+                let d: BigInt =
+                    ds.parse().map_err(|e| ParseRatError { message: format!("{e}") })?;
+                if d.is_zero() {
+                    return Err(ParseRatError { message: "zero denominator".into() });
+                }
+                Ok(Rat::new(n, d))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::new(n.into(), d.into())
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Rat::zero());
+        assert!(r(1, -2).denom().is_positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1.into(), 0.into());
+    }
+
+    #[test]
+    fn field_ops() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(r(3, 7).recip(), r(7, 3));
+        assert_eq!(-r(3, 7), r(-3, 7));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(-1, 2) < Rat::zero());
+        assert_eq!(r(2, 6).cmp(&r(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), 3.into());
+        assert_eq!(r(7, 2).ceil(), 4.into());
+        assert_eq!(r(-7, 2).floor(), (-4).into());
+        assert_eq!(r(-7, 2).ceil(), (-3).into());
+        assert_eq!(r(4, 2).floor(), 2.into());
+        assert_eq!(r(4, 2).ceil(), 2.into());
+    }
+
+    #[test]
+    fn parse_display() {
+        assert_eq!("1/2".parse::<Rat>().unwrap(), r(1, 2));
+        assert_eq!("-3/6".parse::<Rat>().unwrap(), r(-1, 2));
+        assert_eq!("5".parse::<Rat>().unwrap(), r(5, 1));
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(r(4, 2).to_string(), "2");
+        assert!("1/0".parse::<Rat>().is_err());
+        assert!("x/2".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn to_f64() {
+        assert_eq!(r(1, 2).to_f64(), 0.5);
+        assert_eq!(r(-3, 4).to_f64(), -0.75);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(r(1, 2).min(r(1, 3)), r(1, 3));
+        assert_eq!(r(1, 2).max(r(1, 3)), r(1, 2));
+    }
+}

@@ -1,0 +1,650 @@
+//! Two-phase primal simplex over exact rationals.
+//!
+//! The paper phrases its termination condition as an LP feasibility/optimality
+//! question (its Eq. 4–6). We provide a small, exact solver: Bland's rule
+//! (which guarantees termination without cycling), dense tableau, arbitrary
+//! precision rationals. Problems in this domain are tiny (tens of rows), so
+//! numerical sophistication would be wasted; exactness is what matters,
+//! because a feasibility misjudgement is a soundness bug in the termination
+//! analyzer.
+
+use crate::expr::{Constraint, ConstraintSystem, LinExpr, Rel, Var};
+use crate::rat::Rat;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of solving a linear program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpOutcome {
+    /// No point satisfies the constraints.
+    Infeasible,
+    /// The objective decreases without bound over the feasible region.
+    Unbounded,
+    /// An optimal solution.
+    Optimal {
+        /// Minimum objective value.
+        value: Rat,
+        /// A point attaining it (vars absent from the map are zero).
+        point: BTreeMap<Var, Rat>,
+    },
+}
+
+impl LpOutcome {
+    /// The optimal point, if any.
+    pub fn point(&self) -> Option<&BTreeMap<Var, Rat>> {
+        match self {
+            LpOutcome::Optimal { point, .. } => Some(point),
+            _ => None,
+        }
+    }
+
+    /// The optimal value, if any.
+    pub fn value(&self) -> Option<&Rat> {
+        match self {
+            LpOutcome::Optimal { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+/// A linear program: minimize `objective` subject to `constraints`, with the
+/// variables in `nonneg` restricted to be ≥ 0 and all others free.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Objective to minimize.
+    pub objective: LinExpr,
+    /// Constraint conjunction.
+    pub constraints: ConstraintSystem,
+    /// Variables restricted to be nonnegative; all others range over ℚ.
+    pub nonneg: BTreeSet<Var>,
+}
+
+impl LpProblem {
+    /// A feasibility problem (zero objective).
+    pub fn feasibility(constraints: ConstraintSystem, nonneg: BTreeSet<Var>) -> LpProblem {
+        LpProblem { objective: LinExpr::zero(), constraints, nonneg }
+    }
+
+    /// Solve by two-phase simplex.
+    pub fn solve(&self) -> LpOutcome {
+        Tableau::build(self).solve()
+    }
+
+    /// Minimize the given objective over this problem's constraints.
+    pub fn minimize(&self, objective: LinExpr) -> LpOutcome {
+        LpProblem {
+            objective,
+            constraints: self.constraints.clone(),
+            nonneg: self.nonneg.clone(),
+        }
+        .solve()
+    }
+
+    /// Maximize: negate, minimize, negate back.
+    pub fn maximize(&self, objective: LinExpr) -> LpOutcome {
+        match self.minimize(-&objective) {
+            LpOutcome::Optimal { value, point } => {
+                LpOutcome::Optimal { value: -value, point }
+            }
+            other => other,
+        }
+    }
+}
+
+/// Decide whether `constraints` (with `nonneg` sign restrictions) has a
+/// solution; returns a witness point if so.
+pub fn feasible_point(
+    constraints: &ConstraintSystem,
+    nonneg: &BTreeSet<Var>,
+) -> Option<BTreeMap<Var, Rat>> {
+    match LpProblem::feasibility(constraints.clone(), nonneg.clone()).solve() {
+        LpOutcome::Optimal { point, .. } => Some(point),
+        LpOutcome::Unbounded => unreachable!("zero objective cannot be unbounded"),
+        LpOutcome::Infeasible => None,
+    }
+}
+
+/// Check whether `candidate` (an inequality or equality) is implied by
+/// `system` over the given sign restrictions: i.e. no feasible point of
+/// `system` violates it. Used for redundancy removal and polyhedron
+/// inclusion tests.
+pub fn is_implied(
+    system: &ConstraintSystem,
+    nonneg: &BTreeSet<Var>,
+    candidate: &Constraint,
+) -> bool {
+    // candidate: expr <= 0. It fails to be implied iff max expr > 0.
+    // candidate: expr = 0. Implied iff max expr <= 0 and min expr >= 0.
+    let base = LpProblem::feasibility(system.clone(), nonneg.clone());
+    let max_ok = match base.maximize(candidate.expr.clone()) {
+        LpOutcome::Infeasible => return true, // empty system implies anything
+        LpOutcome::Unbounded => false,
+        LpOutcome::Optimal { value, .. } => !value.is_positive(),
+    };
+    if candidate.rel == Rel::Le {
+        return max_ok;
+    }
+    if !max_ok {
+        return false;
+    }
+    match base.minimize(candidate.expr.clone()) {
+        LpOutcome::Infeasible => true,
+        LpOutcome::Unbounded => false,
+        LpOutcome::Optimal { value, .. } => !value.is_negative(),
+    }
+}
+
+/// Internal dense simplex tableau in equality standard form
+/// `A·x = b, x ≥ 0`, minimize `c·x`.
+struct Tableau {
+    /// Rows of A augmented with b as the last column.
+    rows: Vec<Vec<Rat>>,
+    /// Objective row (phase-2 cost), length = num_cols.
+    cost: Vec<Rat>,
+    /// Constant offset of the objective.
+    cost_offset: Rat,
+    /// Column index of the basic variable of each row.
+    basis: Vec<usize>,
+    /// Total structural + slack columns (excludes artificials until added).
+    num_cols: usize,
+    /// Map from user variable to (plus-column, optional minus-column).
+    var_cols: BTreeMap<Var, (usize, Option<usize>)>,
+}
+
+impl Tableau {
+    fn build(p: &LpProblem) -> Tableau {
+        // Collect all variables from constraints and objective.
+        let mut vars: BTreeSet<Var> = p.constraints.vars();
+        vars.extend(p.objective.vars());
+
+        // Assign columns: nonneg vars get one column, free vars two (x+ - x-).
+        let mut var_cols: BTreeMap<Var, (usize, Option<usize>)> = BTreeMap::new();
+        let mut next_col = 0usize;
+        for &v in &vars {
+            if p.nonneg.contains(&v) {
+                var_cols.insert(v, (next_col, None));
+                next_col += 1;
+            } else {
+                var_cols.insert(v, (next_col, Some(next_col + 1)));
+                next_col += 2;
+            }
+        }
+
+        // One slack column per inequality.
+        let n_slacks =
+            p.constraints.constraints().iter().filter(|c| c.rel == Rel::Le).count();
+        let first_slack = next_col;
+        let num_cols = next_col + n_slacks;
+
+        // Build rows: expr REL 0 becomes  Σ a·cols (+ slack) = -constant.
+        let mut rows: Vec<Vec<Rat>> = Vec::new();
+        let mut slack_idx = first_slack;
+        for c in p.constraints.constraints() {
+            let mut row = vec![Rat::zero(); num_cols + 1];
+            for (v, a) in c.expr.terms() {
+                let (pc, mc) = var_cols[&v];
+                row[pc] += a;
+                if let Some(mc) = mc {
+                    row[mc] -= a;
+                }
+            }
+            // rhs
+            row[num_cols] = -c.expr.constant_term().clone();
+            if c.rel == Rel::Le {
+                row[slack_idx] = Rat::one();
+                slack_idx += 1;
+            }
+            // Make rhs nonnegative for phase 1.
+            if row[num_cols].is_negative() {
+                for x in row.iter_mut() {
+                    *x = -&*x;
+                }
+            }
+            rows.push(row);
+        }
+
+        // Phase-2 cost from the objective.
+        let mut cost = vec![Rat::zero(); num_cols];
+        for (v, a) in p.objective.terms() {
+            let (pc, mc) = var_cols[&v];
+            cost[pc] += a;
+            if let Some(mc) = mc {
+                cost[mc] -= a;
+            }
+        }
+
+        Tableau {
+            rows,
+            cost,
+            cost_offset: p.objective.constant_term().clone(),
+            basis: Vec::new(),
+            num_cols,
+            var_cols,
+        }
+    }
+
+    fn solve(mut self) -> LpOutcome {
+        let m = self.rows.len();
+        if m == 0 {
+            // No constraints: objective must be constant or the LP is
+            // unbounded in some direction with a nonzero cost coefficient
+            // (every column is a nonnegative variable that can grow).
+            for c in &self.cost {
+                if c.is_negative() {
+                    return LpOutcome::Unbounded;
+                }
+            }
+            // All-zero point is optimal.
+            return LpOutcome::Optimal {
+                value: self.cost_offset.clone(),
+                point: BTreeMap::new(),
+            };
+        }
+
+        // Phase 1: add one artificial per row, minimize their sum.
+        let n = self.num_cols;
+        let total = n + m;
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            let rhs = row.pop().expect("rhs");
+            row.extend(std::iter::repeat_with(Rat::zero).take(m));
+            row[n + i] = Rat::one();
+            row.push(rhs);
+        }
+        self.basis = (n..n + m).collect();
+
+        // Phase-1 reduced cost row: minimize Σ artificials. Start from
+        // cost row = Σ_i (-row_i) over structural columns (standard trick).
+        let mut obj = vec![Rat::zero(); total + 1];
+        for row in &self.rows {
+            for j in 0..=total {
+                obj[j] -= &row[j];
+            }
+        }
+        // Zero out artificial columns in obj (they are basic with cost 1):
+        for o in obj.iter_mut().take(total).skip(n) {
+            *o = Rat::zero();
+        }
+
+        if !Self::run_simplex(&mut self.rows, &mut obj, &mut self.basis, total) {
+            unreachable!("phase 1 is bounded below by 0");
+        }
+        // obj[total] holds -(current phase-1 objective).
+        if obj[total].is_negative() {
+            return LpOutcome::Infeasible;
+        }
+
+        // Drive any artificial variables out of the basis (degenerate rows).
+        for i in 0..m {
+            if self.basis[i] >= n {
+                // Find a structural column with nonzero coefficient to pivot.
+                let pivot_col = (0..n).find(|&j| !self.rows[i][j].is_zero());
+                match pivot_col {
+                    Some(j) => {
+                        Self::pivot(&mut self.rows, &mut obj, &mut self.basis, i, j);
+                    }
+                    None => {
+                        // Row is redundant (all-zero over structural columns);
+                        // its rhs must be zero here. Leave it; it is inert.
+                    }
+                }
+            }
+        }
+
+        // Phase 2: install the real cost row, priced out over the basis.
+        let mut obj2 = vec![Rat::zero(); total + 1];
+        obj2[..n].clone_from_slice(&self.cost);
+        // Price out basic variables: obj2 -= cost[basic] * row.
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < n && !obj2[b].is_zero() {
+                let factor = obj2[b].clone();
+                for (o, cell) in obj2.iter_mut().zip(&self.rows[i]) {
+                    let delta = &factor * cell;
+                    *o -= &delta;
+                }
+            }
+        }
+        // Forbid re-entry of artificial columns.
+        let artificial_start = n;
+
+        if !Self::run_simplex_restricted(
+            &mut self.rows,
+            &mut obj2,
+            &mut self.basis,
+            total,
+            artificial_start,
+        ) {
+            return LpOutcome::Unbounded;
+        }
+
+        // Read off the solution.
+        let mut col_val = vec![Rat::zero(); total];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < total {
+                col_val[b] = self.rows[i][total].clone();
+            }
+        }
+        let mut point = BTreeMap::new();
+        for (&v, &(pc, mc)) in &self.var_cols {
+            let mut val = col_val[pc].clone();
+            if let Some(mc) = mc {
+                val -= &col_val[mc];
+            }
+            if !val.is_zero() {
+                point.insert(v, val);
+            }
+        }
+        // obj2[total] = -(objective - priced constant), i.e. the negated
+        // current objective value of the basic solution.
+        let value = &self.cost_offset + &(-obj2[total].clone());
+        LpOutcome::Optimal { value, point }
+    }
+
+    /// Standard simplex loop with Bland's rule. Returns false on
+    /// unboundedness. `obj` has length `total + 1`; reduced costs in
+    /// `obj[0..total]`, negated objective value in `obj[total]`.
+    fn run_simplex(
+        rows: &mut [Vec<Rat>],
+        obj: &mut [Rat],
+        basis: &mut [usize],
+        total: usize,
+    ) -> bool {
+        Self::run_simplex_restricted(rows, obj, basis, total, total)
+    }
+
+    /// Like [`run_simplex`] but columns `>= forbidden_from` may not enter
+    /// the basis (used to keep artificials out during phase 2).
+    fn run_simplex_restricted(
+        rows: &mut [Vec<Rat>],
+        obj: &mut [Rat],
+        basis: &mut [usize],
+        total: usize,
+        forbidden_from: usize,
+    ) -> bool {
+        loop {
+            // Bland: entering column = smallest index with negative reduced
+            // cost.
+            let entering = (0..total.min(forbidden_from)).find(|&j| obj[j].is_negative());
+            let Some(e) = entering else {
+                return true; // optimal
+            };
+            // Ratio test, Bland tie-break by smallest basis index.
+            let mut leave: Option<(usize, Rat)> = None;
+            for (i, row) in rows.iter().enumerate() {
+                if row[e].is_positive() {
+                    let ratio = &row[total] / &row[e];
+                    match &leave {
+                        None => leave = Some((i, ratio)),
+                        Some((li, lr)) => {
+                            if ratio < *lr || (ratio == *lr && basis[i] < basis[*li]) {
+                                leave = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((l, _)) = leave else {
+                return false; // unbounded
+            };
+            Self::pivot(rows, obj, basis, l, e);
+        }
+    }
+
+    /// Pivot on (row l, column e).
+    fn pivot(
+        rows: &mut [Vec<Rat>],
+        obj: &mut [Rat],
+        basis: &mut [usize],
+        l: usize,
+        e: usize,
+    ) {
+        let piv = rows[l][e].clone();
+        debug_assert!(!piv.is_zero());
+        let inv = piv.recip();
+        for x in rows[l].iter_mut() {
+            *x *= &inv;
+        }
+        for i in 0..rows.len() {
+            if i == l || rows[i][e].is_zero() {
+                continue;
+            }
+            let factor = rows[i][e].clone();
+            // Split-borrow the pivot row away from row i to combine them.
+            let (pivot_row, target_row) = if i < l {
+                let (a, b) = rows.split_at_mut(l);
+                (&b[0], &mut a[i])
+            } else {
+                let (a, b) = rows.split_at_mut(i);
+                (&a[l], &mut b[0])
+            };
+            for (t, cell) in target_row.iter_mut().zip(pivot_row.iter()) {
+                let delta = &factor * cell;
+                *t -= &delta;
+            }
+        }
+        if !obj[e].is_zero() {
+            let factor = obj[e].clone();
+            for (o, cell) in obj.iter_mut().zip(rows[l].iter()) {
+                let delta = &factor * cell;
+                *o -= &delta;
+            }
+        }
+        basis[l] = e;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::new(n.into(), d.into())
+    }
+
+    fn all_nonneg(vars: impl IntoIterator<Item = Var>) -> BTreeSet<Var> {
+        vars.into_iter().collect()
+    }
+
+    #[test]
+    fn simple_minimization() {
+        // min x subject to x >= 3 (x >= 0): optimum 3.
+        let x = 0;
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::ge(LinExpr::var(x), LinExpr::constant(r(3, 1))));
+        let p = LpProblem {
+            objective: LinExpr::var(x),
+            constraints: sys,
+            nonneg: all_nonneg([x]),
+        };
+        match p.solve() {
+            LpOutcome::Optimal { value, point } => {
+                assert_eq!(value, r(3, 1));
+                assert_eq!(point.get(&x), Some(&r(3, 1)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classic_lp() {
+        // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+        // Optimum 36 at (2, 6). (Dantzig's textbook example.)
+        let (x, y) = (0, 1);
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::le(LinExpr::var(x), LinExpr::constant(r(4, 1))));
+        sys.push(Constraint::le(LinExpr::term(y, r(2, 1)), LinExpr::constant(r(12, 1))));
+        sys.push(Constraint::le(
+            &LinExpr::term(x, r(3, 1)) + &LinExpr::term(y, r(2, 1)),
+            LinExpr::constant(r(18, 1)),
+        ));
+        let p = LpProblem::feasibility(sys, all_nonneg([x, y]));
+        let obj = &LinExpr::term(x, r(3, 1)) + &LinExpr::term(y, r(5, 1));
+        match p.maximize(obj) {
+            LpOutcome::Optimal { value, point } => {
+                assert_eq!(value, r(36, 1));
+                assert_eq!(point.get(&x), Some(&r(2, 1)));
+                assert_eq!(point.get(&y), Some(&r(6, 1)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible() {
+        let x = 0;
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::ge(LinExpr::var(x), LinExpr::constant(r(2, 1))));
+        sys.push(Constraint::le(LinExpr::var(x), LinExpr::constant(r(1, 1))));
+        let p = LpProblem::feasibility(sys, all_nonneg([x]));
+        assert_eq!(p.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded() {
+        // min -x, x >= 0, no upper bound.
+        let x = 0;
+        let p = LpProblem {
+            objective: -&LinExpr::var(x),
+            constraints: ConstraintSystem::new(),
+            nonneg: all_nonneg([x]),
+        };
+        assert_eq!(p.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn free_variables() {
+        // min x, x free, x >= -5 is the only bound: optimum -5.
+        let x = 0;
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::ge(LinExpr::var(x), LinExpr::constant(r(-5, 1))));
+        let p = LpProblem {
+            objective: LinExpr::var(x),
+            constraints: sys,
+            nonneg: BTreeSet::new(),
+        };
+        match p.solve() {
+            LpOutcome::Optimal { value, point } => {
+                assert_eq!(value, r(-5, 1));
+                assert_eq!(point.get(&x), Some(&r(-5, 1)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_variable_unbounded() {
+        // min x with x free and no constraints: unbounded.
+        let p = LpProblem {
+            objective: LinExpr::var(0),
+            constraints: ConstraintSystem::new(),
+            nonneg: BTreeSet::new(),
+        };
+        // A free variable with no constraints builds zero rows but two
+        // columns; the minus column has negative cost.
+        assert_eq!(p.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y st x + y = 4, x - y = 2, x,y >= 0 => x=3, y=1, value 4.
+        let (x, y) = (0, 1);
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::eq(
+            &LinExpr::var(x) + &LinExpr::var(y),
+            LinExpr::constant(r(4, 1)),
+        ));
+        sys.push(Constraint::eq(
+            &LinExpr::var(x) - &LinExpr::var(y),
+            LinExpr::constant(r(2, 1)),
+        ));
+        let p = LpProblem {
+            objective: &LinExpr::var(x) + &LinExpr::var(y),
+            constraints: sys,
+            nonneg: all_nonneg([x, y]),
+        };
+        match p.solve() {
+            LpOutcome::Optimal { value, point } => {
+                assert_eq!(value, r(4, 1));
+                assert_eq!(point.get(&x), Some(&r(3, 1)));
+                assert_eq!(point.get(&y), Some(&r(1, 1)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_redundant_rows() {
+        // x = 1 stated twice plus x <= 1: phase 1 leaves a redundant row.
+        let x = 0;
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::eq(LinExpr::var(x), LinExpr::constant(r(1, 1))));
+        sys.push(Constraint::eq(LinExpr::var(x), LinExpr::constant(r(1, 1))));
+        sys.push(Constraint::le(LinExpr::var(x), LinExpr::constant(r(1, 1))));
+        let p = LpProblem::feasibility(sys, all_nonneg([x]));
+        match p.solve() {
+            LpOutcome::Optimal { point, .. } => {
+                assert_eq!(point.get(&x), Some(&r(1, 1)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn objective_with_constant_offset() {
+        // min x + 10 st x >= 2 => 12.
+        let x = 0;
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::ge(LinExpr::var(x), LinExpr::constant(r(2, 1))));
+        let p = LpProblem {
+            objective: &LinExpr::var(x) + &LinExpr::constant(r(10, 1)),
+            constraints: sys,
+            nonneg: all_nonneg([x]),
+        };
+        assert_eq!(p.solve().value(), Some(&r(12, 1)));
+    }
+
+    #[test]
+    fn implication_checks() {
+        // {x <= 1} implies x <= 2 but not x <= 1/2 (x >= 0).
+        let x = 0;
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::le(LinExpr::var(x), LinExpr::constant(r(1, 1))));
+        let nn = all_nonneg([x]);
+        let weak = Constraint::le(LinExpr::var(x), LinExpr::constant(r(2, 1)));
+        let strong = Constraint::le(LinExpr::var(x), LinExpr::constant(r(1, 2)));
+        assert!(is_implied(&sys, &nn, &weak));
+        assert!(!is_implied(&sys, &nn, &strong));
+    }
+
+    #[test]
+    fn implied_equality() {
+        // {x + y = 3, x - y = 1} implies x = 2.
+        let (x, y) = (0, 1);
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::eq(
+            &LinExpr::var(x) + &LinExpr::var(y),
+            LinExpr::constant(r(3, 1)),
+        ));
+        sys.push(Constraint::eq(
+            &LinExpr::var(x) - &LinExpr::var(y),
+            LinExpr::constant(r(1, 1)),
+        ));
+        let nn = BTreeSet::new();
+        let cand = Constraint::eq(LinExpr::var(x), LinExpr::constant(r(2, 1)));
+        assert!(is_implied(&sys, &nn, &cand));
+        let wrong = Constraint::eq(LinExpr::var(x), LinExpr::constant(r(1, 1)));
+        assert!(!is_implied(&sys, &nn, &wrong));
+    }
+
+    #[test]
+    fn feasible_point_satisfies_system() {
+        let (x, y) = (0, 1);
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::ge(
+            &LinExpr::var(x) + &LinExpr::var(y),
+            LinExpr::constant(r(1, 1)),
+        ));
+        sys.push(Constraint::le(LinExpr::var(x), LinExpr::var(y)));
+        let nn = all_nonneg([x, y]);
+        let pt = feasible_point(&sys, &nn).expect("feasible");
+        assert!(sys.holds_at(&pt));
+    }
+}

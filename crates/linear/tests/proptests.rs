@@ -1,0 +1,276 @@
+//! Property-based tests for the exact-arithmetic substrate.
+//!
+//! `BigInt`/`Rat` are checked against an `i128` reference model; Fourier–
+//! Motzkin and simplex are cross-checked against each other on random
+//! systems, since they are independent decision procedures for the same
+//! question.
+
+use argus_linear::fm::{self, FmResult};
+use argus_linear::simplex;
+use argus_linear::{BigInt, Constraint, ConstraintSystem, LinExpr, Rat};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn bigint_strategy() -> impl Strategy<Value = (i128, BigInt)> {
+    any::<i64>().prop_map(|v| (v as i128, BigInt::from(v)))
+}
+
+proptest! {
+    #[test]
+    fn bigint_add_matches_i128((a, ba) in bigint_strategy(), (b, bb) in bigint_strategy()) {
+        prop_assert_eq!((&ba + &bb).to_i128(), Some(a + b));
+    }
+
+    #[test]
+    fn bigint_mul_matches_i128((a, ba) in bigint_strategy(), (b, bb) in bigint_strategy()) {
+        prop_assert_eq!((&ba * &bb).to_i128(), Some(a * b));
+    }
+
+    #[test]
+    fn bigint_divmod_invariant((a, ba) in bigint_strategy(), (b, bb) in bigint_strategy()) {
+        prop_assume!(b != 0);
+        let (q, r) = ba.divmod(&bb);
+        prop_assert_eq!(&(&q * &bb) + &r, ba.clone());
+        prop_assert!(r.abs() < bb.abs());
+        // Truncated semantics: remainder carries the dividend's sign.
+        if !r.is_zero() {
+            prop_assert_eq!(r.is_negative(), a < 0);
+        }
+    }
+
+    #[test]
+    fn bigint_string_roundtrip((_, ba) in bigint_strategy(), (_, bb) in bigint_strategy()) {
+        // Multiply to exceed 64 bits regularly.
+        let big = &(&ba * &bb) * &bb;
+        let s = big.to_string();
+        let back: BigInt = s.parse().unwrap();
+        prop_assert_eq!(back, big);
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both((a, ba) in bigint_strategy(), (b, bb) in bigint_strategy()) {
+        let g = ba.gcd(&bb);
+        if a != 0 || b != 0 {
+            prop_assert!(!g.is_zero());
+            prop_assert!((&ba % &g).is_zero());
+            prop_assert!((&bb % &g).is_zero());
+        } else {
+            prop_assert!(g.is_zero());
+        }
+    }
+
+    #[test]
+    fn bigint_ordering_matches_i128((a, ba) in bigint_strategy(), (b, bb) in bigint_strategy()) {
+        prop_assert_eq!(ba.cmp(&bb), a.cmp(&b));
+    }
+}
+
+fn rat_strategy() -> impl Strategy<Value = Rat> {
+    (-1000i64..1000, 1i64..60).prop_map(|(n, d)| Rat::new(n.into(), d.into()))
+}
+
+proptest! {
+    #[test]
+    fn rat_field_laws(a in rat_strategy(), b in rat_strategy(), c in rat_strategy()) {
+        // Associativity and commutativity of + and *.
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+        // Distributivity.
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        // Additive inverse.
+        prop_assert!((&a + &(-&a)).is_zero());
+    }
+
+    #[test]
+    fn rat_recip_is_inverse(a in rat_strategy()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(&a * &a.recip(), Rat::one());
+    }
+
+    #[test]
+    fn rat_order_total_and_compatible(a in rat_strategy(), b in rat_strategy(), c in rat_strategy()) {
+        // Order respects addition.
+        if a <= b {
+            prop_assert!(&a + &c <= &b + &c);
+        }
+        // floor/ceil bracket the value.
+        let fl = Rat::from(a.floor());
+        let ce = Rat::from(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(&ce - &fl <= Rat::one());
+    }
+}
+
+/// Generate a small random constraint system over `nvars` variables with
+/// small integer coefficients.
+fn system_strategy(nvars: usize, max_rows: usize) -> impl Strategy<Value = ConstraintSystem> {
+    let row = (
+        proptest::collection::vec(-3i64..=3, nvars),
+        -8i64..=8,
+        prop::bool::ANY,
+    );
+    proptest::collection::vec(row, 1..=max_rows).prop_map(move |rows| {
+        let mut sys = ConstraintSystem::new();
+        for (coeffs, cst, is_eq) in rows {
+            let mut e = LinExpr::constant(Rat::from_int(cst));
+            for (v, c) in coeffs.into_iter().enumerate() {
+                e.add_term(v, Rat::from_int(c));
+            }
+            let c = if is_eq {
+                Constraint { expr: e, rel: argus_linear::Rel::Eq }
+            } else {
+                Constraint { expr: e, rel: argus_linear::Rel::Le }
+            };
+            sys.push(c);
+        }
+        sys
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FM and simplex must agree on satisfiability of random systems
+    /// (variables unrestricted in sign for both).
+    #[test]
+    fn fm_and_simplex_agree(sys in system_strategy(3, 5)) {
+        let fm_sat = fm::is_satisfiable_fm(&sys);
+        let sx_sat = simplex::feasible_point(&sys, &BTreeSet::new()).is_some();
+        prop_assert_eq!(fm_sat, sx_sat, "system:\n{}", sys);
+    }
+
+    /// Any witness point found by simplex satisfies the system.
+    #[test]
+    fn simplex_witness_is_valid(sys in system_strategy(3, 5)) {
+        if let Some(pt) = simplex::feasible_point(&sys, &BTreeSet::new()) {
+            prop_assert!(sys.holds_at(&pt), "bad witness for:\n{}", sys);
+        }
+    }
+
+    /// FM projection is sound: projecting a satisfying point stays
+    /// satisfying.
+    #[test]
+    fn fm_projection_preserves_points(sys in system_strategy(3, 5)) {
+        if let Some(pt) = simplex::feasible_point(&sys, &BTreeSet::new()) {
+            match fm::eliminate(&sys, 0) {
+                FmResult::Infeasible => prop_assert!(false, "witness exists yet FM says infeasible"),
+                FmResult::Projected(projected) => {
+                    let mut reduced: BTreeMap<usize, Rat> = pt.clone();
+                    reduced.remove(&0);
+                    prop_assert!(projected.holds_at(&reduced));
+                }
+            }
+        }
+    }
+
+    /// FM projection is complete: any point of the projection extends to a
+    /// point of the original (checked by substituting the projected point
+    /// and asking simplex for the eliminated variable).
+    #[test]
+    fn fm_projection_points_extend(sys in system_strategy(3, 4)) {
+        if let FmResult::Projected(projected) = fm::eliminate(&sys, 0) {
+            if let Some(ppt) = simplex::feasible_point(&projected, &BTreeSet::new()) {
+                // Substitute the projected values into the original system.
+                let mut narrowed = sys.clone();
+                for (v, val) in &ppt {
+                    narrowed = narrowed.substitute(*v, &LinExpr::constant(val.clone()));
+                }
+                let extended = simplex::feasible_point(&narrowed, &BTreeSet::new());
+                prop_assert!(extended.is_some(),
+                    "projected point does not extend; system:\n{}", sys);
+            }
+        }
+    }
+
+    /// dedup and canonicalization preserve the solution set.
+    #[test]
+    fn dedup_preserves_semantics(sys in system_strategy(3, 5)) {
+        let d = sys.dedup();
+        // Same satisfiability...
+        prop_assert_eq!(
+            simplex::feasible_point(&sys, &BTreeSet::new()).is_some(),
+            simplex::feasible_point(&d, &BTreeSet::new()).is_some()
+        );
+        // ...and any witness of either satisfies the other.
+        if let Some(pt) = simplex::feasible_point(&sys, &BTreeSet::new()) {
+            prop_assert!(d.holds_at(&pt));
+        }
+        if let Some(pt) = simplex::feasible_point(&d, &BTreeSet::new()) {
+            prop_assert!(sys.holds_at(&pt));
+        }
+    }
+
+    /// The LP minimum really is a lower bound over random feasible samples.
+    #[test]
+    fn lp_minimum_is_lower_bound(sys in system_strategy(3, 4), obj_coeffs in proptest::collection::vec(-3i64..=3, 3)) {
+        let nonneg: BTreeSet<usize> = (0..3).collect();
+        let mut obj = LinExpr::zero();
+        for (v, c) in obj_coeffs.iter().enumerate() {
+            obj.add_term(v, Rat::from_int(*c));
+        }
+        let p = argus_linear::LpProblem {
+            objective: obj.clone(),
+            constraints: sys.clone(),
+            nonneg: nonneg.clone(),
+        };
+        if let argus_linear::LpOutcome::Optimal { value, point } = p.solve() {
+            prop_assert!(sys.holds_at(&point));
+            prop_assert_eq!(obj.eval(&point), value.clone());
+            // Any feasible point scores no better.
+            if let Some(other) = simplex::feasible_point(&sys, &nonneg) {
+                prop_assert!(obj.eval(&other) >= value);
+            }
+        }
+    }
+}
+
+mod poly_props {
+    use super::*;
+    use argus_linear::Poly;
+
+    fn small_poly(dim: usize) -> impl Strategy<Value = Poly> {
+        system_strategy(dim, 4).prop_map(move |sys| Poly::from_constraints(dim, sys))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn hull_contains_both(a in small_poly(2), b in small_poly(2)) {
+            let h = a.hull(&b);
+            prop_assert!(a.includes_in(&h));
+            prop_assert!(b.includes_in(&h));
+        }
+
+        #[test]
+        fn meet_included_in_both(a in small_poly(2), b in small_poly(2)) {
+            let m = a.meet(&b);
+            prop_assert!(m.includes_in(&a));
+            prop_assert!(m.includes_in(&b));
+        }
+
+        #[test]
+        fn widen_is_upper_bound(a in small_poly(2), b in small_poly(2)) {
+            // Widening of a by (a ⊔ b) must contain both.
+            let j = a.hull(&b);
+            let w = a.widen(&j);
+            prop_assert!(j.includes_in(&w));
+        }
+
+        #[test]
+        fn minimized_same_set(a in small_poly(2)) {
+            prop_assert!(a.minimized().same_set(&a));
+        }
+
+        #[test]
+        fn sample_point_is_member(a in small_poly(2)) {
+            if let Some(pt) = a.sample_point() {
+                prop_assert!(a.contains_point(&pt));
+            } else {
+                prop_assert!(a.is_empty());
+            }
+        }
+    }
+}

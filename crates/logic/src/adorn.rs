@@ -1,0 +1,216 @@
+//! The adorned-program construction.
+//!
+//! The paper assumes "preprocessing has arranged that every predicate has
+//! the same bound-free adornment" (§3). When a predicate is called with two
+//! different adornments — e.g. `append` in the `perm` rule of Example 3.1,
+//! called once with only its third argument bound and once with its first
+//! two bound — that assumption is established by the classic *adornment
+//! renaming*: one copy of the predicate per distinct calling adornment,
+//! with call sites rewritten to the matching copy. Copies are named
+//! `name__adornment` (e.g. `append__bbf`); a predicate reached with a
+//! single adornment keeps its original name, so the paper's examples keep
+//! their familiar spelling.
+
+use crate::groundness::{analyze_groundness, apply_groundness, call_adornment as ground_call_adornment};
+use crate::modes::{is_builtin, Adornment, Mode, ModeMap};
+use crate::program::{Atom, Literal, PredKey, Program, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// Result of adorning a program for a query.
+#[derive(Debug, Clone)]
+pub struct AdornedProgram {
+    /// The rewritten program: one predicate copy per (predicate, adornment).
+    pub program: Program,
+    /// The (now unique) adornment of every adorned IDB predicate.
+    pub modes: ModeMap,
+    /// Adorned predicate → original predicate.
+    pub origin: BTreeMap<PredKey, PredKey>,
+    /// The adorned name of the query predicate.
+    pub query: PredKey,
+}
+
+/// Construct the adorned program for `query` called with `adornment`.
+///
+/// EDB predicates (no rules) and builtins are never renamed — their
+/// adornment is irrelevant to rule rewriting. IDB predicates reached with
+/// exactly one adornment keep their name; others get one copy per
+/// adornment, named `name__adornment`.
+pub fn adorn_program(
+    program: &Program,
+    query: &PredKey,
+    adornment: Adornment,
+) -> AdornedProgram {
+    assert_eq!(query.arity, adornment.arity(), "query adornment arity mismatch");
+    let idb = program.idb_predicates();
+
+    // Pass 1: success-groundness fixpoint, which also discovers every
+    // reachable (predicate, call adornment) pair under the refined
+    // semantics (a subgoal only grounds the variables its success is
+    // guaranteed to ground — see [`crate::groundness`]).
+    let groundness = analyze_groundness(program, query, adornment.clone());
+    let mut discovered: BTreeMap<PredKey, BTreeSet<Adornment>> = BTreeMap::new();
+    for ((pred, adn), _) in groundness.pairs() {
+        discovered.entry(pred.clone()).or_default().insert(adn.clone());
+    }
+    discovered
+        .entry(query.clone())
+        .or_default()
+        .insert(adornment.clone());
+
+    // Naming: single-adornment IDB predicates keep their name.
+    let adorned_name = |pred: &PredKey, adn: &Adornment| -> Rc<str> {
+        let multi = discovered.get(pred).map(|s| s.len() > 1).unwrap_or(false);
+        if multi && idb.contains(pred) {
+            Rc::from(format!("{}__{}", pred.name, adn))
+        } else {
+            pred.name.clone()
+        }
+    };
+
+    // Pass 2: emit adorned rules.
+    let mut rules = Vec::new();
+    let mut modes = ModeMap::default();
+    let mut origin = BTreeMap::new();
+    for (pred, adns) in &discovered {
+        if !idb.contains(pred) {
+            continue;
+        }
+        for adn in adns {
+            let new_name = adorned_name(pred, adn);
+            let new_key = PredKey { name: new_name.clone(), arity: pred.arity };
+            modes.insert(new_key.clone(), adn.clone());
+            origin.insert(new_key, pred.clone());
+            for rule in program.procedure(pred) {
+                let mut ground: BTreeSet<Rc<str>> = BTreeSet::new();
+                for (i, arg) in rule.head.args.iter().enumerate() {
+                    if adn.0[i] == Mode::Bound {
+                        ground.extend(arg.vars());
+                    }
+                }
+                let mut new_body = Vec::new();
+                for lit in &rule.body {
+                    let key = lit.atom.key();
+                    let new_atom = if is_builtin(&key) || !idb.contains(&key) {
+                        lit.atom.clone()
+                    } else {
+                        let sub_adn = ground_call_adornment(&lit.atom, &ground);
+                        Atom {
+                            name: adorned_name(&key, &sub_adn),
+                            args: lit.atom.args.clone(),
+                        }
+                    };
+                    new_body.push(Literal { atom: new_atom, positive: lit.positive });
+                    let lookup = |p: &PredKey, a: &Adornment| {
+                        groundness.success_ground(p, a)
+                    };
+                    apply_groundness(lit, &mut ground, &lookup);
+                }
+                rules.push(Rule {
+                    head: Atom { name: new_name.clone(), args: rule.head.args.clone() },
+                    body: new_body,
+                });
+            }
+        }
+    }
+
+    let adorned_query = PredKey {
+        name: adorned_name(query, &adornment),
+        arity: query.arity,
+    };
+    AdornedProgram {
+        program: Program::from_rules(rules),
+        modes,
+        origin,
+        query: adorned_query,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn perm_splits_append_by_adornment() {
+        let p = parse_program(
+            "perm([], []).\n\
+             perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).\n\
+             append([], Ys, Ys).\n\
+             append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
+        )
+        .unwrap();
+        let adorned = adorn_program(&p, &PredKey::new("perm", 2), Adornment::parse("bf").unwrap());
+        // perm keeps its name (unique adornment bf).
+        assert_eq!(adorned.query, PredKey::new("perm", 2));
+        assert_eq!(
+            adorned.modes.get(&PredKey::new("perm", 2)).unwrap().to_string(),
+            "bf"
+        );
+        // append is split into ffb and bbf copies.
+        let ffb = PredKey::new("append__ffb", 3);
+        let bbf = PredKey::new("append__bbf", 3);
+        assert_eq!(adorned.modes.get(&ffb).unwrap().to_string(), "ffb");
+        assert_eq!(adorned.modes.get(&bbf).unwrap().to_string(), "bbf");
+        assert_eq!(adorned.origin[&ffb], PredKey::new("append", 3));
+        // The perm rule's two append calls reference the two copies.
+        let perm_rules = adorned.program.procedure(&PredKey::new("perm", 2));
+        let rec = perm_rules.iter().find(|r| r.body.len() == 3).unwrap();
+        assert_eq!(&*rec.body[0].atom.name, "append__ffb");
+        assert_eq!(&*rec.body[1].atom.name, "append__bbf");
+        // Each append copy is self-recursive with its own adornment.
+        let ffb_rules = adorned.program.procedure(&ffb);
+        assert_eq!(ffb_rules.len(), 2);
+        assert!(ffb_rules
+            .iter()
+            .any(|r| r.body.iter().any(|l| l.atom.key() == ffb)));
+    }
+
+    #[test]
+    fn single_adornment_keeps_names() {
+        let p = parse_program(
+            "merge([], Ys, Ys).\n\
+             merge(Xs, [], Xs).\n\
+             merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs).\n\
+             merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, merge(Ys, [X|Xs], Zs).",
+        )
+        .unwrap();
+        let adorned =
+            adorn_program(&p, &PredKey::new("merge", 3), Adornment::parse("bbf").unwrap());
+        assert_eq!(adorned.query, PredKey::new("merge", 3));
+        assert_eq!(adorned.program.rules.len(), 4);
+        assert_eq!(adorned.program.to_string(), p.to_string());
+    }
+
+    #[test]
+    fn edb_predicates_not_renamed() {
+        let p = parse_program("p(X, Y) :- e(X, Z), p(Z, Y).\np(X, X).").unwrap();
+        let adorned = adorn_program(&p, &PredKey::new("p", 2), Adornment::parse("bf").unwrap());
+        let rules = adorned.program.procedure(&PredKey::new("p", 2));
+        assert!(rules
+            .iter()
+            .flat_map(|r| &r.body)
+            .any(|l| &*l.atom.name == "e"));
+        // e has no adornment entry.
+        assert!(adorned.modes.get(&PredKey::new("e", 2)).is_none());
+    }
+
+    #[test]
+    fn builtins_untouched() {
+        let p = parse_program("len([], 0).\nlen([_|T], N) :- len(T, M), N is M + 1.").unwrap();
+        let adorned = adorn_program(&p, &PredKey::new("len", 2), Adornment::parse("bf").unwrap());
+        let rules = adorned.program.procedure(&PredKey::new("len", 2));
+        assert_eq!(rules.len(), 2);
+        assert!(rules
+            .iter()
+            .flat_map(|r| &r.body)
+            .any(|l| &*l.atom.name == "is"));
+    }
+
+    #[test]
+    fn unreachable_rules_dropped() {
+        let p = parse_program("p(a).\nunrelated(b).").unwrap();
+        let adorned = adorn_program(&p, &PredKey::new("p", 1), Adornment::parse("b").unwrap());
+        assert_eq!(adorned.program.rules.len(), 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! Predicate dependency graph and strongly connected components.
+//!
+//! Nodes are predicates; there is an arc `p → q` whenever `q` occurs as a
+//! subgoal of some rule for `p` (paper §2.3). Termination analysis processes
+//! one SCC at a time, in bottom-up topological order, so that information
+//! about lower SCCs (their inter-argument constraints) is available.
+
+use crate::program::{PredKey, Program, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The dependency graph of a program, with its SCC condensation.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// All predicates, in a stable order (index = node id).
+    preds: Vec<PredKey>,
+    index_of: BTreeMap<PredKey, usize>,
+    /// Adjacency: successors of each node (`p → q` for subgoal `q`).
+    succ: Vec<BTreeSet<usize>>,
+    /// SCC id of each node; SCC ids are in *reverse topological order of
+    /// discovery*, normalized below so that [`DepGraph::sccs_bottom_up`]
+    /// yields callees before callers.
+    scc_of: Vec<usize>,
+    /// Members of each SCC.
+    scc_members: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    /// Build the dependency graph of `program`.
+    pub fn build(program: &Program) -> DepGraph {
+        let mut preds: Vec<PredKey> = Vec::new();
+        let mut index_of: BTreeMap<PredKey, usize> = BTreeMap::new();
+        let intern = |k: PredKey, preds: &mut Vec<PredKey>,
+                          index_of: &mut BTreeMap<PredKey, usize>| {
+            *index_of.entry(k.clone()).or_insert_with(|| {
+                preds.push(k);
+                preds.len() - 1
+            })
+        };
+        for r in &program.rules {
+            intern(r.head.key(), &mut preds, &mut index_of);
+            for l in &r.body {
+                intern(l.atom.key(), &mut preds, &mut index_of);
+            }
+        }
+        let mut succ = vec![BTreeSet::new(); preds.len()];
+        for r in &program.rules {
+            let h = index_of[&r.head.key()];
+            for l in &r.body {
+                let s = index_of[&l.atom.key()];
+                succ[h].insert(s);
+            }
+        }
+        let (scc_of, scc_members) = tarjan(&succ);
+        DepGraph { preds, index_of, succ, scc_of, scc_members }
+    }
+
+    /// All predicates.
+    pub fn predicates(&self) -> &[PredKey] {
+        &self.preds
+    }
+
+    /// The SCC id of a predicate, if present.
+    pub fn scc_id(&self, p: &PredKey) -> Option<usize> {
+        self.index_of.get(p).map(|&i| self.scc_of[i])
+    }
+
+    /// Members of an SCC.
+    pub fn scc(&self, id: usize) -> Vec<PredKey> {
+        self.scc_members[id].iter().map(|&i| self.preds[i].clone()).collect()
+    }
+
+    /// Number of SCCs.
+    pub fn scc_count(&self) -> usize {
+        self.scc_members.len()
+    }
+
+    /// SCC ids in bottom-up order: if SCC `a` calls into SCC `b` (a ≠ b),
+    /// then `b` comes before `a`. Tarjan emits SCCs in reverse topological
+    /// order of the condensation, which is exactly bottom-up.
+    pub fn sccs_bottom_up(&self) -> Vec<usize> {
+        (0..self.scc_members.len()).collect()
+    }
+
+    /// Do two predicates belong to the same SCC?
+    pub fn same_scc(&self, a: &PredKey, b: &PredKey) -> bool {
+        match (self.index_of.get(a), self.index_of.get(b)) {
+            (Some(&ia), Some(&ib)) => self.scc_of[ia] == self.scc_of[ib],
+            _ => false,
+        }
+    }
+
+    /// Is `p` recursive: in an SCC with >1 member, or with a self-loop?
+    pub fn is_recursive(&self, p: &PredKey) -> bool {
+        let Some(&i) = self.index_of.get(p) else { return false };
+        let id = self.scc_of[i];
+        self.scc_members[id].len() > 1 || self.succ[i].contains(&i)
+    }
+
+    /// An SCC has *mutual recursion* if it contains more than one predicate
+    /// (paper §2.3).
+    pub fn scc_is_mutual(&self, id: usize) -> bool {
+        self.scc_members[id].len() > 1
+    }
+
+    /// Is the SCC trivial (single predicate, not self-recursive)?
+    pub fn scc_is_trivial(&self, id: usize) -> bool {
+        let members = &self.scc_members[id];
+        members.len() == 1 && !self.succ[members[0]].contains(&members[0])
+    }
+
+    /// The rules of `program` whose head is in SCC `id`.
+    pub fn scc_rules<'p>(&self, program: &'p Program, id: usize) -> Vec<&'p Rule> {
+        let members: BTreeSet<PredKey> = self.scc(id).into_iter().collect();
+        program.rules.iter().filter(|r| members.contains(&r.head.key())).collect()
+    }
+
+    /// The indices (within the rule body) of the *recursive* subgoals of
+    /// `rule`: positive-or-negative literals whose predicate is in the same
+    /// SCC as the head (paper §2.3).
+    pub fn recursive_subgoals(&self, rule: &Rule) -> Vec<usize> {
+        let head = rule.head.key();
+        rule.body
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| self.same_scc(&head, &l.atom.key()))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Is recursion in SCC `id` linear: every rule headed in the SCC has at
+    /// most one recursive subgoal (paper §2.3)?
+    pub fn scc_is_linear(&self, program: &Program, id: usize) -> bool {
+        self.scc_rules(program, id)
+            .iter()
+            .all(|r| self.recursive_subgoals(r).len() <= 1)
+    }
+}
+
+/// Tarjan's SCC algorithm (iterative). Returns `(scc_of, members)` with SCC
+/// ids in reverse topological order (callees first).
+fn tarjan(succ: &[BTreeSet<usize>]) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let n = succ.len();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut scc_of = vec![UNSET; n];
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    let mut counter = 0usize;
+
+    // Explicit DFS stack: (node, iterator position over successors).
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        let mut call: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        index[start] = counter;
+        low[start] = counter;
+        counter += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        call.push((start, succ[start].iter().copied().collect(), 0));
+
+        while let Some((v, children, pos)) = call.last_mut() {
+            if *pos < children.len() {
+                let w = children[*pos];
+                *pos += 1;
+                if index[w] == UNSET {
+                    index[w] = counter;
+                    low[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, succ[w].iter().copied().collect(), 0));
+                } else if on_stack[w] {
+                    let lv = low[*v].min(index[w]);
+                    low[*v] = lv;
+                }
+            } else {
+                let v = *v;
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w] = false;
+                        scc_of[w] = members.len();
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.push(comp);
+                }
+                call.pop();
+                if let Some((parent, _, _)) = call.last() {
+                    let lv = low[*parent].min(low[v]);
+                    low[*parent] = lv;
+                }
+            }
+        }
+    }
+    (scc_of, members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn append_is_one_selfrec_scc() {
+        let p = parse_program(
+            "append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        let app = PredKey::new("append", 3);
+        assert!(g.is_recursive(&app));
+        let id = g.scc_id(&app).unwrap();
+        assert!(!g.scc_is_mutual(id));
+        assert!(g.scc_is_linear(&p, id));
+    }
+
+    #[test]
+    fn parser_example_is_mutual_scc() {
+        // Example 6.1: e, t, n are one SCC; z is below.
+        let p = parse_program(
+            "e(L, T) :- t(L, ['+'|C]), e(C, T).\n\
+             e(L, T) :- t(L, T).\n\
+             t(L, T) :- n(L, ['*'|C]), t(C, T).\n\
+             t(L, T) :- n(L, T).\n\
+             n(['('|A], T) :- e(A, [')'|T]).\n\
+             n([L|T], T) :- z(L).",
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        let (e, t, n, z) = (
+            PredKey::new("e", 2),
+            PredKey::new("t", 2),
+            PredKey::new("n", 2),
+            PredKey::new("z", 1),
+        );
+        assert!(g.same_scc(&e, &t));
+        assert!(g.same_scc(&t, &n));
+        assert!(!g.same_scc(&e, &z));
+        let id = g.scc_id(&e).unwrap();
+        assert!(g.scc_is_mutual(id));
+        // Rule "e :- t, e" has two recursive subgoals (t and e are both in
+        // the SCC), so the SCC is nonlinear.
+        assert!(!g.scc_is_linear(&p, id));
+        // Bottom-up order puts z's SCC before the e/t/n SCC.
+        let order = g.sccs_bottom_up();
+        let pos = |id: usize| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(g.scc_id(&z).unwrap()) < pos(id));
+    }
+
+    #[test]
+    fn recursive_subgoals_indices() {
+        let p = parse_program("p(X) :- q(X), p(X), r(X), p(X).\nq(a).\nr(a).").unwrap();
+        let g = DepGraph::build(&p);
+        let idx = g.recursive_subgoals(&p.rules[0]);
+        assert_eq!(idx, vec![1, 3]);
+    }
+
+    #[test]
+    fn nonrecursive_predicate() {
+        let p = parse_program("p(X) :- q(X).\nq(a).").unwrap();
+        let g = DepGraph::build(&p);
+        assert!(!g.is_recursive(&PredKey::new("p", 1)));
+        assert!(!g.is_recursive(&PredKey::new("q", 1)));
+        let id_p = g.scc_id(&PredKey::new("p", 1)).unwrap();
+        assert!(g.scc_is_trivial(id_p));
+    }
+
+    #[test]
+    fn bottom_up_is_topological_on_chain() {
+        let p = parse_program("a(X) :- b(X).\nb(X) :- c(X).\nc(X) :- d(X).\nd(a).").unwrap();
+        let g = DepGraph::build(&p);
+        let order = g.sccs_bottom_up();
+        let pos = |name: &str| {
+            let id = g.scc_id(&PredKey::new(name, 1)).unwrap();
+            order.iter().position(|&x| x == id).unwrap()
+        };
+        assert!(pos("d") < pos("c"));
+        assert!(pos("c") < pos("b"));
+        assert!(pos("b") < pos("a"));
+    }
+
+    #[test]
+    fn two_cycles_are_distinct_sccs() {
+        let p = parse_program(
+            "p(X) :- q(X).\nq(X) :- p(X).\nr(X) :- s(X), p(X).\ns(X) :- r(X).",
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        assert!(g.same_scc(&PredKey::new("p", 1), &PredKey::new("q", 1)));
+        assert!(g.same_scc(&PredKey::new("r", 1), &PredKey::new("s", 1)));
+        assert!(!g.same_scc(&PredKey::new("p", 1), &PredKey::new("r", 1)));
+        assert_eq!(g.scc_count(), 2);
+    }
+
+    #[test]
+    fn mutual_scc_counts_negative_literals() {
+        let p = parse_program("p(X) :- \\+ q(X).\nq(X) :- p(X).").unwrap();
+        let g = DepGraph::build(&p);
+        assert!(g.same_scc(&PredKey::new("p", 1), &PredKey::new("q", 1)));
+    }
+}

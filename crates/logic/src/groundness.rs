@@ -1,0 +1,368 @@
+//! Success-groundness analysis.
+//!
+//! The adorned-program construction needs to know, after a subgoal
+//! `q(t̄)` succeeds, which of the rule's variables are certainly ground.
+//! Assuming *all* of them are (the naive rule) overclaims: a fact
+//! `q(_)` succeeds without instantiating its argument at all, and an
+//! overclaimed "bound" argument would let the termination analysis reason
+//! about the size of a term that is not actually ground at run time.
+//!
+//! This module computes, per `(predicate, adornment)` pair, the set of
+//! argument positions that are ground in **every** SLD solution when the
+//! adornment's bound positions are ground at call time. Soundness is by
+//! induction on the height of the success derivation, which licenses the
+//! **greatest** fixpoint: start optimistically (every position ground on
+//! success) and refine downward:
+//!
+//! * abstractly execute each clause left to right, tracking definitely
+//!   ground variables: head bound arguments contribute their variables;
+//!   a positive subgoal `q(t̄)` with call adornment `b` contributes the
+//!   variables of `t_j` for every `j ∈ G(q, b)` (the *current*,
+//!   optimistic table — justified for the strictly smaller subderivation);
+//!   `X is E` grounds `X`; `T1 = T2` grounds each side's variables when
+//!   the other side is ground; comparisons and negative subgoals ground
+//!   nothing;
+//! * `G(p, a)` becomes the bound positions plus the positions ground at
+//!   clause end in **all** clauses (a predicate with no clauses never
+//!   succeeds, so every claim about its solutions is vacuously true);
+//! * iterate until the descending chain stabilizes, then prune the pair
+//!   set to those reachable from the query under the final table
+//!   (patterns discovered only under transient assumptions are dropped).
+
+use crate::modes::{is_builtin, Adornment, Mode, TEST_BUILTINS};
+use crate::program::{Literal, PredKey, Program};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
+
+/// Success-groundness table: for each reachable `(predicate, adornment)`,
+/// the argument positions ground in every solution.
+#[derive(Debug, Clone, Default)]
+pub struct Groundness {
+    map: BTreeMap<(PredKey, Adornment), BTreeSet<usize>>,
+}
+
+impl Groundness {
+    /// Ground-on-success positions for `(pred, adornment)`. Unknown pairs
+    /// (EDB predicates, unreached patterns) default to just the bound
+    /// positions — the only thing guaranteed without rules to inspect.
+    pub fn success_ground(&self, pred: &PredKey, adornment: &Adornment) -> BTreeSet<usize> {
+        self.map
+            .get(&(pred.clone(), adornment.clone()))
+            .cloned()
+            .unwrap_or_else(|| adornment.bound_positions().into_iter().collect())
+    }
+
+    /// All analyzed `(pred, adornment)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (&(PredKey, Adornment), &BTreeSet<usize>)> {
+        self.map.iter()
+    }
+}
+
+/// The call adornment of an atom given the currently ground variables.
+pub(crate) fn call_adornment(
+    atom: &crate::program::Atom,
+    ground: &BTreeSet<Rc<str>>,
+) -> Adornment {
+    Adornment(
+        atom.args
+            .iter()
+            .map(|t| {
+                if t.vars().iter().all(|v| ground.contains(v)) {
+                    Mode::Bound
+                } else {
+                    Mode::Free
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Update the ground-variable set for one executed literal, using `tables`
+/// for user predicates. Returns the subgoal's call adornment for user
+/// predicates (callers record reachable patterns).
+pub(crate) fn apply_groundness(
+    lit: &Literal,
+    ground: &mut BTreeSet<Rc<str>>,
+    lookup: &dyn Fn(&PredKey, &Adornment) -> BTreeSet<usize>,
+) -> Option<(PredKey, Adornment)> {
+    if !lit.positive {
+        return None; // negation grounds nothing (Appendix D)
+    }
+    let key = lit.atom.key();
+    if key.arity == 2 && TEST_BUILTINS.contains(&&*key.name) {
+        return None;
+    }
+    if key.arity == 2 && &*key.name == "is" {
+        for v in lit.atom.args[0].vars() {
+            ground.insert(v);
+        }
+        return None;
+    }
+    if key.arity == 2 && &*key.name == "=" {
+        // Unification makes the sides equal: if either side is ground, the
+        // other side's variables become ground.
+        let lg = lit.atom.args[0].vars().iter().all(|v| ground.contains(v));
+        let rg = lit.atom.args[1].vars().iter().all(|v| ground.contains(v));
+        if lg {
+            for v in lit.atom.args[1].vars() {
+                ground.insert(v);
+            }
+        }
+        if rg {
+            for v in lit.atom.args[0].vars() {
+                ground.insert(v);
+            }
+        }
+        return None;
+    }
+    if is_builtin(&key) {
+        return None;
+    }
+    let adornment = call_adornment(&lit.atom, ground);
+    for j in lookup(&key, &adornment) {
+        for v in lit.atom.args[j].vars() {
+            ground.insert(v);
+        }
+    }
+    Some((key, adornment))
+}
+
+/// Compute success-groundness for every `(pred, adornment)` reachable from
+/// `query` called with `root`.
+pub fn analyze_groundness(program: &Program, query: &PredKey, root: Adornment) -> Groundness {
+    let idb = program.idb_predicates();
+    let all_positions = |p: &PredKey| -> BTreeSet<usize> { (0..p.arity).collect() };
+    let mut table: BTreeMap<(PredKey, Adornment), BTreeSet<usize>> = BTreeMap::new();
+    let mut worklist: VecDeque<(PredKey, Adornment)> = VecDeque::new();
+    let seed = (query.clone(), root.clone());
+    table.insert(seed.clone(), all_positions(query));
+    worklist.push_back(seed);
+
+    // Descending chaotic iteration: entries start optimistic ("all ground
+    // on success") and only shrink; new pairs may be discovered as
+    // entries shrink and call patterns weaken. Each entry shrinks at most
+    // `arity` times, so the loop terminates.
+    let mut iterations = 0usize;
+    while let Some((pred, adornment)) = worklist.pop_front() {
+        iterations += 1;
+        if iterations > 100_000 {
+            break; // defensive; far above any reachable bound
+        }
+        if !idb.contains(&pred) {
+            continue;
+        }
+        let mut per_clause: Vec<BTreeSet<usize>> = Vec::new();
+        let mut discovered: Vec<(PredKey, Adornment)> = Vec::new();
+        for rule in program.procedure(&pred) {
+            let mut ground: BTreeSet<Rc<str>> = BTreeSet::new();
+            for (i, arg) in rule.head.args.iter().enumerate() {
+                if adornment.0[i] == Mode::Bound {
+                    ground.extend(arg.vars());
+                }
+            }
+            for lit in &rule.body {
+                let lookup = |p: &PredKey, a: &Adornment| -> BTreeSet<usize> {
+                    table
+                        .get(&(p.clone(), a.clone()))
+                        .cloned()
+                        .unwrap_or_else(|| {
+                            if idb.contains(p) {
+                                // Optimistic initial value (gfp start).
+                                (0..p.arity).collect()
+                            } else {
+                                // True EDB relations hold ground tuples;
+                                // predicates with no rules never succeed,
+                                // making the claim vacuous. Either way:
+                                (0..p.arity).collect()
+                            }
+                        })
+                };
+                if let Some(pair) = apply_groundness(lit, &mut ground, &lookup) {
+                    if idb.contains(&pair.0) {
+                        discovered.push(pair);
+                    }
+                }
+            }
+            per_clause.push(
+                rule.head
+                    .args
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, arg)| arg.vars().iter().all(|v| ground.contains(v)))
+                    .map(|(i, _)| i)
+                    .collect(),
+            );
+        }
+        // Join: ground on success iff ground in every clause; no clauses
+        // means no successes (vacuously all positions).
+        let mut joined: BTreeSet<usize> = adornment.bound_positions().into_iter().collect();
+        match per_clause.first() {
+            None => joined = all_positions(&pred),
+            Some(first) => {
+                let mut inter = first.clone();
+                for c in &per_clause[1..] {
+                    inter = inter.intersection(c).copied().collect();
+                }
+                joined.extend(inter);
+            }
+        }
+
+        let mut requeue: Vec<(PredKey, Adornment)> = Vec::new();
+        for pair in discovered {
+            if !table.contains_key(&pair) {
+                table.insert(pair.clone(), all_positions(&pair.0));
+                requeue.push(pair);
+            }
+        }
+        let key = (pred, adornment);
+        let entry = table.get_mut(&key).expect("seeded");
+        if &joined != entry {
+            debug_assert!(joined.is_subset(entry), "gfp chain must descend");
+            *entry = joined;
+            // An entry shrank: every pair may depend on it; requeue all.
+            requeue.extend(table.keys().cloned());
+        }
+        for p in requeue {
+            if !worklist.contains(&p) {
+                worklist.push_back(p);
+            }
+        }
+    }
+
+    // Prune to the pairs reachable from the seed under the FINAL table:
+    // pairs discovered only under transient optimistic assumptions would
+    // otherwise leave spurious predicate copies in the adorned program.
+    let mut reachable: BTreeSet<(PredKey, Adornment)> = BTreeSet::new();
+    let mut frontier: VecDeque<(PredKey, Adornment)> = VecDeque::new();
+    let seed = (query.clone(), root);
+    reachable.insert(seed.clone());
+    frontier.push_back(seed);
+    while let Some((pred, adornment)) = frontier.pop_front() {
+        if !idb.contains(&pred) {
+            continue;
+        }
+        for rule in program.procedure(&pred) {
+            let mut ground: BTreeSet<Rc<str>> = BTreeSet::new();
+            for (i, arg) in rule.head.args.iter().enumerate() {
+                if adornment.0[i] == Mode::Bound {
+                    ground.extend(arg.vars());
+                }
+            }
+            for lit in &rule.body {
+                let lookup = |p: &PredKey, a: &Adornment| -> BTreeSet<usize> {
+                    table
+                        .get(&(p.clone(), a.clone()))
+                        .cloned()
+                        .unwrap_or_else(|| (0..p.arity).collect())
+                };
+                if let Some(pair) = apply_groundness(lit, &mut ground, &lookup) {
+                    if idb.contains(&pair.0) && reachable.insert(pair.clone()) {
+                        frontier.push_back(pair);
+                    }
+                }
+            }
+        }
+    }
+    table.retain(|k, _| reachable.contains(k));
+
+    Groundness { map: table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn ground_set(
+        src: &str,
+        pred: &str,
+        arity: usize,
+        adn: &str,
+        target: (&str, usize, &str),
+    ) -> BTreeSet<usize> {
+        let program = parse_program(src).unwrap();
+        let g = analyze_groundness(
+            &program,
+            &PredKey::new(pred, arity),
+            Adornment::parse(adn).unwrap(),
+        );
+        g.success_ground(
+            &PredKey::new(target.0, target.1),
+            &Adornment::parse(target.2).unwrap(),
+        )
+    }
+
+    #[test]
+    fn append_bff_grounds_all() {
+        let src = "append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).";
+        // bff: wait — with only arg1 ground, Ys is whatever the caller
+        // passed; append([], Ys, Ys) leaves Ys free. Success-ground = {0}.
+        let g = ground_set(src, "append", 3, "bff", ("append", 3, "bff"));
+        assert_eq!(g, [0].into_iter().collect());
+        // bbf: all three ground on success.
+        let g = ground_set(src, "append", 3, "bbf", ("append", 3, "bbf"));
+        assert_eq!(g, [0, 1, 2].into_iter().collect());
+        // ffb: splitting a ground list grounds both pieces.
+        let g = ground_set(src, "append", 3, "ffb", ("append", 3, "ffb"));
+        assert_eq!(g, [0, 1, 2].into_iter().collect());
+    }
+
+    #[test]
+    fn wildcard_fact_grounds_nothing() {
+        let src = "q(_).\np(X) :- q(X).";
+        let g = ground_set(src, "p", 1, "f", ("q", 1, "f"));
+        assert!(g.is_empty(), "{g:?}");
+    }
+
+    #[test]
+    fn is_grounds_lhs() {
+        let src = "len([], 0).\nlen([_|T], N) :- len(T, M), N is M + 1.";
+        let g = ground_set(src, "len", 2, "bf", ("len", 2, "bf"));
+        assert_eq!(g, [0, 1].into_iter().collect());
+    }
+
+    #[test]
+    fn equality_propagates_both_ways() {
+        let src = "p(X, Y) :- X = f(Y).\nr(A, B) :- p(A, B).";
+        // p called bf: X ground => Y ground via f(Y) = X.
+        let g = ground_set(src, "r", 2, "bf", ("p", 2, "bf"));
+        assert_eq!(g, [0, 1].into_iter().collect());
+        // p called fb: Y ground => X = f(Y) ground.
+        let g = ground_set(src, "r", 2, "fb", ("p", 2, "fb"));
+        assert_eq!(g, [0, 1].into_iter().collect());
+    }
+
+    #[test]
+    fn disjunction_takes_intersection() {
+        // One clause grounds arg2, the other leaves it open: not
+        // success-ground.
+        let src = "p(X, a) :- q(X).\np(X, _) :- q(X).\nq(c).";
+        let g = ground_set(src, "p", 2, "bf", ("p", 2, "bf"));
+        assert_eq!(g, [0].into_iter().collect());
+    }
+
+    #[test]
+    fn mutual_recursion_fixpoint() {
+        let src = "e(L, T) :- t(L, ['+'|C]), e(C, T).\n\
+                   e(L, T) :- t(L, T).\n\
+                   t(L, T) :- n(L, ['*'|C]), t(C, T).\n\
+                   t(L, T) :- n(L, T).\n\
+                   n(['('|A], T) :- e(A, [')'|T]).\n\
+                   n([L|T], T) :- z(L).\nz(7).";
+        for name in ["e", "t", "n"] {
+            let g = ground_set(src, "e", 2, "bf", (name, 2, "bf"));
+            assert_eq!(
+                g,
+                [0, 1].into_iter().collect(),
+                "{name} bf grounds its continuation"
+            );
+        }
+    }
+
+    #[test]
+    fn negation_grounds_nothing() {
+        let src = "p(X, Y) :- \\+ q(Y), r(X).\nq(a).\nr(b).";
+        let g = ground_set(src, "p", 2, "bf", ("p", 2, "bf"));
+        assert_eq!(g, [0].into_iter().collect(), "Y stays free through \\+");
+    }
+}

@@ -1,0 +1,722 @@
+//! A parser for the Prolog-like rule syntax used throughout the paper.
+//!
+//! Supported syntax:
+//!
+//! * clauses `head.` and `head :- g1, …, gn.`;
+//! * `%` line comments and `/* … */` block comments;
+//! * variables (`X`, `Xs`, `_foo`), unquoted atoms (`append`), quoted atoms
+//!   (`'+'`), integers;
+//! * compound terms `f(t1, …, tn)`, lists `[a, b | T]`;
+//! * negation `\+ goal`;
+//! * infix comparison goals `T1 =< T2` (also `<, >, >=, =, \=, ==, \==, is`);
+//! * infix arithmetic term operators `+ - * //` with conventional
+//!   precedence, producing ordinary compound terms.
+//!
+//! The grammar is deliberately the subset the paper's examples need (plus
+//! arithmetic so the SLD interpreter can run realistic programs); there are
+//! no user-defined operators.
+
+use crate::program::{Atom, Literal, Program, Rule};
+use crate::term::Term;
+use std::fmt;
+
+/// Position-annotated parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Atom(String),
+    Var(String),
+    Int(i64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Bar,
+    EndClause,
+    Neck,    // :-
+    NotSign, // \+
+    Op(String),
+}
+
+#[derive(Debug, Clone)]
+struct SpannedTok {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, col: self.col, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_layout(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.err("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<SpannedTok>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_layout()?;
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else { break };
+            let tok = match c {
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b'[' => {
+                    self.bump();
+                    Tok::LBracket
+                }
+                b']' => {
+                    self.bump();
+                    Tok::RBracket
+                }
+                b',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                b'|' => {
+                    self.bump();
+                    Tok::Bar
+                }
+                b'.' => {
+                    // End of clause if followed by layout/EOF; else error
+                    // (we never lex '.' as a functor — lists cover cons).
+                    self.bump();
+                    match self.peek() {
+                        None => Tok::EndClause,
+                        Some(c2) if c2.is_ascii_whitespace() || c2 == b'%' => Tok::EndClause,
+                        _ => return Err(self.err("unexpected '.' inside term")),
+                    }
+                }
+                b':' if self.peek2() == Some(b'-') => {
+                    self.bump();
+                    self.bump();
+                    Tok::Neck
+                }
+                b'\\' if self.peek2() == Some(b'+') => {
+                    self.bump();
+                    self.bump();
+                    Tok::NotSign
+                }
+                b'\\' if self.peek2() == Some(b'=') => {
+                    self.bump();
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Op("\\==".into())
+                    } else {
+                        Tok::Op("\\=".into())
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'<') => {
+                            self.bump();
+                            Tok::Op("=<".into())
+                        }
+                        Some(b'=') => {
+                            self.bump();
+                            Tok::Op("==".into())
+                        }
+                        _ => Tok::Op("=".into()),
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Op(">=".into())
+                    } else {
+                        Tok::Op(">".into())
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    Tok::Op("<".into())
+                }
+                b'+' => {
+                    self.bump();
+                    Tok::Op("+".into())
+                }
+                b'-' => {
+                    self.bump();
+                    Tok::Op("-".into())
+                }
+                b'*' => {
+                    self.bump();
+                    Tok::Op("*".into())
+                }
+                b'/' if self.peek2() == Some(b'/') => {
+                    self.bump();
+                    self.bump();
+                    Tok::Op("//".into())
+                }
+                b'\'' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            Some(b'\'') => {
+                                // '' is an escaped quote.
+                                if self.peek() == Some(b'\'') {
+                                    self.bump();
+                                    s.push('\'');
+                                } else {
+                                    break;
+                                }
+                            }
+                            Some(c2) => s.push(c2 as char),
+                            None => return Err(self.err("unterminated quoted atom")),
+                        }
+                    }
+                    Tok::Atom(s)
+                }
+                c if c.is_ascii_digit() => {
+                    let mut s = String::new();
+                    while let Some(c2) = self.peek() {
+                        if c2.is_ascii_digit() {
+                            s.push(c2 as char);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let v: i64 = s
+                        .parse()
+                        .map_err(|_| self.err(format!("integer literal out of range: {s}")))?;
+                    Tok::Int(v)
+                }
+                c if c.is_ascii_lowercase() => {
+                    let mut s = String::new();
+                    while let Some(c2) = self.peek() {
+                        if c2.is_ascii_alphanumeric() || c2 == b'_' {
+                            s.push(c2 as char);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    if s == "is" {
+                        Tok::Op("is".into())
+                    } else {
+                        Tok::Atom(s)
+                    }
+                }
+                c if c.is_ascii_uppercase() || c == b'_' => {
+                    let mut s = String::new();
+                    while let Some(c2) = self.peek() {
+                        if c2.is_ascii_alphanumeric() || c2 == b'_' {
+                            s.push(c2 as char);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    Tok::Var(s)
+                }
+                other => {
+                    return Err(self.err(format!("unexpected character {:?}", other as char)))
+                }
+            };
+            out.push(SpannedTok { tok, line, col });
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    /// Counter for anonymous `_` variables, which must each be fresh.
+    anon: usize,
+}
+
+const COMPARISONS: &[&str] = &["=", "\\=", "==", "\\==", "<", ">", "=<", ">=", "is"];
+
+impl Parser {
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        match self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))) {
+            Some(t) => ParseError { line: t.line, col: t.col, message: message.into() },
+            None => ParseError { line: 0, col: 0, message: message.into() },
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.bump();
+                Ok(())
+            }
+            Some(t) => Err(self.err_here(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err_here(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn fresh_anon(&mut self) -> Term {
+        self.anon += 1;
+        Term::var(format!("_G{}", self.anon))
+    }
+
+    /// term := arith_expr (arith covers plain primaries too)
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        self.parse_additive()
+    }
+
+    fn parse_additive(&mut self) -> Result<Term, ParseError> {
+        let mut lhs = self.parse_multiplicative()?;
+        while let Some(Tok::Op(op)) = self.peek() {
+            let op = op.clone();
+            if op == "+" || op == "-" {
+                self.bump();
+                let rhs = self.parse_multiplicative()?;
+                lhs = Term::app(&op, vec![lhs, rhs]);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Term, ParseError> {
+        let mut lhs = self.parse_primary()?;
+        while let Some(Tok::Op(op)) = self.peek() {
+            let op = op.clone();
+            if op == "*" || op == "//" {
+                self.bump();
+                let rhs = self.parse_primary()?;
+                lhs = Term::app(&op, vec![lhs, rhs]);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_primary(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Term::int(v)),
+            Some(Tok::Op(op)) if op == "-" => {
+                // Negative integer literal.
+                match self.bump() {
+                    Some(Tok::Int(v)) => Ok(Term::int(-v)),
+                    _ => Err(self.err_here("expected integer after unary '-'")),
+                }
+            }
+            Some(Tok::Var(v)) => {
+                if v == "_" {
+                    Ok(self.fresh_anon())
+                } else {
+                    Ok(Term::var(v))
+                }
+            }
+            Some(Tok::Atom(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.bump();
+                    let args = self.parse_term_list()?;
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Term::app(&name, args))
+                } else {
+                    Ok(Term::atom(&name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let t = self.parse_term()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(t)
+            }
+            Some(Tok::LBracket) => self.parse_list(),
+            Some(other) => Err(self.err_here(format!("expected term, found {other:?}"))),
+            None => Err(self.err_here("expected term, found end of input")),
+        }
+    }
+
+    fn parse_list(&mut self) -> Result<Term, ParseError> {
+        if self.peek() == Some(&Tok::RBracket) {
+            self.bump();
+            return Ok(Term::nil());
+        }
+        let mut items = vec![self.parse_term()?];
+        loop {
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.bump();
+                    items.push(self.parse_term()?);
+                }
+                Some(Tok::Bar) => {
+                    self.bump();
+                    let tail = self.parse_term()?;
+                    self.expect(&Tok::RBracket, "']'")?;
+                    return Ok(items.into_iter().rev().fold(tail, |acc, t| Term::cons(t, acc)));
+                }
+                Some(Tok::RBracket) => {
+                    self.bump();
+                    return Ok(Term::list(items));
+                }
+                _ => return Err(self.err_here("expected ',', '|', or ']' in list")),
+            }
+        }
+    }
+
+    fn parse_term_list(&mut self) -> Result<Vec<Term>, ParseError> {
+        let mut out = vec![self.parse_term()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.bump();
+            out.push(self.parse_term()?);
+        }
+        Ok(out)
+    }
+
+    /// goal := '\+' goal | term (CMP term)?
+    fn parse_goal(&mut self) -> Result<Literal, ParseError> {
+        if self.peek() == Some(&Tok::NotSign) {
+            self.bump();
+            let inner = self.parse_goal()?;
+            if !inner.positive {
+                return Err(self.err_here("double negation is not supported"));
+            }
+            return Ok(Literal::neg(inner.atom));
+        }
+        let lhs = self.parse_term()?;
+        if let Some(Tok::Op(op)) = self.peek() {
+            if COMPARISONS.contains(&op.as_str()) {
+                let op = op.clone();
+                self.bump();
+                let rhs = self.parse_term()?;
+                return Ok(Literal::pos(Atom::new(&op, vec![lhs, rhs])));
+            }
+        }
+        // A plain goal must be an atom (not a variable or an arith term).
+        match lhs {
+            Term::App(name, args) => Ok(Literal::pos(Atom { name, args })),
+            Term::Var(_) => Err(self.err_here("a goal cannot be a variable")),
+        }
+    }
+
+    fn parse_clause(&mut self) -> Result<Rule, ParseError> {
+        let head_term = self.parse_term()?;
+        let head = match head_term {
+            Term::App(name, args) => Atom { name, args },
+            Term::Var(_) => return Err(self.err_here("clause head cannot be a variable")),
+        };
+        let mut body = Vec::new();
+        if self.peek() == Some(&Tok::Neck) {
+            self.bump();
+            body.push(self.parse_goal()?);
+            while self.peek() == Some(&Tok::Comma) {
+                self.bump();
+                body.push(self.parse_goal()?);
+            }
+        }
+        self.expect(&Tok::EndClause, "'.' ending the clause")?;
+        Ok(Rule { head, body })
+    }
+
+    fn parse_program(&mut self) -> Result<Program, ParseError> {
+        let mut rules = Vec::new();
+        while self.peek().is_some() {
+            rules.push(self.parse_clause()?);
+        }
+        Ok(Program::from_rules(rules))
+    }
+}
+
+/// Parse a complete program.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = Lexer::new(src).tokenize()?;
+    Parser { toks, pos: 0, anon: 0 }.parse_program()
+}
+
+/// Parse a single term (no trailing `.`).
+pub fn parse_term(src: &str) -> Result<Term, ParseError> {
+    let toks = Lexer::new(src).tokenize()?;
+    let mut p = Parser { toks, pos: 0, anon: 0 };
+    let t = p.parse_term()?;
+    if p.peek().is_some() {
+        return Err(p.err_here("trailing input after term"));
+    }
+    Ok(t)
+}
+
+/// Parse a query: a comma-separated goal list with optional trailing `.`.
+pub fn parse_query(src: &str) -> Result<Vec<Literal>, ParseError> {
+    let toks = Lexer::new(src).tokenize()?;
+    let mut p = Parser { toks, pos: 0, anon: 0 };
+    let mut goals = vec![p.parse_goal()?];
+    while p.peek() == Some(&Tok::Comma) {
+        p.bump();
+        goals.push(p.parse_goal()?);
+    }
+    if p.peek() == Some(&Tok::EndClause) {
+        p.bump();
+    }
+    if p.peek().is_some() {
+        return Err(p.err_here("trailing input after query"));
+    }
+    Ok(goals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_and_rules() {
+        let p = parse_program(
+            "append([], Ys, Ys).\n\
+             append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[0].body.len(), 0);
+        assert_eq!(p.rules[1].body.len(), 1);
+        assert_eq!(&*p.rules[1].head.name, "append");
+    }
+
+    #[test]
+    fn paper_perm_example_parses() {
+        // Example 3.1 of the paper.
+        let p = parse_program(
+            "perm([], []).\n\
+             perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        let r = &p.rules[1];
+        assert_eq!(r.body.len(), 3);
+        assert_eq!(&*r.body[0].atom.name, "append");
+        assert_eq!(&*r.body[2].atom.name, "perm");
+    }
+
+    #[test]
+    fn paper_merge_example_parses() {
+        // Example 5.1 with =< comparison goals.
+        let p = parse_program(
+            "merge([], Ys, Ys).\n\
+             merge(Xs, [], Xs).\n\
+             merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs).\n\
+             merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, merge(Ys, [X|Xs], Zs).\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 4);
+        assert_eq!(&*p.rules[2].body[0].atom.name, "=<");
+        assert_eq!(p.rules[2].body[0].atom.args.len(), 2);
+    }
+
+    #[test]
+    fn paper_parser_example_parses() {
+        // Example 6.1 with quoted atoms inside lists.
+        let p = parse_program(
+            "e(L, T) :- t(L, ['+'|C]), e(C, T).\n\
+             e(L, T) :- t(L, T).\n\
+             t(L, T) :- n(L, ['*'|C]), t(C, T).\n\
+             t(L, T) :- n(L, T).\n\
+             n(['('|A], T) :- e(A, [')'|T]).\n\
+             n([L|T], T) :- z(L).\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 6);
+        // ['+'|C] is cons('+', C).
+        let arg = &p.rules[0].body[0].atom.args[1];
+        assert_eq!(arg.to_string(), "['+' | C]");
+    }
+
+    #[test]
+    fn negation() {
+        let p = parse_program("p(X) :- q(X), \\+ r(X).").unwrap();
+        assert!(p.rules[0].body[0].positive);
+        assert!(!p.rules[0].body[1].positive);
+    }
+
+    #[test]
+    fn comments_and_layout() {
+        let p = parse_program(
+            "% line comment\n\
+             p(a). /* block\n comment */ p(b).\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+    }
+
+    #[test]
+    fn anonymous_vars_are_fresh() {
+        let p = parse_program("p(_, _).").unwrap();
+        let args = &p.rules[0].head.args;
+        assert_ne!(args[0], args[1]);
+    }
+
+    #[test]
+    fn arithmetic_terms() {
+        let t = parse_term("1 + 2 * 3").unwrap();
+        assert_eq!(t.to_string(), "'+'(1, '*'(2, 3))");
+        let t2 = parse_term("(1 + 2) * 3").unwrap();
+        assert_eq!(t2.to_string(), "'*'('+'(1, 2), 3)");
+    }
+
+    #[test]
+    fn is_goal() {
+        let p = parse_program("len([], 0).\nlen([_|T], N) :- len(T, M), N is M + 1.").unwrap();
+        let g = &p.rules[1].body[1];
+        assert_eq!(&*g.atom.name, "is");
+    }
+
+    #[test]
+    fn open_and_closed_lists() {
+        assert_eq!(parse_term("[]").unwrap(), Term::nil());
+        assert_eq!(
+            parse_term("[a, b]").unwrap(),
+            Term::list([Term::atom("a"), Term::atom("b")])
+        );
+        assert_eq!(
+            parse_term("[H|T]").unwrap(),
+            Term::cons(Term::var("H"), Term::var("T"))
+        );
+        assert_eq!(
+            parse_term("[a, b | T]").unwrap(),
+            Term::cons(Term::atom("a"), Term::cons(Term::atom("b"), Term::var("T")))
+        );
+    }
+
+    #[test]
+    fn quoted_atoms() {
+        assert_eq!(parse_term("'hello world'").unwrap(), Term::atom("hello world"));
+        assert_eq!(parse_term("'it''s'").unwrap(), Term::atom("it's"));
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let e = parse_program("p(a)\nq(b).").unwrap_err();
+        assert_eq!(e.line, 2, "error should point at the offending token");
+        assert!(parse_program("p(.").is_err());
+        assert!(parse_program("p() :- .").is_err());
+        assert!(parse_program("X :- p.").is_err());
+        assert!(parse_program("p :- X.").is_err());
+    }
+
+    #[test]
+    fn negative_integers() {
+        assert_eq!(parse_term("-5").unwrap(), Term::int(-5));
+        let p = parse_program("p(-3).").unwrap();
+        assert_eq!(p.rules[0].head.args[0], Term::int(-3));
+    }
+
+    #[test]
+    fn query_parsing() {
+        let goals = parse_query("append(X, Y, [a]), X = [].").unwrap();
+        assert_eq!(goals.len(), 2);
+        assert_eq!(&*goals[1].atom.name, "=");
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let src = "perm(P, [X | L]) :- append(E, [X | F], P), append(E, F, P1), perm(P1, L).\n";
+        let p = parse_program(src).unwrap();
+        let printed = p.to_string();
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn zero_arity_predicates() {
+        let p = parse_program("go :- init, run.\ninit.\nrun.").unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert_eq!(p.rules[0].body.len(), 2);
+        assert_eq!(p.rules[1].head.args.len(), 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Atoms, literals, rules, and programs.
+//!
+//! The collection of all rules for one predicate is the *logic procedure*
+//! for that predicate; the complete rule set is the IDB (paper §2). EDB
+//! predicates are those that never appear in a rule head.
+
+use crate::term::Term;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// A predicate identity: name plus arity. `append/3` and `append/2` are
+/// different predicates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredKey {
+    /// Predicate name.
+    pub name: Rc<str>,
+    /// Number of arguments.
+    pub arity: usize,
+}
+
+impl PredKey {
+    /// Build a key.
+    pub fn new(name: impl AsRef<str>, arity: usize) -> PredKey {
+        PredKey { name: Rc::from(name.as_ref()), arity }
+    }
+}
+
+impl fmt::Display for PredKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+/// An atomic formula `p(t1, …, tn)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// Predicate name.
+    pub name: Rc<str>,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(name: impl AsRef<str>, args: Vec<Term>) -> Atom {
+        Atom { name: Rc::from(name.as_ref()), args }
+    }
+
+    /// The predicate key of this atom.
+    pub fn key(&self) -> PredKey {
+        PredKey { name: self.name.clone(), arity: self.args.len() }
+    }
+
+    /// Distinct variables, first-occurrence order.
+    pub fn vars(&self) -> Vec<Rc<str>> {
+        let mut occ = Vec::new();
+        for a in &self.args {
+            a.var_occurrences(&mut occ);
+        }
+        let mut seen = BTreeSet::new();
+        occ.retain(|v| seen.insert(v.clone()));
+        occ
+    }
+
+    /// Rename all variables with a suffix.
+    pub fn rename_suffix(&self, suffix: &str) -> Atom {
+        Atom {
+            name: self.name.clone(),
+            args: self.args.iter().map(|t| t.rename_suffix(suffix)).collect(),
+        }
+    }
+
+    /// True iff every argument is a distinct variable (a "most general"
+    /// atom), which predicate splitting tries to establish for subgoals.
+    pub fn is_most_general(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.args.iter().all(|t| match t {
+            Term::Var(v) => seen.insert(v.clone()),
+            _ => false,
+        })
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.args.is_empty() {
+            return write!(f, "{}", self.name);
+        }
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A body literal: a possibly negated atom.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// The atom.
+    pub atom: Atom,
+    /// Polarity: `true` for a positive subgoal, `false` for `\+ atom`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn pos(atom: Atom) -> Literal {
+        Literal { atom, positive: true }
+    }
+
+    /// A negative literal.
+    pub fn neg(atom: Atom) -> Literal {
+        Literal { atom, positive: false }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.atom)
+        } else {
+            write!(f, "\\+ {}", self.atom)
+        }
+    }
+}
+
+/// A rule `head :- body` (a fact when the body is empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Head atom.
+    pub head: Atom,
+    /// Body literals, in left-to-right execution order.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// A fact.
+    pub fn fact(head: Atom) -> Rule {
+        Rule { head, body: Vec::new() }
+    }
+
+    /// A rule with a body.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// Distinct variables over head and body, first occurrence order.
+    pub fn vars(&self) -> Vec<Rc<str>> {
+        let mut occ = Vec::new();
+        for a in &self.head.args {
+            a.var_occurrences(&mut occ);
+        }
+        for l in &self.body {
+            for a in &l.atom.args {
+                a.var_occurrences(&mut occ);
+            }
+        }
+        let mut seen = BTreeSet::new();
+        occ.retain(|v| seen.insert(v.clone()));
+        occ
+    }
+
+    /// Rename all variables apart with a suffix.
+    pub fn rename_suffix(&self, suffix: &str) -> Rule {
+        Rule {
+            head: self.head.rename_suffix(suffix),
+            body: self
+                .body
+                .iter()
+                .map(|l| Literal { atom: l.atom.rename_suffix(suffix), positive: l.positive })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A logic program: an ordered collection of rules.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Rules in source order (order matters for Prolog-style execution).
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Build from rules.
+    pub fn from_rules(rules: Vec<Rule>) -> Program {
+        Program { rules }
+    }
+
+    /// All predicates that appear in some head (the IDB predicates).
+    pub fn idb_predicates(&self) -> BTreeSet<PredKey> {
+        self.rules.iter().map(|r| r.head.key()).collect()
+    }
+
+    /// All predicates appearing anywhere.
+    pub fn all_predicates(&self) -> BTreeSet<PredKey> {
+        let mut out = BTreeSet::new();
+        for r in &self.rules {
+            out.insert(r.head.key());
+            for l in &r.body {
+                out.insert(l.atom.key());
+            }
+        }
+        out
+    }
+
+    /// Predicates that appear only in bodies: EDB / builtin predicates.
+    pub fn edb_predicates(&self) -> BTreeSet<PredKey> {
+        let idb = self.idb_predicates();
+        self.all_predicates().into_iter().filter(|p| !idb.contains(p)).collect()
+    }
+
+    /// The rules whose head is `pred` — the logic procedure for `pred`.
+    pub fn procedure(&self, pred: &PredKey) -> Vec<&Rule> {
+        self.rules.iter().filter(|r| &r.head.key() == pred).collect()
+    }
+
+    /// Append another program's rules.
+    pub fn extend(&mut self, other: Program) {
+        self.rules.extend(other.rules);
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn append_program() -> Program {
+        // append([], Ys, Ys).
+        // append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+        let r1 = Rule::fact(Atom::new(
+            "append",
+            vec![Term::nil(), Term::var("Ys"), Term::var("Ys")],
+        ));
+        let r2 = Rule::new(
+            Atom::new(
+                "append",
+                vec![
+                    Term::cons(Term::var("X"), Term::var("Xs")),
+                    Term::var("Ys"),
+                    Term::cons(Term::var("X"), Term::var("Zs")),
+                ],
+            ),
+            vec![Literal::pos(Atom::new(
+                "append",
+                vec![Term::var("Xs"), Term::var("Ys"), Term::var("Zs")],
+            ))],
+        );
+        Program::from_rules(vec![r1, r2])
+    }
+
+    #[test]
+    fn idb_edb_partition() {
+        let mut p = append_program();
+        p.rules.push(Rule::new(
+            Atom::new("main", vec![Term::var("X")]),
+            vec![
+                Literal::pos(Atom::new("e", vec![Term::var("X")])),
+                Literal::pos(Atom::new(
+                    "append",
+                    vec![Term::var("X"), Term::var("X"), Term::var("Y")],
+                )),
+            ],
+        ));
+        let idb = p.idb_predicates();
+        assert!(idb.contains(&PredKey::new("append", 3)));
+        assert!(idb.contains(&PredKey::new("main", 1)));
+        let edb = p.edb_predicates();
+        assert!(edb.contains(&PredKey::new("e", 1)));
+        assert!(!edb.contains(&PredKey::new("append", 3)));
+    }
+
+    #[test]
+    fn procedure_selects_rules() {
+        let p = append_program();
+        assert_eq!(p.procedure(&PredKey::new("append", 3)).len(), 2);
+        assert_eq!(p.procedure(&PredKey::new("nope", 1)).len(), 0);
+    }
+
+    #[test]
+    fn rule_vars_in_order() {
+        let p = append_program();
+        let vs = p.rules[1].vars();
+        let names: Vec<&str> = vs.iter().map(|v| &**v).collect();
+        assert_eq!(names, ["X", "Xs", "Ys", "Zs"]);
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let p = append_program();
+        let s = p.to_string();
+        assert!(s.contains("append([], Ys, Ys)."));
+        assert!(s.contains("append([X | Xs], Ys, [X | Zs]) :- append(Xs, Ys, Zs)."));
+    }
+
+    #[test]
+    fn most_general_atom() {
+        let a = Atom::new("p", vec![Term::var("X"), Term::var("Y")]);
+        assert!(a.is_most_general());
+        let b = Atom::new("p", vec![Term::var("X"), Term::var("X")]);
+        assert!(!b.is_most_general());
+        let c = Atom::new("p", vec![Term::atom("a")]);
+        assert!(!c.is_most_general());
+    }
+
+    #[test]
+    fn negative_literal_display() {
+        let l = Literal::neg(Atom::new("q", vec![Term::var("X")]));
+        assert_eq!(l.to_string(), "\\+ q(X)");
+    }
+}

@@ -1,0 +1,374 @@
+//! Logical terms and the structural term-size measure.
+//!
+//! A term is a logical variable, or a function symbol applied to terms;
+//! constants are zero-arity applications (paper §2.1). The paper's
+//! *structural term size* of a ground term is the number of edges of its
+//! tree — equivalently, the sum of the arities of its function symbol
+//! occurrences (§2.2). For non-ground terms the size is a linear polynomial
+//! over size variables, one per logical variable; see [`SizePolynomial`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A logical term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A logical variable, by name (e.g. `Xs`).
+    Var(Rc<str>),
+    /// A function symbol applied to arguments; constants have no arguments.
+    App(Rc<str>, Vec<Term>),
+}
+
+impl Term {
+    /// A variable.
+    pub fn var(name: impl AsRef<str>) -> Term {
+        Term::Var(Rc::from(name.as_ref()))
+    }
+
+    /// A constant (zero-arity function symbol).
+    pub fn atom(name: impl AsRef<str>) -> Term {
+        Term::App(Rc::from(name.as_ref()), Vec::new())
+    }
+
+    /// A compound term.
+    pub fn app(functor: impl AsRef<str>, args: Vec<Term>) -> Term {
+        Term::App(Rc::from(functor.as_ref()), args)
+    }
+
+    /// An integer constant, encoded as a constant symbol (the analyzer
+    /// treats distinct integers as distinct constants of size 0).
+    pub fn int(v: i64) -> Term {
+        Term::atom(v.to_string())
+    }
+
+    /// The empty list `[]`.
+    pub fn nil() -> Term {
+        Term::atom("[]")
+    }
+
+    /// The list cell `'.'(head, tail)` — the paper's infix cons `H • T`.
+    pub fn cons(head: Term, tail: Term) -> Term {
+        Term::app(".", vec![head, tail])
+    }
+
+    /// A proper list from an iterator of elements.
+    pub fn list(items: impl IntoIterator<Item = Term>) -> Term {
+        let items: Vec<Term> = items.into_iter().collect();
+        items.into_iter().rev().fold(Term::nil(), |acc, t| Term::cons(t, acc))
+    }
+
+    /// True iff the term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// True iff the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::App(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// The functor name and arity, if a compound/constant.
+    pub fn functor(&self) -> Option<(&str, usize)> {
+        match self {
+            Term::Var(_) => None,
+            Term::App(f, args) => Some((f, args.len())),
+        }
+    }
+
+    /// Collect variable names (in depth-first order, with duplicates).
+    pub fn var_occurrences(&self, out: &mut Vec<Rc<str>>) {
+        match self {
+            Term::Var(v) => out.push(v.clone()),
+            Term::App(_, args) => {
+                for a in args {
+                    a.var_occurrences(out);
+                }
+            }
+        }
+    }
+
+    /// The set of distinct variable names.
+    pub fn vars(&self) -> Vec<Rc<str>> {
+        let mut occ = Vec::new();
+        self.var_occurrences(&mut occ);
+        let mut seen = std::collections::BTreeSet::new();
+        occ.retain(|v| seen.insert(v.clone()));
+        occ
+    }
+
+    /// True iff `name` occurs in the term.
+    pub fn mentions(&self, name: &str) -> bool {
+        match self {
+            Term::Var(v) => &**v == name,
+            Term::App(_, args) => args.iter().any(|a| a.mentions(name)),
+        }
+    }
+
+    /// Structural term size of a ground term: the sum of the arities of its
+    /// function symbols (paper §2.2). `None` if the term is not ground.
+    pub fn ground_size(&self) -> Option<u64> {
+        match self {
+            Term::Var(_) => None,
+            Term::App(_, args) => {
+                let mut total = args.len() as u64;
+                for a in args {
+                    total += a.ground_size()?;
+                }
+                Some(total)
+            }
+        }
+    }
+
+    /// The size polynomial of a (possibly non-ground) term: a constant plus
+    /// one nonnegative integer coefficient per variable (the number of
+    /// occurrences). E.g. `f(v1, g(v2), v2)` has polynomial `4 + v1 + 2·v2`.
+    pub fn size_polynomial(&self) -> SizePolynomial {
+        let mut p = SizePolynomial::default();
+        self.accumulate_size(&mut p);
+        p
+    }
+
+    fn accumulate_size(&self, p: &mut SizePolynomial) {
+        match self {
+            Term::Var(v) => {
+                *p.coeffs.entry(v.clone()).or_insert(0) += 1;
+            }
+            Term::App(_, args) => {
+                p.constant += args.len() as u64;
+                for a in args {
+                    a.accumulate_size(p);
+                }
+            }
+        }
+    }
+
+    /// Rename every variable with the given suffix (used to rename clauses
+    /// apart before unification).
+    pub fn rename_suffix(&self, suffix: &str) -> Term {
+        match self {
+            Term::Var(v) => Term::var(format!("{v}{suffix}")),
+            Term::App(f, args) => {
+                Term::App(f.clone(), args.iter().map(|a| a.rename_suffix(suffix)).collect())
+            }
+        }
+    }
+
+    /// Depth of the term tree (a variable or constant has depth 0).
+    pub fn depth(&self) -> u64 {
+        match self {
+            Term::Var(_) => 0,
+            Term::App(_, args) => match args.iter().map(Term::depth).max() {
+                Some(d) => 1 + d,
+                None => 0,
+            },
+        }
+    }
+
+    /// If the term is a proper list, its elements.
+    pub fn as_proper_list(&self) -> Option<Vec<&Term>> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Term::App(f, args) if &**f == "[]" && args.is_empty() => return Some(out),
+                Term::App(f, args) if &**f == "." && args.len() == 2 => {
+                    out.push(&args[0]);
+                    cur = &args[1];
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+/// A linear polynomial `constant + Σ coeff(v)·v` with nonnegative integer
+/// coefficients, representing the structural size of a term (paper §2.2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SizePolynomial {
+    /// Constant part (total arity of the term's function symbols).
+    pub constant: u64,
+    /// Occurrence count per variable.
+    pub coeffs: BTreeMap<Rc<str>, u64>,
+}
+
+impl fmt::Display for SizePolynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.constant)?;
+        for (v, c) in &self.coeffs {
+            if *c == 1 {
+                write!(f, " + {v}")?;
+            } else {
+                write!(f, " + {c}*{v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Is an identifier a syntactically valid unquoted atom name?
+fn plain_atom(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => chars.all(|c| c.is_ascii_alphanumeric() || c == '_'),
+        Some(c) if c.is_ascii_digit() || c == '-' => {
+            // Integers render unquoted.
+            name.parse::<i64>().is_ok()
+        }
+        _ => name == "[]",
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::App(name, args) if args.is_empty() => {
+                if plain_atom(name) {
+                    write!(f, "{name}")
+                } else {
+                    write!(f, "'{name}'")
+                }
+            }
+            Term::App(name, args) if &**name == "." && args.len() == 2 => {
+                // List sugar: [a, b | T] or [a, b].
+                write!(f, "[{}", args[0])?;
+                let mut tail = &args[1];
+                loop {
+                    match tail {
+                        Term::App(n2, a2) if &**n2 == "." && a2.len() == 2 => {
+                            write!(f, ", {}", a2[0])?;
+                            tail = &a2[1];
+                        }
+                        Term::App(n2, a2) if &**n2 == "[]" && a2.is_empty() => {
+                            return write!(f, "]");
+                        }
+                        other => return write!(f, " | {other}]"),
+                    }
+                }
+            }
+            Term::App(name, args) => {
+                if plain_atom(name) {
+                    write!(f, "{name}(")?;
+                } else {
+                    write!(f, "'{name}'(")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_size_matches_paper_example() {
+        // a • b • c • [] has structural term size 6 (paper §2.2).
+        let t = Term::list([Term::atom("a"), Term::atom("b"), Term::atom("c")]);
+        assert_eq!(t.ground_size(), Some(6));
+    }
+
+    #[test]
+    fn ground_size_of_constant_is_zero() {
+        assert_eq!(Term::atom("a").ground_size(), Some(0));
+        assert_eq!(Term::nil().ground_size(), Some(0));
+    }
+
+    #[test]
+    fn size_polynomial_matches_paper_example() {
+        // f(u, v, a): size 3 + u + v (paper §2.2).
+        let t = Term::app("f", vec![Term::var("u"), Term::var("v"), Term::atom("a")]);
+        let p = t.size_polynomial();
+        assert_eq!(p.constant, 3);
+        assert_eq!(p.coeffs.get("u").copied(), Some(1));
+        assert_eq!(p.coeffs.get("v").copied(), Some(1));
+    }
+
+    #[test]
+    fn size_polynomial_counts_repeated_vars() {
+        // f(v1, g(v2), v2): size 4 + v1 + 2 v2 (paper §2.2 example for x(1)).
+        let t = Term::app(
+            "f",
+            vec![
+                Term::var("v1"),
+                Term::app("g", vec![Term::var("v2")]),
+                Term::var("v2"),
+            ],
+        );
+        let p = t.size_polynomial();
+        assert_eq!(p.constant, 4);
+        assert_eq!(p.coeffs.get("v1").copied(), Some(1));
+        assert_eq!(p.coeffs.get("v2").copied(), Some(2));
+    }
+
+    #[test]
+    fn nonground_has_no_ground_size() {
+        assert_eq!(Term::var("X").ground_size(), None);
+        assert_eq!(Term::cons(Term::var("H"), Term::nil()).ground_size(), None);
+    }
+
+    #[test]
+    fn vars_dedup_preserves_order() {
+        let t = Term::app("f", vec![Term::var("B"), Term::var("A"), Term::var("B")]);
+        let vs = t.vars();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(&*vs[0], "B");
+        assert_eq!(&*vs[1], "A");
+    }
+
+    #[test]
+    fn display_list_sugar() {
+        let t = Term::list([Term::atom("a"), Term::atom("b")]);
+        assert_eq!(t.to_string(), "[a, b]");
+        let open = Term::cons(Term::var("H"), Term::var("T"));
+        assert_eq!(open.to_string(), "[H | T]");
+        assert_eq!(Term::nil().to_string(), "[]");
+    }
+
+    #[test]
+    fn display_compound_and_quoting() {
+        let t = Term::app("foo", vec![Term::var("X"), Term::atom("Bar is odd")]);
+        assert_eq!(t.to_string(), "foo(X, 'Bar is odd')");
+        assert_eq!(Term::int(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn as_proper_list() {
+        let t = Term::list([Term::int(1), Term::int(2)]);
+        assert_eq!(t.as_proper_list().map(|v| v.len()), Some(2));
+        let open = Term::cons(Term::int(1), Term::var("T"));
+        assert!(open.as_proper_list().is_none());
+    }
+
+    #[test]
+    fn depth() {
+        assert_eq!(Term::atom("a").depth(), 0);
+        assert_eq!(Term::var("X").depth(), 0);
+        assert_eq!(Term::list([Term::atom("a"), Term::atom("b")]).depth(), 2);
+    }
+
+    #[test]
+    fn rename_suffix() {
+        let t = Term::app("f", vec![Term::var("X"), Term::atom("c")]);
+        let r = t.rename_suffix("_1");
+        assert_eq!(r.to_string(), "f(X_1, c)");
+    }
+
+    #[test]
+    fn mentions() {
+        let t = Term::app("f", vec![Term::var("X")]);
+        assert!(t.mentions("X"));
+        assert!(!t.mentions("Y"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Substitutions and unification.
+//!
+//! Substitutions are triangular: a binding may map a variable to a term that
+//! itself contains bound variables; [`Subst::resolve`] walks bindings to a
+//! fixed point. Unification optionally performs the occurs check (Prolog
+//! omits it by default; the analyzer's syntactic transformations use it).
+
+use crate::program::Atom;
+use crate::term::Term;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A substitution: a finite map from variable names to terms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Subst {
+    map: HashMap<Rc<str>, Term>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up a direct binding.
+    pub fn get(&self, v: &str) -> Option<&Term> {
+        self.map.get(v)
+    }
+
+    /// Bind `v` to `t`. Overwrites silently; callers maintain consistency.
+    pub fn bind(&mut self, v: Rc<str>, t: Term) {
+        self.map.insert(v, t);
+    }
+
+    /// Remove a binding (used by trail-based engines to backtrack).
+    pub fn unbind(&mut self, v: &str) {
+        self.map.remove(v);
+    }
+
+    /// Walk variable bindings at the *root* only: follow `v -> t` while `t`
+    /// is itself a bound variable.
+    pub fn walk<'a>(&'a self, t: &'a Term) -> &'a Term {
+        let mut cur = t;
+        let mut steps = 0usize;
+        while let Term::Var(v) = cur {
+            match self.map.get(v) {
+                Some(next) => {
+                    cur = next;
+                    steps += 1;
+                    debug_assert!(steps <= self.map.len() + 1, "binding cycle");
+                }
+                None => break,
+            }
+        }
+        cur
+    }
+
+    /// Fully apply the substitution to a term.
+    pub fn resolve(&self, t: &Term) -> Term {
+        let walked = self.walk(t);
+        match walked {
+            Term::Var(_) => walked.clone(),
+            Term::App(f, args) => {
+                Term::App(f.clone(), args.iter().map(|a| self.resolve(a)).collect())
+            }
+        }
+    }
+
+    /// Apply to an atom.
+    pub fn resolve_atom(&self, a: &Atom) -> Atom {
+        Atom { name: a.name.clone(), args: a.args.iter().map(|t| self.resolve(t)).collect() }
+    }
+
+    /// Does `v` occur in `t` after resolution?
+    fn occurs(&self, v: &str, t: &Term) -> bool {
+        match self.walk(t) {
+            Term::Var(w) => &**w == v,
+            Term::App(_, args) => args.iter().any(|a| self.occurs(v, a)),
+        }
+    }
+}
+
+/// Unify two terms under an existing substitution, extending it in place.
+/// Returns `false` (leaving the substitution in an unspecified extended
+/// state) if unification fails — callers that need rollback should clone.
+pub fn unify(s: &mut Subst, a: &Term, b: &Term, occurs_check: bool) -> bool {
+    let ra = s.walk(a).clone();
+    let rb = s.walk(b).clone();
+    match (&ra, &rb) {
+        (Term::Var(v), Term::Var(w)) if v == w => true,
+        (Term::Var(v), t) => {
+            if occurs_check && s.occurs(v, t) {
+                return false;
+            }
+            s.bind(v.clone(), t.clone());
+            true
+        }
+        (t, Term::Var(v)) => {
+            if occurs_check && s.occurs(v, t) {
+                return false;
+            }
+            s.bind(v.clone(), t.clone());
+            true
+        }
+        (Term::App(f, fa), Term::App(g, ga)) => {
+            if f != g || fa.len() != ga.len() {
+                return false;
+            }
+            fa.iter().zip(ga.iter()).all(|(x, y)| unify(s, x, y, occurs_check))
+        }
+    }
+}
+
+/// Compute the most general unifier of two terms from scratch.
+pub fn mgu(a: &Term, b: &Term, occurs_check: bool) -> Option<Subst> {
+    let mut s = Subst::new();
+    if unify(&mut s, a, b, occurs_check) {
+        Some(s)
+    } else {
+        None
+    }
+}
+
+/// Unify two atoms (same predicate and arity required).
+pub fn unify_atoms(s: &mut Subst, a: &Atom, b: &Atom, occurs_check: bool) -> bool {
+    if a.name != b.name || a.args.len() != b.args.len() {
+        return false;
+    }
+    a.args.iter().zip(b.args.iter()).all(|(x, y)| unify(s, x, y, occurs_check))
+}
+
+/// Do two atoms unify, without keeping the unifier?
+pub fn atoms_unifiable(a: &Atom, b: &Atom, occurs_check: bool) -> bool {
+    let mut s = Subst::new();
+    unify_atoms(&mut s, a, b, occurs_check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_term;
+
+    fn t(src: &str) -> Term {
+        parse_term(src).unwrap()
+    }
+
+    #[test]
+    fn unify_identical_constants() {
+        assert!(mgu(&t("a"), &t("a"), true).is_some());
+        assert!(mgu(&t("a"), &t("b"), true).is_none());
+    }
+
+    #[test]
+    fn unify_var_to_term() {
+        let s = mgu(&t("X"), &t("f(a)"), true).unwrap();
+        assert_eq!(s.resolve(&t("X")), t("f(a)"));
+    }
+
+    #[test]
+    fn unify_compound() {
+        let s = mgu(&t("f(X, g(Y))"), &t("f(a, g(b))"), true).unwrap();
+        assert_eq!(s.resolve(&t("X")), t("a"));
+        assert_eq!(s.resolve(&t("Y")), t("b"));
+    }
+
+    #[test]
+    fn unify_propagates_bindings() {
+        // f(X, X) with f(a, Y) should bind both X=a and Y=a.
+        let s = mgu(&t("f(X, X)"), &t("f(a, Y)"), true).unwrap();
+        assert_eq!(s.resolve(&t("Y")), t("a"));
+    }
+
+    #[test]
+    fn unify_fails_on_clash() {
+        assert!(mgu(&t("f(X, b)"), &t("f(a, c)"), true).is_none());
+        assert!(mgu(&t("f(X)"), &t("g(X)"), true).is_none());
+        assert!(mgu(&t("f(X)"), &t("f(X, Y)"), true).is_none());
+    }
+
+    #[test]
+    fn occurs_check_behaviour() {
+        // X = f(X): fails with occurs check, "succeeds" without.
+        assert!(mgu(&t("X"), &t("f(X)"), true).is_none());
+        assert!(mgu(&t("X"), &t("f(X)"), false).is_some());
+    }
+
+    #[test]
+    fn mgu_is_most_general() {
+        // f(X, Y) vs f(Y, Z): the mgu must not ground anything.
+        let s = mgu(&t("f(X, Y)"), &t("f(Y, Z)"), true).unwrap();
+        let rx = s.resolve(&t("X"));
+        let rz = s.resolve(&t("Z"));
+        assert_eq!(rx, rz, "X and Z must be aliased");
+        assert!(rx.is_var());
+    }
+
+    #[test]
+    fn unifier_unifies() {
+        let a = t("p(f(X), [a|T])");
+        let b = t("p(Y, [a, b])");
+        let s = mgu(&a, &b, true).unwrap();
+        assert_eq!(s.resolve(&a), s.resolve(&b));
+    }
+
+    #[test]
+    fn atoms() {
+        let a = Atom::new("p", vec![t("X")]);
+        let b = Atom::new("p", vec![t("f(a)")]);
+        assert!(atoms_unifiable(&a, &b, true));
+        let c = Atom::new("q", vec![t("f(a)")]);
+        assert!(!atoms_unifiable(&a, &c, true));
+    }
+
+    #[test]
+    fn resolve_walks_chains() {
+        let mut s = Subst::new();
+        assert!(unify(&mut s, &t("X"), &t("Y"), true));
+        assert!(unify(&mut s, &t("Y"), &t("f(Z)"), true));
+        assert!(unify(&mut s, &t("Z"), &t("a"), true));
+        assert_eq!(s.resolve(&t("X")), t("f(a)"));
+    }
+
+    #[test]
+    fn list_unification() {
+        let s = mgu(&t("[H|T]"), &t("[a, b, c]"), true).unwrap();
+        assert_eq!(s.resolve(&t("H")), t("a"));
+        assert_eq!(s.resolve(&t("T")), t("[b, c]"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for terms, parsing, and unification.
+
+use argus_logic::parser::{parse_program, parse_term};
+use argus_logic::term::Term;
+use argus_logic::unify::{mgu, Subst};
+use proptest::prelude::*;
+
+/// Random ground-ish terms (variables included) with bounded depth.
+fn term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("nil")]
+            .prop_map(Term::atom),
+        prop_oneof![Just("X"), Just("Y"), Just("Zs"), Just("W")]
+            .prop_map(Term::var),
+        (-50i64..50).prop_map(Term::int),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (prop_oneof![Just("f"), Just("g"), Just("node")], proptest::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(f, args)| Term::app(f, args)),
+            (inner.clone(), inner).prop_map(|(h, t)| Term::cons(h, t)),
+        ]
+    })
+}
+
+proptest! {
+    /// Display → parse is the identity on terms.
+    #[test]
+    fn term_display_parse_roundtrip(t in term_strategy()) {
+        let printed = t.to_string();
+        let back = parse_term(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(back, t);
+    }
+
+    /// Ground terms have a size equal to their size polynomial's constant.
+    #[test]
+    fn ground_size_matches_polynomial(t in term_strategy()) {
+        let p = t.size_polynomial();
+        match t.ground_size() {
+            Some(s) => {
+                prop_assert!(t.is_ground());
+                prop_assert_eq!(p.coeffs.len(), 0);
+                prop_assert_eq!(s, p.constant);
+            }
+            None => prop_assert!(!t.is_ground()),
+        }
+    }
+
+    /// The mgu, when it exists, actually unifies, and is idempotent.
+    #[test]
+    fn mgu_unifies_and_is_idempotent(a in term_strategy(), b in term_strategy()) {
+        if let Some(s) = mgu(&a, &b, true) {
+            let ra = s.resolve(&a);
+            let rb = s.resolve(&b);
+            prop_assert_eq!(&ra, &rb);
+            // Idempotence: resolving again changes nothing.
+            prop_assert_eq!(s.resolve(&ra), ra);
+        }
+    }
+
+    /// Unification is symmetric in success.
+    #[test]
+    fn unification_symmetric(a in term_strategy(), b in term_strategy()) {
+        prop_assert_eq!(mgu(&a, &b, true).is_some(), mgu(&b, &a, true).is_some());
+    }
+
+    /// A renamed-apart copy always unifies with the original when the
+    /// original's variables don't clash (grounding both sides of fresh
+    /// names), and renaming preserves the size polynomial constant.
+    #[test]
+    fn rename_preserves_structure(t in term_strategy()) {
+        let r = t.rename_suffix("_fresh");
+        prop_assert_eq!(t.size_polynomial().constant, r.size_polynomial().constant);
+        prop_assert_eq!(t.depth(), r.depth());
+        prop_assert_eq!(t.is_ground(), r.is_ground());
+        if t.is_ground() {
+            prop_assert_eq!(&r, &t);
+        }
+        prop_assert!(mgu(&t, &r, false).is_some(), "a term unifies with its renaming");
+    }
+
+    /// Substitution composition: resolving through an extended substitution
+    /// equals resolving the resolved term.
+    #[test]
+    fn resolve_composes(a in term_strategy(), b in term_strategy()) {
+        let mut s = Subst::new();
+        if argus_logic::unify::unify(&mut s, &a, &b, true) {
+            let once = s.resolve(&a);
+            let twice = s.resolve(&once);
+            prop_assert_eq!(once, twice);
+        }
+    }
+}
+
+/// Program-level round trip over generated programs assembled from random
+/// rules (heads and bodies built from the term generator).
+fn small_program_strategy() -> impl Strategy<Value = String> {
+    fn atom() -> impl Strategy<Value = (&'static str, Vec<Term>)> {
+        (
+            prop_oneof![Just("p"), Just("q"), Just("r")],
+            proptest::collection::vec(term_strategy(), 1..3),
+        )
+    }
+    let rule = (atom(), proptest::collection::vec(atom(), 0..3));
+    proptest::collection::vec(rule, 1..5).prop_map(|rules| {
+        let mut out = String::new();
+        for ((hname, hargs), body) in rules {
+            let head = Term::app(hname, hargs);
+            out.push_str(&head.to_string());
+            if !body.is_empty() {
+                out.push_str(" :- ");
+                let goals: Vec<String> = body
+                    .into_iter()
+                    .map(|(n, args)| Term::app(n, args).to_string())
+                    .collect();
+                out.push_str(&goals.join(", "));
+            }
+            out.push_str(".\n");
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn program_display_parse_roundtrip(src in small_program_strategy()) {
+        let p1 = parse_program(&src).expect("generated source parses");
+        let printed = p1.to_string();
+        let p2 = parse_program(&printed).expect("printed program reparses");
+        prop_assert_eq!(p1, p2);
+    }
+
+    /// SCC condensation partitions the predicates and respects edges.
+    #[test]
+    fn scc_partition_invariants(src in small_program_strategy()) {
+        let program = parse_program(&src).unwrap();
+        let graph = argus_logic::DepGraph::build(&program);
+        let mut seen = std::collections::BTreeSet::new();
+        for id in graph.sccs_bottom_up() {
+            for p in graph.scc(id) {
+                prop_assert!(seen.insert(p), "predicate in two SCCs");
+            }
+        }
+        for p in program.all_predicates() {
+            prop_assert!(seen.contains(&p), "predicate missing from SCCs");
+        }
+        // Bottom-up order: every subgoal's SCC is at or before the head's.
+        let order = graph.sccs_bottom_up();
+        let pos = |id: usize| order.iter().position(|&x| x == id).unwrap();
+        for rule in &program.rules {
+            let h = graph.scc_id(&rule.head.key()).unwrap();
+            for l in &rule.body {
+                let s = graph.scc_id(&l.atom.key()).unwrap();
+                prop_assert!(pos(s) <= pos(h), "callee SCC after caller");
+            }
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! # argus-sizerel — inter-argument size-relation inference
+//!
+//! The termination method of *Sohn & Van Gelder (PODS 1991)* imports, for
+//! every subgoal predicate, *feasibility constraints* relating the sizes of
+//! the arguments of derivable facts — e.g. for `append/3` the constraint
+//! `a1 + a2 = a3`, or for the expression parser's `t/2` the constraint
+//! `t1 ≥ 2 + t2`. The paper takes these from Van Gelder's companion work
+//! (\[VG90\]) and notes that in its own implementation they are "taken as
+//! input … not automated". This crate automates them.
+//!
+//! The inference is a bottom-up abstract interpretation over the domain of
+//! closed convex polyhedra ([`argus_linear::Poly`]): the meaning of an
+//! `n`-ary predicate is abstracted by a polyhedron in ℝ₊ⁿ containing the
+//! argument-size vectors of all derivable facts (exactly the geometric view
+//! of the paper's §1: "argument sizes of derivable facts … are viewed as
+//! points in the positive orthant of Rⁿ"). Rules are abstracted by the
+//! obvious linear translation of structural term size (§2.2); joins are
+//! convex hulls; termination of the fixpoint is forced by widening.
+//!
+//! ```
+//! use argus_logic::{parser::parse_program, PredKey};
+//! use argus_sizerel::{infer_size_relations, InferOptions};
+//!
+//! let program = parse_program(
+//!     "append([], Ys, Ys).\n\
+//!      append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
+//! ).unwrap();
+//! let rels = infer_size_relations(&program, &InferOptions::default());
+//! // The classic invariant a1 + a2 = a3 is derived automatically.
+//! let poly = rels.get(&PredKey::new("append", 3)).unwrap();
+//! assert!(rels.entails_sum_equality(&PredKey::new("append", 3), &[0, 1], 2));
+//! # let _ = poly;
+//! ```
+
+#![warn(missing_docs)]
+
+use argus_linear::{Constraint, ConstraintSystem, LinExpr, Poly, Rat, Rel, Var};
+use argus_linear::fm::{self, FmResult};
+use argus_logic::{DepGraph, Norm, PredKey, Program, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::rc::Rc;
+
+/// Options controlling the fixpoint iteration.
+#[derive(Debug, Clone)]
+pub struct InferOptions {
+    /// Number of exact (hull-only) iterations before widening kicks in.
+    /// Small delays preserve more equalities; the default of 2 recovers
+    /// `append`'s `a1 + a2 = a3` and the paper's parser constraints.
+    pub widening_delay: usize,
+    /// Hard cap on iterations per SCC; on overrun the affected predicates
+    /// fall back to the sound top element (sizes ≥ 0).
+    pub max_iterations: usize,
+    /// Term-size norm the relations are expressed in. Must match the norm
+    /// used by the termination analysis consuming them.
+    pub norm: Norm,
+}
+
+impl Default for InferOptions {
+    fn default() -> InferOptions {
+        InferOptions {
+            widening_delay: 2,
+            max_iterations: 20,
+            norm: Norm::default(),
+        }
+    }
+}
+
+/// The inferred size-relation polyhedron for each predicate. Dimension `i`
+/// of the polyhedron for `p/n` is the structural size of the `i`-th
+/// argument of a derivable `p` fact.
+#[derive(Debug, Clone, Default)]
+pub struct SizeRelations {
+    map: BTreeMap<PredKey, Poly>,
+}
+
+impl SizeRelations {
+    /// Empty store.
+    pub fn new() -> SizeRelations {
+        SizeRelations::default()
+    }
+
+    /// The polyhedron for `p`, if known.
+    pub fn get(&self, p: &PredKey) -> Option<&Poly> {
+        self.map.get(p)
+    }
+
+    /// Insert or overwrite (used to supply constraints manually, as the
+    /// paper's implementation did).
+    pub fn insert(&mut self, p: PredKey, poly: Poly) {
+        assert_eq!(poly.dim(), p.arity, "polyhedron dimension must equal arity");
+        self.map.insert(p, poly);
+    }
+
+    /// The polyhedron for `p`, defaulting to "sizes are nonnegative" when
+    /// nothing is known (EDB predicates, builtins, analysis fallback).
+    pub fn get_or_top(&self, p: &PredKey) -> Poly {
+        self.map.get(p).cloned().unwrap_or_else(|| Poly::nonneg_universe(p.arity))
+    }
+
+    /// Iterate over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&PredKey, &Poly)> {
+        self.map.iter()
+    }
+
+    /// Convenience check: do the inferred relations entail
+    /// `Σ_{i ∈ lhs} aᵢ = a_rhs` for predicate `p` (argument indices
+    /// 0-based)? E.g. `append`'s `a1 + a2 = a3` is `(&[0, 1], 2)`.
+    pub fn entails_sum_equality(&self, p: &PredKey, lhs: &[usize], rhs: usize) -> bool {
+        let Some(poly) = self.map.get(p) else { return false };
+        let mut e = LinExpr::zero();
+        for &i in lhs {
+            e.add_term(i, Rat::one());
+        }
+        e.add_term(rhs, -Rat::one());
+        let c = Constraint { expr: e, rel: Rel::Eq };
+        poly.is_empty()
+            || argus_linear::simplex::is_implied(poly.constraints(), &BTreeSet::new(), &c)
+    }
+
+    /// Convenience check: do the relations entail `a_i ≥ a_j + k`?
+    pub fn entails_gap(&self, p: &PredKey, i: usize, j: usize, k: i64) -> bool {
+        let Some(poly) = self.map.get(p) else { return false };
+        let mut e = LinExpr::var(j);
+        e.add_term(i, -Rat::one());
+        e.add_constant(&Rat::from_int(k));
+        // a_j + k - a_i <= 0
+        let c = Constraint { expr: e, rel: Rel::Le };
+        poly.is_empty()
+            || argus_linear::simplex::is_implied(poly.constraints(), &BTreeSet::new(), &c)
+    }
+
+    /// Render the relation for `p` with argument names `p1, p2, …`.
+    pub fn render(&self, p: &PredKey) -> String {
+        match self.map.get(p) {
+            None => format!("{p}: (no information)"),
+            Some(poly) if poly.is_empty() => format!("{p}: (no derivable facts)"),
+            Some(poly) => {
+                let mut pool = argus_linear::VarPool::new();
+                for i in 1..=p.arity {
+                    pool.fresh(format!("{}{}", p.name, i));
+                }
+                let rows: Vec<String> = poly
+                    .minimized()
+                    .constraints()
+                    .constraints()
+                    .iter()
+                    .map(|c| pool.render_constraint(c))
+                    .collect();
+                format!("{p}: {}", rows.join(";  "))
+            }
+        }
+    }
+}
+
+impl fmt::Display for SizeRelations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in self.map.keys() {
+            writeln!(f, "{}", self.render(p))?;
+        }
+        Ok(())
+    }
+}
+
+/// Abstract one rule: the polyhedron (over the head's argument-size
+/// dimensions) of head-size vectors derivable through this rule, given the
+/// current approximations `env` for all predicates.
+///
+/// Construction (paper §2.2 + §3): allocate one variable per head argument
+/// size, one per logical variable of the rule, and one per argument of each
+/// positive subgoal; emit the argument-size equations for the head and each
+/// subgoal, instantiate each subgoal predicate's current polyhedron on its
+/// argument variables, and project everything but the head dimensions away.
+pub fn rule_poly(rule: &Rule, env: &SizeRelations) -> Poly {
+    rule_poly_with_norm(rule, env, Norm::default())
+}
+
+/// [`rule_poly`] under an explicit term-size norm.
+pub fn rule_poly_with_norm(rule: &Rule, env: &SizeRelations, norm: Norm) -> Poly {
+    let head_arity = rule.head.args.len();
+    let mut next: Var = head_arity;
+    let mut var_of: BTreeMap<Rc<str>, Var> = BTreeMap::new();
+    let mut sys = ConstraintSystem::new();
+
+    let size_expr = |poly: &argus_logic::SizePolynomial,
+                     var_of: &mut BTreeMap<Rc<str>, Var>,
+                     next: &mut Var,
+                     sys: &mut ConstraintSystem| {
+        let mut e = LinExpr::constant(Rat::from_int(poly.constant as i64));
+        for (name, coeff) in &poly.coeffs {
+            let v = *var_of.entry(name.clone()).or_insert_with(|| {
+                let v = *next;
+                *next += 1;
+                // Logical-variable sizes are nonnegative (§2.2).
+                sys.push(Constraint::nonneg(v));
+                v
+            });
+            e.add_term(v, Rat::from_int(*coeff as i64));
+        }
+        e
+    };
+
+    // Head argument-size equations: x_i = size(t_i), x_i >= 0.
+    for (i, t) in rule.head.args.iter().enumerate() {
+        let sp = norm.polynomial(t);
+        let e = size_expr(&sp, &mut var_of, &mut next, &mut sys);
+        sys.push(Constraint::eq(LinExpr::var(i), e));
+        sys.push(Constraint::nonneg(i));
+    }
+
+    // Subgoal contributions.
+    for lit in &rule.body {
+        if !lit.positive {
+            // Negative subgoals yield no size information (Appendix D).
+            continue;
+        }
+        let key = lit.atom.key();
+        match (&*key.name, key.arity) {
+            ("=", 2) => {
+                // Unification: equal terms have equal sizes.
+                let a = norm.polynomial(&lit.atom.args[0]);
+                let b = norm.polynomial(&lit.atom.args[1]);
+                let ea = size_expr(&a, &mut var_of, &mut next, &mut sys);
+                let eb = size_expr(&b, &mut var_of, &mut next, &mut sys);
+                sys.push(Constraint::eq(ea, eb));
+            }
+            ("is", 2) => {
+                // The left argument becomes an integer constant, which has
+                // size 0 under either norm.
+                let a = norm.polynomial(&lit.atom.args[0]);
+                let ea = size_expr(&a, &mut var_of, &mut next, &mut sys);
+                sys.push(Constraint::eq(ea, LinExpr::zero()));
+            }
+            (op, 2) if argus_logic::modes::TEST_BUILTINS.contains(&op) => {
+                // Comparisons supply no size contribution (paper, Ex. 5.1:
+                // "the subgoal X =< Y does not supply any contribution").
+            }
+            _ => {
+                // Ordinary subgoal: allocate argument-size vars, equate with
+                // term sizes, and instantiate the predicate's polyhedron.
+                let approx = env.get_or_top(&key);
+                if approx.is_empty() {
+                    // The subgoal is (currently) underivable: this rule
+                    // contributes nothing.
+                    return Poly::empty(head_arity);
+                }
+                let base = next;
+                next += key.arity;
+                for (j, t) in lit.atom.args.iter().enumerate() {
+                    let sp = norm.polynomial(t);
+                    let e = size_expr(&sp, &mut var_of, &mut next, &mut sys);
+                    sys.push(Constraint::eq(LinExpr::var(base + j), e));
+                    sys.push(Constraint::nonneg(base + j));
+                }
+                let map: BTreeMap<Var, Var> = (0..key.arity).map(|j| (j, base + j)).collect();
+                for c in approx.constraints().constraints() {
+                    sys.push(c.rename(&map));
+                }
+            }
+        }
+    }
+
+    // Project onto the head dimensions, with a row cap: a blowup falls
+    // back to the sound top element (sizes nonnegative, nothing more).
+    let keep: BTreeSet<Var> = (0..head_arity).collect();
+    match fm::project_onto_capped(&sys, &keep, FM_ROW_CAP) {
+        Some(FmResult::Projected(projected)) => {
+            Poly::from_constraints(head_arity, projected.dedup())
+        }
+        Some(FmResult::Infeasible) => Poly::empty(head_arity),
+        None => Poly::nonneg_universe(head_arity),
+    }
+}
+
+/// Row cap for Fourier–Motzkin projections inside the inference; beyond
+/// this the analysis falls back to a sound over-approximation rather than
+/// risking FM's worst-case blowup.
+const FM_ROW_CAP: usize = 500;
+
+/// Infer size relations for every IDB predicate of `program`, processing
+/// SCCs bottom-up and iterating recursive SCCs to a (widened) fixpoint.
+pub fn infer_size_relations(program: &Program, options: &InferOptions) -> SizeRelations {
+    let graph = DepGraph::build(program);
+    let mut rels = SizeRelations::new();
+
+    for scc_id in graph.sccs_bottom_up() {
+        let members: Vec<PredKey> = graph
+            .scc(scc_id)
+            .into_iter()
+            .filter(|p| !program.procedure(p).is_empty())
+            .collect();
+        if members.is_empty() {
+            continue; // EDB-only SCC; stays at implicit top.
+        }
+
+        // Non-recursive SCC: single pass.
+        let recursive = members.iter().any(|p| graph.is_recursive(p));
+        if !recursive {
+            for p in &members {
+                let mut acc = Poly::empty(p.arity);
+                for rule in program.procedure(p) {
+                    acc = acc.hull(&rule_poly_with_norm(rule, &rels, options.norm));
+                }
+                rels.insert(p.clone(), acc.minimized());
+            }
+            continue;
+        }
+
+        // Recursive SCC: Kleene iteration from bottom with delayed widening.
+        for p in &members {
+            rels.insert(p.clone(), Poly::empty(p.arity));
+        }
+        let mut stable = false;
+        for iteration in 0..options.max_iterations {
+            let mut changed = false;
+            for p in &members {
+                let old = rels.get(p).cloned().expect("seeded");
+                let mut new = Poly::empty(p.arity);
+                for rule in program.procedure(p) {
+                    new = new.hull(&rule_poly_with_norm(rule, &rels, options.norm));
+                }
+                // Join with previous to enforce monotonicity, then widen.
+                let joined = old.hull(&new);
+                let next = if iteration >= options.widening_delay {
+                    old.widen(&joined)
+                } else {
+                    joined
+                };
+                if !next.same_set(&old) {
+                    // Keep representations minimal between iterations:
+                    // redundant rows compound across hulls and can trip
+                    // the FM row caps.
+                    rels.insert(p.clone(), next.minimized());
+                    changed = true;
+                }
+            }
+            if !changed {
+                stable = true;
+                break;
+            }
+        }
+        if !stable {
+            // Sound fallback: forget everything for this SCC.
+            for p in &members {
+                rels.insert(p.clone(), Poly::nonneg_universe(p.arity));
+            }
+        }
+    }
+    // Canonicalize: drop redundant rows so downstream consumers (the
+    // termination analyzer's Eq. 1 assembly) see minimal systems, matching
+    // the paper's hand-derived constraint shapes.
+    let keys: Vec<PredKey> = rels.map.keys().cloned().collect();
+    for k in keys {
+        let minimized = rels.map[&k].minimized();
+        rels.map.insert(k, minimized);
+    }
+    rels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_logic::parser::parse_program;
+
+    fn infer(src: &str) -> SizeRelations {
+        let p = parse_program(src).unwrap();
+        infer_size_relations(&p, &InferOptions::default())
+    }
+
+    #[test]
+    fn append_sum_equality() {
+        // The imported feasibility constraint of the paper's Example 3.1:
+        // append1 + append2 = append3.
+        let rels = infer(
+            "append([], Ys, Ys).\n\
+             append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
+        );
+        let app = PredKey::new("append", 3);
+        assert!(rels.entails_sum_equality(&app, &[0, 1], 2), "{}", rels.render(&app));
+    }
+
+    #[test]
+    fn parser_t_gap() {
+        // The imported constraint of the paper's Example 6.1: t1 >= 2 + t2
+        // (and likewise for e and n).
+        let rels = infer(
+            "e(L, T) :- t(L, ['+'|C]), e(C, T).\n\
+             e(L, T) :- t(L, T).\n\
+             t(L, T) :- n(L, ['*'|C]), t(C, T).\n\
+             t(L, T) :- n(L, T).\n\
+             n(['('|A], T) :- e(A, [')'|T]).\n\
+             n([L|T], T) :- z(L).",
+        );
+        for name in ["e", "t", "n"] {
+            let p = PredKey::new(name, 2);
+            assert!(rels.entails_gap(&p, 0, 1, 2), "{}", rels.render(&p));
+        }
+    }
+
+    #[test]
+    fn facts_only_predicate() {
+        let rels = infer("p(a, [b]).\np(c, [d, e]).");
+        let p = PredKey::new("p", 2);
+        let poly = rels.get(&p).unwrap();
+        assert!(!poly.is_empty());
+        // First arg always a constant: size 0. Second arg between 2 and 4.
+        let pt = |a: i64, b: i64| -> BTreeMap<Var, Rat> {
+            [(0, Rat::from_int(a)), (1, Rat::from_int(b))].into_iter().collect()
+        };
+        assert!(poly.contains_point(&pt(0, 2)));
+        assert!(poly.contains_point(&pt(0, 4)));
+        assert!(poly.contains_point(&pt(0, 3))); // hull fills the middle
+        assert!(!poly.contains_point(&pt(1, 2)));
+        assert!(!poly.contains_point(&pt(0, 5)));
+    }
+
+    #[test]
+    fn reverse_with_accumulator() {
+        // rev(Xs, Acc, Ys): |Xs| + |Acc| = |Ys| in list-length terms;
+        // in structural size the same linear relation holds.
+        let rels = infer(
+            "rev([], Acc, Acc).\n\
+             rev([X|Xs], Acc, Ys) :- rev(Xs, [X|Acc], Ys).",
+        );
+        let p = PredKey::new("rev", 3);
+        assert!(rels.entails_sum_equality(&p, &[0, 1], 2), "{}", rels.render(&p));
+    }
+
+    #[test]
+    fn underivable_predicate_is_empty() {
+        // p has only a recursive rule and no base case: no derivable facts.
+        let rels = infer("p(X) :- p(X).");
+        let p = PredKey::new("p", 1);
+        assert!(rels.get(&p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn edb_subgoals_default_to_top() {
+        let rels = infer("p(X, Y) :- e(X, Y).");
+        let p = PredKey::new("p", 2);
+        let poly = rels.get(&p).unwrap();
+        // Nothing known about e beyond nonnegativity.
+        assert!(!poly.is_empty());
+        let pt: BTreeMap<Var, Rat> =
+            [(0, Rat::from_int(7)), (1, Rat::from_int(0))].into_iter().collect();
+        assert!(poly.contains_point(&pt));
+        // e itself is not in the store (it has no rules).
+        assert!(rels.get(&PredKey::new("e", 2)).is_none());
+        assert!(!rels.get_or_top(&PredKey::new("e", 2)).is_empty());
+    }
+
+    #[test]
+    fn unification_builtin_contributes_equality() {
+        let rels = infer("p(X, Y) :- X = Y.");
+        let p = PredKey::new("p", 2);
+        let mut e = LinExpr::var(0);
+        e.add_term(1, -Rat::one());
+        let c = Constraint { expr: e, rel: Rel::Eq };
+        assert!(argus_linear::simplex::is_implied(
+            rels.get(&p).unwrap().constraints(),
+            &BTreeSet::new(),
+            &c
+        ));
+    }
+
+    #[test]
+    fn comparison_contributes_nothing() {
+        let rels = infer("p(X, Y) :- X =< Y.");
+        let p = PredKey::new("p", 2);
+        let poly = rels.get(&p).unwrap();
+        let pt: BTreeMap<Var, Rat> =
+            [(0, Rat::from_int(9)), (1, Rat::from_int(1))].into_iter().collect();
+        assert!(poly.contains_point(&pt), "X =< Y must not constrain sizes");
+    }
+
+    #[test]
+    fn nonlinear_recursion_fixpoint_terminates() {
+        // Fibonacci-shaped recursion on lists; just check we stabilize and
+        // produce a sound nonempty result with the decrease visible.
+        let rels = infer(
+            "f([], []).\n\
+             f([X|Xs], [X|Ys]) :- f(Xs, Ys).\n\
+             g([], []).\n\
+             g([_,_|Xs], Ys) :- g(Xs, A), g(Xs, B), app2(A, B, Ys).\n\
+             app2([], Ys, Ys).\n\
+             app2([X|Xs], Ys, [X|Zs]) :- app2(Xs, Ys, Zs).",
+        );
+        let f = PredKey::new("f", 2);
+        assert!(rels.entails_sum_equality(&f, &[0], 1), "{}", rels.render(&f));
+        let g = PredKey::new("g", 2);
+        assert!(!rels.get(&g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn widening_fallback_is_sound_not_crashing() {
+        // A rule that grows an argument forever still stabilizes via
+        // widening (the upper bound is dropped, not looped on).
+        let rels = infer(
+            "grow([], []).\n\
+             grow(Xs, [a|Ys]) :- grow(Xs, Ys).",
+        );
+        let p = PredKey::new("grow", 2);
+        let poly = rels.get(&p).unwrap();
+        assert!(!poly.is_empty());
+        // Size of second arg is unbounded: the poly must admit large values.
+        let pt: BTreeMap<Var, Rat> =
+            [(0, Rat::from_int(0)), (1, Rat::from_int(1000))].into_iter().collect();
+        assert!(poly.contains_point(&pt));
+    }
+
+    #[test]
+    fn manual_insert_overrides() {
+        let program = parse_program("p(X) :- e(X).").unwrap();
+        let mut rels = infer_size_relations(&program, &InferOptions::default());
+        let p = PredKey::new("p", 1);
+        let mut sys = ConstraintSystem::new();
+        sys.push(Constraint::eq(LinExpr::var(0), LinExpr::constant(Rat::from_int(7))));
+        rels.insert(p.clone(), Poly::from_constraints(1, sys));
+        assert!(rels.entails_gap(&p, 0, 0, 0));
+        let pt: BTreeMap<Var, Rat> = [(0, Rat::from_int(7))].into_iter().collect();
+        assert!(rels.get(&p).unwrap().contains_point(&pt));
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let rels = infer(
+            "append([], Ys, Ys).\n\
+             append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
+        );
+        let s = rels.render(&PredKey::new("append", 3));
+        assert!(s.starts_with("append/3:"), "{s}");
+        assert!(s.contains("append1"), "{s}");
+    }
+}

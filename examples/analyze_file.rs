@@ -1,0 +1,73 @@
+//! Analyze a Prolog file from the command line.
+//!
+//! ```sh
+//! cargo run --example analyze_file -- path/to/program.pl 'qsort/2' bf
+//! # or, with no arguments, a demo program:
+//! cargo run --example analyze_file
+//! ```
+//!
+//! A miniature of what a deductive-database front end would do with this
+//! library: parse user rules, analyze the requested query mode, and print
+//! either the decrease certificate or the reason nothing was found.
+
+use argus::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (source, query, adornment): (String, String, String) = match args.as_slice() {
+        [] => (
+            "qsort([], []).\n\
+             qsort([X|Xs], S) :- part(Xs, X, L, G), qsort(L, SL), qsort(G, SG),\n\
+                                 app(SL, [X|SG], S).\n\
+             part([], _, [], []).\n\
+             part([Y|Ys], X, [Y|L], G) :- Y =< X, part(Ys, X, L, G).\n\
+             part([Y|Ys], X, L, [Y|G]) :- Y > X, part(Ys, X, L, G).\n\
+             app([], Ys, Ys).\n\
+             app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).\n"
+                .to_string(),
+            "qsort/2".to_string(),
+            "bf".to_string(),
+        ),
+        [path, query, adornment] => {
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (source, query.clone(), adornment.clone())
+        }
+        _ => {
+            eprintln!("usage: analyze_file [<file.pl> <name/arity> <adornment>]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match analyze_source(&source, &query, &adornment) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{report}");
+    println!("-- size relations used --");
+    let keys: Vec<_> = report.size_relations.iter().map(|(k, _)| k.clone()).collect();
+    for k in keys {
+        println!("{}", report.size_relations.render(&k));
+    }
+    println!("-- reduced theta constraints --");
+    for scc in &report.sccs {
+        for line in scc.render_constraints() {
+            println!("{line}");
+        }
+    }
+
+    match report.verdict {
+        Verdict::Terminates => ExitCode::SUCCESS,
+        _ => ExitCode::from(2),
+    }
+}

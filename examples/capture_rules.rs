@@ -1,0 +1,90 @@
+//! Capture rules: choosing top-down vs bottom-up evaluation.
+//!
+//! ```sh
+//! cargo run --example capture_rules
+//! ```
+//!
+//! The paper's motivation (§1, after Ullman): a *top-down capture rule*
+//! may evaluate a predicate with Prolog-style resolution only when
+//! termination is guaranteed. This example plays the deductive-database
+//! planner: for each of two rule sets it asks the analyzer whether the
+//! query mode provably terminates top-down, picks a strategy accordingly,
+//! and then actually runs both evaluators to show the choice was right.
+
+use argus::interp::bottomup::{saturate, BottomUpOptions};
+use argus::interp::sld::{solve, InterpOptions};
+use argus::logic::parser::{parse_program, parse_query};
+use argus::prelude::*;
+
+fn plan(name: &str, source: &str, query_spec: &str, adornment: &str, query: &str) {
+    println!("=== {name} ===");
+    let program = parse_program(source).expect("parse");
+    let report = analyze_source(source, query_spec, adornment).expect("analyze");
+    println!("analyzer verdict for {query_spec} ({adornment}): {:?}", report.verdict);
+
+    let goals = parse_query(query).expect("query");
+    match report.verdict {
+        Verdict::Terminates => {
+            println!("capture rule: top-down evaluation is safe — running SLD");
+            let out = solve(&program, &goals, &InterpOptions::default());
+            println!(
+                "  SLD: {} solution(s) in {} steps, search tree exhausted: {}",
+                out.solution_count(),
+                out.steps(),
+                out.terminated()
+            );
+        }
+        _ => {
+            println!("capture rule: no top-down guarantee — evaluating bottom-up");
+            match saturate(&program, &BottomUpOptions::default()) {
+                argus::interp::Saturation::Fixpoint { facts, iterations } => {
+                    println!(
+                        "  bottom-up: fixpoint with {} facts after {} iteration(s)",
+                        facts.len(),
+                        iterations
+                    );
+                    // Answer the query against the saturated facts.
+                    let matches = facts
+                        .iter()
+                        .filter(|f| {
+                            let mut s = argus::logic::Subst::new();
+                            argus::logic::unify_atoms(&mut s, &goals[0].atom, f, false)
+                        })
+                        .count();
+                    println!("  query {query}: {matches} answer(s) from the fixpoint");
+                }
+                argus::interp::Saturation::Diverged { fact_count } => {
+                    println!("  bottom-up diverged too ({fact_count} facts) — no strategy fits");
+                }
+            }
+        }
+    }
+    println!();
+}
+
+fn main() {
+    // Recursion on structure: terminates top-down (bound input list),
+    // diverges bottom-up (keeps building bigger lists).
+    plan(
+        "naive reverse (recursion on structure)",
+        "app([], Ys, Ys).\n\
+         app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).\n\
+         nrev([], []).\n\
+         nrev([X|Xs], R) :- nrev(Xs, R1), app(R1, [X], R).",
+        "nrev/2",
+        "bf",
+        "nrev([a, b, c, d, e], R)",
+    );
+
+    // Datalog-style reachability over a CYCLIC graph: Prolog loops on it,
+    // bottom-up saturates in a few iterations.
+    plan(
+        "transitive closure over a cyclic graph",
+        "edge(a, b).\nedge(b, c).\nedge(c, a).\n\
+         tc(X, Y) :- edge(X, Y).\n\
+         tc(X, Z) :- edge(X, Y), tc(Y, Z).",
+        "tc/2",
+        "bf",
+        "tc(a, Y)",
+    );
+}

@@ -1,0 +1,261 @@
+//! `argus` — command-line front end for the termination analyzer.
+//!
+//! ```text
+//! argus analyze <file.pl> <name/arity> <adornment> [--norm list-length]
+//!               [--delta appendix-c] [--no-transform] [--certify]
+//!               [--lexicographic] [--json]
+//! argus compare <file.pl> <name/arity> <adornment>
+//! argus run     <file.pl> '<goal>'  [--steps N]
+//! argus corpus  [<entry-name>]
+//! ```
+//!
+//! Exit codes: 0 = proved (or command succeeded), 2 = not proved,
+//! 1 = usage/parse error.
+
+use argus::baselines::all_methods;
+use argus::interp::sld::{solve, InterpOptions};
+use argus::logic::parser::{parse_program, parse_query};
+use argus::logic::Norm;
+use argus::prelude::*;
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Print a line to stdout, exiting quietly if the consumer closed the pipe
+/// (e.g. `argus corpus | head`).
+fn say(line: std::fmt::Arguments<'_>) {
+    let mut out = std::io::stdout().lock();
+    if writeln!(out, "{line}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+macro_rules! say {
+    ($($arg:tt)*) => { say(format_args!($($arg)*)) };
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  argus analyze <file.pl> <name/arity> <adornment> \
+         [--norm structural|list-length] [--delta paper|appendix-c] \
+         [--no-transform] [--certify] [--lexicographic]\n  \
+         argus compare <file.pl> <name/arity> <adornment>\n  \
+         argus run <file.pl> '<goal>' [--steps N]\n  \
+         argus corpus [<entry>]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_spec(spec: &str) -> Option<PredKey> {
+    let (name, arity) = spec.rsplit_once('/')?;
+    Some(PredKey::new(name, arity.parse().ok()?))
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_program(&src).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut options = AnalysisOptions::default();
+    let mut certify = false;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-transform" => options.transform_phases = 0,
+            "--certify" => certify = true,
+            "--lexicographic" => options.lexicographic = true,
+            "--json" => json = true,
+            "--norm" => {
+                i += 1;
+                options.norm = match args.get(i).map(String::as_str) {
+                    Some("structural") => Norm::StructuralSize,
+                    Some("list-length") => Norm::ListLength,
+                    v => {
+                        eprintln!("--norm wants structural|list-length, got {v:?}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--delta" => {
+                i += 1;
+                options.delta_mode = match args.get(i).map(String::as_str) {
+                    Some("paper") => DeltaMode::Paper,
+                    Some("appendix-c") => DeltaMode::PathConstraints,
+                    v => {
+                        eprintln!("--delta wants paper|appendix-c, got {v:?}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+    let [path, spec, adn] = positional.as_slice() else { return usage() };
+
+    let program = match load(path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(query) = parse_spec(spec) else { return usage() };
+    let Some(adornment) = Adornment::parse(adn) else {
+        eprintln!("bad adornment {adn:?}");
+        return ExitCode::FAILURE;
+    };
+    if adornment.arity() != query.arity {
+        eprintln!("adornment arity mismatch");
+        return ExitCode::FAILURE;
+    }
+
+    let report = analyze(&program, &query, adornment, &options);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    if certify && report.verdict == Verdict::Terminates {
+        match argus::core::verify_report(&report, options.norm) {
+            Ok(n) => println!("certificate: VERIFIED ({n} pair check(s), primal LP)"),
+            Err(e) => {
+                println!("certificate: REJECTED — {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.verdict == Verdict::Terminates {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let [path, spec, adn] = args else { return usage() };
+    let program = match load(path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(query) = parse_spec(spec) else { return usage() };
+    let Some(adornment) = Adornment::parse(adn) else { return usage() };
+    for m in all_methods() {
+        let r = m.prove(&program, &query, &adornment);
+        println!(
+            "{:38} {}",
+            m.name(),
+            if r.proved { "PROVED".to_string() } else { format!("fails — {}", r.detail) }
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [path, goal_src] = positional.as_slice() else { return usage() };
+    let mut options = InterpOptions::default();
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    for i in 0..argv.len() {
+        if argv[i] == "--steps" && i + 1 < argv.len() {
+            match argv[i + 1].parse() {
+                Ok(n) => options.max_steps = n,
+                Err(_) => {
+                    eprintln!("bad --steps value");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let program = match load(path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let goals = match parse_query(goal_src) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = solve(&program, &goals, &options);
+    match out {
+        argus::interp::Outcome::Completed { solutions, steps } => {
+            for (i, s) in solutions.iter().enumerate() {
+                let bindings: Vec<String> =
+                    s.iter().map(|(v, t)| format!("{v} = {t}")).collect();
+                println!(
+                    "answer {}: {}",
+                    i + 1,
+                    if bindings.is_empty() { "true".into() } else { bindings.join(", ") }
+                );
+            }
+            println!("{} answer(s), {} steps, search complete", solutions.len(), steps);
+            ExitCode::SUCCESS
+        }
+        argus::interp::Outcome::OutOfBudget { steps, solutions_so_far } => {
+            println!("budget exhausted after {steps} steps ({solutions_so_far} answer(s) so far)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_corpus(args: &[String]) -> ExitCode {
+    match args.first() {
+        None => {
+            say!(
+                "{:24} {:12} {:6} {:10} {}",
+                "name", "query", "mode", "terminates", "description"
+            );
+            for e in argus::corpus::corpus() {
+                say!(
+                    "{:24} {:12} {:6} {:10} {}",
+                    e.name,
+                    e.query,
+                    e.adornment,
+                    if e.terminates { "yes" } else { "no" },
+                    e.description.split_whitespace().collect::<Vec<_>>().join(" ")
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some(name) => match argus::corpus::find(name) {
+            Some(e) => {
+                println!("% {} ({})", e.name, e.description);
+                if let Some(r) = e.paper_ref {
+                    println!("% paper: {r}");
+                }
+                println!("% query: {} mode {}\n", e.query, e.adornment);
+                print!("{}", e.source);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("no corpus entry named {name:?}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

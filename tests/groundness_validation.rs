@@ -1,0 +1,99 @@
+//! Empirical validation of the success-groundness analysis: for every
+//! corpus entry, run the sample queries and check that each solution
+//! grounds exactly the positions the analysis claims (the analysis may be
+//! conservative — claim fewer — but never the reverse).
+
+use argus::interp::sld::{solve, InterpOptions};
+use argus::logic::groundness::analyze_groundness;
+use argus::logic::parser::parse_query;
+use argus::logic::Term;
+use argus::prelude::*;
+
+#[test]
+fn groundness_claims_hold_at_runtime() {
+    let opts = InterpOptions { max_steps: 60_000, ..InterpOptions::default() };
+    let mut checked = 0usize;
+    for entry in argus::corpus::corpus() {
+        let program = entry.program().unwrap();
+        let (query, adornment) = entry.query_key();
+        let groundness = analyze_groundness(&program, &query, adornment.clone());
+        let claimed = groundness.success_ground(&query, &adornment);
+
+        for q in entry.sample_queries {
+            let goals = parse_query(q).unwrap();
+            // Only single-goal queries of the analyzed predicate apply.
+            if goals.len() != 1 || goals[0].atom.key() != query {
+                continue;
+            }
+            // The sample must exercise the declared mode: bound positions
+            // ground in the query itself.
+            let bound_ok = adornment
+                .bound_positions()
+                .iter()
+                .all(|&i| goals[0].atom.args[i].is_ground());
+            if !bound_ok {
+                continue;
+            }
+            let out = solve(&program, &goals, &opts);
+            let argus::interp::Outcome::Completed { solutions, .. } = out else {
+                continue; // nonterminating controls
+            };
+            for sol in &solutions {
+                // Reconstruct each claimed-ground argument under the
+                // solution bindings and check groundness.
+                for &i in &claimed {
+                    let arg = &goals[0].atom.args[i];
+                    let resolved = resolve_with(arg, sol);
+                    assert!(
+                        resolved.is_ground(),
+                        "{}: {q}: position {i} claimed ground but solution \
+                         leaves {resolved}",
+                        entry.name
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 50, "expected many groundness checks, did {checked}");
+}
+
+/// Substitute a solution's bindings (var name -> term) into a term.
+fn resolve_with(t: &Term, sol: &std::collections::BTreeMap<String, Term>) -> Term {
+    match t {
+        Term::Var(v) => sol.get(&**v).cloned().unwrap_or_else(|| t.clone()),
+        Term::App(f, args) => Term::App(
+            f.clone(),
+            args.iter().map(|a| resolve_with(a, sol)).collect(),
+        ),
+    }
+}
+
+/// Negative control: the wildcard program's free position must NOT be
+/// claimed ground — and at runtime it is indeed non-ground.
+#[test]
+fn wildcard_claim_matches_runtime() {
+    let program =
+        argus::logic::parser::parse_program("q(_, b).\ntop(X) :- q(X, Y).").unwrap();
+    let query = PredKey::new("q", 2);
+    let adornment = Adornment::parse("ff").unwrap();
+    let groundness = analyze_groundness(
+        &program,
+        &PredKey::new("top", 1),
+        Adornment::parse("f").unwrap(),
+    );
+    let claimed = groundness.success_ground(&query, &adornment);
+    assert!(!claimed.contains(&0), "arg1 of q(_, b) must not be claimed: {claimed:?}");
+    assert!(claimed.contains(&1), "arg2 is the ground constant b");
+
+    // Runtime agreement.
+    let goals = parse_query("q(A, B)").unwrap();
+    let out = solve(&program, &goals, &InterpOptions::default());
+    if let argus::interp::Outcome::Completed { solutions, .. } = out {
+        assert_eq!(solutions.len(), 1);
+        assert!(!solutions[0]["A"].is_ground(), "A stays free");
+        assert!(solutions[0]["B"].is_ground());
+    } else {
+        panic!("q query must complete");
+    }
+}

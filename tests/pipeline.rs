@@ -1,0 +1,154 @@
+//! Cross-crate pipeline tests: exercising the public API the way a
+//! deductive-database system embedding `argus` would.
+
+use argus::interp::sld::{solve, InterpOptions};
+use argus::logic::parser::{parse_program, parse_query};
+use argus::logic::Term;
+use argus::prelude::*;
+
+/// SLD answers for append agree with native concatenation on random lists.
+#[test]
+fn interpreter_computes_append_correctly() {
+    let program = parse_program(
+        "append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
+    )
+    .unwrap();
+    let atoms = ["a", "b", "c", "d", "e"];
+    for split in 0..=atoms.len() {
+        let (l, r) = atoms.split_at(split);
+        let lt = Term::list(l.iter().map(|a| Term::atom(*a)));
+        let rt = Term::list(r.iter().map(|a| Term::atom(*a)));
+        let goal = argus::logic::Literal::pos(argus::logic::Atom::new(
+            "append",
+            vec![lt, rt, Term::var("Z")],
+        ));
+        let out = solve(&program, &[goal], &InterpOptions::default());
+        let expect = Term::list(atoms.iter().map(|a| Term::atom(*a)));
+        match out {
+            argus::interp::Outcome::Completed { solutions, .. } => {
+                assert_eq!(solutions.len(), 1);
+                assert_eq!(solutions[0]["Z"], expect);
+            }
+            other => panic!("append diverged: {other:?}"),
+        }
+    }
+}
+
+/// The size relations inferred for the quicksort partition are strong
+/// enough to certify the nonlinear recursion (§6.2), and weaker relations
+/// (Appendix B binary restriction) are not.
+#[test]
+fn partition_relation_powers_quicksort() {
+    let entry = argus::corpus::find("quicksort").unwrap();
+    let program = entry.program().unwrap();
+    let rels = infer_size_relations(&program, &InferOptions::default());
+    let part = PredKey::new("part", 4);
+    // part1 = part3 + part4 (element X is dropped from the sizes).
+    assert!(
+        rels.entails_sum_equality(&part, &[2, 3], 0),
+        "{}",
+        rels.render(&part)
+    );
+
+    let (query, adornment) = entry.query_key();
+    let full = analyze(&program, &query, adornment.clone(), &AnalysisOptions::default());
+    assert_eq!(full.verdict, Verdict::Terminates);
+
+    let weak = analyze(
+        &program,
+        &query,
+        adornment,
+        &AnalysisOptions {
+            restrict_imports_to_binary_orders: true,
+            ..AnalysisOptions::default()
+        },
+    );
+    assert_ne!(
+        weak.verdict,
+        Verdict::Terminates,
+        "binary orders cannot relate part's three sizes"
+    );
+}
+
+/// Appendix C (path-constraint δ) agrees with §6.1 on every corpus entry.
+#[test]
+fn delta_modes_agree_on_corpus() {
+    for entry in argus::corpus::corpus() {
+        // Skip the slowest entries; mode agreement is checked on the rest.
+        if matches!(entry.name, "ackermann" | "mergesort" | "hanoi" | "flatten_acc") {
+            continue;
+        }
+        let program = entry.program().unwrap();
+        let (query, adornment) = entry.query_key();
+        let paper = analyze(
+            &program,
+            &query,
+            adornment.clone(),
+            &AnalysisOptions { delta_mode: DeltaMode::Paper, ..AnalysisOptions::default() },
+        );
+        let path = analyze(
+            &program,
+            &query,
+            adornment,
+            &AnalysisOptions {
+                delta_mode: DeltaMode::PathConstraints,
+                ..AnalysisOptions::default()
+            },
+        );
+        let proved_paper = paper.verdict == Verdict::Terminates;
+        let proved_path = path.verdict == Verdict::Terminates;
+        // Appendix C is at least as strong as §6.1 (it searches a superset
+        // of δ assignments).
+        assert!(
+            !proved_paper || proved_path,
+            "{}: §6.1 proved but Appendix C did not\npaper:\n{paper}\npath:\n{path}",
+            entry.name
+        );
+    }
+}
+
+/// End-to-end: a program assembled at runtime from Rule/Atom values (no
+/// text) goes through the same pipeline.
+#[test]
+fn programmatic_construction() {
+    use argus::logic::{Atom, Literal, Rule};
+    // count(nil, z). count(cons(_, T), s(N)) :- count(T, N).
+    let nil = Term::atom("nil");
+    let rules = vec![
+        Rule::fact(Atom::new("count", vec![nil, Term::atom("z")])),
+        Rule::new(
+            Atom::new(
+                "count",
+                vec![
+                    Term::app("cons", vec![Term::var("H"), Term::var("T")]),
+                    Term::app("s", vec![Term::var("N")]),
+                ],
+            ),
+            vec![Literal::pos(Atom::new("count", vec![Term::var("T"), Term::var("N")]))],
+        ),
+    ];
+    let program = Program::from_rules(rules);
+    let report = analyze(
+        &program,
+        &PredKey::new("count", 2),
+        Adornment::parse("bf").unwrap(),
+        &AnalysisOptions::default(),
+    );
+    assert_eq!(report.verdict, Verdict::Terminates, "{report}");
+}
+
+/// The interpreter and analyzer agree on the perm example end to end:
+/// the proof exists AND all 24 permutations of a 4-list are enumerated.
+#[test]
+fn perm_end_to_end() {
+    let entry = argus::corpus::find("perm").unwrap();
+    let program = entry.program().unwrap();
+    let (query, adornment) = entry.query_key();
+    let report = analyze(&program, &query, adornment, &AnalysisOptions::default());
+    assert_eq!(report.verdict, Verdict::Terminates);
+
+    let goals = parse_query("perm([a, b, c, d], Q)").unwrap();
+    let out = solve(&program, &goals, &InterpOptions::default());
+    assert!(out.terminated());
+    assert_eq!(out.solution_count(), 24);
+}
