@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, build, tests.
+#
+# Usage: ./ci.sh [--offline]
+#
+# --offline skips dependency resolution against the network (useful in
+# sandboxed environments with a primed cargo cache).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+CARGO_FLAGS=()
+if [[ "${1:-}" == "--offline" ]]; then
+    CARGO_FLAGS+=(--offline)
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace "${CARGO_FLAGS[@]}"
+
+echo "==> cargo test"
+cargo test --workspace --release -q "${CARGO_FLAGS[@]}"
+
+echo "==> OK"

@@ -99,11 +99,7 @@ impl TerminationMethod for NaishSubset {
                     proved: false,
                     detail: format!(
                         "mutual recursion among {{{}}} is outside the method",
-                        members
-                            .iter()
-                            .map(|p| p.to_string())
-                            .collect::<Vec<_>>()
-                            .join(", ")
+                        members.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ")
                     ),
                 };
             }
@@ -211,13 +207,7 @@ impl TerminationMethod for UvgSingleArgument {
             // "uniqueness"-style restriction).
             let bound_sets: Vec<Vec<usize>> = members
                 .iter()
-                .map(|p| {
-                    adorned
-                        .modes
-                        .get(p)
-                        .map(|a| a.bound_positions())
-                        .unwrap_or_default()
-                })
+                .map(|p| adorned.modes.get(p).map(|a| a.bound_positions()).unwrap_or_default())
                 .collect();
             let common: Vec<usize> = bound_sets
                 .iter()
@@ -252,11 +242,7 @@ impl TerminationMethod for UvgSingleArgument {
                     proved: false,
                     detail: format!(
                         "no single bound argument decreases in every recursive call of {{{}}}",
-                        members
-                            .iter()
-                            .map(|p| p.to_string())
-                            .collect::<Vec<_>>()
-                            .join(", ")
+                        members.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ")
                     ),
                 };
             }

@@ -10,7 +10,8 @@ use argus_core::{analyze, AnalysisOptions, DeltaMode};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn corpus_subjects() -> Vec<(&'static str, argus_logic::Program, argus_logic::PredKey, argus_logic::Adornment)> {
+fn corpus_subjects(
+) -> Vec<(&'static str, argus_logic::Program, argus_logic::PredKey, argus_logic::Adornment)> {
     ["perm", "merge", "expr_parser"]
         .into_iter()
         .map(|name| {
@@ -26,19 +27,13 @@ fn bench_delta_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/delta-mode");
     group.sample_size(10);
     for (name, program, query, adornment) in corpus_subjects() {
-        for (label, mode) in [
-            ("paper-6.1", DeltaMode::Paper),
-            ("appendix-c", DeltaMode::PathConstraints),
-        ] {
+        for (label, mode) in
+            [("paper-6.1", DeltaMode::Paper), ("appendix-c", DeltaMode::PathConstraints)]
+        {
             let options = AnalysisOptions { delta_mode: mode, ..AnalysisOptions::default() };
             group.bench_function(format!("{name}/{label}"), |b| {
                 b.iter(|| {
-                    black_box(analyze(
-                        black_box(&program),
-                        &query,
-                        adornment.clone(),
-                        &options,
-                    ))
+                    black_box(analyze(black_box(&program), &query, adornment.clone(), &options))
                 })
             });
         }
@@ -57,12 +52,7 @@ fn bench_import_power(c: &mut Criterion) {
             };
             group.bench_function(format!("{name}/{label}"), |b| {
                 b.iter(|| {
-                    black_box(analyze(
-                        black_box(&program),
-                        &query,
-                        adornment.clone(),
-                        &options,
-                    ))
+                    black_box(analyze(black_box(&program), &query, adornment.clone(), &options))
                 })
             });
         }
@@ -83,12 +73,7 @@ fn bench_transform_policy(c: &mut Criterion) {
                 AnalysisOptions { transform_phases: phases, ..AnalysisOptions::default() };
             group.bench_function(format!("{name}/{label}"), |b| {
                 b.iter(|| {
-                    black_box(analyze(
-                        black_box(&program),
-                        &query,
-                        adornment.clone(),
-                        &options,
-                    ))
+                    black_box(analyze(black_box(&program), &query, adornment.clone(), &options))
                 })
             });
         }

@@ -13,15 +13,8 @@ use std::hint::black_box;
 fn bench_corpus(c: &mut Criterion) {
     let mut group = c.benchmark_group("analysis/corpus");
     group.sample_size(10);
-    for name in [
-        "append_bff",
-        "perm",
-        "merge",
-        "expr_parser",
-        "quicksort",
-        "hanoi",
-        "tree_insert",
-    ] {
+    for name in ["append_bff", "perm", "merge", "expr_parser", "quicksort", "hanoi", "tree_insert"]
+    {
         let entry = argus_corpus::find(name).expect("corpus entry");
         let program = entry.program().expect("parse");
         let (query, adornment) = entry.query_key();

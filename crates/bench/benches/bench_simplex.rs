@@ -33,18 +33,9 @@ fn bench_feasibility(c: &mut Criterion) {
             } else {
                 random_system(&mut r, nvars, nvars * 2, 3)
             };
-            group.bench_with_input(
-                BenchmarkId::new("simplex", nvars),
-                &nvars,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(simplex::feasible_point(
-                            black_box(&sys),
-                            &BTreeSet::new(),
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("simplex", nvars), &nvars, |b, _| {
+                b.iter(|| black_box(simplex::feasible_point(black_box(&sys), &BTreeSet::new())))
+            });
             group.bench_with_input(BenchmarkId::new("fm", nvars), &nvars, |b, _| {
                 b.iter(|| black_box(fm_satisfiable_capped(black_box(&sys))))
             });

@@ -39,11 +39,7 @@ fn main() {
 
     // Full analysis.
     let report = analyze(&program, &query, adornment.clone(), &AnalysisOptions::default());
-    log.row(&[
-        "verdict".into(),
-        "terminates".into(),
-        format!("{:?}", report.verdict),
-    ]);
+    log.row(&["verdict".into(), "terminates".into(), format!("{:?}", report.verdict)]);
     if let Some(scc) = report.scc_of(&PredKey::new("perm", 2)) {
         for c in scc.render_constraints() {
             log.row(&["reduced θ constraint".into(), "2θ ≥ 1 (& θ ≥ 0)".into(), c]);

@@ -31,20 +31,12 @@ fn main() {
     log.row(&[
         "a (head constants)".into(),
         "(2, 2)".into(),
-        format!(
-            "({}, {})",
-            pair.x_rows[0].constant_term(),
-            pair.x_rows[1].constant_term()
-        ),
+        format!("({}, {})", pair.x_rows[0].constant_term(), pair.x_rows[1].constant_term()),
     ]);
     log.row(&[
         "b (subgoal constants)".into(),
         "(2, 0)".into(),
-        format!(
-            "({}, {})",
-            pair.y_rows[0].constant_term(),
-            pair.y_rows[1].constant_term()
-        ),
+        format!("({}, {})", pair.y_rows[0].constant_term(), pair.y_rows[1].constant_term()),
     ]);
     log.row(&[
         "c / C (from X =< Y)".into(),

@@ -26,11 +26,7 @@ fn main() {
     // Raw analysis (transformations disabled).
     let raw_opts = AnalysisOptions { transform_phases: 0, ..AnalysisOptions::default() };
     let raw = analyze(&program, &query, adornment.clone(), &raw_opts);
-    log.row(&[
-        "raw rules".into(),
-        "not detected".into(),
-        format!("{:?}", raw.verdict),
-    ]);
+    log.row(&["raw rules".into(), "not detected".into(), format!("{:?}", raw.verdict)]);
 
     // Transformation trace.
     let roots: BTreeSet<PredKey> = [query.clone()].into_iter().collect();

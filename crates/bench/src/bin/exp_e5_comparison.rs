@@ -27,10 +27,8 @@ fn main() {
     for entry in argus_corpus::corpus() {
         let program = entry.program().expect("parse");
         let (query, adornment) = entry.query_key();
-        let mut cells = vec![
-            entry.name.to_string(),
-            if entry.terminates { "yes".into() } else { "no".into() },
-        ];
+        let mut cells =
+            vec![entry.name.to_string(), if entry.terminates { "yes".into() } else { "no".into() }];
         for (i, m) in methods.iter().enumerate() {
             let r = m.prove(&program, &query, &adornment);
             cells.push(if r.proved { "proved".into() } else { "-".into() });

@@ -21,19 +21,11 @@ fn generated_queries(name: &str, size: usize, seed: u64) -> Vec<Vec<Literal>> {
     match name {
         "append_bff" => vec![q(Atom::new(
             "append",
-            vec![
-                workload::random_atom_list(&mut r, size),
-                Term::var("W"),
-                Term::var("Z"),
-            ],
+            vec![workload::random_atom_list(&mut r, size), Term::var("W"), Term::var("Z")],
         ))],
         "append_ffb" => vec![q(Atom::new(
             "append",
-            vec![
-                Term::var("X"),
-                Term::var("Y"),
-                workload::random_atom_list(&mut r, size),
-            ],
+            vec![Term::var("X"), Term::var("Y"), workload::random_atom_list(&mut r, size)],
         ))],
         "perm" => vec![q(Atom::new(
             "perm",
@@ -55,10 +47,9 @@ fn generated_queries(name: &str, size: usize, seed: u64) -> Vec<Vec<Literal>> {
             "nrev",
             vec![workload::random_atom_list(&mut r, size), Term::var("R")],
         ))],
-        "tree_mirror" => vec![q(Atom::new(
-            "mirror",
-            vec![workload::random_tree(&mut r, size), Term::var("M")],
-        ))],
+        "tree_mirror" => {
+            vec![q(Atom::new("mirror", vec![workload::random_tree(&mut r, size), Term::var("M")]))]
+        }
         "even_odd" => vec![q(Atom::new("even", vec![workload::nat(size)]))],
         "nat_minus" => vec![q(Atom::new(
             "minus",
@@ -83,11 +74,8 @@ fn main() {
         let report = analyze(&program, &query, adornment, &AnalysisOptions::default());
         let proved = report.verdict == Verdict::Terminates;
 
-        let mut queries: Vec<Vec<Literal>> = entry
-            .sample_queries
-            .iter()
-            .map(|q| parse_query(q).expect("sample query"))
-            .collect();
+        let mut queries: Vec<Vec<Literal>> =
+            entry.sample_queries.iter().map(|q| parse_query(q).expect("sample query")).collect();
         for size in [2usize, 4, 8] {
             queries.extend(generated_queries(entry.name, size, 1000 + size as u64));
         }

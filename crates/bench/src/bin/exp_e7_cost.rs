@@ -39,7 +39,8 @@ fn main() {
     );
 
     // Per-program analysis cost.
-    for name in ["append_bff", "merge", "perm", "tree_insert", "quicksort", "expr_parser", "hanoi"] {
+    for name in ["append_bff", "merge", "perm", "tree_insert", "quicksort", "expr_parser", "hanoi"]
+    {
         let entry = argus_corpus::find(name).expect("entry");
         let program = entry.program().expect("parse");
         let (query, adornment) = entry.query_key();

@@ -41,9 +41,9 @@ fn main() {
             .sccs
             .iter()
             .find_map(|s| match &s.outcome {
-                SccOutcome::ZeroWeightCycle(c) => Some(
-                    c.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" -> "),
-                ),
+                SccOutcome::ZeroWeightCycle(c) => {
+                    Some(c.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" -> "))
+                }
                 _ => None,
             })
             .unwrap_or_else(|| "-".into());
@@ -54,12 +54,7 @@ fn main() {
         } else {
             "ZeroWeightCycle"
         };
-        log.row(&[
-            format!("{k}-cycle"),
-            expected.into(),
-            format!("{:?}", report.verdict),
-            cycle,
-        ]);
+        log.row(&[format!("{k}-cycle"), expected.into(), format!("{:?}", report.verdict), cycle]);
         assert_ne!(report.verdict, Verdict::Terminates, "E8 soundness k={k}");
         if k >= 2 {
             assert_eq!(report.verdict, Verdict::ZeroWeightCycle, "E8 k={k}");

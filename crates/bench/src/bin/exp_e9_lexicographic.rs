@@ -23,8 +23,7 @@ fn main() {
         let program = entry.program().expect("parse");
         let (query, adornment) = entry.query_key();
         let base = analyze(&program, &query, adornment.clone(), &AnalysisOptions::default());
-        let lex_options =
-            AnalysisOptions { lexicographic: true, ..AnalysisOptions::default() };
+        let lex_options = AnalysisOptions { lexicographic: true, ..AnalysisOptions::default() };
         let lex = analyze(&program, &query, adornment, &lex_options);
 
         let max_levels = lex

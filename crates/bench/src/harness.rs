@@ -108,10 +108,7 @@ mod tests {
     fn table_renders_aligned() {
         let t = markdown_table(
             &["name".into(), "value".into()],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer".into(), "22".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
         );
         assert!(t.contains("| name   | value |"), "{t}");
         assert!(t.contains("| longer | 22    |"), "{t}");

@@ -36,11 +36,7 @@ pub fn random_tree(r: &mut StdRng, n: usize) -> Term {
     let right = n - 1 - left;
     Term::app(
         "node",
-        vec![
-            random_tree(r, left),
-            Term::int(r.random_range(0..100)),
-            random_tree(r, right),
-        ],
+        vec![random_tree(r, left), Term::int(r.random_range(0..100)), random_tree(r, right)],
     )
 }
 
@@ -49,9 +45,7 @@ pub fn random_tree(r: &mut StdRng, n: usize) -> Term {
 /// imported-constraint load for the analysis benchmarks.
 pub fn chained_append_program(depth: usize) -> String {
     let mut out = String::new();
-    out.push_str(
-        "app([], Ys, Ys).\napp([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).\n",
-    );
+    out.push_str("app([], Ys, Ys).\napp([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).\n");
     for i in 0..depth {
         let callee = if i + 1 == depth {
             "app(Xs, [x], Ys)".to_string()
@@ -133,9 +127,7 @@ mod tests {
     fn trees_have_requested_size() {
         fn internal(t: &Term) -> usize {
             match t {
-                Term::App(f, args) if &**f == "node" => {
-                    1 + internal(&args[0]) + internal(&args[2])
-                }
+                Term::App(f, args) if &**f == "node" => 1 + internal(&args[0]) + internal(&args[2]),
                 _ => 0,
             }
         }

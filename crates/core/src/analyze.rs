@@ -26,7 +26,8 @@ use crate::pairs::RuleSubgoalSystem;
 use crate::theta::ThetaSpace;
 use argus_linear::{ConstraintSystem, Rat, Var};
 use argus_logic::modes::{Adornment, ModeMap};
-use argus_logic::{DepGraph, PredKey, Program};
+use argus_logic::span::Span;
+use argus_logic::{DepGraph, PredKey, Program, Rule};
 use argus_sizerel::{infer_size_relations, InferOptions, SizeRelations};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -126,6 +127,67 @@ pub enum SccOutcome {
     },
 }
 
+/// How a blamed rule × subgoal pair defeats the θ search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlameKind {
+    /// The pair's own constraints already admit no decreasing linear
+    /// combination — this recursive call is unprovable in isolation.
+    Alone,
+    /// Every pair is satisfiable alone, but adding this one makes the
+    /// conjunction infeasible: it demands a measure incompatible with the
+    /// measures the earlier pairs allow.
+    Conjunction,
+}
+
+/// The rule × recursive-subgoal pair that blocks the termination proof of
+/// an SCC — the "which recursive call defeats every argument-size measure"
+/// explanation attached to [`SccOutcome::NoLinearDecrease`].
+#[derive(Debug, Clone)]
+pub struct PairBlame {
+    /// Head predicate of the blamed rule.
+    pub head_pred: PredKey,
+    /// Predicate of the blamed recursive subgoal.
+    pub sub_pred: PredKey,
+    /// The blamed rule itself (spans intact when the program was parsed).
+    pub rule: Rule,
+    /// Index of the blamed recursive subgoal in the rule body.
+    pub subgoal_index: usize,
+    /// Whether the pair fails alone or only in conjunction.
+    pub kind: BlameKind,
+}
+
+impl PairBlame {
+    /// Source span of the blamed recursive call, if the rule was parsed.
+    pub fn subgoal_span(&self) -> Option<Span> {
+        self.rule
+            .body
+            .get(self.subgoal_index)
+            .and_then(|l| l.atom.span.get().or_else(|| l.span.get()))
+            .or_else(|| self.rule.span.get())
+    }
+
+    /// One-line human-readable explanation.
+    pub fn describe(&self) -> String {
+        let call = self
+            .rule
+            .body
+            .get(self.subgoal_index)
+            .map(|l| l.atom.to_string())
+            .unwrap_or_else(|| self.sub_pred.to_string());
+        let loc = match self.subgoal_span() {
+            Some(s) => format!(" at {s}"),
+            None => String::new(),
+        };
+        let how = match self.kind {
+            BlameKind::Alone => "admits no decreasing measure even alone",
+            BlameKind::Conjunction => {
+                "is incompatible with the measures the other recursive calls allow"
+            }
+        };
+        format!("recursive call `{call}`{loc} in a rule for {head} {how}", head = self.head_pred)
+    }
+}
+
 impl SccOutcome {
     /// Does this outcome certify termination of the SCC?
     pub fn is_proved(&self) -> bool {
@@ -152,6 +214,9 @@ pub struct SccAnalysis {
     pub theta_space: ThetaSpace,
     /// Number of rule × recursive-subgoal pairs processed.
     pub pair_count: usize,
+    /// When the outcome is [`SccOutcome::NoLinearDecrease`], the pair that
+    /// blocks the proof (when one could be isolated).
+    pub blame: Option<PairBlame>,
 }
 
 impl SccAnalysis {
@@ -243,8 +308,7 @@ impl fmt::Display for TerminationReport {
                 SccOutcome::Proved { witness, deltas } => {
                     writeln!(f, "PROVED")?;
                     for (p, th) in witness {
-                        let parts: Vec<String> =
-                            th.iter().map(|r| r.to_string()).collect();
+                        let parts: Vec<String> = th.iter().map(|r| r.to_string()).collect();
                         writeln!(f, "    theta[{p}] = ({})", parts.join(", "))?;
                     }
                     for ((h, s), d) in deltas {
@@ -255,9 +319,13 @@ impl fmt::Display for TerminationReport {
                     writeln!(f, "PROVED (lexicographic, {} level(s))", proof.levels.len())?;
                     for (li, level) in proof.levels.iter().enumerate() {
                         for (p, th) in level {
-                            let parts: Vec<String> =
-                                th.iter().map(|r| r.to_string()).collect();
-                            writeln!(f, "    level {} theta[{p}] = ({})", li + 1, parts.join(", "))?;
+                            let parts: Vec<String> = th.iter().map(|r| r.to_string()).collect();
+                            writeln!(
+                                f,
+                                "    level {} theta[{p}] = ({})",
+                                li + 1,
+                                parts.join(", ")
+                            )?;
                         }
                     }
                 }
@@ -265,11 +333,16 @@ impl fmt::Display for TerminationReport {
                     let names: Vec<String> = cycle.iter().map(|p| p.to_string()).collect();
                     writeln!(f, "ZERO-WEIGHT CYCLE: {}", names.join(" -> "))?
                 }
-                SccOutcome::NoLinearDecrease { refutation } => writeln!(
-                    f,
-                    "no linear decrease found{}",
-                    if refutation.is_some() { " (Farkas refutation attached)" } else { "" }
-                )?,
+                SccOutcome::NoLinearDecrease { refutation } => {
+                    writeln!(
+                        f,
+                        "no linear decrease found{}",
+                        if refutation.is_some() { " (Farkas refutation attached)" } else { "" }
+                    )?;
+                    if let Some(blame) = &scc.blame {
+                        writeln!(f, "    blame: {}", blame.describe())?;
+                    }
+                }
             }
         }
         Ok(())
@@ -363,12 +436,12 @@ fn analyze_prepared(
                 theta_constraints: ConstraintSystem::new(),
                 theta_space: ThetaSpace::new(),
                 pair_count: 0,
+                blame: None,
             });
             continue;
         }
 
-        let mut analysis =
-            analyze_scc(&graph, &program, scc_id, &members, &modes, &rels, options);
+        let mut analysis = analyze_scc(&graph, &program, scc_id, &members, &modes, &rels, options);
         if !analysis.outcome.is_proved() && options.lexicographic {
             if let Some(proof) = crate::lexico::prove_scc_lexicographic(
                 &program,
@@ -391,14 +464,7 @@ fn analyze_prepared(
         sccs.push(analysis);
     }
 
-    TerminationReport {
-        program,
-        query: query.clone(),
-        modes,
-        size_relations: rels,
-        sccs,
-        verdict,
-    }
+    TerminationReport { program, query: query.clone(), modes, size_relations: rels, sccs, verdict }
 }
 
 /// Attempt a Farkas refutation of the θ feasibility system (including its
@@ -431,19 +497,13 @@ fn restrict_to_binary_orders(rels: &SizeRelations) -> SizeRelations {
             .filter(|c| {
                 let canon = c.canonicalized();
                 let nvars = canon.expr.terms().count();
-                nvars <= 2
-                    && canon.expr.terms().all(|(_, k)| {
-                        k == &Rat::one() || k == &-Rat::one()
-                    })
+                nvars <= 2 && canon.expr.terms().all(|(_, k)| k == &Rat::one() || k == &-Rat::one())
             })
             .cloned()
             .collect();
         out.insert(
             p.clone(),
-            argus_linear::Poly::from_constraints(
-                p.arity,
-                ConstraintSystem::from_constraints(kept),
-            ),
+            argus_linear::Poly::from_constraints(p.arity, ConstraintSystem::from_constraints(kept)),
         );
     }
     out
@@ -462,10 +522,7 @@ fn analyze_scc(
     // θ space: one variable per bound argument of each member.
     let mut space = ThetaSpace::new();
     for p in members {
-        let bound = modes
-            .get(p)
-            .map(|a| a.bound_positions().len())
-            .unwrap_or(p.arity);
+        let bound = modes.get(p).map(|a| a.bound_positions().len()).unwrap_or(p.arity);
         space.add_pred(p, bound);
     }
 
@@ -490,6 +547,7 @@ fn analyze_scc(
                         theta_constraints: ConstraintSystem::new(),
                         theta_space: space,
                         pair_count: pairs.len(),
+                        blame: None,
                     };
                 }
             };
@@ -526,42 +584,48 @@ fn analyze_scc(
                     },
                 }
             };
+            let blame = match &outcome {
+                SccOutcome::NoLinearDecrease { .. } => {
+                    compute_blame(&rules, &pairs, &[], &projected, &space, !ok)
+                }
+                _ => None,
+            };
             SccAnalysis {
                 members: members.to_vec(),
                 outcome,
                 theta_constraints: theta_sys,
                 theta_space: space,
                 pair_count: pairs.len(),
+                blame,
             }
         }
         DeltaMode::PathConstraints => {
             // Appendix C: symbolic δ's with positive-cycle path constraints.
-            let edges: BTreeSet<(PredKey, PredKey)> = pairs
-                .iter()
-                .map(|p| (p.head_pred.clone(), p.sub_pred.clone()))
-                .collect();
+            let edges: BTreeSet<(PredKey, PredKey)> =
+                pairs.iter().map(|p| (p.head_pred.clone(), p.sub_pred.clone())).collect();
             let delta_base: Var = space.len();
             let deltas = DeltaVars::allocate(&edges, delta_base);
             let pi_base = delta_base + deltas.len();
             let cycle_sys = positive_cycle_constraints(members, &deltas, pi_base);
 
-            let mut projected = vec![cycle_sys];
+            let base = vec![cycle_sys];
+            let mut pair_systems = Vec::new();
             let mut w_base: Var = pi_base + members.len() * members.len();
             let mut ok = true;
             for pair in &pairs {
-                let dv = deltas
-                    .get(&pair.head_pred, &pair.sub_pred)
-                    .expect("edge allocated");
+                let dv = deltas.get(&pair.head_pred, &pair.sub_pred).expect("edge allocated");
                 let (sys, w) = eq9_system(pair, &space, w_base, DeltaTerm::Variable(dv));
                 w_base += w.len();
                 match project_pair(&sys, &w) {
-                    Some(p) => projected.push(p),
+                    Some(p) => pair_systems.push(p),
                     None => {
                         ok = false;
                         break;
                     }
                 }
             }
+            let mut projected = base.clone();
+            projected.extend(pair_systems.iter().cloned());
             let (theta_sys, nonneg) = feasibility_system(&projected, &space);
             // δ variables stay free (that is the point of Appendix C).
             let outcome = if !ok {
@@ -573,10 +637,7 @@ fn analyze_scc(
                         deltas: deltas
                             .iter()
                             .map(|(e, v)| {
-                                (
-                                    e.clone(),
-                                    point.get(v).cloned().unwrap_or_else(Rat::zero),
-                                )
+                                (e.clone(), point.get(v).cloned().unwrap_or_else(Rat::zero))
                             })
                             .collect(),
                     },
@@ -585,15 +646,75 @@ fn analyze_scc(
                     },
                 }
             };
+            let blame = match &outcome {
+                SccOutcome::NoLinearDecrease { .. } => {
+                    compute_blame(&rules, &pairs, &base, &pair_systems, &space, !ok)
+                }
+                _ => None,
+            };
             SccAnalysis {
                 members: members.to_vec(),
                 outcome,
                 theta_constraints: theta_sys,
                 theta_space: space,
                 pair_count: pairs.len(),
+                blame,
             }
         }
     }
+}
+
+/// Isolate the rule × recursive-subgoal pair that blocks the θ search.
+///
+/// `pair_systems[i]` is the projected θ-constraint system of `pairs[i]`;
+/// `base` holds constraints shared by all pairs (the Appendix C cycle
+/// constraints; empty in §6.1 mode). When `projection_failed`, projection
+/// stopped at `pairs[pair_systems.len()]` — that pair's own system is
+/// infeasible, so it is blamed outright. Otherwise each pair is tested
+/// *alone* (against `base`), and if every pair is individually satisfiable
+/// a prefix scan finds the first pair that tips the conjunction over.
+fn compute_blame(
+    rules: &[&Rule],
+    pairs: &[RuleSubgoalSystem],
+    base: &[ConstraintSystem],
+    pair_systems: &[ConstraintSystem],
+    space: &ThetaSpace,
+    projection_failed: bool,
+) -> Option<PairBlame> {
+    let blame_from = |idx: usize, kind: BlameKind| -> Option<PairBlame> {
+        let pair = pairs.get(idx)?;
+        let rule = rules.get(pair.rule_index).map(|r| (*r).clone())?;
+        Some(PairBlame {
+            head_pred: pair.head_pred.clone(),
+            sub_pred: pair.sub_pred.clone(),
+            rule,
+            subgoal_index: pair.subgoal_index,
+            kind,
+        })
+    };
+    let infeasible = |systems: &[ConstraintSystem]| -> bool {
+        let (sys, nonneg) = feasibility_system(systems, space);
+        argus_linear::simplex::feasible_point(&sys, &nonneg).is_none()
+    };
+
+    if projection_failed {
+        return blame_from(pair_systems.len(), BlameKind::Alone);
+    }
+    for (i, ps) in pair_systems.iter().enumerate() {
+        let mut subset = base.to_vec();
+        subset.push(ps.clone());
+        if infeasible(&subset) {
+            return blame_from(i, BlameKind::Alone);
+        }
+    }
+    let mut subset = base.to_vec();
+    for (i, ps) in pair_systems.iter().enumerate() {
+        subset.push(ps.clone());
+        if infeasible(&subset) {
+            return blame_from(i, BlameKind::Conjunction);
+        }
+    }
+    None
 }
 
 /// Convenience: parse, analyze with default options, return the report.

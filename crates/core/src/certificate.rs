@@ -91,7 +91,8 @@ pub fn verify_report(report: &TerminationReport, norm: Norm) -> Result<usize, Ce
         };
         // θ sanity.
         for p in &scc.members {
-            let theta = witness.get(p).ok_or_else(|| CertificateError::MissingWitness(p.clone()))?;
+            let theta =
+                witness.get(p).ok_or_else(|| CertificateError::MissingWitness(p.clone()))?;
             if theta.iter().any(|t| t.is_negative()) {
                 return Err(CertificateError::NegativeTheta(p.clone()));
             }
@@ -100,19 +101,12 @@ pub fn verify_report(report: &TerminationReport, norm: Norm) -> Result<usize, Ce
         verify_positive_cycles(&scc.members, deltas)?;
 
         // Primal decrease per rule × recursive subgoal.
-        let scc_id = graph
-            .scc_id(&scc.members[0])
-            .expect("proved SCC exists in the report's program");
+        let scc_id =
+            graph.scc_id(&scc.members[0]).expect("proved SCC exists in the report's program");
         for (ri, rule) in graph.scc_rules(&report.program, scc_id).iter().enumerate() {
             for si in graph.recursive_subgoals(rule) {
-                let pair = build_pair_with_norm(
-                    rule,
-                    ri,
-                    si,
-                    &report.modes,
-                    &report.size_relations,
-                    norm,
-                );
+                let pair =
+                    build_pair_with_norm(rule, ri, si, &report.modes, &report.size_relations, norm);
                 let theta = witness
                     .get(&pair.head_pred)
                     .ok_or_else(|| CertificateError::MissingWitness(pair.head_pred.clone()))?;
@@ -123,11 +117,8 @@ pub fn verify_report(report: &TerminationReport, norm: Norm) -> Result<usize, Ce
                     .get(&(pair.head_pred.clone(), pair.sub_pred.clone()))
                     .cloned()
                     .ok_or_else(|| {
-                        CertificateError::MissingDelta(
-                            pair.head_pred.clone(),
-                            pair.sub_pred.clone(),
-                        )
-                    })?;
+                    CertificateError::MissingDelta(pair.head_pred.clone(), pair.sub_pred.clone())
+                })?;
 
                 // Objective θᵀx − βᵀy over the primal variables.
                 let (primal, x_vars, y_vars, _) = primal_system(&pair);
@@ -274,10 +265,9 @@ mod tests {
 
     #[test]
     fn tampered_witness_is_rejected() {
-        let program = parse_program(
-            "append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
-        )
-        .unwrap();
+        let program =
+            parse_program("append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).")
+                .unwrap();
         let mut report = analyze(
             &program,
             &PredKey::new("append", 3),
@@ -295,10 +285,7 @@ mod tests {
             }
         }
         let err = verify_report(&report, Norm::StructuralSize).unwrap_err();
-        assert!(
-            matches!(err, CertificateError::DecreaseViolated { .. }),
-            "{err}"
-        );
+        assert!(matches!(err, CertificateError::DecreaseViolated { .. }), "{err}");
     }
 
     #[test]
@@ -321,9 +308,7 @@ mod tests {
         // Zero the n→e delta: the e→t→n→e cycle now weighs 0.
         for scc in report.sccs.iter_mut() {
             if let SccOutcome::Proved { deltas, .. } = &mut scc.outcome {
-                if let Some(d) =
-                    deltas.get_mut(&(PredKey::new("n", 2), PredKey::new("e", 2)))
-                {
+                if let Some(d) = deltas.get_mut(&(PredKey::new("n", 2), PredKey::new("e", 2))) {
                     *d = Rat::zero();
                 }
             }
@@ -334,10 +319,9 @@ mod tests {
 
     #[test]
     fn missing_witness_detected() {
-        let program = parse_program(
-            "append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
-        )
-        .unwrap();
+        let program =
+            parse_program("append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).")
+                .unwrap();
         let mut report = analyze(
             &program,
             &PredKey::new("append", 3),

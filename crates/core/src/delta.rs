@@ -26,10 +26,11 @@ pub struct DeltaAssignment {
 impl DeltaAssignment {
     /// The δ for an edge (defaults to 1 for self-edges if unset).
     pub fn get(&self, head: &PredKey, sub: &PredKey) -> i64 {
-        self.delta
-            .get(&(head.clone(), sub.clone()))
-            .copied()
-            .unwrap_or(if head == sub { 1 } else { 0 })
+        self.delta.get(&(head.clone(), sub.clone())).copied().unwrap_or(if head == sub {
+            1
+        } else {
+            0
+        })
     }
 }
 
@@ -57,10 +58,7 @@ pub fn assign_deltas(members: &[PredKey], pairs: &[RuleSubgoalSystem]) -> DeltaO
         let key = (pair.head_pred.clone(), pair.sub_pred.clone());
         let forced_zero = pair.head_pred != pair.sub_pred && pair.forces_zero_delta();
         let value = if forced_zero { 0 } else { 1 };
-        delta
-            .entry(key)
-            .and_modify(|d| *d = (*d).min(value))
-            .or_insert(value);
+        delta.entry(key).and_modify(|d| *d = (*d).min(value)).or_insert(value);
     }
     // δᵢᵢ is always 1 (§4: "simply 1 if i = j").
     for (edge, d) in delta.iter_mut() {
@@ -131,11 +129,8 @@ mod tests {
         let mut x = LinExpr::constant(Rat::from_int(a_const));
         x.add_term(0, Rat::one());
         let y = LinExpr::var(0);
-        let c_rows = if c_const >= 0 {
-            vec![LinExpr::constant(Rat::from_int(c_const))]
-        } else {
-            vec![]
-        };
+        let c_rows =
+            if c_const >= 0 { vec![LinExpr::constant(Rat::from_int(c_const))] } else { vec![] };
         RuleSubgoalSystem {
             head_pred: pk(head),
             sub_pred: pk(sub),
@@ -201,11 +196,7 @@ mod tests {
     fn min_over_parallel_edges() {
         // Two pairs on the same edge, one forcing zero: edge gets 0.
         let members = vec![pk("p"), pk("q")];
-        let pairs = vec![
-            pair("p", "q", 2, -1),
-            pair("p", "q", 0, -1),
-            pair("q", "p", 3, -1),
-        ];
+        let pairs = vec![pair("p", "q", 2, -1), pair("p", "q", 0, -1), pair("q", "p", 3, -1)];
         match assign_deltas(&members, &pairs) {
             DeltaOutcome::Ok(d) => {
                 assert_eq!(d.get(&pk("p"), &pk("q")), 0);
@@ -218,11 +209,7 @@ mod tests {
     #[test]
     fn long_zero_cycle() {
         let members = vec![pk("a"), pk("b"), pk("c")];
-        let pairs = vec![
-            pair("a", "b", 0, -1),
-            pair("b", "c", 0, -1),
-            pair("c", "a", 0, -1),
-        ];
+        let pairs = vec![pair("a", "b", 0, -1), pair("b", "c", 0, -1), pair("c", "a", 0, -1)];
         match assign_deltas(&members, &pairs) {
             DeltaOutcome::ZeroWeightCycle(cycle) => assert_eq!(cycle.len(), 3),
             DeltaOutcome::Ok(_) => panic!("expected 3-cycle of weight 0"),

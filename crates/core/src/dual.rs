@@ -124,11 +124,7 @@ pub fn eq9_system(
 /// Returns `None` if elimination discovers the system is unsatisfiable for
 /// *every* θ (which would mean this pair admits no linear decrease at all).
 pub fn project_pair(sys: &ConstraintSystem, w_vars: &[Var]) -> Option<ConstraintSystem> {
-    let keep: BTreeSet<Var> = sys
-        .vars()
-        .into_iter()
-        .filter(|v| !w_vars.contains(v))
-        .collect();
+    let keep: BTreeSet<Var> = sys.vars().into_iter().filter(|v| !w_vars.contains(v)).collect();
     match fm::project_onto_capped(sys, &keep, 2000) {
         Some(FmResult::Projected(out)) => Some(out.dedup()),
         Some(FmResult::Infeasible) => None,

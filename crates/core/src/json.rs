@@ -126,13 +126,37 @@ impl TerminationReport {
                         json_array(cycle.iter().map(|p| json_str(&p.to_string())))
                     ),
                 ),
-                SccOutcome::NoLinearDecrease { refutation } => (
-                    "no_linear_decrease".to_string(),
-                    format!(
-                        ",\"has_refutation\":{}",
-                        if refutation.is_some() { "true" } else { "false" }
-                    ),
-                ),
+                SccOutcome::NoLinearDecrease { refutation } => {
+                    let blame = match &scc.blame {
+                        Some(b) => {
+                            let span = match b.subgoal_span() {
+                                Some(s) => format!(
+                                    ",\"line\":{},\"col\":{},\"start\":{},\"end\":{}",
+                                    s.line, s.col, s.start, s.end
+                                ),
+                                None => String::new(),
+                            };
+                            format!(
+                                ",\"blame\":{{\"head\":{},\"call\":{},\"subgoal_index\":{},\"kind\":{}{span}}}",
+                                json_str(&b.head_pred.to_string()),
+                                json_str(&b.sub_pred.to_string()),
+                                b.subgoal_index,
+                                json_str(match b.kind {
+                                    crate::analyze::BlameKind::Alone => "alone",
+                                    crate::analyze::BlameKind::Conjunction => "conjunction",
+                                })
+                            )
+                        }
+                        None => String::new(),
+                    };
+                    (
+                        "no_linear_decrease".to_string(),
+                        format!(
+                            ",\"has_refutation\":{}{blame}",
+                            if refutation.is_some() { "true" } else { "false" }
+                        ),
+                    )
+                }
             };
             format!(
                 "{{\"members\":{members},\"outcome\":{}{detail},\"constraints\":{constraints}}}",
@@ -177,8 +201,7 @@ mod tests {
 
     #[test]
     fn zero_cycle_report_shape() {
-        let report =
-            analyze_source("p(X) :- q(X).\nq(X) :- p(X).", "p/1", "b").unwrap();
+        let report = analyze_source("p(X) :- q(X).\nq(X) :- p(X).", "p/1", "b").unwrap();
         let json = report.to_json();
         assert!(json.contains("zero_weight_cycle"), "{json}");
         assert!(json.contains("\"cycle\""), "{json}");

@@ -78,17 +78,14 @@ pub fn prove_lexicographic(
                 }
             }
             let (theta_sys, nonneg) = feasibility_system(&projected, space);
-            let Some(point) = argus_linear::simplex::feasible_point(&theta_sys, &nonneg)
-            else {
+            let Some(point) = argus_linear::simplex::feasible_point(&theta_sys, &nonneg) else {
                 continue 'candidates;
             };
             let level = space.extract_witness(&point);
             // Which pairs strictly decrease under this θ? (Check each by
             // primal LP so we can discharge them all at once.)
-            let strict: Vec<bool> = remaining
-                .iter()
-                .map(|pair| pair_strictly_decreases(pair, &level))
-                .collect();
+            let strict: Vec<bool> =
+                remaining.iter().map(|pair| pair_strictly_decreases(pair, &level)).collect();
             debug_assert!(strict[strict_idx], "designated pair must be strict");
             found = Some((level, strict));
             break;
@@ -146,10 +143,7 @@ pub fn prove_scc_lexicographic(
     let members: Vec<PredKey> = graph.scc(scc_id);
     let mut space = ThetaSpace::new();
     for p in &members {
-        let bound = modes
-            .get(p)
-            .map(|a| a.bound_positions().len())
-            .unwrap_or(p.arity);
+        let bound = modes.get(p).map(|a| a.bound_positions().len()).unwrap_or(p.arity);
         space.add_pred(p, bound);
     }
     let mut pairs = Vec::new();
@@ -243,13 +237,7 @@ mod tests {
     #[test]
     fn loops_still_unprovable() {
         assert!(prove("p(X) :- p(X).", "p", 1, "b").is_none());
-        assert!(prove(
-            "p([]).\np([X|Xs]) :- p([a, X|Xs]).",
-            "p",
-            1,
-            "b"
-        )
-        .is_none());
+        assert!(prove("p([]).\np([X|Xs]) :- p([a, X|Xs]).", "p", 1, "b").is_none());
     }
 
     /// A hand-built two-level case: outer argument controls an inner

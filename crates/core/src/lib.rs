@@ -38,16 +38,16 @@
 pub mod analyze;
 pub mod certificate;
 pub mod delta;
+pub mod dual;
 pub mod json;
 pub mod lexico;
-pub mod dual;
 pub mod negweight;
 pub mod pairs;
 pub mod theta;
 
 pub use analyze::{
-    analyze, analyze_source, AnalysisOptions, DeltaMode, SccAnalysis, SccOutcome,
-    TerminationReport, Verdict,
+    analyze, analyze_source, AnalysisOptions, BlameKind, DeltaMode, PairBlame, SccAnalysis,
+    SccOutcome, TerminationReport, Verdict,
 };
 pub use certificate::{verify_report, CertificateError};
 pub use delta::{assign_deltas, DeltaAssignment, DeltaOutcome};

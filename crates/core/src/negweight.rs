@@ -32,11 +32,7 @@ pub struct DeltaVars {
 impl DeltaVars {
     /// Allocate δ variables for `edges`, starting at `base`.
     pub fn allocate(edges: &BTreeSet<(PredKey, PredKey)>, base: Var) -> DeltaVars {
-        let map = edges
-            .iter()
-            .enumerate()
-            .map(|(k, e)| (e.clone(), base + k))
-            .collect();
+        let map = edges.iter().enumerate().map(|(k, e)| (e.clone(), base + k)).collect();
         DeltaVars { map }
     }
 
@@ -131,10 +127,7 @@ pub fn positive_cycle_constraints(
             // no path support; that manifests as constraints on δ, not
             // infeasibility. Treat defensively as unsatisfiable-by-δ.
             let mut bad = ConstraintSystem::new();
-            bad.push(Constraint {
-                expr: LinExpr::constant(Rat::one()),
-                rel: Rel::Le,
-            });
+            bad.push(Constraint { expr: LinExpr::constant(Rat::one()), rel: Rel::Le });
             bad
         }
     }
@@ -197,9 +190,7 @@ mod tests {
         // a→b→c→a plus self loop a→a.
         let members = vec![pk("a"), pk("b"), pk("c")];
         let edges: BTreeSet<_> =
-            [edge("a", "b"), edge("b", "c"), edge("c", "a"), edge("a", "a")]
-                .into_iter()
-                .collect();
+            [edge("a", "b"), edge("b", "c"), edge("c", "a"), edge("a", "a")].into_iter().collect();
         let dv = DeltaVars::allocate(&edges, 0);
         let sys = positive_cycle_constraints(&members, &dv, 10);
         let v = |a: &str, b: &str| dv.get(&pk(a), &pk(b)).unwrap();

@@ -132,14 +132,10 @@ pub fn build_pair_with_norm(
     let sub_atom = &rule.body[subgoal_index].atom;
     let sub_pred = sub_atom.key();
 
-    let head_adornment = modes
-        .get(&head_pred)
-        .cloned()
-        .unwrap_or_else(|| Adornment::all_bound(head_pred.arity));
-    let sub_adornment = modes
-        .get(&sub_pred)
-        .cloned()
-        .unwrap_or_else(|| Adornment::all_bound(sub_pred.arity));
+    let head_adornment =
+        modes.get(&head_pred).cloned().unwrap_or_else(|| Adornment::all_bound(head_pred.arity));
+    let sub_adornment =
+        modes.get(&sub_pred).cloned().unwrap_or_else(|| Adornment::all_bound(sub_pred.arity));
 
     let mut alpha = AlphaSpace::new(norm);
     let mut x_rows = Vec::new();
@@ -310,12 +306,7 @@ mod tests {
         let constants: Vec<i64> = sys
             .c_rows
             .iter()
-            .map(|r| {
-                r.constant_term()
-                    .numer()
-                    .to_i128()
-                    .unwrap() as i64
-            })
+            .map(|r| r.constant_term().numer().to_i128().unwrap() as i64)
             .collect();
         assert!(constants.contains(&2), "expected the paper's c = (2, 0): {constants:?}");
         assert!(constants.contains(&0));
@@ -401,10 +392,7 @@ mod tests {
     fn primal_system_is_satisfiable_for_real_rule() {
         let sys = perm_pair();
         let (primal, x_vars, y_vars, _) = primal_system(&sys);
-        let nonneg: std::collections::BTreeSet<Var> = primal
-            .vars()
-            .into_iter()
-            .collect();
+        let nonneg: std::collections::BTreeSet<Var> = primal.vars().into_iter().collect();
         let pt = argus_linear::simplex::feasible_point(&primal, &nonneg)
             .expect("Eq.1 for perm must be satisfiable");
         assert!(primal.holds_at(&pt));
@@ -413,11 +401,7 @@ mod tests {
         // certifies with theta = 1/2 scaled... here theta fixed at 1).
         let mut obj = LinExpr::var(x_vars[0]);
         obj.add_term(y_vars[0], -Rat::one());
-        let lp = argus_linear::LpProblem {
-            objective: obj,
-            constraints: primal,
-            nonneg,
-        };
+        let lp = argus_linear::LpProblem { objective: obj, constraints: primal, nonneg };
         match lp.solve() {
             argus_linear::LpOutcome::Optimal { value, .. } => {
                 // x - y = P - P1 = 2 + X >= 2 by the append constraints.

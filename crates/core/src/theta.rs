@@ -76,10 +76,8 @@ impl ThetaSpace {
         self.map
             .iter()
             .map(|(p, vars)| {
-                let vals = vars
-                    .iter()
-                    .map(|v| point.get(v).cloned().unwrap_or_else(Rat::zero))
-                    .collect();
+                let vals =
+                    vars.iter().map(|v| point.get(v).cloned().unwrap_or_else(Rat::zero)).collect();
                 (p.clone(), vals)
             })
             .collect()

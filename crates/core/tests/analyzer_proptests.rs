@@ -22,11 +22,9 @@ struct GenRule {
 }
 
 fn rule_strategy() -> impl Strategy<Value = GenRule> {
-    (prop_oneof![Just("f"), Just("g"), Just("h")], 1usize..4).prop_flat_map(
-        |(functor, arity)| {
-            (0..arity).prop_map(move |rec_pos| GenRule { functor, arity, rec_pos })
-        },
-    )
+    (prop_oneof![Just("f"), Just("g"), Just("h")], 1usize..4).prop_flat_map(|(functor, arity)| {
+        (0..arity).prop_map(move |rec_pos| GenRule { functor, arity, rec_pos })
+    })
 }
 
 /// Assemble a single-predicate program from rule descriptors. Every rule
@@ -35,12 +33,7 @@ fn descending_program(rules: &[GenRule]) -> String {
     let mut out = String::from("p(c).\n");
     for r in rules {
         let vars: Vec<String> = (0..r.arity).map(|i| format!("X{i}")).collect();
-        out.push_str(&format!(
-            "p({}({})) :- p(X{}).\n",
-            r.functor,
-            vars.join(", "),
-            r.rec_pos
-        ));
+        out.push_str(&format!("p({}({})) :- p(X{}).\n", r.functor, vars.join(", "), r.rec_pos));
     }
     out
 }

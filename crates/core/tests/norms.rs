@@ -10,13 +10,7 @@ use argus_logic::{Adornment, Norm, PredKey};
 fn run(src: &str, name: &str, arity: usize, adn: &str, norm: Norm) -> Verdict {
     let program = parse_program(src).unwrap();
     let options = AnalysisOptions { norm, ..AnalysisOptions::default() };
-    analyze(
-        &program,
-        &PredKey::new(name, arity),
-        Adornment::parse(adn).unwrap(),
-        &options,
-    )
-    .verdict
+    analyze(&program, &PredKey::new(name, arity), Adornment::parse(adn).unwrap(), &options).verdict
 }
 
 /// Head [X, Y | Xs] → subgoal [f(X, Y) | Xs]: the list gets SHORTER while
@@ -42,11 +36,7 @@ fn element_fusion_needs_list_length() {
 #[test]
 fn left_descent_needs_structural_size() {
     let src = "t(leaf).\nt(node(L, R)) :- t(L).";
-    assert_eq!(
-        run(src, "t", 1, "b", Norm::StructuralSize),
-        Verdict::Terminates,
-        "2 + L + R > L"
-    );
+    assert_eq!(run(src, "t", 1, "b", Norm::StructuralSize), Verdict::Terminates, "2 + L + R > L");
     assert_ne!(
         run(src, "t", 1, "b", Norm::ListLength),
         Verdict::Terminates,
@@ -105,21 +95,14 @@ fn loops_unprovable_under_all_norms() {
 #[test]
 fn size_relations_reflect_the_norm() {
     use argus_sizerel::{infer_size_relations, InferOptions};
-    let program = parse_program(
-        "append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
-    )
-    .unwrap();
+    let program =
+        parse_program("append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).")
+            .unwrap();
     let app = PredKey::new("append", 3);
     for norm in [Norm::StructuralSize, Norm::ListLength] {
-        let rels = infer_size_relations(
-            &program,
-            &InferOptions { norm, ..InferOptions::default() },
-        );
-        assert!(
-            rels.entails_sum_equality(&app, &[0, 1], 2),
-            "a1 + a2 = a3 under {}",
-            norm.name()
-        );
+        let rels =
+            infer_size_relations(&program, &InferOptions { norm, ..InferOptions::default() });
+        assert!(rels.entails_sum_equality(&app, &[0, 1], 2), "a1 + a2 = a3 under {}", norm.name());
     }
 }
 
@@ -145,11 +128,7 @@ fn lexicographic_mode_proves_ackermann() {
 
     // Still sound: loops stay unprovable with the extension on.
     let loop_program = parse_program("p(X) :- p(X).").unwrap();
-    let looped = analyze(
-        &loop_program,
-        &PredKey::new("p", 1),
-        Adornment::parse("b").unwrap(),
-        &options,
-    );
+    let looped =
+        analyze(&loop_program, &PredKey::new("p", 1), Adornment::parse("b").unwrap(), &options);
     assert_ne!(looped.verdict, Verdict::Terminates);
 }

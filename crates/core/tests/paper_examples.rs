@@ -25,9 +25,7 @@ fn example_3_1_perm() {
     assert_eq!(report.verdict, Verdict::Terminates, "{report}");
     // The witness for perm is a single theta with 2θ ≥ 1; the simplex
     // vertex solution is exactly 1/2.
-    let w = report
-        .witness_for(&argus_logic::PredKey::new("perm", 2))
-        .expect("perm proved");
+    let w = report.witness_for(&argus_logic::PredKey::new("perm", 2)).expect("perm proved");
     assert_eq!(w.len(), 1);
     assert_eq!(w[0], half(), "paper: termination demonstrated using θ = 1/2");
 }
@@ -47,9 +45,7 @@ fn example_5_1_merge() {
     )
     .unwrap();
     assert_eq!(report.verdict, Verdict::Terminates, "{report}");
-    let w = report
-        .witness_for(&argus_logic::PredKey::new("merge", 3))
-        .expect("merge proved");
+    let w = report.witness_for(&argus_logic::PredKey::new("merge", 3)).expect("merge proved");
     assert_eq!(w.len(), 2);
     assert_eq!(w[0], w[1], "paper: θ1 = θ2");
     assert!(&w[0] + &w[1] >= Rat::one(), "paper: θ1 = θ2 ≥ 1/2");
@@ -72,9 +68,7 @@ fn example_6_1_parser() {
     )
     .unwrap();
     assert_eq!(report.verdict, Verdict::Terminates, "{report}");
-    let scc = report
-        .scc_of(&argus_logic::PredKey::new("e", 2))
-        .expect("e analyzed");
+    let scc = report.scc_of(&argus_logic::PredKey::new("e", 2)).expect("e analyzed");
     assert_eq!(scc.members.len(), 3, "e, t, n are one SCC");
     match &scc.outcome {
         SccOutcome::Proved { witness, deltas } => {
@@ -82,10 +76,7 @@ fn example_6_1_parser() {
             // self-loops 1.
             let d = |a: &str, b: &str| {
                 deltas
-                    .get(&(
-                        argus_logic::PredKey::new(a, 2),
-                        argus_logic::PredKey::new(b, 2),
-                    ))
+                    .get(&(argus_logic::PredKey::new(a, 2), argus_logic::PredKey::new(b, 2)))
                     .cloned()
                     .unwrap()
             };
@@ -117,19 +108,14 @@ fn example_a_1_transformations() {
                q(f(Z)) :- p(Z), q(Z).";
     // Without preprocessing: not proved.
     let program = argus_logic::parser::parse_program(src).unwrap();
-    let options =
-        argus_core::AnalysisOptions { transform_phases: 0, ..Default::default() };
+    let options = argus_core::AnalysisOptions { transform_phases: 0, ..Default::default() };
     let raw = argus_core::analyze(
         &program,
         &argus_logic::PredKey::new("p", 1),
         argus_logic::Adornment::parse("b").unwrap(),
         &options,
     );
-    assert_ne!(
-        raw.verdict,
-        Verdict::Terminates,
-        "raw A.1 must not be provable: {raw}"
-    );
+    assert_ne!(raw.verdict, Verdict::Terminates, "raw A.1 must not be provable: {raw}");
     // With the Appendix A driver (default 3 phases): proved.
     let report = analyze_source(src, "p/1", "b").unwrap();
     assert_eq!(report.verdict, Verdict::Terminates, "{report}");
@@ -147,12 +133,7 @@ fn direct_loop_unprovable() {
 /// zero, producing the zero-weight-cycle report of §6.1 step 3.
 #[test]
 fn mutual_loop_zero_cycle() {
-    let report = analyze_source(
-        "p(X) :- q(X).\nq(X) :- p(X).",
-        "p/1",
-        "b",
-    )
-    .unwrap();
+    let report = analyze_source("p(X) :- q(X).\nq(X) :- p(X).", "p/1", "b").unwrap();
     assert_eq!(report.verdict, Verdict::ZeroWeightCycle, "{report}");
 }
 
@@ -264,8 +245,7 @@ fn path_constraint_mode_on_parser() {
 /// is no δ assignment with positive cycles that the sizes support).
 #[test]
 fn path_constraint_mode_rejects_loop() {
-    let program =
-        argus_logic::parser::parse_program("p(X) :- q(X).\nq(X) :- p(X).").unwrap();
+    let program = argus_logic::parser::parse_program("p(X) :- q(X).\nq(X) :- p(X).").unwrap();
     let options = argus_core::AnalysisOptions {
         delta_mode: argus_core::DeltaMode::PathConstraints,
         ..Default::default()

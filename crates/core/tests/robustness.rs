@@ -75,12 +75,7 @@ fn recursion_through_negation() {
 fn negative_recursive_subgoal_with_decrease() {
     // Appendix D: a negative recursive subgoal is analyzed as positive;
     // the size decrease still certifies termination.
-    let report = analyze_source(
-        "p([]).\np([X|Xs]) :- \\+ p(Xs).",
-        "p/1",
-        "b",
-    )
-    .unwrap();
+    let report = analyze_source("p([]).\np([X|Xs]) :- \\+ p(Xs).", "p/1", "b").unwrap();
     assert_eq!(report.verdict, Verdict::Terminates, "{report}");
 }
 
@@ -129,12 +124,7 @@ fn options_zero_phases_disable_transformation() {
     let src = "p(g(X)) :- e(X).\np(g(X)) :- q(f(X)).\nq(Y) :- p(Y).\nq(f(Z)) :- p(Z), q(Z).";
     let program = parse_program(src).unwrap();
     let options = AnalysisOptions { transform_phases: 0, ..AnalysisOptions::default() };
-    let report = analyze(
-        &program,
-        &PredKey::new("p", 1),
-        Adornment::parse("b").unwrap(),
-        &options,
-    );
+    let report = analyze(&program, &PredKey::new("p", 1), Adornment::parse("b").unwrap(), &options);
     assert_ne!(report.verdict, Verdict::Terminates);
 }
 
@@ -166,12 +156,7 @@ fn manual_imported_constraints_are_honoured() {
         imported: vec![(PredKey::new("q", 2), Poly::from_constraints(2, sys))],
         ..AnalysisOptions::default()
     };
-    let with = analyze(
-        &program,
-        &PredKey::new("p", 1),
-        Adornment::parse("b").unwrap(),
-        &options,
-    );
+    let with = analyze(&program, &PredKey::new("p", 1), Adornment::parse("b").unwrap(), &options);
     assert_eq!(with.verdict, Verdict::Terminates, "{with}");
 }
 

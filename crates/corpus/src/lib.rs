@@ -111,11 +111,7 @@ pub fn corpus() -> Vec<CorpusEntry> {
             paper_ref: Some("Example 3.1 / 4.1"),
             description: "permutation generation via double append; needs the \
                           3-variable append size relation (no earlier method proves it)",
-            sample_queries: &[
-                "perm([], Q)",
-                "perm([a, b, c], Q)",
-                "perm([a, b, c, d], Q)",
-            ],
+            sample_queries: &["perm([], Q)", "perm([a, b, c], Q)", "perm([a, b, c, d], Q)"],
         },
         CorpusEntry {
             name: "merge",
@@ -239,10 +235,7 @@ pub fn corpus() -> Vec<CorpusEntry> {
             expected_provable: true,
             paper_ref: None,
             description: "binary tree mirroring: nonlinear structural recursion",
-            sample_queries: &[
-                "mirror(leaf, M)",
-                "mirror(node(node(leaf, a, leaf), b, leaf), M)",
-            ],
+            sample_queries: &["mirror(leaf, M)", "mirror(node(node(leaf, a, leaf), b, leaf), M)"],
         },
         CorpusEntry {
             name: "tree_insert",
@@ -727,11 +720,7 @@ mod tests {
             let (key, adn) = e.query_key();
             assert_eq!(key.arity, adn.arity(), "{}", e.name);
             let p = e.program().unwrap();
-            assert!(
-                p.idb_predicates().contains(&key),
-                "{}: query {key} not defined",
-                e.name
-            );
+            assert!(p.idb_predicates().contains(&key), "{}: query {key} not defined", e.name);
         }
     }
 

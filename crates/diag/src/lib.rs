@@ -1,0 +1,238 @@
+//! # argus-diag — span-aware static diagnostics for logic programs
+//!
+//! The Sohn & Van Gelder termination method (PODS 1991) only applies to
+//! programs that are well-moded, range-restricted, and reachable from the
+//! analyzed adorned predicate — and when the θ-search fails, the bare
+//! "not proved" hides *which recursive call* defeats every argument-size
+//! measure. This crate turns those preconditions and failure explanations
+//! into a conventional linting experience: a registry of [`LintPass`]es
+//! over a parsed [`Program`] (with source spans threaded from the lexer),
+//! each producing structured [`Diagnostic`]s that renderers turn into
+//! caret-annotated text or stable JSON.
+//!
+//! ## Lint codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | L000 | parse error |
+//! | L001 | singleton variable |
+//! | L002 | call to an undefined predicate |
+//! | L003 | unused (unreachable) predicate |
+//! | L004 | predicate used with inconsistent arities |
+//! | L005 | probable predicate-name typo (edit distance 1) |
+//! | L006 | non-range-restricted clause |
+//! | L007 | non-well-moded goal (unbound argument where a binding is required) |
+//! | L008 | unsafe negation (`\+` over an unbound variable — floundering) |
+//! | L009 | recursive call defeats every argument-size measure |
+//! | L010 | zero-weight recursion cycle (strong nontermination evidence) |
+//!
+//! L007–L010 are *moded* lints: they need a query predicate and adornment
+//! ([`LintOptions::query`]). Without one, L007/L008 fall back to assuming
+//! every head argument bound, and L009/L010 are skipped.
+//!
+//! ```
+//! use argus_diag::{lint_source, LintOptions};
+//!
+//! let diags = lint_source("p(X) :- q(X).", &LintOptions::default());
+//! assert!(diags.iter().any(|d| d.code == "L002")); // q/1 undefined
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod blame;
+pub mod moded;
+pub mod passes;
+pub mod render;
+
+use argus_logic::modes::Adornment;
+use argus_logic::parser::parse_program;
+use argus_logic::span::Span;
+use argus_logic::{DepGraph, PredKey, Program};
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The program is meaningless or the analysis cannot proceed.
+    Error,
+    /// Almost certainly a mistake, but the program still has a meaning.
+    Warning,
+    /// Advisory: a precondition of some analysis is not met.
+    Note,
+}
+
+impl Severity {
+    /// Lowercase name, as rendered.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`L000`…); downstream tooling keys on this.
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Source location, when the offending syntax was parsed from source.
+    pub span: Option<Span>,
+    /// Primary message.
+    pub message: String,
+    /// Secondary explanations (rendered as `= note:` lines).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        span: Option<Span>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic { code, severity, span, message: message.into(), notes: Vec::new() }
+    }
+
+    /// Attach a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+/// Options controlling a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Query predicate and adornment for the moded lints (L007–L010).
+    pub query: Option<(PredKey, Adornment)>,
+}
+
+/// Everything a [`LintPass`] may inspect.
+pub struct LintContext<'a> {
+    /// The original source text (for sub-atom spans, e.g. variables).
+    pub src: &'a str,
+    /// The parsed program.
+    pub program: &'a Program,
+    /// Predicate dependency graph of `program`.
+    pub graph: &'a DepGraph,
+    /// Query predicate + adornment, when supplied.
+    pub query: Option<&'a (PredKey, Adornment)>,
+}
+
+/// One lint: inspects the program and appends diagnostics.
+pub trait LintPass {
+    /// Stable pass name (for `--explain`-style tooling and debugging).
+    fn name(&self) -> &'static str;
+    /// Run the pass.
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// The default pass registry, in execution order.
+pub fn default_passes() -> Vec<Box<dyn LintPass>> {
+    vec![
+        Box::new(passes::SingletonVariables),
+        Box::new(passes::UndefinedPredicates),
+        Box::new(passes::UnusedPredicates),
+        Box::new(passes::ArityMismatch),
+        Box::new(passes::RangeRestriction),
+        Box::new(moded::WellModedness),
+        Box::new(moded::UnsafeNegation),
+        Box::new(blame::TerminationBlame),
+    ]
+}
+
+/// Lint an already-parsed program.
+///
+/// `src` must be the text `program` was parsed from (it supplies variable
+/// occurrence spans); pass `""` for programs built programmatically —
+/// span-dependent lints then degrade gracefully.
+pub fn lint_program(src: &str, program: &Program, options: &LintOptions) -> Vec<Diagnostic> {
+    let graph = DepGraph::build(program);
+    let ctx = LintContext { src, program, graph: &graph, query: options.query.as_ref() };
+    let mut out = Vec::new();
+    for pass in default_passes() {
+        pass.run(&ctx, &mut out);
+    }
+    // Deterministic order: by position, then code, then message; dedup.
+    out.sort_by(|a, b| {
+        let ka = (a.span.map(|s| (s.start, s.end)).unwrap_or((usize::MAX, usize::MAX)), a.code);
+        let kb = (b.span.map(|s| (s.start, s.end)).unwrap_or((usize::MAX, usize::MAX)), b.code);
+        ka.cmp(&kb).then_with(|| a.message.cmp(&b.message))
+    });
+    out.dedup();
+    out
+}
+
+/// Lint source text. A parse failure yields a single `L000` diagnostic.
+pub fn lint_source(src: &str, options: &LintOptions) -> Vec<Diagnostic> {
+    match parse_program(src) {
+        Ok(program) => lint_program(src, &program, options),
+        Err(e) => {
+            // Reconstruct a byte offset for the error position so renderers
+            // can excerpt the line.
+            let index = argus_logic::span::LineIndex::new(src);
+            let line_start = index.line_start(e.line).unwrap_or(src.len());
+            let off = src[line_start..]
+                .char_indices()
+                .nth(e.col.saturating_sub(1))
+                .map(|(i, _)| line_start + i)
+                .unwrap_or(src.len());
+            vec![Diagnostic::new(
+                "L000",
+                Severity::Error,
+                Some(Span::new(off, (off + 1).min(src.len()), e.line, e.col)),
+                e.message,
+            )]
+        }
+    }
+}
+
+/// Does any diagnostic have [`Severity::Error`]?
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_is_l000() {
+        let diags = lint_source("p(a) q(b).", &LintOptions::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "L000");
+        assert_eq!(diags[0].severity, Severity::Error);
+        let span = diags[0].span.unwrap();
+        assert_eq!((span.line, span.col), (1, 6));
+    }
+
+    #[test]
+    fn clean_program_is_quiet() {
+        let src = "edge(a, b).\nedge(b, c).\n\
+                   path(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).\n\
+                   main(X) :- path(a, X).\n";
+        let diags = lint_source(src, &LintOptions::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_and_deduped() {
+        let src = "main(Xs) :- missing(Xs), missing(Xs).\n";
+        let diags = lint_source(src, &LintOptions::default());
+        let starts: Vec<usize> = diags.iter().filter_map(|d| d.span.map(|s| s.start)).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+}

@@ -65,10 +65,12 @@ pub fn saturate(program: &Program, options: &BottomUpOptions) -> Saturation {
 
     // Seed: ground facts.
     for rule in &program.rules {
-        if rule.body.is_empty() && rule.head.args.iter().all(Term::is_ground)
-            && all.insert(rule.head.clone()) {
-                delta.insert(rule.head.clone());
-            }
+        if rule.body.is_empty()
+            && rule.head.args.iter().all(Term::is_ground)
+            && all.insert(rule.head.clone())
+        {
+            delta.insert(rule.head.clone());
+        }
     }
 
     for iteration in 0..options.max_iterations {
@@ -86,18 +88,9 @@ pub fn saturate(program: &Program, options: &BottomUpOptions) -> Saturation {
                 if !rule.body[delta_pos].positive {
                     continue;
                 }
-                join_rule(
-                    rule,
-                    delta_pos,
-                    &all,
-                    &delta,
-                    &mut new_delta,
-                    options.max_facts,
-                );
+                join_rule(rule, delta_pos, &all, &delta, &mut new_delta, options.max_facts);
                 if all.len() + new_delta.len() > options.max_facts {
-                    return Saturation::Diverged {
-                        fact_count: all.len() + new_delta.len(),
-                    };
+                    return Saturation::Diverged { fact_count: all.len() + new_delta.len() };
                 }
             }
         }
@@ -236,19 +229,13 @@ mod tests {
         // exactly the capture-rule scenario where top-down (with a bound
         // goal) is the right strategy.
         let p = parse_program("nat(z).\nnat(s(N)) :- nat(N).").unwrap();
-        let out = saturate(
-            &p,
-            &BottomUpOptions { max_facts: 500, max_iterations: 10_000 },
-        );
+        let out = saturate(&p, &BottomUpOptions { max_facts: 500, max_iterations: 10_000 });
         assert!(!out.converged());
     }
 
     #[test]
     fn comparison_builtins_filter() {
-        let p = parse_program(
-            "n(1). n(2). n(3).\nbig(X) :- n(X), X >= 2.",
-        )
-        .unwrap();
+        let p = parse_program("n(1). n(2). n(3).\nbig(X) :- n(X), X >= 2.").unwrap();
         match saturate(&p, &BottomUpOptions::default()) {
             Saturation::Fixpoint { facts, .. } => {
                 let bigs: Vec<String> = facts
@@ -264,10 +251,7 @@ mod tests {
 
     #[test]
     fn negation_on_ground_atoms() {
-        let p = parse_program(
-            "n(a). n(b).\nm(a).\nonly_n(X) :- n(X), \\+ m(X).",
-        )
-        .unwrap();
+        let p = parse_program("n(a). n(b).\nm(a).\nonly_n(X) :- n(X), \\+ m(X).").unwrap();
         match saturate(&p, &BottomUpOptions::default()) {
             Saturation::Fixpoint { facts, .. } => {
                 let only: Vec<String> = facts

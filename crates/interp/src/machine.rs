@@ -38,10 +38,7 @@ impl Goals {
     }
 
     fn from_slice(goals: &[Literal], tail: Rc<Goals>) -> Rc<Goals> {
-        goals
-            .iter()
-            .rev()
-            .fold(tail, |acc, g| Goals::cons(g.clone(), acc))
+        goals.iter().rev().fold(tail, |acc, g| Goals::cons(g.clone(), acc))
     }
 }
 
@@ -88,9 +85,7 @@ impl Store {
                 if f != g || fa.len() != ga.len() {
                     return false;
                 }
-                fa.iter()
-                    .zip(ga.iter())
-                    .all(|(x, y)| self.unify(x, y, occurs_check))
+                fa.iter().zip(ga.iter()).all(|(x, y)| self.unify(x, y, occurs_check))
             }
         }
     }
@@ -132,11 +127,7 @@ enum Step {
 
 /// Run `goals` with the trail-based machine. Produces the same [`Outcome`]
 /// as [`crate::sld::solve`], in the same order.
-pub fn solve_iterative(
-    program: &Program,
-    goals: &[Literal],
-    options: &InterpOptions,
-) -> Outcome {
+pub fn solve_iterative(program: &Program, goals: &[Literal], options: &InterpOptions) -> Outcome {
     let mut query_vars: Vec<Rc<str>> = Vec::new();
     {
         let mut seen = std::collections::BTreeSet::new();
@@ -166,9 +157,7 @@ pub fn solve_iterative(
                 solutions.push(
                     query_vars
                         .iter()
-                        .map(|v| {
-                            (v.to_string(), m.store.subst.resolve(&Term::Var(v.clone())))
-                        })
+                        .map(|v| (v.to_string(), m.store.subst.resolve(&Term::Var(v.clone()))))
                         .collect(),
                 );
                 if solutions.len() >= m.options.max_solutions {
@@ -225,11 +214,7 @@ impl<'p> Machine<'p> {
                 max_steps: self.options.max_steps.saturating_sub(self.steps),
                 ..self.options.clone()
             };
-            let sub = solve_iterative(
-                self.program,
-                &[Literal::pos(resolved)],
-                &sub_options,
-            );
+            let sub = solve_iterative(self.program, &[Literal::pos(resolved)], &sub_options);
             self.steps += sub.steps();
             match sub {
                 Outcome::OutOfBudget { .. } => return Step::Budget,
@@ -290,10 +275,9 @@ impl<'p> Machine<'p> {
                     if !self.tick() {
                         return Step::Budget;
                     }
-                    let (Some(a), Some(b)) = (
-                        self.eval_arith(&goal.atom.args[0]),
-                        self.eval_arith(&goal.atom.args[1]),
-                    ) else {
+                    let (Some(a), Some(b)) =
+                        (self.eval_arith(&goal.atom.args[0]), self.eval_arith(&goal.atom.args[1]))
+                    else {
                         return Step::Fail;
                     };
                     let ok = match &*key.name {
@@ -424,10 +408,7 @@ mod tests {
     fn assert_equivalent(src: &str, query: &str) {
         let (reference, machine) = both(src, query);
         match (&reference, &machine) {
-            (
-                Outcome::Completed { solutions: a, .. },
-                Outcome::Completed { solutions: b, .. },
-            ) => {
+            (Outcome::Completed { solutions: a, .. }, Outcome::Completed { solutions: b, .. }) => {
                 // Solutions are compared modulo variable renaming of
                 // internal fresh names: resolve to display strings with
                 // fresh suffixes normalized away by comparing shapes.
@@ -542,8 +523,7 @@ mod tests {
         let out = solve_iterative(&p, &goals, &InterpOptions::default());
         match out {
             Outcome::Completed { solutions, .. } => {
-                let got: Vec<String> =
-                    solutions.iter().map(|s| s["X"].to_string()).collect();
+                let got: Vec<String> = solutions.iter().map(|s| s["X"].to_string()).collect();
                 assert_eq!(got, ["r", "g", "b"]);
             }
             other => panic!("unexpected {other:?}"),

@@ -124,10 +124,7 @@ pub fn solve(program: &Program, goals: &[Literal], options: &InterpOptions) -> O
     let result = m.solve_goals(goals, &mut s, 0);
     let steps = m.steps;
     match result {
-        Err(Stop::Budget) => Outcome::OutOfBudget {
-            steps,
-            solutions_so_far: m.solutions.len(),
-        },
+        Err(Stop::Budget) => Outcome::OutOfBudget { steps, solutions_so_far: m.solutions.len() },
         _ => {
             let solutions = m
                 .solutions
@@ -180,12 +177,7 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn solve_goals(
-        &mut self,
-        goals: &[Literal],
-        s: &mut Subst,
-        depth: usize,
-    ) -> Result<(), Stop> {
+    fn solve_goals(&mut self, goals: &[Literal], s: &mut Subst, depth: usize) -> Result<(), Stop> {
         if depth > self.options.max_depth {
             return Err(Stop::Budget);
         }
@@ -210,7 +202,9 @@ impl<'p> Machine<'p> {
             let found = !self.solutions.is_empty();
             self.solutions = saved_solutions;
             self.options.max_solutions = saved_limit;
-            if let Err(Stop::Budget) = sub { return Err(Stop::Budget) }
+            if let Err(Stop::Budget) = sub {
+                return Err(Stop::Budget);
+            }
             if found {
                 return Ok(()); // negation fails: no solutions from here
             }
@@ -260,10 +254,9 @@ impl<'p> Machine<'p> {
                 }
                 "<" | ">" | "=<" | ">=" => {
                     self.tick()?;
-                    let (Some(a), Some(b)) = (
-                        eval_arith(s, &first.atom.args[0]),
-                        eval_arith(s, &first.atom.args[1]),
-                    ) else {
+                    let (Some(a), Some(b)) =
+                        (eval_arith(s, &first.atom.args[0]), eval_arith(s, &first.atom.args[1]))
+                    else {
                         return Ok(()); // non-numeric: fail silently
                     };
                     let ok = match &*key.name {
@@ -283,12 +276,8 @@ impl<'p> Machine<'p> {
                         return Ok(());
                     };
                     let mut s2 = s.clone();
-                    if unify(
-                        &mut s2,
-                        &first.atom.args[0],
-                        &Term::int(v),
-                        self.options.occurs_check,
-                    ) {
+                    if unify(&mut s2, &first.atom.args[0], &Term::int(v), self.options.occurs_check)
+                    {
                         return self.solve_goals(rest, &mut s2, depth);
                     }
                     return Ok(());
@@ -380,8 +369,7 @@ mod tests {
         let out = run("color(r).\ncolor(g).\ncolor(b).", "color(C)");
         match out {
             Outcome::Completed { solutions, .. } => {
-                let got: Vec<String> =
-                    solutions.iter().map(|s| s["C"].to_string()).collect();
+                let got: Vec<String> = solutions.iter().map(|s| s["C"].to_string()).collect();
                 assert_eq!(got, ["r", "g", "b"], "textual clause order");
             }
             other => panic!("unexpected {other:?}"),
@@ -390,10 +378,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_comparison() {
-        let out = run(
-            "len([], 0).\nlen([_|T], N) :- len(T, M), N is M + 1.",
-            "len([a, b, c], N)",
-        );
+        let out = run("len([], 0).\nlen([_|T], N) :- len(T, M), N is M + 1.", "len([a, b, c], N)");
         match out {
             Outcome::Completed { solutions, .. } => {
                 assert_eq!(solutions[0]["N"].to_string(), "3");
@@ -474,11 +459,8 @@ mod tests {
     fn solution_limit_truncates_gracefully() {
         let p = parse_program("nat(z).\nnat(s(N)) :- nat(N).").unwrap();
         let goals = parse_query("nat(X)").unwrap();
-        let out = solve(
-            &p,
-            &goals,
-            &InterpOptions { max_solutions: 5, ..InterpOptions::default() },
-        );
+        let out =
+            solve(&p, &goals, &InterpOptions { max_solutions: 5, ..InterpOptions::default() });
         assert_eq!(out.solution_count(), 5);
     }
 }

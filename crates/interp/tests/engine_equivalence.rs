@@ -40,11 +40,8 @@ fn agree(program: &argus_logic::Program, goals: &[Literal]) -> Result<(), String
             argus_interp::Outcome::Completed { solutions, .. } => solutions
                 .iter()
                 .map(|m| {
-                    let mut s = m
-                        .iter()
-                        .map(|(k, v)| format!("{k}={v}"))
-                        .collect::<Vec<_>>()
-                        .join(",");
+                    let mut s =
+                        m.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(",");
                     for marker in ["_r", "_m"] {
                         while let Some(pos) = s.find(marker) {
                             let end = s[pos + marker.len()..]
@@ -161,9 +158,6 @@ fn argus_corpus_like_samples() -> Vec<(&'static str, Vec<&'static str>)> {
              z(7). z(8). z(9).",
             vec!["e([7, '+', 8], T)", "e(['(', 7, '+', 8, ')', '*', 9], T)"],
         ),
-        (
-            "p(a).\nq(X) :- \\+ p(X).\nr(X) :- q(X).",
-            vec!["q(a)", "q(b)", "r(b)"],
-        ),
+        ("p(a).\nq(X) :- \\+ p(X).\nr(X) :- q(X).", vec!["q(a)", "q(b)", "r(b)"]),
     ]
 }

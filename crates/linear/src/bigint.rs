@@ -38,7 +38,7 @@ impl Sign {
 
     /// Product-of-signs rule.
     #[allow(clippy::should_implement_trait)] // deliberate: Sign is Copy and
-    // this is the sign-algebra product, not numeric multiplication
+                                             // this is the sign-algebra product, not numeric multiplication
     pub fn mul(self, other: Sign) -> Sign {
         match (self, other) {
             (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
@@ -256,9 +256,7 @@ impl BigInt {
             let top = ((an[j + n] as u128) << 64) | an[j + n - 1] as u128;
             let mut qhat = top / btop;
             let mut rhat = top % btop;
-            while qhat >= 1u128 << 64
-                || qhat * bsec > ((rhat << 64) | an[j + n - 2] as u128)
-            {
+            while qhat >= 1u128 << 64 || qhat * bsec > ((rhat << 64) | an[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += btop;
                 if rhat >= 1u128 << 64 {
@@ -528,14 +526,12 @@ impl Add for &BigInt {
             }
             _ => match BigInt::cmp_mag(&self.limbs, &other.limbs) {
                 Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => BigInt::from_sign_limbs(
-                    self.sign,
-                    BigInt::sub_mag(&self.limbs, &other.limbs),
-                ),
-                Ordering::Less => BigInt::from_sign_limbs(
-                    other.sign,
-                    BigInt::sub_mag(&other.limbs, &self.limbs),
-                ),
+                Ordering::Greater => {
+                    BigInt::from_sign_limbs(self.sign, BigInt::sub_mag(&self.limbs, &other.limbs))
+                }
+                Ordering::Less => {
+                    BigInt::from_sign_limbs(other.sign, BigInt::sub_mag(&other.limbs, &self.limbs))
+                }
             },
         }
     }
@@ -746,7 +742,14 @@ mod tests {
 
     #[test]
     fn display_parse_roundtrip() {
-        for s in ["0", "1", "-1", "18446744073709551616", "-340282366920938463463374607431768211456", "99999999999999999999999999999999"] {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "18446744073709551616",
+            "-340282366920938463463374607431768211456",
+            "99999999999999999999999999999999",
+        ] {
             let v: BigInt = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }

@@ -442,9 +442,7 @@ impl ConstraintSystem {
 
     /// Rename variables everywhere.
     pub fn rename(&self, map: &BTreeMap<Var, Var>) -> ConstraintSystem {
-        ConstraintSystem {
-            constraints: self.constraints.iter().map(|c| c.rename(map)).collect(),
-        }
+        ConstraintSystem { constraints: self.constraints.iter().map(|c| c.rename(map)).collect() }
     }
 
     /// Drop constraints that are trivially true; return `None` if any

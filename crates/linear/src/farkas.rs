@@ -58,12 +58,8 @@ impl TrackedRow {
     fn scaled(&self, k: &Rat) -> TrackedRow {
         let mut expr = self.constraint.expr.clone();
         expr.scale(k);
-        let provenance =
-            self.provenance.iter().map(|(i, c)| (*i, c * k)).collect();
-        TrackedRow {
-            constraint: Constraint { expr, rel: self.constraint.rel },
-            provenance,
-        }
+        let provenance = self.provenance.iter().map(|(i, c)| (*i, c * k)).collect();
+        TrackedRow { constraint: Constraint { expr, rel: self.constraint.rel }, provenance }
     }
 
     fn plus(&self, other: &TrackedRow, rel: Rel) -> TrackedRow {
@@ -115,10 +111,7 @@ pub fn refute(sys: &ConstraintSystem, max_rows: usize) -> Option<FarkasCertifica
         if vars.is_empty() {
             return None; // nothing left; no contradiction surfaced
         }
-        let v = *vars
-            .iter()
-            .min_by_key(|&&v| occurrence_cost(&rows, v))
-            .expect("nonempty");
+        let v = *vars.iter().min_by_key(|&&v| occurrence_cost(&rows, v)).expect("nonempty");
 
         rows = eliminate_tracked(rows, v)?;
         if rows.len() > max_rows {
@@ -160,9 +153,10 @@ fn occurrence_cost(rows: &[TrackedRow], v: Var) -> usize {
 /// practice — combination counts are bounded by the caller's `max_rows`).
 fn eliminate_tracked(rows: Vec<TrackedRow>, v: Var) -> Option<Vec<TrackedRow>> {
     // Gaussian step on an equality mentioning v.
-    if let Some(pos) = rows.iter().position(|r| {
-        r.constraint.rel == Rel::Eq && !r.constraint.expr.coeff(v).is_zero()
-    }) {
+    if let Some(pos) = rows
+        .iter()
+        .position(|r| r.constraint.rel == Rel::Eq && !r.constraint.expr.coeff(v).is_zero())
+    {
         let pivot = rows[pos].clone();
         let a = pivot.constraint.expr.coeff(v);
         let mut out = Vec::with_capacity(rows.len() - 1);
@@ -203,11 +197,9 @@ fn eliminate_tracked(rows: Vec<TrackedRow>, v: Var) -> Option<Vec<TrackedRow>> {
         let la = lo.constraint.expr.coeff(v); // < 0
         for up in &uppers {
             let ua = up.constraint.expr.coeff(v); // > 0
-            // (1/ua)·up + (1/(-la))·lo has zero coefficient on v; both
-            // multipliers positive, so Le-ness is preserved.
-            let combined = up
-                .scaled(&ua.recip())
-                .plus(&lo.scaled(&(-la.clone()).recip()), Rel::Le);
+                                                  // (1/ua)·up + (1/(-la))·lo has zero coefficient on v; both
+                                                  // multipliers positive, so Le-ness is preserved.
+            let combined = up.scaled(&ua.recip()).plus(&lo.scaled(&(-la.clone()).recip()), Rel::Le);
             out.push(combined);
         }
     }
@@ -352,11 +344,8 @@ mod tests {
                     sys.push(le(e));
                 }
             }
-            let sat = crate::simplex::feasible_point(
-                &sys,
-                &std::collections::BTreeSet::new(),
-            )
-            .is_some();
+            let sat =
+                crate::simplex::feasible_point(&sys, &std::collections::BTreeSet::new()).is_some();
             match refute(&sys, 20_000) {
                 Some(cert) => {
                     assert!(!sat, "refuted a satisfiable system:\n{sys}");

@@ -148,10 +148,7 @@ pub fn eliminate_capped(sys: &ConstraintSystem, v: Var, max_rows: usize) -> Opti
 }
 
 /// Eliminate all variables in `vars` (in the given order) from `sys`.
-pub fn eliminate_all(
-    sys: &ConstraintSystem,
-    vars: impl IntoIterator<Item = Var>,
-) -> FmResult {
+pub fn eliminate_all(sys: &ConstraintSystem, vars: impl IntoIterator<Item = Var>) -> FmResult {
     let mut cur = sys.clone();
     for v in vars {
         match eliminate(&cur, v) {
@@ -256,10 +253,7 @@ mod tests {
         sys.push(le(LinExpr::var(x), 1));
         sys.push(Constraint::ge(LinExpr::var(y), LinExpr::zero()));
         sys.push(le(LinExpr::var(y), 1));
-        sys.push(Constraint::le(
-            &LinExpr::var(x) + &LinExpr::var(y),
-            LinExpr::constant(r(3, 2)),
-        ));
+        sys.push(Constraint::le(&LinExpr::var(x) + &LinExpr::var(y), LinExpr::constant(r(3, 2))));
         let out = eliminate(&sys, y).expect_projected();
         // Projection is 0 <= x <= 1 (x + y <= 3/2 is subsumed for x <= 1).
         let mut p = std::collections::BTreeMap::new();
@@ -278,10 +272,7 @@ mod tests {
         let x = 0;
         let y = 1;
         let mut sys = ConstraintSystem::new();
-        sys.push(Constraint::eq(
-            LinExpr::var(x),
-            &LinExpr::var(y) + &LinExpr::constant(r(1, 1)),
-        ));
+        sys.push(Constraint::eq(LinExpr::var(x), &LinExpr::var(y) + &LinExpr::constant(r(1, 1))));
         sys.push(le(LinExpr::var(x), 3));
         let out = eliminate(&sys, x).expect_projected();
         let mut p = std::collections::BTreeMap::new();
@@ -338,19 +329,13 @@ mod tests {
         // x + y = 1, x >= 0, y >= 0 is satisfiable.
         let (x, y) = (0, 1);
         let mut sys = ConstraintSystem::new();
-        sys.push(Constraint::eq(
-            &LinExpr::var(x) + &LinExpr::var(y),
-            LinExpr::constant(r(1, 1)),
-        ));
+        sys.push(Constraint::eq(&LinExpr::var(x) + &LinExpr::var(y), LinExpr::constant(r(1, 1))));
         sys.push(Constraint::nonneg(x));
         sys.push(Constraint::nonneg(y));
         assert!(is_satisfiable_fm(&sys));
         // Adding x + y = 2 makes it unsatisfiable.
         let mut bad = sys.clone();
-        bad.push(Constraint::eq(
-            &LinExpr::var(x) + &LinExpr::var(y),
-            LinExpr::constant(r(2, 1)),
-        ));
+        bad.push(Constraint::eq(&LinExpr::var(x) + &LinExpr::var(y), LinExpr::constant(r(2, 1))));
         assert!(!is_satisfiable_fm(&bad));
     }
 
@@ -361,10 +346,7 @@ mod tests {
         // is satisfiable (theta = 1/2).
         let theta = 0;
         let mut sys = ConstraintSystem::new();
-        sys.push(Constraint::ge(
-            LinExpr::term(theta, r(2, 1)),
-            LinExpr::constant(r(1, 1)),
-        ));
+        sys.push(Constraint::ge(LinExpr::term(theta, r(2, 1)), LinExpr::constant(r(1, 1))));
         sys.push(Constraint::nonneg(theta));
         assert!(is_satisfiable_fm(&sys));
     }

@@ -87,12 +87,7 @@ impl Poly {
 
     /// True iff the polyhedron is all of ℚⁿ.
     pub fn is_universe(&self) -> bool {
-        !self.empty
-            && self
-                .sys
-                .simplify_trivial()
-                .map(|s| s.is_empty())
-                .unwrap_or(false)
+        !self.empty && self.sys.simplify_trivial().map(|s| s.is_empty()).unwrap_or(false)
     }
 
     fn compute_is_empty(&self) -> bool {
@@ -143,11 +138,7 @@ impl Poly {
         if other.empty {
             return false;
         }
-        other
-            .sys
-            .constraints()
-            .iter()
-            .all(|c| simplex::is_implied(&self.sys, &BTreeSet::new(), c))
+        other.sys.constraints().iter().all(|c| simplex::is_implied(&self.sys, &BTreeSet::new(), c))
     }
 
     /// Semantic equality (mutual inclusion).
@@ -330,21 +321,16 @@ impl Poly {
         let mut i = 0;
         while i < kept.len() {
             let candidate = kept[i].clone();
-            let others =
-                ConstraintSystem::from_constraints(
-                    kept.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, c)| c.clone()).collect(),
-                );
+            let others = ConstraintSystem::from_constraints(
+                kept.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, c)| c.clone()).collect(),
+            );
             if simplex::is_implied(&others, &BTreeSet::new(), &candidate) {
                 kept.remove(i);
             } else {
                 i += 1;
             }
         }
-        Poly {
-            dim: self.dim,
-            sys: ConstraintSystem::from_constraints(kept),
-            empty: false,
-        }
+        Poly { dim: self.dim, sys: ConstraintSystem::from_constraints(kept), empty: false }
     }
 }
 

@@ -222,20 +222,14 @@ impl Neg for Rat {
 impl Add for &Rat {
     type Output = Rat;
     fn add(self, other: &Rat) -> Rat {
-        Rat::new(
-            &(&self.num * &other.den) + &(&other.num * &self.den),
-            &self.den * &other.den,
-        )
+        Rat::new(&(&self.num * &other.den) + &(&other.num * &self.den), &self.den * &other.den)
     }
 }
 
 impl Sub for &Rat {
     type Output = Rat;
     fn sub(self, other: &Rat) -> Rat {
-        Rat::new(
-            &(&self.num * &other.den) - &(&other.num * &self.den),
-            &self.den * &other.den,
-        )
+        Rat::new(&(&self.num * &other.den) - &(&other.num * &self.den), &self.den * &other.den)
     }
 }
 
@@ -332,8 +326,7 @@ impl FromStr for Rat {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.split_once('/') {
             None => {
-                let n: BigInt =
-                    s.parse().map_err(|e| ParseRatError { message: format!("{e}") })?;
+                let n: BigInt = s.parse().map_err(|e| ParseRatError { message: format!("{e}") })?;
                 Ok(Rat::from(n))
             }
             Some((ns, ds)) => {

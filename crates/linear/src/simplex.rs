@@ -71,20 +71,14 @@ impl LpProblem {
 
     /// Minimize the given objective over this problem's constraints.
     pub fn minimize(&self, objective: LinExpr) -> LpOutcome {
-        LpProblem {
-            objective,
-            constraints: self.constraints.clone(),
-            nonneg: self.nonneg.clone(),
-        }
-        .solve()
+        LpProblem { objective, constraints: self.constraints.clone(), nonneg: self.nonneg.clone() }
+            .solve()
     }
 
     /// Maximize: negate, minimize, negate back.
     pub fn maximize(&self, objective: LinExpr) -> LpOutcome {
         match self.minimize(-&objective) {
-            LpOutcome::Optimal { value, point } => {
-                LpOutcome::Optimal { value: -value, point }
-            }
+            LpOutcome::Optimal { value, point } => LpOutcome::Optimal { value: -value, point },
             other => other,
         }
     }
@@ -170,8 +164,7 @@ impl Tableau {
         }
 
         // One slack column per inequality.
-        let n_slacks =
-            p.constraints.constraints().iter().filter(|c| c.rel == Rel::Le).count();
+        let n_slacks = p.constraints.constraints().iter().filter(|c| c.rel == Rel::Le).count();
         let first_slack = next_col;
         let num_cols = next_col + n_slacks;
 
@@ -234,10 +227,7 @@ impl Tableau {
                 }
             }
             // All-zero point is optimal.
-            return LpOutcome::Optimal {
-                value: self.cost_offset.clone(),
-                point: BTreeMap::new(),
-            };
+            return LpOutcome::Optimal { value: self.cost_offset.clone(), point: BTreeMap::new() };
         }
 
         // Phase 1: add one artificial per row, minimize their sum.
@@ -389,13 +379,7 @@ impl Tableau {
     }
 
     /// Pivot on (row l, column e).
-    fn pivot(
-        rows: &mut [Vec<Rat>],
-        obj: &mut [Rat],
-        basis: &mut [usize],
-        l: usize,
-        e: usize,
-    ) {
+    fn pivot(rows: &mut [Vec<Rat>], obj: &mut [Rat], basis: &mut [usize], l: usize, e: usize) {
         let piv = rows[l][e].clone();
         debug_assert!(!piv.is_zero());
         let inv = piv.recip();
@@ -449,11 +433,7 @@ mod tests {
         let x = 0;
         let mut sys = ConstraintSystem::new();
         sys.push(Constraint::ge(LinExpr::var(x), LinExpr::constant(r(3, 1))));
-        let p = LpProblem {
-            objective: LinExpr::var(x),
-            constraints: sys,
-            nonneg: all_nonneg([x]),
-        };
+        let p = LpProblem { objective: LinExpr::var(x), constraints: sys, nonneg: all_nonneg([x]) };
         match p.solve() {
             LpOutcome::Optimal { value, point } => {
                 assert_eq!(value, r(3, 1));
@@ -515,11 +495,7 @@ mod tests {
         let x = 0;
         let mut sys = ConstraintSystem::new();
         sys.push(Constraint::ge(LinExpr::var(x), LinExpr::constant(r(-5, 1))));
-        let p = LpProblem {
-            objective: LinExpr::var(x),
-            constraints: sys,
-            nonneg: BTreeSet::new(),
-        };
+        let p = LpProblem { objective: LinExpr::var(x), constraints: sys, nonneg: BTreeSet::new() };
         match p.solve() {
             LpOutcome::Optimal { value, point } => {
                 assert_eq!(value, r(-5, 1));
@@ -547,14 +523,8 @@ mod tests {
         // min x + y st x + y = 4, x - y = 2, x,y >= 0 => x=3, y=1, value 4.
         let (x, y) = (0, 1);
         let mut sys = ConstraintSystem::new();
-        sys.push(Constraint::eq(
-            &LinExpr::var(x) + &LinExpr::var(y),
-            LinExpr::constant(r(4, 1)),
-        ));
-        sys.push(Constraint::eq(
-            &LinExpr::var(x) - &LinExpr::var(y),
-            LinExpr::constant(r(2, 1)),
-        ));
+        sys.push(Constraint::eq(&LinExpr::var(x) + &LinExpr::var(y), LinExpr::constant(r(4, 1))));
+        sys.push(Constraint::eq(&LinExpr::var(x) - &LinExpr::var(y), LinExpr::constant(r(2, 1))));
         let p = LpProblem {
             objective: &LinExpr::var(x) + &LinExpr::var(y),
             constraints: sys,
@@ -619,14 +589,8 @@ mod tests {
         // {x + y = 3, x - y = 1} implies x = 2.
         let (x, y) = (0, 1);
         let mut sys = ConstraintSystem::new();
-        sys.push(Constraint::eq(
-            &LinExpr::var(x) + &LinExpr::var(y),
-            LinExpr::constant(r(3, 1)),
-        ));
-        sys.push(Constraint::eq(
-            &LinExpr::var(x) - &LinExpr::var(y),
-            LinExpr::constant(r(1, 1)),
-        ));
+        sys.push(Constraint::eq(&LinExpr::var(x) + &LinExpr::var(y), LinExpr::constant(r(3, 1))));
+        sys.push(Constraint::eq(&LinExpr::var(x) - &LinExpr::var(y), LinExpr::constant(r(1, 1))));
         let nn = BTreeSet::new();
         let cand = Constraint::eq(LinExpr::var(x), LinExpr::constant(r(2, 1)));
         assert!(is_implied(&sys, &nn, &cand));
@@ -638,10 +602,7 @@ mod tests {
     fn feasible_point_satisfies_system() {
         let (x, y) = (0, 1);
         let mut sys = ConstraintSystem::new();
-        sys.push(Constraint::ge(
-            &LinExpr::var(x) + &LinExpr::var(y),
-            LinExpr::constant(r(1, 1)),
-        ));
+        sys.push(Constraint::ge(&LinExpr::var(x) + &LinExpr::var(y), LinExpr::constant(r(1, 1))));
         sys.push(Constraint::le(LinExpr::var(x), LinExpr::var(y)));
         let nn = all_nonneg([x, y]);
         let pt = feasible_point(&sys, &nn).expect("feasible");

@@ -106,11 +106,7 @@ proptest! {
 /// Generate a small random constraint system over `nvars` variables with
 /// small integer coefficients.
 fn system_strategy(nvars: usize, max_rows: usize) -> impl Strategy<Value = ConstraintSystem> {
-    let row = (
-        proptest::collection::vec(-3i64..=3, nvars),
-        -8i64..=8,
-        prop::bool::ANY,
-    );
+    let row = (proptest::collection::vec(-3i64..=3, nvars), -8i64..=8, prop::bool::ANY);
     proptest::collection::vec(row, 1..=max_rows).prop_map(move |rows| {
         let mut sys = ConstraintSystem::new();
         for (coeffs, cst, is_eq) in rows {

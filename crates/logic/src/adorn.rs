@@ -11,7 +11,9 @@
 //! single adornment keeps its original name, so the paper's examples keep
 //! their familiar spelling.
 
-use crate::groundness::{analyze_groundness, apply_groundness, call_adornment as ground_call_adornment};
+use crate::groundness::{
+    analyze_groundness, apply_groundness, call_adornment as ground_call_adornment,
+};
 use crate::modes::{is_builtin, Adornment, Mode, ModeMap};
 use crate::program::{Atom, Literal, PredKey, Program, Rule};
 use std::collections::{BTreeMap, BTreeSet};
@@ -36,11 +38,7 @@ pub struct AdornedProgram {
 /// adornment is irrelevant to rule rewriting. IDB predicates reached with
 /// exactly one adornment keep their name; others get one copy per
 /// adornment, named `name__adornment`.
-pub fn adorn_program(
-    program: &Program,
-    query: &PredKey,
-    adornment: Adornment,
-) -> AdornedProgram {
+pub fn adorn_program(program: &Program, query: &PredKey, adornment: Adornment) -> AdornedProgram {
     assert_eq!(query.arity, adornment.arity(), "query adornment arity mismatch");
     let idb = program.idb_predicates();
 
@@ -53,10 +51,7 @@ pub fn adorn_program(
     for ((pred, adn), _) in groundness.pairs() {
         discovered.entry(pred.clone()).or_default().insert(adn.clone());
     }
-    discovered
-        .entry(query.clone())
-        .or_default()
-        .insert(adornment.clone());
+    discovered.entry(query.clone()).or_default().insert(adornment.clone());
 
     // Naming: single-adornment IDB predicates keep their name.
     let adorned_name = |pred: &PredKey, adn: &Adornment| -> Rc<str> {
@@ -98,32 +93,32 @@ pub fn adorn_program(
                         Atom {
                             name: adorned_name(&key, &sub_adn),
                             args: lit.atom.args.clone(),
+                            span: lit.atom.span,
                         }
                     };
-                    new_body.push(Literal { atom: new_atom, positive: lit.positive });
-                    let lookup = |p: &PredKey, a: &Adornment| {
-                        groundness.success_ground(p, a)
-                    };
+                    new_body.push(Literal {
+                        atom: new_atom,
+                        positive: lit.positive,
+                        span: lit.span,
+                    });
+                    let lookup = |p: &PredKey, a: &Adornment| groundness.success_ground(p, a);
                     apply_groundness(lit, &mut ground, &lookup);
                 }
                 rules.push(Rule {
-                    head: Atom { name: new_name.clone(), args: rule.head.args.clone() },
+                    head: Atom {
+                        name: new_name.clone(),
+                        args: rule.head.args.clone(),
+                        span: rule.head.span,
+                    },
                     body: new_body,
+                    span: rule.span,
                 });
             }
         }
     }
 
-    let adorned_query = PredKey {
-        name: adorned_name(query, &adornment),
-        arity: query.arity,
-    };
-    AdornedProgram {
-        program: Program::from_rules(rules),
-        modes,
-        origin,
-        query: adorned_query,
-    }
+    let adorned_query = PredKey { name: adorned_name(query, &adornment), arity: query.arity };
+    AdornedProgram { program: Program::from_rules(rules), modes, origin, query: adorned_query }
 }
 
 #[cfg(test)]
@@ -143,10 +138,7 @@ mod tests {
         let adorned = adorn_program(&p, &PredKey::new("perm", 2), Adornment::parse("bf").unwrap());
         // perm keeps its name (unique adornment bf).
         assert_eq!(adorned.query, PredKey::new("perm", 2));
-        assert_eq!(
-            adorned.modes.get(&PredKey::new("perm", 2)).unwrap().to_string(),
-            "bf"
-        );
+        assert_eq!(adorned.modes.get(&PredKey::new("perm", 2)).unwrap().to_string(), "bf");
         // append is split into ffb and bbf copies.
         let ffb = PredKey::new("append__ffb", 3);
         let bbf = PredKey::new("append__bbf", 3);
@@ -161,9 +153,7 @@ mod tests {
         // Each append copy is self-recursive with its own adornment.
         let ffb_rules = adorned.program.procedure(&ffb);
         assert_eq!(ffb_rules.len(), 2);
-        assert!(ffb_rules
-            .iter()
-            .any(|r| r.body.iter().any(|l| l.atom.key() == ffb)));
+        assert!(ffb_rules.iter().any(|r| r.body.iter().any(|l| l.atom.key() == ffb)));
     }
 
     #[test]
@@ -187,10 +177,7 @@ mod tests {
         let p = parse_program("p(X, Y) :- e(X, Z), p(Z, Y).\np(X, X).").unwrap();
         let adorned = adorn_program(&p, &PredKey::new("p", 2), Adornment::parse("bf").unwrap());
         let rules = adorned.program.procedure(&PredKey::new("p", 2));
-        assert!(rules
-            .iter()
-            .flat_map(|r| &r.body)
-            .any(|l| &*l.atom.name == "e"));
+        assert!(rules.iter().flat_map(|r| &r.body).any(|l| &*l.atom.name == "e"));
         // e has no adornment entry.
         assert!(adorned.modes.get(&PredKey::new("e", 2)).is_none());
     }
@@ -201,10 +188,7 @@ mod tests {
         let adorned = adorn_program(&p, &PredKey::new("len", 2), Adornment::parse("bf").unwrap());
         let rules = adorned.program.procedure(&PredKey::new("len", 2));
         assert_eq!(rules.len(), 2);
-        assert!(rules
-            .iter()
-            .flat_map(|r| &r.body)
-            .any(|l| &*l.atom.name == "is"));
+        assert!(rules.iter().flat_map(|r| &r.body).any(|l| &*l.atom.name == "is"));
     }
 
     #[test]

@@ -29,13 +29,13 @@ impl DepGraph {
     pub fn build(program: &Program) -> DepGraph {
         let mut preds: Vec<PredKey> = Vec::new();
         let mut index_of: BTreeMap<PredKey, usize> = BTreeMap::new();
-        let intern = |k: PredKey, preds: &mut Vec<PredKey>,
-                          index_of: &mut BTreeMap<PredKey, usize>| {
-            *index_of.entry(k.clone()).or_insert_with(|| {
-                preds.push(k);
-                preds.len() - 1
-            })
-        };
+        let intern =
+            |k: PredKey, preds: &mut Vec<PredKey>, index_of: &mut BTreeMap<PredKey, usize>| {
+                *index_of.entry(k.clone()).or_insert_with(|| {
+                    preds.push(k);
+                    preds.len() - 1
+                })
+            };
         for r in &program.rules {
             intern(r.head.key(), &mut preds, &mut index_of);
             for l in &r.body {
@@ -130,9 +130,7 @@ impl DepGraph {
     /// Is recursion in SCC `id` linear: every rule headed in the SCC has at
     /// most one recursive subgoal (paper §2.3)?
     pub fn scc_is_linear(&self, program: &Program, id: usize) -> bool {
-        self.scc_rules(program, id)
-            .iter()
-            .all(|r| self.recursive_subgoals(r).len() <= 1)
+        self.scc_rules(program, id).iter().all(|r| self.recursive_subgoals(r).len() <= 1)
     }
 }
 
@@ -210,10 +208,9 @@ mod tests {
 
     #[test]
     fn append_is_one_selfrec_scc() {
-        let p = parse_program(
-            "append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
-        )
-        .unwrap();
+        let p =
+            parse_program("append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).")
+                .unwrap();
         let g = DepGraph::build(&p);
         let app = PredKey::new("append", 3);
         assert!(g.is_recursive(&app));
@@ -289,10 +286,8 @@ mod tests {
 
     #[test]
     fn two_cycles_are_distinct_sccs() {
-        let p = parse_program(
-            "p(X) :- q(X).\nq(X) :- p(X).\nr(X) :- s(X), p(X).\ns(X) :- r(X).",
-        )
-        .unwrap();
+        let p = parse_program("p(X) :- q(X).\nq(X) :- p(X).\nr(X) :- s(X), p(X).\ns(X) :- r(X).")
+            .unwrap();
         let g = DepGraph::build(&p);
         assert!(g.same_scc(&PredKey::new("p", 1), &PredKey::new("q", 1)));
         assert!(g.same_scc(&PredKey::new("r", 1), &PredKey::new("s", 1)));

@@ -59,20 +59,19 @@ impl Groundness {
 }
 
 /// The call adornment of an atom given the currently ground variables.
-pub(crate) fn call_adornment(
-    atom: &crate::program::Atom,
-    ground: &BTreeSet<Rc<str>>,
-) -> Adornment {
+pub(crate) fn call_adornment(atom: &crate::program::Atom, ground: &BTreeSet<Rc<str>>) -> Adornment {
     Adornment(
         atom.args
             .iter()
-            .map(|t| {
-                if t.vars().iter().all(|v| ground.contains(v)) {
-                    Mode::Bound
-                } else {
-                    Mode::Free
-                }
-            })
+            .map(
+                |t| {
+                    if t.vars().iter().all(|v| ground.contains(v)) {
+                        Mode::Bound
+                    } else {
+                        Mode::Free
+                    }
+                },
+            )
             .collect(),
     )
 }
@@ -162,20 +161,17 @@ pub fn analyze_groundness(program: &Program, query: &PredKey, root: Adornment) -
             }
             for lit in &rule.body {
                 let lookup = |p: &PredKey, a: &Adornment| -> BTreeSet<usize> {
-                    table
-                        .get(&(p.clone(), a.clone()))
-                        .cloned()
-                        .unwrap_or_else(|| {
-                            if idb.contains(p) {
-                                // Optimistic initial value (gfp start).
-                                (0..p.arity).collect()
-                            } else {
-                                // True EDB relations hold ground tuples;
-                                // predicates with no rules never succeed,
-                                // making the claim vacuous. Either way:
-                                (0..p.arity).collect()
-                            }
-                        })
+                    table.get(&(p.clone(), a.clone())).cloned().unwrap_or_else(|| {
+                        if idb.contains(p) {
+                            // Optimistic initial value (gfp start).
+                            (0..p.arity).collect()
+                        } else {
+                            // True EDB relations hold ground tuples;
+                            // predicates with no rules never succeed,
+                            // making the claim vacuous. Either way:
+                            (0..p.arity).collect()
+                        }
+                    })
                 };
                 if let Some(pair) = apply_groundness(lit, &mut ground, &lookup) {
                     if idb.contains(&pair.0) {
@@ -286,10 +282,7 @@ mod tests {
             &PredKey::new(pred, arity),
             Adornment::parse(adn).unwrap(),
         );
-        g.success_ground(
-            &PredKey::new(target.0, target.1),
-            &Adornment::parse(target.2).unwrap(),
-        )
+        g.success_ground(&PredKey::new(target.0, target.1), &Adornment::parse(target.2).unwrap())
     }
 
     #[test]
@@ -351,11 +344,7 @@ mod tests {
                    n([L|T], T) :- z(L).\nz(7).";
         for name in ["e", "t", "n"] {
             let g = ground_set(src, "e", 2, "bf", (name, 2, "bf"));
-            assert_eq!(
-                g,
-                [0, 1].into_iter().collect(),
-                "{name} bf grounds its continuation"
-            );
+            assert_eq!(g, [0, 1].into_iter().collect(), "{name} bf grounds its continuation");
         }
     }
 
@@ -364,5 +353,29 @@ mod tests {
         let src = "p(X, Y) :- \\+ q(Y), r(X).\nq(a).\nr(b).";
         let g = ground_set(src, "p", 2, "bf", ("p", 2, "bf"));
         assert_eq!(g, [0].into_iter().collect(), "Y stays free through \\+");
+    }
+
+    #[test]
+    fn negation_does_not_unground_earlier_bindings() {
+        // A negated goal over an already-ground variable must not disturb
+        // the set built by the positive goals around it.
+        let src = "p(X, Y) :- r(Y), \\+ q(Y), s(X).\nq(a).\nr(b).\ns(c).";
+        let g = ground_set(src, "p", 2, "bf", ("p", 2, "bf"));
+        assert_eq!(g, [0, 1].into_iter().collect());
+    }
+
+    #[test]
+    fn zero_arity_subgoals_pass_through() {
+        // Zero-arity goals (positive or negated) have no variables; the
+        // scan must pass through them without touching the ground set.
+        let src = "go(X) :- init, \\+ stopped, gen(X).\ninit.\nstopped.\ngen(a).";
+        let g = ground_set(src, "go", 1, "f", ("go", 1, "f"));
+        assert_eq!(g, [0].into_iter().collect(), "gen/1 still grounds X");
+        // The zero-arity predicate itself: no positions, trivially ground.
+        let program = parse_program(src).unwrap();
+        let gr =
+            analyze_groundness(&program, &PredKey::new("go", 1), Adornment::parse("f").unwrap());
+        let empty = Adornment(vec![]);
+        assert!(gr.success_ground(&PredKey::new("init", 0), &empty).is_empty());
     }
 }

@@ -35,6 +35,7 @@ pub mod modes;
 pub mod norm;
 pub mod parser;
 pub mod program;
+pub mod span;
 pub mod term;
 pub mod unify;
 
@@ -44,5 +45,6 @@ pub use groundness::{analyze_groundness, Groundness};
 pub use modes::{Adornment, Mode, ModeMap};
 pub use norm::Norm;
 pub use program::{Atom, Literal, PredKey, Program, Rule};
+pub use span::{LineIndex, Span, SpanSlot};
 pub use term::{SizePolynomial, Term};
 pub use unify::{mgu, unify, unify_atoms, Subst};

@@ -64,12 +64,7 @@ impl Adornment {
 
     /// Indices of bound positions.
     pub fn bound_positions(&self) -> Vec<usize> {
-        self.0
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| **m == Mode::Bound)
-            .map(|(i, _)| i)
-            .collect()
+        self.0.iter().enumerate().filter(|(_, m)| **m == Mode::Bound).map(|(i, _)| i).collect()
     }
 
     /// Pointwise meet: bound only where both are bound.
@@ -79,11 +74,15 @@ impl Adornment {
             self.0
                 .iter()
                 .zip(&other.0)
-                .map(|(a, b)| if *a == Mode::Bound && *b == Mode::Bound {
-                    Mode::Bound
-                } else {
-                    Mode::Free
-                })
+                .map(
+                    |(a, b)| {
+                        if *a == Mode::Bound && *b == Mode::Bound {
+                            Mode::Bound
+                        } else {
+                            Mode::Free
+                        }
+                    },
+                )
                 .collect(),
         )
     }
@@ -140,8 +139,7 @@ pub const BINDING_BUILTINS: &[&str] = &["=", "is"];
 
 /// Is `p` a builtin (not subject to rule lookup)?
 pub fn is_builtin(p: &PredKey) -> bool {
-    p.arity == 2
-        && (TEST_BUILTINS.contains(&&*p.name) || BINDING_BUILTINS.contains(&&*p.name))
+    p.arity == 2 && (TEST_BUILTINS.contains(&&*p.name) || BINDING_BUILTINS.contains(&&*p.name))
 }
 
 /// Propagate modes from `root` with `root_adornment` through `program`.
@@ -338,6 +336,39 @@ mod tests {
         let modes = infer_modes(&p, &root, Adornment::parse("bf").unwrap());
         assert_eq!(modes.get(&root).unwrap().to_string(), "bf");
         assert!(modes.get(&PredKey::new("is", 2)).is_none(), "builtins are not adorned");
+    }
+
+    #[test]
+    fn zero_arity_subgoals_get_empty_adornments() {
+        let p = parse_program(
+            "go :- init, \\+ stopped, run(X), check(X).\n\
+             init.\nstopped.\nrun(a).\ncheck(a).",
+        )
+        .unwrap();
+        let root = PredKey::new("go", 0);
+        let modes = infer_modes(&p, &root, Adornment(vec![]));
+        assert_eq!(modes.get(&root), Some(&Adornment(vec![])));
+        assert_eq!(modes.get(&PredKey::new("init", 0)), Some(&Adornment(vec![])));
+        // Negated zero-arity goals are adorned too — with no positions.
+        assert_eq!(modes.get(&PredKey::new("stopped", 0)), Some(&Adornment(vec![])));
+        // run/1 is reached with X free; check/1 sees X bound after run
+        // succeeds.
+        assert_eq!(modes.get(&PredKey::new("run", 1)).unwrap().to_string(), "f");
+        assert_eq!(modes.get(&PredKey::new("check", 1)).unwrap().to_string(), "b");
+    }
+
+    #[test]
+    fn negated_zero_arity_before_binding_goal() {
+        // The negation contributes nothing, but the scan continues: q/1 is
+        // still reached free and r/1 bound.
+        let p = parse_program(
+            "p(X) :- \\+ halt, q(Y), r(Y), s(X).\n\
+                               halt.\nq(a).\nr(a).\ns(b).",
+        )
+        .unwrap();
+        let modes = infer_modes(&p, &PredKey::new("p", 1), Adornment::parse("b").unwrap());
+        assert_eq!(modes.get(&PredKey::new("q", 1)).unwrap().to_string(), "f");
+        assert_eq!(modes.get(&PredKey::new("r", 1)).unwrap().to_string(), "b");
     }
 
     #[test]

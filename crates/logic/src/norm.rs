@@ -96,20 +96,14 @@ mod tests {
     #[test]
     fn structural_matches_term_method() {
         let term = t("f(a, [b, c], X)");
-        assert_eq!(
-            Norm::StructuralSize.polynomial(&term),
-            term.size_polynomial()
-        );
+        assert_eq!(Norm::StructuralSize.polynomial(&term), term.size_polynomial());
     }
 
     #[test]
     fn list_length_on_lists() {
         // |[a, b, c]| = 3 regardless of element sizes.
         assert_eq!(Norm::ListLength.ground_size(&t("[a, b, c]")), Some(3));
-        assert_eq!(
-            Norm::ListLength.ground_size(&t("[f(f(f(a))), g(b, c, d)]")),
-            Some(2)
-        );
+        assert_eq!(Norm::ListLength.ground_size(&t("[f(f(f(a))), g(b, c, d)]")), Some(2));
         // Structural size counts everything.
         assert_eq!(Norm::StructuralSize.ground_size(&t("[a, b, c]")), Some(6));
     }

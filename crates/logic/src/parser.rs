@@ -17,6 +17,7 @@
 //! no user-defined operators.
 
 use crate::program::{Atom, Literal, Program, Rule};
+use crate::span::{Span, SpanSlot};
 use crate::term::Term;
 use std::fmt;
 
@@ -25,7 +26,7 @@ use std::fmt;
 pub struct ParseError {
     /// 1-based line.
     pub line: usize,
-    /// 1-based column.
+    /// 1-based column, counted in chars (not bytes).
     pub col: usize,
     /// What went wrong.
     pub message: String,
@@ -59,8 +60,23 @@ enum Tok {
 #[derive(Debug, Clone)]
 struct SpannedTok {
     tok: Tok,
+    /// Byte offset of the first byte of the token.
+    start: usize,
+    /// Byte offset one past the last byte of the token.
+    end: usize,
     line: usize,
     col: usize,
+}
+
+impl SpannedTok {
+    fn span(&self) -> Span {
+        Span::new(self.start, self.end, self.line, self.col)
+    }
+}
+
+/// Is `b` a UTF-8 continuation byte (never the start of a char)?
+fn is_continuation(b: u8) -> bool {
+    b & 0xC0 == 0x80
 }
 
 struct Lexer<'a> {
@@ -93,7 +109,10 @@ impl<'a> Lexer<'a> {
         if c == b'\n' {
             self.line += 1;
             self.col = 1;
-        } else {
+        } else if !is_continuation(c) {
+            // Columns count chars, not bytes: continuation bytes of a
+            // multi-byte UTF-8 char (inside comments and quoted atoms) do
+            // not advance the column.
             self.col += 1;
         }
         Some(c)
@@ -135,7 +154,7 @@ impl<'a> Lexer<'a> {
         let mut out = Vec::new();
         loop {
             self.skip_layout()?;
-            let (line, col) = (self.line, self.col);
+            let (start, line, col) = (self.pos, self.line, self.col);
             let Some(c) = self.peek() else { break };
             let tok = match c {
                 b'(' => {
@@ -238,22 +257,26 @@ impl<'a> Lexer<'a> {
                 }
                 b'\'' => {
                     self.bump();
-                    let mut s = String::new();
+                    // Collect raw bytes so multi-byte UTF-8 chars inside the
+                    // quotes survive intact.
+                    let mut bytes = Vec::new();
                     loop {
                         match self.bump() {
                             Some(b'\'') => {
                                 // '' is an escaped quote.
                                 if self.peek() == Some(b'\'') {
                                     self.bump();
-                                    s.push('\'');
+                                    bytes.push(b'\'');
                                 } else {
                                     break;
                                 }
                             }
-                            Some(c2) => s.push(c2 as char),
+                            Some(c2) => bytes.push(c2),
                             None => return Err(self.err("unterminated quoted atom")),
                         }
                     }
+                    let s = String::from_utf8(bytes)
+                        .map_err(|_| self.err("invalid UTF-8 in quoted atom"))?;
                     Tok::Atom(s)
                 }
                 c if c.is_ascii_digit() => {
@@ -300,10 +323,16 @@ impl<'a> Lexer<'a> {
                     Tok::Var(s)
                 }
                 other => {
-                    return Err(self.err(format!("unexpected character {:?}", other as char)))
+                    // Decode the whole char, not just its lead byte, so a
+                    // stray `é` is reported as 'é' rather than 'Ã'.
+                    let shown = std::str::from_utf8(&self.src[self.pos..])
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                        .unwrap_or(other as char);
+                    return Err(self.err(format!("unexpected character {shown:?}")));
                 }
             };
-            out.push(SpannedTok { tok, line, col });
+            out.push(SpannedTok { tok, start, end: self.pos, line, col });
         }
         Ok(out)
     }
@@ -346,6 +375,15 @@ impl Parser {
             }
             Some(t) => Err(self.err_here(format!("expected {what}, found {t:?}"))),
             None => Err(self.err_here(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    /// Span covering the token range `[from, to)` (token indices). Empty
+    /// slot when the range is empty or out of bounds.
+    fn span_between(&self, from: usize, to: usize) -> SpanSlot {
+        match (self.toks.get(from), to.checked_sub(1).and_then(|i| self.toks.get(i))) {
+            (Some(a), Some(b)) if from < to => SpanSlot::some(a.span().join(&b.span())),
+            _ => SpanSlot::none(),
         }
     }
 
@@ -465,13 +503,14 @@ impl Parser {
 
     /// goal := '\+' goal | term (CMP term)?
     fn parse_goal(&mut self) -> Result<Literal, ParseError> {
+        let start = self.pos;
         if self.peek() == Some(&Tok::NotSign) {
             self.bump();
             let inner = self.parse_goal()?;
             if !inner.positive {
                 return Err(self.err_here("double negation is not supported"));
             }
-            return Ok(Literal::neg(inner.atom));
+            return Ok(Literal::neg(inner.atom).with_span(self.span_between(start, self.pos)));
         }
         let lhs = self.parse_term()?;
         if let Some(Tok::Op(op)) = self.peek() {
@@ -479,20 +518,24 @@ impl Parser {
                 let op = op.clone();
                 self.bump();
                 let rhs = self.parse_term()?;
-                return Ok(Literal::pos(Atom::new(&op, vec![lhs, rhs])));
+                let span = self.span_between(start, self.pos);
+                return Ok(Literal::pos(Atom::new(&op, vec![lhs, rhs]).with_span(span)));
             }
         }
+        let span = self.span_between(start, self.pos);
         // A plain goal must be an atom (not a variable or an arith term).
         match lhs {
-            Term::App(name, args) => Ok(Literal::pos(Atom { name, args })),
+            Term::App(name, args) => Ok(Literal::pos(Atom { name, args, span })),
             Term::Var(_) => Err(self.err_here("a goal cannot be a variable")),
         }
     }
 
     fn parse_clause(&mut self) -> Result<Rule, ParseError> {
+        let start = self.pos;
         let head_term = self.parse_term()?;
+        let head_span = self.span_between(start, self.pos);
         let head = match head_term {
-            Term::App(name, args) => Atom { name, args },
+            Term::App(name, args) => Atom { name, args, span: head_span },
             Term::Var(_) => return Err(self.err_here("clause head cannot be a variable")),
         };
         let mut body = Vec::new();
@@ -505,7 +548,7 @@ impl Parser {
             }
         }
         self.expect(&Tok::EndClause, "'.' ending the clause")?;
-        Ok(Rule { head, body })
+        Ok(Rule { head, body, span: self.span_between(start, self.pos) })
     }
 
     fn parse_program(&mut self) -> Result<Program, ParseError> {
@@ -532,6 +575,25 @@ pub fn parse_term(src: &str) -> Result<Term, ParseError> {
         return Err(p.err_here("trailing input after term"));
     }
     Ok(t)
+}
+
+/// Every variable occurrence in `src`, in source order, with its span.
+///
+/// This is a lexer-level view: it reports each *occurrence* (not each
+/// distinct variable), including anonymous `_`, so lint passes can point
+/// at the exact token (e.g. the singleton-variable lint). Returns an empty
+/// list if `src` does not lex.
+pub fn variable_spans(src: &str) -> Vec<(String, Span)> {
+    match Lexer::new(src).tokenize() {
+        Ok(toks) => toks
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Var(ref name) => Some((name.clone(), t.span())),
+                _ => None,
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    }
 }
 
 /// Parse a query: a comma-separated goal list with optional trailing `.`.
@@ -659,14 +721,8 @@ mod tests {
     #[test]
     fn open_and_closed_lists() {
         assert_eq!(parse_term("[]").unwrap(), Term::nil());
-        assert_eq!(
-            parse_term("[a, b]").unwrap(),
-            Term::list([Term::atom("a"), Term::atom("b")])
-        );
-        assert_eq!(
-            parse_term("[H|T]").unwrap(),
-            Term::cons(Term::var("H"), Term::var("T"))
-        );
+        assert_eq!(parse_term("[a, b]").unwrap(), Term::list([Term::atom("a"), Term::atom("b")]));
+        assert_eq!(parse_term("[H|T]").unwrap(), Term::cons(Term::var("H"), Term::var("T")));
         assert_eq!(
             parse_term("[a, b | T]").unwrap(),
             Term::cons(Term::atom("a"), Term::cons(Term::atom("b"), Term::var("T")))
@@ -718,5 +774,76 @@ mod tests {
         assert_eq!(p.rules.len(), 3);
         assert_eq!(p.rules[0].body.len(), 2);
         assert_eq!(p.rules[1].head.args.len(), 0);
+    }
+
+    #[test]
+    fn error_columns_count_chars_not_bytes() {
+        // 'é' is two bytes but one char; the bad '?' sits at char column 13.
+        let e = parse_program("p('résumé') ? q.").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 13));
+        // Same with a multi-byte char inside a comment.
+        let e2 = parse_program("% café\np(a) ? q.").unwrap_err();
+        assert_eq!((e2.line, e2.col), (2, 6));
+    }
+
+    #[test]
+    fn error_reports_whole_char_not_lead_byte() {
+        // A stray multi-byte char is reported as itself ('é'), not as its
+        // Latin-1-decoded lead byte ('Ã').
+        let e = parse_program("caf é(a).").unwrap_err();
+        assert!(e.message.contains('é'), "{}", e.message);
+        assert_eq!((e.line, e.col), (1, 5));
+    }
+
+    #[test]
+    fn rules_carry_spans() {
+        let src = "p(a).\nq(X) :- p(X), \\+ r(X).\n";
+        let p = parse_program(src).unwrap();
+        let s0 = p.rules[0].span.get().unwrap();
+        assert_eq!(s0.slice(src), Some("p(a)."));
+        assert_eq!((s0.line, s0.col), (1, 1));
+        let s1 = p.rules[1].span.get().unwrap();
+        assert_eq!(s1.slice(src), Some("q(X) :- p(X), \\+ r(X)."));
+        assert_eq!((s1.line, s1.col), (2, 1));
+        let head = p.rules[1].head.span.get().unwrap();
+        assert_eq!(head.slice(src), Some("q(X)"));
+        let lit0 = p.rules[1].body[0].span.get().unwrap();
+        assert_eq!(lit0.slice(src), Some("p(X)"));
+        // A negated literal's span includes the `\+`; its atom's does not.
+        let lit1 = p.rules[1].body[1].span.get().unwrap();
+        assert_eq!(lit1.slice(src), Some("\\+ r(X)"));
+        let atom1 = p.rules[1].body[1].atom.span.get().unwrap();
+        assert_eq!(atom1.slice(src), Some("r(X)"));
+    }
+
+    #[test]
+    fn comparison_goals_carry_spans() {
+        let src = "p(X, Y) :- X =< Y, q(X).";
+        let p = parse_program(src).unwrap();
+        let cmp = p.rules[0].body[0].atom.span.get().unwrap();
+        assert_eq!(cmp.slice(src), Some("X =< Y"));
+    }
+
+    #[test]
+    fn spans_do_not_affect_equality() {
+        let src = "p(X) :- q(X).";
+        let parsed = parse_program(src).unwrap();
+        let built = Program::from_rules(vec![Rule::new(
+            Atom::new("p", vec![Term::var("X")]),
+            vec![Literal::pos(Atom::new("q", vec![Term::var("X")]))],
+        )]);
+        assert_eq!(parsed, built);
+        assert!(built.rules[0].span.get().is_none());
+        assert!(parsed.rules[0].span.get().is_some());
+    }
+
+    #[test]
+    fn variable_spans_reports_occurrences() {
+        let src = "p(X, Y) :- q(X).";
+        let vs = variable_spans(src);
+        let names: Vec<&str> = vs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["X", "Y", "X"]);
+        assert_eq!(vs[1].1.slice(src), Some("Y"));
+        assert_eq!((vs[1].1.line, vs[1].1.col), (1, 6));
     }
 }

@@ -4,6 +4,7 @@
 //! for that predicate; the complete rule set is the IDB (paper §2). EDB
 //! predicates are those that never appear in a rule head.
 
+use crate::span::SpanSlot;
 use crate::term::Term;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -39,12 +40,20 @@ pub struct Atom {
     pub name: Rc<str>,
     /// Argument terms.
     pub args: Vec<Term>,
+    /// Source span (comparison-transparent; empty for synthesized atoms).
+    pub span: SpanSlot,
 }
 
 impl Atom {
     /// Build an atom.
     pub fn new(name: impl AsRef<str>, args: Vec<Term>) -> Atom {
-        Atom { name: Rc::from(name.as_ref()), args }
+        Atom { name: Rc::from(name.as_ref()), args, span: SpanSlot::none() }
+    }
+
+    /// The same atom carrying `span`.
+    pub fn with_span(mut self, span: SpanSlot) -> Atom {
+        self.span = span;
+        self
     }
 
     /// The predicate key of this atom.
@@ -68,6 +77,7 @@ impl Atom {
         Atom {
             name: self.name.clone(),
             args: self.args.iter().map(|t| t.rename_suffix(suffix)).collect(),
+            span: self.span,
         }
     }
 
@@ -105,17 +115,27 @@ pub struct Literal {
     pub atom: Atom,
     /// Polarity: `true` for a positive subgoal, `false` for `\+ atom`.
     pub positive: bool,
+    /// Source span, including a leading `\+` (comparison-transparent).
+    pub span: SpanSlot,
 }
 
 impl Literal {
     /// A positive literal.
     pub fn pos(atom: Atom) -> Literal {
-        Literal { atom, positive: true }
+        let span = atom.span;
+        Literal { atom, positive: true, span }
     }
 
     /// A negative literal.
     pub fn neg(atom: Atom) -> Literal {
-        Literal { atom, positive: false }
+        let span = atom.span;
+        Literal { atom, positive: false, span }
+    }
+
+    /// The same literal carrying `span`.
+    pub fn with_span(mut self, span: SpanSlot) -> Literal {
+        self.span = span;
+        self
     }
 }
 
@@ -136,17 +156,26 @@ pub struct Rule {
     pub head: Atom,
     /// Body literals, in left-to-right execution order.
     pub body: Vec<Literal>,
+    /// Source span of the whole clause, including the terminating `.`
+    /// (comparison-transparent).
+    pub span: SpanSlot,
 }
 
 impl Rule {
     /// A fact.
     pub fn fact(head: Atom) -> Rule {
-        Rule { head, body: Vec::new() }
+        Rule { head, body: Vec::new(), span: SpanSlot::none() }
     }
 
     /// A rule with a body.
     pub fn new(head: Atom, body: Vec<Literal>) -> Rule {
-        Rule { head, body }
+        Rule { head, body, span: SpanSlot::none() }
+    }
+
+    /// The same rule carrying `span`.
+    pub fn with_span(mut self, span: SpanSlot) -> Rule {
+        self.span = span;
+        self
     }
 
     /// Distinct variables over head and body, first occurrence order.
@@ -172,8 +201,13 @@ impl Rule {
             body: self
                 .body
                 .iter()
-                .map(|l| Literal { atom: l.atom.rename_suffix(suffix), positive: l.positive })
+                .map(|l| Literal {
+                    atom: l.atom.rename_suffix(suffix),
+                    positive: l.positive,
+                    span: l.span,
+                })
                 .collect(),
+            span: self.span,
         }
     }
 }
@@ -262,10 +296,8 @@ mod tests {
     fn append_program() -> Program {
         // append([], Ys, Ys).
         // append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
-        let r1 = Rule::fact(Atom::new(
-            "append",
-            vec![Term::nil(), Term::var("Ys"), Term::var("Ys")],
-        ));
+        let r1 =
+            Rule::fact(Atom::new("append", vec![Term::nil(), Term::var("Ys"), Term::var("Ys")]));
         let r2 = Rule::new(
             Atom::new(
                 "append",

@@ -1,0 +1,227 @@
+//! Source spans for parsed syntax.
+//!
+//! The lexer records, for every token, its half-open byte range in the
+//! source plus the 1-based line and (char-counted) column of its first
+//! byte. The parser threads those positions into the AST so downstream
+//! tools — above all the `argus-diag` lint passes — can point diagnostics
+//! at the offending clause, literal, or atom.
+//!
+//! Spans are *metadata*, not syntax: two terms that differ only in where
+//! they were written are still the same term. [`SpanSlot`] therefore wraps
+//! an optional [`Span`] in a type that is transparent to `Eq`, `Ord`, and
+//! `Hash`, so span-carrying AST nodes compare exactly as they did before
+//! spans existed (e.g. a program still round-trips through its pretty-
+//! printed form and compares equal).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A source location: a half-open byte range plus the 1-based line and
+/// column (counted in `char`s, not bytes) of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: usize,
+    /// 1-based column of `start`, counted in chars.
+    pub col: usize,
+}
+
+impl Span {
+    /// Build a span.
+    pub fn new(start: usize, end: usize, line: usize, col: usize) -> Span {
+        Span { start, end, line, col }
+    }
+
+    /// The smallest span covering both `self` and `other`. Line/col come
+    /// from whichever span starts first.
+    pub fn join(&self, other: &Span) -> Span {
+        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True iff the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Does the span lie entirely within `outer`?
+    pub fn within(&self, outer: &Span) -> bool {
+        outer.start <= self.start && self.end <= outer.end
+    }
+
+    /// The spanned slice of `src`, if in bounds.
+    pub fn slice<'s>(&self, src: &'s str) -> Option<&'s str> {
+        src.get(self.start..self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An optional [`Span`] that is invisible to comparisons.
+///
+/// `SpanSlot`s always compare equal (and hash to nothing), so adding one to
+/// an AST node does not change the node's `Eq`/`Ord`/`Hash` semantics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanSlot(pub Option<Span>);
+
+impl SpanSlot {
+    /// A slot holding `span`.
+    pub fn some(span: Span) -> SpanSlot {
+        SpanSlot(Some(span))
+    }
+
+    /// The empty slot (syntax built programmatically rather than parsed).
+    pub fn none() -> SpanSlot {
+        SpanSlot(None)
+    }
+
+    /// The held span, if any.
+    pub fn get(&self) -> Option<Span> {
+        self.0
+    }
+}
+
+impl From<Span> for SpanSlot {
+    fn from(s: Span) -> SpanSlot {
+        SpanSlot(Some(s))
+    }
+}
+
+impl PartialEq for SpanSlot {
+    fn eq(&self, _: &SpanSlot) -> bool {
+        true
+    }
+}
+
+impl Eq for SpanSlot {}
+
+impl PartialOrd for SpanSlot {
+    fn partial_cmp(&self, other: &SpanSlot) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SpanSlot {
+    fn cmp(&self, _: &SpanSlot) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl Hash for SpanSlot {
+    fn hash<H: Hasher>(&self, _: &mut H) {}
+}
+
+/// A line index over a source string: maps byte offsets to 1-based
+/// (line, column) positions, with columns counted in chars. Used by
+/// diagnostic renderers; kept here so every consumer agrees with the
+/// lexer's own position accounting.
+#[derive(Debug, Clone)]
+pub struct LineIndex {
+    /// Byte offset of the start of each line.
+    line_starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Index `src`.
+    pub fn new(src: &str) -> LineIndex {
+        let mut line_starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        LineIndex { line_starts }
+    }
+
+    /// The 1-based line number containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// The 1-based (line, char column) of byte `offset` in `src`.
+    pub fn line_col(&self, src: &str, offset: usize) -> (usize, usize) {
+        let line = self.line_of(offset);
+        let start = self.line_starts[line - 1];
+        let upto = offset.min(src.len());
+        let col = src[start..upto].chars().count() + 1;
+        (line, col)
+    }
+
+    /// Byte offset of the start of 1-based line `line`.
+    pub fn line_start(&self, line: usize) -> Option<usize> {
+        self.line_starts.get(line.checked_sub(1)?).copied()
+    }
+
+    /// The text of 1-based line `line`, without its trailing newline.
+    pub fn line_text<'s>(&self, src: &'s str, line: usize) -> &'s str {
+        let Some(&start) = self.line_starts.get(line - 1) else { return "" };
+        let end = self.line_starts.get(line).map(|&e| e.saturating_sub(1)).unwrap_or(src.len());
+        src.get(start..end).unwrap_or("").trim_end_matches('\r')
+    }
+
+    /// Number of lines.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn span_join_and_slice() {
+        let a = Span::new(2, 5, 1, 3);
+        let b = Span::new(7, 9, 2, 1);
+        let j = a.join(&b);
+        assert_eq!((j.start, j.end, j.line, j.col), (2, 9, 1, 3));
+        assert_eq!(Span::new(0, 5, 1, 1).slice("hello world"), Some("hello"));
+        assert!(b.within(&j));
+        assert!(!j.within(&b));
+    }
+
+    #[test]
+    fn slot_is_invisible_to_comparisons() {
+        let with = SpanSlot::some(Span::new(1, 2, 3, 4));
+        let without = SpanSlot::none();
+        assert_eq!(with, without);
+        assert_eq!(with.cmp(&without), std::cmp::Ordering::Equal);
+        let mut set = BTreeSet::new();
+        set.insert((with, 1));
+        assert!(set.contains(&(without, 1)));
+    }
+
+    #[test]
+    fn line_index_counts_chars_not_bytes() {
+        let src = "aé b\ncd";
+        let ix = LineIndex::new(src);
+        // 'é' is 2 bytes; the space after it is at byte 3, char column 3.
+        assert_eq!(ix.line_col(src, 3), (1, 3));
+        assert_eq!(ix.line_col(src, src.len()), (2, 3));
+        assert_eq!(ix.line_text(src, 1), "aé b");
+        assert_eq!(ix.line_text(src, 2), "cd");
+        assert_eq!(ix.line_count(), 2);
+    }
+}

@@ -300,11 +300,7 @@ mod tests {
         // f(v1, g(v2), v2): size 4 + v1 + 2 v2 (paper §2.2 example for x(1)).
         let t = Term::app(
             "f",
-            vec![
-                Term::var("v1"),
-                Term::app("g", vec![Term::var("v2")]),
-                Term::var("v2"),
-            ],
+            vec![Term::var("v1"), Term::app("g", vec![Term::var("v2")]), Term::var("v2")],
         );
         let p = t.size_polynomial();
         assert_eq!(p.constant, 4);

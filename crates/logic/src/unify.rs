@@ -78,7 +78,11 @@ impl Subst {
 
     /// Apply to an atom.
     pub fn resolve_atom(&self, a: &Atom) -> Atom {
-        Atom { name: a.name.clone(), args: a.args.iter().map(|t| self.resolve(t)).collect() }
+        Atom {
+            name: a.name.clone(),
+            args: a.args.iter().map(|t| self.resolve(t)).collect(),
+            span: a.span,
+        }
     }
 
     /// Does `v` occur in `t` after resolution?

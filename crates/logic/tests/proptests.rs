@@ -8,15 +8,16 @@ use proptest::prelude::*;
 /// Random ground-ish terms (variables included) with bounded depth.
 fn term_strategy() -> impl Strategy<Value = Term> {
     let leaf = prop_oneof![
-        prop_oneof![Just("a"), Just("b"), Just("c"), Just("nil")]
-            .prop_map(Term::atom),
-        prop_oneof![Just("X"), Just("Y"), Just("Zs"), Just("W")]
-            .prop_map(Term::var),
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("nil")].prop_map(Term::atom),
+        prop_oneof![Just("X"), Just("Y"), Just("Zs"), Just("W")].prop_map(Term::var),
         (-50i64..50).prop_map(Term::int),
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (prop_oneof![Just("f"), Just("g"), Just("node")], proptest::collection::vec(inner.clone(), 1..3))
+            (
+                prop_oneof![Just("f"), Just("g"), Just("node")],
+                proptest::collection::vec(inner.clone(), 1..3)
+            )
                 .prop_map(|(f, args)| Term::app(f, args)),
             (inner.clone(), inner).prop_map(|(h, t)| Term::cons(h, t)),
         ]
@@ -110,10 +111,8 @@ fn small_program_strategy() -> impl Strategy<Value = String> {
             out.push_str(&head.to_string());
             if !body.is_empty() {
                 out.push_str(" :- ");
-                let goals: Vec<String> = body
-                    .into_iter()
-                    .map(|(n, args)| Term::app(n, args).to_string())
-                    .collect();
+                let goals: Vec<String> =
+                    body.into_iter().map(|(n, args)| Term::app(n, args).to_string()).collect();
                 out.push_str(&goals.join(", "));
             }
             out.push_str(".\n");

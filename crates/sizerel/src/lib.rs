@@ -34,8 +34,8 @@
 
 #![warn(missing_docs)]
 
-use argus_linear::{Constraint, ConstraintSystem, LinExpr, Poly, Rat, Rel, Var};
 use argus_linear::fm::{self, FmResult};
+use argus_linear::{Constraint, ConstraintSystem, LinExpr, Poly, Rat, Rel, Var};
 use argus_logic::{DepGraph, Norm, PredKey, Program, Rule};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -58,11 +58,7 @@ pub struct InferOptions {
 
 impl Default for InferOptions {
     fn default() -> InferOptions {
-        InferOptions {
-            widening_delay: 2,
-            max_iterations: 20,
-            norm: Norm::default(),
-        }
+        InferOptions { widening_delay: 2, max_iterations: 20, norm: Norm::default() }
     }
 }
 
@@ -284,11 +280,8 @@ pub fn infer_size_relations(program: &Program, options: &InferOptions) -> SizeRe
     let mut rels = SizeRelations::new();
 
     for scc_id in graph.sccs_bottom_up() {
-        let members: Vec<PredKey> = graph
-            .scc(scc_id)
-            .into_iter()
-            .filter(|p| !program.procedure(p).is_empty())
-            .collect();
+        let members: Vec<PredKey> =
+            graph.scc(scc_id).into_iter().filter(|p| !program.procedure(p).is_empty()).collect();
         if members.is_empty() {
             continue; // EDB-only SCC; stays at implicit top.
         }
@@ -321,11 +314,8 @@ pub fn infer_size_relations(program: &Program, options: &InferOptions) -> SizeRe
                 }
                 // Join with previous to enforce monotonicity, then widen.
                 let joined = old.hull(&new);
-                let next = if iteration >= options.widening_delay {
-                    old.widen(&joined)
-                } else {
-                    joined
-                };
+                let next =
+                    if iteration >= options.widening_delay { old.widen(&joined) } else { joined };
                 if !next.same_set(&old) {
                     // Keep representations minimal between iterations:
                     // redundant rows compound across hulls and can trip

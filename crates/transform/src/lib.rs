@@ -65,8 +65,9 @@ fn apply_subst_rule(s: &Subst, rule: &Rule) -> Rule {
         body: rule
             .body
             .iter()
-            .map(|l| Literal { atom: s.resolve_atom(&l.atom), positive: l.positive })
+            .map(|l| Literal { atom: s.resolve_atom(&l.atom), positive: l.positive, span: l.span })
             .collect(),
+        span: rule.span,
     }
 }
 
@@ -99,10 +100,7 @@ pub fn split_step(program: &Program, counter: &mut usize) -> Option<Program> {
             if procedure.len() < 2 {
                 continue;
             }
-            let unifying = procedure
-                .iter()
-                .filter(|r| heads_unify(&lit.atom, &r.head))
-                .count();
+            let unifying = procedure.iter().filter(|r| heads_unify(&lit.atom, &r.head)).count();
             if unifying > 0 && unifying < procedure.len() {
                 witness = Some((key, lit.atom.clone()));
                 break 'search;
@@ -221,10 +219,8 @@ pub fn unfold_step(program: &Program, protect: &BTreeSet<PredKey>) -> Option<Pro
             // Protected (root) predicates may still be unfolded at their
             // call sites; protection only prevents deleting their rules.
             // No direct self-recursion.
-            let self_rec = program
-                .procedure(p)
-                .iter()
-                .any(|r| r.body.iter().any(|l| l.atom.key() == **p));
+            let self_rec =
+                program.procedure(p).iter().any(|r| r.body.iter().any(|l| l.atom.key() == **p));
             if self_rec {
                 return false;
             }
@@ -245,10 +241,7 @@ pub fn unfold_step(program: &Program, protect: &BTreeSet<PredKey>) -> Option<Pro
     // Prefer members of nontrivial SCCs: unfolding them shrinks the SCC,
     // which is the termination argument for repeated application.
     candidates.sort_by_key(|p| {
-        let in_mutual = graph
-            .scc_id(p)
-            .map(|id| graph.scc_is_mutual(id))
-            .unwrap_or(false);
+        let in_mutual = graph.scc_id(p).map(|id| graph.scc_is_mutual(id)).unwrap_or(false);
         if in_mutual {
             0
         } else {
@@ -257,12 +250,7 @@ pub fn unfold_step(program: &Program, protect: &BTreeSet<PredKey>) -> Option<Pro
     });
     let pred = candidates
         .into_iter()
-        .find(|p| {
-            graph
-                .scc_id(p)
-                .map(|id| graph.scc_is_mutual(id))
-                .unwrap_or(false)
-        })?
+        .find(|p| graph.scc_id(p).map(|id| graph.scc_is_mutual(id)).unwrap_or(false))?
         .clone();
 
     Some(unfold_predicate(program, &pred, protect))
@@ -270,11 +258,7 @@ pub fn unfold_step(program: &Program, protect: &BTreeSet<PredKey>) -> Option<Pro
 
 /// Unfold all positive occurrences of `pred` (which must be safely
 /// unfoldable) and drop its rules if it becomes unreferenced.
-pub fn unfold_predicate(
-    program: &Program,
-    pred: &PredKey,
-    protect: &BTreeSet<PredKey>,
-) -> Program {
+pub fn unfold_predicate(program: &Program, pred: &PredKey, protect: &BTreeSet<PredKey>) -> Program {
     let procedure: Vec<Rule> = program.procedure(pred).into_iter().cloned().collect();
     let mut out: Vec<Rule> = Vec::new();
     let mut fresh = 0usize;
@@ -288,10 +272,7 @@ pub fn unfold_predicate(
         let mut pending = vec![rule.clone()];
         let mut done: Vec<Rule> = Vec::new();
         while let Some(r) = pending.pop() {
-            let occ = r
-                .body
-                .iter()
-                .position(|l| l.positive && &l.atom.key() == pred);
+            let occ = r.body.iter().position(|l| l.positive && &l.atom.key() == pred);
             let Some(i) = occ else {
                 done.push(r);
                 continue;
@@ -316,7 +297,8 @@ pub fn unfold_predicate(
                 body.extend_from_slice(&r.body[..i]);
                 body.extend_from_slice(&prule.body);
                 body.extend_from_slice(&r.body[i + 1..]);
-                let new_rule = apply_subst_rule(&s, &Rule { head: r.head.clone(), body });
+                let new_rule =
+                    apply_subst_rule(&s, &Rule { head: r.head.clone(), body, span: r.span });
                 pending.push(new_rule);
             }
         }
@@ -353,12 +335,7 @@ pub fn drop_unreachable(program: &Program, roots: &BTreeSet<PredKey>) -> Program
         }
     }
     Program::from_rules(
-        program
-            .rules
-            .iter()
-            .filter(|r| reach.contains(&r.head.key()))
-            .cloned()
-            .collect(),
+        program.rules.iter().filter(|r| reach.contains(&r.head.key())).cloned().collect(),
     )
 }
 
@@ -472,10 +449,7 @@ mod tests {
 
     #[test]
     fn splitting_not_applicable_when_all_unify() {
-        let p = parse_program(
-            "p([]).\np([X|Xs]) :- p(Xs).\nr(Z) :- p(Z).",
-        )
-        .unwrap();
+        let p = parse_program("p([]).\np([X|Xs]) :- p(Xs).\nr(Z) :- p(Z).").unwrap();
         let mut counter = 0;
         assert!(split_step(&p, &mut counter).is_none());
     }
@@ -495,10 +469,7 @@ mod tests {
         // Matches the appendix's displayed result: q's rules become
         // self-contained (no p subgoals in q rules).
         for r in out.procedure(&PredKey::new("q", 1)) {
-            assert!(
-                r.body.iter().all(|l| &*l.atom.name != "p"),
-                "q rule still mentions p: {r}"
-            );
+            assert!(r.body.iter().all(|l| &*l.atom.name != "p"), "q rule still mentions p: {r}");
         }
         // p's own rules survive (p is protected as a root).
         assert!(!out.procedure(&PredKey::new("p", 1)).is_empty());
@@ -559,10 +530,7 @@ mod tests {
 
     #[test]
     fn drop_unreachable_keeps_roots_closure() {
-        let p = parse_program(
-            "a(X) :- b(X).\nb(c).\nunrelated(d).",
-        )
-        .unwrap();
+        let p = parse_program("a(X) :- b(X).\nb(c).\nunrelated(d).").unwrap();
         let out = drop_unreachable(&p, &roots(&[("a", 1)]));
         assert_eq!(out.rules.len(), 2);
         assert!(out.procedure(&PredKey::new("unrelated", 1)).is_empty());

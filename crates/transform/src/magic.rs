@@ -26,6 +26,7 @@
 
 use argus_logic::modes::{is_builtin, Adornment, ModeMap};
 use argus_logic::program::{Atom, Literal, PredKey, Program, Rule};
+use argus_logic::span::SpanSlot;
 use std::rc::Rc;
 
 /// Result of the magic-sets rewriting.
@@ -44,11 +45,7 @@ fn magic_name(pred: &PredKey) -> Rc<str> {
 
 /// Project an atom's arguments onto the bound positions of `adornment`.
 fn bound_args(atom: &Atom, adornment: &Adornment) -> Vec<argus_logic::Term> {
-    adornment
-        .bound_positions()
-        .into_iter()
-        .map(|i| atom.args[i].clone())
-        .collect()
+    adornment.bound_positions().into_iter().map(|i| atom.args[i].clone()).collect()
 }
 
 /// Rewrite an **adorned** program (each predicate has the single adornment
@@ -75,11 +72,12 @@ pub fn magic_rewrite(program: &Program, modes: &ModeMap, query: &Atom) -> MagicP
         let magic_head = Atom {
             name: magic_name(&head_key),
             args: bound_args(&rule.head, head_adornment),
+            span: SpanSlot::none(),
         };
         let mut guarded = Vec::with_capacity(rule.body.len() + 1);
         guarded.push(Literal::pos(magic_head.clone()));
         guarded.extend(rule.body.iter().cloned());
-        out.push(Rule { head: rule.head.clone(), body: guarded });
+        out.push(Rule { head: rule.head.clone(), body: guarded, span: rule.span });
 
         // Magic rules for IDB subgoals.
         for (i, lit) in rule.body.iter().enumerate() {
@@ -96,23 +94,23 @@ pub fn magic_rewrite(program: &Program, modes: &ModeMap, query: &Atom) -> MagicP
             let magic_sub = Atom {
                 name: magic_name(&key),
                 args: bound_args(&lit.atom, sub_adornment),
+                span: SpanSlot::none(),
             };
             let mut body = Vec::with_capacity(i + 1);
             body.push(Literal::pos(magic_head.clone()));
             body.extend(rule.body[..i].iter().cloned());
-            out.push(Rule { head: magic_sub, body });
+            out.push(Rule { head: magic_sub, body, span: rule.span });
         }
     }
 
     // Seed fact.
     let query_key = query.key();
-    let adornment = modes
-        .get(&query_key)
-        .cloned()
-        .unwrap_or_else(|| Adornment::all_free(query_key.arity));
+    let adornment =
+        modes.get(&query_key).cloned().unwrap_or_else(|| Adornment::all_free(query_key.arity));
     let seed_atom = Atom {
         name: magic_name(&query_key),
         args: bound_args(query, &adornment),
+        span: SpanSlot::none(),
     };
     let seed_key = seed_atom.key();
     out.push(Rule::fact(seed_atom));
@@ -133,14 +131,11 @@ mod tests {
     fn magic(src: &str, query_goal: &str, adn: &str) -> (MagicProgram, Atom) {
         let program = parse_program(src).unwrap();
         let goal = parse_query(query_goal).unwrap().remove(0).atom;
-        let adorned = adorn_program(
-            &program,
-            &goal.key(),
-            Adornment::parse(adn).unwrap(),
-        );
+        let adorned = adorn_program(&program, &goal.key(), Adornment::parse(adn).unwrap());
         // The goal predicate may have been renamed by adornment; the
         // corpus-style single-adornment cases keep their names.
-        let goal = Atom { name: adorned.query.name.clone(), args: goal.args };
+        let goal =
+            Atom { name: adorned.query.name.clone(), args: goal.args, span: SpanSlot::none() };
         let rewritten = magic_rewrite(&adorned.program, &adorned.modes, &goal);
         (rewritten, goal)
     }
@@ -170,10 +165,7 @@ mod tests {
                 assert_eq!(paths, 3, "goal-directed: 3 of 10 paths");
                 // Magic facts mark exactly the reachable call patterns
                 // (edge, being IDB-with-facts, gets its own magic set).
-                let magic_paths = facts
-                    .iter()
-                    .filter(|f| &*f.name == "magic__path")
-                    .count();
+                let magic_paths = facts.iter().filter(|f| &*f.name == "magic__path").count();
                 assert_eq!(magic_paths, 3, "magic__path(c), (d), (e)");
             }
             other => panic!("{other:?}"),

@@ -1,0 +1,33 @@
+% Demonstration program for `argus lint`: one small file exercising every
+% lint code. Try:
+%
+%   argus lint examples/lint_demo.pl --query main/1 --mode b
+%   argus lint examples/lint_demo.pl --query main/1 --mode b --json
+
+main(Xs) :-
+    lenght(Xs, N),          % L002 undefined predicate, L005 typo of length/2
+    limit(Limit),
+    N > Limit,              % L007 N is never bound (lenght/2 cannot succeed)
+    grow(Xs, Zs),
+    loop(Zs),
+    \+ member(Y, Xs).       % L008 Y is unbound under negation
+
+length([], 0).
+length([_|T], N) :- length(T, M), N is M + 1.
+
+limit(7).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+grow([], _).
+grow([X|Xs], Ys) :- grow([X, X|Xs], Ys).    % L009 first argument grows
+
+loop(X) :- hoop(X).
+hoop(X) :- loop(X).                         % L010 zero-weight cycle
+
+orphan(X) :- member(X, [a, b, c]).          % L003 unreachable from main/1
+
+check(Xs) :- length(Xs).                    % L004 length is used with arity 2
+
+bad_fact(X, 7).                             % L001 singleton X, L006 not range-restricted

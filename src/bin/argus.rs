@@ -4,13 +4,14 @@
 //! argus analyze <file.pl> <name/arity> <adornment> [--norm list-length]
 //!               [--delta appendix-c] [--no-transform] [--certify]
 //!               [--lexicographic] [--json]
+//! argus lint    <file.pl> [--query <name/arity> --mode <adornment>] [--json]
 //! argus compare <file.pl> <name/arity> <adornment>
 //! argus run     <file.pl> '<goal>'  [--steps N]
 //! argus corpus  [<entry-name>]
 //! ```
 //!
-//! Exit codes: 0 = proved (or command succeeded), 2 = not proved,
-//! 1 = usage/parse error.
+//! Exit codes: 0 = proved / clean (or command succeeded), 2 = not proved
+//! (or lint produced warnings), 1 = usage/parse/lint error.
 
 use argus::baselines::all_methods;
 use argus::interp::sld::{solve, InterpOptions};
@@ -38,6 +39,7 @@ fn usage() -> ExitCode {
         "usage:\n  argus analyze <file.pl> <name/arity> <adornment> \
          [--norm structural|list-length] [--delta paper|appendix-c] \
          [--no-transform] [--certify] [--lexicographic]\n  \
+         argus lint <file.pl> [--query <name/arity> --mode <adornment>] [--json]\n  \
          argus compare <file.pl> <name/arity> <adornment>\n  \
          argus run <file.pl> '<goal>' [--steps N]\n  \
          argus corpus [<entry>]"
@@ -59,6 +61,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
@@ -126,6 +129,22 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         eprintln!("adornment arity mismatch");
         return ExitCode::FAILURE;
     }
+    if !program.idb_predicates().contains(&query) {
+        // Route the failure through the diagnostics renderer so the error
+        // reads like any other lint finding.
+        let defined: Vec<PredKey> = program.idb_predicates().into_iter().collect();
+        let mut d = Diagnostic::new(
+            "L002",
+            Severity::Error,
+            None,
+            format!("query predicate {query} is not defined in {path}"),
+        );
+        if let Some(hit) = argus::diag::passes::best_typo_candidate(&query, &defined) {
+            d = d.with_note(format!("did you mean `{hit}`?"));
+        }
+        eprint!("{}", argus::diag::render::render_text(&[d], "", path));
+        return ExitCode::FAILURE;
+    }
 
     let report = analyze(&program, &query, adornment, &options);
     if json {
@@ -143,6 +162,83 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         }
     }
     if report.verdict == Verdict::Terminates {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut json = false;
+    let mut query_spec: Option<&str> = None;
+    let mut mode_spec: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--query" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => query_spec = Some(v),
+                    None => {
+                        eprintln!("--query wants <name/arity>");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--mode" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => mode_spec = Some(v),
+                    None => {
+                        eprintln!("--mode wants an adornment like bf");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+    let [path] = positional.as_slice() else { return usage() };
+
+    let mut options = LintOptions::default();
+    match (query_spec, mode_spec) {
+        (None, None) => {}
+        (Some(q), Some(m)) => match argus::diag::moded::parse_query_spec(q, m) {
+            Ok(query) => options.query = Some(query),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("--query and --mode must be given together");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = lint_source(&src, &options);
+    if json {
+        print!("{}", argus::diag::render::render_json(&diags, path));
+    } else {
+        print!("{}", argus::diag::render::render_text(&diags, &src, path));
+    }
+    if argus::diag::has_errors(&diags) {
+        ExitCode::FAILURE
+    } else if diags.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)
@@ -205,8 +301,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     match out {
         argus::interp::Outcome::Completed { solutions, steps } => {
             for (i, s) in solutions.iter().enumerate() {
-                let bindings: Vec<String> =
-                    s.iter().map(|(v, t)| format!("{v} = {t}")).collect();
+                let bindings: Vec<String> = s.iter().map(|(v, t)| format!("{v} = {t}")).collect();
                 println!(
                     "answer {}: {}",
                     i + 1,
@@ -226,10 +321,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
 fn cmd_corpus(args: &[String]) -> ExitCode {
     match args.first() {
         None => {
-            say!(
-                "{:24} {:12} {:6} {:10} {}",
-                "name", "query", "mode", "terminates", "description"
-            );
+            say!("{:24} {:12} {:6} {:10} {}", "name", "query", "mode", "terminates", "description");
             for e in argus::corpus::corpus() {
                 say!(
                     "{:24} {:12} {:6} {:10} {}",

@@ -36,6 +36,7 @@
 //! | [`sizerel`] | `argus-sizerel` | inter-argument size-relation inference (\[VG90\]) |
 //! | [`transform`] | `argus-transform` | equality elimination, predicate splitting, safe unfolding (App. A) |
 //! | [`core`] | `argus-core` | the termination analysis itself (§3–§6, App. C/D) |
+//! | [`diag`] | `argus-diag` | span-aware lint passes and diagnostic renderers (`argus lint`) |
 //! | [`baselines`] | `argus-baselines` | Naish/SU, UVG88, Brodsky–Sagiv-style comparators |
 //! | [`interp`] | `argus-interp` | SLD interpreter + bottom-up evaluator (validation) |
 //! | [`corpus`] | `argus-corpus` | the benchmark corpus with ground-truth labels |
@@ -48,6 +49,7 @@ pub mod planner;
 pub use argus_baselines as baselines;
 pub use argus_core as core;
 pub use argus_corpus as corpus;
+pub use argus_diag as diag;
 pub use argus_interp as interp;
 pub use argus_linear as linear;
 pub use argus_logic as logic;
@@ -57,9 +59,9 @@ pub use argus_transform as transform;
 /// The things almost every user needs.
 pub mod prelude {
     pub use argus_core::{
-        analyze, analyze_source, AnalysisOptions, DeltaMode, SccOutcome, TerminationReport,
-        Verdict,
+        analyze, analyze_source, AnalysisOptions, DeltaMode, SccOutcome, TerminationReport, Verdict,
     };
+    pub use argus_diag::{lint_program, lint_source, Diagnostic, LintOptions, Severity};
     pub use argus_logic::{parser::parse_program, Adornment, PredKey, Program};
     pub use argus_sizerel::{infer_size_relations, InferOptions, SizeRelations};
 }

@@ -51,11 +51,8 @@ pub fn plan_query(
     options: &AnalysisOptions,
 ) -> Plan {
     let report = analyze(program, query, adornment.clone(), options);
-    let strategy = if report.verdict == Verdict::Terminates {
-        Strategy::TopDown
-    } else {
-        Strategy::BottomUp
-    };
+    let strategy =
+        if report.verdict == Verdict::Terminates { Strategy::TopDown } else { Strategy::BottomUp };
     Plan { strategy, report, query: query.clone(), adornment }
 }
 
@@ -101,68 +98,57 @@ impl Answers {
 /// [`Strategy::BottomUp`] the program is saturated and the goal matched
 /// against the fixpoint, returning the matching substitutions restricted
 /// to the goal's variables.
-pub fn execute(
-    program: &Program,
-    goal: &Literal,
-    plan: &Plan,
-    options: &ExecOptions,
-) -> Answers {
+pub fn execute(program: &Program, goal: &Literal, plan: &Plan, options: &ExecOptions) -> Answers {
     match plan.strategy {
-        Strategy::TopDown => match solve_iterative(program, std::slice::from_ref(goal), &options.sld) {
-            Outcome::Completed { solutions, .. } => Answers::Complete(solutions),
-            Outcome::OutOfBudget { .. } => {
-                Answers::BudgetExhausted { strategy: Strategy::TopDown }
+        Strategy::TopDown => {
+            match solve_iterative(program, std::slice::from_ref(goal), &options.sld) {
+                Outcome::Completed { solutions, .. } => Answers::Complete(solutions),
+                Outcome::OutOfBudget { .. } => {
+                    Answers::BudgetExhausted { strategy: Strategy::TopDown }
+                }
             }
-        },
+        }
         Strategy::BottomUp => {
             // Goal-directed bottom-up: adorn for the planned mode, rewrite
             // with magic sets seeded by the goal's bound arguments, then
             // saturate — only facts relevant to the query are derived.
-            let adorned = crate::logic::adorn_program(
-                program,
-                &plan.query,
-                plan.adornment.clone(),
-            );
+            let adorned = crate::logic::adorn_program(program, &plan.query, plan.adornment.clone());
             let adorned_goal = crate::logic::Atom {
                 name: adorned.query.name.clone(),
                 args: goal.atom.args.clone(),
+                span: goal.atom.span,
             };
-            let rewritten = crate::transform::magic_rewrite(
-                &adorned.program,
-                &adorned.modes,
-                &adorned_goal,
-            );
-            let goal = Literal { atom: adorned_goal, positive: goal.positive };
+            let rewritten =
+                crate::transform::magic_rewrite(&adorned.program, &adorned.modes, &adorned_goal);
+            let goal = Literal { atom: adorned_goal, positive: goal.positive, span: goal.span };
             match saturate(&rewritten.program, &options.bottom_up) {
-            Saturation::Fixpoint { facts, .. } => {
-                let vars = goal.atom.vars();
-                let mut answers = Vec::new();
-                for fact in &facts {
-                    let mut s = Subst::new();
-                    if unify_atoms(&mut s, &goal.atom, fact, false) {
-                        answers.push(
-                            vars.iter()
-                                .map(|v| {
-                                    (v.to_string(), s.resolve(&Term::Var(v.clone())))
-                                })
-                                .collect(),
-                        );
+                Saturation::Fixpoint { facts, .. } => {
+                    let vars = goal.atom.vars();
+                    let mut answers = Vec::new();
+                    for fact in &facts {
+                        let mut s = Subst::new();
+                        if unify_atoms(&mut s, &goal.atom, fact, false) {
+                            answers.push(
+                                vars.iter()
+                                    .map(|v| (v.to_string(), s.resolve(&Term::Var(v.clone()))))
+                                    .collect(),
+                            );
+                        }
                     }
-                }
-                if goal.positive {
-                    Answers::Complete(answers)
-                } else {
-                    // Negative goal: succeeds (with no bindings) iff no match.
-                    if answers.is_empty() {
-                        Answers::Complete(vec![BTreeMap::new()])
+                    if goal.positive {
+                        Answers::Complete(answers)
                     } else {
-                        Answers::Complete(Vec::new())
+                        // Negative goal: succeeds (with no bindings) iff no match.
+                        if answers.is_empty() {
+                            Answers::Complete(vec![BTreeMap::new()])
+                        } else {
+                            Answers::Complete(Vec::new())
+                        }
                     }
                 }
-            }
-            Saturation::Diverged { .. } => {
-                Answers::BudgetExhausted { strategy: Strategy::BottomUp }
-            }
+                Saturation::Diverged { .. } => {
+                    Answers::BudgetExhausted { strategy: Strategy::BottomUp }
+                }
             }
         }
     }
@@ -179,10 +165,8 @@ mod tests {
 
     #[test]
     fn structural_recursion_goes_top_down() {
-        let program = parse_program(
-            "app([], Ys, Ys).\napp([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).",
-        )
-        .unwrap();
+        let program =
+            parse_program("app([], Ys, Ys).\napp([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).").unwrap();
         let plan = plan_query(
             &program,
             &PredKey::new("app", 3),
@@ -190,7 +174,8 @@ mod tests {
             &AnalysisOptions::default(),
         );
         assert_eq!(plan.strategy, Strategy::TopDown);
-        let answers = execute(&program, &goal("app([a, b], [c], Z)"), &plan, &ExecOptions::default());
+        let answers =
+            execute(&program, &goal("app([a, b], [c], Z)"), &plan, &ExecOptions::default());
         match answers {
             Answers::Complete(sols) => {
                 assert_eq!(sols.len(), 1);
@@ -276,10 +261,7 @@ mod tests {
                 ..ExecOptions::default()
             },
         );
-        assert!(matches!(
-            answers,
-            Answers::BudgetExhausted { strategy: Strategy::BottomUp }
-        ));
+        assert!(matches!(answers, Answers::BudgetExhausted { strategy: Strategy::BottomUp }));
     }
 
     #[test]
@@ -315,8 +297,7 @@ mod tests {
         let norm = |a: &Answers| -> Vec<String> {
             match a {
                 Answers::Complete(sols) => {
-                    let mut v: Vec<String> =
-                        sols.iter().map(|m| format!("{m:?}")).collect();
+                    let mut v: Vec<String> = sols.iter().map(|m| format!("{m:?}")).collect();
                     v.sort();
                     v.dedup();
                     v

@@ -37,8 +37,7 @@ fn transformations_preserve_answers() {
         let program = entry.program().unwrap();
         let (query, _) = entry.query_key();
         let roots: BTreeSet<PredKey> = [query.clone()].into_iter().collect();
-        let (transformed, _) =
-            argus::transform::transform_fixed_phases(&program, &roots, 3);
+        let (transformed, _) = argus::transform::transform_fixed_phases(&program, &roots, 3);
         if transformed == program {
             continue;
         }
@@ -56,10 +55,8 @@ fn transformations_preserve_answers() {
                 else {
                     unreachable!()
                 };
-                let mut a: Vec<String> =
-                    s1.iter().map(|m| format!("{m:?}")).collect();
-                let mut b: Vec<String> =
-                    s2.iter().map(|m| format!("{m:?}")).collect();
+                let mut a: Vec<String> = s1.iter().map(|m| format!("{m:?}")).collect();
+                let mut b: Vec<String> = s2.iter().map(|m| format!("{m:?}")).collect();
                 a.sort();
                 b.sort();
                 assert_eq!(
@@ -85,8 +82,7 @@ fn transformations_preserve_answers() {
 fn appendix_a1_transform_preserves_answers_deeply() {
     let entry = argus::corpus::find("appendix_a1").unwrap();
     let program = entry.program().unwrap();
-    let roots: BTreeSet<PredKey> =
-        [PredKey::new("p", 1)].into_iter().collect();
+    let roots: BTreeSet<PredKey> = [PredKey::new("p", 1)].into_iter().collect();
     let (transformed, _) = argus::transform::transform_fixed_phases(&program, &roots, 3);
     let opts = InterpOptions::default();
     for depth in 0..6 {

@@ -9,11 +9,7 @@ fn argus() -> Command {
 
 fn temp_program(src: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir();
-    let path = dir.join(format!(
-        "argus-cli-test-{}-{}.pl",
-        std::process::id(),
-        src.len()
-    ));
+    let path = dir.join(format!("argus-cli-test-{}-{}.pl", std::process::id(), src.len()));
     let mut f = std::fs::File::create(&path).unwrap();
     f.write_all(src.as_bytes()).unwrap();
     path
@@ -37,10 +33,7 @@ fn analyze_proved_exits_zero() {
 #[test]
 fn analyze_unproved_exits_two() {
     let path = temp_program("p(X) :- p(X).\n");
-    let out = argus()
-        .args(["analyze", path.to_str().unwrap(), "p/1", "b"])
-        .output()
-        .unwrap();
+    let out = argus().args(["analyze", path.to_str().unwrap(), "p/1", "b"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
 
@@ -48,10 +41,8 @@ fn analyze_unproved_exits_two() {
 fn analyze_with_list_length_norm() {
     // Provable only under the list-length norm.
     let path = temp_program("p([]).\np([X]).\np([X, Y|Xs]) :- p([f(X, Y)|Xs]).\n");
-    let structural = argus()
-        .args(["analyze", path.to_str().unwrap(), "p/1", "b"])
-        .output()
-        .unwrap();
+    let structural =
+        argus().args(["analyze", path.to_str().unwrap(), "p/1", "b"]).output().unwrap();
     assert_eq!(structural.status.code(), Some(2));
     let spine = argus()
         .args(["analyze", path.to_str().unwrap(), "p/1", "b", "--norm", "list-length"])
@@ -63,10 +54,8 @@ fn analyze_with_list_length_norm() {
 #[test]
 fn run_executes_queries() {
     let path = temp_program(APPEND);
-    let out = argus()
-        .args(["run", path.to_str().unwrap(), "append(X, Y, [a, b])"])
-        .output()
-        .unwrap();
+    let out =
+        argus().args(["run", path.to_str().unwrap(), "append(X, Y, [a, b])"]).output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{stdout}");
     assert!(stdout.contains("3 answer(s)"), "{stdout}");
@@ -75,10 +64,8 @@ fn run_executes_queries() {
 #[test]
 fn compare_lists_all_methods() {
     let path = temp_program(APPEND);
-    let out = argus()
-        .args(["compare", path.to_str().unwrap(), "append/3", "bff"])
-        .output()
-        .unwrap();
+    let out =
+        argus().args(["compare", path.to_str().unwrap(), "append/3", "bff"]).output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Sohn-Van Gelder"), "{stdout}");
     assert!(stdout.contains("Naish"), "{stdout}");

@@ -21,10 +21,7 @@ fn analyzer_matches_corpus_pins() {
             ));
         }
         if proved && !entry.terminates {
-            panic!(
-                "SOUNDNESS VIOLATION on {}: proved a nonterminating mode\n{report}",
-                entry.name
-            );
+            panic!("SOUNDNESS VIOLATION on {}: proved a nonterminating mode\n{report}", entry.name);
         }
     }
     assert!(failures.is_empty(), "{}", failures.join("\n---\n"));
@@ -71,8 +68,7 @@ fn nonterminating_controls_exhaust_budget() {
     for name in ["loop_direct", "loop_mutual", "transitive_closure"] {
         let entry = argus::corpus::find(name).unwrap();
         let program = entry.program().unwrap();
-        let goals =
-            argus::logic::parser::parse_query(entry.sample_queries[0]).unwrap();
+        let goals = argus::logic::parser::parse_query(entry.sample_queries[0]).unwrap();
         let out = solve(
             &program,
             &goals,
@@ -96,11 +92,8 @@ fn capture_rule_contrast() {
     assert!(saturate(&program, &BottomUpOptions::default()).converged());
     // Top-down: diverges.
     let goals = argus::logic::parser::parse_query("tc(a, Y)").unwrap();
-    let out = solve(
-        &program,
-        &goals,
-        &InterpOptions { max_steps: 20_000, ..InterpOptions::default() },
-    );
+    let out =
+        solve(&program, &goals, &InterpOptions { max_steps: 20_000, ..InterpOptions::default() });
     assert!(!out.terminated());
 
     // nat: top-down with bound argument terminates, bottom-up diverges.
@@ -108,10 +101,7 @@ fn capture_rule_contrast() {
     let goals = argus::logic::parser::parse_query("nat(s(s(z)))").unwrap();
     assert!(solve(&nat, &goals, &InterpOptions::default()).terminated());
     use argus::interp::bottomup::Saturation;
-    let sat = saturate(
-        &nat,
-        &BottomUpOptions { max_facts: 500, max_iterations: 10_000 },
-    );
+    let sat = saturate(&nat, &BottomUpOptions { max_facts: 500, max_iterations: 10_000 });
     assert!(matches!(sat, Saturation::Diverged { .. }));
 }
 

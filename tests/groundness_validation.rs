@@ -27,10 +27,8 @@ fn groundness_claims_hold_at_runtime() {
             }
             // The sample must exercise the declared mode: bound positions
             // ground in the query itself.
-            let bound_ok = adornment
-                .bound_positions()
-                .iter()
-                .all(|&i| goals[0].atom.args[i].is_ground());
+            let bound_ok =
+                adornment.bound_positions().iter().all(|&i| goals[0].atom.args[i].is_ground());
             if !bound_ok {
                 continue;
             }
@@ -62,10 +60,9 @@ fn groundness_claims_hold_at_runtime() {
 fn resolve_with(t: &Term, sol: &std::collections::BTreeMap<String, Term>) -> Term {
     match t {
         Term::Var(v) => sol.get(&**v).cloned().unwrap_or_else(|| t.clone()),
-        Term::App(f, args) => Term::App(
-            f.clone(),
-            args.iter().map(|a| resolve_with(a, sol)).collect(),
-        ),
+        Term::App(f, args) => {
+            Term::App(f.clone(), args.iter().map(|a| resolve_with(a, sol)).collect())
+        }
     }
 }
 
@@ -73,15 +70,11 @@ fn resolve_with(t: &Term, sol: &std::collections::BTreeMap<String, Term>) -> Ter
 /// claimed ground — and at runtime it is indeed non-ground.
 #[test]
 fn wildcard_claim_matches_runtime() {
-    let program =
-        argus::logic::parser::parse_program("q(_, b).\ntop(X) :- q(X, Y).").unwrap();
+    let program = argus::logic::parser::parse_program("q(_, b).\ntop(X) :- q(X, Y).").unwrap();
     let query = PredKey::new("q", 2);
     let adornment = Adornment::parse("ff").unwrap();
-    let groundness = analyze_groundness(
-        &program,
-        &PredKey::new("top", 1),
-        Adornment::parse("f").unwrap(),
-    );
+    let groundness =
+        analyze_groundness(&program, &PredKey::new("top", 1), Adornment::parse("f").unwrap());
     let claimed = groundness.success_ground(&query, &adornment);
     assert!(!claimed.contains(&0), "arg1 of q(_, b) must not be claimed: {claimed:?}");
     assert!(claimed.contains(&1), "arg2 is the ground constant b");

@@ -1,0 +1,112 @@
+//! End-to-end tests of `argus lint`, including a golden-file test of the
+//! stable `--json` output.
+//!
+//! When a deliberate change to the lint passes or the demo program shifts
+//! the JSON, regenerate the golden file with:
+//!
+//! ```text
+//! cargo run --bin argus -- lint examples/lint_demo.pl \
+//!     --query main/1 --mode b --json > tests/golden/lint_demo.json
+//! ```
+
+use std::io::Write;
+use std::process::Command;
+
+fn argus() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_argus"))
+}
+
+fn temp_program(tag: &str, src: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("argus-lint-test-{}-{tag}.pl", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(src.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn lint_demo_json_matches_golden_file() {
+    let out = argus()
+        .args(["lint", "examples/lint_demo.pl", "--query", "main/1", "--mode", "b", "--json"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let golden = include_str!("golden/lint_demo.json");
+    assert_eq!(stdout, golden, "JSON drifted from tests/golden/lint_demo.json");
+    // The demo contains L002 errors, so the exit code is 1.
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn lint_demo_exercises_every_code() {
+    let golden = include_str!("golden/lint_demo.json");
+    for code in ["L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010"] {
+        assert!(golden.contains(&format!("\"code\":\"{code}\"")), "{code} missing from demo");
+    }
+}
+
+#[test]
+fn lint_text_output_has_carets_and_locations() {
+    let out = argus()
+        .args(["lint", "examples/lint_demo.pl", "--query", "main/1", "--mode", "b"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--> examples/lint_demo.pl:8:5"), "{stdout}");
+    assert!(stdout.contains("^^^^^^^^^^^^^"), "{stdout}");
+    assert!(stdout.contains("did you mean `length`?"), "{stdout}");
+}
+
+#[test]
+fn lint_clean_program_exits_zero() {
+    let path = temp_program(
+        "clean",
+        "edge(a, b).\nedge(b, c).\n\
+         path(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).\n\
+         main(X) :- path(a, X).\n",
+    );
+    let out = argus().args(["lint", path.to_str().unwrap()]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn lint_warnings_exit_two() {
+    // A singleton (L001) and an orphan predicate (L003): warnings, no errors.
+    let path = temp_program("warn", "p(a).\nq(X, Y) :- p(X).\n");
+    let out = argus().args(["lint", path.to_str().unwrap()]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(2), "{stdout}");
+    assert!(stdout.contains("warning[L001]"), "{stdout}");
+}
+
+#[test]
+fn lint_parse_error_is_l000_and_exits_one() {
+    let path = temp_program("syntax", "p(a) q(b).\n");
+    let out = argus().args(["lint", path.to_str().unwrap(), "--json"]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("\"code\":\"L000\""), "{stdout}");
+    assert!(stdout.contains("\"severity\":\"error\""), "{stdout}");
+}
+
+#[test]
+fn lint_query_needs_mode() {
+    let out =
+        argus().args(["lint", "examples/lint_demo.pl", "--query", "main/1"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--mode"), "{err}");
+}
+
+#[test]
+fn analyze_undefined_query_predicate_exits_one_with_l002() {
+    let path = temp_program("undef", "p(a).\np(X) :- p(X).\n");
+    let out = argus().args(["analyze", path.to_str().unwrap(), "q/1", "b"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error[L002]"), "{err}");
+    assert!(err.contains("q/1 is not defined"), "{err}");
+    assert!(err.contains("did you mean `p/1`?"), "{err}");
+}

@@ -9,10 +9,9 @@ use argus::prelude::*;
 /// SLD answers for append agree with native concatenation on random lists.
 #[test]
 fn interpreter_computes_append_correctly() {
-    let program = parse_program(
-        "append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
-    )
-    .unwrap();
+    let program =
+        parse_program("append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).")
+            .unwrap();
     let atoms = ["a", "b", "c", "d", "e"];
     for split in 0..=atoms.len() {
         let (l, r) = atoms.split_at(split);
@@ -44,11 +43,7 @@ fn partition_relation_powers_quicksort() {
     let rels = infer_size_relations(&program, &InferOptions::default());
     let part = PredKey::new("part", 4);
     // part1 = part3 + part4 (element X is dropped from the sizes).
-    assert!(
-        rels.entails_sum_equality(&part, &[2, 3], 0),
-        "{}",
-        rels.render(&part)
-    );
+    assert!(rels.entails_sum_equality(&part, &[2, 3], 0), "{}", rels.render(&part));
 
     let (query, adornment) = entry.query_key();
     let full = analyze(&program, &query, adornment.clone(), &AnalysisOptions::default());
@@ -58,16 +53,9 @@ fn partition_relation_powers_quicksort() {
         &program,
         &query,
         adornment,
-        &AnalysisOptions {
-            restrict_imports_to_binary_orders: true,
-            ..AnalysisOptions::default()
-        },
+        &AnalysisOptions { restrict_imports_to_binary_orders: true, ..AnalysisOptions::default() },
     );
-    assert_ne!(
-        weak.verdict,
-        Verdict::Terminates,
-        "binary orders cannot relate part's three sizes"
-    );
+    assert_ne!(weak.verdict, Verdict::Terminates, "binary orders cannot relate part's three sizes");
 }
 
 /// Appendix C (path-constraint δ) agrees with §6.1 on every corpus entry.
