@@ -13,6 +13,12 @@ if [[ "${1:-}" == "--offline" ]]; then
     CARGO_FLAGS+=(--offline)
 fi
 
+echo "==> fast lane: argus-linear unit tests"
+# The exact-arithmetic substrate underpins every soundness claim; run its
+# (cheap, seconds-long) suite first so number bugs fail the gate before
+# the full build/test cycle spends minutes.
+cargo test -q -p argus-linear "${CARGO_FLAGS[@]}"
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -24,5 +30,12 @@ cargo build --release --workspace "${CARGO_FLAGS[@]}"
 
 echo "==> cargo test"
 cargo test --workspace --release -q "${CARGO_FLAGS[@]}"
+
+echo "==> bench smoke"
+# CI-sized pass over every bench suite: catches workloads that rot (panic,
+# hang, or stop compiling) without paying for full-scale numbers.
+# `--out -` keeps the committed BENCH_argus.json untouched.
+cargo run --release -q -p argus-bench "${CARGO_FLAGS[@]}" \
+    --bin bench_report -- --smoke --out - > /dev/null
 
 echo "==> OK"

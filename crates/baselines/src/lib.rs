@@ -164,7 +164,7 @@ impl TerminationMethod for NaishSubset {
 /// `(constant, Option<variable>)`: `rs(v) = v`, `rs(c) = 0`,
 /// `rs(f(t1…tn)) = 1 + rs(tn)`. This is the measure of \[UVG88\] ("length
 /// of right spine … corresponds to length for lists").
-fn right_spine(t: &Term) -> (i64, Option<std::rc::Rc<str>>) {
+fn right_spine(t: &Term) -> (i64, Option<std::sync::Arc<str>>) {
     match t {
         Term::Var(v) => (0, Some(v.clone())),
         Term::App(_, args) => match args.last() {

@@ -5,81 +5,15 @@
 //! * imported-constraint power: full polyhedral relations vs the
 //!   Appendix B binary-order restriction (cheaper, loses `perm`);
 //! * preprocessing: transformations as lazy fallback vs always-on.
+//!
+//! Plain fixed-iteration harness; pass `--smoke` for CI-sized systems.
 
-use argus_core::{analyze, AnalysisOptions, DeltaMode};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use argus_bench::suites::{ablation_suite, Scale};
+use argus_bench::timing::render_line;
 
-fn corpus_subjects(
-) -> Vec<(&'static str, argus_logic::Program, argus_logic::PredKey, argus_logic::Adornment)> {
-    ["perm", "merge", "expr_parser"]
-        .into_iter()
-        .map(|name| {
-            let e = argus_corpus::find(name).expect("entry");
-            let program = e.program().expect("parse");
-            let (q, a) = e.query_key();
-            (name, program, q, a)
-        })
-        .collect()
-}
-
-fn bench_delta_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/delta-mode");
-    group.sample_size(10);
-    for (name, program, query, adornment) in corpus_subjects() {
-        for (label, mode) in
-            [("paper-6.1", DeltaMode::Paper), ("appendix-c", DeltaMode::PathConstraints)]
-        {
-            let options = AnalysisOptions { delta_mode: mode, ..AnalysisOptions::default() };
-            group.bench_function(format!("{name}/{label}"), |b| {
-                b.iter(|| {
-                    black_box(analyze(black_box(&program), &query, adornment.clone(), &options))
-                })
-            });
-        }
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") { Scale::Smoke } else { Scale::Full };
+    for s in ablation_suite(scale) {
+        println!("{}", render_line(&s));
     }
-    group.finish();
 }
-
-fn bench_import_power(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/imports");
-    group.sample_size(10);
-    for (name, program, query, adornment) in corpus_subjects() {
-        for (label, binary) in [("polyhedral", false), ("binary-orders", true)] {
-            let options = AnalysisOptions {
-                restrict_imports_to_binary_orders: binary,
-                ..AnalysisOptions::default()
-            };
-            group.bench_function(format!("{name}/{label}"), |b| {
-                b.iter(|| {
-                    black_box(analyze(black_box(&program), &query, adornment.clone(), &options))
-                })
-            });
-        }
-    }
-    group.finish();
-}
-
-fn bench_transform_policy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/transform");
-    group.sample_size(10);
-    // appendix_a1 NEEDS the transformations; merge must not pay for them.
-    for name in ["appendix_a1", "merge"] {
-        let e = argus_corpus::find(name).expect("entry");
-        let program = e.program().expect("parse");
-        let (query, adornment) = e.query_key();
-        for (label, phases) in [("no-transform", 0usize), ("lazy-3-phases", 3)] {
-            let options =
-                AnalysisOptions { transform_phases: phases, ..AnalysisOptions::default() };
-            group.bench_function(format!("{name}/{label}"), |b| {
-                b.iter(|| {
-                    black_box(analyze(black_box(&program), &query, adornment.clone(), &options))
-                })
-            });
-        }
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_delta_modes, bench_import_power, bench_transform_policy);
-criterion_main!(benches);

@@ -5,54 +5,14 @@
 //! bench quantifies "adequate": whole-pipeline wall time (adorn → size
 //! relations → dual → feasibility) for each representative program, plus
 //! scaling over the synthetic chained-append family.
+//! Plain fixed-iteration harness; pass `--smoke` for CI-sized systems.
 
-use argus_core::{analyze, AnalysisOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use argus_bench::suites::{analysis_suite, Scale};
+use argus_bench::timing::render_line;
 
-fn bench_corpus(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis/corpus");
-    group.sample_size(10);
-    for name in ["append_bff", "perm", "merge", "expr_parser", "quicksort", "hanoi", "tree_insert"]
-    {
-        let entry = argus_corpus::find(name).expect("corpus entry");
-        let program = entry.program().expect("parse");
-        let (query, adornment) = entry.query_key();
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(analyze(
-                    black_box(&program),
-                    &query,
-                    adornment.clone(),
-                    &AnalysisOptions::default(),
-                ))
-            })
-        });
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") { Scale::Smoke } else { Scale::Full };
+    for s in analysis_suite(scale) {
+        println!("{}", render_line(&s));
     }
-    group.finish();
 }
-
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis/chained-depth");
-    group.sample_size(10);
-    for depth in [1usize, 2, 4, 8] {
-        let src = argus_bench::workload::chained_append_program(depth);
-        let program = argus_logic::parser::parse_program(&src).expect("parse");
-        let query = argus_logic::PredKey::new("p0", 2);
-        let adornment = argus_logic::Adornment::parse("bf").unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
-            b.iter(|| {
-                black_box(analyze(
-                    black_box(&program),
-                    &query,
-                    adornment.clone(),
-                    &AnalysisOptions::default(),
-                ))
-            })
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_corpus, bench_scaling);
-criterion_main!(benches);

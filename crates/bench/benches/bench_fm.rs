@@ -4,41 +4,14 @@
 //! leans on it anyway because termination systems are small. This bench
 //! measures projection cost against (a) the number of variables
 //! eliminated and (b) the row count, on random feasible systems.
+//! Plain fixed-iteration harness; pass `--smoke` for CI-sized systems.
 
-use argus_bench::workload::{random_feasible_system, rng};
-use argus_linear::fm;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::collections::BTreeSet;
-use std::hint::black_box;
+use argus_bench::suites::{fm_suite, Scale};
+use argus_bench::timing::render_line;
 
-fn bench_eliminate_vars(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fm/eliminate-vars");
-    group.sample_size(10);
-    for nvars in [3usize, 5, 7, 9] {
-        let mut r = rng(7);
-        let sys = random_feasible_system(&mut r, nvars, nvars * 2, 3);
-        // Keep only the first variable: eliminate nvars - 1.
-        let keep: BTreeSet<usize> = [0usize].into_iter().collect();
-        group.bench_with_input(BenchmarkId::from_parameter(nvars), &nvars, |b, _| {
-            b.iter(|| black_box(fm::project_onto_capped(black_box(&sys), &keep, 100_000)))
-        });
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") { Scale::Smoke } else { Scale::Full };
+    for s in fm_suite(scale) {
+        println!("{}", render_line(&s));
     }
-    group.finish();
 }
-
-fn bench_eliminate_rows(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fm/rows");
-    group.sample_size(10);
-    for nrows in [4usize, 8, 16, 32] {
-        let mut r = rng(11);
-        let sys = random_feasible_system(&mut r, 4, nrows, 3);
-        let keep: BTreeSet<usize> = [0usize, 1].into_iter().collect();
-        group.bench_with_input(BenchmarkId::from_parameter(nrows), &nrows, |b, _| {
-            b.iter(|| black_box(fm::project_onto_capped(black_box(&sys), &keep, 100_000)))
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_eliminate_vars, bench_eliminate_rows);
-criterion_main!(benches);

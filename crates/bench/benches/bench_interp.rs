@@ -1,14 +1,18 @@
 //! E7e — interpreter engine comparison: the cloning reference interpreter
 //! vs the trail-based machine. The machine's O(1) backtracking shows on
 //! backtracking-heavy workloads (perm enumerates n! answers).
+//! Plain fixed-iteration harness; pass `--smoke` for CI-sized systems.
 
+use argus_bench::timing::{bench_case, render_line};
 use argus_interp::machine::solve_iterative;
 use argus_interp::sld::{solve, InterpOptions};
 use argus_logic::parser::{parse_program, parse_query};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_engines(c: &mut Criterion) {
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 3 } else { 10 };
+
     let perm_src = "perm([], []).\n\
                     perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).\n\
                     append([], Ys, Ys).\n\
@@ -16,41 +20,39 @@ fn bench_engines(c: &mut Criterion) {
     let program = parse_program(perm_src).unwrap();
     let opts = InterpOptions { max_steps: 10_000_000, ..InterpOptions::default() };
 
-    let mut group = c.benchmark_group("interp/perm-enumerate");
-    group.sample_size(10);
-    for n in [3usize, 4, 5] {
+    let sizes: &[usize] = if smoke { &[3, 4] } else { &[3, 4, 5] };
+    for &n in sizes {
         let atoms: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
         let q = format!("perm([{}], Q)", atoms.join(", "));
         let goals = parse_query(&q).unwrap();
-        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
-            b.iter(|| black_box(solve(&program, &goals, &opts)))
+        let s = bench_case("interp", &format!("perm-enumerate/reference/{n}"), 1, iters, || {
+            black_box(solve(&program, &goals, &opts))
         });
-        group.bench_with_input(BenchmarkId::new("trail-machine", n), &n, |b, _| {
-            b.iter(|| black_box(solve_iterative(&program, &goals, &opts)))
-        });
+        println!("{}", render_line(&s));
+        let s =
+            bench_case("interp", &format!("perm-enumerate/trail-machine/{n}"), 1, iters, || {
+                black_box(solve_iterative(&program, &goals, &opts))
+            });
+        println!("{}", render_line(&s));
     }
-    group.finish();
 
     // Deterministic deep descent (little backtracking): costs should be
     // closer, dominated by unification itself.
     let nrev_src = "app([], Ys, Ys).\napp([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).\n\
                     nrev([], []).\nnrev([X|Xs], R) :- nrev(Xs, R1), app(R1, [X], R).";
     let program = parse_program(nrev_src).unwrap();
-    let mut group = c.benchmark_group("interp/nrev");
-    group.sample_size(10);
-    for n in [8usize, 16, 24] {
+    let sizes: &[usize] = if smoke { &[8, 16] } else { &[8, 16, 24] };
+    for &n in sizes {
         let atoms: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
         let q = format!("nrev([{}], R)", atoms.join(", "));
         let goals = parse_query(&q).unwrap();
-        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
-            b.iter(|| black_box(solve(&program, &goals, &opts)))
+        let s = bench_case("interp", &format!("nrev/reference/{n}"), 1, iters, || {
+            black_box(solve(&program, &goals, &opts))
         });
-        group.bench_with_input(BenchmarkId::new("trail-machine", n), &n, |b, _| {
-            b.iter(|| black_box(solve_iterative(&program, &goals, &opts)))
+        println!("{}", render_line(&s));
+        let s = bench_case("interp", &format!("nrev/trail-machine/{n}"), 1, iters, || {
+            black_box(solve_iterative(&program, &goals, &opts))
         });
+        println!("{}", render_line(&s));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E7f — the level-scheduled parallel SCC pipeline.
+//!
+//! Analyzes one wide multi-SCC program (many independent SCCs per
+//! topological level — the workload the scheduler exists for) and one deep
+//! chain (one SCC per level — worst case, measures scheduler overhead) at
+//! `--jobs 1` vs one worker per core. Results are byte-identical by
+//! construction; only the wall clock should move.
+//! Plain fixed-iteration harness; pass `--smoke` for CI-sized systems.
+
+use argus_bench::suites::{parallel_suite, Scale};
+use argus_bench::timing::render_line;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") { Scale::Smoke } else { Scale::Full };
+    for s in parallel_suite(scale) {
+        println!("{}", render_line(&s));
+    }
+}

@@ -4,45 +4,14 @@
 //! constraints represent a feasibility problem in linear programming";
 //! "in practice Fourier-Motzkin elimination is simple and adequate").
 //! This bench locates the crossover on random systems of growing size.
+//! Plain fixed-iteration harness; pass `--smoke` for CI-sized systems.
 
-use argus_bench::workload::{random_feasible_system, random_system, rng};
-use argus_linear::{fm, simplex, ConstraintSystem};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::collections::BTreeSet;
-use std::hint::black_box;
+use argus_bench::suites::{simplex_suite, Scale};
+use argus_bench::timing::render_line;
 
-/// FM satisfiability with a generous row cap: on dense random systems FM's
-/// intermediate row count grows doubly exponentially, so past ~6 variables
-/// a cap is needed to keep the bench finite at all — which is itself the
-/// measured result (simplex keeps scaling where FM falls off a cliff).
-fn fm_satisfiable_capped(sys: &ConstraintSystem) -> Option<bool> {
-    match fm::project_onto_capped(sys, &BTreeSet::new(), 50_000)? {
-        fm::FmResult::Projected(rest) => Some(rest.simplify_trivial().is_some()),
-        fm::FmResult::Infeasible => Some(false),
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") { Scale::Smoke } else { Scale::Full };
+    for s in simplex_suite(scale) {
+        println!("{}", render_line(&s));
     }
 }
-
-fn bench_feasibility(c: &mut Criterion) {
-    for (label, feasible) in [("feasible", true), ("mixed", false)] {
-        let mut group = c.benchmark_group(format!("feasibility/{label}"));
-        group.sample_size(10);
-        for nvars in [3usize, 4, 5, 6] {
-            let mut r = rng(13 + nvars as u64);
-            let sys = if feasible {
-                random_feasible_system(&mut r, nvars, nvars * 2, 3)
-            } else {
-                random_system(&mut r, nvars, nvars * 2, 3)
-            };
-            group.bench_with_input(BenchmarkId::new("simplex", nvars), &nvars, |b, _| {
-                b.iter(|| black_box(simplex::feasible_point(black_box(&sys), &BTreeSet::new())))
-            });
-            group.bench_with_input(BenchmarkId::new("fm", nvars), &nvars, |b, _| {
-                b.iter(|| black_box(fm_satisfiable_capped(black_box(&sys))))
-            });
-        }
-        group.finish();
-    }
-}
-
-criterion_group!(benches, bench_feasibility);
-criterion_main!(benches);

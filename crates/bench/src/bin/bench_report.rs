@@ -1,0 +1,127 @@
+//! `bench_report` — run the bench workloads at a fixed iteration count and
+//! emit a machine-readable `BENCH_argus.json`, so the performance
+//! trajectory of the repo is tracked from commit to commit.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_report [--smoke] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! * `--smoke` — CI-sized workloads (seconds, not minutes).
+//! * `--out PATH` — where to write the report (default `BENCH_argus.json`
+//!   in the current directory; `-` for stdout only).
+//! * `--baseline PATH` — a previous `BENCH_argus.json`; matching case ids
+//!   get `baseline_ns_per_iter` and `speedup` fields embedded so the
+//!   committed report carries its own before/after comparison.
+
+use argus_bench::json::{json_f64, json_str, scan_num_field, scan_str_field};
+use argus_bench::suites::{self, Scale};
+use argus_bench::timing::{render_line, Sample};
+use std::collections::BTreeMap;
+
+fn parse_args() -> Result<(Scale, String, Option<String>), String> {
+    let mut scale = Scale::Full;
+    let mut out = "BENCH_argus.json".to_string();
+    let mut baseline = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--out" => out = args.next().ok_or("--out needs a path")?,
+            "--baseline" => baseline = Some(args.next().ok_or("--baseline needs a path")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok((scale, out, baseline))
+}
+
+/// Read `id → ns_per_iter` back from a previous report. Only understands
+/// the one-sample-per-line format this binary emits.
+fn read_baseline(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        if let (Some(id), Some(ns)) =
+            (scan_str_field(line, "id"), scan_num_field(line, "ns_per_iter"))
+        {
+            map.insert(id, ns);
+        }
+    }
+    if map.is_empty() {
+        return Err(format!("no samples found in baseline {path}"));
+    }
+    Ok(map)
+}
+
+fn render_report(mode: Scale, samples: &[Sample], baseline: &BTreeMap<String, f64>) -> String {
+    let mut lines = Vec::new();
+    for s in samples {
+        let mut obj = format!(
+            "    {{\"id\": {}, \"iters\": {}, \"ns_per_iter\": {}",
+            json_str(&s.id()),
+            s.iters,
+            json_f64(s.ns_per_iter)
+        );
+        if let Some(base) = baseline.get(&s.id()) {
+            obj.push_str(&format!(
+                ", \"baseline_ns_per_iter\": {}, \"speedup\": {}",
+                json_f64(*base),
+                json_f64_ratio(*base, s.ns_per_iter)
+            ));
+        }
+        obj.push('}');
+        lines.push(obj);
+    }
+    format!(
+        "{{\n  \"schema\": \"argus-bench-report/v1\",\n  \"mode\": {},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        json_str(if mode == Scale::Smoke { "smoke" } else { "full" }),
+        lines.join(",\n")
+    )
+}
+
+fn json_f64_ratio(base: f64, now: f64) -> String {
+    if now > 0.0 && base.is_finite() {
+        format!("{:.2}", base / now)
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let (scale, out, baseline_path) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_report: {e}");
+            std::process::exit(1);
+        }
+    };
+    let baseline = match baseline_path.as_deref().map(read_baseline).transpose() {
+        Ok(b) => b.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("bench_report: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut samples = Vec::new();
+    for (name, f) in suites::all_suites() {
+        eprintln!("== suite: {name}");
+        let suite = f(scale);
+        for s in &suite {
+            eprintln!("{}", render_line(s));
+        }
+        samples.extend(suite);
+    }
+
+    let report = render_report(scale, &samples, &baseline);
+    if out == "-" {
+        println!("{report}");
+    } else {
+        if let Err(e) = std::fs::write(&out, &report) {
+            eprintln!("bench_report: write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {out} ({} samples)", samples.len());
+    }
+}

@@ -4,11 +4,11 @@
 //! human-readable markdown table (mirroring the rows EXPERIMENTS.md
 //! records) and, with `--json`, as machine-readable JSON for archival.
 
-use serde::Serialize;
+use crate::json::{json_array, json_str};
 use std::fmt::Write as _;
 
 /// A single experiment's output: a table plus free-form notes.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentLog {
     /// Experiment id (e.g. "E1").
     pub id: String,
@@ -60,10 +60,26 @@ impl ExperimentLog {
         out
     }
 
+    /// Render as JSON (hand-rolled; the container has no serialization
+    /// dependency).
+    pub fn to_json(&self) -> String {
+        let strs = |xs: &[String]| json_array(&xs.iter().map(|s| json_str(s)).collect::<Vec<_>>());
+        let rows = json_array(&self.rows.iter().map(|r| strs(r)).collect::<Vec<_>>());
+        format!(
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"paper_ref\": {},\n  \"columns\": {},\n  \"rows\": {},\n  \"notes\": {}\n}}",
+            json_str(&self.id),
+            json_str(&self.title),
+            json_str(&self.paper_ref),
+            strs(&self.columns),
+            rows,
+            strs(&self.notes),
+        )
+    }
+
     /// Print to stdout; honours a `--json` CLI flag.
     pub fn emit(&self) {
         if std::env::args().any(|a| a == "--json") {
-            println!("{}", serde_json::to_string_pretty(self).expect("serialize"));
+            println!("{}", self.to_json());
         } else {
             println!("{}", self.render());
         }
@@ -122,8 +138,9 @@ mod tests {
         let s = log.render();
         assert!(s.contains("## E0 — demo"));
         assert!(s.contains("> observation"));
-        let json = serde_json::to_string(&log).unwrap();
-        assert!(json.contains("\"id\":\"E0\""));
+        let json = log.to_json();
+        assert!(json.contains("\"id\": \"E0\""), "{json}");
+        assert!(json.contains("\"rows\": [[\"x\", \"y\"]]"), "{json}");
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! # argus-bench — experiment harness
 //!
 //! The binaries (`src/bin/exp_*.rs`) regenerate every experiment recorded
-//! in `EXPERIMENTS.md`; the Criterion benches (`benches/`) measure analysis
-//! cost (experiment E7). This library holds shared harness utilities:
-//! workload generation and report formatting.
+//! in `EXPERIMENTS.md`; the plain timing benches (`benches/`) measure
+//! analysis cost (experiment E7), and `bench_report` snapshots the same
+//! workloads into `BENCH_argus.json`. This library holds shared harness
+//! utilities: workload generation, fixed-iteration timing, and report
+//! formatting.
 
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod json;
+pub mod suites;
+pub mod timing;
 pub mod workload;
 
 pub use harness::{markdown_table, ExperimentLog};

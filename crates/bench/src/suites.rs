@@ -1,0 +1,296 @@
+//! The bench workloads as plain functions.
+//!
+//! Each suite mirrors one of the `benches/bench_*.rs` entry points; both
+//! those binaries and `bench_report` call into here so the measured
+//! workload cannot drift between `cargo bench` and the committed
+//! `BENCH_argus.json`.
+
+use crate::timing::{bench_case, Sample};
+use crate::workload;
+use argus_core::{analyze, AnalysisOptions, DeltaMode};
+use argus_linear::{fm, simplex, ConstraintSystem};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+/// Workload scale: `Smoke` keeps every case in the few-millisecond range
+/// so CI can afford to run the whole report; `Full` matches the historical
+/// criterion sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized: small systems, few iterations.
+    Smoke,
+    /// Full benchmark sizes.
+    Full,
+}
+
+impl Scale {
+    fn iters(self) -> u32 {
+        match self {
+            Scale::Smoke => 3,
+            Scale::Full => 10,
+        }
+    }
+}
+
+/// FM satisfiability with a generous row cap: on dense random systems FM's
+/// intermediate row count grows doubly exponentially, so past ~6 variables
+/// a cap is needed to keep the bench finite at all — which is itself the
+/// measured result (simplex keeps scaling where FM falls off a cliff).
+fn fm_satisfiable_capped(sys: &ConstraintSystem) -> Option<bool> {
+    match fm::project_onto_capped(sys, &BTreeSet::new(), 50_000)? {
+        fm::FmResult::Projected(rest) => Some(rest.simplify_trivial().is_some()),
+        fm::FmResult::Infeasible => Some(false),
+    }
+}
+
+/// E7c — simplex vs FM feasibility on random systems of growing size.
+pub fn simplex_suite(scale: Scale) -> Vec<Sample> {
+    let mut out = Vec::new();
+    let nvars_list: &[usize] = match scale {
+        Scale::Smoke => &[3, 4, 5],
+        Scale::Full => &[3, 4, 5, 6],
+    };
+    for (label, feasible) in [("feasible", true), ("mixed", false)] {
+        for &nvars in nvars_list {
+            let mut r = workload::rng(13 + nvars as u64);
+            let sys = if feasible {
+                workload::random_feasible_system(&mut r, nvars, nvars * 2, 3)
+            } else {
+                workload::random_system(&mut r, nvars, nvars * 2, 3)
+            };
+            out.push(bench_case(
+                "simplex",
+                &format!("{label}/simplex/{nvars}"),
+                1,
+                scale.iters(),
+                || black_box(simplex::feasible_point(black_box(&sys), &BTreeSet::new())),
+            ));
+            out.push(bench_case(
+                "simplex",
+                &format!("{label}/fm/{nvars}"),
+                1,
+                scale.iters(),
+                || black_box(fm_satisfiable_capped(black_box(&sys))),
+            ));
+        }
+    }
+    out
+}
+
+/// E7b — Fourier–Motzkin projection cost against variables eliminated and
+/// row count.
+pub fn fm_suite(scale: Scale) -> Vec<Sample> {
+    let mut out = Vec::new();
+    let nvars_list: &[usize] = match scale {
+        Scale::Smoke => &[3, 5, 7],
+        Scale::Full => &[3, 5, 7, 9],
+    };
+    for &nvars in nvars_list {
+        let mut r = workload::rng(7);
+        let sys = workload::random_feasible_system(&mut r, nvars, nvars * 2, 3);
+        let keep: BTreeSet<usize> = [0usize].into_iter().collect();
+        out.push(bench_case("fm", &format!("eliminate-vars/{nvars}"), 1, scale.iters(), || {
+            black_box(fm::project_onto_capped(black_box(&sys), &keep, 100_000))
+        }));
+    }
+    let nrows_list: &[usize] = match scale {
+        Scale::Smoke => &[4, 8, 16],
+        Scale::Full => &[4, 8, 16, 32],
+    };
+    for &nrows in nrows_list {
+        let mut r = workload::rng(11);
+        let sys = workload::random_feasible_system(&mut r, 4, nrows, 3);
+        let keep: BTreeSet<usize> = [0usize, 1].into_iter().collect();
+        out.push(bench_case("fm", &format!("rows/{nrows}"), 1, scale.iters(), || {
+            black_box(fm::project_onto_capped(black_box(&sys), &keep, 100_000))
+        }));
+    }
+    out
+}
+
+/// E7a — end-to-end analysis cost per corpus program plus the synthetic
+/// chained-append scaling family.
+pub fn analysis_suite(scale: Scale) -> Vec<Sample> {
+    let mut out = Vec::new();
+    let corpus: &[&str] = match scale {
+        Scale::Smoke => &["append_bff", "perm", "merge", "quicksort"],
+        Scale::Full => {
+            &["append_bff", "perm", "merge", "expr_parser", "quicksort", "hanoi", "tree_insert"]
+        }
+    };
+    for name in corpus {
+        let entry = argus_corpus::find(name).expect("corpus entry");
+        let program = entry.program().expect("parse");
+        let (query, adornment) = entry.query_key();
+        out.push(bench_case("analysis", &format!("corpus/{name}"), 1, scale.iters(), || {
+            black_box(analyze(
+                black_box(&program),
+                &query,
+                adornment.clone(),
+                &AnalysisOptions::default(),
+            ))
+        }));
+    }
+    let depths: &[usize] = match scale {
+        Scale::Smoke => &[1, 2, 4],
+        Scale::Full => &[1, 2, 4, 8],
+    };
+    for &depth in depths {
+        let src = workload::chained_append_program(depth);
+        let program = argus_logic::parser::parse_program(&src).expect("parse");
+        let query = argus_logic::PredKey::new("p0", 2);
+        let adornment = argus_logic::Adornment::parse("bf").unwrap();
+        out.push(bench_case(
+            "analysis",
+            &format!("chained-depth/{depth}"),
+            1,
+            scale.iters(),
+            || {
+                black_box(analyze(
+                    black_box(&program),
+                    &query,
+                    adornment.clone(),
+                    &AnalysisOptions::default(),
+                ))
+            },
+        ));
+    }
+    out
+}
+
+/// E7d — ablations: δ selection mode, imported-constraint power, and
+/// transformation policy.
+pub fn ablation_suite(scale: Scale) -> Vec<Sample> {
+    let mut out = Vec::new();
+    let subjects: &[&str] = match scale {
+        Scale::Smoke => &["perm", "merge"],
+        Scale::Full => &["perm", "merge", "expr_parser"],
+    };
+    for name in subjects {
+        let e = argus_corpus::find(name).expect("entry");
+        let program = e.program().expect("parse");
+        let (query, adornment) = e.query_key();
+        for (label, mode) in
+            [("paper-6.1", DeltaMode::Paper), ("appendix-c", DeltaMode::PathConstraints)]
+        {
+            let options = AnalysisOptions { delta_mode: mode, ..AnalysisOptions::default() };
+            out.push(bench_case(
+                "ablation",
+                &format!("delta-mode/{name}/{label}"),
+                1,
+                scale.iters(),
+                || black_box(analyze(black_box(&program), &query, adornment.clone(), &options)),
+            ));
+        }
+        for (label, binary) in [("polyhedral", false), ("binary-orders", true)] {
+            let options = AnalysisOptions {
+                restrict_imports_to_binary_orders: binary,
+                ..AnalysisOptions::default()
+            };
+            out.push(bench_case(
+                "ablation",
+                &format!("imports/{name}/{label}"),
+                1,
+                scale.iters(),
+                || black_box(analyze(black_box(&program), &query, adornment.clone(), &options)),
+            ));
+        }
+    }
+    // appendix_a1 NEEDS the transformations; merge must not pay for them.
+    for name in ["appendix_a1", "merge"] {
+        let e = argus_corpus::find(name).expect("entry");
+        let program = e.program().expect("parse");
+        let (query, adornment) = e.query_key();
+        for (label, phases) in [("no-transform", 0usize), ("lazy-3-phases", 3)] {
+            let options =
+                AnalysisOptions { transform_phases: phases, ..AnalysisOptions::default() };
+            out.push(bench_case(
+                "ablation",
+                &format!("transform/{name}/{label}"),
+                1,
+                scale.iters(),
+                || black_box(analyze(black_box(&program), &query, adornment.clone(), &options)),
+            ));
+        }
+    }
+    out
+}
+
+/// E7f — the level-scheduled parallel pipeline: multi-SCC workloads
+/// analyzed sequentially (`--jobs 1`) vs with the worker pool
+/// (`--jobs 0` = one per core). The wide program is the pipeline's home
+/// turf (many independent SCCs per level); the deep chain is the
+/// adversarial case (one SCC per level — parallelism can only add
+/// overhead, which must stay negligible).
+pub fn parallel_suite(scale: Scale) -> Vec<Sample> {
+    let mut out = Vec::new();
+    let (layers, width) = match scale {
+        Scale::Smoke => (2, 4),
+        Scale::Full => (3, 8),
+    };
+    let mut src = workload::wide_scc_program(layers, width);
+    // A root rule calling every column, so the whole width is reachable
+    // from one query.
+    let calls: Vec<String> = (0..width).map(|w| format!("q0_{w}(Xs, _Y{w})")).collect();
+    src.push_str(&format!("root(Xs) :- {}.\n", calls.join(", ")));
+    let program = argus_logic::parser::parse_program(&src).expect("parse");
+    let query = argus_logic::PredKey::new("root", 1);
+    let adornment = argus_logic::Adornment::parse("b").unwrap();
+    for (label, jobs) in [("jobs-1", 1usize), ("jobs-auto", 0)] {
+        let options = AnalysisOptions { parallelism: jobs, ..AnalysisOptions::default() };
+        out.push(bench_case(
+            "parallel",
+            &format!("wide-scc/{layers}x{width}/{label}"),
+            1,
+            scale.iters(),
+            || black_box(analyze(black_box(&program), &query, adornment.clone(), &options)),
+        ));
+    }
+    let depth = match scale {
+        Scale::Smoke => 4,
+        Scale::Full => 8,
+    };
+    let src = workload::chained_append_program(depth);
+    let program = argus_logic::parser::parse_program(&src).expect("parse");
+    let query = argus_logic::PredKey::new("p0", 2);
+    let adornment = argus_logic::Adornment::parse("bf").unwrap();
+    for (label, jobs) in [("jobs-1", 1usize), ("jobs-auto", 0)] {
+        let options = AnalysisOptions { parallelism: jobs, ..AnalysisOptions::default() };
+        out.push(bench_case(
+            "parallel",
+            &format!("deep-chain/{depth}/{label}"),
+            1,
+            scale.iters(),
+            || black_box(analyze(black_box(&program), &query, adornment.clone(), &options)),
+        ));
+    }
+    out
+}
+
+/// A suite entry point: workloads at a given scale, as samples.
+pub type SuiteFn = fn(Scale) -> Vec<Sample>;
+
+/// Every suite, by name, in report order. `bench_report` iterates this so
+/// the committed `BENCH_argus.json` always covers the full set.
+pub fn all_suites() -> Vec<(&'static str, SuiteFn)> {
+    vec![
+        ("simplex", simplex_suite),
+        ("fm", fm_suite),
+        ("analysis", analysis_suite),
+        ("ablation", ablation_suite),
+        ("parallel", parallel_suite),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suites_produce_samples() {
+        assert!(!simplex_suite(Scale::Smoke).is_empty());
+        assert!(!fm_suite(Scale::Smoke).is_empty());
+        // The analysis/ablation suites are exercised end-to-end by
+        // `bench_report --smoke` in CI; here just check the cheap ones.
+    }
+}

@@ -1,0 +1,97 @@
+//! Fixed-iteration micro-bench timing.
+//!
+//! Replaces the statistical harness with something predictable enough for
+//! CI smoke runs: each case runs a fixed warmup then a fixed number of
+//! timed iterations, and reports mean wall time per iteration. No outlier
+//! rejection — the numbers in `BENCH_argus.json` are snapshots, and the
+//! ≥2× deltas this repo tracks dwarf scheduler noise.
+
+use std::time::Instant;
+
+/// One timed case.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Suite this case belongs to (e.g. "simplex").
+    pub suite: String,
+    /// Case name within the suite (e.g. "feasible/simplex/4").
+    pub name: String,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+impl Sample {
+    /// Fully-qualified case id, used to match baseline entries.
+    pub fn id(&self) -> String {
+        format!("{}/{}", self.suite, self.name)
+    }
+}
+
+/// Time `f` for `iters` iterations (after `warmup` untimed ones) and
+/// record it under `suite`/`name`. The closure's result is returned from
+/// the last iteration so the compiler cannot discard the work.
+pub fn bench_case<R>(
+    suite: &str,
+    name: &str,
+    warmup: u32,
+    iters: u32,
+    mut f: impl FnMut() -> R,
+) -> Sample {
+    assert!(iters > 0);
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed();
+    Sample {
+        suite: suite.to_string(),
+        name: name.to_string(),
+        iters,
+        ns_per_iter: total.as_nanos() as f64 / iters as f64,
+    }
+}
+
+/// Render a human-readable line for a sample.
+pub fn render_line(s: &Sample) -> String {
+    let ns = s.ns_per_iter;
+    let human = if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    };
+    format!("{:<44} {:>10}  ({} iters)", s.id(), human, s.iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_case_counts_iterations() {
+        let mut n = 0u64;
+        let s = bench_case("t", "count", 2, 5, || {
+            n += 1;
+            n
+        });
+        assert_eq!(n, 7, "warmup + timed iterations");
+        assert_eq!(s.iters, 5);
+        assert!(s.ns_per_iter >= 0.0);
+        assert_eq!(s.id(), "t/count");
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let s = Sample { suite: "a".into(), name: "b".into(), iters: 3, ns_per_iter: 1500.0 };
+        let line = render_line(&s);
+        assert!(line.contains("a/b"), "{line}");
+        assert!(line.contains("1.50 µs"), "{line}");
+    }
+}

@@ -3,23 +3,22 @@
 
 use argus_linear::{Constraint, ConstraintSystem, LinExpr, Rat};
 use argus_logic::term::Term;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use argus_prng::Rng64;
 
 /// A deterministic RNG for reproducible workloads.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng64 {
+    Rng64::new(seed)
 }
 
 /// A random proper list of `len` small integer atoms.
-pub fn random_int_list(r: &mut StdRng, len: usize) -> Term {
-    Term::list((0..len).map(|_| Term::int(r.random_range(0..100))))
+pub fn random_int_list(r: &mut Rng64, len: usize) -> Term {
+    Term::list((0..len).map(|_| Term::int(r.range_i64(0, 99))))
 }
 
 /// A random proper list of lowercase atoms.
-pub fn random_atom_list(r: &mut StdRng, len: usize) -> Term {
+pub fn random_atom_list(r: &mut Rng64, len: usize) -> Term {
     const ATOMS: &[&str] = &["a", "b", "c", "d", "e", "f", "g", "h"];
-    Term::list((0..len).map(|_| Term::atom(ATOMS[r.random_range(0..ATOMS.len())])))
+    Term::list((0..len).map(|_| Term::atom(r.pick(ATOMS))))
 }
 
 /// A unary natural `s^n(z)`.
@@ -28,15 +27,15 @@ pub fn nat(n: usize) -> Term {
 }
 
 /// A random binary tree with `n` internal nodes carrying integer labels.
-pub fn random_tree(r: &mut StdRng, n: usize) -> Term {
+pub fn random_tree(r: &mut Rng64, n: usize) -> Term {
     if n == 0 {
         return Term::atom("leaf");
     }
-    let left = r.random_range(0..n);
+    let left = r.range_usize(0, n - 1);
     let right = n - 1 - left;
     Term::app(
         "node",
-        vec![random_tree(r, left), Term::int(r.random_range(0..100)), random_tree(r, right)],
+        vec![random_tree(r, left), Term::int(r.range_i64(0, 99)), random_tree(r, right)],
     )
 }
 
@@ -60,15 +59,38 @@ pub fn chained_append_program(depth: usize) -> String {
     out
 }
 
+/// A *wide* synthetic program: `layers × width` independent predicates
+/// arranged so that each layer's predicates only call predicates in the
+/// next layer. All SCCs within a layer are mutually independent — the
+/// workload the level-scheduled parallel analysis pipeline is built for.
+pub fn wide_scc_program(layers: usize, width: usize) -> String {
+    let mut out = String::new();
+    out.push_str("app([], Ys, Ys).\napp([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).\n");
+    for l in 0..layers {
+        for w in 0..width {
+            let callee = if l + 1 == layers {
+                "app(Xs, [x], Ys)".to_string()
+            } else {
+                // Fan into the next layer (wrap around its width).
+                format!("q{}_{}(Xs, Ys)", l + 1, w % width)
+            };
+            out.push_str(&format!(
+                "q{l}_{w}([], []).\nq{l}_{w}([X|Xs], [X|Ys]) :- {callee}, q{l}_{w}(Xs, Zs), app(Zs, [], Ys).\n"
+            ));
+        }
+    }
+    out
+}
+
 /// A random dense constraint system over `nvars` variables with `nrows`
 /// rows and coefficients in `[-bound, bound]` — the FM/simplex scaling
 /// workload.
-pub fn random_system(r: &mut StdRng, nvars: usize, nrows: usize, bound: i64) -> ConstraintSystem {
+pub fn random_system(r: &mut Rng64, nvars: usize, nrows: usize, bound: i64) -> ConstraintSystem {
     let mut sys = ConstraintSystem::new();
     for _ in 0..nrows {
-        let mut e = LinExpr::constant(Rat::from_int(r.random_range(-bound..=bound)));
+        let mut e = LinExpr::constant(Rat::from_int(r.range_i64(-bound, bound)));
         for v in 0..nvars {
-            let c = r.random_range(-bound..=bound);
+            let c = r.range_i64(-bound, bound);
             e.add_term(v, Rat::from_int(c));
         }
         sys.push(Constraint { expr: e, rel: argus_linear::Rel::Le });
@@ -80,23 +102,23 @@ pub fn random_system(r: &mut StdRng, nvars: usize, nrows: usize, bound: i64) -> 
 /// by correcting the constant) — useful to benchmark the *feasible* path
 /// of the solvers, whose cost profile differs from infeasible inputs.
 pub fn random_feasible_system(
-    r: &mut StdRng,
+    r: &mut Rng64,
     nvars: usize,
     nrows: usize,
     bound: i64,
 ) -> ConstraintSystem {
-    let point: Vec<i64> = (0..nvars).map(|_| r.random_range(0..=bound)).collect();
+    let point: Vec<i64> = (0..nvars).map(|_| r.range_i64(0, bound)).collect();
     let mut sys = ConstraintSystem::new();
     for _ in 0..nrows {
         let mut e = LinExpr::zero();
         let mut lhs = 0i64;
         for (v, pv) in point.iter().enumerate() {
-            let c = r.random_range(-bound..=bound);
+            let c = r.range_i64(-bound, bound);
             e.add_term(v, Rat::from_int(c));
             lhs += c * pv;
         }
         // lhs + const <= 0  =>  const <= -lhs; pick a slack of up to bound.
-        let slack = r.random_range(0..=bound);
+        let slack = r.range_i64(0, bound);
         e.add_constant(&Rat::from_int(-lhs - slack));
         sys.push(Constraint { expr: e, rel: argus_linear::Rel::Le });
     }
@@ -142,6 +164,14 @@ mod tests {
         let src = chained_append_program(3);
         let p = argus_logic::parser::parse_program(&src).unwrap();
         assert!(p.rules.len() >= 8);
+    }
+
+    #[test]
+    fn wide_program_parses() {
+        let src = wide_scc_program(2, 3);
+        let p = argus_logic::parser::parse_program(&src).unwrap();
+        // 2 app rules + 2 per predicate × 6 predicates.
+        assert_eq!(p.rules.len(), 2 + 2 * 6);
     }
 
     #[test]

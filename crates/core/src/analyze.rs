@@ -76,6 +76,12 @@ pub struct AnalysisOptions {
     /// loses Example 3.1 (`perm`), whose `append` constraint relates three
     /// sizes at once.
     pub restrict_imports_to_binary_orders: bool,
+    /// Worker threads for the level-scheduled SCC pipeline and the
+    /// per-pair projection probes. `0` (the default) means one per
+    /// available core; `1` forces the fully sequential path. The analysis
+    /// result — report text, certificates, JSON — is byte-identical at
+    /// every setting.
+    pub parallelism: usize,
 }
 
 impl Default for AnalysisOptions {
@@ -88,6 +94,7 @@ impl Default for AnalysisOptions {
             norm: argus_logic::Norm::default(),
             lexicographic: false,
             restrict_imports_to_binary_orders: false,
+            parallelism: 0,
         }
     }
 }
@@ -414,46 +421,40 @@ fn analyze_prepared(
         rels = restrict_to_binary_orders(&rels);
     }
 
-    // 4. SCCs bottom-up.
+    // 4. SCCs bottom-up, scheduled by topological level. The size
+    // relations every SCC imports (§6.2) were inferred globally above, so
+    // SCCs on the same level share only immutable inputs and fan out
+    // across the worker pool. Results land in per-SCC slots and are
+    // emitted in the sequential path's exact bottom-up order, so the
+    // report (and everything derived from it) is byte-identical at any
+    // parallelism.
     let graph = DepGraph::build(&program);
+    let mut slots: Vec<Option<SccAnalysis>> = (0..graph.scc_count()).map(|_| None).collect();
+    for level in graph.scc_levels() {
+        // Skip SCCs not reachable from the query (no adornment) and
+        // EDB-only SCCs: they produce no report entry.
+        let jobs: Vec<usize> = level
+            .into_iter()
+            .filter(|&id| {
+                let members = graph.scc(id);
+                let reachable = members.iter().any(|p| modes.get(p).is_some());
+                let has_rules = members.iter().any(|p| !program.procedure(p).is_empty());
+                reachable && has_rules
+            })
+            .collect();
+        let workers = crate::par::effective_workers(options.parallelism, jobs.len());
+        let results = crate::par::par_map_indexed(&jobs, workers, |_, &scc_id| {
+            analyze_one_scc(&graph, &program, scc_id, &modes, &rels, options)
+        });
+        for (id, analysis) in jobs.into_iter().zip(results) {
+            slots[id] = Some(analysis);
+        }
+    }
+
     let mut sccs = Vec::new();
     let mut verdict = Verdict::Terminates;
-
     for scc_id in graph.sccs_bottom_up() {
-        let members: Vec<PredKey> = graph.scc(scc_id);
-        // Skip SCCs not reachable from the query (no adornment) and
-        // EDB-only SCCs.
-        let reachable = members.iter().any(|p| modes.get(p).is_some());
-        let has_rules = members.iter().any(|p| !program.procedure(p).is_empty());
-        if !reachable || !has_rules {
-            continue;
-        }
-        let recursive = members.iter().any(|p| graph.is_recursive(p));
-        if !recursive {
-            sccs.push(SccAnalysis {
-                members,
-                outcome: SccOutcome::NonRecursive,
-                theta_constraints: ConstraintSystem::new(),
-                theta_space: ThetaSpace::new(),
-                pair_count: 0,
-                blame: None,
-            });
-            continue;
-        }
-
-        let mut analysis = analyze_scc(&graph, &program, scc_id, &members, &modes, &rels, options);
-        if !analysis.outcome.is_proved() && options.lexicographic {
-            if let Some(proof) = crate::lexico::prove_scc_lexicographic(
-                &program,
-                &graph,
-                scc_id,
-                &modes,
-                &rels,
-                options.norm,
-            ) {
-                analysis.outcome = SccOutcome::ProvedLexicographic { proof };
-            }
-        }
+        let Some(analysis) = slots[scc_id].take() else { continue };
         match &analysis.outcome {
             SccOutcome::ZeroWeightCycle(_) => verdict = Verdict::ZeroWeightCycle,
             SccOutcome::NoLinearDecrease { .. } if verdict == Verdict::Terminates => {
@@ -465,6 +466,45 @@ fn analyze_prepared(
     }
 
     TerminationReport { program, query: query.clone(), modes, size_relations: rels, sccs, verdict }
+}
+
+/// Analyze one SCC end-to-end: nonrecursive short-circuit, the θ search,
+/// and the optional lexicographic fallback. Reads only shared immutable
+/// inputs, so SCCs on the same topological level can run concurrently.
+fn analyze_one_scc(
+    graph: &DepGraph,
+    program: &Program,
+    scc_id: usize,
+    modes: &ModeMap,
+    rels: &SizeRelations,
+    options: &AnalysisOptions,
+) -> SccAnalysis {
+    let members: Vec<PredKey> = graph.scc(scc_id);
+    let recursive = members.iter().any(|p| graph.is_recursive(p));
+    if !recursive {
+        return SccAnalysis {
+            members,
+            outcome: SccOutcome::NonRecursive,
+            theta_constraints: ConstraintSystem::new(),
+            theta_space: ThetaSpace::new(),
+            pair_count: 0,
+            blame: None,
+        };
+    }
+    let mut analysis = analyze_scc(graph, program, scc_id, &members, modes, rels, options);
+    if !analysis.outcome.is_proved() && options.lexicographic {
+        if let Some(proof) = crate::lexico::prove_scc_lexicographic(
+            program,
+            graph,
+            scc_id,
+            modes,
+            rels,
+            options.norm,
+        ) {
+            analysis.outcome = SccOutcome::ProvedLexicographic { proof };
+        }
+    }
+    analysis
 }
 
 /// Attempt a Farkas refutation of the θ feasibility system (including its
@@ -551,14 +591,27 @@ fn analyze_scc(
                     };
                 }
             };
-            let mut projected = Vec::new();
+            // Build every pair's Eq. (9) system sequentially (the w base
+            // advances pair by pair), then fan the expensive Fourier–
+            // Motzkin projections across the worker pool. The sequential
+            // path stops at the first failed projection, so the results
+            // are truncated at the first `None` — identical `projected`
+            // prefix, identical outcome.
+            let mut systems = Vec::with_capacity(pairs.len());
             let mut w_base: Var = space.len();
-            let mut ok = true;
             for pair in &pairs {
                 let d = assignment.get(&pair.head_pred, &pair.sub_pred);
                 let (sys, w) = eq9_system(pair, &space, w_base, DeltaTerm::Constant(d));
                 w_base += w.len();
-                match project_pair(&sys, &w) {
+                systems.push((sys, w));
+            }
+            let workers = crate::par::effective_workers(options.parallelism, systems.len());
+            let results =
+                crate::par::par_map_indexed(&systems, workers, |_, (sys, w)| project_pair(sys, w));
+            let mut projected = Vec::new();
+            let mut ok = true;
+            for r in results {
+                match r {
                     Some(p) => projected.push(p),
                     None => {
                         ok = false;
@@ -609,14 +662,23 @@ fn analyze_scc(
             let cycle_sys = positive_cycle_constraints(members, &deltas, pi_base);
 
             let base = vec![cycle_sys];
-            let mut pair_systems = Vec::new();
+            // Same build-then-fan-out shape as the §6.1 branch: sequential
+            // w allocation, parallel projections, truncate at first `None`.
+            let mut systems = Vec::with_capacity(pairs.len());
             let mut w_base: Var = pi_base + members.len() * members.len();
-            let mut ok = true;
             for pair in &pairs {
                 let dv = deltas.get(&pair.head_pred, &pair.sub_pred).expect("edge allocated");
                 let (sys, w) = eq9_system(pair, &space, w_base, DeltaTerm::Variable(dv));
                 w_base += w.len();
-                match project_pair(&sys, &w) {
+                systems.push((sys, w));
+            }
+            let workers = crate::par::effective_workers(options.parallelism, systems.len());
+            let results =
+                crate::par::par_map_indexed(&systems, workers, |_, (sys, w)| project_pair(sys, w));
+            let mut pair_systems = Vec::new();
+            let mut ok = true;
+            for r in results {
+                match r {
                     Some(p) => pair_systems.push(p),
                     None => {
                         ok = false;

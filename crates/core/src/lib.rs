@@ -43,6 +43,7 @@ pub mod json;
 pub mod lexico;
 pub mod negweight;
 pub mod pairs;
+pub mod par;
 pub mod theta;
 
 pub use analyze::{

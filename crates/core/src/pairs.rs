@@ -24,7 +24,7 @@ use argus_logic::modes::{Adornment, ModeMap, TEST_BUILTINS};
 use argus_logic::{Norm, PredKey, Rule};
 use argus_sizerel::SizeRelations;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The Eq. (1) data for one rule × recursive-subgoal combination.
 #[derive(Debug, Clone)]
@@ -62,7 +62,7 @@ impl RuleSubgoalSystem {
 /// Helper that assigns α indices to logical variables and slacks.
 struct AlphaSpace {
     next: Var,
-    vars: BTreeMap<Rc<str>, Var>,
+    vars: BTreeMap<Arc<str>, Var>,
     names: Vec<String>,
     norm: Norm,
 }
@@ -72,7 +72,7 @@ impl AlphaSpace {
         AlphaSpace { next: 0, vars: BTreeMap::new(), names: Vec::new(), norm }
     }
 
-    fn logical(&mut self, name: &Rc<str>) -> Var {
+    fn logical(&mut self, name: &Arc<str>) -> Var {
         *self.vars.entry(name.clone()).or_insert_with(|| {
             let v = self.next;
             self.next += 1;

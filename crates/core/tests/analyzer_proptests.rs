@@ -1,4 +1,4 @@
-//! Property tests for the analyzer on generated program families.
+//! Randomized tests for the analyzer on generated program families.
 //!
 //! * Programs built to recurse on a *proper subterm* of a bound argument
 //!   are always provable under the structural norm (subterm descent is the
@@ -6,11 +6,14 @@
 //! * Programs whose recursive call repeats the bound argument unchanged
 //!   are never provable (and the analysis must stay sound under arbitrary
 //!   extra structure).
+//!
+//! Deterministic seeded generation (argus-prng) replaces the former
+//! proptest strategies.
 
 use argus_core::{analyze, AnalysisOptions, Verdict};
 use argus_logic::parser::parse_program;
 use argus_logic::{Adornment, PredKey};
-use proptest::prelude::*;
+use argus_prng::Rng64;
 
 /// Description of one generated recursive rule: a head pattern with a
 /// functor of `arity` args, recursing on argument `rec_pos`.
@@ -21,10 +24,16 @@ struct GenRule {
     rec_pos: usize,
 }
 
-fn rule_strategy() -> impl Strategy<Value = GenRule> {
-    (prop_oneof![Just("f"), Just("g"), Just("h")], 1usize..4).prop_flat_map(|(functor, arity)| {
-        (0..arity).prop_map(move |rec_pos| GenRule { functor, arity, rec_pos })
-    })
+fn gen_rule(r: &mut Rng64) -> GenRule {
+    let functor = *r.pick(&["f", "g", "h"]);
+    let arity = r.range_usize(1, 3);
+    let rec_pos = r.range_usize(0, arity - 1);
+    GenRule { functor, arity, rec_pos }
+}
+
+fn gen_rules(r: &mut Rng64, lo: usize, hi: usize) -> Vec<GenRule> {
+    let n = r.range_usize(lo, hi);
+    (0..n).map(|_| gen_rule(r)).collect()
 }
 
 /// Assemble a single-predicate program from rule descriptors. Every rule
@@ -65,54 +74,55 @@ fn verdict(src: &str) -> Verdict {
     .verdict
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Completeness on the subterm-descent fragment.
-    #[test]
-    fn subterm_descent_always_proved(rules in proptest::collection::vec(rule_strategy(), 1..5)) {
-        let src = descending_program(&rules);
-        prop_assert_eq!(
-            verdict(&src),
-            Verdict::Terminates,
-            "should prove subterm descent:\n{}",
-            src
-        );
+/// Completeness on the subterm-descent fragment.
+#[test]
+fn subterm_descent_always_proved() {
+    let mut r = Rng64::new(0xDE5);
+    for _ in 0..32 {
+        let src = descending_program(&gen_rules(&mut r, 1, 4));
+        assert_eq!(verdict(&src), Verdict::Terminates, "should prove subterm descent:\n{src}");
     }
+}
 
-    /// Soundness on the stationary fragment: same-size recursive calls are
-    /// never proved (they genuinely loop on matching inputs).
-    #[test]
-    fn stationary_recursion_never_proved(rules in proptest::collection::vec(rule_strategy(), 1..5)) {
-        let src = stationary_program(&rules);
-        prop_assert_ne!(
-            verdict(&src),
-            Verdict::Terminates,
-            "must not prove a stationary loop:\n{}",
-            src
-        );
+/// Soundness on the stationary fragment: same-size recursive calls are
+/// never proved (they genuinely loop on matching inputs).
+#[test]
+fn stationary_recursion_never_proved() {
+    let mut r = Rng64::new(0x57A);
+    for _ in 0..32 {
+        let src = stationary_program(&gen_rules(&mut r, 1, 4));
+        assert_ne!(verdict(&src), Verdict::Terminates, "must not prove a stationary loop:\n{src}");
     }
+}
 
-    /// Mixed programs: one stationary rule poisons an otherwise descending
-    /// procedure.
-    #[test]
-    fn one_stationary_rule_blocks_the_proof(
-        good in proptest::collection::vec(rule_strategy(), 1..4),
-        bad in rule_strategy(),
-    ) {
+/// Mixed programs: one stationary rule poisons an otherwise descending
+/// procedure.
+#[test]
+fn one_stationary_rule_blocks_the_proof() {
+    let mut r = Rng64::new(0x315);
+    for _ in 0..32 {
+        let good = gen_rules(&mut r, 1, 3);
+        let bad = gen_rule(&mut r);
         let mut src = descending_program(&good);
         let vars: Vec<String> = (0..bad.arity).map(|i| format!("X{i}")).collect();
         src.push_str(&format!(
             "p({}({})) :- p({}({})).\n",
-            bad.functor, vars.join(", "), bad.functor, vars.join(", ")
+            bad.functor,
+            vars.join(", "),
+            bad.functor,
+            vars.join(", ")
         ));
-        prop_assert_ne!(verdict(&src), Verdict::Terminates, "{}", src);
+        assert_ne!(verdict(&src), Verdict::Terminates, "{src}");
     }
+}
 
-    /// Every proof produced on the generated family passes independent
-    /// certification.
-    #[test]
-    fn generated_proofs_certify(rules in proptest::collection::vec(rule_strategy(), 1..4)) {
+/// Every proof produced on the generated family passes independent
+/// certification.
+#[test]
+fn generated_proofs_certify() {
+    let mut r = Rng64::new(0xCE2);
+    for _ in 0..32 {
+        let rules = gen_rules(&mut r, 1, 3);
         let src = descending_program(&rules);
         let program = parse_program(&src).unwrap();
         let report = analyze(
@@ -121,10 +131,10 @@ proptest! {
             Adornment::parse("b").unwrap(),
             &AnalysisOptions::default(),
         );
-        prop_assert_eq!(report.verdict, Verdict::Terminates);
+        assert_eq!(report.verdict, Verdict::Terminates);
         let checks = argus_core::verify_report(&report, argus_logic::Norm::StructuralSize)
-            .map_err(|e| TestCaseError::fail(format!("certificate rejected: {e}")))?;
-        prop_assert_eq!(checks, rules.len());
+            .unwrap_or_else(|e| panic!("certificate rejected: {e}\n{src}"));
+        assert_eq!(checks, rules.len());
     }
 }
 
@@ -159,26 +169,23 @@ mod mutual {
         out
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        #[test]
-        fn cycles_with_consumption_are_proved(
-            k in 2usize..6,
-            seed in any::<u64>(),
-        ) {
+    #[test]
+    fn cycles_with_consumption_are_proved() {
+        let mut r = Rng64::new(0xC1C);
+        for _ in 0..24 {
+            let k = r.range_usize(2, 5);
+            let seed = r.next_u64();
             // At least one consuming edge, placed pseudo-randomly.
             let mut consuming = vec![false; k];
             consuming[(seed as usize) % k] = true;
-            if k > 2 && seed % 3 == 0 {
+            if k > 2 && seed.is_multiple_of(3) {
                 consuming[(seed as usize / 7) % k] = true;
             }
             let src = cycle_program(k, &consuming);
-            prop_assert_eq!(
+            assert_eq!(
                 verdict_p0(&src),
                 Verdict::Terminates,
-                "cycle with a consuming edge must be proved:\n{}",
-                src
+                "cycle with a consuming edge must be proved:\n{src}"
             );
             // And the proof certifies.
             let program = parse_program(&src).unwrap();
@@ -189,18 +196,20 @@ mod mutual {
                 &AnalysisOptions::default(),
             );
             argus_core::verify_report(&report, argus_logic::Norm::StructuralSize)
-                .map_err(|e| TestCaseError::fail(format!("certificate rejected: {e}")))?;
+                .unwrap_or_else(|e| panic!("certificate rejected: {e}\n{src}"));
         }
+    }
 
-        #[test]
-        fn cycles_without_consumption_are_rejected(k in 2usize..6) {
+    #[test]
+    fn cycles_without_consumption_are_rejected() {
+        for k in 2usize..6 {
             let consuming = vec![false; k];
             let src = cycle_program(k, &consuming);
             let v = verdict_p0(&src);
-            prop_assert_ne!(v, Verdict::Terminates, "{}", src);
+            assert_ne!(v, Verdict::Terminates, "{src}");
             // Pure pass-through cycles are exactly the zero-weight-cycle
             // case of §6.1 step 3.
-            prop_assert_eq!(v, Verdict::ZeroWeightCycle, "{}", src);
+            assert_eq!(v, Verdict::ZeroWeightCycle, "{src}");
         }
     }
 }

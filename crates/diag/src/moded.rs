@@ -25,20 +25,20 @@ use crate::{Diagnostic, LintContext, LintPass, Severity};
 use argus_logic::modes::{infer_modes, is_builtin, Adornment, Mode, ModeMap, TEST_BUILTINS};
 use argus_logic::{Literal, PredKey, Rule};
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The ground-variable set at one program point.
-type GroundSet = BTreeSet<Rc<str>>;
+type GroundSet = BTreeSet<Arc<str>>;
 
 /// What the abstract execution of one literal observed.
 enum Step {
     /// Fine; the literal grounded these variables.
     Ok,
     /// The literal needs these variables ground and they are not.
-    Unbound(Vec<Rc<str>>),
+    Unbound(Vec<Arc<str>>),
 }
 
-fn unbound_vars(vars: impl IntoIterator<Item = Rc<str>>, ground: &GroundSet) -> Vec<Rc<str>> {
+fn unbound_vars(vars: impl IntoIterator<Item = Arc<str>>, ground: &GroundSet) -> Vec<Arc<str>> {
     vars.into_iter().filter(|v| !ground.contains(v)).collect()
 }
 
@@ -100,7 +100,7 @@ fn query_modes(ctx: &LintContext<'_>) -> Option<ModeMap> {
     Some(infer_modes(ctx.program, root, adornment.clone()))
 }
 
-fn fmt_vars(vars: &[Rc<str>]) -> String {
+fn fmt_vars(vars: &[Arc<str>]) -> String {
     let parts: Vec<String> = vars.iter().map(|v| format!("`{v}`")).collect();
     parts.join(", ")
 }

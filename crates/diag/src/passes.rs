@@ -9,7 +9,7 @@ use argus_logic::parser::variable_spans;
 use argus_logic::span::Span;
 use argus_logic::{PredKey, Rule};
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// L001: a named variable occurring exactly once in its clause. Almost
 /// always a typo (the classic `Xs`/`X` slip); intentional one-shot
@@ -220,8 +220,8 @@ impl LintPass for ArityMismatch {
 
     fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
         // Count occurrences (heads + body goals) of each (name, arity).
-        let mut by_name: BTreeMap<Rc<str>, BTreeMap<usize, usize>> = BTreeMap::new();
-        let mut record = |name: &Rc<str>, arity: usize| {
+        let mut by_name: BTreeMap<Arc<str>, BTreeMap<usize, usize>> = BTreeMap::new();
+        let mut record = |name: &Arc<str>, arity: usize| {
             *by_name.entry(name.clone()).or_default().entry(arity).or_insert(0) += 1;
         };
         for rule in &ctx.program.rules {
@@ -284,7 +284,7 @@ impl LintPass for RangeRestriction {
 
     fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
         for rule in &ctx.program.rules {
-            let positive_vars: BTreeSet<Rc<str>> =
+            let positive_vars: BTreeSet<Arc<str>> =
                 rule.body.iter().filter(|l| l.positive).flat_map(|l| l.atom.vars()).collect();
             let loose: Vec<String> = rule
                 .head

@@ -9,7 +9,7 @@
 //!   mutable store and records each binding on a trail; backtracking pops
 //!   the trail instead of copying substitutions (O(undo) instead of
 //!   O(store));
-//! * **persistent goal lists**: continuations are `Rc`-linked cons cells,
+//! * **persistent goal lists**: continuations are `Arc`-linked cons cells,
 //!   so a choice point captures its continuation in O(1);
 //! * **explicit choice-point stack**: no host-stack recursion, so
 //!   derivation depth is bounded by memory and the step budget, not the
@@ -24,20 +24,20 @@ use argus_logic::program::{Literal, Program};
 use argus_logic::term::Term;
 use argus_logic::unify::Subst;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A persistent goal list.
 enum Goals {
     Nil,
-    Cons(Literal, Rc<Goals>),
+    Cons(Literal, Arc<Goals>),
 }
 
 impl Goals {
-    fn cons(lit: Literal, rest: Rc<Goals>) -> Rc<Goals> {
-        Rc::new(Goals::Cons(lit, rest))
+    fn cons(lit: Literal, rest: Arc<Goals>) -> Arc<Goals> {
+        Arc::new(Goals::Cons(lit, rest))
     }
 
-    fn from_slice(goals: &[Literal], tail: Rc<Goals>) -> Rc<Goals> {
+    fn from_slice(goals: &[Literal], tail: Arc<Goals>) -> Arc<Goals> {
         goals.iter().rev().fold(tail, |acc, g| Goals::cons(g.clone(), acc))
     }
 }
@@ -47,7 +47,7 @@ struct Store {
     /// Shared substitution; variables are bound at most once between undo
     /// points (bind only ever targets unbound root variables).
     subst: Subst,
-    trail: Vec<Rc<str>>,
+    trail: Vec<Arc<str>>,
 }
 
 impl Store {
@@ -105,7 +105,7 @@ impl Store {
 /// `rest` after undoing the trail to `mark`.
 struct Choice {
     goal: Literal,
-    rest: Rc<Goals>,
+    rest: Arc<Goals>,
     next_clause: usize,
     mark: usize,
 }
@@ -120,7 +120,7 @@ struct Machine<'p> {
 }
 
 enum Step {
-    Continue(Rc<Goals>),
+    Continue(Arc<Goals>),
     Fail,
     Budget,
 }
@@ -128,7 +128,7 @@ enum Step {
 /// Run `goals` with the trail-based machine. Produces the same [`Outcome`]
 /// as [`crate::sld::solve`], in the same order.
 pub fn solve_iterative(program: &Program, goals: &[Literal], options: &InterpOptions) -> Outcome {
-    let mut query_vars: Vec<Rc<str>> = Vec::new();
+    let mut query_vars: Vec<Arc<str>> = Vec::new();
     {
         let mut seen = std::collections::BTreeSet::new();
         for g in goals {
@@ -149,7 +149,7 @@ pub fn solve_iterative(program: &Program, goals: &[Literal], options: &InterpOpt
     };
     let mut solutions: Vec<BTreeMap<String, Term>> = Vec::new();
 
-    let mut current = Goals::from_slice(goals, Rc::new(Goals::Nil));
+    let mut current = Goals::from_slice(goals, Arc::new(Goals::Nil));
     let budget_hit = 'run: loop {
         match &*current {
             Goals::Nil => {
@@ -201,7 +201,7 @@ impl<'p> Machine<'p> {
     }
 
     /// Resolve one goal. Returns the next goal list, Fail, or Budget.
-    fn step(&mut self, goal: &Literal, rest: &Rc<Goals>) -> Step {
+    fn step(&mut self, goal: &Literal, rest: &Arc<Goals>) -> Step {
         if !goal.positive {
             // Negation as failure via a nested bounded machine on the
             // current instantiation of the atom.
@@ -316,7 +316,7 @@ impl<'p> Machine<'p> {
 
     /// Try clauses for `goal` starting at `from`, installing a choice point
     /// for the remaining alternatives.
-    fn try_clauses(&mut self, goal: &Literal, rest: &Rc<Goals>, from: usize) -> Step {
+    fn try_clauses(&mut self, goal: &Literal, rest: &Arc<Goals>, from: usize) -> Step {
         let key = goal.atom.key();
         let clauses: Vec<_> = self.program.procedure(&key);
         for idx in from..clauses.len() {
@@ -350,7 +350,7 @@ impl<'p> Machine<'p> {
     }
 
     /// Pop to the most recent choice point and resume there.
-    fn backtrack(&mut self) -> Option<Rc<Goals>> {
+    fn backtrack(&mut self) -> Option<Arc<Goals>> {
         loop {
             let choice = self.choices.pop()?;
             self.store.undo_to(choice.mark);
@@ -497,23 +497,32 @@ mod tests {
         // 4000-deep derivation: an order of magnitude beyond the reference
         // engine's goal-depth cap (400). The machine's control is
         // iterative; the remaining depth limit is term *representation*
-        // (resolve/drop recurse over the term tree), not the search.
-        let p = parse_program("count(z).\ncount(s(N)) :- count(N).").unwrap();
-        // Build s^4000(z) iteratively (the recursive-descent parser would
-        // itself overflow on a literal this deep).
-        let nat = (0..4_000).fold(Term::atom("z"), |acc, _| Term::app("s", vec![acc]));
-        let goals = vec![Literal::pos(argus_logic::Atom::new("count", vec![nat]))];
-        let out = solve_iterative(
-            &p,
-            &goals,
-            &InterpOptions {
-                max_steps: 1_000_000,
-                max_depth: 10_000_000,
-                ..InterpOptions::default()
-            },
-        );
-        assert!(out.terminated(), "steps: {}", out.steps());
-        assert_eq!(out.solution_count(), 1);
+        // (resolve/drop recurse over the term tree), not the search. Those
+        // term-tree recursions need more than a debug-build test thread's
+        // default stack, so run on a thread with an explicit one.
+        std::thread::Builder::new()
+            .stack_size(64 * 1024 * 1024)
+            .spawn(|| {
+                let p = parse_program("count(z).\ncount(s(N)) :- count(N).").unwrap();
+                // Build s^4000(z) iteratively (the recursive-descent parser
+                // would itself overflow on a literal this deep).
+                let nat = (0..4_000).fold(Term::atom("z"), |acc, _| Term::app("s", vec![acc]));
+                let goals = vec![Literal::pos(argus_logic::Atom::new("count", vec![nat]))];
+                let out = solve_iterative(
+                    &p,
+                    &goals,
+                    &InterpOptions {
+                        max_steps: 1_000_000,
+                        max_depth: 10_000_000,
+                        ..InterpOptions::default()
+                    },
+                );
+                assert!(out.terminated(), "steps: {}", out.steps());
+                assert_eq!(out.solution_count(), 1);
+            })
+            .unwrap()
+            .join()
+            .unwrap();
     }
 
     #[test]

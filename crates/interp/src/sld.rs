@@ -96,7 +96,7 @@ struct Machine<'p> {
     steps: u64,
     rename_counter: u64,
     solutions: Vec<Subst>,
-    query_vars: Vec<std::rc::Rc<str>>,
+    query_vars: Vec<std::sync::Arc<str>>,
 }
 
 /// Run `goals` against `program`.

@@ -1,13 +1,15 @@
 //! The two SLD engines — the cloning reference interpreter and the
 //! trail-based machine — must agree on every query: same termination
-//! behaviour, same number of solutions, same solution order.
+//! behaviour, same number of solutions, same solution order. The former
+//! proptest strategies are replaced by exhaustive enumeration of the same
+//! (small) input spaces plus seeded random draws.
 
 use argus_interp::machine::solve_iterative;
 use argus_interp::sld::{solve, InterpOptions};
 use argus_logic::parser::{parse_program, parse_query};
 use argus_logic::program::{Atom, Literal};
 use argus_logic::Term;
-use proptest::prelude::*;
+use argus_prng::Rng64;
 
 fn opts() -> InterpOptions {
     InterpOptions { max_steps: 30_000, ..InterpOptions::default() }
@@ -67,54 +69,57 @@ fn list_of(atoms: &[&str]) -> Term {
     Term::list(atoms.iter().map(|a| Term::atom(*a)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// append with random instantiation patterns.
-    #[test]
-    fn append_equivalence(
-        n1 in 0usize..5,
-        n2 in 0usize..5,
-        pattern in 0u8..4,
-    ) {
-        let program = parse_program(
-            "append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
-        ).unwrap();
-        let atoms = ["a", "b", "c", "d", "e"];
-        let l1 = list_of(&atoms[..n1]);
-        let l2 = list_of(&atoms[..n2]);
-        let goal = match pattern {
-            0 => Atom::new("append", vec![l1, l2, Term::var("Z")]),
-            1 => Atom::new("append", vec![Term::var("X"), Term::var("Y"), l1]),
-            2 => Atom::new("append", vec![l1, Term::var("Y"), Term::var("Z")]),
-            _ => Atom::new("append", vec![Term::var("X"), l2, l1]),
-        };
-        agree(&program, &[Literal::pos(goal)]).map_err(TestCaseError::fail)?;
+/// append with every instantiation pattern × list-length combination (the
+/// whole space the old strategy sampled from).
+#[test]
+fn append_equivalence() {
+    let program =
+        parse_program("append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).")
+            .unwrap();
+    let atoms = ["a", "b", "c", "d", "e"];
+    for n1 in 0usize..5 {
+        for n2 in 0usize..5 {
+            for pattern in 0u8..4 {
+                let l1 = list_of(&atoms[..n1]);
+                let l2 = list_of(&atoms[..n2]);
+                let goal = match pattern {
+                    0 => Atom::new("append", vec![l1, l2, Term::var("Z")]),
+                    1 => Atom::new("append", vec![Term::var("X"), Term::var("Y"), l1]),
+                    2 => Atom::new("append", vec![l1, Term::var("Y"), Term::var("Z")]),
+                    _ => Atom::new("append", vec![Term::var("X"), l2, l1]),
+                };
+                agree(&program, &[Literal::pos(goal)])
+                    .unwrap_or_else(|e| panic!("n1={n1} n2={n2} pattern={pattern}: {e}"));
+            }
+        }
     }
+}
 
-    /// Nondeterministic select/member queries (heavy backtracking).
-    #[test]
-    fn select_equivalence(n in 1usize..6) {
-        let program = parse_program(
-            "select(X, [X|Xs], Xs).\nselect(X, [Y|Ys], [Y|Zs]) :- select(X, Ys, Zs).",
-        ).unwrap();
-        let atoms = ["a", "b", "c", "d", "e"];
-        let goal = Atom::new(
-            "select",
-            vec![Term::var("X"), list_of(&atoms[..n]), Term::var("R")],
-        );
-        agree(&program, &[Literal::pos(goal)]).map_err(TestCaseError::fail)?;
+/// Nondeterministic select/member queries (heavy backtracking).
+#[test]
+fn select_equivalence() {
+    let program =
+        parse_program("select(X, [X|Xs], Xs).\nselect(X, [Y|Ys], [Y|Zs]) :- select(X, Ys, Zs).")
+            .unwrap();
+    let atoms = ["a", "b", "c", "d", "e"];
+    for n in 1usize..6 {
+        let goal = Atom::new("select", vec![Term::var("X"), list_of(&atoms[..n]), Term::var("R")]);
+        agree(&program, &[Literal::pos(goal)]).unwrap_or_else(|e| panic!("n={n}: {e}"));
     }
+}
 
-    /// Arithmetic folds.
-    #[test]
-    fn sum_equivalence(values in proptest::collection::vec(0i64..50, 0..6)) {
-        let program = parse_program(
-            "sum([], 0).\nsum([X|Xs], S) :- sum(Xs, S1), S is S1 + X.",
-        ).unwrap();
+/// Arithmetic folds over random small integer lists.
+#[test]
+fn sum_equivalence() {
+    let program =
+        parse_program("sum([], 0).\nsum([X|Xs], S) :- sum(Xs, S1), S is S1 + X.").unwrap();
+    let mut r = Rng64::new(0x5D3);
+    for _ in 0..48 {
+        let len = r.range_usize(0, 5);
+        let values: Vec<i64> = (0..len).map(|_| r.range_i64(0, 49)).collect();
         let list = Term::list(values.iter().map(|v| Term::int(*v)));
         let goal = Atom::new("sum", vec![list, Term::var("S")]);
-        agree(&program, &[Literal::pos(goal)]).map_err(TestCaseError::fail)?;
+        agree(&program, &[Literal::pos(goal)]).unwrap_or_else(|e| panic!("{values:?}: {e}"));
     }
 }
 

@@ -1,13 +1,24 @@
-//! Arbitrary-precision signed integers.
+//! Arbitrary-precision signed integers with an inline small-integer fast
+//! path.
 //!
 //! Fourier–Motzkin elimination and exact simplex pivoting multiply
 //! coefficients pairwise, so intermediate values can overflow any fixed-width
 //! integer even when the input program is tiny. All arithmetic in this crate
 //! is therefore exact and unbounded.
 //!
-//! The representation is sign-magnitude: a [`Sign`] plus a little-endian
-//! `Vec<u64>` of limbs with no trailing zero limbs. Zero is the unique value
-//! with an empty limb vector and `Sign::Zero`.
+//! The representation is two-tier: values that fit an `i64` are stored
+//! inline ([`Repr::Small`], no heap allocation), everything else falls back
+//! to sign-magnitude with a little-endian `Vec<u64>` of limbs and no
+//! trailing zero limbs ([`Repr::Large`]). The overwhelming majority of
+//! coefficients the termination analysis manipulates are tiny (weights of 0
+//! and 1, small δ decrements), so the inline tier makes the hot paths
+//! allocation-free: add/sub/mul/cmp/gcd run on machine words via
+//! `checked_*` ops and promote to limbs only on actual overflow.
+//!
+//! **Canonical-form invariant**: any value that fits an `i64` is *always*
+//! `Small` — every constructor demotes. Equality and hashing therefore stay
+//! derived/structural: two `BigInt`s are numerically equal iff their
+//! representations are identical.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -48,6 +59,18 @@ impl Sign {
     }
 }
 
+/// The two storage tiers. Kept private so every construction site goes
+/// through a canonicalizing constructor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Inline value; used for every integer in `[i64::MIN, i64::MAX]`.
+    Small(i64),
+    /// Sign-magnitude limbs for everything else. Invariants: the sign is
+    /// never `Zero`, there are no trailing zero limbs, and the magnitude
+    /// does **not** fit an `i64` (so `Small` and `Large` never overlap).
+    Large(Sign, Vec<u64>),
+}
+
 /// An arbitrary-precision signed integer.
 ///
 /// # Examples
@@ -60,71 +83,177 @@ impl Sign {
 /// assert_eq!((&b % &a), BigInt::zero());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct BigInt {
-    sign: Sign,
-    /// Little-endian limbs; no trailing zeros; empty iff sign is Zero.
-    limbs: Vec<u64>,
+pub struct BigInt(Repr);
+
+#[cfg(test)]
+thread_local! {
+    /// Unit-test instrumentation: counts calls to [`BigInt::gcd`] so the
+    /// `Rat` shortcut tests can pin "no renormalization happened".
+    pub(crate) static GCD_CALLS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Binary GCD on machine words — the workhorse of `Rat` normalization once
+/// values are inline.
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
 }
 
 impl BigInt {
+    /// Inline constructor (always canonical: every `i64` is `Small`).
+    #[inline]
+    fn small(v: i64) -> BigInt {
+        BigInt(Repr::Small(v))
+    }
+
     /// The integer 0.
+    #[inline]
     pub fn zero() -> BigInt {
-        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+        BigInt::small(0)
     }
 
     /// The integer 1.
+    #[inline]
     pub fn one() -> BigInt {
-        BigInt { sign: Sign::Positive, limbs: vec![1] }
+        BigInt::small(1)
     }
 
     /// The integer -1.
+    #[inline]
     pub fn neg_one() -> BigInt {
-        BigInt { sign: Sign::Negative, limbs: vec![1] }
+        BigInt::small(-1)
     }
 
     /// True iff this is zero.
+    #[inline]
     pub fn is_zero(&self) -> bool {
-        self.sign == Sign::Zero
+        matches!(self.0, Repr::Small(0))
     }
 
     /// True iff this is one.
+    #[inline]
     pub fn is_one(&self) -> bool {
-        self.sign == Sign::Positive && self.limbs == [1]
+        matches!(self.0, Repr::Small(1))
     }
 
     /// True iff strictly negative.
+    #[inline]
     pub fn is_negative(&self) -> bool {
-        self.sign == Sign::Negative
+        match &self.0 {
+            Repr::Small(v) => *v < 0,
+            Repr::Large(s, _) => *s == Sign::Negative,
+        }
     }
 
     /// True iff strictly positive.
+    #[inline]
     pub fn is_positive(&self) -> bool {
-        self.sign == Sign::Positive
+        match &self.0 {
+            Repr::Small(v) => *v > 0,
+            Repr::Large(s, _) => *s == Sign::Positive,
+        }
     }
 
     /// The sign of this integer.
+    #[inline]
     pub fn sign(&self) -> Sign {
-        self.sign
+        match &self.0 {
+            Repr::Small(v) => match v.cmp(&0) {
+                Ordering::Less => Sign::Negative,
+                Ordering::Equal => Sign::Zero,
+                Ordering::Greater => Sign::Positive,
+            },
+            Repr::Large(s, _) => *s,
+        }
+    }
+
+    /// The inline value, if this integer fits an `i64`. By the canonical
+    /// invariant this is `Some` exactly when the value is in range.
+    #[inline]
+    pub fn to_i64(&self) -> Option<i64> {
+        match &self.0 {
+            Repr::Small(v) => Some(*v),
+            Repr::Large(..) => None,
+        }
     }
 
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
-        BigInt {
-            sign: if self.sign == Sign::Zero { Sign::Zero } else { Sign::Positive },
-            limbs: self.limbs.clone(),
+        match &self.0 {
+            Repr::Small(v) => match v.checked_abs() {
+                Some(a) => BigInt::small(a),
+                // |i64::MIN| = 2^63 does not fit an i64.
+                None => BigInt(Repr::Large(Sign::Positive, vec![1u64 << 63])),
+            },
+            Repr::Large(_, limbs) => BigInt(Repr::Large(Sign::Positive, limbs.clone())),
         }
     }
 
-    /// Construct from sign and magnitude, normalizing trailing zeros.
+    /// Construct from sign and magnitude, normalizing trailing zeros and
+    /// demoting to the inline tier when the value fits an `i64`.
     fn from_sign_limbs(sign: Sign, mut limbs: Vec<u64>) -> BigInt {
         while limbs.last() == Some(&0) {
             limbs.pop();
         }
-        if limbs.is_empty() {
-            BigInt::zero()
-        } else {
-            debug_assert_ne!(sign, Sign::Zero);
-            BigInt { sign, limbs }
+        match limbs.len() {
+            0 => BigInt::zero(),
+            1 => {
+                debug_assert_ne!(sign, Sign::Zero);
+                let m = limbs[0];
+                match sign {
+                    Sign::Negative if m <= 1u64 << 63 => {
+                        BigInt::small((m as i128).wrapping_neg() as i64)
+                    }
+                    Sign::Positive if m <= i64::MAX as u64 => BigInt::small(m as i64),
+                    _ => BigInt(Repr::Large(sign, limbs)),
+                }
+            }
+            _ => {
+                debug_assert_ne!(sign, Sign::Zero);
+                BigInt(Repr::Large(sign, limbs))
+            }
+        }
+    }
+
+    /// View as (sign, magnitude limbs), materializing an inline value into
+    /// the caller-provided one-limb buffer. This is how the limb algorithms
+    /// consume mixed small/large operands without allocating.
+    #[inline]
+    fn parts<'a>(&'a self, buf: &'a mut [u64; 1]) -> (Sign, &'a [u64]) {
+        match &self.0 {
+            Repr::Small(0) => (Sign::Zero, &buf[..0]),
+            Repr::Small(v) => {
+                buf[0] = v.unsigned_abs();
+                (if *v > 0 { Sign::Positive } else { Sign::Negative }, &buf[..1])
+            }
+            Repr::Large(s, limbs) => (*s, limbs.as_slice()),
+        }
+    }
+
+    /// Magnitude as a `u64` when it fits in one limb (used to drop into the
+    /// word-sized GCD mid-loop).
+    #[inline]
+    fn mag_u64(&self) -> Option<u64> {
+        match &self.0 {
+            Repr::Small(v) => Some(v.unsigned_abs()),
+            Repr::Large(_, limbs) if limbs.len() == 1 => Some(limbs[0]),
+            Repr::Large(..) => None,
         }
     }
 
@@ -350,18 +479,38 @@ impl BigInt {
     /// `|r| < |other|` and `r` having the sign of `self` (or zero).
     pub fn divmod(&self, other: &BigInt) -> (BigInt, BigInt) {
         assert!(!other.is_zero(), "division by zero");
-        let (qm, rm) = Self::divmod_mag(&self.limbs, &other.limbs);
-        let q = BigInt::from_sign_limbs(self.sign.mul(other.sign), qm);
-        let r = BigInt::from_sign_limbs(self.sign, rm);
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            // i64::MIN / -1 is the one overflowing case; i128 covers it.
+            let q = *a as i128 / *b as i128;
+            let r = *a as i128 % *b as i128;
+            return (BigInt::from(q), BigInt::from(r));
+        }
+        let (mut ba, mut bb) = ([0u64; 1], [0u64; 1]);
+        let (sa, la) = self.parts(&mut ba);
+        let (sb, lb) = other.parts(&mut bb);
+        let (qm, rm) = Self::divmod_mag(la, lb);
+        let q = BigInt::from_sign_limbs(sa.mul(sb), qm);
+        let r = BigInt::from_sign_limbs(sa, rm);
         (q, r)
     }
 
     /// Greatest common divisor; always nonnegative. `gcd(0, 0) = 0`.
+    ///
+    /// Inline operands use binary GCD on machine words; multi-limb operands
+    /// run Euclid until both sides shrink to a word, then finish there.
     pub fn gcd(&self, other: &BigInt) -> BigInt {
+        #[cfg(test)]
+        GCD_CALLS.with(|c| c.set(c.get() + 1));
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            return BigInt::from(gcd_u64(a.unsigned_abs(), b.unsigned_abs()));
+        }
         let mut a = self.abs();
         let mut b = other.abs();
         while !b.is_zero() {
-            let r = (&a % &b).abs();
+            if let (Some(x), Some(y)) = (a.mag_u64(), b.mag_u64()) {
+                return BigInt::from(gcd_u64(x, y));
+            }
+            let r = &a % &b;
             a = b;
             b = r;
         }
@@ -393,40 +542,64 @@ impl BigInt {
 
     /// Convert to `i128` if it fits.
     pub fn to_i128(&self) -> Option<i128> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => {
-                let v = self.limbs[0] as i128;
-                Some(if self.sign == Sign::Negative { -v } else { v })
-            }
-            2 => {
-                let mag = ((self.limbs[1] as u128) << 64) | self.limbs[0] as u128;
-                match self.sign {
-                    Sign::Negative => {
-                        if mag <= 1u128 << 127 {
-                            Some((mag as i128).wrapping_neg())
-                        } else {
-                            None
+        match &self.0 {
+            Repr::Small(v) => Some(*v as i128),
+            Repr::Large(sign, limbs) => match limbs.len() {
+                1 => {
+                    let v = limbs[0] as i128;
+                    Some(if *sign == Sign::Negative { -v } else { v })
+                }
+                2 => {
+                    let mag = ((limbs[1] as u128) << 64) | limbs[0] as u128;
+                    match sign {
+                        Sign::Negative => {
+                            if mag <= 1u128 << 127 {
+                                Some((mag as i128).wrapping_neg())
+                            } else {
+                                None
+                            }
                         }
-                    }
-                    _ => {
-                        if mag < 1u128 << 127 {
-                            Some(mag as i128)
-                        } else {
-                            None
+                        _ => {
+                            if mag < 1u128 << 127 {
+                                Some(mag as i128)
+                            } else {
+                                None
+                            }
                         }
                     }
                 }
-            }
-            _ => None,
+                _ => None,
+            },
         }
     }
 
     /// Number of bits in the magnitude (0 for zero).
     pub fn bits(&self) -> u64 {
-        match self.limbs.last() {
-            None => 0,
-            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+        match &self.0 {
+            Repr::Small(0) => 0,
+            Repr::Small(v) => 64 - v.unsigned_abs().leading_zeros() as u64,
+            Repr::Large(_, limbs) => {
+                let top = limbs.last().expect("Large is never empty");
+                (limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64)
+            }
+        }
+    }
+
+    /// Shared slow path for add/sub once at least one side is multi-limb.
+    fn addsub_slow(&self, other: &BigInt, negate_other: bool) -> BigInt {
+        let (mut ba, mut bb) = ([0u64; 1], [0u64; 1]);
+        let (sa, la) = self.parts(&mut ba);
+        let (sb_raw, lb) = other.parts(&mut bb);
+        let sb = if negate_other { sb_raw.negate() } else { sb_raw };
+        match (sa, sb) {
+            (Sign::Zero, _) => BigInt::from_sign_limbs(sb, lb.to_vec()),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_sign_limbs(a, BigInt::add_mag(la, lb)),
+            _ => match BigInt::cmp_mag(la, lb) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_sign_limbs(sa, BigInt::sub_mag(la, lb)),
+                Ordering::Less => BigInt::from_sign_limbs(sb, BigInt::sub_mag(lb, la)),
+            },
         }
     }
 }
@@ -438,28 +611,32 @@ impl Default for BigInt {
 }
 
 impl From<i64> for BigInt {
+    #[inline]
     fn from(v: i64) -> BigInt {
-        BigInt::from(v as i128)
+        BigInt::small(v)
     }
 }
 
 impl From<i32> for BigInt {
+    #[inline]
     fn from(v: i32) -> BigInt {
-        BigInt::from(v as i128)
+        BigInt::small(v as i64)
     }
 }
 
 impl From<u64> for BigInt {
+    #[inline]
     fn from(v: u64) -> BigInt {
-        if v == 0 {
-            BigInt::zero()
+        if v <= i64::MAX as u64 {
+            BigInt::small(v as i64)
         } else {
-            BigInt { sign: Sign::Positive, limbs: vec![v] }
+            BigInt(Repr::Large(Sign::Positive, vec![v]))
         }
     }
 }
 
 impl From<usize> for BigInt {
+    #[inline]
     fn from(v: usize) -> BigInt {
         BigInt::from(v as u64)
     }
@@ -467,17 +644,12 @@ impl From<usize> for BigInt {
 
 impl From<i128> for BigInt {
     fn from(v: i128) -> BigInt {
-        match v.cmp(&0) {
-            Ordering::Equal => BigInt::zero(),
-            Ordering::Greater => {
-                let m = v as u128;
-                BigInt::from_sign_limbs(Sign::Positive, vec![m as u64, (m >> 64) as u64])
-            }
-            Ordering::Less => {
-                let m = v.unsigned_abs();
-                BigInt::from_sign_limbs(Sign::Negative, vec![m as u64, (m >> 64) as u64])
-            }
+        if let Ok(small) = i64::try_from(v) {
+            return BigInt::small(small);
         }
+        let (sign, m) =
+            if v > 0 { (Sign::Positive, v as u128) } else { (Sign::Negative, v.unsigned_abs()) };
+        BigInt::from_sign_limbs(sign, vec![m as u64, (m >> 64) as u64])
     }
 }
 
@@ -489,13 +661,24 @@ impl PartialOrd for BigInt {
 
 impl Ord for BigInt {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.sign.cmp(&other.sign) {
-            Ordering::Equal => match self.sign {
-                Sign::Zero => Ordering::Equal,
-                Sign::Positive => Self::cmp_mag(&self.limbs, &other.limbs),
-                Sign::Negative => Self::cmp_mag(&other.limbs, &self.limbs),
-            },
-            other => other,
+        match (&self.0, &other.0) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            _ => {
+                let (sa, sb) = (self.sign(), other.sign());
+                match sa.cmp(&sb) {
+                    Ordering::Equal => {
+                        let (mut ba, mut bb) = ([0u64; 1], [0u64; 1]);
+                        let (_, la) = self.parts(&mut ba);
+                        let (_, lb) = other.parts(&mut bb);
+                        match sa {
+                            Sign::Zero => Ordering::Equal,
+                            Sign::Positive => Self::cmp_mag(la, lb),
+                            Sign::Negative => Self::cmp_mag(lb, la),
+                        }
+                    }
+                    other => other,
+                }
+            }
         }
     }
 }
@@ -503,54 +686,72 @@ impl Ord for BigInt {
 impl Neg for &BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt { sign: self.sign.negate(), limbs: self.limbs.clone() }
+        match &self.0 {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => BigInt::small(n),
+                None => BigInt(Repr::Large(Sign::Positive, vec![1u64 << 63])),
+            },
+            // Negation can demote: -(Large(+, [2^63])) is i64::MIN.
+            Repr::Large(s, limbs) => BigInt::from_sign_limbs(s.negate(), limbs.clone()),
+        }
     }
 }
 
 impl Neg for BigInt {
     type Output = BigInt;
-    fn neg(mut self) -> BigInt {
-        self.sign = self.sign.negate();
-        self
+    fn neg(self) -> BigInt {
+        match self.0 {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => BigInt::small(n),
+                None => BigInt(Repr::Large(Sign::Positive, vec![1u64 << 63])),
+            },
+            Repr::Large(s, limbs) => BigInt::from_sign_limbs(s.negate(), limbs),
+        }
     }
 }
 
 impl Add for &BigInt {
     type Output = BigInt;
+    #[inline]
     fn add(self, other: &BigInt) -> BigInt {
-        match (self.sign, other.sign) {
-            (Sign::Zero, _) => other.clone(),
-            (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => {
-                BigInt::from_sign_limbs(a, BigInt::add_mag(&self.limbs, &other.limbs))
-            }
-            _ => match BigInt::cmp_mag(&self.limbs, &other.limbs) {
-                Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt::from_sign_limbs(self.sign, BigInt::sub_mag(&self.limbs, &other.limbs))
-                }
-                Ordering::Less => {
-                    BigInt::from_sign_limbs(other.sign, BigInt::sub_mag(&other.limbs, &self.limbs))
-                }
-            },
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            return match a.checked_add(*b) {
+                Some(s) => BigInt::small(s),
+                None => BigInt::from(*a as i128 + *b as i128),
+            };
         }
+        self.addsub_slow(other, false)
     }
 }
 
 impl Sub for &BigInt {
     type Output = BigInt;
+    #[inline]
     fn sub(self, other: &BigInt) -> BigInt {
-        self + &(-other)
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            return match a.checked_sub(*b) {
+                Some(s) => BigInt::small(s),
+                None => BigInt::from(*a as i128 - *b as i128),
+            };
+        }
+        self.addsub_slow(other, true)
     }
 }
 
 impl Mul for &BigInt {
     type Output = BigInt;
+    #[inline]
     fn mul(self, other: &BigInt) -> BigInt {
-        BigInt::from_sign_limbs(
-            self.sign.mul(other.sign),
-            BigInt::mul_mag(&self.limbs, &other.limbs),
-        )
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            return match a.checked_mul(*b) {
+                Some(p) => BigInt::small(p),
+                None => BigInt::from(*a as i128 * *b as i128),
+            };
+        }
+        let (mut ba, mut bb) = ([0u64; 1], [0u64; 1]);
+        let (sa, la) = self.parts(&mut ba);
+        let (sb, lb) = other.parts(&mut bb);
+        BigInt::from_sign_limbs(sa.mul(sb), BigInt::mul_mag(la, lb))
     }
 }
 
@@ -598,34 +799,57 @@ forward_binop_owned!(Div, div);
 forward_binop_owned!(Rem, rem);
 
 impl AddAssign<&BigInt> for BigInt {
+    #[inline]
     fn add_assign(&mut self, other: &BigInt) {
+        // In-place on the inline tier: no allocation, no copy-out.
+        if let (Repr::Small(a), Repr::Small(b)) = (&mut self.0, &other.0) {
+            if let Some(s) = a.checked_add(*b) {
+                *a = s;
+                return;
+            }
+        }
         *self = &*self + other;
     }
 }
 
 impl SubAssign<&BigInt> for BigInt {
+    #[inline]
     fn sub_assign(&mut self, other: &BigInt) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&mut self.0, &other.0) {
+            if let Some(s) = a.checked_sub(*b) {
+                *a = s;
+                return;
+            }
+        }
         *self = &*self - other;
     }
 }
 
 impl MulAssign<&BigInt> for BigInt {
+    #[inline]
     fn mul_assign(&mut self, other: &BigInt) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&mut self.0, &other.0) {
+            if let Some(p) = a.checked_mul(*b) {
+                *a = p;
+                return;
+            }
+        }
         *self = &*self * other;
     }
 }
 
 impl fmt::Display for BigInt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return write!(f, "0");
-        }
-        if self.sign == Sign::Negative {
+        let (sign, limbs) = match &self.0 {
+            Repr::Small(v) => return write!(f, "{v}"),
+            Repr::Large(s, l) => (*s, l),
+        };
+        if sign == Sign::Negative {
             write!(f, "-")?;
         }
         // Repeated division by 10^19 (largest power of ten in a u64).
         const CHUNK: u64 = 10_000_000_000_000_000_000;
-        let mut mag = self.limbs.clone();
+        let mut mag = limbs.clone();
         let mut chunks: Vec<u64> = Vec::new();
         while !mag.is_empty() {
             let mut rem = 0u128;
@@ -669,6 +893,11 @@ impl FromStr for BigInt {
     type Err = ParseBigIntError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Fast path: anything that fits an i64 (accepts the same `-`/`+`
+        // prefixes and pure-digit bodies as the slow loop below).
+        if let Ok(v) = s.parse::<i64>() {
+            return Ok(BigInt::small(v));
+        }
         let (sign, digits) = match s.strip_prefix('-') {
             Some(rest) => (Sign::Negative, rest),
             None => (Sign::Positive, s.strip_prefix('+').unwrap_or(s)),
@@ -732,6 +961,62 @@ mod tests {
     }
 
     #[test]
+    fn canonical_form_demotes_everywhere() {
+        // Every route back under the i64 line must land in the inline tier,
+        // or derived equality would be wrong.
+        let max = b(i64::MAX as i128);
+        let one = BigInt::one();
+        let promoted = &max + &one; // 2^63: Large
+        assert_eq!(promoted.to_i64(), None);
+        let demoted = &promoted - &one; // back to i64::MAX: must be Small
+        assert_eq!(demoted.to_i64(), Some(i64::MAX));
+        assert_eq!(demoted, max);
+
+        // Negation boundary: -(2^63) is i64::MIN and must demote.
+        let min = -&promoted;
+        assert_eq!(min.to_i64(), Some(i64::MIN));
+        assert_eq!(min, b(i64::MIN as i128));
+        // ... and back up.
+        assert_eq!((-&min).to_i64(), None);
+        assert_eq!(-&(-&min), min);
+
+        // Division collapsing multi-limb to small.
+        let huge = b(1 << 100);
+        let q = &huge / &b(1 << 90);
+        assert_eq!(q.to_i64(), Some(1024));
+    }
+
+    #[test]
+    fn in_place_ops_match_binops() {
+        let mut x = b(i64::MAX as i128 - 1);
+        x += &BigInt::one();
+        assert_eq!(x.to_i64(), Some(i64::MAX));
+        x += &BigInt::one(); // overflows the inline tier
+        assert_eq!(x.to_i128(), Some(i64::MAX as i128 + 1));
+        x -= &BigInt::from(2i64); // demotes again
+        assert_eq!(x.to_i64(), Some(i64::MAX - 1));
+        let mut y = b(1 << 40);
+        y *= &b(1 << 40); // overflow promotes
+        assert_eq!(y.to_i128(), Some(1 << 80));
+    }
+
+    #[test]
+    fn gcd_u64_agrees_with_euclid() {
+        fn euclid(mut a: u64, mut b: u64) -> u64 {
+            while b != 0 {
+                let r = a % b;
+                a = b;
+                b = r;
+            }
+            a
+        }
+        let cases = [(0, 0), (0, 7), (7, 0), (12, 18), (1, 1), (u64::MAX, 2), (1 << 63, 3 << 20)];
+        for (a, b) in cases {
+            assert_eq!(gcd_u64(a, b), euclid(a, b), "gcd({a}, {b})");
+        }
+    }
+
+    #[test]
     fn multi_limb_mul_div_roundtrip() {
         let big: BigInt = "123456789012345678901234567890123456789".parse().unwrap();
         let d: BigInt = "98765432109876543210".parse().unwrap();
@@ -749,6 +1034,10 @@ mod tests {
             "18446744073709551616",
             "-340282366920938463463374607431768211456",
             "99999999999999999999999999999999",
+            "9223372036854775807",
+            "-9223372036854775808",
+            "9223372036854775808",
+            "-9223372036854775809",
         ] {
             let v: BigInt = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
@@ -770,6 +1059,12 @@ mod tests {
         assert_eq!(b(0).gcd(&b(7)), b(7));
         assert_eq!(b(4).lcm(&b(6)), b(12));
         assert_eq!(b(0).lcm(&b(6)), b(0));
+        // Multi-limb operands shrink into the word-sized loop.
+        let big = b((1 << 100) + 4);
+        assert_eq!(big.gcd(&b(1 << 30)), b(4));
+        // gcd(i64::MIN, i64::MIN) = 2^63 does not fit an i64.
+        let g = b(i64::MIN as i128).gcd(&b(i64::MIN as i128));
+        assert_eq!(g.to_i128(), Some(1i128 << 63));
     }
 
     #[test]
@@ -779,6 +1074,10 @@ mod tests {
         assert!(b(0) < b(1));
         assert!(b(1 << 70) > b(i64::MAX as i128));
         assert!(b(-(1 << 70)) < b(i64::MIN as i128));
+        // Mixed-tier comparisons around the boundary.
+        assert!(b((i64::MAX as i128) + 1) > b(i64::MAX as i128));
+        assert!(b((i64::MIN as i128) - 1) < b(i64::MIN as i128));
+        assert_eq!(b(1 << 70).cmp(&b(1 << 70)), Ordering::Equal);
     }
 
     #[test]
@@ -806,6 +1105,7 @@ mod tests {
         assert_eq!(b(255).bits(), 8);
         assert_eq!(b(256).bits(), 9);
         assert_eq!(b(1 << 64).bits(), 65);
+        assert_eq!(b(i64::MIN as i128).bits(), 64);
     }
 
     #[test]

@@ -67,6 +67,11 @@ impl LinExpr {
         self.coeffs.get(&v).cloned().unwrap_or_else(Rat::zero)
     }
 
+    /// Coefficient of `v` without materializing zero (`None` if absent).
+    pub fn coeff_ref(&self, v: Var) -> Option<&Rat> {
+        self.coeffs.get(&v)
+    }
+
     /// Iterate over `(var, coeff)` pairs with nonzero coefficients.
     pub fn terms(&self) -> impl Iterator<Item = (Var, &Rat)> + '_ {
         self.coeffs.iter().map(|(v, c)| (*v, c))
@@ -117,26 +122,37 @@ impl LinExpr {
         self.constant *= k;
     }
 
+    /// `self += k·other` in place — the pivot/eliminate workhorse; no row
+    /// copy, and coefficient updates reuse the in-place `Rat` shortcuts.
+    pub fn add_scaled_assign(&mut self, other: &LinExpr, k: &Rat) {
+        if k.is_zero() {
+            return;
+        }
+        for (v, c) in other.terms() {
+            self.add_term(v, c * k);
+        }
+        self.constant += &(&other.constant * k);
+    }
+
     /// `self + k·other`.
     pub fn add_scaled(&self, other: &LinExpr, k: &Rat) -> LinExpr {
         let mut out = self.clone();
-        for (v, c) in other.terms() {
-            out.add_term(v, c * k);
-        }
-        out.constant += &(&other.constant * k);
+        out.add_scaled_assign(other, k);
         out
     }
 
     /// Substitute variable `v` by expression `repl`.
     pub fn substitute(&self, v: Var, repl: &LinExpr) -> LinExpr {
-        let c = self.coeff(v);
-        if c.is_zero() {
-            return self.clone();
+        match self.coeff_ref(v) {
+            None => self.clone(),
+            Some(c) => {
+                let c = c.clone();
+                let mut out = self.clone();
+                out.coeffs.remove(&v);
+                out.add_scaled_assign(repl, &c);
+                out
+            }
         }
-        let mut out = self.clone();
-        out.coeffs.remove(&v);
-        out = out.add_scaled(repl, &c);
-        out
     }
 
     /// Rename variables through `map`; variables not in the map are kept.
@@ -203,8 +219,9 @@ impl Neg for &LinExpr {
 
 impl Neg for LinExpr {
     type Output = LinExpr;
-    fn neg(self) -> LinExpr {
-        -&self
+    fn neg(mut self) -> LinExpr {
+        self.scale(&-Rat::one());
+        self
     }
 }
 
@@ -224,15 +241,17 @@ impl Sub for &LinExpr {
 
 impl Add for LinExpr {
     type Output = LinExpr;
-    fn add(self, other: LinExpr) -> LinExpr {
-        &self + &other
+    fn add(mut self, other: LinExpr) -> LinExpr {
+        self.add_scaled_assign(&other, &Rat::one());
+        self
     }
 }
 
 impl Sub for LinExpr {
     type Output = LinExpr;
-    fn sub(self, other: LinExpr) -> LinExpr {
-        &self - &other
+    fn sub(mut self, other: LinExpr) -> LinExpr {
+        self.add_scaled_assign(&other, &-Rat::one());
+        self
     }
 }
 
@@ -303,17 +322,17 @@ pub struct Constraint {
 impl Constraint {
     /// `lhs ≤ rhs`.
     pub fn le(lhs: LinExpr, rhs: LinExpr) -> Constraint {
-        Constraint { expr: &lhs - &rhs, rel: Rel::Le }
+        Constraint { expr: lhs - rhs, rel: Rel::Le }
     }
 
     /// `lhs ≥ rhs`.
     pub fn ge(lhs: LinExpr, rhs: LinExpr) -> Constraint {
-        Constraint { expr: &rhs - &lhs, rel: Rel::Le }
+        Constraint { expr: rhs - lhs, rel: Rel::Le }
     }
 
     /// `lhs = rhs`.
     pub fn eq(lhs: LinExpr, rhs: LinExpr) -> Constraint {
-        Constraint { expr: &lhs - &rhs, rel: Rel::Eq }
+        Constraint { expr: lhs - rhs, rel: Rel::Eq }
     }
 
     /// `v ≥ 0`.

@@ -130,10 +130,9 @@ fn occurrence_cost(rows: &[TrackedRow], v: Var) -> usize {
     let mut neg = 0usize;
     let mut has_eq = false;
     for r in rows {
-        let a = r.constraint.expr.coeff(v);
-        if a.is_zero() {
+        let Some(a) = r.constraint.expr.coeff_ref(v) else {
             continue;
-        }
+        };
         if r.constraint.rel == Rel::Eq {
             has_eq = true;
         } else if a.is_positive() {
@@ -155,7 +154,7 @@ fn eliminate_tracked(rows: Vec<TrackedRow>, v: Var) -> Option<Vec<TrackedRow>> {
     // Gaussian step on an equality mentioning v.
     if let Some(pos) = rows
         .iter()
-        .position(|r| r.constraint.rel == Rel::Eq && !r.constraint.expr.coeff(v).is_zero())
+        .position(|r| r.constraint.rel == Rel::Eq && r.constraint.expr.coeff_ref(v).is_some())
     {
         let pivot = rows[pos].clone();
         let a = pivot.constraint.expr.coeff(v);
@@ -164,11 +163,10 @@ fn eliminate_tracked(rows: Vec<TrackedRow>, v: Var) -> Option<Vec<TrackedRow>> {
             if i == pos {
                 continue;
             }
-            let b = r.constraint.expr.coeff(v);
-            if b.is_zero() {
+            let Some(b) = r.constraint.expr.coeff_ref(v).cloned() else {
                 out.push(r);
                 continue;
-            }
+            };
             // r - (b/a)·pivot eliminates v; the pivot is an equality, so
             // any sign of multiplier is legal.
             let k = -(&b / &a);
@@ -183,10 +181,11 @@ fn eliminate_tracked(rows: Vec<TrackedRow>, v: Var) -> Option<Vec<TrackedRow>> {
     let mut lowers: Vec<TrackedRow> = Vec::new(); // coeff(v) < 0
     let mut kept: Vec<TrackedRow> = Vec::new();
     for r in rows {
-        let a = r.constraint.expr.coeff(v);
-        if a.is_zero() {
+        let Some(a) = r.constraint.expr.coeff_ref(v) else {
             kept.push(r);
-        } else if a.is_positive() {
+            continue;
+        };
+        if a.is_positive() {
             uppers.push(r);
         } else {
             lowers.push(r);
@@ -327,18 +326,16 @@ mod tests {
 
     #[test]
     fn agrees_with_simplex_on_random_systems() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = argus_prng::Rng64::new(99);
         let mut refuted = 0;
         for _ in 0..60 {
             let mut sys = ConstraintSystem::new();
             for _ in 0..5 {
-                let mut e = LinExpr::constant(r(rng.random_range(-4..=4)));
+                let mut e = LinExpr::constant(r(rng.range_i64(-4, 4)));
                 for v in 0..3 {
-                    e.add_term(v, r(rng.random_range(-3..=3)));
+                    e.add_term(v, r(rng.range_i64(-3, 3)));
                 }
-                if rng.random_bool(0.3) {
+                if rng.below(10) < 3 {
                     sys.push(Constraint { expr: e, rel: Rel::Eq });
                 } else {
                     sys.push(le(e));

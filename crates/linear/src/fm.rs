@@ -58,13 +58,11 @@ pub fn eliminate_capped(sys: &ConstraintSystem, v: Var, max_rows: usize) -> Opti
     // and substitute everywhere. This is exact and avoids row blowup.
     for (idx, c) in sys.constraints().iter().enumerate() {
         if c.rel == Rel::Eq {
-            let coeff = c.expr.coeff(v);
-            if !coeff.is_zero() {
+            if let Some(coeff) = c.expr.coeff_ref(v) {
                 // c.expr = coeff*v + rest = 0  =>  v = -rest / coeff
-                let mut rest = c.expr.clone();
-                rest.add_term(v, -coeff.clone());
-                let mut repl = -&rest;
-                repl.scale(&coeff.recip());
+                let mut repl = c.expr.clone();
+                repl.add_term(v, -coeff.clone());
+                repl.scale(&-coeff.recip());
                 let mut out = ConstraintSystem::new();
                 for (j, other) in sys.constraints().iter().enumerate() {
                     if j == idx {
@@ -90,8 +88,7 @@ pub fn eliminate_capped(sys: &ConstraintSystem, v: Var, max_rows: usize) -> Opti
     let mut kept = ConstraintSystem::new();
 
     for c in sys.constraints() {
-        let a = c.expr.coeff(v);
-        if a.is_zero() {
+        let Some(a) = c.expr.coeff_ref(v) else {
             // Rows (including equalities) not mentioning v pass through.
             match c.constant_truth() {
                 Some(true) => continue,
@@ -99,8 +96,9 @@ pub fn eliminate_capped(sys: &ConstraintSystem, v: Var, max_rows: usize) -> Opti
                 None => kept.push(c.clone()),
             }
             continue;
-        }
+        };
         debug_assert_ne!(c.rel, Rel::Eq, "equalities mentioning v handled by Gaussian step");
+        let a = a.clone();
         let mut rest = c.expr.clone();
         rest.add_term(v, -a.clone());
         if a.is_positive() {
@@ -129,14 +127,15 @@ pub fn eliminate_capped(sys: &ConstraintSystem, v: Var, max_rows: usize) -> Opti
         return None; // combination step would blow past the cap
     }
     let mut out = kept;
+    // v <= (-ru)/a = ru * (-1/a): compute each upper bound once, not once
+    // per (lower, upper) pair.
+    let his: Vec<LinExpr> = uppers.iter().map(|(a, ru)| ru * &(-a.recip())).collect();
     for (b, rl) in &lowers {
         // v >= (-rl)/b with b < 0; scale: v >= rl * (-1/b)
         let lo = rl * &(-b.recip()); // lower bound expression for v
-        for (a, ru) in &uppers {
-            // v <= (-ru)/a = ru * (-1/a)
-            let hi = ru * &(-a.recip());
+        for hi in &his {
             // lo <= hi  =>  lo - hi <= 0
-            let row = Constraint { expr: &lo - &hi, rel: Rel::Le };
+            let row = Constraint { expr: &lo - hi, rel: Rel::Le };
             match row.constant_truth() {
                 Some(true) => continue,
                 Some(false) => return Some(FmResult::Infeasible),
@@ -193,10 +192,9 @@ pub fn project_onto_capped(
                 let mut neg = 0usize;
                 let mut has_eq = false;
                 for c in cur.constraints() {
-                    let a = c.expr.coeff(v);
-                    if a.is_zero() {
+                    let Some(a) = c.expr.coeff_ref(v) else {
                         continue;
-                    }
+                    };
                     if c.rel == Rel::Eq {
                         has_eq = true;
                     } else if a.is_positive() {

@@ -39,6 +39,10 @@ impl Rat {
         if num.is_zero() {
             return Rat::zero();
         }
+        // Integer denominators need no reduction at all.
+        if den.is_one() {
+            return Rat::raw(num, den);
+        }
         let g = num.gcd(&den);
         let mut num = &num / &g;
         let mut den = &den / &g;
@@ -46,6 +50,15 @@ impl Rat {
             num = -num;
             den = -den;
         }
+        Rat { num, den }
+    }
+
+    /// Construct from parts already known canonical (`den > 0`, coprime).
+    /// Every arithmetic shortcut below funnels through here so canonicity
+    /// arguments live next to the code they justify.
+    #[inline]
+    fn raw(num: BigInt, den: BigInt) -> Rat {
+        debug_assert!(den.is_positive());
         Rat { num, den }
     }
 
@@ -111,7 +124,126 @@ impl Rat {
     /// Panics if the value is zero.
     pub fn recip(&self) -> Rat {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Rat::new(self.den.clone(), self.num.clone())
+        // Swapping an already-canonical pair needs no gcd; only the sign
+        // has to migrate to the numerator.
+        if self.num.is_negative() {
+            Rat::raw(-&self.den, -&self.num)
+        } else {
+            Rat::raw(self.den.clone(), self.num.clone())
+        }
+    }
+
+    /// Shared add/sub kernel: `self ± other` with minimal renormalization.
+    ///
+    /// Canonicity arguments (write `self = a/b`, `other = c/d`, both
+    /// reduced, `b, d > 0`):
+    /// * `d = 1`: the result is `(a ± cb)/b` and
+    ///   `gcd(a ± cb, b) = gcd(a, b) = 1` — no gcd needed.
+    /// * `b = d`: the result is `(a ± c)/b`, reduced by one
+    ///   `gcd(a ± c, b)`.
+    /// * `gcd(b, d) = 1`: `gcd(ad ± cb, bd) = 1` (any prime dividing `b`
+    ///   divides `cb` but not `ad`, and symmetrically) — the single
+    ///   `gcd(b, d)` probe is all the work there is.
+    /// * otherwise the GMP "t-trick": with `g = gcd(b, d)` and
+    ///   `t = a(d/g) ± c(b/g)`, the common factor of `t` and `(b/g)d` is
+    ///   exactly `gcd(t, g)` — two word-sized gcds instead of one huge one
+    ///   on the cross-multiplied products.
+    fn add_impl(&self, other: &Rat, sub: bool) -> Rat {
+        if other.is_zero() {
+            return self.clone();
+        }
+        if self.is_zero() {
+            let num = if sub { -&other.num } else { other.num.clone() };
+            return Rat::raw(num, other.den.clone());
+        }
+        if self.den == other.den {
+            let t = if sub { &self.num - &other.num } else { &self.num + &other.num };
+            if t.is_zero() {
+                return Rat::zero();
+            }
+            if self.den.is_one() {
+                return Rat::raw(t, BigInt::one());
+            }
+            let g = t.gcd(&self.den);
+            if g.is_one() {
+                return Rat::raw(t, self.den.clone());
+            }
+            return Rat::raw(&t / &g, &self.den / &g);
+        }
+        if other.den.is_one() {
+            let cb = &other.num * &self.den;
+            let num = if sub { &self.num - &cb } else { &self.num + &cb };
+            return Rat::raw(num, self.den.clone());
+        }
+        if self.den.is_one() {
+            let ad = &self.num * &other.den;
+            let num = if sub { &ad - &other.num } else { &ad + &other.num };
+            return Rat::raw(num, other.den.clone());
+        }
+        let g = self.den.gcd(&other.den);
+        if g.is_one() {
+            let ad = &self.num * &other.den;
+            let cb = &other.num * &self.den;
+            let num = if sub { &ad - &cb } else { &ad + &cb };
+            return Rat::raw(num, &self.den * &other.den);
+        }
+        let db = &self.den / &g; // b/g
+        let dd = &other.den / &g; // d/g
+        let ad = &self.num * &dd;
+        let cb = &other.num * &db;
+        let t = if sub { &ad - &cb } else { &ad + &cb };
+        if t.is_zero() {
+            return Rat::zero();
+        }
+        let g2 = t.gcd(&g);
+        if g2.is_one() {
+            return Rat::raw(t, &db * &other.den);
+        }
+        Rat::raw(&t / &g2, &db * &(&other.den / &g2))
+    }
+
+    /// Multiplication kernel with cross-reduction: reducing `a` against `d`
+    /// and `c` against `b` *before* multiplying keeps intermediates small
+    /// and makes the result canonical by construction (the factors that
+    /// remain are pairwise coprime).
+    fn mul_impl(&self, other: &Rat) -> Rat {
+        if self.is_zero() || other.is_zero() {
+            return Rat::zero();
+        }
+        match (self.den.is_one(), other.den.is_one()) {
+            (true, true) => Rat::raw(&self.num * &other.num, BigInt::one()),
+            (false, true) => {
+                if other.num.is_one() {
+                    return self.clone();
+                }
+                let g = other.num.gcd(&self.den);
+                if g.is_one() {
+                    Rat::raw(&self.num * &other.num, self.den.clone())
+                } else {
+                    Rat::raw(&self.num * &(&other.num / &g), &self.den / &g)
+                }
+            }
+            (true, false) => {
+                if self.num.is_one() {
+                    return other.clone();
+                }
+                let g = self.num.gcd(&other.den);
+                if g.is_one() {
+                    Rat::raw(&self.num * &other.num, other.den.clone())
+                } else {
+                    Rat::raw(&(&self.num / &g) * &other.num, &other.den / &g)
+                }
+            }
+            (false, false) => {
+                let g1 = self.num.gcd(&other.den);
+                let g2 = other.num.gcd(&self.den);
+                let an = if g1.is_one() { self.num.clone() } else { &self.num / &g1 };
+                let cn = if g2.is_one() { other.num.clone() } else { &other.num / &g2 };
+                let bd = if g2.is_one() { self.den.clone() } else { &self.den / &g2 };
+                let dd = if g1.is_one() { other.den.clone() } else { &other.den / &g1 };
+                Rat::raw(&an * &cn, &bd * &dd)
+            }
+        }
     }
 
     /// Approximate as `f64` (for reporting only; analysis never uses floats).
@@ -222,21 +354,21 @@ impl Neg for Rat {
 impl Add for &Rat {
     type Output = Rat;
     fn add(self, other: &Rat) -> Rat {
-        Rat::new(&(&self.num * &other.den) + &(&other.num * &self.den), &self.den * &other.den)
+        self.add_impl(other, false)
     }
 }
 
 impl Sub for &Rat {
     type Output = Rat;
     fn sub(self, other: &Rat) -> Rat {
-        Rat::new(&(&self.num * &other.den) - &(&other.num * &self.den), &self.den * &other.den)
+        self.add_impl(other, true)
     }
 }
 
 impl Mul for &Rat {
     type Output = Rat;
     fn mul(self, other: &Rat) -> Rat {
-        Rat::new(&self.num * &other.num, &self.den * &other.den)
+        self.mul_impl(other)
     }
 }
 
@@ -244,7 +376,7 @@ impl Div for &Rat {
     type Output = Rat;
     fn div(self, other: &Rat) -> Rat {
         assert!(!other.is_zero(), "division by zero rational");
-        Rat::new(&self.num * &other.den, &self.den * &other.num)
+        self.mul_impl(&other.recip())
     }
 }
 
@@ -278,19 +410,49 @@ forward_rat_binop!(Div, div);
 
 impl AddAssign<&Rat> for Rat {
     fn add_assign(&mut self, other: &Rat) {
-        *self = &*self + other;
+        if other.is_zero() {
+            return;
+        }
+        if other.den.is_one() {
+            // a/b + c = (a + cb)/b stays canonical (gcd(a + cb, b) =
+            // gcd(a, b) = 1), so update the numerator in place — no gcd,
+            // no denominator churn. A zero result can only arise with
+            // b = 1, which is already canonical zero form.
+            self.num += &(&other.num * &self.den);
+            return;
+        }
+        *self = self.add_impl(other, false);
     }
 }
 
 impl SubAssign<&Rat> for Rat {
     fn sub_assign(&mut self, other: &Rat) {
-        *self = &*self - other;
+        if other.is_zero() {
+            return;
+        }
+        if other.den.is_one() {
+            self.num -= &(&other.num * &self.den);
+            return;
+        }
+        *self = self.add_impl(other, true);
     }
 }
 
 impl MulAssign<&Rat> for Rat {
     fn mul_assign(&mut self, other: &Rat) {
-        *self = &*self * other;
+        if self.is_zero() {
+            return;
+        }
+        if other.is_zero() {
+            *self = Rat::zero();
+            return;
+        }
+        if other.den.is_one() && self.den.is_one() {
+            // Integer times integer: no reduction can ever be needed.
+            self.num *= &other.num;
+            return;
+        }
+        *self = self.mul_impl(other);
     }
 }
 
@@ -415,5 +577,120 @@ mod tests {
     fn min_max() {
         assert_eq!(r(1, 2).min(r(1, 3)), r(1, 3));
         assert_eq!(r(1, 2).max(r(1, 3)), r(1, 2));
+    }
+
+    /// Pin the normalization shortcuts: these tests count calls into
+    /// [`BigInt::gcd`] so a future refactor that quietly reintroduces
+    /// full renormalization on the compound-assignment hot paths fails
+    /// loudly rather than just slowing the solvers down.
+    mod shortcuts {
+        use super::*;
+        use crate::bigint::GCD_CALLS;
+
+        fn counting<T>(f: impl FnOnce() -> T) -> (T, usize) {
+            let before = GCD_CALLS.with(|c| c.get());
+            let out = f();
+            let after = GCD_CALLS.with(|c| c.get());
+            (out, after - before)
+        }
+
+        #[test]
+        fn add_assign_zero_is_free() {
+            let mut x = r(3, 7);
+            let (_, gcds) = counting(|| x += &Rat::zero());
+            assert_eq!(x, r(3, 7));
+            assert_eq!(gcds, 0);
+        }
+
+        #[test]
+        fn add_assign_integer_operand_skips_gcd() {
+            let mut x = r(3, 7);
+            let (_, gcds) = counting(|| x += &Rat::from_int(2));
+            assert_eq!(x, r(17, 7));
+            assert_eq!(gcds, 0, "a/b + c must not renormalize");
+
+            let mut y = r(-5, 1);
+            let (_, gcds) = counting(|| y += &Rat::from_int(5));
+            assert_eq!(y, Rat::zero());
+            assert!(y.denom().is_one(), "zero stays canonical");
+            assert_eq!(gcds, 0);
+        }
+
+        #[test]
+        fn sub_assign_integer_operand_skips_gcd() {
+            let mut x = r(3, 7);
+            let (_, gcds) = counting(|| x -= &Rat::from_int(1));
+            assert_eq!(x, r(-4, 7));
+            assert_eq!(gcds, 0);
+        }
+
+        #[test]
+        fn mul_assign_zero_and_integers_skip_gcd() {
+            let mut x = r(3, 7);
+            let (_, gcds) = counting(|| x *= &Rat::zero());
+            assert_eq!(x, Rat::zero());
+            assert_eq!(gcds, 0);
+
+            let mut y = Rat::from_int(6);
+            let (_, gcds) = counting(|| y *= &Rat::from_int(-7));
+            assert_eq!(y, Rat::from_int(-42));
+            assert_eq!(gcds, 0, "integer * integer must not renormalize");
+        }
+
+        #[test]
+        fn mul_by_one_is_free() {
+            let x = r(3, 7);
+            let one = Rat::one();
+            let (p, gcds) = counting(|| &x * &one);
+            assert_eq!(p, r(3, 7));
+            assert_eq!(gcds, 0);
+        }
+
+        #[test]
+        fn common_denominator_add_uses_one_gcd() {
+            let (a, b) = (r(1, 6), r(1, 6));
+            let (s, gcds) = counting(|| &a + &b);
+            assert_eq!(s, r(1, 3));
+            assert_eq!(gcds, 1, "b = d: one gcd(a + c, b), nothing else");
+        }
+
+        #[test]
+        fn coprime_denominator_add_uses_one_gcd() {
+            let (a, b) = (r(1, 4), r(1, 9));
+            let (s, gcds) = counting(|| &a + &b);
+            assert_eq!(s, r(13, 36));
+            assert_eq!(gcds, 1, "gcd(b, d) = 1 certifies the result reduced");
+        }
+
+        #[test]
+        fn general_add_uses_two_gcds() {
+            let (a, b) = (r(1, 6), r(1, 4));
+            let (s, gcds) = counting(|| &a + &b);
+            assert_eq!(s, r(5, 12));
+            assert_eq!(gcds, 2, "t-trick: gcd(b, d) then gcd(t, g)");
+        }
+
+        #[test]
+        fn general_mul_uses_two_gcds() {
+            let (a, b) = (r(2, 3), r(3, 4));
+            let (p, gcds) = counting(|| &a * &b);
+            assert_eq!(p, r(1, 2));
+            assert_eq!(gcds, 2, "cross-reduction: gcd(|a|, d) and gcd(|c|, b)");
+        }
+
+        #[test]
+        fn recip_skips_gcd() {
+            let x = r(-3, 7);
+            let (v, gcds) = counting(|| x.recip());
+            assert_eq!(v, r(-7, 3));
+            assert_eq!(gcds, 0);
+        }
+
+        #[test]
+        fn integer_constructor_skips_gcd() {
+            let (v, gcds) = counting(|| Rat::new(42.into(), 1.into()));
+            assert_eq!(v, Rat::from_int(42));
+            assert_eq!(gcds, 0);
+        }
     }
 }

@@ -66,18 +66,17 @@ impl LpProblem {
 
     /// Solve by two-phase simplex.
     pub fn solve(&self) -> LpOutcome {
-        Tableau::build(self).solve()
+        Tableau::build(&self.objective, &self.constraints, &self.nonneg).solve()
     }
 
     /// Minimize the given objective over this problem's constraints.
     pub fn minimize(&self, objective: LinExpr) -> LpOutcome {
-        LpProblem { objective, constraints: self.constraints.clone(), nonneg: self.nonneg.clone() }
-            .solve()
+        Tableau::build(&objective, &self.constraints, &self.nonneg).solve()
     }
 
     /// Maximize: negate, minimize, negate back.
     pub fn maximize(&self, objective: LinExpr) -> LpOutcome {
-        match self.minimize(-&objective) {
+        match self.minimize(-objective) {
             LpOutcome::Optimal { value, point } => LpOutcome::Optimal { value: -value, point },
             other => other,
         }
@@ -90,7 +89,7 @@ pub fn feasible_point(
     constraints: &ConstraintSystem,
     nonneg: &BTreeSet<Var>,
 ) -> Option<BTreeMap<Var, Rat>> {
-    match LpProblem::feasibility(constraints.clone(), nonneg.clone()).solve() {
+    match Tableau::build(&LinExpr::zero(), constraints, nonneg).solve() {
         LpOutcome::Optimal { point, .. } => Some(point),
         LpOutcome::Unbounded => unreachable!("zero objective cannot be unbounded"),
         LpOutcome::Infeasible => None,
@@ -108,11 +107,11 @@ pub fn is_implied(
 ) -> bool {
     // candidate: expr <= 0. It fails to be implied iff max expr > 0.
     // candidate: expr = 0. Implied iff max expr <= 0 and min expr >= 0.
-    let base = LpProblem::feasibility(system.clone(), nonneg.clone());
-    let max_ok = match base.maximize(candidate.expr.clone()) {
+    // max expr = -(min -expr); both probes borrow the system directly.
+    let max_ok = match Tableau::build(&-&candidate.expr, system, nonneg).solve() {
         LpOutcome::Infeasible => return true, // empty system implies anything
         LpOutcome::Unbounded => false,
-        LpOutcome::Optimal { value, .. } => !value.is_positive(),
+        LpOutcome::Optimal { value, .. } => !(-value).is_positive(),
     };
     if candidate.rel == Rel::Le {
         return max_ok;
@@ -120,7 +119,7 @@ pub fn is_implied(
     if !max_ok {
         return false;
     }
-    match base.minimize(candidate.expr.clone()) {
+    match Tableau::build(&candidate.expr, system, nonneg).solve() {
         LpOutcome::Infeasible => true,
         LpOutcome::Unbounded => false,
         LpOutcome::Optimal { value, .. } => !value.is_negative(),
@@ -145,16 +144,20 @@ struct Tableau {
 }
 
 impl Tableau {
-    fn build(p: &LpProblem) -> Tableau {
+    fn build(
+        objective: &LinExpr,
+        constraints: &ConstraintSystem,
+        nonneg: &BTreeSet<Var>,
+    ) -> Tableau {
         // Collect all variables from constraints and objective.
-        let mut vars: BTreeSet<Var> = p.constraints.vars();
-        vars.extend(p.objective.vars());
+        let mut vars: BTreeSet<Var> = constraints.vars();
+        vars.extend(objective.vars());
 
         // Assign columns: nonneg vars get one column, free vars two (x+ - x-).
         let mut var_cols: BTreeMap<Var, (usize, Option<usize>)> = BTreeMap::new();
         let mut next_col = 0usize;
         for &v in &vars {
-            if p.nonneg.contains(&v) {
+            if nonneg.contains(&v) {
                 var_cols.insert(v, (next_col, None));
                 next_col += 1;
             } else {
@@ -164,14 +167,14 @@ impl Tableau {
         }
 
         // One slack column per inequality.
-        let n_slacks = p.constraints.constraints().iter().filter(|c| c.rel == Rel::Le).count();
+        let n_slacks = constraints.constraints().iter().filter(|c| c.rel == Rel::Le).count();
         let first_slack = next_col;
         let num_cols = next_col + n_slacks;
 
         // Build rows: expr REL 0 becomes  Σ a·cols (+ slack) = -constant.
         let mut rows: Vec<Vec<Rat>> = Vec::new();
         let mut slack_idx = first_slack;
-        for c in p.constraints.constraints() {
+        for c in constraints.constraints() {
             let mut row = vec![Rat::zero(); num_cols + 1];
             for (v, a) in c.expr.terms() {
                 let (pc, mc) = var_cols[&v];
@@ -197,7 +200,7 @@ impl Tableau {
 
         // Phase-2 cost from the objective.
         let mut cost = vec![Rat::zero(); num_cols];
-        for (v, a) in p.objective.terms() {
+        for (v, a) in objective.terms() {
             let (pc, mc) = var_cols[&v];
             cost[pc] += a;
             if let Some(mc) = mc {
@@ -208,7 +211,7 @@ impl Tableau {
         Tableau {
             rows,
             cost,
-            cost_offset: p.objective.constant_term().clone(),
+            cost_offset: objective.constant_term().clone(),
             basis: Vec::new(),
             num_cols,
             var_cols,
@@ -287,8 +290,10 @@ impl Tableau {
             if b < n && !obj2[b].is_zero() {
                 let factor = obj2[b].clone();
                 for (o, cell) in obj2.iter_mut().zip(&self.rows[i]) {
-                    let delta = &factor * cell;
-                    *o -= &delta;
+                    if cell.is_zero() {
+                        continue;
+                    }
+                    *o -= &(&factor * cell);
                 }
             }
         }
@@ -400,15 +405,19 @@ impl Tableau {
                 (&a[l], &mut b[0])
             };
             for (t, cell) in target_row.iter_mut().zip(pivot_row.iter()) {
-                let delta = &factor * cell;
-                *t -= &delta;
+                if cell.is_zero() {
+                    continue;
+                }
+                *t -= &(&factor * cell);
             }
         }
         if !obj[e].is_zero() {
             let factor = obj[e].clone();
             for (o, cell) in obj.iter_mut().zip(rows[l].iter()) {
-                let delta = &factor * cell;
-                *o -= &delta;
+                if cell.is_zero() {
+                    continue;
+                }
+                *o -= &(&factor * cell);
             }
         }
         basis[l] = e;

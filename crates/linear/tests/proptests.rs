@@ -1,171 +1,346 @@
-//! Property-based tests for the exact-arithmetic substrate.
+//! Randomized property tests for the exact-arithmetic substrate.
 //!
 //! `BigInt`/`Rat` are checked against an `i128` reference model; Fourier–
 //! Motzkin and simplex are cross-checked against each other on random
 //! systems, since they are independent decision procedures for the same
-//! question.
+//! question. Deterministic seeded generation (argus-prng) replaces the
+//! former proptest strategies so the suite needs no external crates and
+//! every failure reproduces exactly.
 
 use argus_linear::fm::{self, FmResult};
 use argus_linear::simplex;
 use argus_linear::{BigInt, Constraint, ConstraintSystem, LinExpr, Rat};
-use proptest::prelude::*;
+use argus_prng::Rng64;
 use std::collections::{BTreeMap, BTreeSet};
 
-fn bigint_strategy() -> impl Strategy<Value = (i128, BigInt)> {
-    any::<i64>().prop_map(|v| (v as i128, BigInt::from(v)))
+/// Interesting `i64` values: uniform draws mixed with boundary cases so the
+/// small↔large promotion boundary of `BigInt` is crossed constantly.
+fn gen_i64(r: &mut Rng64) -> i64 {
+    const EDGES: &[i64] = &[
+        0,
+        1,
+        -1,
+        2,
+        -2,
+        i64::MAX,
+        i64::MIN,
+        i64::MAX - 1,
+        i64::MIN + 1,
+        i64::MAX / 2,
+        i64::MIN / 2,
+        1 << 62,
+        -(1 << 62),
+    ];
+    match r.below(4) {
+        0 => *r.pick(EDGES),
+        1 => r.range_i64(-100, 100),
+        _ => r.next_u64() as i64,
+    }
 }
 
-proptest! {
-    #[test]
-    fn bigint_add_matches_i128((a, ba) in bigint_strategy(), (b, bb) in bigint_strategy()) {
-        prop_assert_eq!((&ba + &bb).to_i128(), Some(a + b));
-    }
+fn pair(r: &mut Rng64) -> (i128, BigInt) {
+    let v = gen_i64(r);
+    (v as i128, BigInt::from(v))
+}
 
-    #[test]
-    fn bigint_mul_matches_i128((a, ba) in bigint_strategy(), (b, bb) in bigint_strategy()) {
-        prop_assert_eq!((&ba * &bb).to_i128(), Some(a * b));
+#[test]
+fn bigint_add_sub_mul_match_i128() {
+    let mut r = Rng64::new(0xB16);
+    for _ in 0..4000 {
+        let (a, ba) = pair(&mut r);
+        let (b, bb) = pair(&mut r);
+        assert_eq!((&ba + &bb).to_i128(), Some(a + b), "{a} + {b}");
+        assert_eq!((&ba - &bb).to_i128(), Some(a - b), "{a} - {b}");
+        assert_eq!((&ba * &bb).to_i128(), Some(a * b), "{a} * {b}");
     }
+}
 
-    #[test]
-    fn bigint_divmod_invariant((a, ba) in bigint_strategy(), (b, bb) in bigint_strategy()) {
-        prop_assume!(b != 0);
-        let (q, r) = ba.divmod(&bb);
-        prop_assert_eq!(&(&q * &bb) + &r, ba.clone());
-        prop_assert!(r.abs() < bb.abs());
+#[test]
+fn bigint_divmod_invariant() {
+    let mut r = Rng64::new(0xD1F);
+    for _ in 0..4000 {
+        let (a, ba) = pair(&mut r);
+        let (b, bb) = pair(&mut r);
+        if b == 0 {
+            continue;
+        }
+        let (q, rem) = ba.divmod(&bb);
+        assert_eq!(&(&q * &bb) + &rem, ba, "{a} divmod {b}");
+        assert!(rem.abs() < bb.abs(), "{a} divmod {b}");
         // Truncated semantics: remainder carries the dividend's sign.
-        if !r.is_zero() {
-            prop_assert_eq!(r.is_negative(), a < 0);
+        if !rem.is_zero() {
+            assert_eq!(rem.is_negative(), a < 0, "{a} divmod {b}");
         }
     }
+}
 
-    #[test]
-    fn bigint_string_roundtrip((_, ba) in bigint_strategy(), (_, bb) in bigint_strategy()) {
+#[test]
+fn bigint_string_roundtrip() {
+    let mut r = Rng64::new(0x5EED);
+    for _ in 0..800 {
+        let (_, ba) = pair(&mut r);
+        let (_, bb) = pair(&mut r);
         // Multiply to exceed 64 bits regularly.
         let big = &(&ba * &bb) * &bb;
         let s = big.to_string();
         let back: BigInt = s.parse().unwrap();
-        prop_assert_eq!(back, big);
+        assert_eq!(back, big, "{s}");
     }
+}
 
-    #[test]
-    fn bigint_gcd_divides_both((a, ba) in bigint_strategy(), (b, bb) in bigint_strategy()) {
+#[test]
+fn bigint_gcd_divides_both() {
+    let mut r = Rng64::new(0x6CD);
+    for _ in 0..2000 {
+        let (a, ba) = pair(&mut r);
+        let (b, bb) = pair(&mut r);
         let g = ba.gcd(&bb);
         if a != 0 || b != 0 {
-            prop_assert!(!g.is_zero());
-            prop_assert!((&ba % &g).is_zero());
-            prop_assert!((&bb % &g).is_zero());
+            assert!(!g.is_zero());
+            assert!((&ba % &g).is_zero(), "gcd({a}, {b}) = {g}");
+            assert!((&bb % &g).is_zero(), "gcd({a}, {b}) = {g}");
         } else {
-            prop_assert!(g.is_zero());
+            assert!(g.is_zero());
+        }
+    }
+}
+
+#[test]
+fn bigint_ordering_matches_i128() {
+    let mut r = Rng64::new(0x0DD);
+    for _ in 0..4000 {
+        let (a, ba) = pair(&mut r);
+        let (b, bb) = pair(&mut r);
+        assert_eq!(ba.cmp(&bb), a.cmp(&b), "{a} vs {b}");
+    }
+}
+
+mod promotion_boundary {
+    //! Differential tests for the inline small-integer fast path: the same
+    //! value reached through the inline representation and through the limb
+    //! representation must be indistinguishable — equal, identically
+    //! hashed, identically printed.
+
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(b: &BigInt) -> u64 {
+        let mut h = DefaultHasher::new();
+        b.hash(&mut h);
+        h.finish()
+    }
+
+    /// Construct the value of `v` by a detour through >64-bit territory,
+    /// forcing a promotion and a later demotion.
+    fn via_large(v: i64) -> BigInt {
+        let big = BigInt::from(i64::MAX);
+        &(&BigInt::from(v) + &(&big * &big)) - &(&big * &big)
+    }
+
+    #[test]
+    fn demoted_values_equal_inline_values() {
+        let mut r = Rng64::new(0xB0B);
+        for _ in 0..2000 {
+            let v = gen_i64(&mut r);
+            let inline = BigInt::from(v);
+            let demoted = via_large(v);
+            assert_eq!(inline, demoted, "{v}");
+            assert_eq!(hash_of(&inline), hash_of(&demoted), "{v}");
+            assert_eq!(inline.to_string(), demoted.to_string(), "{v}");
+            assert_eq!(inline.cmp(&demoted), std::cmp::Ordering::Equal, "{v}");
         }
     }
 
     #[test]
-    fn bigint_ordering_matches_i128((a, ba) in bigint_strategy(), (b, bb) in bigint_strategy()) {
-        prop_assert_eq!(ba.cmp(&bb), a.cmp(&b));
-    }
-}
-
-fn rat_strategy() -> impl Strategy<Value = Rat> {
-    (-1000i64..1000, 1i64..60).prop_map(|(n, d)| Rat::new(n.into(), d.into()))
-}
-
-proptest! {
-    #[test]
-    fn rat_field_laws(a in rat_strategy(), b in rat_strategy(), c in rat_strategy()) {
-        // Associativity and commutativity of + and *.
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-        prop_assert_eq!(&a + &b, &b + &a);
-        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
-        prop_assert_eq!(&a * &b, &b * &a);
-        // Distributivity.
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-        // Additive inverse.
-        prop_assert!((&a + &(-&a)).is_zero());
-    }
-
-    #[test]
-    fn rat_recip_is_inverse(a in rat_strategy()) {
-        prop_assume!(!a.is_zero());
-        prop_assert_eq!(&a * &a.recip(), Rat::one());
-    }
-
-    #[test]
-    fn rat_order_total_and_compatible(a in rat_strategy(), b in rat_strategy(), c in rat_strategy()) {
-        // Order respects addition.
-        if a <= b {
-            prop_assert!(&a + &c <= &b + &c);
-        }
-        // floor/ceil bracket the value.
-        let fl = Rat::from(a.floor());
-        let ce = Rat::from(a.ceil());
-        prop_assert!(fl <= a && a <= ce);
-        prop_assert!(&ce - &fl <= Rat::one());
-    }
-}
-
-/// Generate a small random constraint system over `nvars` variables with
-/// small integer coefficients.
-fn system_strategy(nvars: usize, max_rows: usize) -> impl Strategy<Value = ConstraintSystem> {
-    let row = (proptest::collection::vec(-3i64..=3, nvars), -8i64..=8, prop::bool::ANY);
-    proptest::collection::vec(row, 1..=max_rows).prop_map(move |rows| {
-        let mut sys = ConstraintSystem::new();
-        for (coeffs, cst, is_eq) in rows {
-            let mut e = LinExpr::constant(Rat::from_int(cst));
-            for (v, c) in coeffs.into_iter().enumerate() {
-                e.add_term(v, Rat::from_int(c));
-            }
-            let c = if is_eq {
-                Constraint { expr: e, rel: argus_linear::Rel::Eq }
-            } else {
-                Constraint { expr: e, rel: argus_linear::Rel::Le }
-            };
-            sys.push(c);
-        }
-        sys
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// FM and simplex must agree on satisfiability of random systems
-    /// (variables unrestricted in sign for both).
-    #[test]
-    fn fm_and_simplex_agree(sys in system_strategy(3, 5)) {
-        let fm_sat = fm::is_satisfiable_fm(&sys);
-        let sx_sat = simplex::feasible_point(&sys, &BTreeSet::new()).is_some();
-        prop_assert_eq!(fm_sat, sx_sat, "system:\n{}", sys);
-    }
-
-    /// Any witness point found by simplex satisfies the system.
-    #[test]
-    fn simplex_witness_is_valid(sys in system_strategy(3, 5)) {
-        if let Some(pt) = simplex::feasible_point(&sys, &BTreeSet::new()) {
-            prop_assert!(sys.holds_at(&pt), "bad witness for:\n{}", sys);
-        }
-    }
-
-    /// FM projection is sound: projecting a satisfying point stays
-    /// satisfying.
-    #[test]
-    fn fm_projection_preserves_points(sys in system_strategy(3, 5)) {
-        if let Some(pt) = simplex::feasible_point(&sys, &BTreeSet::new()) {
-            match fm::eliminate(&sys, 0) {
-                FmResult::Infeasible => prop_assert!(false, "witness exists yet FM says infeasible"),
-                FmResult::Projected(projected) => {
-                    let mut reduced: BTreeMap<usize, Rat> = pt.clone();
-                    reduced.remove(&0);
-                    prop_assert!(projected.holds_at(&reduced));
+    fn arithmetic_straddles_the_boundary() {
+        // Walk a window across i64::MAX and i64::MIN: every op result is
+        // compared against the i128 model while values hop between the
+        // inline and limb representations.
+        for center in [i64::MAX as i128, i64::MIN as i128, 0, (i64::MAX / 2) as i128] {
+            for da in -3i128..=3 {
+                for db in -3i128..=3 {
+                    let a = center + da;
+                    let b = center + db;
+                    let (ba, bb) = (BigInt::from(a), BigInt::from(b));
+                    assert_eq!((&ba + &bb).to_i128(), Some(a + b));
+                    assert_eq!((&ba - &bb).to_i128(), Some(a - b));
+                    assert_eq!((&ba * &bb).to_i128(), Some(a * b));
+                    assert_eq!(ba.cmp(&bb), a.cmp(&b));
+                    if b != 0 {
+                        let (q, rem) = ba.divmod(&bb);
+                        assert_eq!(&(&q * &bb) + &rem, ba);
+                    }
+                    let g = ba.gcd(&bb);
+                    if a != 0 || b != 0 {
+                        assert!((&ba % &g).is_zero() && (&bb % &g).is_zero());
+                    }
                 }
             }
         }
     }
 
-    /// FM projection is complete: any point of the projection extends to a
-    /// point of the original (checked by substituting the projected point
-    /// and asking simplex for the eliminated variable).
     #[test]
-    fn fm_projection_points_extend(sys in system_strategy(3, 4)) {
+    fn negation_at_the_extremes() {
+        let min = BigInt::from(i64::MIN);
+        let negated = -&min;
+        assert_eq!(negated.to_i128(), Some(-(i64::MIN as i128)));
+        assert_eq!(-&negated, min);
+        assert_eq!(min.abs(), negated);
+        assert_eq!(negated.to_string(), "9223372036854775808");
+    }
+
+    #[test]
+    fn rat_normalization_across_boundary() {
+        // Numerator/denominator pairs around the boundary must still
+        // produce canonical (coprime, positive-denominator) rationals that
+        // compare and hash structurally.
+        let mut r = Rng64::new(0xF00D);
+        for _ in 0..500 {
+            let n = gen_i64(&mut r);
+            let d = gen_i64(&mut r);
+            if d == 0 {
+                continue;
+            }
+            let a = Rat::new(BigInt::from(n), BigInt::from(d));
+            // Build the same value with both parts scaled by a constant:
+            // normalization must converge to the identical representation.
+            let k = BigInt::from(3);
+            let b = Rat::new(&BigInt::from(n) * &k, &BigInt::from(d) * &k);
+            assert_eq!(a, b, "{n}/{d}");
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            assert_eq!(ha.finish(), hb.finish(), "{n}/{d}");
+        }
+    }
+}
+
+fn gen_rat(r: &mut Rng64) -> Rat {
+    let n = r.range_i64(-1000, 999);
+    let d = r.range_i64(1, 59);
+    Rat::new(n.into(), d.into())
+}
+
+#[test]
+fn rat_field_laws() {
+    let mut r = Rng64::new(0xFE1D);
+    for _ in 0..1500 {
+        let a = gen_rat(&mut r);
+        let b = gen_rat(&mut r);
+        let c = gen_rat(&mut r);
+        // Associativity and commutativity of + and *.
+        assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        assert_eq!(&a + &b, &b + &a);
+        assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        assert_eq!(&a * &b, &b * &a);
+        // Distributivity.
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        // Additive inverse.
+        assert!((&a + &(-&a)).is_zero());
+    }
+}
+
+#[test]
+fn rat_recip_is_inverse() {
+    let mut r = Rng64::new(0x1E1);
+    for _ in 0..1500 {
+        let a = gen_rat(&mut r);
+        if a.is_zero() {
+            continue;
+        }
+        assert_eq!(&a * &a.recip(), Rat::one());
+    }
+}
+
+#[test]
+fn rat_order_total_and_compatible() {
+    let mut r = Rng64::new(0x03D);
+    for _ in 0..1500 {
+        let a = gen_rat(&mut r);
+        let b = gen_rat(&mut r);
+        let c = gen_rat(&mut r);
+        // Order respects addition.
+        if a <= b {
+            assert!(&a + &c <= &b + &c);
+        }
+        // floor/ceil bracket the value.
+        let fl = Rat::from(a.floor());
+        let ce = Rat::from(a.ceil());
+        assert!(fl <= a && a <= ce);
+        assert!(&ce - &fl <= Rat::one());
+    }
+}
+
+/// A small random constraint system over `nvars` variables with small
+/// integer coefficients; mixes Le and Eq rows.
+fn gen_system(r: &mut Rng64, nvars: usize, max_rows: usize) -> ConstraintSystem {
+    let nrows = r.range_usize(1, max_rows);
+    let mut sys = ConstraintSystem::new();
+    for _ in 0..nrows {
+        let mut e = LinExpr::constant(Rat::from_int(r.range_i64(-8, 8)));
+        for v in 0..nvars {
+            e.add_term(v, Rat::from_int(r.range_i64(-3, 3)));
+        }
+        let rel = if r.bool() { argus_linear::Rel::Eq } else { argus_linear::Rel::Le };
+        sys.push(Constraint { expr: e, rel });
+    }
+    sys
+}
+
+/// FM and simplex must agree on satisfiability of random systems
+/// (variables unrestricted in sign for both).
+#[test]
+fn fm_and_simplex_agree() {
+    let mut r = Rng64::new(0xA6EE);
+    for _ in 0..64 {
+        let sys = gen_system(&mut r, 3, 5);
+        let fm_sat = fm::is_satisfiable_fm(&sys);
+        let sx_sat = simplex::feasible_point(&sys, &BTreeSet::new()).is_some();
+        assert_eq!(fm_sat, sx_sat, "system:\n{sys}");
+    }
+}
+
+/// Any witness point found by simplex satisfies the system.
+#[test]
+fn simplex_witness_is_valid() {
+    let mut r = Rng64::new(0x317);
+    for _ in 0..64 {
+        let sys = gen_system(&mut r, 3, 5);
+        if let Some(pt) = simplex::feasible_point(&sys, &BTreeSet::new()) {
+            assert!(sys.holds_at(&pt), "bad witness for:\n{sys}");
+        }
+    }
+}
+
+/// FM projection is sound: projecting a satisfying point stays satisfying.
+#[test]
+fn fm_projection_preserves_points() {
+    let mut r = Rng64::new(0x50);
+    for _ in 0..64 {
+        let sys = gen_system(&mut r, 3, 5);
+        if let Some(pt) = simplex::feasible_point(&sys, &BTreeSet::new()) {
+            match fm::eliminate(&sys, 0) {
+                FmResult::Infeasible => panic!("witness exists yet FM says infeasible:\n{sys}"),
+                FmResult::Projected(projected) => {
+                    let mut reduced: BTreeMap<usize, Rat> = pt.clone();
+                    reduced.remove(&0);
+                    assert!(projected.holds_at(&reduced));
+                }
+            }
+        }
+    }
+}
+
+/// FM projection is complete: any point of the projection extends to a
+/// point of the original (checked by substituting the projected point and
+/// asking simplex for the eliminated variable).
+#[test]
+fn fm_projection_points_extend() {
+    let mut r = Rng64::new(0xC0);
+    for _ in 0..64 {
+        let sys = gen_system(&mut r, 3, 4);
         if let FmResult::Projected(projected) = fm::eliminate(&sys, 0) {
             if let Some(ppt) = simplex::feasible_point(&projected, &BTreeSet::new()) {
                 // Substitute the projected values into the original system.
@@ -174,37 +349,44 @@ proptest! {
                     narrowed = narrowed.substitute(*v, &LinExpr::constant(val.clone()));
                 }
                 let extended = simplex::feasible_point(&narrowed, &BTreeSet::new());
-                prop_assert!(extended.is_some(),
-                    "projected point does not extend; system:\n{}", sys);
+                assert!(extended.is_some(), "projected point does not extend; system:\n{sys}");
             }
         }
     }
+}
 
-    /// dedup and canonicalization preserve the solution set.
-    #[test]
-    fn dedup_preserves_semantics(sys in system_strategy(3, 5)) {
+/// dedup and canonicalization preserve the solution set.
+#[test]
+fn dedup_preserves_semantics() {
+    let mut r = Rng64::new(0xDED);
+    for _ in 0..64 {
+        let sys = gen_system(&mut r, 3, 5);
         let d = sys.dedup();
         // Same satisfiability...
-        prop_assert_eq!(
+        assert_eq!(
             simplex::feasible_point(&sys, &BTreeSet::new()).is_some(),
             simplex::feasible_point(&d, &BTreeSet::new()).is_some()
         );
         // ...and any witness of either satisfies the other.
         if let Some(pt) = simplex::feasible_point(&sys, &BTreeSet::new()) {
-            prop_assert!(d.holds_at(&pt));
+            assert!(d.holds_at(&pt));
         }
         if let Some(pt) = simplex::feasible_point(&d, &BTreeSet::new()) {
-            prop_assert!(sys.holds_at(&pt));
+            assert!(sys.holds_at(&pt));
         }
     }
+}
 
-    /// The LP minimum really is a lower bound over random feasible samples.
-    #[test]
-    fn lp_minimum_is_lower_bound(sys in system_strategy(3, 4), obj_coeffs in proptest::collection::vec(-3i64..=3, 3)) {
+/// The LP minimum really is a lower bound over random feasible samples.
+#[test]
+fn lp_minimum_is_lower_bound() {
+    let mut r = Rng64::new(0x10);
+    for _ in 0..64 {
+        let sys = gen_system(&mut r, 3, 4);
         let nonneg: BTreeSet<usize> = (0..3).collect();
         let mut obj = LinExpr::zero();
-        for (v, c) in obj_coeffs.iter().enumerate() {
-            obj.add_term(v, Rat::from_int(*c));
+        for v in 0..3 {
+            obj.add_term(v, Rat::from_int(r.range_i64(-3, 3)));
         }
         let p = argus_linear::LpProblem {
             objective: obj.clone(),
@@ -212,11 +394,11 @@ proptest! {
             nonneg: nonneg.clone(),
         };
         if let argus_linear::LpOutcome::Optimal { value, point } = p.solve() {
-            prop_assert!(sys.holds_at(&point));
-            prop_assert_eq!(obj.eval(&point), value.clone());
+            assert!(sys.holds_at(&point));
+            assert_eq!(obj.eval(&point), value.clone());
             // Any feasible point scores no better.
             if let Some(other) = simplex::feasible_point(&sys, &nonneg) {
-                prop_assert!(obj.eval(&other) >= value);
+                assert!(obj.eval(&other) >= value);
             }
         }
     }
@@ -226,46 +408,65 @@ mod poly_props {
     use super::*;
     use argus_linear::Poly;
 
-    fn small_poly(dim: usize) -> impl Strategy<Value = Poly> {
-        system_strategy(dim, 4).prop_map(move |sys| Poly::from_constraints(dim, sys))
+    fn gen_poly(r: &mut Rng64, dim: usize) -> Poly {
+        Poly::from_constraints(dim, gen_system(r, dim, 4))
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        #[test]
-        fn hull_contains_both(a in small_poly(2), b in small_poly(2)) {
+    #[test]
+    fn hull_contains_both() {
+        let mut r = Rng64::new(0x11);
+        for _ in 0..24 {
+            let a = gen_poly(&mut r, 2);
+            let b = gen_poly(&mut r, 2);
             let h = a.hull(&b);
-            prop_assert!(a.includes_in(&h));
-            prop_assert!(b.includes_in(&h));
+            assert!(a.includes_in(&h));
+            assert!(b.includes_in(&h));
         }
+    }
 
-        #[test]
-        fn meet_included_in_both(a in small_poly(2), b in small_poly(2)) {
+    #[test]
+    fn meet_included_in_both() {
+        let mut r = Rng64::new(0x12);
+        for _ in 0..24 {
+            let a = gen_poly(&mut r, 2);
+            let b = gen_poly(&mut r, 2);
             let m = a.meet(&b);
-            prop_assert!(m.includes_in(&a));
-            prop_assert!(m.includes_in(&b));
+            assert!(m.includes_in(&a));
+            assert!(m.includes_in(&b));
         }
+    }
 
-        #[test]
-        fn widen_is_upper_bound(a in small_poly(2), b in small_poly(2)) {
+    #[test]
+    fn widen_is_upper_bound() {
+        let mut r = Rng64::new(0x13);
+        for _ in 0..24 {
+            let a = gen_poly(&mut r, 2);
+            let b = gen_poly(&mut r, 2);
             // Widening of a by (a ⊔ b) must contain both.
             let j = a.hull(&b);
             let w = a.widen(&j);
-            prop_assert!(j.includes_in(&w));
+            assert!(j.includes_in(&w));
         }
+    }
 
-        #[test]
-        fn minimized_same_set(a in small_poly(2)) {
-            prop_assert!(a.minimized().same_set(&a));
+    #[test]
+    fn minimized_same_set() {
+        let mut r = Rng64::new(0x14);
+        for _ in 0..24 {
+            let a = gen_poly(&mut r, 2);
+            assert!(a.minimized().same_set(&a));
         }
+    }
 
-        #[test]
-        fn sample_point_is_member(a in small_poly(2)) {
+    #[test]
+    fn sample_point_is_member() {
+        let mut r = Rng64::new(0x15);
+        for _ in 0..24 {
+            let a = gen_poly(&mut r, 2);
             if let Some(pt) = a.sample_point() {
-                prop_assert!(a.contains_point(&pt));
+                assert!(a.contains_point(&pt));
             } else {
-                prop_assert!(a.is_empty());
+                assert!(a.is_empty());
             }
         }
     }

@@ -17,7 +17,7 @@ use crate::groundness::{
 use crate::modes::{is_builtin, Adornment, Mode, ModeMap};
 use crate::program::{Atom, Literal, PredKey, Program, Rule};
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Result of adorning a program for a query.
 #[derive(Debug, Clone)]
@@ -54,10 +54,10 @@ pub fn adorn_program(program: &Program, query: &PredKey, adornment: Adornment) -
     discovered.entry(query.clone()).or_default().insert(adornment.clone());
 
     // Naming: single-adornment IDB predicates keep their name.
-    let adorned_name = |pred: &PredKey, adn: &Adornment| -> Rc<str> {
+    let adorned_name = |pred: &PredKey, adn: &Adornment| -> Arc<str> {
         let multi = discovered.get(pred).map(|s| s.len() > 1).unwrap_or(false);
         if multi && idb.contains(pred) {
-            Rc::from(format!("{}__{}", pred.name, adn))
+            Arc::from(format!("{}__{}", pred.name, adn))
         } else {
             pred.name.clone()
         }
@@ -77,7 +77,7 @@ pub fn adorn_program(program: &Program, query: &PredKey, adornment: Adornment) -
             modes.insert(new_key.clone(), adn.clone());
             origin.insert(new_key, pred.clone());
             for rule in program.procedure(pred) {
-                let mut ground: BTreeSet<Rc<str>> = BTreeSet::new();
+                let mut ground: BTreeSet<Arc<str>> = BTreeSet::new();
                 for (i, arg) in rule.head.args.iter().enumerate() {
                     if adn.0[i] == Mode::Bound {
                         ground.extend(arg.vars());

@@ -81,6 +81,40 @@ impl DepGraph {
         (0..self.scc_members.len()).collect()
     }
 
+    /// SCC ids grouped into topological *levels*: level 0 holds SCCs with
+    /// no calls into other SCCs, and each later level's SCCs call only into
+    /// strictly earlier levels. SCCs at the same level are mutually
+    /// independent, so an analysis that imports inter-argument constraints
+    /// bottom-up (paper §2.3) can process a whole level concurrently: by
+    /// the time a level starts, everything any of its SCCs reads from has
+    /// already been computed. Concatenating the levels in order is a valid
+    /// bottom-up order; ids within a level are ascending.
+    pub fn scc_levels(&self) -> Vec<Vec<usize>> {
+        let n = self.scc_members.len();
+        // Condensation edges: SCC ids are bottom-up (callees have smaller
+        // ids), so a single ascending pass sees every callee's level first.
+        let mut level = vec![0usize; n];
+        let mut max_level = 0usize;
+        for id in 0..n {
+            let mut lv = 0usize;
+            for &m in &self.scc_members[id] {
+                for &s in &self.succ[m] {
+                    let callee = self.scc_of[s];
+                    if callee != id {
+                        lv = lv.max(level[callee] + 1);
+                    }
+                }
+            }
+            level[id] = lv;
+            max_level = max_level.max(lv);
+        }
+        let mut out = vec![Vec::new(); max_level + 1];
+        for (id, &lv) in level.iter().enumerate() {
+            out[lv].push(id);
+        }
+        out
+    }
+
     /// Do two predicates belong to the same SCC?
     pub fn same_scc(&self, a: &PredKey, b: &PredKey) -> bool {
         match (self.index_of.get(a), self.index_of.get(b)) {
@@ -293,6 +327,43 @@ mod tests {
         assert!(g.same_scc(&PredKey::new("r", 1), &PredKey::new("s", 1)));
         assert!(!g.same_scc(&PredKey::new("p", 1), &PredKey::new("r", 1)));
         assert_eq!(g.scc_count(), 2);
+    }
+
+    #[test]
+    fn scc_levels_partition_and_respect_dependencies() {
+        // Two independent chains sharing a base: a -> c, b -> c, c leaf.
+        let p = parse_program("a(X) :- c(X).\nb(X) :- c(X).\nc(a).").unwrap();
+        let g = DepGraph::build(&p);
+        let levels = g.scc_levels();
+        let find = |name: &str| {
+            let id = g.scc_id(&PredKey::new(name, 1)).unwrap();
+            levels.iter().position(|lv| lv.contains(&id)).unwrap()
+        };
+        assert_eq!(find("c"), 0);
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 1, "independent SCCs share a level");
+        // Every SCC appears exactly once.
+        let total: usize = levels.iter().map(|lv| lv.len()).sum();
+        assert_eq!(total, g.scc_count());
+    }
+
+    #[test]
+    fn scc_levels_on_deep_chain() {
+        let p = parse_program("a(X) :- b(X).\nb(X) :- c(X).\nc(X) :- d(X).\nd(a).").unwrap();
+        let g = DepGraph::build(&p);
+        let levels = g.scc_levels();
+        assert_eq!(levels.len(), 4, "a chain gives one SCC per level");
+        assert!(levels.iter().all(|lv| lv.len() == 1));
+        // Levels concatenated must be a valid bottom-up order.
+        let flat: Vec<usize> = levels.iter().flatten().copied().collect();
+        let pos = |id: usize| flat.iter().position(|&x| x == id).unwrap();
+        for r in &p.rules {
+            let h = g.scc_id(&r.head.key()).unwrap();
+            for l in &r.body {
+                let s = g.scc_id(&l.atom.key()).unwrap();
+                assert!(pos(s) <= pos(h));
+            }
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@
 use crate::modes::{is_builtin, Adornment, Mode, TEST_BUILTINS};
 use crate::program::{Literal, PredKey, Program};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Success-groundness table: for each reachable `(predicate, adornment)`,
 /// the argument positions ground in every solution.
@@ -59,7 +59,10 @@ impl Groundness {
 }
 
 /// The call adornment of an atom given the currently ground variables.
-pub(crate) fn call_adornment(atom: &crate::program::Atom, ground: &BTreeSet<Rc<str>>) -> Adornment {
+pub(crate) fn call_adornment(
+    atom: &crate::program::Atom,
+    ground: &BTreeSet<Arc<str>>,
+) -> Adornment {
     Adornment(
         atom.args
             .iter()
@@ -81,7 +84,7 @@ pub(crate) fn call_adornment(atom: &crate::program::Atom, ground: &BTreeSet<Rc<s
 /// predicates (callers record reachable patterns).
 pub(crate) fn apply_groundness(
     lit: &Literal,
-    ground: &mut BTreeSet<Rc<str>>,
+    ground: &mut BTreeSet<Arc<str>>,
     lookup: &dyn Fn(&PredKey, &Adornment) -> BTreeSet<usize>,
 ) -> Option<(PredKey, Adornment)> {
     if !lit.positive {
@@ -153,7 +156,7 @@ pub fn analyze_groundness(program: &Program, query: &PredKey, root: Adornment) -
         let mut per_clause: Vec<BTreeSet<usize>> = Vec::new();
         let mut discovered: Vec<(PredKey, Adornment)> = Vec::new();
         for rule in program.procedure(&pred) {
-            let mut ground: BTreeSet<Rc<str>> = BTreeSet::new();
+            let mut ground: BTreeSet<Arc<str>> = BTreeSet::new();
             for (i, arg) in rule.head.args.iter().enumerate() {
                 if adornment.0[i] == Mode::Bound {
                     ground.extend(arg.vars());
@@ -238,7 +241,7 @@ pub fn analyze_groundness(program: &Program, query: &PredKey, root: Adornment) -
             continue;
         }
         for rule in program.procedure(&pred) {
-            let mut ground: BTreeSet<Rc<str>> = BTreeSet::new();
+            let mut ground: BTreeSet<Arc<str>> = BTreeSet::new();
             for (i, arg) in rule.head.args.iter().enumerate() {
                 if adornment.0[i] == Mode::Bound {
                     ground.extend(arg.vars());

@@ -19,7 +19,7 @@
 use crate::program::{PredKey, Program};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The mode of one argument position.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -180,7 +180,7 @@ pub fn infer_modes(program: &Program, root: &PredKey, root_adornment: Adornment)
         let adornment = map[&pred].clone();
         for rule in program.procedure(&pred) {
             // Variables bound by the head's bound arguments.
-            let mut bound_vars: BTreeSet<Rc<str>> = BTreeSet::new();
+            let mut bound_vars: BTreeSet<Arc<str>> = BTreeSet::new();
             for (i, arg) in rule.head.args.iter().enumerate() {
                 if adornment.0[i] == Mode::Bound {
                     for v in arg.vars() {

@@ -8,14 +8,14 @@ use crate::span::SpanSlot;
 use crate::term::Term;
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A predicate identity: name plus arity. `append/3` and `append/2` are
 /// different predicates.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PredKey {
     /// Predicate name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Number of arguments.
     pub arity: usize,
 }
@@ -23,7 +23,7 @@ pub struct PredKey {
 impl PredKey {
     /// Build a key.
     pub fn new(name: impl AsRef<str>, arity: usize) -> PredKey {
-        PredKey { name: Rc::from(name.as_ref()), arity }
+        PredKey { name: Arc::from(name.as_ref()), arity }
     }
 }
 
@@ -37,7 +37,7 @@ impl fmt::Display for PredKey {
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Atom {
     /// Predicate name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Argument terms.
     pub args: Vec<Term>,
     /// Source span (comparison-transparent; empty for synthesized atoms).
@@ -47,7 +47,7 @@ pub struct Atom {
 impl Atom {
     /// Build an atom.
     pub fn new(name: impl AsRef<str>, args: Vec<Term>) -> Atom {
-        Atom { name: Rc::from(name.as_ref()), args, span: SpanSlot::none() }
+        Atom { name: Arc::from(name.as_ref()), args, span: SpanSlot::none() }
     }
 
     /// The same atom carrying `span`.
@@ -62,7 +62,7 @@ impl Atom {
     }
 
     /// Distinct variables, first-occurrence order.
-    pub fn vars(&self) -> Vec<Rc<str>> {
+    pub fn vars(&self) -> Vec<Arc<str>> {
         let mut occ = Vec::new();
         for a in &self.args {
             a.var_occurrences(&mut occ);
@@ -179,7 +179,7 @@ impl Rule {
     }
 
     /// Distinct variables over head and body, first occurrence order.
-    pub fn vars(&self) -> Vec<Rc<str>> {
+    pub fn vars(&self) -> Vec<Arc<str>> {
         let mut occ = Vec::new();
         for a in &self.head.args {
             a.var_occurrences(&mut occ);

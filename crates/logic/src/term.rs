@@ -9,31 +9,31 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A logical term.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
     /// A logical variable, by name (e.g. `Xs`).
-    Var(Rc<str>),
+    Var(Arc<str>),
     /// A function symbol applied to arguments; constants have no arguments.
-    App(Rc<str>, Vec<Term>),
+    App(Arc<str>, Vec<Term>),
 }
 
 impl Term {
     /// A variable.
     pub fn var(name: impl AsRef<str>) -> Term {
-        Term::Var(Rc::from(name.as_ref()))
+        Term::Var(Arc::from(name.as_ref()))
     }
 
     /// A constant (zero-arity function symbol).
     pub fn atom(name: impl AsRef<str>) -> Term {
-        Term::App(Rc::from(name.as_ref()), Vec::new())
+        Term::App(Arc::from(name.as_ref()), Vec::new())
     }
 
     /// A compound term.
     pub fn app(functor: impl AsRef<str>, args: Vec<Term>) -> Term {
-        Term::App(Rc::from(functor.as_ref()), args)
+        Term::App(Arc::from(functor.as_ref()), args)
     }
 
     /// An integer constant, encoded as a constant symbol (the analyzer
@@ -80,7 +80,7 @@ impl Term {
     }
 
     /// Collect variable names (in depth-first order, with duplicates).
-    pub fn var_occurrences(&self, out: &mut Vec<Rc<str>>) {
+    pub fn var_occurrences(&self, out: &mut Vec<Arc<str>>) {
         match self {
             Term::Var(v) => out.push(v.clone()),
             Term::App(_, args) => {
@@ -92,7 +92,7 @@ impl Term {
     }
 
     /// The set of distinct variable names.
-    pub fn vars(&self) -> Vec<Rc<str>> {
+    pub fn vars(&self) -> Vec<Arc<str>> {
         let mut occ = Vec::new();
         self.var_occurrences(&mut occ);
         let mut seen = std::collections::BTreeSet::new();
@@ -192,7 +192,7 @@ pub struct SizePolynomial {
     /// Constant part (total arity of the term's function symbols).
     pub constant: u64,
     /// Occurrence count per variable.
-    pub coeffs: BTreeMap<Rc<str>, u64>,
+    pub coeffs: BTreeMap<Arc<str>, u64>,
 }
 
 impl fmt::Display for SizePolynomial {

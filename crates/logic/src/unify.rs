@@ -8,12 +8,12 @@
 use crate::program::Atom;
 use crate::term::Term;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A substitution: a finite map from variable names to terms.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Subst {
-    map: HashMap<Rc<str>, Term>,
+    map: HashMap<Arc<str>, Term>,
 }
 
 impl Subst {
@@ -38,7 +38,7 @@ impl Subst {
     }
 
     /// Bind `v` to `t`. Overwrites silently; callers maintain consistency.
-    pub fn bind(&mut self, v: Rc<str>, t: Term) {
+    pub fn bind(&mut self, v: Arc<str>, t: Term) {
         self.map.insert(v, t);
     }
 

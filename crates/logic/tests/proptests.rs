@@ -1,150 +1,186 @@
-//! Property-based tests for terms, parsing, and unification.
+//! Randomized property tests for terms, parsing, and unification, driven
+//! by a deterministic seeded generator (argus-prng) so failures reproduce
+//! exactly and the suite needs no external crates.
 
 use argus_logic::parser::{parse_program, parse_term};
 use argus_logic::term::Term;
 use argus_logic::unify::{mgu, Subst};
-use proptest::prelude::*;
+use argus_prng::Rng64;
 
-/// Random ground-ish terms (variables included) with bounded depth.
-fn term_strategy() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        prop_oneof![Just("a"), Just("b"), Just("c"), Just("nil")].prop_map(Term::atom),
-        prop_oneof![Just("X"), Just("Y"), Just("Zs"), Just("W")].prop_map(Term::var),
-        (-50i64..50).prop_map(Term::int),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![Just("f"), Just("g"), Just("node")],
-                proptest::collection::vec(inner.clone(), 1..3)
-            )
-                .prop_map(|(f, args)| Term::app(f, args)),
-            (inner.clone(), inner).prop_map(|(h, t)| Term::cons(h, t)),
-        ]
-    })
+/// Random ground-ish terms (variables included) with bounded depth —
+/// mirrors the old proptest strategy: atoms / variables / small ints at
+/// the leaves, `f|g|node` applications and cons cells inside.
+fn gen_term(r: &mut Rng64, depth: usize) -> Term {
+    if depth == 0 || r.below(3) == 0 {
+        return match r.below(3) {
+            0 => Term::atom(*r.pick(&["a", "b", "c", "nil"])),
+            1 => Term::var(*r.pick(&["X", "Y", "Zs", "W"])),
+            _ => Term::int(r.range_i64(-50, 49)),
+        };
+    }
+    if r.bool() {
+        let f = *r.pick(&["f", "g", "node"]);
+        let nargs = r.range_usize(1, 2);
+        Term::app(f, (0..nargs).map(|_| gen_term(r, depth - 1)).collect())
+    } else {
+        Term::cons(gen_term(r, depth - 1), gen_term(r, depth - 1))
+    }
 }
 
-proptest! {
-    /// Display → parse is the identity on terms.
-    #[test]
-    fn term_display_parse_roundtrip(t in term_strategy()) {
+/// Display → parse is the identity on terms.
+#[test]
+fn term_display_parse_roundtrip() {
+    let mut r = Rng64::new(0x7E2);
+    for _ in 0..500 {
+        let t = gen_term(&mut r, 3);
         let printed = t.to_string();
-        let back = parse_term(&printed)
-            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
-        prop_assert_eq!(back, t);
+        let back =
+            parse_term(&printed).unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        assert_eq!(back, t);
     }
+}
 
-    /// Ground terms have a size equal to their size polynomial's constant.
-    #[test]
-    fn ground_size_matches_polynomial(t in term_strategy()) {
+/// Ground terms have a size equal to their size polynomial's constant.
+#[test]
+fn ground_size_matches_polynomial() {
+    let mut r = Rng64::new(0x601);
+    for _ in 0..500 {
+        let t = gen_term(&mut r, 3);
         let p = t.size_polynomial();
         match t.ground_size() {
             Some(s) => {
-                prop_assert!(t.is_ground());
-                prop_assert_eq!(p.coeffs.len(), 0);
-                prop_assert_eq!(s, p.constant);
+                assert!(t.is_ground());
+                assert_eq!(p.coeffs.len(), 0);
+                assert_eq!(s, p.constant);
             }
-            None => prop_assert!(!t.is_ground()),
+            None => assert!(!t.is_ground()),
         }
     }
+}
 
-    /// The mgu, when it exists, actually unifies, and is idempotent.
-    #[test]
-    fn mgu_unifies_and_is_idempotent(a in term_strategy(), b in term_strategy()) {
+/// The mgu, when it exists, actually unifies, and is idempotent.
+#[test]
+fn mgu_unifies_and_is_idempotent() {
+    let mut r = Rng64::new(0x113);
+    for _ in 0..500 {
+        let a = gen_term(&mut r, 3);
+        let b = gen_term(&mut r, 3);
         if let Some(s) = mgu(&a, &b, true) {
             let ra = s.resolve(&a);
             let rb = s.resolve(&b);
-            prop_assert_eq!(&ra, &rb);
+            assert_eq!(&ra, &rb);
             // Idempotence: resolving again changes nothing.
-            prop_assert_eq!(s.resolve(&ra), ra);
+            assert_eq!(s.resolve(&ra), ra);
         }
     }
+}
 
-    /// Unification is symmetric in success.
-    #[test]
-    fn unification_symmetric(a in term_strategy(), b in term_strategy()) {
-        prop_assert_eq!(mgu(&a, &b, true).is_some(), mgu(&b, &a, true).is_some());
+/// Unification is symmetric in success.
+#[test]
+fn unification_symmetric() {
+    let mut r = Rng64::new(0x5CC);
+    for _ in 0..500 {
+        let a = gen_term(&mut r, 3);
+        let b = gen_term(&mut r, 3);
+        assert_eq!(mgu(&a, &b, true).is_some(), mgu(&b, &a, true).is_some());
     }
+}
 
-    /// A renamed-apart copy always unifies with the original when the
-    /// original's variables don't clash (grounding both sides of fresh
-    /// names), and renaming preserves the size polynomial constant.
-    #[test]
-    fn rename_preserves_structure(t in term_strategy()) {
+/// A renamed-apart copy always unifies with the original when the
+/// original's variables don't clash (grounding both sides of fresh
+/// names), and renaming preserves the size polynomial constant.
+#[test]
+fn rename_preserves_structure() {
+    let mut rr = Rng64::new(0x4E4);
+    for _ in 0..500 {
+        let t = gen_term(&mut rr, 3);
         let r = t.rename_suffix("_fresh");
-        prop_assert_eq!(t.size_polynomial().constant, r.size_polynomial().constant);
-        prop_assert_eq!(t.depth(), r.depth());
-        prop_assert_eq!(t.is_ground(), r.is_ground());
+        assert_eq!(t.size_polynomial().constant, r.size_polynomial().constant);
+        assert_eq!(t.depth(), r.depth());
+        assert_eq!(t.is_ground(), r.is_ground());
         if t.is_ground() {
-            prop_assert_eq!(&r, &t);
+            assert_eq!(&r, &t);
         }
-        prop_assert!(mgu(&t, &r, false).is_some(), "a term unifies with its renaming");
+        assert!(mgu(&t, &r, false).is_some(), "a term unifies with its renaming");
     }
+}
 
-    /// Substitution composition: resolving through an extended substitution
-    /// equals resolving the resolved term.
-    #[test]
-    fn resolve_composes(a in term_strategy(), b in term_strategy()) {
+/// Substitution composition: resolving through an extended substitution
+/// equals resolving the resolved term.
+#[test]
+fn resolve_composes() {
+    let mut r = Rng64::new(0xC09);
+    for _ in 0..500 {
+        let a = gen_term(&mut r, 3);
+        let b = gen_term(&mut r, 3);
         let mut s = Subst::new();
         if argus_logic::unify::unify(&mut s, &a, &b, true) {
             let once = s.resolve(&a);
             let twice = s.resolve(&once);
-            prop_assert_eq!(once, twice);
+            assert_eq!(once, twice);
         }
     }
 }
 
-/// Program-level round trip over generated programs assembled from random
-/// rules (heads and bodies built from the term generator).
-fn small_program_strategy() -> impl Strategy<Value = String> {
-    fn atom() -> impl Strategy<Value = (&'static str, Vec<Term>)> {
-        (
-            prop_oneof![Just("p"), Just("q"), Just("r")],
-            proptest::collection::vec(term_strategy(), 1..3),
-        )
-    }
-    let rule = (atom(), proptest::collection::vec(atom(), 0..3));
-    proptest::collection::vec(rule, 1..5).prop_map(|rules| {
-        let mut out = String::new();
-        for ((hname, hargs), body) in rules {
-            let head = Term::app(hname, hargs);
-            out.push_str(&head.to_string());
-            if !body.is_empty() {
-                out.push_str(" :- ");
-                let goals: Vec<String> =
-                    body.into_iter().map(|(n, args)| Term::app(n, args).to_string()).collect();
-                out.push_str(&goals.join(", "));
-            }
-            out.push_str(".\n");
+/// Program source assembled from random rules (heads and bodies built
+/// from the term generator).
+fn gen_program_src(r: &mut Rng64) -> String {
+    let gen_atom = |r: &mut Rng64| -> (String, Vec<Term>) {
+        let name = (*r.pick(&["p", "q", "r"])).to_string();
+        let nargs = r.range_usize(1, 2);
+        let args = (0..nargs).map(|_| gen_term(r, 2)).collect();
+        (name, args)
+    };
+    let nrules = r.range_usize(1, 4);
+    let mut out = String::new();
+    for _ in 0..nrules {
+        let (hname, hargs) = gen_atom(r);
+        let head = Term::app(hname.as_str(), hargs);
+        out.push_str(&head.to_string());
+        let nbody = r.range_usize(0, 2);
+        if nbody > 0 {
+            out.push_str(" :- ");
+            let goals: Vec<String> = (0..nbody)
+                .map(|_| {
+                    let (n, args) = gen_atom(r);
+                    Term::app(n.as_str(), args).to_string()
+                })
+                .collect();
+            out.push_str(&goals.join(", "));
         }
-        out
-    })
+        out.push_str(".\n");
+    }
+    out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn program_display_parse_roundtrip(src in small_program_strategy()) {
+#[test]
+fn program_display_parse_roundtrip() {
+    let mut r = Rng64::new(0x960);
+    for _ in 0..64 {
+        let src = gen_program_src(&mut r);
         let p1 = parse_program(&src).expect("generated source parses");
         let printed = p1.to_string();
         let p2 = parse_program(&printed).expect("printed program reparses");
-        prop_assert_eq!(p1, p2);
+        assert_eq!(p1, p2);
     }
+}
 
-    /// SCC condensation partitions the predicates and respects edges.
-    #[test]
-    fn scc_partition_invariants(src in small_program_strategy()) {
+/// SCC condensation partitions the predicates and respects edges.
+#[test]
+fn scc_partition_invariants() {
+    let mut r = Rng64::new(0x5C0);
+    for _ in 0..64 {
+        let src = gen_program_src(&mut r);
         let program = parse_program(&src).unwrap();
         let graph = argus_logic::DepGraph::build(&program);
         let mut seen = std::collections::BTreeSet::new();
         for id in graph.sccs_bottom_up() {
             for p in graph.scc(id) {
-                prop_assert!(seen.insert(p), "predicate in two SCCs");
+                assert!(seen.insert(p), "predicate in two SCCs");
             }
         }
         for p in program.all_predicates() {
-            prop_assert!(seen.contains(&p), "predicate missing from SCCs");
+            assert!(seen.contains(&p), "predicate missing from SCCs");
         }
         // Bottom-up order: every subgoal's SCC is at or before the head's.
         let order = graph.sccs_bottom_up();
@@ -153,7 +189,7 @@ proptest! {
             let h = graph.scc_id(&rule.head.key()).unwrap();
             for l in &rule.body {
                 let s = graph.scc_id(&l.atom.key()).unwrap();
-                prop_assert!(pos(s) <= pos(h), "callee SCC after caller");
+                assert!(pos(s) <= pos(h), "callee SCC after caller");
             }
         }
     }

@@ -39,7 +39,7 @@ use argus_linear::{Constraint, ConstraintSystem, LinExpr, Poly, Rat, Rel, Var};
 use argus_logic::{DepGraph, Norm, PredKey, Program, Rule};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Options controlling the fixpoint iteration.
 #[derive(Debug, Clone)]
@@ -175,11 +175,11 @@ pub fn rule_poly(rule: &Rule, env: &SizeRelations) -> Poly {
 pub fn rule_poly_with_norm(rule: &Rule, env: &SizeRelations, norm: Norm) -> Poly {
     let head_arity = rule.head.args.len();
     let mut next: Var = head_arity;
-    let mut var_of: BTreeMap<Rc<str>, Var> = BTreeMap::new();
+    let mut var_of: BTreeMap<Arc<str>, Var> = BTreeMap::new();
     let mut sys = ConstraintSystem::new();
 
     let size_expr = |poly: &argus_logic::SizePolynomial,
-                     var_of: &mut BTreeMap<Rc<str>, Var>,
+                     var_of: &mut BTreeMap<Arc<str>, Var>,
                      next: &mut Var,
                      sys: &mut ConstraintSystem| {
         let mut e = LinExpr::constant(Rat::from_int(poly.constant as i64));

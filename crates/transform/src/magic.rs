@@ -27,7 +27,7 @@
 use argus_logic::modes::{is_builtin, Adornment, ModeMap};
 use argus_logic::program::{Atom, Literal, PredKey, Program, Rule};
 use argus_logic::span::SpanSlot;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Result of the magic-sets rewriting.
 #[derive(Debug, Clone)]
@@ -39,8 +39,8 @@ pub struct MagicProgram {
     pub seed: PredKey,
 }
 
-fn magic_name(pred: &PredKey) -> Rc<str> {
-    Rc::from(format!("magic__{}", pred.name))
+fn magic_name(pred: &PredKey) -> Arc<str> {
+    Arc::from(format!("magic__{}", pred.name))
 }
 
 /// Project an atom's arguments onto the bound positions of `adornment`.

@@ -3,7 +3,7 @@
 //! ```text
 //! argus analyze <file.pl> <name/arity> <adornment> [--norm list-length]
 //!               [--delta appendix-c] [--no-transform] [--certify]
-//!               [--lexicographic] [--json]
+//!               [--lexicographic] [--json] [--jobs N]
 //! argus lint    <file.pl> [--query <name/arity> --mode <adornment>] [--json]
 //! argus compare <file.pl> <name/arity> <adornment>
 //! argus run     <file.pl> '<goal>'  [--steps N]
@@ -38,7 +38,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  argus analyze <file.pl> <name/arity> <adornment> \
          [--norm structural|list-length] [--delta paper|appendix-c] \
-         [--no-transform] [--certify] [--lexicographic]\n  \
+         [--no-transform] [--certify] [--lexicographic] [--jobs N]\n  \
          argus lint <file.pl> [--query <name/arity> --mode <adornment>] [--json]\n  \
          argus compare <file.pl> <name/arity> <adornment>\n  \
          argus run <file.pl> '<goal>' [--steps N]\n  \
@@ -99,6 +99,16 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                     Some("appendix-c") => DeltaMode::PathConstraints,
                     v => {
                         eprintln!("--delta wants paper|appendix-c, got {v:?}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--jobs" => {
+                i += 1;
+                options.parallelism = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--jobs wants a thread count (0 = one per core)");
                         return ExitCode::FAILURE;
                     }
                 };

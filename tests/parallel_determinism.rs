@@ -1,0 +1,110 @@
+//! The parallel analysis pipeline must be invisible in the output: for any
+//! worker count, the report — human-readable text AND machine JSON — must
+//! be byte-identical to the fully sequential run. SCC results are computed
+//! level-concurrently but emitted in the sequential bottom-up order, and
+//! per-pair projections truncate at the first failure exactly like the
+//! sequential early-break, so nothing downstream can tell the difference.
+
+use argus::prelude::*;
+
+fn render(report: &TerminationReport) -> (String, String) {
+    (report.to_string(), report.to_json())
+}
+
+fn analyze_with_jobs(
+    entry: &argus::corpus::CorpusEntry,
+    options: &AnalysisOptions,
+) -> (String, String) {
+    let program = entry.program().unwrap();
+    let (query, adornment) = entry.query_key();
+    render(&analyze(&program, &query, adornment, options))
+}
+
+/// Every corpus entry, default options: `--jobs 4` == `--jobs 1`, byte for
+/// byte, on both the Display text and the JSON report.
+#[test]
+fn corpus_reports_identical_across_worker_counts() {
+    for entry in argus::corpus::corpus() {
+        let seq =
+            analyze_with_jobs(&entry, &AnalysisOptions { parallelism: 1, ..Default::default() });
+        for jobs in [2, 4] {
+            let par = analyze_with_jobs(
+                &entry,
+                &AnalysisOptions { parallelism: jobs, ..Default::default() },
+            );
+            assert_eq!(seq.0, par.0, "{}: text differs at --jobs {jobs}", entry.name);
+            assert_eq!(seq.1, par.1, "{}: JSON differs at --jobs {jobs}", entry.name);
+        }
+    }
+}
+
+/// The non-default analysis paths (Appendix C δ variables, lexicographic
+/// fallback, list-length norm) go through the same fan-out points and must
+/// be deterministic too.
+#[test]
+fn variant_options_identical_across_worker_counts() {
+    let variants = [
+        AnalysisOptions { delta_mode: DeltaMode::PathConstraints, ..Default::default() },
+        AnalysisOptions { lexicographic: true, ..Default::default() },
+        AnalysisOptions { norm: argus::logic::Norm::ListLength, ..Default::default() },
+    ];
+    for entry in argus::corpus::corpus() {
+        for variant in &variants {
+            let seq =
+                analyze_with_jobs(&entry, &AnalysisOptions { parallelism: 1, ..variant.clone() });
+            let par =
+                analyze_with_jobs(&entry, &AnalysisOptions { parallelism: 4, ..variant.clone() });
+            assert_eq!(seq, par, "{}: variant {variant:?} differs at --jobs 4", entry.name);
+        }
+    }
+}
+
+/// Certificates produced under parallel analysis verify exactly like the
+/// sequential ones (the witness/refutation objects are identical).
+#[test]
+fn certificates_survive_parallel_analysis() {
+    for entry in argus::corpus::corpus() {
+        let options = AnalysisOptions { parallelism: 4, ..Default::default() };
+        let program = entry.program().unwrap();
+        let (query, adornment) = entry.query_key();
+        let report = analyze(&program, &query, adornment, &options);
+        if report.verdict == Verdict::Terminates {
+            argus::core::verify_report(&report, options.norm).unwrap_or_else(|e| {
+                panic!("{}: certificate rejected under --jobs 4: {e}", entry.name)
+            });
+        }
+        for scc in &report.sccs {
+            if let Some(ok) = scc.verify_refutation() {
+                assert!(ok, "{}: Farkas refutation failed to verify under --jobs 4", entry.name);
+            }
+        }
+    }
+}
+
+/// The example program shipped in `examples/` analyzes identically at any
+/// worker count, under both text and JSON rendering.
+#[test]
+fn example_file_identical_across_worker_counts() {
+    let src =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/lint_demo.pl"))
+            .expect("examples/lint_demo.pl");
+    let program = argus::logic::parser::parse_program(&src).unwrap();
+    // Analyze every IDB predicate with an all-bound adornment: exercises
+    // multi-SCC level scheduling on a real file.
+    for pred in program.idb_predicates() {
+        let adornment = Adornment::parse(&"b".repeat(pred.arity)).unwrap();
+        let seq = render(&analyze(
+            &program,
+            &pred,
+            adornment.clone(),
+            &AnalysisOptions { parallelism: 1, ..Default::default() },
+        ));
+        let par = render(&analyze(
+            &program,
+            &pred,
+            adornment,
+            &AnalysisOptions { parallelism: 4, ..Default::default() },
+        ));
+        assert_eq!(seq, par, "{pred}: report differs at --jobs 4");
+    }
+}
