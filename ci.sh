@@ -31,6 +31,19 @@ cargo build --release --workspace "${CARGO_FLAGS[@]}"
 echo "==> cargo test"
 cargo test --workspace --release -q "${CARGO_FLAGS[@]}"
 
+echo "==> fuzz smoke"
+# Differential/metamorphic soundness harness over a fixed seed set, at two
+# parallelism settings; the reports must match byte for byte. Any
+# violation exits nonzero (and writes a reproducer under
+# tests/golden/fuzz-repros/ for the regression suite to replay).
+for seed in 1 42; do
+    ./target/release/argus fuzz --seed "$seed" --cases 500 --jobs 0 --json \
+        > "/tmp/argus-fuzz-$seed-j0.json"
+    ./target/release/argus fuzz --seed "$seed" --cases 500 --jobs 1 --json \
+        > "/tmp/argus-fuzz-$seed-j1.json"
+    cmp "/tmp/argus-fuzz-$seed-j0.json" "/tmp/argus-fuzz-$seed-j1.json"
+done
+
 echo "==> bench smoke"
 # CI-sized pass over every bench suite: catches workloads that rot (panic,
 # hang, or stop compiling) without paying for full-scale numbers.

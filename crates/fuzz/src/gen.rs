@@ -1,0 +1,420 @@
+//! Seeded generation of well-moded logic programs with tunable shape.
+//!
+//! Programs are built SCC by SCC, bottom-up: each SCC is a ring of mutually
+//! recursive predicates over a single *measure shape* (lists consumed down
+//! the spine, or Peano naturals), and higher SCCs may call into lower ones
+//! with inputs that are bound at the call site. Every predicate has one
+//! input position (bound under the generated query mode) and up to
+//! [`GenOptions::max_outputs`] output positions; clauses are constructed so
+//! the program is well-moded by induction — base clauses ground their
+//! outputs, recursive clauses build outputs only from head-bound variables
+//! and outputs of earlier body calls.
+//!
+//! The interesting knob is [`GenOptions::growth`]: with it on, a recursive
+//! call may pass an argument that is the *same size* as (or larger than)
+//! the head's input, producing programs the analyzer must refuse to prove —
+//! the population of `Unknown`/`ZeroWeightCycle` verdicts that the
+//! differential oracle then confirms really do run away.
+
+use argus_logic::modes::Adornment;
+use argus_logic::program::{Atom, Literal, PredKey, Program, Rule};
+use argus_logic::term::Term;
+use argus_prng::Rng64;
+
+/// Shape of the measure an SCC recurses on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Cons lists over the constants `a`, `b`, `c`.
+    List,
+    /// Peano naturals `z`, `s(z)`, `s(s(z))`, …
+    Nat,
+}
+
+/// Tunable shape of the generated programs.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Maximum number of SCC levels (≥ 1).
+    pub max_sccs: usize,
+    /// Maximum predicates per SCC (mutual-recursion width, ≥ 1).
+    pub max_width: usize,
+    /// Maximum output (free) argument positions per predicate.
+    pub max_outputs: usize,
+    /// Allow nonlinear recursion (two recursive calls in one clause).
+    pub nonlinear: bool,
+    /// Allow same-size / growing recursive arguments (programs that do not
+    /// terminate and must not be proved).
+    pub growth: bool,
+    /// Allow negated goals (off by default: negation-as-failure adds noise
+    /// without exercising the size argument).
+    pub negation: bool,
+}
+
+impl Default for GenOptions {
+    fn default() -> GenOptions {
+        GenOptions {
+            max_sccs: 3,
+            max_width: 2,
+            max_outputs: 2,
+            nonlinear: true,
+            growth: true,
+            negation: false,
+        }
+    }
+}
+
+/// One generated fuzz case: a program plus the query the analyzer is asked
+/// about (input position bound, outputs free).
+#[derive(Debug, Clone)]
+pub struct GenCase {
+    /// The generated program.
+    pub program: Program,
+    /// The query predicate (first predicate of the top SCC).
+    pub query: PredKey,
+    /// Its adornment: `b` for the input, `f` per output.
+    pub adornment: Adornment,
+    /// True iff some reachable recursive call uses a same-size/growing
+    /// argument (the case is expected not to be provable).
+    pub has_growth: bool,
+    /// True iff some clause has two recursive calls.
+    pub has_nonlinear: bool,
+}
+
+/// A predicate slot during generation.
+#[derive(Debug, Clone)]
+struct Slot {
+    key: PredKey,
+    outputs: usize,
+}
+
+const CONSTS: &[&str] = &["a", "b", "c"];
+
+fn ground_leaf(r: &mut Rng64, shape: Shape) -> Term {
+    match shape {
+        Shape::List => match r.below(3) {
+            0 => Term::nil(),
+            1 => Term::atom(*r.pick(CONSTS)),
+            _ => Term::list([Term::atom(*r.pick(CONSTS))]),
+        },
+        Shape::Nat => match r.below(3) {
+            0 => Term::atom("z"),
+            1 => Term::atom(*r.pick(CONSTS)),
+            _ => Term::app("s", vec![Term::atom("z")]),
+        },
+    }
+}
+
+/// Generate one case from the given rng (drawn from the case's seed).
+pub fn generate(r: &mut Rng64, opts: &GenOptions) -> GenCase {
+    let nsccs = r.range_usize(1, opts.max_sccs.max(1));
+    let mut rules: Vec<Rule> = Vec::new();
+    let mut lower: Vec<Slot> = Vec::new(); // predicates of strictly lower SCCs
+    let mut top: Vec<Slot> = Vec::new();
+    let mut has_growth = false;
+    let mut has_nonlinear = false;
+    let mut negation_used = false;
+
+    for s in 0..nsccs {
+        let width = r.range_usize(1, opts.max_width.max(1));
+        let shape = if r.bool() { Shape::List } else { Shape::Nat };
+        let slots: Vec<Slot> = (0..width)
+            .map(|i| {
+                let outputs = r.range_usize(0, opts.max_outputs);
+                Slot { key: PredKey::new(format!("p{s}_{i}"), 1 + outputs), outputs }
+            })
+            .collect();
+
+        for (i, slot) in slots.iter().enumerate() {
+            let nonlinear = opts.nonlinear && r.below(4) == 0;
+            // Nonlinear predicates get exactly one base + one recursive
+            // clause so the all-solutions search tree stays within the
+            // interpreter budget on terminating cases.
+            let nbase = if nonlinear { 1 } else { r.range_usize(1, 2) };
+            let nrec = if nonlinear { 1 } else { r.range_usize(1, 2) };
+            for _ in 0..nbase {
+                rules.push(base_clause(r, slot, shape));
+            }
+            for _ in 0..nrec {
+                let (rule, grew) = rec_clause(
+                    r,
+                    slot,
+                    &slots,
+                    i,
+                    shape,
+                    nonlinear,
+                    &lower,
+                    opts,
+                    &mut negation_used,
+                );
+                has_growth |= grew;
+                has_nonlinear |= nonlinear;
+                rules.push(rule);
+            }
+        }
+        lower.extend(slots.iter().cloned());
+        top = slots;
+    }
+
+    if negation_used {
+        // Facts for the negated EDB guard.
+        rules.push(Rule::fact(Atom::new("absent", vec![Term::atom("c")])));
+    }
+
+    let q = top[0].clone();
+    let mut adornment = String::from("b");
+    adornment.push_str(&"f".repeat(q.outputs));
+    GenCase {
+        program: Program::from_rules(rules),
+        query: q.key,
+        adornment: Adornment::parse(&adornment).expect("generated adornment is valid"),
+        has_growth,
+        has_nonlinear,
+    }
+}
+
+/// A base clause: the input matches the measure's bottom (or a singleton),
+/// outputs are ground or copied from head-bound variables.
+fn base_clause(r: &mut Rng64, slot: &Slot, shape: Shape) -> Rule {
+    let (input, bound): (Term, Vec<Term>) = match shape {
+        Shape::List => {
+            if r.below(3) == 0 {
+                (Term::list([Term::var("E")]), vec![Term::var("E")])
+            } else {
+                (Term::nil(), vec![])
+            }
+        }
+        Shape::Nat => (Term::atom("z"), vec![]),
+    };
+    let mut args = vec![input];
+    for _ in 0..slot.outputs {
+        if !bound.is_empty() && r.below(3) == 0 {
+            args.push(bound[r.below(bound.len() as u64) as usize].clone());
+        } else {
+            args.push(ground_leaf(r, shape));
+        }
+    }
+    Rule::fact(Atom::new(slot.key.name.as_ref(), args))
+}
+
+/// The recursive argument passed down: strictly smaller, same size, or
+/// larger than the head input. Returns (term, grew).
+fn rec_arg(r: &mut Rng64, shape: Shape, step2: bool, growth: bool) -> (Term, bool) {
+    if growth && r.below(4) == 0 {
+        // Same-size or growing: the program may run away.
+        let t = match shape {
+            Shape::List => {
+                if r.bool() {
+                    // Same size: re-cons the head element.
+                    Term::cons(Term::var("X"), Term::var("Xs"))
+                } else {
+                    // Growing: push an extra constant on top.
+                    Term::cons(
+                        Term::atom(*r.pick(CONSTS)),
+                        Term::cons(Term::var("X"), Term::var("Xs")),
+                    )
+                }
+            }
+            Shape::Nat => {
+                if r.bool() {
+                    Term::app("s", vec![Term::var("N")])
+                } else {
+                    Term::app("s", vec![Term::app("s", vec![Term::var("N")])])
+                }
+            }
+        };
+        return (t, true);
+    }
+    let t = match shape {
+        Shape::List => {
+            if step2 && r.bool() {
+                // Drop one of the two matched elements but keep the other.
+                Term::cons(Term::var("Y"), Term::var("Xs"))
+            } else {
+                Term::var("Xs")
+            }
+        }
+        Shape::Nat => Term::var("N"),
+    };
+    (t, false)
+}
+
+/// A recursive clause for `slot` inside its SCC ring.
+#[allow(clippy::too_many_arguments)]
+fn rec_clause(
+    r: &mut Rng64,
+    slot: &Slot,
+    ring: &[Slot],
+    index: usize,
+    shape: Shape,
+    nonlinear: bool,
+    lower: &[Slot],
+    opts: &GenOptions,
+    negation_used: &mut bool,
+) -> (Rule, bool) {
+    // Head input pattern and the variables it binds.
+    let step2 = shape == Shape::List && r.below(4) == 0;
+    let input = match shape {
+        Shape::List if step2 => {
+            Term::cons(Term::var("X"), Term::cons(Term::var("Y"), Term::var("Xs")))
+        }
+        Shape::List => Term::cons(Term::var("X"), Term::var("Xs")),
+        Shape::Nat => Term::app("s", vec![Term::var("N")]),
+    };
+    let mut head_bound: Vec<Term> = match shape {
+        Shape::List if step2 => vec![Term::var("X"), Term::var("Y"), Term::var("Xs")],
+        Shape::List => vec![Term::var("X"), Term::var("Xs")],
+        Shape::Nat => vec![Term::var("N")],
+    };
+
+    let mut body: Vec<Literal> = Vec::new();
+    let mut grew = false;
+    let mut fresh = 0usize;
+    let mut call_outputs: Vec<Term> = Vec::new();
+
+    // Optional negated guard on a head-bound variable (EDB, binds nothing).
+    if opts.negation && r.below(6) == 0 {
+        *negation_used = true;
+        body.push(Literal::neg(Atom::new("absent", vec![head_bound[0].clone()])));
+    }
+
+    // Optional call into a lower SCC, input bound from the head.
+    if !lower.is_empty() && r.below(2) == 0 {
+        let callee = r.pick(lower).clone();
+        let arg = match shape {
+            Shape::List => Term::var("Xs"),
+            Shape::Nat => Term::var("N"),
+        };
+        let mut args = vec![arg];
+        for _ in 0..callee.outputs {
+            fresh += 1;
+            let v = Term::var(format!("L{fresh}"));
+            call_outputs.push(v.clone());
+            args.push(v);
+        }
+        body.push(Literal::pos(Atom::new(callee.key.name.as_ref(), args)));
+    }
+
+    // Recursive call(s) around the ring.
+    let ncalls = if nonlinear { 2 } else { 1 };
+    for c in 0..ncalls {
+        let callee = &ring[(index + 1 + c * (ring.len().saturating_sub(1))) % ring.len()];
+        let (arg, g) = rec_arg(r, shape, step2, opts.growth);
+        grew |= g;
+        let mut args = vec![arg];
+        for _ in 0..callee.outputs {
+            fresh += 1;
+            let v = Term::var(format!("R{fresh}"));
+            call_outputs.push(v.clone());
+            args.push(v);
+        }
+        body.push(Literal::pos(Atom::new(callee.key.name.as_ref(), args)));
+    }
+
+    // Head outputs, built only from bound material.
+    head_bound.extend(call_outputs);
+    let mut head_args = vec![input];
+    for _ in 0..slot.outputs {
+        head_args.push(output_term(r, shape, &head_bound));
+    }
+    (Rule::new(Atom::new(slot.key.name.as_ref(), head_args), body), grew)
+}
+
+/// A ground-by-induction output: a constant, a bound variable, or a
+/// constructor wrapped around a bound variable.
+fn output_term(r: &mut Rng64, shape: Shape, bound: &[Term]) -> Term {
+    if bound.is_empty() || r.below(4) == 0 {
+        return ground_leaf(r, shape);
+    }
+    let v = bound[r.below(bound.len() as u64) as usize].clone();
+    match r.below(3) {
+        0 => v,
+        1 => match shape {
+            Shape::List => Term::cons(Term::atom(*r.pick(CONSTS)), v),
+            Shape::Nat => Term::app("s", vec![v]),
+        },
+        _ => match shape {
+            Shape::List => Term::cons(v, Term::nil()),
+            Shape::Nat => Term::app("s", vec![v]),
+        },
+    }
+}
+
+/// The bounded ground-input family the differential oracle drives: both
+/// measure shapes are always included (inputs of the wrong shape simply
+/// fail finitely), so the family is independent of the generated program —
+/// which keeps it stable while the shrinker rewrites the program.
+pub fn ground_inputs() -> Vec<Term> {
+    let lists = [
+        Term::nil(),
+        Term::list([Term::atom("a")]),
+        Term::list([Term::atom("a"), Term::atom("b")]),
+        Term::list([Term::atom("b"), Term::atom("a"), Term::atom("c")]),
+        Term::list([Term::atom("a"), Term::atom("b"), Term::atom("c"), Term::atom("a")]),
+    ];
+    let mut nat = Term::atom("z");
+    let mut out: Vec<Term> = lists.to_vec();
+    out.push(nat.clone());
+    for _ in 0..4 {
+        nat = Term::app("s", vec![nat]);
+        out.push(nat.clone());
+    }
+    out
+}
+
+/// The goal list for one ground input against `query`: input bound,
+/// outputs fresh variables.
+pub fn ground_query(query: &PredKey, input: Term) -> Vec<Literal> {
+    let mut args = vec![input];
+    for i in 1..query.arity {
+        args.push(Term::var(format!("Out{i}")));
+    }
+    vec![Literal::pos(Atom::new(query.name.as_ref(), args))]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let opts = GenOptions::default();
+        let a = generate(&mut Rng64::new(42), &opts);
+        let b = generate(&mut Rng64::new(42), &opts);
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.query, b.query);
+        assert_ne!(a.program, generate(&mut Rng64::new(43), &opts).program);
+    }
+
+    #[test]
+    fn generated_programs_parse_back() {
+        let opts = GenOptions::default();
+        let mut r = Rng64::new(7);
+        for _ in 0..100 {
+            let case = generate(&mut r, &opts);
+            let printed = case.program.to_string();
+            let back = argus_logic::parser::parse_program(&printed)
+                .unwrap_or_else(|e| panic!("generated program does not reparse: {e}\n{printed}"));
+            assert_eq!(back, case.program);
+        }
+    }
+
+    #[test]
+    fn query_is_defined_and_adornment_matches() {
+        let opts = GenOptions::default();
+        let mut r = Rng64::new(11);
+        for _ in 0..50 {
+            let case = generate(&mut r, &opts);
+            assert!(case.program.idb_predicates().contains(&case.query));
+            assert_eq!(case.adornment.arity(), case.query.arity);
+            assert_eq!(case.adornment.bound_positions(), vec![0]);
+        }
+    }
+
+    #[test]
+    fn growth_off_means_strictly_decreasing() {
+        let opts = GenOptions { growth: false, ..GenOptions::default() };
+        let mut r = Rng64::new(3);
+        for _ in 0..50 {
+            assert!(!generate(&mut r, &opts).has_growth);
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The three soundness oracles run against every generated case.
+//!
+//! 1. **Differential soundness** — when the analyzer claims `Terminates`,
+//!    the SLD interpreter must complete every bounded ground query of the
+//!    claimed mode within budget. Budget exhaustion is an unbounded
+//!    derivation witness and a hard violation.
+//! 2. **Certificate cross-check** — every `Terminates` report must pass
+//!    the independent primal checker [`argus_core::verify_report`]; and an
+//!    `Unknown` verdict should not be refutable by a brute-force search
+//!    over small-coefficient θ witnesses (that would mean the LP pipeline
+//!    missed a proof the certificate checker accepts — completeness drift,
+//!    reported warn-only).
+//! 3. **Metamorphic invariance** — the verdict is a semantic property, so
+//!    it must survive rule shuffling, predicate renaming, variable
+//!    renaming, and consistent argument permutation; and the report JSON
+//!    must be byte-identical across analysis parallelism settings.
+
+use crate::gen::{ground_inputs, ground_query, GenCase};
+use argus_core::{analyze, verify_report, AnalysisOptions, SccOutcome, TerminationReport, Verdict};
+use argus_interp::sld::{solve, InterpOptions};
+use argus_linear::Rat;
+use argus_logic::modes::Adornment;
+use argus_logic::program::{Atom, Literal, PredKey, Program, Rule};
+use argus_prng::Rng64;
+use std::collections::BTreeMap;
+
+/// What a failed oracle reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// `Terminates` was claimed but a bounded ground query exhausted the
+    /// interpreter budget.
+    Soundness,
+    /// `Terminates` was claimed but the certificate checker rejected the
+    /// witness.
+    Certificate,
+    /// A semantics-preserving transformation changed the verdict.
+    Metamorphic,
+    /// Report JSON differed across parallelism settings.
+    JobsDivergence,
+}
+
+impl ViolationKind {
+    /// Stable lowercase label used in JSON and repro headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ViolationKind::Soundness => "soundness",
+            ViolationKind::Certificate => "certificate",
+            ViolationKind::Metamorphic => "metamorphic",
+            ViolationKind::JobsDivergence => "jobs-divergence",
+        }
+    }
+}
+
+/// Interpreter budget used by the differential oracle.
+pub fn interp_options(max_steps: u64) -> InterpOptions {
+    InterpOptions { max_steps, ..InterpOptions::default() }
+}
+
+/// Analysis options used inside the harness: sequential (case-level
+/// parallelism lives in the runner), otherwise defaults.
+pub fn analysis_options() -> AnalysisOptions {
+    AnalysisOptions { parallelism: 1, ..AnalysisOptions::default() }
+}
+
+/// Oracle 1: every bounded ground query of the claimed mode completes.
+/// Returns the offending query on failure.
+pub fn check_differential(
+    program: &Program,
+    query: &PredKey,
+    max_steps: u64,
+) -> Result<(), String> {
+    let opts = interp_options(max_steps);
+    for input in ground_inputs() {
+        let goals = ground_query(query, input);
+        let out = solve(program, &goals, &opts);
+        if !out.terminated() {
+            return Err(format!(
+                "query `{}` exhausted the {}-step budget",
+                goals[0].atom, opts.max_steps
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Oracle 2a: a `Terminates` report must pass the certificate checker.
+pub fn check_certificate(report: &TerminationReport, opts: &AnalysisOptions) -> Result<(), String> {
+    verify_report(report, opts.norm).map(|_| ()).map_err(|e| e.to_string())
+}
+
+/// Oracle 2b (warn-only): brute-force small θ witnesses for unproved SCCs.
+///
+/// For every `NoLinearDecrease` SCC small enough to enumerate, try each
+/// θ ∈ {0, 1, 2}^bound-args with δ = 1 on every intra-SCC edge, and ask the
+/// *certificate checker* whether it would accept. Acceptance means the LP
+/// pipeline failed to find a proof the independent checker can validate —
+/// completeness drift worth a warning, not a failure (the analyzer is only
+/// claimed sound, not complete).
+pub fn theta_refutes_unknown(report: &TerminationReport, opts: &AnalysisOptions) -> Option<String> {
+    for (si, scc) in report.sccs.iter().enumerate() {
+        if !matches!(scc.outcome, SccOutcome::NoLinearDecrease { .. }) {
+            continue;
+        }
+        if scc.members.len() > 2 {
+            continue;
+        }
+        let bound_args: Vec<(PredKey, usize)> = scc
+            .members
+            .iter()
+            .map(|p| {
+                let n = report.modes.get(p).map(|a| a.bound_positions().len()).unwrap_or(0);
+                (p.clone(), n)
+            })
+            .collect();
+        let total: usize = bound_args.iter().map(|(_, n)| n).sum();
+        if total == 0 || total > 3 {
+            continue;
+        }
+        // δ = 1 on every ordered pair of members (covers every edge the
+        // checker can look up, and makes every cycle positive).
+        let mut deltas: BTreeMap<(PredKey, PredKey), Rat> = BTreeMap::new();
+        for a in &scc.members {
+            for b in &scc.members {
+                deltas.insert((a.clone(), b.clone()), Rat::one());
+            }
+        }
+        let mut coeffs = vec![0u8; total];
+        loop {
+            if coeffs.iter().any(|&c| c > 0) {
+                let mut witness: BTreeMap<PredKey, Vec<Rat>> = BTreeMap::new();
+                let mut k = 0;
+                for (p, n) in &bound_args {
+                    let v: Vec<Rat> =
+                        (0..*n).map(|j| Rat::from_int(i64::from(coeffs[k + j]))).collect();
+                    witness.insert(p.clone(), v);
+                    k += n;
+                }
+                let mut patched = report.clone();
+                patched.sccs[si].outcome =
+                    SccOutcome::Proved { witness: witness.clone(), deltas: deltas.clone() };
+                if verify_report(&patched, opts.norm).is_ok() {
+                    return Some(format!(
+                        "SCC {{{}}} reported NoLinearDecrease but θ = {:?} certifies",
+                        scc.members.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", "),
+                        coeffs
+                    ));
+                }
+            }
+            // Odometer over {0, 1, 2}^total.
+            let mut i = 0;
+            loop {
+                if i == coeffs.len() {
+                    return None;
+                }
+                if coeffs[i] < 2 {
+                    coeffs[i] += 1;
+                    break;
+                }
+                coeffs[i] = 0;
+                i += 1;
+            }
+        }
+    }
+    None
+}
+
+/// The metamorphic transformations, applied deterministically from a
+/// dedicated rng so the shrinker can re-derive them per candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transform {
+    /// Fisher–Yates shuffle of the rule list.
+    ShuffleRules,
+    /// Rename every IDB/EDB predicate (`p` → `p_mr`), including the query.
+    RenamePredicates,
+    /// Rename every variable in every rule (`X` → `X_mv`).
+    RenameVariables,
+    /// Apply one consistent argument permutation per predicate, permuting
+    /// the query adornment the same way.
+    PermuteArguments,
+}
+
+/// All transforms, in the order the oracle applies them.
+pub const TRANSFORMS: &[Transform] = &[
+    Transform::ShuffleRules,
+    Transform::RenamePredicates,
+    Transform::RenameVariables,
+    Transform::PermuteArguments,
+];
+
+impl Transform {
+    /// Stable label for JSON/violation messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Transform::ShuffleRules => "shuffle-rules",
+            Transform::RenamePredicates => "rename-predicates",
+            Transform::RenameVariables => "rename-variables",
+            Transform::PermuteArguments => "permute-arguments",
+        }
+    }
+
+    /// Apply the transform, returning the transformed program, query, and
+    /// adornment.
+    pub fn apply(
+        &self,
+        r: &mut Rng64,
+        program: &Program,
+        query: &PredKey,
+        adornment: &Adornment,
+    ) -> (Program, PredKey, Adornment) {
+        match self {
+            Transform::ShuffleRules => {
+                let mut rules = program.rules.clone();
+                for i in (1..rules.len()).rev() {
+                    let j = r.below(i as u64 + 1) as usize;
+                    rules.swap(i, j);
+                }
+                (Program::from_rules(rules), query.clone(), adornment.clone())
+            }
+            Transform::RenamePredicates => {
+                let rename = |a: &Atom| Atom::new(format!("{}_mr", a.name), a.args.clone());
+                let rules = program
+                    .rules
+                    .iter()
+                    .map(|rule| {
+                        Rule::new(
+                            rename(&rule.head),
+                            rule.body
+                                .iter()
+                                .map(|l| {
+                                    let atom = rename(&l.atom);
+                                    if l.positive {
+                                        Literal::pos(atom)
+                                    } else {
+                                        Literal::neg(atom)
+                                    }
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                (
+                    Program::from_rules(rules),
+                    PredKey::new(format!("{}_mr", query.name), query.arity),
+                    adornment.clone(),
+                )
+            }
+            Transform::RenameVariables => {
+                let rules = program.rules.iter().map(|rule| rule.rename_suffix("_mv")).collect();
+                (Program::from_rules(rules), query.clone(), adornment.clone())
+            }
+            Transform::PermuteArguments => {
+                // One permutation per predicate (keyed by name/arity).
+                let mut perms: BTreeMap<PredKey, Vec<usize>> = BTreeMap::new();
+                for p in program.all_predicates() {
+                    let mut perm: Vec<usize> = (0..p.arity).collect();
+                    for i in (1..perm.len()).rev() {
+                        let j = r.below(i as u64 + 1) as usize;
+                        perm.swap(i, j);
+                    }
+                    perms.insert(p, perm);
+                }
+                let permute = |a: &Atom| -> Atom {
+                    match perms.get(&a.key()) {
+                        Some(perm) => Atom::new(
+                            a.name.as_ref(),
+                            perm.iter().map(|&i| a.args[i].clone()).collect(),
+                        ),
+                        None => a.clone(),
+                    }
+                };
+                let rules = program
+                    .rules
+                    .iter()
+                    .map(|rule| {
+                        Rule::new(
+                            permute(&rule.head),
+                            rule.body
+                                .iter()
+                                .map(|l| {
+                                    let atom = permute(&l.atom);
+                                    if l.positive {
+                                        Literal::pos(atom)
+                                    } else {
+                                        Literal::neg(atom)
+                                    }
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                let adorned = match perms.get(query) {
+                    Some(perm) => Adornment(perm.iter().map(|&i| adornment.0[i]).collect()),
+                    None => adornment.clone(),
+                };
+                (Program::from_rules(rules), query.clone(), adorned)
+            }
+        }
+    }
+}
+
+/// Oracle 3: run every metamorphic transform and compare verdicts; also
+/// compare report JSON across parallelism 1 vs 2. Returns the first
+/// violation as `(kind, detail)`.
+pub fn check_metamorphic(
+    case: &GenCase,
+    base: &TerminationReport,
+    transform_seed: u64,
+) -> Result<(), (ViolationKind, String)> {
+    let opts = analysis_options();
+    for (ti, t) in TRANSFORMS.iter().enumerate() {
+        let mut r = Rng64::new(transform_seed.wrapping_add(ti as u64));
+        let (p2, q2, a2) = t.apply(&mut r, &case.program, &case.query, &case.adornment);
+        let report2 = analyze(&p2, &q2, a2, &opts);
+        if report2.verdict != base.verdict {
+            return Err((
+                ViolationKind::Metamorphic,
+                format!(
+                    "{}: verdict changed {:?} -> {:?}",
+                    t.label(),
+                    base.verdict,
+                    report2.verdict
+                ),
+            ));
+        }
+        // A proof must stay checkable after the transform.
+        if report2.verdict == Verdict::Terminates {
+            if let Err(e) = verify_report(&report2, opts.norm) {
+                return Err((
+                    ViolationKind::Metamorphic,
+                    format!("{}: transformed certificate rejected: {e}", t.label()),
+                ));
+            }
+        }
+    }
+    // Parallelism invariance of the report artifact itself.
+    let mut par2 = analysis_options();
+    par2.parallelism = 2;
+    let report_par = analyze(&case.program, &case.query, case.adornment.clone(), &par2);
+    if report_par.to_json() != base.to_json() {
+        return Err((
+            ViolationKind::JobsDivergence,
+            "report JSON differs between --jobs 1 and --jobs 2".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenOptions};
+
+    #[test]
+    fn transforms_preserve_parse_and_shape() {
+        let mut r = Rng64::new(5);
+        let case = generate(&mut r, &GenOptions::default());
+        for t in TRANSFORMS {
+            let mut tr = Rng64::new(99);
+            let (p, q, a) = t.apply(&mut tr, &case.program, &case.query, &case.adornment);
+            assert_eq!(p.rules.len(), case.program.rules.len(), "{}", t.label());
+            assert_eq!(a.arity(), q.arity, "{}", t.label());
+            // The transformed program still parses back from its printed form.
+            let printed = p.to_string();
+            argus_logic::parser::parse_program(&printed)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", t.label()));
+        }
+    }
+
+    #[test]
+    fn transforms_are_deterministic() {
+        let mut r = Rng64::new(6);
+        let case = generate(&mut r, &GenOptions::default());
+        for t in TRANSFORMS {
+            let (p1, ..) = t.apply(&mut Rng64::new(3), &case.program, &case.query, &case.adornment);
+            let (p2, ..) = t.apply(&mut Rng64::new(3), &case.program, &case.query, &case.adornment);
+            assert_eq!(p1, p2, "{}", t.label());
+        }
+    }
+}

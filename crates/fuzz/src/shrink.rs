@@ -1,0 +1,174 @@
+//! Greedy reproducer minimization.
+//!
+//! Given a program that fails some oracle (re-checked by a caller-supplied
+//! predicate), repeatedly try structurally smaller candidates and keep any
+//! that still fail, until a fixpoint or the evaluation budget runs out.
+//! Passes, in order of coarseness:
+//!
+//! 1. drop whole rules;
+//! 2. drop body literals;
+//! 3. shrink argument terms (replace an argument by one of its immediate
+//!    subterms, or by a small constant).
+//!
+//! The predicate must be deterministic — it re-derives the analysis and
+//! queries from the case's fixed seed, so a kept candidate keeps failing
+//! when replayed later.
+
+use argus_logic::program::{Program, Rule};
+use argus_logic::term::Term;
+
+/// Shrink `program` while `fails` keeps returning true. `budget` caps the
+/// number of candidate evaluations (each one re-runs the failing oracle).
+pub fn shrink(
+    program: &Program,
+    fails: &mut dyn FnMut(&Program) -> bool,
+    mut budget: usize,
+) -> Program {
+    let mut best = program.clone();
+    loop {
+        let mut improved = false;
+        // Pass 1: drop rules.
+        let mut i = 0;
+        while i < best.rules.len() && best.rules.len() > 1 {
+            if budget == 0 {
+                return best;
+            }
+            let mut rules = best.rules.clone();
+            rules.remove(i);
+            let candidate = Program::from_rules(rules);
+            budget -= 1;
+            if fails(&candidate) {
+                best = candidate;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+        // Pass 2: drop body literals.
+        'rules: for ri in 0..best.rules.len() {
+            let mut li = 0;
+            while li < best.rules[ri].body.len() {
+                if budget == 0 {
+                    return best;
+                }
+                let mut rules = best.rules.clone();
+                rules[ri].body.remove(li);
+                let candidate = Program::from_rules(rules);
+                budget -= 1;
+                if fails(&candidate) {
+                    best = candidate;
+                    improved = true;
+                    continue 'rules;
+                }
+                li += 1;
+            }
+        }
+        // Pass 3: shrink argument terms.
+        for ri in 0..best.rules.len() {
+            for (ai, shrunk_arg) in arg_shrinks(&best.rules[ri]) {
+                if budget == 0 {
+                    return best;
+                }
+                let mut rules = best.rules.clone();
+                apply_arg(&mut rules[ri], ai, shrunk_arg);
+                let candidate = Program::from_rules(rules);
+                budget -= 1;
+                if fails(&candidate) {
+                    best = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Flat addressing of a rule's argument slots: head args first, then each
+/// body literal's args in order.
+fn apply_arg(rule: &mut Rule, mut index: usize, term: Term) {
+    if index < rule.head.args.len() {
+        rule.head.args[index] = term;
+        return;
+    }
+    index -= rule.head.args.len();
+    for lit in &mut rule.body {
+        if index < lit.atom.args.len() {
+            lit.atom.args[index] = term;
+            return;
+        }
+        index -= lit.atom.args.len();
+    }
+}
+
+/// Candidate single-argument replacements, smallest-first per slot.
+fn arg_shrinks(rule: &Rule) -> Vec<(usize, Term)> {
+    let mut out = Vec::new();
+    let mut index = 0;
+    let visit = |args: &[Term], out: &mut Vec<(usize, Term)>, index: &mut usize| {
+        for a in args {
+            if let Term::App(_, sub) = a {
+                if !sub.is_empty() {
+                    // Constants first (most aggressive), then subterms.
+                    out.push((*index, Term::nil()));
+                    out.push((*index, Term::atom("z")));
+                    for s in sub {
+                        out.push((*index, s.clone()));
+                    }
+                }
+            }
+            *index += 1;
+        }
+    };
+    visit(&rule.head.args, &mut out, &mut index);
+    for lit in &rule.body {
+        visit(&lit.atom.args, &mut out, &mut index);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_logic::parser::parse_program;
+
+    #[test]
+    fn shrinks_to_single_failing_rule() {
+        let p =
+            parse_program("p([X|Xs]) :- p(Xs).\np([]).\nq(a).\nr(b) :- q(a).\nloop(X) :- loop(X).")
+                .unwrap();
+        // "Failure" = program still contains a rule whose head is loop/1.
+        let mut fails = |c: &Program| c.rules.iter().any(|r| r.head.name.as_ref() == "loop");
+        let small = shrink(&p, &mut fails, 1_000);
+        assert_eq!(small.rules.len(), 1);
+        assert_eq!(small.rules[0].head.name.as_ref(), "loop");
+    }
+
+    #[test]
+    fn shrinks_terms() {
+        let p = parse_program("p([a, b, c, d]).").unwrap();
+        // "Failure" = p's argument is a nonempty list.
+        let mut fails = |c: &Program| {
+            c.rules.iter().any(|r| {
+                r.head.args.first().map(|t| t.ground_size().unwrap_or(0) > 0) == Some(true)
+            })
+        };
+        let small = shrink(&p, &mut fails, 1_000);
+        let size = small.rules[0].head.args[0].ground_size().unwrap();
+        assert!(size <= 2, "got {}", small.rules[0]);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let p = parse_program("p(a).\np(b).\np(c).\np(d).").unwrap();
+        let mut calls = 0usize;
+        let mut fails = |_: &Program| {
+            calls += 1;
+            false
+        };
+        let _ = shrink(&p, &mut fails, 3);
+        assert!(calls <= 3);
+    }
+}

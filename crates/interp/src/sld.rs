@@ -392,6 +392,45 @@ mod tests {
     }
 
     #[test]
+    fn cyclic_equation_without_occurs_check() {
+        // X = f(X) succeeds without the occurs check (the Prolog default);
+        // extracting the solution must not diverge on the cyclic binding —
+        // the cycle is unfolded once and then cut.
+        let out = run("", "X = f(X)");
+        match out {
+            Outcome::Completed { solutions, .. } => {
+                assert_eq!(solutions.len(), 1);
+                assert_eq!(solutions[0]["X"].to_string(), "f(X)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cyclic_equation_with_occurs_check() {
+        // With the occurs check on, X = f(X) simply fails.
+        let p = parse_program("").unwrap();
+        let goals = parse_query("X = f(X)").unwrap();
+        let opts = InterpOptions { occurs_check: true, ..InterpOptions::default() };
+        let out = solve(&p, &goals, &opts);
+        assert!(out.terminated());
+        assert_eq!(out.solution_count(), 0);
+    }
+
+    #[test]
+    fn cyclic_binding_through_clause_head() {
+        // The cycle forms through a clause head rather than `=` directly.
+        let out = run("eq(X, X).", "eq(Y, g(Y))");
+        match out {
+            Outcome::Completed { solutions, .. } => {
+                assert_eq!(solutions.len(), 1);
+                assert!(!solutions[0]["Y"].is_var());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn negation_as_failure() {
         let out = run("p(a).\nq(X) :- \\+ p(X).", "q(b)");
         assert_eq!(out.solution_count(), 1);

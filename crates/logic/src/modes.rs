@@ -372,6 +372,17 @@ mod tests {
     }
 
     #[test]
+    fn negated_goal_with_args_sees_bindings_but_binds_nothing() {
+        // The negated q/2 is adorned with the bindings in scope at its
+        // position (X bound, Y free), and contributes no bindings of its
+        // own: r/1 on Y is still reached free.
+        let p = parse_program("p(X) :- \\+ q(X, Y), r(Y).\nq(a, b).\nr(c).").unwrap();
+        let modes = infer_modes(&p, &PredKey::new("p", 1), Adornment::parse("b").unwrap());
+        assert_eq!(modes.get(&PredKey::new("q", 2)).unwrap().to_string(), "bf");
+        assert_eq!(modes.get(&PredKey::new("r", 1)).unwrap().to_string(), "f");
+    }
+
+    #[test]
     fn builtin_detection() {
         assert!(is_builtin(&PredKey::new("=<", 2)));
         assert!(is_builtin(&PredKey::new("is", 2)));

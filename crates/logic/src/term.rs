@@ -209,16 +209,49 @@ impl fmt::Display for SizePolynomial {
     }
 }
 
-/// Is an identifier a syntactically valid unquoted atom name?
-fn plain_atom(name: &str) -> bool {
+/// Is the name a lowercase identifier that the lexer reads back as a plain
+/// atom token? `is` is excluded: the lexer turns it into an operator.
+fn plain_identifier(name: &str) -> bool {
     let mut chars = name.chars();
     match chars.next() {
-        Some(c) if c.is_ascii_lowercase() => chars.all(|c| c.is_ascii_alphanumeric() || c == '_'),
-        Some(c) if c.is_ascii_digit() || c == '-' => {
-            // Integers render unquoted.
-            name.parse::<i64>().is_ok()
+        Some(c) if c.is_ascii_lowercase() => {
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_') && name != "is"
         }
-        _ => name == "[]",
+        _ => false,
+    }
+}
+
+/// Is an identifier a syntactically valid unquoted atom name (zero arity)?
+fn plain_atom(name: &str) -> bool {
+    if plain_identifier(name) || name == "[]" {
+        return true;
+    }
+    // Integers render unquoted, but only in canonical form: "03" or "-0"
+    // would reparse as a different atom ("3" / "0").
+    name.parse::<i64>().map(|v| v.to_string() == name).unwrap_or(false)
+}
+
+/// Is an identifier a syntactically valid unquoted *functor* name (applied
+/// to arguments)? Stricter than [`plain_atom`]: `[](a)` and `3(a)` do not
+/// parse, so bracket and integer names must be quoted when they have args.
+fn plain_functor(name: &str) -> bool {
+    plain_identifier(name)
+}
+
+/// Write an atom/functor name, quoting and escaping (`'` → `''`) as needed.
+fn write_name(f: &mut fmt::Formatter<'_>, name: &str, plain: bool) -> fmt::Result {
+    if plain {
+        write!(f, "{name}")
+    } else {
+        write!(f, "'")?;
+        for c in name.chars() {
+            if c == '\'' {
+                write!(f, "''")?;
+            } else {
+                write!(f, "{c}")?;
+            }
+        }
+        write!(f, "'")
     }
 }
 
@@ -226,13 +259,7 @@ impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Term::Var(v) => write!(f, "{v}"),
-            Term::App(name, args) if args.is_empty() => {
-                if plain_atom(name) {
-                    write!(f, "{name}")
-                } else {
-                    write!(f, "'{name}'")
-                }
-            }
+            Term::App(name, args) if args.is_empty() => write_name(f, name, plain_atom(name)),
             Term::App(name, args) if &**name == "." && args.len() == 2 => {
                 // List sugar: [a, b | T] or [a, b].
                 write!(f, "[{}", args[0])?;
@@ -251,11 +278,8 @@ impl fmt::Display for Term {
                 }
             }
             Term::App(name, args) => {
-                if plain_atom(name) {
-                    write!(f, "{name}(")?;
-                } else {
-                    write!(f, "'{name}'(")?;
-                }
+                write_name(f, name, plain_functor(name))?;
+                write!(f, "(")?;
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {
                         write!(f, ", ")?;
@@ -337,6 +361,36 @@ mod tests {
         let t = Term::app("foo", vec![Term::var("X"), Term::atom("Bar is odd")]);
         assert_eq!(t.to_string(), "foo(X, 'Bar is odd')");
         assert_eq!(Term::int(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn display_escapes_embedded_quotes() {
+        assert_eq!(Term::atom("it's").to_string(), "'it''s'");
+        assert_eq!(Term::app("don't", vec![Term::atom("a")]).to_string(), "'don''t'(a)");
+    }
+
+    #[test]
+    fn display_quotes_operator_atoms() {
+        // `is` lexes as an operator, so the atom must be quoted to reparse.
+        assert_eq!(Term::atom("is").to_string(), "'is'");
+        assert_eq!(Term::app("is", vec![Term::atom("a")]).to_string(), "'is'(a)");
+    }
+
+    #[test]
+    fn display_quotes_noncanonical_integers() {
+        // "03" parses back as the integer 3, a different atom.
+        assert_eq!(Term::atom("03").to_string(), "'03'");
+        assert_eq!(Term::atom("-0").to_string(), "'-0'");
+        assert_eq!(Term::atom("0").to_string(), "0");
+    }
+
+    #[test]
+    fn display_quotes_exotic_functors() {
+        // `[](a)` and `3(a)` do not parse; the functor must be quoted.
+        assert_eq!(Term::app("[]", vec![Term::atom("a")]).to_string(), "'[]'(a)");
+        assert_eq!(Term::app("3", vec![Term::atom("a")]).to_string(), "'3'(a)");
+        assert_eq!(Term::nil().to_string(), "[]");
+        assert_eq!(Term::int(3).to_string(), "3");
     }
 
     #[test]

@@ -66,14 +66,45 @@ impl Subst {
     }
 
     /// Fully apply the substitution to a term.
+    ///
+    /// Safe on cyclic substitutions (e.g. `X -> f(X)` formed by unifying
+    /// with the occurs check off): a variable reached again inside its own
+    /// binding is left as-is, cutting the cycle after one unfolding.
     pub fn resolve(&self, t: &Term) -> Term {
-        let walked = self.walk(t);
-        match walked {
-            Term::Var(_) => walked.clone(),
-            Term::App(f, args) => {
-                Term::App(f.clone(), args.iter().map(|a| self.resolve(a)).collect())
+        let mut stack = Vec::new();
+        self.resolve_guarded(t, &mut stack)
+    }
+
+    fn resolve_guarded(&self, t: &Term, stack: &mut Vec<Arc<str>>) -> Term {
+        let mut cur = t;
+        let mut pushed = 0usize;
+        while let Term::Var(v) = cur {
+            if stack.iter().any(|s| s == v) {
+                // Cycle: keep the variable unresolved.
+                for _ in 0..pushed {
+                    stack.pop();
+                }
+                return Term::Var(v.clone());
+            }
+            match self.map.get(v) {
+                Some(next) => {
+                    stack.push(v.clone());
+                    pushed += 1;
+                    cur = next;
+                }
+                None => break,
             }
         }
+        let out = match cur {
+            Term::Var(_) => cur.clone(),
+            Term::App(f, args) => {
+                Term::App(f.clone(), args.iter().map(|a| self.resolve_guarded(a, stack)).collect())
+            }
+        };
+        for _ in 0..pushed {
+            stack.pop();
+        }
+        out
     }
 
     /// Apply to an atom.
@@ -232,6 +263,43 @@ mod tests {
         assert!(unify(&mut s, &t("Y"), &t("f(Z)"), true));
         assert!(unify(&mut s, &t("Z"), &t("a"), true));
         assert_eq!(s.resolve(&t("X")), t("f(a)"));
+    }
+
+    #[test]
+    fn cyclic_binding_resolves_finitely() {
+        // X = f(X) with the occurs check off creates a cyclic substitution.
+        // resolve must terminate, unfolding the cycle exactly once.
+        let s = mgu(&t("X"), &t("f(X)"), false).unwrap();
+        assert_eq!(s.resolve(&t("X")), t("f(X)"));
+        assert_eq!(s.resolve(&t("g(X, a)")), t("g(f(X), a)"));
+    }
+
+    #[test]
+    fn mutually_cyclic_bindings_resolve_finitely() {
+        // X = f(Y), Y = g(X): resolving either side must not diverge.
+        let mut s = Subst::new();
+        assert!(unify(&mut s, &t("X"), &t("f(Y)"), false));
+        assert!(unify(&mut s, &t("Y"), &t("g(X)"), false));
+        assert_eq!(s.resolve(&t("X")), t("f(g(X))"));
+        assert_eq!(s.resolve(&t("Y")), t("g(f(Y))"));
+    }
+
+    #[test]
+    fn occurs_check_rejects_nested_cycle() {
+        // X occurs below the surface: f(X, Y) vs f(g(Y), h(X)) binds
+        // X=g(Y), then Y=h(X) closes a cycle through two bindings.
+        assert!(mgu(&t("f(X, Y)"), &t("f(g(Y), h(X))"), true).is_none());
+        let s = mgu(&t("f(X, Y)"), &t("f(g(Y), h(X))"), false).unwrap();
+        // Resolution still terminates on the cyclic result.
+        let r = s.resolve(&t("X"));
+        assert!(!r.is_var());
+    }
+
+    #[test]
+    fn occurs_check_allows_repeated_var_without_cycle() {
+        // Repeated variables alone are not cycles.
+        assert!(mgu(&t("f(X, X)"), &t("f(Y, Y)"), true).is_some());
+        assert!(mgu(&t("f(X, g(X))"), &t("f(a, g(a))"), true).is_some());
     }
 
     #[test]

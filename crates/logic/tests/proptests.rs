@@ -27,6 +27,46 @@ fn gen_term(r: &mut Rng64, depth: usize) -> Term {
     }
 }
 
+/// Like [`gen_term`], but the leaf atoms and functor names are chosen to
+/// stress the printer's quoting logic: embedded quotes, operator names,
+/// non-canonical integers, names that collide with list syntax.
+fn gen_hostile_term(r: &mut Rng64, depth: usize) -> Term {
+    const HOSTILE_ATOMS: &[&str] = &[
+        "it's", "is", "03", "-0", "+", "-", "=", ":-", "[]", ".", "|", "a b", "Upper", "_under",
+        "", "'", "''", "don''t", "0", "-7", "çedilla",
+    ];
+    const HOSTILE_FUNCTORS: &[&str] =
+        &["f", "it's", "is", "[]", "3", "-1", ".", "=", "a b", "Upper", ""];
+    if depth == 0 || r.below(3) == 0 {
+        return match r.below(3) {
+            0 => Term::atom(*r.pick(HOSTILE_ATOMS)),
+            1 => Term::var(*r.pick(&["X", "Y", "Zs"])),
+            _ => Term::int(r.range_i64(-50, 49)),
+        };
+    }
+    if r.bool() {
+        let f = *r.pick(HOSTILE_FUNCTORS);
+        let nargs = r.range_usize(1, 2);
+        Term::app(f, (0..nargs).map(|_| gen_hostile_term(r, depth - 1)).collect())
+    } else {
+        Term::cons(gen_hostile_term(r, depth - 1), gen_hostile_term(r, depth - 1))
+    }
+}
+
+/// Display → parse is the identity even on atoms/functors that need
+/// quoting and quote-escaping.
+#[test]
+fn hostile_term_display_parse_roundtrip() {
+    let mut r = Rng64::new(0xBAD);
+    for _ in 0..2_000 {
+        let t = gen_hostile_term(&mut r, 3);
+        let printed = t.to_string();
+        let back =
+            parse_term(&printed).unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        assert_eq!(back, t, "printed form was {printed:?}");
+    }
+}
+
 /// Display → parse is the identity on terms.
 #[test]
 fn term_display_parse_roundtrip() {

@@ -8,6 +8,9 @@
 //! argus compare <file.pl> <name/arity> <adornment>
 //! argus run     <file.pl> '<goal>'  [--steps N]
 //! argus corpus  [<entry-name>]
+//! argus fuzz    [--seed S] [--cases N] [--jobs J] [--json] [--max-steps N]
+//!               [--shrink-budget N] [--no-metamorphic] [--no-theta-search]
+//!               [--negation] [--repro-dir DIR]
 //! ```
 //!
 //! Exit codes: 0 = proved / clean (or command succeeded), 2 = not proved
@@ -42,7 +45,10 @@ fn usage() -> ExitCode {
          argus lint <file.pl> [--query <name/arity> --mode <adornment>] [--json]\n  \
          argus compare <file.pl> <name/arity> <adornment>\n  \
          argus run <file.pl> '<goal>' [--steps N]\n  \
-         argus corpus [<entry>]"
+         argus corpus [<entry>]\n  \
+         argus fuzz [--seed S] [--cases N] [--jobs J] [--json] [--max-steps N] \
+         [--shrink-budget N] [--no-metamorphic] [--no-theta-search] [--negation] \
+         [--repro-dir DIR]"
     );
     ExitCode::FAILURE
 }
@@ -65,6 +71,7 @@ fn main() -> ExitCode {
         Some("compare") => cmd_compare(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         _ => usage(),
     }
 }
@@ -359,5 +366,130 @@ fn cmd_corpus(args: &[String]) -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+    }
+}
+
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    use argus::fuzz::{repro_file, run as run_fuzz, FuzzOptions};
+
+    let mut options = FuzzOptions { cases: 200, ..FuzzOptions::default() };
+    let mut json = false;
+    let mut repro_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let want_value = |args: &[String], i: usize, flag: &str| -> Option<String> {
+            match args.get(i + 1) {
+                Some(v) => Some(v.clone()),
+                None => {
+                    eprintln!("{flag} wants a value");
+                    None
+                }
+            }
+        };
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--no-metamorphic" => options.metamorphic = false,
+            "--no-theta-search" => options.theta_search = false,
+            "--negation" => options.gen.negation = true,
+            "--seed" => {
+                let Some(v) = want_value(args, i, "--seed") else { return ExitCode::FAILURE };
+                let Ok(n) = v.parse() else {
+                    eprintln!("bad --seed value {v:?}");
+                    return ExitCode::FAILURE;
+                };
+                options.seed = n;
+                i += 1;
+            }
+            "--cases" => {
+                let Some(v) = want_value(args, i, "--cases") else { return ExitCode::FAILURE };
+                let Ok(n) = v.parse() else {
+                    eprintln!("bad --cases value {v:?}");
+                    return ExitCode::FAILURE;
+                };
+                options.cases = n;
+                i += 1;
+            }
+            "--jobs" => {
+                let Some(v) = want_value(args, i, "--jobs") else { return ExitCode::FAILURE };
+                let Ok(n) = v.parse() else {
+                    eprintln!("--jobs wants a thread count (0 = one per core)");
+                    return ExitCode::FAILURE;
+                };
+                options.jobs = n;
+                i += 1;
+            }
+            "--max-steps" => {
+                let Some(v) = want_value(args, i, "--max-steps") else { return ExitCode::FAILURE };
+                let Ok(n) = v.parse() else {
+                    eprintln!("bad --max-steps value {v:?}");
+                    return ExitCode::FAILURE;
+                };
+                options.max_steps = n;
+                i += 1;
+            }
+            "--shrink-budget" => {
+                let Some(v) = want_value(args, i, "--shrink-budget") else {
+                    return ExitCode::FAILURE;
+                };
+                let Ok(n) = v.parse() else {
+                    eprintln!("bad --shrink-budget value {v:?}");
+                    return ExitCode::FAILURE;
+                };
+                options.shrink_budget = n;
+                i += 1;
+            }
+            "--repro-dir" => {
+                let Some(v) = want_value(args, i, "--repro-dir") else { return ExitCode::FAILURE };
+                repro_dir = Some(v);
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown fuzz argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let started = std::time::Instant::now();
+    let report = run_fuzz(&options);
+    let elapsed = started.elapsed();
+
+    if json {
+        say!("{}", report.to_json());
+    } else {
+        print!("{report}");
+        let secs = elapsed.as_secs_f64();
+        if secs > 0.0 {
+            say!(
+                "throughput: {} cases in {:.2}s ({:.0} cases/s)",
+                report.cases,
+                secs,
+                report.cases as f64 / secs
+            );
+        }
+    }
+
+    // Write minimized reproducers where the regression suite replays them.
+    if !report.violations.is_empty() {
+        let dir = repro_dir.unwrap_or_else(|| "tests/golden/fuzz-repros".to_string());
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for v in &report.violations {
+            let path = format!("{dir}/seed{}-{}.pl", v.case_seed, v.kind.label());
+            if let Err(e) = std::fs::write(&path, repro_file(v)) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("reproducer written to {path}");
+        }
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
     }
 }

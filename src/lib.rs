@@ -50,6 +50,7 @@ pub use argus_baselines as baselines;
 pub use argus_core as core;
 pub use argus_corpus as corpus;
 pub use argus_diag as diag;
+pub use argus_fuzz as fuzz;
 pub use argus_interp as interp;
 pub use argus_linear as linear;
 pub use argus_logic as logic;

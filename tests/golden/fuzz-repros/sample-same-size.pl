@@ -1,0 +1,8 @@
+% argus fuzz reproducer
+% kind: soundness
+% seed: 0
+% query: p0_0/1
+% adornment: b
+% detail: hand-minimized fixture: a same-size recursive call the analyzer must never prove (replayed to keep the format and the oracles honest)
+p0_0([]).
+p0_0([X|Xs]) :- p0_0([X|Xs]).

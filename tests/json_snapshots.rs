@@ -1,0 +1,69 @@
+//! Golden snapshots of the machine-readable JSON surfaces.
+//!
+//! Downstream consumers parse `argus analyze --json` and `argus fuzz
+//! --json`; these tests pin the exact bytes both emit on fixed inputs, so
+//! any schema change (renamed key, reordered field, new escaping) shows up
+//! as a reviewed diff to `tests/golden/` instead of a silent break.
+//!
+//! To bless an intentional change: `UPDATE_GOLDEN=1 cargo test -q
+//! --test json_snapshots`, then commit the updated files.
+
+use argus::fuzz::{run as run_fuzz, FuzzOptions};
+use argus::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn golden_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(rel)
+}
+
+fn check_golden(rel: &str, actual: &str) {
+    let path = golden_path(rel);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create", path.display())
+    });
+    assert_eq!(
+        expected,
+        actual,
+        "{} drifted; if intentional, re-bless with UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+/// Light structural validation shared by both snapshot tests: the JSON
+/// must at least contain the advertised top-level keys.
+fn assert_has_keys(json: &str, keys: &[&str]) {
+    for k in keys {
+        assert!(json.contains(&format!("\"{k}\":")), "missing key {k:?} in {json}");
+    }
+}
+
+#[test]
+fn analyze_json_snapshots_on_corpus() {
+    // One proved entry, one proved-with-multiple-sccs entry, one
+    // zero-weight-cycle control: together they exercise every outcome
+    // branch of the serializer.
+    for name in ["append_bff", "perm", "loop_mutual"] {
+        let entry = argus::corpus::find(name).expect(name);
+        let program = entry.program().unwrap();
+        let (query, adornment) = entry.query_key();
+        let options = AnalysisOptions { parallelism: 1, ..AnalysisOptions::default() };
+        let report = analyze(&program, &query, adornment, &options);
+        let json = report.to_json();
+        assert_has_keys(&json, &["query", "verdict", "sccs"]);
+        check_golden(&format!("analyze/{name}.json"), &json);
+    }
+}
+
+#[test]
+fn fuzz_json_snapshot() {
+    let opts = FuzzOptions { seed: 1, cases: 20, jobs: 1, ..FuzzOptions::default() };
+    let report = run_fuzz(&opts);
+    let json = report.to_json();
+    assert_has_keys(&json, &["seed", "cases", "verdicts", "shape", "violations", "warnings"]);
+    check_golden("fuzz/seed1-cases20.json", &json);
+}
