@@ -46,9 +46,22 @@ done
 
 echo "==> bench smoke"
 # CI-sized pass over every bench suite: catches workloads that rot (panic,
-# hang, or stop compiling) without paying for full-scale numbers.
-# `--out -` keeps the committed BENCH_argus.json untouched.
+# hang, or stop compiling) without paying for full-scale numbers. The
+# fm_redundancy suite is written to a scratch report so the regression
+# gate below can read its counters; the committed BENCH_argus.json is
+# untouched either way.
+cargo run --release -q -p argus-bench "${CARGO_FLAGS[@]}" \
+    --bin bench_report -- --smoke --suite fm_redundancy \
+    --out /tmp/argus-fm-smoke.json
 cargo run --release -q -p argus-bench "${CARGO_FLAGS[@]}" \
     --bin bench_report -- --smoke --out - > /dev/null
+
+echo "==> bench regression gate (FM row-reduction floors)"
+# Deterministic counters from the fm_redundancy suite must stay above the
+# pinned floors (≥5× peak-row reduction on the FM-heavy corpus entry,
+# subsumption/Chernikov/cache machinery actually firing). Wall time is
+# not gated — only work done.
+cargo run --release -q -p argus-bench "${CARGO_FLAGS[@]}" \
+    --bin fm_gate -- /tmp/argus-fm-smoke.json
 
 echo "==> OK"

@@ -5,7 +5,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_report [--smoke] [--out PATH] [--baseline PATH]
+//! bench_report [--smoke] [--out PATH] [--baseline PATH] [--suite NAME]
 //! ```
 //!
 //! * `--smoke` — CI-sized workloads (seconds, not minutes).
@@ -14,26 +14,30 @@
 //! * `--baseline PATH` — a previous `BENCH_argus.json`; matching case ids
 //!   get `baseline_ns_per_iter` and `speedup` fields embedded so the
 //!   committed report carries its own before/after comparison.
+//! * `--suite NAME` — run only the named suite (repeatable). The CI
+//!   regression lane uses this to run `fm_redundancy` alone.
 
 use argus_bench::json::{json_f64, json_str, scan_num_field, scan_str_field};
 use argus_bench::suites::{self, Scale};
 use argus_bench::timing::{render_line, Sample};
 use std::collections::BTreeMap;
 
-fn parse_args() -> Result<(Scale, String, Option<String>), String> {
+fn parse_args() -> Result<(Scale, String, Option<String>, Vec<String>), String> {
     let mut scale = Scale::Full;
     let mut out = "BENCH_argus.json".to_string();
     let mut baseline = None;
+    let mut suites = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => scale = Scale::Smoke,
             "--out" => out = args.next().ok_or("--out needs a path")?,
             "--baseline" => baseline = Some(args.next().ok_or("--baseline needs a path")?),
+            "--suite" => suites.push(args.next().ok_or("--suite needs a name")?),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok((scale, out, baseline))
+    Ok((scale, out, baseline, suites))
 }
 
 /// Read `id → ns_per_iter` back from a previous report. Only understands
@@ -70,6 +74,11 @@ fn render_report(mode: Scale, samples: &[Sample], baseline: &BTreeMap<String, f6
                 json_f64_ratio(*base, s.ns_per_iter)
             ));
         }
+        if !s.counters.is_empty() {
+            let fields: Vec<String> =
+                s.counters.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+            obj.push_str(&format!(", \"counters\": {{{}}}", fields.join(", ")));
+        }
         obj.push('}');
         lines.push(obj);
     }
@@ -89,13 +98,20 @@ fn json_f64_ratio(base: f64, now: f64) -> String {
 }
 
 fn main() {
-    let (scale, out, baseline_path) = match parse_args() {
+    let (scale, out, baseline_path, only) = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("bench_report: {e}");
             std::process::exit(1);
         }
     };
+    let known = suites::all_suites();
+    for s in &only {
+        if !known.iter().any(|(name, _)| name == s) {
+            eprintln!("bench_report: unknown suite `{s}`");
+            std::process::exit(1);
+        }
+    }
     let baseline = match baseline_path.as_deref().map(read_baseline).transpose() {
         Ok(b) => b.unwrap_or_default(),
         Err(e) => {
@@ -105,7 +121,10 @@ fn main() {
     };
 
     let mut samples = Vec::new();
-    for (name, f) in suites::all_suites() {
+    for (name, f) in known {
+        if !only.is_empty() && !only.iter().any(|s| s == name) {
+            continue;
+        }
         eprintln!("== suite: {name}");
         let suite = f(scale);
         for s in &suite {

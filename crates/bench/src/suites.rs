@@ -8,7 +8,7 @@
 use crate::timing::{bench_case, Sample};
 use crate::workload;
 use argus_core::{analyze, AnalysisOptions, DeltaMode};
-use argus_linear::{fm, simplex, ConstraintSystem};
+use argus_linear::{fm, simplex, ConstraintSystem, FmTier};
 use std::collections::BTreeSet;
 use std::hint::black_box;
 
@@ -37,7 +37,7 @@ impl Scale {
 /// a cap is needed to keep the bench finite at all — which is itself the
 /// measured result (simplex keeps scaling where FM falls off a cliff).
 fn fm_satisfiable_capped(sys: &ConstraintSystem) -> Option<bool> {
-    match fm::project_onto_capped(sys, &BTreeSet::new(), 50_000)? {
+    match fm::project_onto_capped(sys, &BTreeSet::new(), 50_000).ok()? {
         fm::FmResult::Projected(rest) => Some(rest.simplify_trivial().is_some()),
         fm::FmResult::Infeasible => Some(false),
     }
@@ -267,6 +267,136 @@ pub fn parallel_suite(scale: Scale) -> Vec<Sample> {
     out
 }
 
+/// Flatten an [`fm::FmStats`] into bench counters.
+fn fm_counters(stats: &fm::FmStats) -> Vec<(&'static str, u64)> {
+    vec![
+        ("peak_rows", stats.peak_rows),
+        ("rows_in", stats.rows_in),
+        ("rows_out", stats.rows_out),
+        ("pairs_combined", stats.pairs_combined),
+        ("dedup_hits", stats.dedup_hits),
+        ("subsume_hits", stats.subsume_hits),
+        ("chernikov_drops", stats.chernikov_drops),
+        ("lp_drops", stats.lp_drops),
+    ]
+}
+
+/// E11 — FM blowup control: the redundancy-elimination tiers measured on
+/// (a) raw dense projections, (b) the instrumented size-relation inference
+/// of the FM-heavy `mutual_fib_ring` corpus entry, and (c) the end-to-end
+/// analysis with the per-SCC projection cache on and off. Every sample
+/// carries the deterministic FM row counters, so `fm_gate` can pin floors
+/// on the *row reduction* itself rather than on noisy wall time.
+pub fn fm_redundancy_suite(scale: Scale) -> Vec<Sample> {
+    let mut out = Vec::new();
+
+    // (a) Dense random projections per tier. The row cap keeps the low
+    // tiers bounded on adversarial instances — hitting it is itself the
+    // measured result, recorded by `peak_rows` slamming into the cap while
+    // tier ≥ 2 finishes two orders of magnitude below it. (Uncapped, tier 0
+    // peaks at ~82k rows on the 6v12 instance and tier 1's quadratic
+    // subsumption scan does 4×10⁸ row comparisons: minutes, not benchable.)
+    let sizes: &[(usize, usize)] = match scale {
+        Scale::Smoke => &[(6, 12)],
+        Scale::Full => &[(6, 12), (7, 14), (8, 16)],
+    };
+    for &(nvars, nrows) in sizes {
+        let mut r = workload::rng(29 + nvars as u64);
+        let sys = workload::random_system(&mut r, nvars, nrows, 3);
+        let keep: BTreeSet<usize> = [0usize].into_iter().collect();
+        for tier in FmTier::ALL {
+            let cfg = fm::FmConfig { max_rows: 2_000, ..fm::FmConfig::tiered(tier) };
+            let mut stats = fm::FmStats::default();
+            let _ = fm::project_onto_with(&sys, &keep, &cfg, &mut stats);
+            // Low tiers can be seconds per iteration here; keep them cheap.
+            let iters = if tier.index() < 2 { 1 } else { scale.iters() };
+            out.push(
+                bench_case(
+                    "fm_redundancy",
+                    &format!("project/{nvars}v{nrows}r/tier{}", tier.index()),
+                    0,
+                    iters,
+                    || {
+                        let mut s = fm::FmStats::default();
+                        black_box(fm::project_onto_with(black_box(&sys), &keep, &cfg, &mut s))
+                    },
+                )
+                .with_counters(fm_counters(&stats)),
+            );
+        }
+    }
+
+    // (b) Per-rule size-relation projections of the FM-heavy corpus entry,
+    // at the inferred fixpoint, with the row cap lifted: this exposes the
+    // full blowup the production cap would truncate. Tier 0 peaks ~20×
+    // higher than tiers ≥ 1 — the committed ≥5× row-reduction criterion.
+    let entry = argus_corpus::find("mutual_fib_ring").expect("corpus entry");
+    let program = entry.program().expect("parse");
+    let rels =
+        argus_sizerel::infer_size_relations(&program, &argus_sizerel::InferOptions::default());
+    let project_rules = |cfg: &fm::FmConfig, stats: &mut fm::FmStats| {
+        for p in program.idb_predicates() {
+            for rule in program.procedure(&p) {
+                black_box(argus_sizerel::rule_poly_instrumented(
+                    rule,
+                    &rels,
+                    argus_logic::Norm::default(),
+                    cfg,
+                    stats,
+                ));
+            }
+        }
+    };
+    for tier in FmTier::ALL {
+        let cfg = fm::FmConfig { max_rows: 2_000_000, ..fm::FmConfig::tiered(tier) };
+        let mut stats = fm::FmStats::default();
+        project_rules(&cfg, &mut stats);
+        out.push(
+            bench_case(
+                "fm_redundancy",
+                &format!("infer-rules/mutual_fib_ring/tier{}", tier.index()),
+                1,
+                scale.iters(),
+                || {
+                    let mut s = fm::FmStats::default();
+                    project_rules(&cfg, &mut s);
+                },
+            )
+            .with_counters(fm_counters(&stats)),
+        );
+    }
+
+    // (c) End-to-end analysis of the ring at the feasible tiers, with the
+    // per-SCC projection cache on and off. (Tiers 0–1 are omitted: on this
+    // entry their pair projections run for minutes — the blowup the tiers
+    // exist to prevent.)
+    let (query, adornment) = entry.query_key();
+    for tier in [FmTier::Chernikov, FmTier::Lp] {
+        for (label, fm_cache) in [("cache", true), ("nocache", false)] {
+            let options = AnalysisOptions { fm_tier: tier, fm_cache, ..AnalysisOptions::default() };
+            let report = analyze(&program, &query, adornment.clone(), &options);
+            let mut stats = fm::FmStats::default();
+            for scc in &report.sccs {
+                stats.merge(&scc.stats.fm);
+            }
+            let mut counters = fm_counters(&stats);
+            counters.push(("cache_requests", report.run_stats.cache_requests));
+            counters.push(("cache_hits", report.run_stats.cache_hits()));
+            out.push(
+                bench_case(
+                    "fm_redundancy",
+                    &format!("analyze/mutual_fib_ring/tier{}/{label}", tier.index()),
+                    1,
+                    scale.iters(),
+                    || black_box(analyze(black_box(&program), &query, adornment.clone(), &options)),
+                )
+                .with_counters(counters.clone()),
+            );
+        }
+    }
+    out
+}
+
 /// A suite entry point: workloads at a given scale, as samples.
 pub type SuiteFn = fn(Scale) -> Vec<Sample>;
 
@@ -276,6 +406,7 @@ pub fn all_suites() -> Vec<(&'static str, SuiteFn)> {
     vec![
         ("simplex", simplex_suite),
         ("fm", fm_suite),
+        ("fm_redundancy", fm_redundancy_suite),
         ("analysis", analysis_suite),
         ("ablation", ablation_suite),
         ("parallel", parallel_suite),

@@ -19,12 +19,23 @@ pub struct Sample {
     pub iters: u32,
     /// Mean nanoseconds per iteration.
     pub ns_per_iter: f64,
+    /// Workload-specific counters (e.g. FM row statistics), emitted into
+    /// `BENCH_argus.json` alongside the timing so regressions in *work
+    /// done* are pinned, not just wall time. Deterministic by construction
+    /// — they must not vary run to run the way timings do.
+    pub counters: Vec<(&'static str, u64)>,
 }
 
 impl Sample {
     /// Fully-qualified case id, used to match baseline entries.
     pub fn id(&self) -> String {
         format!("{}/{}", self.suite, self.name)
+    }
+
+    /// Attach deterministic counters to the sample.
+    pub fn with_counters(mut self, counters: Vec<(&'static str, u64)>) -> Sample {
+        self.counters = counters;
+        self
     }
 }
 
@@ -52,6 +63,7 @@ pub fn bench_case<R>(
         name: name.to_string(),
         iters,
         ns_per_iter: total.as_nanos() as f64 / iters as f64,
+        counters: Vec::new(),
     }
 }
 
@@ -89,7 +101,13 @@ mod tests {
 
     #[test]
     fn render_is_stable() {
-        let s = Sample { suite: "a".into(), name: "b".into(), iters: 3, ns_per_iter: 1500.0 };
+        let s = Sample {
+            suite: "a".into(),
+            name: "b".into(),
+            iters: 3,
+            ns_per_iter: 1500.0,
+            counters: Vec::new(),
+        };
         let line = render_line(&s);
         assert!(line.contains("a/b"), "{line}");
         assert!(line.contains("1.50 µs"), "{line}");

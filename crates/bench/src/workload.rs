@@ -82,6 +82,46 @@ pub fn wide_scc_program(layers: usize, width: usize) -> String {
     out
 }
 
+/// A mutual-recursion ring of `preds` predicates where each recursive rule
+/// makes `calls` staggered calls to the next ring member and sums the
+/// results with chained `plus/3` subgoals (a generalized tetranacci). The
+/// staggered call depths give every ring member a many-facet inferred size
+/// relation, which makes the Fourier–Motzkin projections inside both the
+/// size-relation inference and the pair analysis combinatorially dense —
+/// the FM-redundancy stress workload. `preds = 3, calls = 4` reproduces
+/// the `mutual_fib_ring` corpus entry.
+pub fn mutual_fib_ring_program(preds: usize, calls: usize) -> String {
+    assert!(preds >= 2 && calls >= 2);
+    let mut out = String::new();
+    out.push_str("plus(z, Y, Y).\nplus(s(X), Y, s(Z)) :- plus(X, Y, Z).\n");
+    let wrap = |depth: usize, core: &str| {
+        let mut t = core.to_string();
+        for _ in 0..depth {
+            t = format!("s({t})");
+        }
+        t
+    };
+    for p in 0..preds {
+        // Base cases f(z,z), f(s(z),s(z)), then f(s^k(z), s(z)) up to the
+        // recursion depth so the recursive rule is never underivable.
+        out.push_str(&format!("f{p}(z, z).\nf{p}(s(z), s(z)).\n"));
+        for k in 2..calls {
+            out.push_str(&format!("f{p}({}, s(z)).\n", wrap(k, "z")));
+        }
+        let q = (p + 1) % preds;
+        let mut body: Vec<String> =
+            (0..calls).map(|i| format!("f{q}({}, A{i})", wrap(calls - 1 - i, "N"))).collect();
+        let mut acc = "A0".to_string();
+        for i in 1..calls {
+            let next = if i + 1 == calls { "R".to_string() } else { format!("T{i}") };
+            body.push(format!("plus({acc}, A{i}, {next})"));
+            acc = next;
+        }
+        out.push_str(&format!("f{p}({}, R) :- {}.\n", wrap(calls, "N"), body.join(", ")));
+    }
+    out
+}
+
 /// A random dense constraint system over `nvars` variables with `nrows`
 /// rows and coefficients in `[-bound, bound]` — the FM/simplex scaling
 /// workload.
@@ -172,6 +212,27 @@ mod tests {
         let p = argus_logic::parser::parse_program(&src).unwrap();
         // 2 app rules + 2 per predicate × 6 predicates.
         assert_eq!(p.rules.len(), 2 + 2 * 6);
+    }
+
+    #[test]
+    fn ring_program_matches_corpus_entry() {
+        // preds = 3, calls = 4 must reproduce the committed corpus source
+        // modulo whitespace, so the generator and the corpus entry cannot
+        // drift apart.
+        let generated = mutual_fib_ring_program(3, 4);
+        let corpus = argus_corpus::find("mutual_fib_ring").unwrap().source;
+        let canon = |s: &str| s.split_whitespace().collect::<String>();
+        assert_eq!(canon(&generated), canon(corpus));
+    }
+
+    #[test]
+    fn ring_program_parses_at_other_sizes() {
+        for (preds, calls) in [(2, 2), (3, 3), (4, 5)] {
+            let src = mutual_fib_ring_program(preds, calls);
+            let p = argus_logic::parser::parse_program(&src).unwrap();
+            // plus: 2 rules; per predicate: `calls` base cases + 1 recursive.
+            assert_eq!(p.rules.len(), 2 + preds * (calls + 1), "{src}");
+        }
     }
 
     #[test]

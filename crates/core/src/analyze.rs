@@ -20,10 +20,11 @@
 //!    recursive descent.
 
 use crate::delta::{assign_deltas, DeltaOutcome};
-use crate::dual::{eq9_system, feasibility_system, project_pair, DeltaTerm};
+use crate::dual::{dual_fm_config, eq9_system, feasibility_system, project_pair_with, DeltaTerm};
 use crate::negweight::{positive_cycle_constraints, DeltaVars};
-use crate::pairs::RuleSubgoalSystem;
+use crate::pairs::{ProjectionCache, RuleSubgoalSystem};
 use crate::theta::ThetaSpace;
+use argus_linear::fm::{FmStats, FmTier};
 use argus_linear::{ConstraintSystem, Rat, Var};
 use argus_logic::modes::{Adornment, ModeMap};
 use argus_logic::span::Span;
@@ -82,6 +83,13 @@ pub struct AnalysisOptions {
     /// result — report text, certificates, JSON — is byte-identical at
     /// every setting.
     pub parallelism: usize,
+    /// Fourier–Motzkin redundancy tier for the per-pair dual projections
+    /// (debug knob; the analysis result is byte-identical at every tier,
+    /// only the work done differs).
+    pub fm_tier: FmTier,
+    /// Share structurally identical per-pair projections through a per-run
+    /// cache (on by default; another bytes-identical knob).
+    pub fm_cache: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -95,6 +103,8 @@ impl Default for AnalysisOptions {
             lexicographic: false,
             restrict_imports_to_binary_orders: false,
             parallelism: 0,
+            fm_tier: FmTier::default(),
+            fm_cache: true,
         }
     }
 }
@@ -207,6 +217,37 @@ impl SccOutcome {
     }
 }
 
+/// Per-SCC performance counters (`argus analyze --stats`). The FM counters
+/// are exact deterministic counts — identical at every `--jobs` setting and
+/// independent of the cache hit/miss pattern (cache hits replay the stored
+/// counters) — so they are safe to pin in CI. Wall time is the one
+/// exception and is kept out of JSON output.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SccStats {
+    /// Wall-clock time analyzing this SCC (text reports only; not stable).
+    pub wall_nanos: u128,
+    /// Merged Fourier–Motzkin counters over every pair projection.
+    pub fm: FmStats,
+    /// Pair projections performed (cache hits included).
+    pub projections: u64,
+}
+
+/// Whole-run counters (`argus analyze --stats`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Projection-cache lookups (equals total pair projections).
+    pub cache_requests: u64,
+    /// Distinct projections computed (cache entries).
+    pub cache_entries: u64,
+}
+
+impl RunStats {
+    /// Lookups answered from the cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_requests.saturating_sub(self.cache_entries)
+    }
+}
+
 /// The analysis record of one SCC.
 #[derive(Debug, Clone)]
 pub struct SccAnalysis {
@@ -224,6 +265,8 @@ pub struct SccAnalysis {
     /// When the outcome is [`SccOutcome::NoLinearDecrease`], the pair that
     /// blocks the proof (when one could be isolated).
     pub blame: Option<PairBlame>,
+    /// Performance counters for this SCC's analysis.
+    pub stats: SccStats,
 }
 
 impl SccAnalysis {
@@ -287,6 +330,8 @@ pub struct TerminationReport {
     pub sccs: Vec<SccAnalysis>,
     /// Overall verdict.
     pub verdict: Verdict,
+    /// Whole-run performance counters.
+    pub run_stats: RunStats,
 }
 
 impl TerminationReport {
@@ -301,6 +346,47 @@ impl TerminationReport {
             SccOutcome::Proved { witness, .. } => witness.get(p).map(|v| v.as_slice()),
             _ => None,
         }
+    }
+
+    /// Render the `--stats` text block: per-SCC wall time and FM counters,
+    /// then the projection-cache hit rate.
+    pub fn render_stats(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::from("stats:\n");
+        for scc in &self.sccs {
+            let names: Vec<String> = scc.members.iter().map(|p| p.to_string()).collect();
+            let fm = &scc.stats.fm;
+            let _ = writeln!(
+                out,
+                "  SCC {{{}}}: {:.3}ms, {} projection(s), fm rows {} -> {} (peak {}), \
+                 pairs {}, dedup {}, subsume {}, chernikov {}, lp {}",
+                names.join(", "),
+                scc.stats.wall_nanos as f64 / 1e6,
+                scc.stats.projections,
+                fm.rows_in,
+                fm.rows_out,
+                fm.peak_rows,
+                fm.pairs_combined,
+                fm.dedup_hits,
+                fm.subsume_hits,
+                fm.chernikov_drops,
+                fm.lp_drops,
+            );
+        }
+        let rs = &self.run_stats;
+        if rs.cache_requests > 0 {
+            let _ = writeln!(
+                out,
+                "  projection cache: {} request(s), {} computed, {} hit(s) ({:.1}%)",
+                rs.cache_requests,
+                rs.cache_entries,
+                rs.cache_hits(),
+                100.0 * rs.cache_hits() as f64 / rs.cache_requests as f64,
+            );
+        } else {
+            let _ = writeln!(out, "  projection cache: disabled or unused");
+        }
+        out
     }
 }
 
@@ -429,6 +515,9 @@ fn analyze_prepared(
     // report (and everything derived from it) is byte-identical at any
     // parallelism.
     let graph = DepGraph::build(&program);
+    // One projection cache per run, shared by every SCC and every worker.
+    let cache = if options.fm_cache { Some(ProjectionCache::new()) } else { None };
+    let cache = cache.as_ref();
     let mut slots: Vec<Option<SccAnalysis>> = (0..graph.scc_count()).map(|_| None).collect();
     for level in graph.scc_levels() {
         // Skip SCCs not reachable from the query (no adornment) and
@@ -444,7 +533,7 @@ fn analyze_prepared(
             .collect();
         let workers = crate::par::effective_workers(options.parallelism, jobs.len());
         let results = crate::par::par_map_indexed(&jobs, workers, |_, &scc_id| {
-            analyze_one_scc(&graph, &program, scc_id, &modes, &rels, options)
+            analyze_one_scc(&graph, &program, scc_id, &modes, &rels, options, cache)
         });
         for (id, analysis) in jobs.into_iter().zip(results) {
             slots[id] = Some(analysis);
@@ -465,7 +554,19 @@ fn analyze_prepared(
         sccs.push(analysis);
     }
 
-    TerminationReport { program, query: query.clone(), modes, size_relations: rels, sccs, verdict }
+    let run_stats = match cache {
+        Some(c) => RunStats { cache_requests: c.requests(), cache_entries: c.entries() },
+        None => RunStats::default(),
+    };
+    TerminationReport {
+        program,
+        query: query.clone(),
+        modes,
+        size_relations: rels,
+        sccs,
+        verdict,
+        run_stats,
+    }
 }
 
 /// Analyze one SCC end-to-end: nonrecursive short-circuit, the θ search,
@@ -478,32 +579,40 @@ fn analyze_one_scc(
     modes: &ModeMap,
     rels: &SizeRelations,
     options: &AnalysisOptions,
+    cache: Option<&ProjectionCache>,
 ) -> SccAnalysis {
-    let members: Vec<PredKey> = graph.scc(scc_id);
-    let recursive = members.iter().any(|p| graph.is_recursive(p));
-    if !recursive {
-        return SccAnalysis {
-            members,
-            outcome: SccOutcome::NonRecursive,
-            theta_constraints: ConstraintSystem::new(),
-            theta_space: ThetaSpace::new(),
-            pair_count: 0,
-            blame: None,
-        };
-    }
-    let mut analysis = analyze_scc(graph, program, scc_id, &members, modes, rels, options);
-    if !analysis.outcome.is_proved() && options.lexicographic {
-        if let Some(proof) = crate::lexico::prove_scc_lexicographic(
-            program,
-            graph,
-            scc_id,
-            modes,
-            rels,
-            options.norm,
-        ) {
-            analysis.outcome = SccOutcome::ProvedLexicographic { proof };
+    let started = std::time::Instant::now();
+    let mut analysis = (|| {
+        let members: Vec<PredKey> = graph.scc(scc_id);
+        let recursive = members.iter().any(|p| graph.is_recursive(p));
+        if !recursive {
+            return SccAnalysis {
+                members,
+                outcome: SccOutcome::NonRecursive,
+                theta_constraints: ConstraintSystem::new(),
+                theta_space: ThetaSpace::new(),
+                pair_count: 0,
+                blame: None,
+                stats: SccStats::default(),
+            };
         }
-    }
+        let mut analysis =
+            analyze_scc(graph, program, scc_id, &members, modes, rels, options, cache);
+        if !analysis.outcome.is_proved() && options.lexicographic {
+            if let Some(proof) = crate::lexico::prove_scc_lexicographic(
+                program,
+                graph,
+                scc_id,
+                modes,
+                rels,
+                options.norm,
+            ) {
+                analysis.outcome = SccOutcome::ProvedLexicographic { proof };
+            }
+        }
+        analysis
+    })();
+    analysis.stats.wall_nanos = started.elapsed().as_nanos();
     analysis
 }
 
@@ -550,6 +659,7 @@ fn restrict_to_binary_orders(rels: &SizeRelations) -> SizeRelations {
 }
 
 /// Analyze one recursive SCC.
+#[allow(clippy::too_many_arguments)] // shared immutable analysis context, one slot each
 fn analyze_scc(
     graph: &DepGraph,
     program: &Program,
@@ -558,6 +668,7 @@ fn analyze_scc(
     modes: &ModeMap,
     rels: &SizeRelations,
     options: &AnalysisOptions,
+    cache: Option<&ProjectionCache>,
 ) -> SccAnalysis {
     // θ space: one variable per bound argument of each member.
     let mut space = ThetaSpace::new();
@@ -588,6 +699,7 @@ fn analyze_scc(
                         theta_space: space,
                         pair_count: pairs.len(),
                         blame: None,
+                        stats: SccStats::default(),
                     };
                 }
             };
@@ -606,17 +718,26 @@ fn analyze_scc(
                 systems.push((sys, w));
             }
             let workers = crate::par::effective_workers(options.parallelism, systems.len());
-            let results =
-                crate::par::par_map_indexed(&systems, workers, |_, (sys, w)| project_pair(sys, w));
+            let cfg = dual_fm_config(options.fm_tier);
+            let results = crate::par::par_map_indexed(&systems, workers, |_, (sys, w)| {
+                let mut st = FmStats::default();
+                let r = project_pair_with(sys, w, &cfg, cache, &mut st);
+                (r, st)
+            });
+            // Merge *every* pair's FM counters (not just the prefix before a
+            // failed projection) so stats stay identical across `--jobs`.
+            let mut fm_stats = FmStats::default();
+            let projections = results.len() as u64;
             let mut projected = Vec::new();
             let mut ok = true;
-            for r in results {
+            for (r, st) in results {
+                fm_stats.merge(&st);
+                if !ok {
+                    continue;
+                }
                 match r {
                     Some(p) => projected.push(p),
-                    None => {
-                        ok = false;
-                        break;
-                    }
+                    None => ok = false,
                 }
             }
             let (theta_sys, nonneg) = feasibility_system(&projected, &space);
@@ -650,6 +771,7 @@ fn analyze_scc(
                 theta_space: space,
                 pair_count: pairs.len(),
                 blame,
+                stats: SccStats { wall_nanos: 0, fm: fm_stats, projections },
             }
         }
         DeltaMode::PathConstraints => {
@@ -673,17 +795,24 @@ fn analyze_scc(
                 systems.push((sys, w));
             }
             let workers = crate::par::effective_workers(options.parallelism, systems.len());
-            let results =
-                crate::par::par_map_indexed(&systems, workers, |_, (sys, w)| project_pair(sys, w));
+            let cfg = dual_fm_config(options.fm_tier);
+            let results = crate::par::par_map_indexed(&systems, workers, |_, (sys, w)| {
+                let mut st = FmStats::default();
+                let r = project_pair_with(sys, w, &cfg, cache, &mut st);
+                (r, st)
+            });
+            let mut fm_stats = FmStats::default();
+            let projections = results.len() as u64;
             let mut pair_systems = Vec::new();
             let mut ok = true;
-            for r in results {
+            for (r, st) in results {
+                fm_stats.merge(&st);
+                if !ok {
+                    continue;
+                }
                 match r {
                     Some(p) => pair_systems.push(p),
-                    None => {
-                        ok = false;
-                        break;
-                    }
+                    None => ok = false,
                 }
             }
             let mut projected = base.clone();
@@ -721,6 +850,7 @@ fn analyze_scc(
                 theta_space: space,
                 pair_count: pairs.len(),
                 blame,
+                stats: SccStats { wall_nanos: 0, fm: fm_stats, projections },
             }
         }
     }

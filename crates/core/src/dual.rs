@@ -20,11 +20,11 @@
 //! distinguished θ/β variables only — the form the per-SCC feasibility test
 //! consumes.
 
-use crate::pairs::RuleSubgoalSystem;
+use crate::pairs::{ProjectionCache, ProjectionEntry, ProjectionKey, RuleSubgoalSystem};
 use crate::theta::ThetaSpace;
-use argus_linear::fm::{self, FmResult};
-use argus_linear::{Constraint, ConstraintSystem, LinExpr, Rat, Rel, Var};
-use std::collections::BTreeSet;
+use argus_linear::fm::{self, FmConfig, FmResult, FmStats, FmTier};
+use argus_linear::{simplex, Constraint, ConstraintSystem, IntRow, LinExpr, Rat, Rel, Var};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How the `δᵢⱼ` decrement enters the value row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,17 +119,131 @@ pub fn eq9_system(
     (sys, w_vars)
 }
 
+/// FM configuration for the dual-projection path: the requested redundancy
+/// tier under the path's historical 2000-row cap.
+pub fn dual_fm_config(tier: FmTier) -> FmConfig {
+    FmConfig { tier, max_rows: 2000, ..FmConfig::default() }
+}
+
 /// Eliminate the `w` variables of a pair's Eq. (9) system by Fourier–
 /// Motzkin, leaving constraints over θ/β (and a δ variable, if symbolic).
 /// Returns `None` if elimination discovers the system is unsatisfiable for
 /// *every* θ (which would mean this pair admits no linear decrease at all).
 pub fn project_pair(sys: &ConstraintSystem, w_vars: &[Var]) -> Option<ConstraintSystem> {
-    let keep: BTreeSet<Var> = sys.vars().into_iter().filter(|v| !w_vars.contains(v)).collect();
-    match fm::project_onto_capped(sys, &keep, 2000) {
-        Some(FmResult::Projected(out)) => Some(out.dedup()),
-        Some(FmResult::Infeasible) => None,
-        None => None, // blowup: treat as "no linear decrease found"
+    let mut stats = FmStats::default();
+    project_pair_with(sys, w_vars, &dual_fm_config(FmTier::default()), None, &mut stats)
+}
+
+/// [`project_pair`] with an explicit FM configuration, an optional shared
+/// projection cache, and FM counters accumulated into `stats`.
+///
+/// The projection is computed in *canonically renamed* space (the system's
+/// variables mapped monotonically to `0..k`) and renamed back. The rename
+/// is order-preserving, so the result is identical to projecting directly —
+/// but structurally identical pair systems that differ only in variable
+/// numbering now share one cache entry, and cache on/off cannot change any
+/// output byte.
+///
+/// The output is normalized so every tier produces the same bytes: an
+/// infeasible projection returns `None` at every tier (tier 0 surfaces the
+/// contradiction as a derived constant row, higher tiers may not), and
+/// surviving rows pass through a greedy LP minimization that removes every
+/// implied row, converging to the polyhedron's irredundant description.
+pub fn project_pair_with(
+    sys: &ConstraintSystem,
+    w_vars: &[Var],
+    cfg: &FmConfig,
+    cache: Option<&ProjectionCache>,
+    stats: &mut FmStats,
+) -> Option<ConstraintSystem> {
+    // Monotone rename: sorted distinct variables → 0..k.
+    let mut all_vars: BTreeSet<Var> = sys.vars();
+    all_vars.extend(w_vars.iter().copied());
+    let fwd: BTreeMap<Var, Var> = all_vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let back: BTreeMap<Var, Var> = fwd.iter().map(|(&v, &i)| (i, v)).collect();
+    let renamed = ConstraintSystem::from_constraints(
+        sys.constraints().iter().map(|c| c.rename(&fwd)).collect(),
+    );
+    let eliminate: Vec<Var> = w_vars
+        .iter()
+        .filter_map(|v| fwd.get(v))
+        .copied()
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    let compute = || -> ProjectionEntry {
+        let keep: BTreeSet<Var> =
+            renamed.vars().into_iter().filter(|v| !eliminate.contains(v)).collect();
+        let mut st = FmStats::default();
+        let result = match fm::project_onto_with(&renamed, &keep, cfg, &mut st) {
+            Err(_) => None, // blowup: treat as "no linear decrease found"
+            Ok(FmResult::Infeasible) => None,
+            Ok(FmResult::Projected(out)) => {
+                let out = out.dedup();
+                // Higher tiers can drop the redundant rows whose combination
+                // would have exposed a contradiction as a constant row; a
+                // simplex check restores one verdict for every tier.
+                if simplex::feasible_point(&out, &BTreeSet::new()).is_none() {
+                    None
+                } else {
+                    Some(minimize_rows(out))
+                }
+            }
+        };
+        ProjectionEntry { result, stats: st }
+    };
+
+    let entry = match cache {
+        None => compute(),
+        Some(cache) => {
+            let key = ProjectionKey {
+                rows: renamed.constraints().iter().map(IntRow::of_constraint).collect(),
+                eliminate: eliminate.clone(),
+                tier: cfg.tier.index() as u8,
+                max_rows: cfg.max_rows,
+            };
+            match cache.get(&key) {
+                Some(entry) => entry,
+                None => cache.publish(key, compute()),
+            }
+        }
+    };
+    stats.merge(&entry.stats);
+    entry.result.map(|out| {
+        ConstraintSystem::from_constraints(
+            out.constraints().iter().map(|c| c.rename(&back)).collect(),
+        )
+    })
+}
+
+/// Greedily remove every row implied by the remaining ones (variables all
+/// free: the `θ ≥ 0` rows are added downstream and must not silently
+/// strengthen the displayed system). A single ascending pass over the
+/// canonically ordered rows leaves an irredundant description, which for
+/// the full-dimensional systems this path produces is unique — the final
+/// normalization step that makes every redundancy tier emit identical
+/// bytes.
+fn minimize_rows(sys: ConstraintSystem) -> ConstraintSystem {
+    let rows = sys.constraints();
+    if rows.len() <= 1 {
+        return sys;
     }
+    let mut kept: Vec<bool> = vec![true; rows.len()];
+    let nonneg = BTreeSet::new();
+    for i in 0..rows.len() {
+        kept[i] = false;
+        let others = ConstraintSystem::from_constraints(
+            rows.iter().enumerate().filter(|(j, _)| kept[*j]).map(|(_, c)| c.clone()).collect(),
+        );
+        if !simplex::is_implied(&others, &nonneg, &rows[i]) {
+            kept[i] = true;
+        }
+    }
+    ConstraintSystem::from_constraints(
+        rows.iter().enumerate().filter(|(j, _)| kept[*j]).map(|(_, c)| c.clone()).collect(),
+    )
+    .dedup()
 }
 
 /// The θ-feasibility problem for a whole SCC: the conjunction of all pairs'

@@ -57,6 +57,16 @@ impl TerminationReport {
     /// ```
     /// Rationals are emitted as strings (`"1/2"`) to stay exact.
     pub fn to_json(&self) -> String {
+        self.to_json_with(false)
+    }
+
+    /// Like [`TerminationReport::to_json`]; with `stats` set, each SCC
+    /// object additionally carries a `"stats"` member with its FM counters
+    /// and the report a `"run_stats"` member with projection-cache totals.
+    /// Only deterministic counters are emitted — wall-clock time stays in
+    /// the text report — so the output is byte-stable across runs, `--jobs`
+    /// settings, and cache hit/miss patterns.
+    pub fn to_json_with(&self, stats: bool) -> String {
         let verdict = match self.verdict {
             Verdict::Terminates => "Terminates",
             Verdict::Unknown => "Unknown",
@@ -158,13 +168,44 @@ impl TerminationReport {
                     )
                 }
             };
+            let scc_stats = if stats {
+                let fm = &scc.stats.fm;
+                format!(
+                    ",\"stats\":{{\"projections\":{},\"eliminations\":{},\"gauss_steps\":{},\
+                     \"rows_in\":{},\"rows_out\":{},\"pairs_combined\":{},\"dedup_hits\":{},\
+                     \"subsume_hits\":{},\"chernikov_drops\":{},\"lp_drops\":{},\"peak_rows\":{}}}",
+                    scc.stats.projections,
+                    fm.eliminations,
+                    fm.gauss_steps,
+                    fm.rows_in,
+                    fm.rows_out,
+                    fm.pairs_combined,
+                    fm.dedup_hits,
+                    fm.subsume_hits,
+                    fm.chernikov_drops,
+                    fm.lp_drops,
+                    fm.peak_rows,
+                )
+            } else {
+                String::new()
+            };
             format!(
-                "{{\"members\":{members},\"outcome\":{}{detail},\"constraints\":{constraints}}}",
+                "{{\"members\":{members},\"outcome\":{}{detail},\"constraints\":{constraints}{scc_stats}}}",
                 json_str(&outcome)
             )
         }));
+        let run_stats = if stats {
+            format!(
+                ",\"run_stats\":{{\"cache_requests\":{},\"cache_entries\":{},\"cache_hits\":{}}}",
+                self.run_stats.cache_requests,
+                self.run_stats.cache_entries,
+                self.run_stats.cache_hits(),
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "{{\"query\":{},\"verdict\":{},\"sccs\":{sccs}}}",
+            "{{\"query\":{},\"verdict\":{},\"sccs\":{sccs}{run_stats}}}",
             json_str(&self.query.to_string()),
             json_str(verdict)
         )

@@ -266,6 +266,95 @@ pub fn primal_system(
     (out, x_vars, y_vars, a_vars)
 }
 
+/// Cache key for one per-pair dual projection, in *canonically renamed*
+/// variable space (the projection routine renames the system's variables to
+/// `0..k` in sorted order before keying and computing). Mutual-recursion
+/// rings and fuzz corpora produce many structurally identical pair systems
+/// that differ only in variable numbering; the rename makes them collide.
+///
+/// The canonical integer rows determine the Fourier–Motzkin run exactly
+/// (elimination converts rows to [`argus_linear::IntRow`] up front), so two
+/// systems with equal keys produce byte-identical projections.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProjectionKey {
+    /// Canonical rows of the renamed system, in order (order matters: it
+    /// fixes the Gaussian pivot choice and the output's equality ordering).
+    pub rows: Vec<argus_linear::IntRow>,
+    /// The renamed `w` variables to eliminate, sorted.
+    pub eliminate: Vec<Var>,
+    /// Redundancy tier index (different tiers may produce different row
+    /// sets before the output is minimized, so they must not share entries).
+    pub tier: u8,
+    /// Row cap of the run.
+    pub max_rows: usize,
+}
+
+/// Shared per-run cache of per-pair dual projections, safe to use from the
+/// `par` worker pool. Entries are pure functions of their key, so the
+/// first-insert-wins race policy of [`crate::par::ShardedMap`] keeps
+/// contents — and therefore every analysis artifact — deterministic at any
+/// `--jobs` setting.
+pub struct ProjectionCache {
+    map: crate::par::ShardedMap<ProjectionKey, ProjectionEntry>,
+    requests: std::sync::atomic::AtomicU64,
+}
+
+/// A cached projection outcome: the renamed-space result plus the FM
+/// counters its computation produced (replayed on every hit so stats totals
+/// are independent of the hit/miss pattern).
+#[derive(Debug, Clone)]
+pub struct ProjectionEntry {
+    /// The projected system in renamed space (`None`: infeasible/blowup).
+    pub result: Option<argus_linear::ConstraintSystem>,
+    /// FM counters of the (first) computation of this entry.
+    pub stats: argus_linear::FmStats,
+}
+
+impl ProjectionCache {
+    /// An empty cache.
+    pub fn new() -> ProjectionCache {
+        ProjectionCache {
+            map: crate::par::ShardedMap::new(),
+            requests: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, counting the request.
+    pub fn get(&self, key: &ProjectionKey) -> Option<ProjectionEntry> {
+        self.requests.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.map.get(key)
+    }
+
+    /// Publish a computed entry; returns the entry that ends up cached
+    /// (an earlier racer's identical value, if one beat us to it).
+    pub fn publish(&self, key: ProjectionKey, entry: ProjectionEntry) -> ProjectionEntry {
+        self.map.insert_if_absent(key, entry)
+    }
+
+    /// Total lookups so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Distinct projections computed (cache entries).
+    pub fn entries(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// Lookups answered from the cache. Both terms are deterministic
+    /// (requests = pairs projected, entries = distinct keys), so the hit
+    /// count is stable across worker counts despite racy interleavings.
+    pub fn hits(&self) -> u64 {
+        self.requests().saturating_sub(self.entries())
+    }
+}
+
+impl Default for ProjectionCache {
+    fn default() -> Self {
+        ProjectionCache::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

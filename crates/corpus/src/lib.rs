@@ -463,6 +463,24 @@ pub fn corpus() -> Vec<CorpusEntry> {
             description: "simultaneous descent over two bound lists",
             sample_queries: &["zip([a, b], [1, 2], Z)"],
         },
+        CorpusEntry {
+            name: "mutual_fib_ring",
+            source: MUTUAL_FIB_RING,
+            query: "f0/2",
+            adornment: "bf",
+            terminates: true,
+            expected_provable: true,
+            paper_ref: None,
+            description: "tetranacci over a 3-predicate mutual-recursion ring; the \
+                          staggered call depths give every predicate a many-facet \
+                          size relation, making this the corpus's FM stress test \
+                          (projections blow up without redundancy elimination)",
+            sample_queries: &[
+                "f0(z, R)",
+                "f0(s(s(s(s(s(z))))), R)",
+                "f0(s(s(s(s(s(s(s(z))))))), R)",
+            ],
+        },
     ]
 }
 
@@ -638,6 +656,31 @@ minus(s(X), s(Y), Z) :- minus(X, Y, Z).
 const ZIP: &str = "\
 zip([], [], []).
 zip([X|Xs], [Y|Ys], [pair(X, Y)|Zs]) :- zip(Xs, Ys, Zs).
+";
+
+// Kept in sync with `argus_bench::workload::mutual_fib_ring_program(3, 4)`
+// (a bench test guards against drift).
+const MUTUAL_FIB_RING: &str = "\
+plus(z, Y, Y).
+plus(s(X), Y, s(Z)) :- plus(X, Y, Z).
+f0(z, z).
+f0(s(z), s(z)).
+f0(s(s(z)), s(z)).
+f0(s(s(s(z))), s(z)).
+f0(s(s(s(s(N)))), R) :- f1(s(s(s(N))), A0), f1(s(s(N)), A1), f1(s(N), A2), f1(N, A3),
+                        plus(A0, A1, T1), plus(T1, A2, T2), plus(T2, A3, R).
+f1(z, z).
+f1(s(z), s(z)).
+f1(s(s(z)), s(z)).
+f1(s(s(s(z))), s(z)).
+f1(s(s(s(s(N)))), R) :- f2(s(s(s(N))), A0), f2(s(s(N)), A1), f2(s(N), A2), f2(N, A3),
+                        plus(A0, A1, T1), plus(T1, A2, T2), plus(T2, A3, R).
+f2(z, z).
+f2(s(z), s(z)).
+f2(s(s(z)), s(z)).
+f2(s(s(s(z))), s(z)).
+f2(s(s(s(s(N)))), R) :- f0(s(s(s(N))), A0), f0(s(s(N)), A1), f0(s(N), A2), f0(N, A3),
+                        plus(A0, A1, T1), plus(T1, A2, T2), plus(T2, A3, R).
 ";
 
 const PERM_SELECT: &str = "\

@@ -302,7 +302,7 @@ impl fmt::Display for LinExpr {
 }
 
 /// The relation of a [`Constraint`]: `expr ≤ 0` or `expr = 0`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rel {
     /// `expr ≤ 0`.
     Le,

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod bigint;
+pub mod canon;
 pub mod expr;
 pub mod farkas;
 pub mod fm;
@@ -48,9 +49,10 @@ pub mod rat;
 pub mod simplex;
 
 pub use bigint::{BigInt, Sign};
+pub use canon::IntRow;
 pub use expr::{Constraint, ConstraintSystem, LinExpr, Rel, Var, VarPool};
 pub use farkas::{refute, FarkasCertificate};
-pub use fm::FmResult;
+pub use fm::{FmBlowup, FmConfig, FmResult, FmStats, FmTier};
 pub use poly::Poly;
 pub use rat::Rat;
 pub use simplex::{LpOutcome, LpProblem};

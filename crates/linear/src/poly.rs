@@ -25,6 +25,11 @@ use crate::simplex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+/// Row cap for the lifted FM projection inside [`Poly::hull`]; past it the
+/// hull falls back to the sound weak join rather than risking FM's
+/// worst-case blowup.
+pub const HULL_ROW_CAP: usize = 120;
+
 /// A closed convex polyhedron over dimensions `0..dim`.
 ///
 /// An explicitly-empty polyhedron is represented by `empty = true`; the
@@ -185,8 +190,17 @@ impl Poly {
         Poly { dim: new_dim, sys: self.sys.rename(map), empty: self.empty }
     }
 
-    /// Closed convex hull of the union (the abstract `join`).
+    /// Closed convex hull of the union (the abstract `join`), with the
+    /// [`HULL_ROW_CAP`] row cap: past it, the cheap weak join stands in.
     pub fn hull(&self, other: &Poly) -> Poly {
+        let cfg = fm::FmConfig { max_rows: HULL_ROW_CAP, ..fm::FmConfig::default() };
+        self.hull_with(other, &cfg, &mut fm::FmStats::default())
+    }
+
+    /// [`Poly::hull`] under an explicit FM configuration (tier, row cap, LP
+    /// budget all caller-controlled), accumulating the FM work into
+    /// `stats`. Exceeding `cfg.max_rows` falls back to the weak join.
+    pub fn hull_with(&self, other: &Poly, cfg: &fm::FmConfig, stats: &mut fm::FmStats) -> Poly {
         assert_eq!(self.dim, other.dim, "dimension mismatch in hull");
         if self.empty {
             return other.clone();
@@ -243,13 +257,13 @@ impl Poly {
         }
 
         let keep: BTreeSet<Var> = (0..n).collect();
-        // A row cap guards against FM's blowup; past it, fall back to the
+        // The row cap guards against FM's blowup; past it, fall back to the
         // cheap weak join, which is sound (it contains the hull) and still
         // keeps the invariants that appear as rows of either argument.
-        match fm::project_onto_capped(&big, &keep, 120) {
-            Some(FmResult::Projected(sys)) => Poly::from_constraints(n, sys.dedup()),
-            Some(FmResult::Infeasible) => Poly::empty(n),
-            None => self.weak_join(other),
+        match fm::project_onto_with(&big, &keep, cfg, stats) {
+            Ok(FmResult::Projected(sys)) => Poly::from_constraints(n, sys.dedup()),
+            Ok(FmResult::Infeasible) => Poly::empty(n),
+            Err(_) => self.weak_join(other),
         }
     }
 

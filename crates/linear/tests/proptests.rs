@@ -404,6 +404,107 @@ fn lp_minimum_is_lower_bound() {
     }
 }
 
+mod fm_tier_props {
+    //! Every redundancy tier must compute the *same projection* — tiers
+    //! only remove redundant rows, never change the feasible set. Checked
+    //! two ways: simplex witnesses of the input project into every tier's
+    //! output (soundness per tier), and each tier's output is mutually
+    //! implied with the tier-0 output (same polyhedron).
+
+    use super::*;
+    use argus_linear::fm::{FmConfig, FmStats, FmTier};
+
+    /// Project `sys` onto `keep` at `tier`; `None` means FM derived
+    /// infeasibility.
+    fn project_at(
+        sys: &ConstraintSystem,
+        keep: &BTreeSet<usize>,
+        tier: FmTier,
+    ) -> Option<ConstraintSystem> {
+        let mut stats = FmStats::default();
+        let cfg = FmConfig::tiered(tier);
+        match fm::project_onto_with(sys, keep, &cfg, &mut stats).expect("uncapped") {
+            FmResult::Projected(p) => Some(p),
+            FmResult::Infeasible => None,
+        }
+    }
+
+    /// `a ⊆ b` as polyhedra: every row of `b` is implied by `a`.
+    fn included(a: &ConstraintSystem, b: &ConstraintSystem) -> bool {
+        b.constraints().iter().all(|c| simplex::is_implied(a, &BTreeSet::new(), c))
+    }
+
+    #[test]
+    fn every_tier_preserves_the_feasible_set() {
+        let mut r = Rng64::new(0x71E5);
+        let keep: BTreeSet<usize> = [0, 1].into_iter().collect();
+        for _ in 0..48 {
+            let sys = gen_system(&mut r, 3, 5);
+            let input_sat = simplex::feasible_point(&sys, &BTreeSet::new()).is_some();
+            let tier0 = project_at(&sys, &keep, FmTier::Dedup);
+            for tier in FmTier::ALL {
+                let out = project_at(&sys, &keep, tier);
+                // Whether surfaced as `Infeasible` or as an unsatisfiable
+                // projected system, the output's satisfiability must match
+                // the input's at every tier.
+                let out_sat = match &out {
+                    None => false,
+                    Some(p) => simplex::feasible_point(p, &BTreeSet::new()).is_some(),
+                };
+                assert_eq!(out_sat, input_sat, "tier {tier:?} on:\n{sys}");
+                // Same polyhedron as tier 0 (when both give systems).
+                if let (Some(a), Some(b)) = (&tier0, &out) {
+                    assert!(
+                        included(a, b) && included(b, a),
+                        "tier {tier:?} changed the projection of:\n{sys}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_project_into_every_tier() {
+        let mut r = Rng64::new(0x71E6);
+        let keep: BTreeSet<usize> = [0, 1].into_iter().collect();
+        for _ in 0..48 {
+            let sys = gen_system(&mut r, 3, 5);
+            let Some(pt) = simplex::feasible_point(&sys, &BTreeSet::new()) else { continue };
+            let mut projected_pt = pt.clone();
+            projected_pt.retain(|v, _| keep.contains(v));
+            for tier in FmTier::ALL {
+                match project_at(&sys, &keep, tier) {
+                    None => panic!("witness exists yet tier {tier:?} says infeasible:\n{sys}"),
+                    Some(p) => assert!(
+                        p.holds_at(&projected_pt),
+                        "tier {tier:?} output excludes a projected witness of:\n{sys}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_drops_account_for_row_reduction() {
+        // rows_in − rows_out of any round equals the recorded drops for it;
+        // summed over rounds the identity must survive every tier.
+        let mut r = Rng64::new(0x71E7);
+        let keep: BTreeSet<usize> = [0].into_iter().collect();
+        for _ in 0..32 {
+            let sys = gen_system(&mut r, 3, 5);
+            for tier in FmTier::ALL {
+                let mut stats = FmStats::default();
+                let cfg = FmConfig::tiered(tier);
+                let _ = fm::project_onto_with(&sys, &keep, &cfg, &mut stats);
+                assert!(
+                    stats.rows_out <= stats.rows_in + stats.pairs_combined,
+                    "tier {tier:?}: impossible growth on:\n{sys}"
+                );
+            }
+        }
+    }
+}
+
 mod poly_props {
     use super::*;
     use argus_linear::Poly;

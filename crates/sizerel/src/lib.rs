@@ -171,8 +171,25 @@ pub fn rule_poly(rule: &Rule, env: &SizeRelations) -> Poly {
     rule_poly_with_norm(rule, env, Norm::default())
 }
 
-/// [`rule_poly`] under an explicit term-size norm.
+/// [`rule_poly`] under an explicit term-size norm, with this module's
+/// [`FM_ROW_CAP`] guarding the projection.
 pub fn rule_poly_with_norm(rule: &Rule, env: &SizeRelations, norm: Norm) -> Poly {
+    let cfg = fm::FmConfig { max_rows: FM_ROW_CAP, ..fm::FmConfig::default() };
+    rule_poly_instrumented(rule, env, norm, &cfg, &mut fm::FmStats::default())
+}
+
+/// [`rule_poly_with_norm`] under an explicit FM configuration (tier, row
+/// cap, LP budget all caller-controlled), accumulating counters into
+/// `stats` — the instrumentation hook for the `fm_redundancy` bench, which
+/// raises the cap to expose the untiered blowup that production's
+/// [`FM_ROW_CAP`] would truncate.
+pub fn rule_poly_instrumented(
+    rule: &Rule,
+    env: &SizeRelations,
+    norm: Norm,
+    cfg: &fm::FmConfig,
+    stats: &mut fm::FmStats,
+) -> Poly {
     let head_arity = rule.head.args.len();
     let mut next: Var = head_arity;
     let mut var_of: BTreeMap<Arc<str>, Var> = BTreeMap::new();
@@ -256,15 +273,13 @@ pub fn rule_poly_with_norm(rule: &Rule, env: &SizeRelations, norm: Norm) -> Poly
         }
     }
 
-    // Project onto the head dimensions, with a row cap: a blowup falls
-    // back to the sound top element (sizes nonnegative, nothing more).
+    // Project onto the head dimensions; exceeding the caller's row cap
+    // falls back to the sound top element (sizes nonnegative, nothing more).
     let keep: BTreeSet<Var> = (0..head_arity).collect();
-    match fm::project_onto_capped(&sys, &keep, FM_ROW_CAP) {
-        Some(FmResult::Projected(projected)) => {
-            Poly::from_constraints(head_arity, projected.dedup())
-        }
-        Some(FmResult::Infeasible) => Poly::empty(head_arity),
-        None => Poly::nonneg_universe(head_arity),
+    match fm::project_onto_with(&sys, &keep, cfg, stats) {
+        Ok(FmResult::Projected(projected)) => Poly::from_constraints(head_arity, projected.dedup()),
+        Ok(FmResult::Infeasible) => Poly::empty(head_arity),
+        Err(_) => Poly::nonneg_universe(head_arity),
     }
 }
 
@@ -276,6 +291,31 @@ const FM_ROW_CAP: usize = 500;
 /// Infer size relations for every IDB predicate of `program`, processing
 /// SCCs bottom-up and iterating recursive SCCs to a (widened) fixpoint.
 pub fn infer_size_relations(program: &Program, options: &InferOptions) -> SizeRelations {
+    infer_size_relations_instrumented(
+        program,
+        options,
+        &fm::FmConfig::default(),
+        &mut fm::FmStats::default(),
+    )
+}
+
+/// [`infer_size_relations`] with an explicit FM redundancy tier: every
+/// rule-poly projection and hull inside the fixpoint runs at `cfg.tier`
+/// and accumulates counters into `stats`. The production row caps
+/// ([`FM_ROW_CAP`] for rule projections, [`argus_linear::poly::HULL_ROW_CAP`]
+/// for hulls) still apply — `cfg.max_rows` can only tighten them — so the
+/// inferred relations match [`infer_size_relations`] at the default tier.
+/// This is how the `fm_redundancy` bench measures the FM load of a corpus
+/// program's inference tier by tier.
+pub fn infer_size_relations_instrumented(
+    program: &Program,
+    options: &InferOptions,
+    cfg: &fm::FmConfig,
+    stats: &mut fm::FmStats,
+) -> SizeRelations {
+    let rule_cfg = fm::FmConfig { max_rows: cfg.max_rows.min(FM_ROW_CAP), ..*cfg };
+    let hull_cfg =
+        fm::FmConfig { max_rows: cfg.max_rows.min(argus_linear::poly::HULL_ROW_CAP), ..*cfg };
     let graph = DepGraph::build(program);
     let mut rels = SizeRelations::new();
 
@@ -292,7 +332,8 @@ pub fn infer_size_relations(program: &Program, options: &InferOptions) -> SizeRe
             for p in &members {
                 let mut acc = Poly::empty(p.arity);
                 for rule in program.procedure(p) {
-                    acc = acc.hull(&rule_poly_with_norm(rule, &rels, options.norm));
+                    let rp = rule_poly_instrumented(rule, &rels, options.norm, &rule_cfg, stats);
+                    acc = acc.hull_with(&rp, &hull_cfg, stats);
                 }
                 rels.insert(p.clone(), acc.minimized());
             }
@@ -310,10 +351,11 @@ pub fn infer_size_relations(program: &Program, options: &InferOptions) -> SizeRe
                 let old = rels.get(p).cloned().expect("seeded");
                 let mut new = Poly::empty(p.arity);
                 for rule in program.procedure(p) {
-                    new = new.hull(&rule_poly_with_norm(rule, &rels, options.norm));
+                    let rp = rule_poly_instrumented(rule, &rels, options.norm, &rule_cfg, stats);
+                    new = new.hull_with(&rp, &hull_cfg, stats);
                 }
                 // Join with previous to enforce monotonicity, then widen.
-                let joined = old.hull(&new);
+                let joined = old.hull_with(&new, &hull_cfg, stats);
                 let next =
                     if iteration >= options.widening_delay { old.widen(&joined) } else { joined };
                 if !next.same_set(&old) {

@@ -197,6 +197,14 @@ pub fn split_exhaustively(program: &Program) -> Program {
     cur
 }
 
+/// Most resolvents one unfold step may be estimated to create. Unfolding
+/// is cartesian (each host rule yields `|proc(p)|^occurrences` resolvents),
+/// so without a budget a mutual-recursion ring whose rules make several
+/// calls to the next member explodes doubly-exponentially across rounds.
+/// Skipped candidates simply stay folded — the analysis is still sound on
+/// the untransformed SCC, exactly as for directly self-recursive predicates.
+const UNFOLD_GROWTH_BUDGET: u64 = 256;
+
 /// One step of safe unfolding, if applicable.
 ///
 /// A predicate `p` is *safely unfoldable* when it has rules, no rule for
@@ -204,8 +212,9 @@ pub fn split_exhaustively(program: &Program) -> Program {
 /// positive subgoal somewhere, never occurs as a negative subgoal (negation
 /// cannot be unfolded by resolution), and `p` is not among `protect`
 /// (query/entry predicates must keep their definitions). Unfolding resolves
-/// every positive `p` subgoal against every rule for `p`. If afterwards `p`
-/// is unreferenced, its rules are discarded.
+/// every positive `p` subgoal against every rule for `p` — capped by
+/// [`UNFOLD_GROWTH_BUDGET`] so dense mutual rings cannot blow up the
+/// program. If afterwards `p` is unreferenced, its rules are discarded.
 pub fn unfold_step(program: &Program, protect: &BTreeSet<PredKey>) -> Option<Program> {
     let graph = DepGraph::build(program);
     let idb = program.idb_predicates();
@@ -235,7 +244,30 @@ pub fn unfold_step(program: &Program, protect: &BTreeSet<PredKey>) -> Option<Pro
                     }
                 }
             }
-            pos_occurs
+            if !pos_occurs {
+                return false;
+            }
+            // Affordability: resolving every occurrence against every rule
+            // for `p` multiplies clauses — a host rule with k positive `p`
+            // subgoals becomes |proc(p)|^k resolvents. On many-call mutual
+            // rings that is exponential across unfold rounds, so candidates
+            // whose resolvent estimate exceeds the budget are skipped.
+            let nrules = program.procedure(p).len() as u64;
+            let mut est: u64 = 0;
+            for r in &program.rules {
+                if r.head.key() == **p {
+                    continue;
+                }
+                let occ =
+                    r.body.iter().filter(|l| l.positive && l.atom.key() == **p).count() as u32;
+                if occ > 0 {
+                    est = est.saturating_add(nrules.saturating_pow(occ));
+                    if est > UNFOLD_GROWTH_BUDGET {
+                        return false;
+                    }
+                }
+            }
+            true
         })
         .collect();
     // Prefer members of nontrivial SCCs: unfolding them shrinks the SCC,
@@ -505,6 +537,22 @@ mod tests {
             // If anything was unfolded it must not be helper.
             assert!(!out.procedure(&PredKey::new("helper", 1)).is_empty());
         }
+    }
+
+    #[test]
+    fn unfold_skips_candidates_over_growth_budget() {
+        // A 3-predicate mutual ring where each rule makes 4 calls to the
+        // next member: unfolding any member would create 5^4 = 625 > 256
+        // resolvents per host rule (and the next round 5^16), so the budget
+        // must reject every candidate and the driver must terminate with
+        // the ring intact rather than exploding.
+        let src = argus_corpus::find("mutual_fib_ring").unwrap().source;
+        let p = parse_program(src).unwrap();
+        let roots = roots(&[("f0", 2)]);
+        assert!(unfold_step(&p, &roots).is_none(), "budget should veto all ring members");
+        let (out, _) = transform_fixed_phases(&p, &roots, 3);
+        assert!(!out.procedure(&PredKey::new("f1", 2)).is_empty());
+        assert!(!out.procedure(&PredKey::new("f2", 2)).is_empty());
     }
 
     #[test]

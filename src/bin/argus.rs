@@ -3,7 +3,8 @@
 //! ```text
 //! argus analyze <file.pl> <name/arity> <adornment> [--norm list-length]
 //!               [--delta appendix-c] [--no-transform] [--certify]
-//!               [--lexicographic] [--json] [--jobs N]
+//!               [--lexicographic] [--json] [--jobs N] [--stats]
+//!               [--fm-tier 0..3] [--no-fm-cache]
 //! argus lint    <file.pl> [--query <name/arity> --mode <adornment>] [--json]
 //! argus compare <file.pl> <name/arity> <adornment>
 //! argus run     <file.pl> '<goal>'  [--steps N]
@@ -41,7 +42,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  argus analyze <file.pl> <name/arity> <adornment> \
          [--norm structural|list-length] [--delta paper|appendix-c] \
-         [--no-transform] [--certify] [--lexicographic] [--jobs N]\n  \
+         [--no-transform] [--certify] [--lexicographic] [--jobs N] \
+         [--stats] [--fm-tier 0..3] [--no-fm-cache]\n  \
          argus lint <file.pl> [--query <name/arity> --mode <adornment>] [--json]\n  \
          argus compare <file.pl> <name/arity> <adornment>\n  \
          argus run <file.pl> '<goal>' [--steps N]\n  \
@@ -81,6 +83,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let mut options = AnalysisOptions::default();
     let mut certify = false;
     let mut json = false;
+    let mut stats = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -88,6 +91,19 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             "--certify" => certify = true,
             "--lexicographic" => options.lexicographic = true,
             "--json" => json = true,
+            "--stats" => stats = true,
+            "--no-fm-cache" => options.fm_cache = false,
+            "--fm-tier" => {
+                i += 1;
+                options.fm_tier =
+                    match args.get(i).and_then(|v| v.parse().ok()).and_then(FmTier::from_index) {
+                        Some(t) => t,
+                        None => {
+                            eprintln!("--fm-tier wants a redundancy tier 0..3");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+            }
             "--norm" => {
                 i += 1;
                 options.norm = match args.get(i).map(String::as_str) {
@@ -165,9 +181,12 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
 
     let report = analyze(&program, &query, adornment, &options);
     if json {
-        println!("{}", report.to_json());
+        println!("{}", report.to_json_with(stats));
     } else {
         println!("{report}");
+        if stats {
+            print!("{}", report.render_stats());
+        }
     }
     if certify && report.verdict == Verdict::Terminates {
         match argus::core::verify_report(&report, options.norm) {

@@ -60,7 +60,8 @@ pub use argus_transform as transform;
 /// The things almost every user needs.
 pub mod prelude {
     pub use argus_core::{
-        analyze, analyze_source, AnalysisOptions, DeltaMode, SccOutcome, TerminationReport, Verdict,
+        analyze, analyze_source, AnalysisOptions, DeltaMode, FmTier, SccOutcome, TerminationReport,
+        Verdict,
     };
     pub use argus_diag::{lint_program, lint_source, Diagnostic, LintOptions, Severity};
     pub use argus_logic::{parser::parse_program, Adornment, PredKey, Program};

@@ -59,6 +59,68 @@ fn variant_options_identical_across_worker_counts() {
     }
 }
 
+/// The FM redundancy tiers and the projection cache are performance knobs,
+/// not semantic ones: every corpus entry must render the identical report
+/// at every tier, with the cache on or off, at any worker count.
+///
+/// `mutual_fib_ring` exists precisely because tiers 0–1 cannot finish its
+/// pair projections in useful time (minutes-plus where tier 2 takes
+/// milliseconds), so for that entry only the feasible tiers are swept; the
+/// fuzz-reproducer replay covers tiers 0–1 identity on small programs.
+#[test]
+fn corpus_reports_identical_across_fm_tiers_and_cache() {
+    for entry in argus::corpus::corpus() {
+        let base = analyze_with_jobs(&entry, &AnalysisOptions::default());
+        for tier in FmTier::ALL {
+            if entry.name == "mutual_fib_ring" && tier.index() < FmTier::default().index() {
+                continue;
+            }
+            for fm_cache in [true, false] {
+                for jobs in [1, 4] {
+                    let options = AnalysisOptions {
+                        fm_tier: tier,
+                        fm_cache,
+                        parallelism: jobs,
+                        ..Default::default()
+                    };
+                    let got = analyze_with_jobs(&entry, &options);
+                    assert_eq!(
+                        base, got,
+                        "{}: report differs at fm tier {tier:?}, cache {fm_cache}, --jobs {jobs}",
+                        entry.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The `--stats` counters are deterministic by design (cache hits replay the
+/// stored counters), so even the stats-bearing JSON must be byte-identical
+/// across worker counts.
+#[test]
+fn stats_json_identical_across_worker_counts() {
+    for entry in argus::corpus::corpus() {
+        let program = entry.program().unwrap();
+        let (query, adornment) = entry.query_key();
+        let seq = analyze(
+            &program,
+            &query,
+            adornment.clone(),
+            &AnalysisOptions { parallelism: 1, ..Default::default() },
+        )
+        .to_json_with(true);
+        let par = analyze(
+            &program,
+            &query,
+            adornment,
+            &AnalysisOptions { parallelism: 4, ..Default::default() },
+        )
+        .to_json_with(true);
+        assert_eq!(seq, par, "{}: stats JSON differs at --jobs 4", entry.name);
+    }
+}
+
 /// Certificates produced under parallel analysis verify exactly like the
 /// sequential ones (the witness/refutation objects are identical).
 #[test]
