@@ -44,6 +44,28 @@ for seed in 1 42; do
     cmp "/tmp/argus-fuzz-$seed-j0.json" "/tmp/argus-fuzz-$seed-j1.json"
 done
 
+echo "==> serve smoke"
+# Boot the analysis server on an ephemeral port and drive it over real
+# sockets: loadgen replays the corpus on 64 keep-alive connections and
+# byte-compares every response against the CLI report, the fuzz serve
+# oracle round-trips 200 generated programs, and a SIGTERM must drain
+# cleanly (exit 0, "drained cleanly" on stdout).
+SERVE_LOG=/tmp/argus-serve-ci.log
+./target/release/argus serve --addr 127.0.0.1:0 --jobs 0 > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 50); do
+    SERVE_ADDR=$(sed -n 's/.*listening on //p' "$SERVE_LOG" | head -n 1)
+    [[ -n "$SERVE_ADDR" ]] && break
+    sleep 0.1
+done
+[[ -n "$SERVE_ADDR" ]] || { echo "serve never printed its address"; cat "$SERVE_LOG"; exit 1; }
+./target/release/loadgen --addr "$SERVE_ADDR" --wait-healthz 10 \
+    --connections 64 --requests 10
+./target/release/argus fuzz --serve "$SERVE_ADDR" --seed 1 --cases 200 --jobs 0
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q "drained cleanly" "$SERVE_LOG" || { echo "serve did not drain"; cat "$SERVE_LOG"; exit 1; }
+
 echo "==> bench smoke"
 # CI-sized pass over every bench suite: catches workloads that rot (panic,
 # hang, or stop compiling) without paying for full-scale numbers. The

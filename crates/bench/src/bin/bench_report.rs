@@ -16,17 +16,30 @@
 //!   committed report carries its own before/after comparison.
 //! * `--suite NAME` — run only the named suite (repeatable). The CI
 //!   regression lane uses this to run `fm_redundancy` alone.
+//! * `--merge` — with `--suite`, keep the other suites' sample lines
+//!   from the existing `--out` file instead of dropping them, so one
+//!   suite can be re-benchmarked without discarding the rest of the
+//!   committed report.
 
 use argus_bench::json::{json_f64, json_str, scan_num_field, scan_str_field};
 use argus_bench::suites::{self, Scale};
 use argus_bench::timing::{render_line, Sample};
 use std::collections::BTreeMap;
 
-fn parse_args() -> Result<(Scale, String, Option<String>, Vec<String>), String> {
+struct Args {
+    scale: Scale,
+    out: String,
+    baseline: Option<String>,
+    suites: Vec<String>,
+    merge: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::Full;
     let mut out = "BENCH_argus.json".to_string();
     let mut baseline = None;
     let mut suites = Vec::new();
+    let mut merge = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -34,10 +47,30 @@ fn parse_args() -> Result<(Scale, String, Option<String>, Vec<String>), String> 
             "--out" => out = args.next().ok_or("--out needs a path")?,
             "--baseline" => baseline = Some(args.next().ok_or("--baseline needs a path")?),
             "--suite" => suites.push(args.next().ok_or("--suite needs a name")?),
+            "--merge" => merge = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok((scale, out, baseline, suites))
+    if merge && suites.is_empty() {
+        return Err("--merge only makes sense with --suite".to_string());
+    }
+    Ok(Args { scale, out, baseline, suites, merge })
+}
+
+/// Raw sample lines of the existing report, keyed by suite (the id's
+/// first path segment), preserved verbatim for `--merge`.
+fn read_kept_lines(path: &str, rerun: &[String]) -> Result<BTreeMap<String, Vec<String>>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut kept: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for line in text.lines() {
+        let Some(id) = scan_str_field(line, "id") else { continue };
+        let suite = id.split('/').next().unwrap_or_default().to_string();
+        if rerun.contains(&suite) {
+            continue;
+        }
+        kept.entry(suite).or_default().push(line.trim_end_matches(',').to_string());
+    }
+    Ok(kept)
 }
 
 /// Read `id → ns_per_iter` back from a previous report. Only understands
@@ -58,30 +91,29 @@ fn read_baseline(path: &str) -> Result<BTreeMap<String, f64>, String> {
     Ok(map)
 }
 
-fn render_report(mode: Scale, samples: &[Sample], baseline: &BTreeMap<String, f64>) -> String {
-    let mut lines = Vec::new();
-    for s in samples {
-        let mut obj = format!(
-            "    {{\"id\": {}, \"iters\": {}, \"ns_per_iter\": {}",
-            json_str(&s.id()),
-            s.iters,
-            json_f64(s.ns_per_iter)
-        );
-        if let Some(base) = baseline.get(&s.id()) {
-            obj.push_str(&format!(
-                ", \"baseline_ns_per_iter\": {}, \"speedup\": {}",
-                json_f64(*base),
-                json_f64_ratio(*base, s.ns_per_iter)
-            ));
-        }
-        if !s.counters.is_empty() {
-            let fields: Vec<String> =
-                s.counters.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
-            obj.push_str(&format!(", \"counters\": {{{}}}", fields.join(", ")));
-        }
-        obj.push('}');
-        lines.push(obj);
+fn render_sample(s: &Sample, baseline: &BTreeMap<String, f64>) -> String {
+    let mut obj = format!(
+        "    {{\"id\": {}, \"iters\": {}, \"ns_per_iter\": {}",
+        json_str(&s.id()),
+        s.iters,
+        json_f64(s.ns_per_iter)
+    );
+    if let Some(base) = baseline.get(&s.id()) {
+        obj.push_str(&format!(
+            ", \"baseline_ns_per_iter\": {}, \"speedup\": {}",
+            json_f64(*base),
+            json_f64_ratio(*base, s.ns_per_iter)
+        ));
     }
+    if !s.counters.is_empty() {
+        let fields: Vec<String> = s.counters.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        obj.push_str(&format!(", \"counters\": {{{}}}", fields.join(", ")));
+    }
+    obj.push('}');
+    obj
+}
+
+fn render_report(mode: Scale, lines: &[String]) -> String {
     format!(
         "{{\n  \"schema\": \"argus-bench-report/v1\",\n  \"mode\": {},\n  \"samples\": [\n{}\n  ]\n}}\n",
         json_str(if mode == Scale::Smoke { "smoke" } else { "full" }),
@@ -98,7 +130,7 @@ fn json_f64_ratio(base: f64, now: f64) -> String {
 }
 
 fn main() {
-    let (scale, out, baseline_path, only) = match parse_args() {
+    let Args { scale, out, baseline: baseline_path, suites: only, merge } = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("bench_report: {e}");
@@ -119,21 +151,35 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let kept = if merge {
+        match read_kept_lines(&out, &only) {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("bench_report: --merge: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        BTreeMap::new()
+    };
 
-    let mut samples = Vec::new();
+    let mut lines = Vec::new();
+    let mut ran = 0usize;
     for (name, f) in known {
-        if !only.is_empty() && !only.iter().any(|s| s == name) {
-            continue;
+        if only.is_empty() || only.iter().any(|s| s == name) {
+            eprintln!("== suite: {name}");
+            let suite = f(scale);
+            for s in &suite {
+                eprintln!("{}", render_line(s));
+                lines.push(render_sample(s, &baseline));
+            }
+            ran += suite.len();
+        } else if let Some(old) = kept.get(name) {
+            lines.extend(old.iter().cloned());
         }
-        eprintln!("== suite: {name}");
-        let suite = f(scale);
-        for s in &suite {
-            eprintln!("{}", render_line(s));
-        }
-        samples.extend(suite);
     }
 
-    let report = render_report(scale, &samples, &baseline);
+    let report = render_report(scale, &lines);
     if out == "-" {
         println!("{report}");
     } else {
@@ -141,6 +187,6 @@ fn main() {
             eprintln!("bench_report: write {out}: {e}");
             std::process::exit(1);
         }
-        eprintln!("wrote {out} ({} samples)", samples.len());
+        eprintln!("wrote {out} ({ran} fresh samples, {} total)", lines.len());
     }
 }

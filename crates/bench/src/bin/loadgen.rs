@@ -1,0 +1,223 @@
+//! `loadgen` — replay the corpus against a running `argus serve` over
+//! real sockets and verify every response byte-for-byte.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--connections N] [--requests N]
+//!         [--wait-healthz SECS] [--no-verify]
+//! ```
+//!
+//! * `--addr` — the server address (required).
+//! * `--connections` — concurrent keep-alive connections (default 64;
+//!   `0` skips the load phase, useful with `--wait-healthz` alone).
+//! * `--requests` — requests per connection (default 10). Each
+//!   connection walks the corpus round-robin from its own offset, so the
+//!   full corpus is covered and the server sees a mixed hot/cold stream.
+//! * `--wait-healthz` — poll `GET /healthz` for up to this many seconds
+//!   before starting (exit 2 on timeout); lets scripts boot the server
+//!   and loadgen back to back without races.
+//! * `--no-verify` — skip the byte comparison against locally computed
+//!   reports (pure throughput mode).
+//!
+//! Exit code 0 only when **every** response was 200 with the exact bytes
+//! `argus analyze --json` produces. Prints total/failed counts, p50/p99
+//! latency, and throughput.
+
+use argus_serve::client::HttpClient;
+use argus_serve::jsonval::json_str;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Options {
+    addr: String,
+    connections: usize,
+    requests: usize,
+    wait_healthz: Option<u64>,
+    verify: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: String::new(),
+        connections: 64,
+        requests: 10,
+        wait_healthz: None,
+        verify: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut want = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--addr" => opts.addr = want("--addr")?,
+            "--connections" => {
+                opts.connections =
+                    want("--connections")?.parse().map_err(|_| "bad --connections")?;
+            }
+            "--requests" => {
+                opts.requests = want("--requests")?.parse().map_err(|_| "bad --requests")?;
+            }
+            "--wait-healthz" => {
+                opts.wait_healthz =
+                    Some(want("--wait-healthz")?.parse().map_err(|_| "bad --wait-healthz")?);
+            }
+            "--no-verify" => opts.verify = false,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    Ok(opts)
+}
+
+/// One precomputed corpus request with its expected response bytes.
+struct Case {
+    name: &'static str,
+    body: Vec<u8>,
+    expected: Option<Vec<u8>>,
+}
+
+fn build_cases(verify: bool) -> Vec<Case> {
+    argus_corpus::corpus()
+        .into_iter()
+        .map(|entry| {
+            let body = format!(
+                "{{\"program\":{},\"query\":{},\"adornment\":{}}}",
+                json_str(entry.source),
+                json_str(entry.query),
+                json_str(entry.adornment)
+            )
+            .into_bytes();
+            let expected = verify.then(|| {
+                let program = entry.program().expect("corpus entry parses");
+                let (query, adornment) = entry.query_key();
+                let options = argus_core::AnalysisOptions::default();
+                let report = argus_core::analyze(&program, &query, adornment, &options);
+                format!("{}\n", report.to_json()).into_bytes()
+            });
+            Case { name: entry.name, body, expected }
+        })
+        .collect()
+}
+
+fn wait_healthz(addr: &str, secs: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        if let Ok(resp) =
+            argus_serve::client::request_once(addr, "GET", "/healthz", b"", Duration::from_secs(1))
+        {
+            if resp.status == 200 {
+                return true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    false
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(secs) = opts.wait_healthz {
+        if !wait_healthz(&opts.addr, secs) {
+            eprintln!("loadgen: /healthz did not come up within {secs}s");
+            std::process::exit(2);
+        }
+    }
+    if opts.connections == 0 || opts.requests == 0 {
+        println!("loadgen: healthz ok, no load requested");
+        return;
+    }
+
+    let cases = build_cases(opts.verify);
+    let failures = AtomicU64::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let first_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for conn in 0..opts.connections {
+            let cases = &cases;
+            let failures = &failures;
+            let latencies = &latencies;
+            let first_errors = &first_errors;
+            let addr = opts.addr.as_str();
+            scope.spawn(move || {
+                let fail = |msg: String| {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                    let mut errs = first_errors.lock().unwrap();
+                    if errs.len() < 5 {
+                        errs.push(msg);
+                    }
+                };
+                let mut client = match HttpClient::connect(addr, Duration::from_secs(30)) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        for _ in 0..opts.requests {
+                            fail(format!("conn {conn}: connect failed: {e}"));
+                        }
+                        return;
+                    }
+                };
+                let mut local = Vec::with_capacity(opts.requests);
+                for i in 0..opts.requests {
+                    let case = &cases[(conn + i) % cases.len()];
+                    let t = Instant::now();
+                    match client.request("POST", "/v1/analyze", &case.body) {
+                        Ok(resp) => {
+                            local.push(t.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                            if resp.status != 200 {
+                                fail(format!("conn {conn} {}: status {}", case.name, resp.status));
+                            } else if let Some(expected) = &case.expected {
+                                if &resp.body != expected {
+                                    fail(format!(
+                                        "conn {conn} {}: body diverges from the CLI report \
+                                         ({} vs {} bytes)",
+                                        case.name,
+                                        resp.body.len(),
+                                        expected.len()
+                                    ));
+                                }
+                            }
+                        }
+                        Err(e) => fail(format!("conn {conn} {}: {e}", case.name)),
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let elapsed = started.elapsed();
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_unstable();
+    let total = opts.connections * opts.requests;
+    let failed = failures.load(Ordering::Relaxed);
+    for e in first_errors.into_inner().unwrap() {
+        eprintln!("loadgen: {e}");
+    }
+    println!(
+        "loadgen: {total} requests over {} connections, {failed} failures, \
+         p50 {}us p99 {}us, {:.0} req/s",
+        opts.connections,
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.99),
+        total as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -397,6 +397,65 @@ pub fn fm_redundancy_suite(scale: Scale) -> Vec<Sample> {
     out
 }
 
+/// E12 — the analysis server measured at the dispatch layer (no
+/// sockets, so the numbers isolate request handling from kernel
+/// buffering): each corpus entry is submitted **cold** (fresh caches
+/// every iteration — the full analysis runs) and **warm** (the
+/// content-addressed report cache primed — a repeat submission is one
+/// FNV pass, a bucket probe, and a body clone). The warm/cold ratio is
+/// the headline number for `argus serve`'s repeat-submission latency;
+/// the socket path is measured separately by the `loadgen` binary.
+pub fn serve_suite(scale: Scale) -> Vec<Sample> {
+    use argus_serve::jsonval::json_str;
+    use argus_serve::{Request, ServeOptions, ServerState};
+
+    let entries: &[&str] = match scale {
+        Scale::Smoke => &["append_bff", "perm"],
+        Scale::Full => &["append_bff", "perm", "quicksort", "mutual_fib_ring"],
+    };
+    let request = |entry: &argus_corpus::CorpusEntry| Request {
+        method: "POST".to_string(),
+        path: "/v1/analyze".to_string(),
+        headers: Vec::new(),
+        body: format!(
+            "{{\"program\":{},\"query\":{},\"adornment\":{}}}",
+            json_str(entry.source),
+            json_str(entry.query),
+            json_str(entry.adornment)
+        )
+        .into_bytes(),
+        keep_alive: true,
+    };
+
+    let mut out = Vec::new();
+    for name in entries {
+        let entry = argus_corpus::find(name).expect("corpus entry");
+        let req = request(&entry);
+        out.push(bench_case("serve", &format!("analyze/cold/{name}"), 0, scale.iters(), || {
+            let state = ServerState::new(ServeOptions::default());
+            let resp = state.handle(black_box(&req));
+            assert_eq!(resp.status, 200);
+            resp
+        }));
+
+        let state = ServerState::new(ServeOptions::default());
+        assert_eq!(state.handle(&req).status, 200, "priming request");
+        // Hits are microseconds; run plenty of iterations for signal.
+        let warm_iters = scale.iters().max(200);
+        let warm = bench_case("serve", &format!("analyze/warm/{name}"), 1, warm_iters, || {
+            let resp = state.handle(black_box(&req));
+            assert_eq!(resp.status, 200);
+            resp
+        })
+        .with_counters(vec![
+            ("report_cache_hits", state.reports().hits()),
+            ("report_cache_misses", state.reports().misses()),
+        ]);
+        out.push(warm);
+    }
+    out
+}
+
 /// A suite entry point: workloads at a given scale, as samples.
 pub type SuiteFn = fn(Scale) -> Vec<Sample>;
 
@@ -410,6 +469,7 @@ pub fn all_suites() -> Vec<(&'static str, SuiteFn)> {
         ("analysis", analysis_suite),
         ("ablation", ablation_suite),
         ("parallel", parallel_suite),
+        ("serve", serve_suite),
     ]
 }
 

@@ -90,6 +90,15 @@ pub struct AnalysisOptions {
     /// Share structurally identical per-pair projections through a per-run
     /// cache (on by default; another bytes-identical knob).
     pub fm_cache: bool,
+    /// Wall-clock deadline for the whole analysis. Threaded into the
+    /// Fourier–Motzkin engine ([`argus_linear::FmConfig::deadline`]) so a
+    /// runaway projection aborts mid-elimination, and checked before the
+    /// Appendix A transform retry. A deadline abort degrades the affected
+    /// SCC to "no linear decrease found" — callers that care (the `argus
+    /// serve` request path) must check the wall clock afterwards and
+    /// discard the report rather than present it as a genuine verdict.
+    /// `None` (the default) preserves the fully deterministic behavior.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for AnalysisOptions {
@@ -105,6 +114,7 @@ impl Default for AnalysisOptions {
             parallelism: 0,
             fm_tier: FmTier::default(),
             fm_cache: true,
+            deadline: None,
         }
     }
 }
@@ -456,9 +466,33 @@ pub fn analyze(
     adornment: Adornment,
     options: &AnalysisOptions,
 ) -> TerminationReport {
-    let raw = analyze_prepared(program, query, adornment.clone(), options);
+    analyze_with_cache(program, query, adornment, options, None)
+}
+
+/// [`analyze`] with an externally owned projection cache.
+///
+/// When `shared_cache` is `Some`, per-pair dual projections are looked up
+/// in — and published to — the supplied cache instead of a cache created
+/// for this run, letting a long-lived process (the `argus serve` worker
+/// pool) reuse projections across analyses. The cache is keyed on
+/// canonical renamed rows plus the FM tier and row cap, and entries are
+/// pure functions of their key, so sharing cannot change any report byte;
+/// only [`RunStats`] (which then snapshots the shared cache's lifetime
+/// totals) differs from the per-run configuration. With `None` this is
+/// exactly [`analyze`].
+pub fn analyze_with_cache(
+    program: &Program,
+    query: &PredKey,
+    adornment: Adornment,
+    options: &AnalysisOptions,
+    shared_cache: Option<&ProjectionCache>,
+) -> TerminationReport {
+    let raw = analyze_prepared(program, query, adornment.clone(), options, shared_cache);
     if raw.verdict == Verdict::Terminates || options.transform_phases == 0 {
         return raw;
+    }
+    if options.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+        return raw; // budget spent: skip the transform retry
     }
     // Retry on the transformed program.
     let roots: BTreeSet<PredKey> = [query.clone()].into_iter().collect();
@@ -467,7 +501,7 @@ pub fn analyze(
     if transformed == *program || transformed.rules.len() > 1000 {
         return raw; // nothing changed, or growth guard tripped
     }
-    let cooked = analyze_prepared(&transformed, query, adornment, options);
+    let cooked = analyze_prepared(&transformed, query, adornment, options, shared_cache);
     if cooked.verdict == Verdict::Terminates {
         return cooked;
     }
@@ -486,6 +520,7 @@ fn analyze_prepared(
     query: &PredKey,
     adornment: Adornment,
     options: &AnalysisOptions,
+    shared_cache: Option<&ProjectionCache>,
 ) -> TerminationReport {
     let program = program.clone();
 
@@ -515,9 +550,14 @@ fn analyze_prepared(
     // report (and everything derived from it) is byte-identical at any
     // parallelism.
     let graph = DepGraph::build(&program);
-    // One projection cache per run, shared by every SCC and every worker.
-    let cache = if options.fm_cache { Some(ProjectionCache::new()) } else { None };
-    let cache = cache.as_ref();
+    // One projection cache per run, shared by every SCC and every worker —
+    // unless the caller supplied a longer-lived one.
+    let own_cache = match shared_cache {
+        Some(_) => None,
+        None if options.fm_cache => Some(ProjectionCache::new()),
+        None => None,
+    };
+    let cache = shared_cache.or(own_cache.as_ref());
     let mut slots: Vec<Option<SccAnalysis>> = (0..graph.scc_count()).map(|_| None).collect();
     for level in graph.scc_levels() {
         // Skip SCCs not reachable from the query (no adornment) and
@@ -718,7 +758,10 @@ fn analyze_scc(
                 systems.push((sys, w));
             }
             let workers = crate::par::effective_workers(options.parallelism, systems.len());
-            let cfg = dual_fm_config(options.fm_tier);
+            let cfg = argus_linear::FmConfig {
+                deadline: options.deadline,
+                ..dual_fm_config(options.fm_tier)
+            };
             let results = crate::par::par_map_indexed(&systems, workers, |_, (sys, w)| {
                 let mut st = FmStats::default();
                 let r = project_pair_with(sys, w, &cfg, cache, &mut st);
@@ -795,7 +838,10 @@ fn analyze_scc(
                 systems.push((sys, w));
             }
             let workers = crate::par::effective_workers(options.parallelism, systems.len());
-            let cfg = dual_fm_config(options.fm_tier);
+            let cfg = argus_linear::FmConfig {
+                deadline: options.deadline,
+                ..dual_fm_config(options.fm_tier)
+            };
             let results = crate::par::par_map_indexed(&systems, workers, |_, (sys, w)| {
                 let mut st = FmStats::default();
                 let r = project_pair_with(sys, w, &cfg, cache, &mut st);

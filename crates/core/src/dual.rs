@@ -172,12 +172,18 @@ pub fn project_pair_with(
         .into_iter()
         .collect();
 
-    let compute = || -> ProjectionEntry {
+    let compute = || -> (ProjectionEntry, bool) {
         let keep: BTreeSet<Var> =
             renamed.vars().into_iter().filter(|v| !eliminate.contains(v)).collect();
         let mut st = FmStats::default();
+        let mut timed_out = false;
         let result = match fm::project_onto_with(&renamed, &keep, cfg, &mut st) {
-            Err(_) => None, // blowup: treat as "no linear decrease found"
+            Err(blowup) => {
+                // Blowup: treat as "no linear decrease found". A deadline
+                // bailout is remembered so the entry stays out of the cache.
+                timed_out = blowup.timed_out;
+                None
+            }
             Ok(FmResult::Infeasible) => None,
             Ok(FmResult::Projected(out)) => {
                 let out = out.dedup();
@@ -191,11 +197,11 @@ pub fn project_pair_with(
                 }
             }
         };
-        ProjectionEntry { result, stats: st }
+        (ProjectionEntry { result, stats: st }, timed_out)
     };
 
     let entry = match cache {
-        None => compute(),
+        None => compute().0,
         Some(cache) => {
             let key = ProjectionKey {
                 rows: renamed.constraints().iter().map(IntRow::of_constraint).collect(),
@@ -205,7 +211,18 @@ pub fn project_pair_with(
             };
             match cache.get(&key) {
                 Some(entry) => entry,
-                None => cache.publish(key, compute()),
+                None => {
+                    let (entry, timed_out) = compute();
+                    if timed_out {
+                        // A deadline abort is a property of this run's wall
+                        // clock, not of the key: publishing it would poison
+                        // every later (possibly unhurried) analysis that
+                        // shares the cache.
+                        entry
+                    } else {
+                        cache.publish(key, entry)
+                    }
+                }
             }
         }
     };

@@ -47,12 +47,12 @@ pub mod par;
 pub mod theta;
 
 pub use analyze::{
-    analyze, analyze_source, AnalysisOptions, BlameKind, DeltaMode, PairBlame, RunStats,
-    SccAnalysis, SccOutcome, SccStats, TerminationReport, Verdict,
+    analyze, analyze_source, analyze_with_cache, AnalysisOptions, BlameKind, DeltaMode, PairBlame,
+    RunStats, SccAnalysis, SccOutcome, SccStats, TerminationReport, Verdict,
 };
 pub use argus_linear::{FmStats, FmTier};
 pub use certificate::{verify_report, CertificateError};
 pub use delta::{assign_deltas, DeltaAssignment, DeltaOutcome};
 pub use lexico::{prove_lexicographic, prove_scc_lexicographic, LexicographicProof};
-pub use pairs::{build_pair, RuleSubgoalSystem};
+pub use pairs::{build_pair, ProjectionCache, RuleSubgoalSystem};
 pub use theta::ThetaSpace;

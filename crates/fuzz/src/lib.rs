@@ -31,8 +31,8 @@ use argus_logic::program::Program;
 use argus_prng::Rng64;
 use gen::{generate, GenCase, GenOptions};
 use oracle::{
-    analysis_options, check_certificate, check_differential, check_metamorphic,
-    theta_refutes_unknown, ViolationKind,
+    analysis_options, check_certificate, check_differential, check_metamorphic, check_serve,
+    theta_refutes_unknown, ServeCheckFailure, ViolationKind,
 };
 use std::fmt;
 use std::fmt::Write as _;
@@ -58,6 +58,9 @@ pub struct FuzzOptions {
     pub theta_search: bool,
     /// Program-shape knobs.
     pub gen: GenOptions,
+    /// Round-trip every case through a running `argus serve` instance at
+    /// this address and require byte-identical reports (`--serve ADDR`).
+    pub serve_addr: Option<String>,
     /// Test-only hook: treat every `Unknown` verdict as a claimed
     /// `Terminates` so the differential oracle and the shrinker can be
     /// exercised end-to-end. Never set outside tests.
@@ -76,6 +79,7 @@ impl Default for FuzzOptions {
             metamorphic: true,
             theta_search: true,
             gen: GenOptions::default(),
+            serve_addr: None,
             inject_soundness_bug: false,
         }
     }
@@ -315,6 +319,15 @@ fn still_fails(
             let c2 = GenCase { program: candidate.clone(), ..case.clone() };
             check_metamorphic(&c2, &report, transform_seed).is_err()
         }
+        ViolationKind::ServeDivergence => {
+            let Some(addr) = opts.serve_addr.as_deref() else { return false };
+            // Only a confirmed divergence keeps the shrinker going; a
+            // transport hiccup must not steer minimization.
+            matches!(
+                check_serve(candidate, &case.query, &case.adornment, &report, addr),
+                Err(ServeCheckFailure::Divergence(_))
+            )
+        }
     }
 }
 
@@ -364,6 +377,19 @@ fn run_case(index: usize, opts: &FuzzOptions) -> CaseResult {
     if failure.is_none() && opts.metamorphic {
         if let Err((kind, detail)) = check_metamorphic(&case, &report, transform_seed) {
             failure = Some((kind, detail));
+        }
+    }
+    // Oracle 4 (opt-in): byte-identical round-trip through a live server.
+    if failure.is_none() {
+        if let Some(addr) = opts.serve_addr.as_deref() {
+            if let Err(f) = check_serve(&case.program, &case.query, &case.adornment, &report, addr)
+            {
+                let detail = match f {
+                    ServeCheckFailure::Transport(d) => format!("transport: {d}"),
+                    ServeCheckFailure::Divergence(d) => d,
+                };
+                failure = Some((ViolationKind::ServeDivergence, detail));
+            }
         }
     }
 

@@ -37,6 +37,9 @@ pub enum ViolationKind {
     Metamorphic,
     /// Report JSON differed across parallelism settings.
     JobsDivergence,
+    /// A running `argus serve` instance returned a response that is not
+    /// byte-identical to the local report (or failed the round-trip).
+    ServeDivergence,
 }
 
 impl ViolationKind {
@@ -47,6 +50,7 @@ impl ViolationKind {
             ViolationKind::Certificate => "certificate",
             ViolationKind::Metamorphic => "metamorphic",
             ViolationKind::JobsDivergence => "jobs-divergence",
+            ViolationKind::ServeDivergence => "serve-divergence",
         }
     }
 }
@@ -60,6 +64,80 @@ pub fn interp_options(max_steps: u64) -> InterpOptions {
 /// parallelism lives in the runner), otherwise defaults.
 pub fn analysis_options() -> AnalysisOptions {
     AnalysisOptions { parallelism: 1, ..AnalysisOptions::default() }
+}
+
+/// Why the serve round-trip oracle failed.
+#[derive(Debug, Clone)]
+pub enum ServeCheckFailure {
+    /// The HTTP round-trip itself failed (connect, IO, non-200). Treated
+    /// as a violation in a run, but not replayed by the shrinker.
+    Transport(String),
+    /// The server answered 200 with bytes that differ from the local
+    /// report.
+    Divergence(String),
+}
+
+/// Oracle 4 (opt-in, `--serve ADDR`): a running `argus serve` instance
+/// must return the byte-identical `analyze --json` report for this case.
+///
+/// The request carries no option keys, so the server applies its
+/// defaults — which match [`analysis_options`] (`parallelism` differs,
+/// but the report is byte-identical at every parallelism setting by the
+/// jobs-divergence oracle's invariant).
+pub fn check_serve(
+    program: &Program,
+    query: &PredKey,
+    adornment: &Adornment,
+    report: &TerminationReport,
+    addr: &str,
+) -> Result<(), ServeCheckFailure> {
+    use argus_serve::jsonval::json_str;
+    let src = program.to_string();
+    let body = format!(
+        "{{\"program\":{},\"query\":{},\"adornment\":{}}}",
+        json_str(&src),
+        json_str(&query.to_string()),
+        json_str(&adornment.to_string()),
+    );
+    let resp = argus_serve::client::request_once(
+        addr,
+        "POST",
+        "/v1/analyze",
+        body.as_bytes(),
+        std::time::Duration::from_secs(30),
+    )
+    .map_err(|e| ServeCheckFailure::Transport(format!("serve round-trip failed: {e}")))?;
+    if resp.status != 200 {
+        return Err(ServeCheckFailure::Transport(format!(
+            "serve returned {} for a valid case: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body).trim_end()
+        )));
+    }
+    let expected = format!("{}\n", report.to_json());
+    if resp.body == expected.as_bytes() {
+        return Ok(());
+    }
+    // Rule out a Display→parse round-trip artifact (the server analyzed
+    // the *printed* program) before calling it a divergence.
+    let reparsed = match argus_logic::parser::parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            return Err(ServeCheckFailure::Divergence(format!(
+                "program text does not reparse locally: {e}"
+            )))
+        }
+    };
+    let local = analyze(&reparsed, query, adornment.clone(), &analysis_options());
+    let expected2 = format!("{}\n", local.to_json());
+    if resp.body == expected2.as_bytes() {
+        return Ok(());
+    }
+    Err(ServeCheckFailure::Divergence(format!(
+        "serve response ({} bytes) differs from the local report ({} bytes)",
+        resp.body.len(),
+        expected.len()
+    )))
 }
 
 /// Oracle 1: every bounded ground query of the claimed mode completes.

@@ -75,11 +75,23 @@ pub struct FmBlowup {
     pub rows: usize,
     /// The configured cap.
     pub max_rows: usize,
+    /// The bailout was the wall-clock deadline ([`FmConfig::deadline`]),
+    /// not the row cap. Deadline bailouts depend on machine speed, so
+    /// callers caching projection results must not publish them.
+    pub timed_out: bool,
 }
 
 impl fmt::Display for FmBlowup {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fourier-motzkin blowup: {} rows exceed the cap of {}", self.rows, self.max_rows)
+        if self.timed_out {
+            write!(f, "fourier-motzkin deadline exceeded at {} rows", self.rows)
+        } else {
+            write!(
+                f,
+                "fourier-motzkin blowup: {} rows exceed the cap of {}",
+                self.rows, self.max_rows
+            )
+        }
     }
 }
 
@@ -122,11 +134,23 @@ pub struct FmConfig {
     pub max_rows: usize,
     /// Maximum LP implication probes per projection (tier 3 only).
     pub lp_probe_budget: usize,
+    /// Wall-clock deadline: once `Instant::now()` passes it, the run aborts
+    /// with [`FmBlowup`] marked `timed_out`. Checked at round boundaries
+    /// and periodically inside the pair-combination loop, so a runaway
+    /// elimination stops within a bounded amount of extra work. `None`
+    /// (the default) disables the check and keeps the engine fully
+    /// deterministic.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for FmConfig {
     fn default() -> FmConfig {
-        FmConfig { tier: FmTier::default(), max_rows: usize::MAX, lp_probe_budget: 256 }
+        FmConfig {
+            tier: FmTier::default(),
+            max_rows: usize::MAX,
+            lp_probe_budget: 256,
+            deadline: None,
+        }
     }
 }
 
@@ -337,6 +361,24 @@ enum RoundOut {
     Infeasible,
 }
 
+/// Deadline probe shared by the round drivers: `Err` when the configured
+/// wall-clock budget is spent. `rows` is the current materialized count,
+/// reported in the bailout for diagnostics.
+fn check_deadline(cfg: &FmConfig, rows: usize) -> Result<(), FmBlowup> {
+    match cfg.deadline {
+        Some(d) if std::time::Instant::now() >= d => {
+            Err(FmBlowup { rows, max_rows: cfg.max_rows, timed_out: true })
+        }
+        _ => Ok(()),
+    }
+}
+
+/// How many lower×upper combinations the pair loop performs between
+/// deadline probes. `Instant::now()` is tens of nanoseconds while one
+/// combination is microseconds, so even probing this often is noise — the
+/// stride just keeps the common (no-deadline) path branch-cheap.
+const DEADLINE_STRIDE: u64 = 256;
+
 /// Convert and initially reduce the input system. Every row gets a fresh
 /// ancestor id; the Chernikov bound never applies to originals.
 fn init_rows(sys: &ConstraintSystem, cfg: &FmConfig, stats: &mut FmStats) -> RoundOut {
@@ -363,6 +405,7 @@ fn eliminate_round(
 ) -> Result<RoundOut, FmBlowup> {
     stats.eliminations += 1;
     stats.rows_in += rows.len() as u64;
+    check_deadline(cfg, rows.len())?;
     let hist_bound = steps_done.saturating_add(2);
 
     // Gaussian step: the first equality mentioning v substitutes it away.
@@ -390,7 +433,11 @@ fn eliminate_round(
             match red.push(DRow { row, hist }, true, stats, None) {
                 Push::Infeasible => return Ok(RoundOut::Infeasible),
                 Push::Added if red.out.len() > cfg.max_rows => {
-                    return Err(FmBlowup { rows: red.out.len(), max_rows: cfg.max_rows });
+                    return Err(FmBlowup {
+                        rows: red.out.len(),
+                        max_rows: cfg.max_rows,
+                        timed_out: false,
+                    });
                 }
                 _ => {}
             }
@@ -445,6 +492,9 @@ fn eliminate_round(
         let nb = -b;
         for (a, up) in &uppers {
             stats.pairs_combined += 1;
+            if cfg.deadline.is_some() && stats.pairs_combined.is_multiple_of(DEADLINE_STRIDE) {
+                check_deadline(cfg, red.out.len())?;
+            }
             let row = lo.row.linear_comb(a, &up.row, &nb, v);
             let hist = union_hist(&lo.hist, &up.hist);
             let res = red.push(
@@ -456,7 +506,11 @@ fn eliminate_round(
             match res {
                 Push::Infeasible => return Ok(RoundOut::Infeasible),
                 Push::Added if red.out.len() > cfg.max_rows => {
-                    return Err(FmBlowup { rows: red.out.len(), max_rows: cfg.max_rows });
+                    return Err(FmBlowup {
+                        rows: red.out.len(),
+                        max_rows: cfg.max_rows,
+                        timed_out: false,
+                    });
                 }
                 _ => {}
             }
@@ -523,7 +577,7 @@ pub fn eliminate_with(
         RoundOut::Rows(rows) => rows,
     };
     if rows.len() > cfg.max_rows {
-        return Err(FmBlowup { rows: rows.len(), max_rows: cfg.max_rows });
+        return Err(FmBlowup { rows: rows.len(), max_rows: cfg.max_rows, timed_out: false });
     }
     stats.peak_rows = stats.peak_rows.max(rows.len() as u64);
     let mut lp_budget = cfg.lp_probe_budget;
@@ -585,7 +639,7 @@ pub fn project_onto_with(
     loop {
         stats.peak_rows = stats.peak_rows.max(rows.len() as u64);
         if rows.len() > cfg.max_rows {
-            return Err(FmBlowup { rows: rows.len(), max_rows: cfg.max_rows });
+            return Err(FmBlowup { rows: rows.len(), max_rows: cfg.max_rows, timed_out: false });
         }
         let mut to_go: BTreeSet<Var> = BTreeSet::new();
         for d in &rows {

@@ -1,0 +1,421 @@
+//! Minimal HTTP/1.1 over `std::net`, reading side hardened.
+//!
+//! The server speaks the subset of HTTP/1.1 a JSON API needs: requests
+//! with `Content-Length` bodies (chunked transfer encoding is politely
+//! refused), keep-alive connections, and fixed-length responses. The
+//! reader enforces three limits so hostile peers cannot pin a worker:
+//!
+//! * a **header cap** — request lines plus headers must fit
+//!   [`Limits::max_head_bytes`];
+//! * a **body cap** — declared `Content-Length` beyond
+//!   [`Limits::max_body_bytes`] is rejected *before* reading the body
+//!   (the 413 response echoes the limit);
+//! * a **read deadline** — the whole request (head and body) must arrive
+//!   within [`Limits::read_timeout`], measured from the first byte we
+//!   wait for; a slow-loris peer trickling one byte per poll gets cut
+//!   off with 408 instead of holding the worker forever.
+//!
+//! A tiny blocking client ([`client`]) rides along for the loadgen
+//! binary, the fuzz round-trip oracle, and the integration tests.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Reading-side limits; see the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum declared body size.
+    pub max_body_bytes: usize,
+    /// Wall-clock budget for receiving one complete request.
+    pub read_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method verb, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query strings are not split off; the API
+    /// doesn't use them).
+    pub path: String,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should be kept open after responding
+    /// (HTTP/1.1 default unless `Connection: close`).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed (or reset) the connection before a full request
+    /// arrived. Clean closes between keep-alive requests land here too.
+    Closed,
+    /// The read deadline expired. `partial` says whether any bytes of a
+    /// request had arrived (a slow-loris in progress) — idle keep-alive
+    /// timeouts have `partial == false` and close silently.
+    Timeout {
+        /// Bytes of a request had started arriving.
+        partial: bool,
+    },
+    /// Declared `Content-Length` exceeds the body cap.
+    TooLarge {
+        /// The configured cap, echoed in the 413 body.
+        limit: usize,
+        /// The declared length.
+        declared: usize,
+    },
+    /// The bytes were not parseable HTTP (bad request line, bad header,
+    /// unsupported transfer encoding, oversized head…).
+    Malformed(String),
+}
+
+/// Read one request from `stream` under `limits`.
+///
+/// The caller must have set a read timeout on the stream (any value; this
+/// function uses it as the poll quantum and enforces `limits.read_timeout`
+/// itself, so the deadline is measured across polls).
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, ReadError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let started = Instant::now();
+    let deadline = started + limits.read_timeout;
+
+    // Accumulate until the blank line ending the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(ReadError::Malformed(format!(
+                "request head exceeds {} bytes",
+                limits.max_head_bytes
+            )));
+        }
+        read_some(stream, &mut buf, deadline)?;
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ReadError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || path.is_empty() {
+        return Err(ReadError::Malformed("bad request line".into()));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("unsupported version {version:?}")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let header = |name: &str| headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str());
+    if header("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+        return Err(ReadError::Malformed("chunked transfer encoding is not supported".into()));
+    }
+    let content_length = match header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}")))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(ReadError::TooLarge { limit: limits.max_body_bytes, declared: content_length });
+    }
+    let keep_alive = match header("connection") {
+        Some(v) if v.eq_ignore_ascii_case("close") => false,
+        _ => version != "HTTP/1.0",
+    };
+
+    // The body: whatever followed the head in the buffer, then the rest.
+    let body_start = head_end + head_terminator_len(&buf, head_end);
+    let mut body = buf.split_off(body_start);
+    while body.len() < content_length {
+        read_some(stream, &mut body, deadline)?;
+    }
+    body.truncate(content_length);
+
+    Ok(Request { method, path, headers, body, keep_alive })
+}
+
+/// Read at least one byte into `out`, honoring `deadline`. Distinguishes
+/// peer close from timeout.
+fn read_some(
+    stream: &mut TcpStream,
+    out: &mut Vec<u8>,
+    deadline: Instant,
+) -> Result<(), ReadError> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if Instant::now() >= deadline {
+            return Err(ReadError::Timeout { partial: !out.is_empty() });
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ReadError::Closed),
+            Ok(n) => {
+                out.extend_from_slice(&chunk[..n]);
+                return Ok(());
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // poll quantum elapsed; re-check the deadline
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(ReadError::Closed),
+        }
+    }
+}
+
+/// Offset of the head/body separator, if the blank line has arrived.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n"))
+}
+
+/// Length of the separator at `head_end` (4 for CRLFCRLF, 2 for LFLF).
+fn head_terminator_len(buf: &[u8], head_end: usize) -> usize {
+    if buf[head_end..].starts_with(b"\r\n\r\n") {
+        4
+    } else {
+        2
+    }
+}
+
+/// One response to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Close the connection after this response.
+    pub close: bool,
+    /// Extra headers (name, value), already well-formed.
+    pub extra_headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "application/json",
+            close: false,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Append a header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// Mark the connection for closing after this response.
+    pub fn closing(mut self) -> Response {
+        self.close = true;
+        self
+    }
+}
+
+/// Standard reason phrase for the status codes the server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize `resp` onto `stream`.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    for (name, value) in &resp.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    if resp.close {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// A blocking HTTP/1.1 client for tests, the fuzz oracle, and loadgen.
+pub mod client {
+    use super::*;
+
+    /// A keep-alive connection to one server.
+    pub struct HttpClient {
+        stream: TcpStream,
+    }
+
+    /// A response as the client sees it.
+    #[derive(Debug, Clone)]
+    pub struct ClientResponse {
+        /// HTTP status code.
+        pub status: u16,
+        /// Header name/value pairs, names lowercased.
+        pub headers: Vec<(String, String)>,
+        /// Body bytes.
+        pub body: Vec<u8>,
+    }
+
+    impl ClientResponse {
+        /// First header with the given (lowercase) name.
+        pub fn header(&self, name: &str) -> Option<&str> {
+            self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        }
+    }
+
+    impl HttpClient {
+        /// Connect to `addr` (e.g. `127.0.0.1:7177`).
+        pub fn connect(addr: &str, timeout: Duration) -> std::io::Result<HttpClient> {
+            let sockaddr = addr
+                .parse::<std::net::SocketAddr>()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+            let stream = TcpStream::connect_timeout(&sockaddr, timeout)?;
+            stream.set_read_timeout(Some(timeout))?;
+            stream.set_write_timeout(Some(timeout))?;
+            stream.set_nodelay(true)?;
+            Ok(HttpClient { stream })
+        }
+
+        /// Issue one request and read the full response.
+        pub fn request(
+            &mut self,
+            method: &str,
+            path: &str,
+            body: &[u8],
+        ) -> std::io::Result<ClientResponse> {
+            let head = format!(
+                "{method} {path} HTTP/1.1\r\nhost: argus\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            );
+            self.stream.write_all(head.as_bytes())?;
+            self.stream.write_all(body)?;
+            self.stream.flush()?;
+            self.read_response()
+        }
+
+        fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+            let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+            let mut buf: Vec<u8> = Vec::with_capacity(4096);
+            let head_end = loop {
+                if let Some(pos) = find_head_end(&buf) {
+                    break pos;
+                }
+                let mut chunk = [0u8; 4096];
+                match self.stream.read(&mut chunk)? {
+                    0 => return Err(bad("connection closed mid-response")),
+                    n => buf.extend_from_slice(&chunk[..n]),
+                }
+            };
+            let head = std::str::from_utf8(&buf[..head_end])
+                .map_err(|_| bad("response head is not UTF-8"))?
+                .to_string();
+            let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+            let status_line = lines.next().unwrap_or_default();
+            let status: u16 = status_line
+                .split_ascii_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad("bad status line"))?;
+            let mut headers = Vec::new();
+            for line in lines {
+                if line.is_empty() {
+                    continue;
+                }
+                if let Some((name, value)) = line.split_once(':') {
+                    headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+                }
+            }
+            let content_length: usize = headers
+                .iter()
+                .find(|(n, _)| n == "content-length")
+                .and_then(|(_, v)| v.parse().ok())
+                .ok_or_else(|| bad("missing content-length"))?;
+            let body_start = head_end + head_terminator_len(&buf, head_end);
+            let mut body = buf.split_off(body_start);
+            while body.len() < content_length {
+                let mut chunk = [0u8; 4096];
+                match self.stream.read(&mut chunk)? {
+                    0 => return Err(bad("connection closed mid-body")),
+                    n => body.extend_from_slice(&chunk[..n]),
+                }
+            }
+            body.truncate(content_length);
+            Ok(ClientResponse { status, headers, body })
+        }
+    }
+
+    /// One-shot convenience: connect, request, disconnect.
+    pub fn request_once(
+        addr: &str,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        timeout: Duration,
+    ) -> std::io::Result<ClientResponse> {
+        HttpClient::connect(addr, timeout)?.request(method, path, body)
+    }
+}

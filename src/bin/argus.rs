@@ -11,7 +11,9 @@
 //! argus corpus  [<entry-name>]
 //! argus fuzz    [--seed S] [--cases N] [--jobs J] [--json] [--max-steps N]
 //!               [--shrink-budget N] [--no-metamorphic] [--no-theta-search]
-//!               [--negation] [--repro-dir DIR]
+//!               [--negation] [--repro-dir DIR] [--serve ADDR]
+//! argus serve   [--addr HOST:PORT] [--jobs N] [--cache-mb N]
+//!               [--deadline-ms N]
 //! ```
 //!
 //! Exit codes: 0 = proved / clean (or command succeeded), 2 = not proved
@@ -50,7 +52,8 @@ fn usage() -> ExitCode {
          argus corpus [<entry>]\n  \
          argus fuzz [--seed S] [--cases N] [--jobs J] [--json] [--max-steps N] \
          [--shrink-budget N] [--no-metamorphic] [--no-theta-search] [--negation] \
-         [--repro-dir DIR]"
+         [--repro-dir DIR] [--serve ADDR]\n  \
+         argus serve [--addr HOST:PORT] [--jobs N] [--cache-mb N] [--deadline-ms N]"
     );
     ExitCode::FAILURE
 }
@@ -74,6 +77,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => usage(),
     }
 }
@@ -462,6 +466,11 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                 repro_dir = Some(v);
                 i += 1;
             }
+            "--serve" => {
+                let Some(v) = want_value(args, i, "--serve") else { return ExitCode::FAILURE };
+                options.serve_addr = Some(v);
+                i += 1;
+            }
             other => {
                 eprintln!("unknown fuzz argument {other}");
                 return ExitCode::FAILURE;
@@ -510,5 +519,86 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use argus::serve::{install_signal_handlers, ServeOptions, Server, ServerState};
+
+    let mut options = ServeOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let want_value = |args: &[String], i: usize, flag: &str| -> Option<String> {
+            match args.get(i + 1) {
+                Some(v) => Some(v.clone()),
+                None => {
+                    eprintln!("{flag} wants a value");
+                    None
+                }
+            }
+        };
+        match args[i].as_str() {
+            "--addr" => {
+                let Some(v) = want_value(args, i, "--addr") else { return ExitCode::FAILURE };
+                options.addr = v;
+                i += 1;
+            }
+            "--jobs" => {
+                let Some(v) = want_value(args, i, "--jobs") else { return ExitCode::FAILURE };
+                let Ok(n) = v.parse() else {
+                    eprintln!("--jobs wants a thread count (0 = one per core)");
+                    return ExitCode::FAILURE;
+                };
+                options.jobs = n;
+                i += 1;
+            }
+            "--cache-mb" => {
+                let Some(v) = want_value(args, i, "--cache-mb") else { return ExitCode::FAILURE };
+                let Ok(n) = v.parse() else {
+                    eprintln!("bad --cache-mb value {v:?}");
+                    return ExitCode::FAILURE;
+                };
+                options.cache_mb = n;
+                i += 1;
+            }
+            "--deadline-ms" => {
+                let Some(v) = want_value(args, i, "--deadline-ms") else {
+                    return ExitCode::FAILURE;
+                };
+                let Ok(n) = v.parse() else {
+                    eprintln!("bad --deadline-ms value {v:?}");
+                    return ExitCode::FAILURE;
+                };
+                options.deadline_ms = n;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown serve argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let state = std::sync::Arc::new(ServerState::new(options));
+    let server = match Server::bind(state) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The startup line scripts parse to learn the real port (`--addr :0`).
+    say!("listening on {}", server.local_addr());
+    install_signal_handlers();
+    match server.run() {
+        Ok(()) => {
+            say!("drained cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

@@ -54,6 +54,7 @@ pub use argus_fuzz as fuzz;
 pub use argus_interp as interp;
 pub use argus_linear as linear;
 pub use argus_logic as logic;
+pub use argus_serve as serve;
 pub use argus_sizerel as sizerel;
 pub use argus_transform as transform;
 

@@ -59,6 +59,59 @@ fn analyze_json_snapshots_on_corpus() {
     }
 }
 
+/// Replace every integer that appears as a JSON *value* (a digit run
+/// right after `:`) with `0`, leaving key names (`le_50`) and the schema
+/// string untouched. Counter values vary run to run; the key set, nesting,
+/// and field order must not.
+fn normalize_counter_values(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut chars = json.chars().peekable();
+    while let Some(c) = chars.next() {
+        out.push(c);
+        if c == ':' && chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+            while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                chars.next();
+            }
+            out.push('0');
+        }
+    }
+    out
+}
+
+/// The `/metrics` snapshot is a public machine-readable surface like the
+/// analyze JSON: pin its exact shape (schema string, key set, field
+/// order) with counter values normalized to `0`.
+#[test]
+fn serve_metrics_snapshot_schema() {
+    use argus::serve::{ServeOptions, ServerState};
+    let state = ServerState::new(ServeOptions::default());
+    let request = |path: &str, body: &[u8]| argus::serve::Request {
+        method: if body.is_empty() { "GET" } else { "POST" }.to_string(),
+        path: path.to_string(),
+        headers: Vec::new(),
+        body: body.to_vec(),
+        keep_alive: true,
+    };
+    // Touch every counter family: a computed analyze, a cached repeat, a
+    // malformed request, and a metrics read.
+    let entry = argus::corpus::find("append_bff").unwrap();
+    let body = format!(
+        "{{\"program\":{},\"query\":{},\"adornment\":{}}}",
+        argus::serve::jsonval::json_str(entry.source),
+        argus::serve::jsonval::json_str(entry.query),
+        argus::serve::jsonval::json_str(entry.adornment)
+    );
+    assert_eq!(state.handle(&request("/v1/analyze", body.as_bytes())).status, 200);
+    assert_eq!(state.handle(&request("/v1/analyze", body.as_bytes())).status, 200);
+    assert_eq!(state.handle(&request("/v1/analyze", b"not json")).status, 400);
+    assert_eq!(state.handle(&request("/metrics", b"")).status, 200);
+
+    let snapshot = state.metrics_snapshot();
+    assert!(snapshot.contains(argus::serve::METRICS_SCHEMA), "{snapshot}");
+    argus::serve::jsonval::parse(&snapshot).expect("metrics snapshot parses as JSON");
+    check_golden("serve/metrics.json", &normalize_counter_values(&snapshot));
+}
+
 #[test]
 fn fuzz_json_snapshot() {
     let opts = FuzzOptions { seed: 1, cases: 20, jobs: 1, ..FuzzOptions::default() };

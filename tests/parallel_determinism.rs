@@ -143,6 +143,103 @@ fn certificates_survive_parallel_analysis() {
     }
 }
 
+/// The process-lifetime shared projection cache (the `argus serve`
+/// configuration) must be invisible too: hammer one cache from many
+/// threads analyzing overlapping programs concurrently, and every report
+/// must stay byte-identical to the isolated sequential run.
+///
+/// With an unbounded cache this also checks publish-race accounting: each
+/// distinct key is computed-and-inserted exactly once no matter how many
+/// threads race on it, so `computed == entries` — a lost update (insert
+/// overwritten or dropped) would break the equality.
+#[test]
+fn shared_projection_cache_hammer() {
+    use argus::core::{analyze_with_cache, ProjectionCache};
+    let entries: Vec<_> = argus::corpus::corpus()
+        .into_iter()
+        .filter(|e| e.name != "mutual_fib_ring") // heavy; the others cover the races
+        .collect();
+    let baselines: Vec<(String, String)> = entries
+        .iter()
+        .map(|e| {
+            (
+                e.name.to_string(),
+                analyze_with_jobs(e, &AnalysisOptions { parallelism: 1, ..Default::default() }).1,
+            )
+        })
+        .collect();
+
+    let shared = ProjectionCache::new(); // unbounded: serve's budget knob off
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let entries = &entries;
+            let baselines = &baselines;
+            let shared = &shared;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    for i in 0..entries.len() {
+                        let idx = (i + worker + round) % entries.len();
+                        let entry = &entries[idx];
+                        let program = entry.program().unwrap();
+                        let (query, adornment) = entry.query_key();
+                        let report = analyze_with_cache(
+                            &program,
+                            &query,
+                            adornment,
+                            &AnalysisOptions { parallelism: 1, ..Default::default() },
+                            Some(shared),
+                        );
+                        assert_eq!(
+                            report.to_json(),
+                            baselines[idx].1,
+                            "{}: shared-cache report diverges (worker {worker}, round {round})",
+                            baselines[idx].0
+                        );
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        shared.computed(),
+        shared.entries(),
+        "unbounded shared cache lost an update: computed != resident entries"
+    );
+    assert!(shared.lookup_hits() > 0, "hammer never hit the shared cache");
+
+    // Same hammer against a tiny budget, so eviction races constantly
+    // against lookup and publish: reports must still be byte-identical.
+    let tiny = ProjectionCache::with_byte_budget(64 * 1024);
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let entries = &entries;
+            let baselines = &baselines;
+            let tiny = &tiny;
+            scope.spawn(move || {
+                for i in 0..entries.len() {
+                    let idx = (i + worker) % entries.len();
+                    let entry = &entries[idx];
+                    let program = entry.program().unwrap();
+                    let (query, adornment) = entry.query_key();
+                    let report = analyze_with_cache(
+                        &program,
+                        &query,
+                        adornment,
+                        &AnalysisOptions { parallelism: 1, ..Default::default() },
+                        Some(tiny),
+                    );
+                    assert_eq!(
+                        report.to_json(),
+                        baselines[idx].1,
+                        "{}: eviction-pressure report diverges (worker {worker})",
+                        baselines[idx].0
+                    );
+                }
+            });
+        }
+    });
+}
+
 /// The example program shipped in `examples/` analyzes identically at any
 /// worker count, under both text and JSON rendering.
 #[test]
