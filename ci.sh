@@ -44,14 +44,28 @@ for seed in 1 42; do
     cmp "/tmp/argus-fuzz-$seed-j0.json" "/tmp/argus-fuzz-$seed-j1.json"
 done
 
+echo "==> infer smoke"
+# Backwards condition inference over the whole corpus with certificate
+# re-checking: every disjunct of every inferred condition must reproduce
+# Terminates under a fresh forward analysis and pass the certificate
+# verifier. Then the fuzz harness with the infer-soundness oracle armed:
+# inferred conditions on generated programs are confirmed against both the
+# forward analyzer and the SLD interpreter.
+./target/release/argus infer --corpus --certify > /dev/null
+./target/release/argus fuzz --infer --seed 7 --cases 200 --jobs 0
+
 echo "==> serve smoke"
 # Boot the analysis server on an ephemeral port and drive it over real
-# sockets: loadgen replays the corpus on 64 keep-alive connections and
-# byte-compares every response against the CLI report, the fuzz serve
-# oracle round-trips 200 generated programs, and a SIGTERM must drain
-# cleanly (exit 0, "drained cleanly" on stdout).
+# sockets: loadgen primes the caches through /v1/infer then replays the
+# corpus on 64 keep-alive connections and byte-compares every response
+# against the CLI report, the fuzz serve oracle round-trips 200 generated
+# programs, and a SIGTERM must drain cleanly (exit 0, "drained cleanly"
+# on stdout). The generous deadline keeps the whole-corpus /v1/infer
+# requests (FM-heavy entries run seconds each) off the 504 path on slow
+# runners.
 SERVE_LOG=/tmp/argus-serve-ci.log
-./target/release/argus serve --addr 127.0.0.1:0 --jobs 0 > "$SERVE_LOG" 2>&1 &
+./target/release/argus serve --addr 127.0.0.1:0 --jobs 0 --deadline-ms 120000 \
+    > "$SERVE_LOG" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 50); do
     SERVE_ADDR=$(sed -n 's/.*listening on //p' "$SERVE_LOG" | head -n 1)
@@ -60,7 +74,7 @@ for _ in $(seq 50); do
 done
 [[ -n "$SERVE_ADDR" ]] || { echo "serve never printed its address"; cat "$SERVE_LOG"; exit 1; }
 ./target/release/loadgen --addr "$SERVE_ADDR" --wait-healthz 10 \
-    --connections 64 --requests 10
+    --connections 64 --requests 10 --prime-infer
 ./target/release/argus fuzz --serve "$SERVE_ADDR" --seed 1 --cases 200 --jobs 0
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"

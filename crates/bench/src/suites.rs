@@ -456,6 +456,100 @@ pub fn serve_suite(scale: Scale) -> Vec<Sample> {
     out
 }
 
+/// E13 — backwards condition inference: whole-program inference per corpus
+/// entry (probe counters attached: a low `analyses`-to-candidates ratio is
+/// the backwards-propagation pruning at work), then the serve condition
+/// cache measured cold vs warm at the dispatch layer, and the priming
+/// effect — an analyze submitted after an infer of the same program is a
+/// pure report-cache hit.
+pub fn infer_suite(scale: Scale) -> Vec<Sample> {
+    use argus_core::{infer_conditions, BackwardsOptions};
+    use argus_serve::jsonval::json_str;
+    use argus_serve::{Request, ServeOptions, ServerState};
+
+    let entries: &[&str] = match scale {
+        Scale::Smoke => &["append_bff", "perm"],
+        Scale::Full => &["append_bff", "perm", "reverse_acc", "quicksort"],
+    };
+    let mut out = Vec::new();
+    let options = BackwardsOptions::default();
+    for name in entries {
+        let entry = argus_corpus::find(name).expect("corpus entry");
+        let program = entry.program().expect("parse");
+        let report = infer_conditions(&program, &options);
+        let disjuncts: usize =
+            report.conditions.iter().map(|c| c.condition.disjuncts().count()).sum();
+        out.push(
+            bench_case("infer", &format!("whole-program/{name}"), 1, scale.iters(), || {
+                black_box(infer_conditions(black_box(&program), &options))
+            })
+            .with_counters(vec![
+                ("predicates", report.conditions.len() as u64),
+                ("analyses", report.analyses as u64),
+                ("pruned", report.pruned as u64),
+                ("disjuncts", disjuncts as u64),
+            ]),
+        );
+    }
+
+    let post = |path: &str, body: String| Request {
+        method: "POST".to_string(),
+        path: path.to_string(),
+        headers: Vec::new(),
+        body: body.into_bytes(),
+        keep_alive: true,
+    };
+    for name in entries {
+        let entry = argus_corpus::find(name).expect("corpus entry");
+        let infer_req = post("/v1/infer", format!("{{\"program\":{}}}", json_str(entry.source)));
+        out.push(bench_case("infer", &format!("serve-cold/{name}"), 0, scale.iters(), || {
+            let state = ServerState::new(ServeOptions::default());
+            let resp = state.handle(black_box(&infer_req));
+            assert_eq!(resp.status, 200);
+            resp
+        }));
+
+        let state = ServerState::new(ServeOptions::default());
+        assert_eq!(state.handle(&infer_req).status, 200, "priming infer");
+        let warm_iters = scale.iters().max(200);
+        out.push(
+            bench_case("infer", &format!("serve-warm/{name}"), 1, warm_iters, || {
+                let resp = state.handle(black_box(&infer_req));
+                assert_eq!(resp.status, 200);
+                resp
+            })
+            .with_counters(vec![
+                ("condition_cache_hits", state.conditions().hits()),
+                ("condition_cache_misses", state.conditions().misses()),
+            ]),
+        );
+
+        // The priming effect: the analyze below never runs an analysis —
+        // the infer above already deposited its report bytes.
+        let analyze_req = post(
+            "/v1/analyze",
+            format!(
+                "{{\"program\":{},\"query\":{},\"adornment\":{}}}",
+                json_str(entry.source),
+                json_str(entry.query),
+                json_str(entry.adornment)
+            ),
+        );
+        out.push(
+            bench_case("infer", &format!("primed-analyze/{name}"), 1, warm_iters, || {
+                let resp = state.handle(black_box(&analyze_req));
+                assert_eq!(resp.status, 200);
+                resp
+            })
+            .with_counters(vec![
+                ("report_cache_hits", state.reports().hits()),
+                ("report_cache_misses", state.reports().misses()),
+            ]),
+        );
+    }
+    out
+}
+
 /// A suite entry point: workloads at a given scale, as samples.
 pub type SuiteFn = fn(Scale) -> Vec<Sample>;
 
@@ -470,6 +564,7 @@ pub fn all_suites() -> Vec<(&'static str, SuiteFn)> {
         ("ablation", ablation_suite),
         ("parallel", parallel_suite),
         ("serve", serve_suite),
+        ("infer", infer_suite),
     ]
 }
 

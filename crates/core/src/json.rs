@@ -9,7 +9,7 @@ use crate::analyze::{SccOutcome, TerminationReport, Verdict};
 use std::fmt::Write as _;
 
 /// Escape a string for a JSON literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -27,7 +27,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     format!("\"{}\"", esc(s))
 }
 

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod backwards;
 pub mod certificate;
 pub mod delta;
 pub mod dual;
@@ -51,6 +52,10 @@ pub use analyze::{
     RunStats, SccAnalysis, SccOutcome, SccStats, TerminationReport, Verdict,
 };
 pub use argus_linear::{FmStats, FmTier};
+pub use backwards::{
+    check_condition, infer_conditions, infer_conditions_for, BackwardsOptions, CandidateOutcome,
+    InferenceReport, TerminationCondition,
+};
 pub use certificate::{verify_report, CertificateError};
 pub use delta::{assign_deltas, DeltaAssignment, DeltaOutcome};
 pub use lexico::{prove_lexicographic, prove_scc_lexicographic, LexicographicProof};

@@ -494,6 +494,25 @@ pub fn terminating_names() -> Vec<&'static str> {
     corpus().iter().filter(|e| e.terminates).map(|e| e.name).collect()
 }
 
+/// Hand-checked termination conditions the backwards inference (`argus
+/// infer`) must reproduce: `(entry name, predicate spec, condition)`,
+/// with the condition in the `Dnf` rendering (`"arg1 bound or arg3
+/// bound"`). Not every entry is listed — only those whose conditions were
+/// verified by hand against the program semantics, as regression pins.
+pub fn expected_conditions() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        ("append_bff", "append/3", "arg1 bound or arg3 bound"),
+        ("perm", "perm/2", "arg1 bound"),
+        ("perm", "append/3", "arg1 bound or arg3 bound"),
+        ("reverse_acc", "reverse/2", "arg1 bound"),
+        ("reverse_acc", "rev/3", "arg1 bound"),
+        ("mutual_fib_ring", "f0/2", "arg1 bound"),
+        ("mutual_fib_ring", "f1/2", "arg1 bound"),
+        ("mutual_fib_ring", "f2/2", "arg1 bound"),
+        ("mutual_fib_ring", "plus/3", "arg1 bound or arg3 bound"),
+    ]
+}
+
 // ---------------------------------------------------------------- sources
 
 const APPEND: &str = "\

@@ -25,10 +25,13 @@
 //! | L008 | unsafe negation (`\+` over an unbound variable — floundering) |
 //! | L009 | recursive call defeats every argument-size measure |
 //! | L010 | zero-weight recursion cycle (strong nontermination evidence) |
+//! | L011 | unproven query with a nearby provable instantiation (inferred condition) |
 //!
-//! L007–L010 are *moded* lints: they need a query predicate and adornment
+//! L007–L011 are *moded* lints: they need a query predicate and adornment
 //! ([`LintOptions::query`]). Without one, L007/L008 fall back to assuming
-//! every head argument bound, and L009/L010 are skipped.
+//! every head argument bound, and L009–L011 are skipped. L011 runs the
+//! backwards condition inference of `argus_core::backwards` and suggests
+//! the disjunct closest to the queried adornment.
 //!
 //! ```
 //! use argus_diag::{lint_source, LintOptions};
@@ -43,6 +46,7 @@ pub mod blame;
 pub mod moded;
 pub mod passes;
 pub mod render;
+pub mod suggest;
 
 use argus_logic::modes::Adornment;
 use argus_logic::parser::parse_program;
@@ -149,6 +153,7 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(moded::WellModedness),
         Box::new(moded::UnsafeNegation),
         Box::new(blame::TerminationBlame),
+        Box::new(suggest::ConditionSuggestion),
     ]
 }
 

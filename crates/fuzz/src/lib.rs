@@ -10,7 +10,9 @@
 //! * [`oracle`] runs three checks per case — differential soundness
 //!   against the SLD interpreter, certificate cross-checks (both
 //!   directions), and metamorphic invariance under semantics-preserving
-//!   program rewrites;
+//!   program rewrites — plus two opt-in ones: byte-identical round-trips
+//!   through a live `argus serve` (`--serve`) and confirmation of every
+//!   backwards-inferred termination-condition disjunct (`--infer`);
 //! * [`shrink`] minimizes any failing program to a small reproducer.
 //!
 //! Everything is keyed on [`argus_prng::Rng64`], so a run is identified by
@@ -31,8 +33,8 @@ use argus_logic::program::Program;
 use argus_prng::Rng64;
 use gen::{generate, GenCase, GenOptions};
 use oracle::{
-    analysis_options, check_certificate, check_differential, check_metamorphic, check_serve,
-    theta_refutes_unknown, ServeCheckFailure, ViolationKind,
+    analysis_options, check_certificate, check_differential, check_infer, check_metamorphic,
+    check_serve, theta_refutes_unknown, ServeCheckFailure, ViolationKind,
 };
 use std::fmt;
 use std::fmt::Write as _;
@@ -61,6 +63,11 @@ pub struct FuzzOptions {
     /// Round-trip every case through a running `argus serve` instance at
     /// this address and require byte-identical reports (`--serve ADDR`).
     pub serve_addr: Option<String>,
+    /// Run the backwards-inference soundness oracle (`--infer`): every
+    /// disjunct of every inferred condition must be confirmed by the
+    /// forward analyzer, the certificate checker, and the interpreter.
+    /// Off by default — it multiplies analysis cost per case.
+    pub infer: bool,
     /// Test-only hook: treat every `Unknown` verdict as a claimed
     /// `Terminates` so the differential oracle and the shrinker can be
     /// exercised end-to-end. Never set outside tests.
@@ -80,6 +87,7 @@ impl Default for FuzzOptions {
             theta_search: true,
             gen: GenOptions::default(),
             serve_addr: None,
+            infer: false,
             inject_soundness_bug: false,
         }
     }
@@ -319,6 +327,7 @@ fn still_fails(
             let c2 = GenCase { program: candidate.clone(), ..case.clone() };
             check_metamorphic(&c2, &report, transform_seed).is_err()
         }
+        ViolationKind::InferSoundness => check_infer(candidate, opts.max_steps).is_err(),
         ViolationKind::ServeDivergence => {
             let Some(addr) = opts.serve_addr.as_deref() else { return false };
             // Only a confirmed divergence keeps the shrinker going; a
@@ -377,6 +386,13 @@ fn run_case(index: usize, opts: &FuzzOptions) -> CaseResult {
     if failure.is_none() && opts.metamorphic {
         if let Err((kind, detail)) = check_metamorphic(&case, &report, transform_seed) {
             failure = Some((kind, detail));
+        }
+    }
+    // Oracle 5 (opt-in): every inferred condition disjunct is confirmed
+    // by the forward analyzer, the checker, and the interpreter.
+    if failure.is_none() && opts.infer {
+        if let Err(detail) = check_infer(&case.program, opts.max_steps) {
+            failure = Some((ViolationKind::InferSoundness, detail));
         }
     }
     // Oracle 4 (opt-in): byte-identical round-trip through a live server.
@@ -499,6 +515,20 @@ mod tests {
         let report = run(&opts);
         assert!(report.clean(), "{report}");
         assert_eq!(report.terminates + report.unknown + report.zero_weight_cycle, 25);
+    }
+
+    #[test]
+    fn infer_oracle_confirms_inferred_conditions() {
+        let opts = FuzzOptions {
+            cases: 10,
+            seed: 11,
+            metamorphic: false,
+            theta_search: false,
+            infer: true,
+            ..FuzzOptions::default()
+        };
+        let report = run(&opts);
+        assert!(report.clean(), "{report}");
     }
 
     #[test]

@@ -16,11 +16,15 @@
 //!    must be byte-identical across analysis parallelism settings.
 
 use crate::gen::{ground_inputs, ground_query, GenCase};
-use argus_core::{analyze, verify_report, AnalysisOptions, SccOutcome, TerminationReport, Verdict};
+use argus_core::{
+    analyze, infer_conditions, verify_report, AnalysisOptions, BackwardsOptions, SccOutcome,
+    TerminationReport, Verdict,
+};
 use argus_interp::sld::{solve, InterpOptions};
 use argus_linear::Rat;
 use argus_logic::modes::Adornment;
 use argus_logic::program::{Atom, Literal, PredKey, Program, Rule};
+use argus_logic::term::Term;
 use argus_prng::Rng64;
 use std::collections::BTreeMap;
 
@@ -40,6 +44,9 @@ pub enum ViolationKind {
     /// A running `argus serve` instance returned a response that is not
     /// byte-identical to the local report (or failed the round-trip).
     ServeDivergence,
+    /// Backwards inference produced a disjunct the forward analyzer, the
+    /// certificate checker, or the SLD interpreter does not confirm.
+    InferSoundness,
 }
 
 impl ViolationKind {
@@ -51,6 +58,7 @@ impl ViolationKind {
             ViolationKind::Metamorphic => "metamorphic",
             ViolationKind::JobsDivergence => "jobs-divergence",
             ViolationKind::ServeDivergence => "serve-divergence",
+            ViolationKind::InferSoundness => "infer-soundness",
         }
     }
 }
@@ -156,6 +164,69 @@ pub fn check_differential(
                 "query `{}` exhausted the {}-step budget",
                 goals[0].atom, opts.max_steps
             ));
+        }
+    }
+    Ok(())
+}
+
+/// Like [`check_differential`] but for an arbitrary adornment: ground
+/// terms at every bound position (rotating through the input pool so the
+/// positions get distinct shapes), fresh variables at the free ones. A
+/// fully-free adornment — the `true` condition — is one all-free query.
+pub fn check_differential_adorned(
+    program: &Program,
+    query: &PredKey,
+    adornment: &Adornment,
+    max_steps: u64,
+) -> Result<(), String> {
+    let opts = interp_options(max_steps);
+    let inputs = ground_inputs();
+    let bound = adornment.bound_positions();
+    let rounds = if bound.is_empty() { 1 } else { inputs.len() };
+    for k in 0..rounds {
+        let args: Vec<Term> = (0..adornment.arity())
+            .map(|j| match bound.iter().position(|&b| b == j) {
+                Some(slot) => inputs[(k + slot) % inputs.len()].clone(),
+                None => Term::var(format!("Out{j}")),
+            })
+            .collect();
+        let goals = vec![Literal::pos(Atom::new(query.name.as_ref(), args))];
+        let out = solve(program, &goals, &opts);
+        if !out.terminated() {
+            return Err(format!(
+                "query `{}` exhausted the {}-step budget",
+                goals[0].atom, opts.max_steps
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Oracle 5 (opt-in, `--infer`): every disjunct of every inferred
+/// termination condition must be independently confirmed — the forward
+/// analyzer proves it, the certificate checker accepts the proof, and
+/// the SLD interpreter completes every bounded query of that adornment.
+pub fn check_infer(program: &Program, max_steps: u64) -> Result<(), String> {
+    let bopts = BackwardsOptions { analysis: analysis_options(), ..BackwardsOptions::default() };
+    let inferred = infer_conditions(program, &bopts);
+    let aopts = analysis_options();
+    for cond in &inferred.conditions {
+        for adn in cond.disjunct_adornments() {
+            let report = analyze(program, &cond.pred, adn.clone(), &aopts);
+            if report.verdict != Verdict::Terminates {
+                return Err(format!(
+                    "inferred disjunct `{adn}` of {} is not forward-provable ({:?})",
+                    cond.pred, report.verdict
+                ));
+            }
+            if let Err(e) = verify_report(&report, aopts.norm) {
+                return Err(format!(
+                    "certificate for inferred disjunct `{adn}` of {} rejected: {e}",
+                    cond.pred
+                ));
+            }
+            check_differential_adorned(program, &cond.pred, &adn, max_steps)
+                .map_err(|e| format!("inferred disjunct `{adn}` of {} diverges: {e}", cond.pred))?;
         }
     }
     Ok(())

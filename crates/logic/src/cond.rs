@@ -1,0 +1,263 @@
+//! Positive boolean conditions over argument positions ("argᵢ bound").
+//!
+//! Backwards termination inference (Genaim & Codish style) computes, per
+//! predicate, the set of adornments under which the forward analysis
+//! proves termination. Provability is *monotone* in boundness — binding
+//! more arguments never loses a proof — so that set is upward-closed and
+//! is fully described by its antichain of minimal elements. Equivalently,
+//! it is a minimized positive DNF over the atoms "argument *i* is bound":
+//! `append/3` terminates if `arg1 bound or arg3 bound`.
+//!
+//! [`Dnf`] is that lattice. `false` (no adornment works) is the empty
+//! disjunction; `true` (every adornment works, including all-free) is the
+//! disjunction containing the empty conjunction. Everything in between is
+//! a set of minimal bound-position sets, kept minimal by absorption:
+//! a disjunct that is a superset of another is redundant and dropped.
+
+use crate::modes::Adornment;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A minimized positive DNF over 0-based argument positions.
+///
+/// Invariant: `disjuncts` is an antichain under `⊆` — no disjunct is a
+/// subset of another. In particular, if the empty conjunction (`true`) is
+/// present it is the *only* disjunct.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dnf {
+    disjuncts: BTreeSet<BTreeSet<usize>>,
+}
+
+impl Dnf {
+    /// The unsatisfiable condition: no adornment is provable.
+    pub fn fls() -> Dnf {
+        Dnf { disjuncts: BTreeSet::new() }
+    }
+
+    /// The trivial condition: provable under every adornment (the empty
+    /// conjunction).
+    pub fn tru() -> Dnf {
+        let mut disjuncts = BTreeSet::new();
+        disjuncts.insert(BTreeSet::new());
+        Dnf { disjuncts }
+    }
+
+    /// Build from arbitrary disjuncts, minimizing by absorption.
+    pub fn from_disjuncts(iter: impl IntoIterator<Item = BTreeSet<usize>>) -> Dnf {
+        let mut dnf = Dnf::fls();
+        for d in iter {
+            dnf.insert(d);
+        }
+        dnf
+    }
+
+    /// `true` iff the condition holds vacuously (empty conjunction).
+    pub fn is_true(&self) -> bool {
+        self.disjuncts.contains(&BTreeSet::new())
+    }
+
+    /// `true` iff no adornment satisfies the condition.
+    pub fn is_false(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// The minimal disjuncts, in sorted order.
+    pub fn disjuncts(&self) -> impl Iterator<Item = &BTreeSet<usize>> {
+        self.disjuncts.iter()
+    }
+
+    /// Number of minimal disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// `true` iff there are no disjuncts (same as [`Dnf::is_false`]).
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Add one conjunction, preserving the antichain invariant: absorbed
+    /// (superset of an existing disjunct) insertions are dropped, and an
+    /// inserted disjunct absorbs any existing supersets. Returns whether
+    /// the condition changed.
+    pub fn insert(&mut self, conj: BTreeSet<usize>) -> bool {
+        if self.covers(&conj) {
+            return false;
+        }
+        self.disjuncts.retain(|d| !d.is_superset(&conj));
+        self.disjuncts.insert(conj);
+        true
+    }
+
+    /// Does a set of bound positions satisfy the condition — i.e. is some
+    /// disjunct a subset of `bound`?
+    pub fn covers(&self, bound: &BTreeSet<usize>) -> bool {
+        self.disjuncts.iter().any(|d| d.is_subset(bound))
+    }
+
+    /// Does an adornment satisfy the condition?
+    pub fn covers_adornment(&self, adn: &Adornment) -> bool {
+        let bound: BTreeSet<usize> = adn.bound_positions().into_iter().collect();
+        self.covers(&bound)
+    }
+
+    /// Disjunction (least upper bound), minimized.
+    pub fn or(&self, other: &Dnf) -> Dnf {
+        let mut out = self.clone();
+        for d in &other.disjuncts {
+            out.insert(d.clone());
+        }
+        out
+    }
+
+    /// Conjunction (greatest lower bound): the pairwise unions of
+    /// disjuncts, minimized.
+    pub fn and(&self, other: &Dnf) -> Dnf {
+        let mut out = Dnf::fls();
+        for a in &self.disjuncts {
+            for b in &other.disjuncts {
+                out.insert(a.union(b).cloned().collect());
+            }
+        }
+        out
+    }
+
+    /// The disjuncts as sorted vectors of **1-based** argument numbers —
+    /// the numbering used by every human- and machine-readable surface
+    /// (`arg1` is the first argument, as in the paper's examples).
+    pub fn disjuncts_1based(&self) -> Vec<Vec<usize>> {
+        self.disjuncts.iter().map(|d| d.iter().map(|p| p + 1).collect()).collect()
+    }
+
+    /// Render as a JSON array of arrays of 1-based positions:
+    /// `false` ⇒ `[]`, `true` ⇒ `[[]]`, `arg1 ∨ arg3` ⇒ `[[1],[3]]`.
+    pub fn to_json(&self) -> String {
+        let inner: Vec<String> = self
+            .disjuncts_1based()
+            .iter()
+            .map(|d| {
+                let items: Vec<String> = d.iter().map(|p| p.to_string()).collect();
+                format!("[{}]", items.join(","))
+            })
+            .collect();
+        format!("[{}]", inner.join(","))
+    }
+}
+
+/// Human-readable rendering. Zero-arity predicates and single-argument
+/// conditions print without dangling separators: the constants are the
+/// bare words `true` / `false`, a one-atom disjunct is `arg1 bound`, a
+/// conjunction is `arg1 and arg2 bound`, and disjuncts are joined with
+/// ` or ` (`arg1 bound or arg3 bound`).
+impl fmt::Display for Dnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_true() {
+            return write!(f, "true");
+        }
+        if self.is_false() {
+            return write!(f, "false");
+        }
+        let rendered: Vec<String> = self
+            .disjuncts_1based()
+            .iter()
+            .map(|d| {
+                let args: Vec<String> = d.iter().map(|p| format!("arg{p}")).collect();
+                format!("{} bound", args.join(" and "))
+            })
+            .collect();
+        write!(f, "{}", rendered.join(" or "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[usize]) -> BTreeSet<usize> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn absorption_drops_supersets() {
+        // {0,2} is absorbed by {0}, whichever arrives first.
+        let a = Dnf::from_disjuncts([set(&[0]), set(&[0, 2])]);
+        assert_eq!(a.disjuncts().count(), 1);
+        let b = Dnf::from_disjuncts([set(&[0, 2]), set(&[0])]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "arg1 bound");
+    }
+
+    #[test]
+    fn tautology_collapses_to_true() {
+        let mut d = Dnf::from_disjuncts([set(&[1]), set(&[0, 2])]);
+        assert!(!d.is_true());
+        d.insert(set(&[]));
+        assert!(d.is_true());
+        assert_eq!(d.disjuncts().count(), 1, "true absorbs every other disjunct");
+        assert_eq!(d.to_string(), "true");
+        // Nothing can be added past true.
+        assert!(!d.clone().insert(set(&[1])));
+    }
+
+    #[test]
+    fn empty_is_false() {
+        let d = Dnf::fls();
+        assert!(d.is_false() && !d.is_true());
+        assert_eq!(d.to_string(), "false");
+        assert_eq!(d.to_json(), "[]");
+        assert!(!d.covers(&set(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn zero_arity_and_single_argument_render_without_separators() {
+        // Zero-arity predicates only ever see the constants.
+        assert_eq!(Dnf::tru().to_string(), "true");
+        assert_eq!(Dnf::fls().to_string(), "false");
+        assert_eq!(Dnf::tru().to_json(), "[[]]");
+        // A single-argument condition is a bare clause, no dangling "or"
+        // or "and".
+        let single = Dnf::from_disjuncts([set(&[0])]);
+        assert_eq!(single.to_string(), "arg1 bound");
+        assert_eq!(single.to_json(), "[[1]]");
+    }
+
+    #[test]
+    fn display_joins_disjuncts_and_conjunctions() {
+        let d = Dnf::from_disjuncts([set(&[0]), set(&[2])]);
+        assert_eq!(d.to_string(), "arg1 bound or arg3 bound");
+        let c = Dnf::from_disjuncts([set(&[0, 1])]);
+        assert_eq!(c.to_string(), "arg1 and arg2 bound");
+        let mixed = Dnf::from_disjuncts([set(&[0, 1]), set(&[3])]);
+        assert_eq!(mixed.to_string(), "arg1 and arg2 bound or arg4 bound");
+        assert_eq!(mixed.to_json(), "[[1,2],[4]]");
+    }
+
+    #[test]
+    fn covers_and_adornments() {
+        let d = Dnf::from_disjuncts([set(&[0]), set(&[2])]);
+        assert!(d.covers(&set(&[0, 1])));
+        assert!(d.covers(&set(&[2])));
+        assert!(!d.covers(&set(&[1])));
+        assert!(d.covers_adornment(&Adornment::parse("bff").unwrap()));
+        assert!(d.covers_adornment(&Adornment::parse("ffb").unwrap()));
+        assert!(!d.covers_adornment(&Adornment::parse("fbf").unwrap()));
+        // true covers even the empty adornment of a zero-arity predicate.
+        assert!(Dnf::tru().covers_adornment(&Adornment::parse("").unwrap()));
+        assert!(!Dnf::fls().covers_adornment(&Adornment::parse("bbb").unwrap()));
+    }
+
+    #[test]
+    fn and_or_are_lattice_ops() {
+        let a = Dnf::from_disjuncts([set(&[0])]);
+        let b = Dnf::from_disjuncts([set(&[1]), set(&[2])]);
+        let both = a.and(&b);
+        assert_eq!(both.to_string(), "arg1 and arg2 bound or arg1 and arg3 bound");
+        let either = a.or(&b);
+        assert_eq!(either.disjuncts().count(), 3);
+        // Identities.
+        assert_eq!(a.and(&Dnf::tru()), a);
+        assert!(a.and(&Dnf::fls()).is_false());
+        assert_eq!(a.or(&Dnf::fls()), a);
+        assert!(a.or(&Dnf::tru()).is_true());
+    }
+}

@@ -215,9 +215,18 @@ pub fn analyze_groundness(program: &Program, query: &PredKey, root: Adornment) -
         }
         let key = (pred, adornment);
         let entry = table.get_mut(&key).expect("seeded");
-        if &joined != entry {
-            debug_assert!(joined.is_subset(entry), "gfp chain must descend");
-            *entry = joined;
+        // Meet with the previous value rather than overwrite: when a callee
+        // entry shrinks, a later subgoal's call adornment can weaken to a
+        // *new* pair whose optimistic initial value transiently re-inflates
+        // `joined`, so the recomputed set alone is not guaranteed to sit
+        // below the current one. The meet forces a pointwise-descending
+        // chain (each entry shrinks at most `arity` times, so the loop
+        // terminates) and stays sound: at stabilization every entry is a
+        // subset of its recomputation, the coinductive condition, and
+        // under-claiming success-groundness is always conservative.
+        let met: BTreeSet<usize> = joined.intersection(entry).copied().collect();
+        if &met != entry {
+            *entry = met;
             // An entry shrank: every pair may depend on it; requeue all.
             requeue.extend(table.keys().cloned());
         }
@@ -365,6 +374,22 @@ mod tests {
         let src = "p(X, Y) :- r(Y), \\+ q(Y), s(X).\nq(a).\nr(b).\ns(c).";
         let g = ground_set(src, "p", 2, "bf", ("p", 2, "bf"));
         assert_eq!(g, [0, 1].into_iter().collect());
+    }
+
+    #[test]
+    fn weakened_call_patterns_keep_the_chain_descending() {
+        // nrev/2 with only its *output* bound: as `nrev fb`'s entry
+        // shrinks, the recursive subgoal's call adornment weakens from fb
+        // to ff, whose fresh optimistic entry transiently re-inflates the
+        // recomputed set. The meet-update must absorb that (this used to
+        // trip the descent assertion); the final table may only claim the
+        // root-bound position.
+        let src = "app([], Ys, Ys).\n\
+                   app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).\n\
+                   nrev([], []).\n\
+                   nrev([X|Xs], R) :- nrev(Xs, R1), app(R1, [X], R).";
+        let g = ground_set(src, "nrev", 2, "fb", ("nrev", 2, "fb"));
+        assert!(g.contains(&1) && !g.contains(&0), "{g:?}");
     }
 
     #[test]

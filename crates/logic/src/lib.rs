@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod adorn;
+pub mod cond;
 pub mod depgraph;
 pub mod groundness;
 pub mod modes;
@@ -40,6 +41,7 @@ pub mod term;
 pub mod unify;
 
 pub use adorn::{adorn_program, AdornedProgram};
+pub use cond::Dnf;
 pub use depgraph::DepGraph;
 pub use groundness::{analyze_groundness, Groundness};
 pub use modes::{Adornment, Mode, ModeMap};

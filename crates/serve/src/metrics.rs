@@ -14,8 +14,9 @@ use argus_linear::FmStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Schema identifier pinned by the golden test.
-pub const METRICS_SCHEMA: &str = "argus-serve-metrics/v1";
+/// Schema identifier pinned by the golden test. v2 added the `/v1/infer`
+/// counters and the condition cache.
+pub const METRICS_SCHEMA: &str = "argus-serve-metrics/v2";
 
 /// Histogram bucket upper bounds, in microseconds. The last bucket is
 /// unbounded (rendered as `"inf"`).
@@ -102,6 +103,14 @@ pub struct Metrics {
     pub batch_requests: AtomicU64,
     /// Items inside batch envelopes.
     pub batch_items: AtomicU64,
+    /// Condition-inference requests.
+    pub infer_requests: AtomicU64,
+    /// Predicates whose conditions were inferred (computed, not cached).
+    pub infer_predicates: AtomicU64,
+    /// Forward analyses spent inside condition inference.
+    pub infer_analyses: AtomicU64,
+    /// Analyze-cache entries primed from inference probes.
+    pub infer_primed: AtomicU64,
     /// Lint requests.
     pub lint_requests: AtomicU64,
     /// Health probes.
@@ -146,6 +155,7 @@ impl Metrics {
         &self,
         uptime: Duration,
         reports: &ReportCache,
+        conditions: &ReportCache,
         projections: &ProjectionCache,
     ) -> String {
         use std::fmt::Write as _;
@@ -155,11 +165,12 @@ impl Metrics {
         let _ = write!(out, ",\"uptime_ms\":{}", uptime.as_millis());
         let _ = write!(
             out,
-            ",\"requests\":{{\"analyze\":{},\"batch\":{},\"batch_items\":{},\"lint\":{},\
-             \"healthz\":{},\"metrics\":{}}}",
+            ",\"requests\":{{\"analyze\":{},\"batch\":{},\"batch_items\":{},\"infer\":{},\
+             \"lint\":{},\"healthz\":{},\"metrics\":{}}}",
             g(&self.analyze_requests),
             g(&self.batch_requests),
             g(&self.batch_items),
+            g(&self.infer_requests),
             g(&self.lint_requests),
             g(&self.healthz_requests),
             g(&self.metrics_requests),
@@ -182,6 +193,13 @@ impl Metrics {
         );
         let _ = write!(
             out,
+            ",\"infer\":{{\"predicates\":{},\"analyses\":{},\"primed\":{}}}",
+            g(&self.infer_predicates),
+            g(&self.infer_analyses),
+            g(&self.infer_primed),
+        );
+        let _ = write!(
+            out,
             ",\"report_cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
              \"entries\":{},\"resident_bytes\":{}}}",
             reports.hits(),
@@ -190,6 +208,17 @@ impl Metrics {
             reports.evictions(),
             reports.entries(),
             reports.resident_bytes(),
+        );
+        let _ = write!(
+            out,
+            ",\"condition_cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
+             \"entries\":{},\"resident_bytes\":{}}}",
+            conditions.hits(),
+            conditions.misses(),
+            conditions.insertions(),
+            conditions.evictions(),
+            conditions.entries(),
+            conditions.resident_bytes(),
         );
         let _ = write!(
             out,
@@ -251,8 +280,9 @@ mod tests {
         m.fm.merge(&FmStats { eliminations: 3, peak_rows: 7, ..FmStats::default() });
         m.count_status(200);
         let reports = ReportCache::new(1024);
+        let conditions = ReportCache::new(1024);
         let projections = ProjectionCache::new();
-        let snap = m.snapshot_json(Duration::from_millis(5), &reports, &projections);
+        let snap = m.snapshot_json(Duration::from_millis(5), &reports, &conditions, &projections);
         let v = crate::jsonval::parse(&snap).expect("snapshot parses");
         assert_eq!(v.get("schema").and_then(crate::jsonval::Json::as_str), Some(METRICS_SCHEMA));
         assert_eq!(

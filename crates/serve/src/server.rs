@@ -21,7 +21,10 @@ use crate::http::{read_request, write_response, Limits, ReadError, Request, Resp
 use crate::jsonval::{self, json_str, Json};
 use crate::metrics::Metrics;
 use argus_core::par::{effective_workers, par_map_indexed};
-use argus_core::{analyze_with_cache, AnalysisOptions, DeltaMode, ProjectionCache};
+use argus_core::{
+    analyze_with_cache, infer_conditions_for, AnalysisOptions, BackwardsOptions, DeltaMode,
+    ProjectionCache,
+};
 use argus_diag::render::{render_json, render_text};
 use argus_diag::{lint_source, Diagnostic, LintOptions, Severity};
 use argus_linear::FmTier;
@@ -45,9 +48,9 @@ pub struct ServeOptions {
     pub addr: String,
     /// Worker threads (0 = one per available core).
     pub jobs: usize,
-    /// Combined byte budget for the two caches, in MiB (split evenly
-    /// between the report cache and the projection cache; `0` keeps at
-    /// most one resident entry per cache).
+    /// Combined byte budget for the caches, in MiB (half to the report
+    /// cache, a quarter each to the projection and condition caches; `0`
+    /// keeps at most one resident entry per cache).
     pub cache_mb: usize,
     /// Per-request wall-clock analysis deadline, in milliseconds.
     pub deadline_ms: u64,
@@ -77,6 +80,7 @@ pub struct ServerState {
     /// Live counters surfaced by `GET /metrics`.
     pub metrics: Metrics,
     reports: ReportCache,
+    conditions: ReportCache,
     projections: ProjectionCache,
     started: Instant,
     draining: AtomicBool,
@@ -109,6 +113,23 @@ const ANALYZE_KEYS: [&str; 11] = [
     "stats",
 ];
 
+/// Top-level keys accepted by `/v1/infer`.
+const INFER_KEYS: [&str; 5] = ["program", "predicates", "jobs", "max_arity", "no_propagate"];
+
+/// The cache key [`ServerState::prepare`] builds for an analyze request
+/// with every option left at its default — the shape a condition
+/// inference's probes ran with, so primed entries answer exactly those
+/// future requests.
+fn default_analyze_key(query: &PredKey, adornment: &Adornment, src: &str) -> String {
+    let defaults = AnalysisOptions::default();
+    format!(
+        "argus/v1\u{1}q={query}\u{1}a={adornment}\u{1}norm=structural\u{1}\
+         delta=paper\u{1}transform={}\u{1}lex=0\u{1}tier={}\u{1}fmcache=1\u{1}\n{src}",
+        defaults.transform_phases,
+        defaults.fm_tier.index(),
+    )
+}
+
 /// One validated analyze request.
 struct Prepared {
     program: Program,
@@ -129,7 +150,8 @@ impl ServerState {
         ServerState {
             metrics: Metrics::default(),
             reports: ReportCache::new((budget / 2).max(1)),
-            projections: ProjectionCache::with_byte_budget((budget / 2).max(1)),
+            conditions: ReportCache::new((budget / 4).max(1)),
+            projections: ProjectionCache::with_byte_budget((budget / 4).max(1)),
             started: Instant::now(),
             draining: AtomicBool::new(false),
             options,
@@ -144,6 +166,11 @@ impl ServerState {
     /// The content-addressed report cache.
     pub fn reports(&self) -> &ReportCache {
         &self.reports
+    }
+
+    /// The content-addressed termination-condition cache.
+    pub fn conditions(&self) -> &ReportCache {
+        &self.conditions
     }
 
     /// The process-lifetime projection cache.
@@ -163,7 +190,12 @@ impl ServerState {
 
     /// The `GET /metrics` document (no trailing newline).
     pub fn metrics_snapshot(&self) -> String {
-        self.metrics.snapshot_json(self.started.elapsed(), &self.reports, &self.projections)
+        self.metrics.snapshot_json(
+            self.started.elapsed(),
+            &self.reports,
+            &self.conditions,
+            &self.projections,
+        )
     }
 
     /// Dispatch one request, recording response metrics.
@@ -191,6 +223,7 @@ impl ServerState {
             }
             ("POST", "/v1/analyze") => self.handle_analyze(req),
             ("POST", "/v1/batch") => self.handle_batch(req),
+            ("POST", "/v1/infer") => self.handle_infer(req),
             ("POST", "/v1/lint") => self.handle_lint(req),
             ("POST", "/v1/shutdown") => {
                 self.begin_drain();
@@ -199,7 +232,7 @@ impl ServerState {
             (_, "/healthz" | "/metrics") => {
                 error_response(405, "method not allowed", &[]).with_header("allow", "GET")
             }
-            (_, "/v1/analyze" | "/v1/batch" | "/v1/lint" | "/v1/shutdown") => {
+            (_, "/v1/analyze" | "/v1/batch" | "/v1/infer" | "/v1/lint" | "/v1/shutdown") => {
                 error_response(405, "method not allowed", &[]).with_header("allow", "POST")
             }
             (_, path) => error_response(404, &format!("no such endpoint {path}"), &[]),
@@ -260,6 +293,166 @@ impl ServerState {
             }
         });
         Response::json(200, format!("{{\"results\":[{}]}}\n", results.join(",")))
+    }
+
+    fn handle_infer(&self, req: &Request) -> Response {
+        self.metrics.infer_requests.fetch_add(1, Ordering::Relaxed);
+        let v = match parse_body_json(&req.body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        match self.infer_value(&v) {
+            AnalyzeOutcome::Report { body, cache } => {
+                Response::json(200, body).with_header("x-argus-cache", cache)
+            }
+            AnalyzeOutcome::Error { status, error_obj } => {
+                Response::json(status, format!("{{\"error\":{error_obj}}}\n"))
+            }
+        }
+    }
+
+    /// Run one `/v1/infer` request: look the condition table up in the
+    /// content-addressed cache, or compute it and prime the analyze
+    /// report cache with every probe the inference already paid for.
+    fn infer_value(&self, v: &Json) -> AnalyzeOutcome {
+        let bad = |message: String| AnalyzeOutcome::Error {
+            status: 400,
+            error_obj: error_obj(400, &message, &[]),
+        };
+        let Json::Obj(map) = v else {
+            return bad(format!("request must be a JSON object, got {}", v.type_name()));
+        };
+        if let Some(key) = map.keys().find(|k| !INFER_KEYS.contains(&k.as_str())) {
+            return bad(format!("unknown key {key:?}"));
+        }
+        let Some(Json::Str(src)) = map.get("program") else {
+            return bad("missing required key \"program\" (a string)".to_string());
+        };
+        let mut options = BackwardsOptions { collect_reports: true, ..BackwardsOptions::default() };
+        options.analysis.parallelism = 1;
+        match map.get("jobs") {
+            None | Some(Json::Null) => {}
+            Some(other) => match other.as_u64() {
+                Some(n) => options.analysis.parallelism = n as usize,
+                None => {
+                    return bad(format!(
+                        "\"jobs\" must be a nonnegative integer, got {}",
+                        other.type_name()
+                    ));
+                }
+            },
+        }
+        match map.get("max_arity") {
+            None | Some(Json::Null) => {}
+            Some(other) => match other.as_u64() {
+                Some(n) => options.max_arity = n as usize,
+                None => {
+                    return bad(format!(
+                        "\"max_arity\" must be a nonnegative integer, got {}",
+                        other.type_name()
+                    ));
+                }
+            },
+        }
+        match map.get("no_propagate") {
+            None | Some(Json::Null) => {}
+            Some(Json::Bool(b)) => options.propagate = !b,
+            Some(other) => {
+                return bad(format!(
+                    "\"no_propagate\" must be a boolean, got {}",
+                    other.type_name()
+                ));
+            }
+        }
+
+        let program = match parse_program(src) {
+            Ok(p) => p,
+            Err(e) => {
+                let (status, error_obj) = program_parse_error(src, &e);
+                return AnalyzeOutcome::Error { status, error_obj };
+            }
+        };
+        let idb = program.idb_predicates();
+        let mut preds_tag = "*".to_string();
+        let mut wanted = idb.clone();
+        match map.get("predicates") {
+            None | Some(Json::Null) => {}
+            Some(Json::Arr(items)) => {
+                let mut set = std::collections::BTreeSet::new();
+                for item in items {
+                    let Json::Str(spec) = item else {
+                        return bad(format!(
+                            "\"predicates\" entries must be name/arity strings, got {}",
+                            item.type_name()
+                        ));
+                    };
+                    let parsed = spec.rsplit_once('/').and_then(|(name, arity)| {
+                        arity.parse::<usize>().ok().map(|a| PredKey::new(name, a))
+                    });
+                    let Some(key) = parsed else {
+                        return bad(format!("bad predicate spec {spec:?} (want name/arity)"));
+                    };
+                    if !idb.contains(&key) {
+                        let defined: Vec<PredKey> = idb.iter().cloned().collect();
+                        let mut message = format!("predicate {key} is not defined in the program");
+                        if let Some(hit) = argus_diag::passes::best_typo_candidate(&key, &defined) {
+                            message.push_str(&format!(" (did you mean `{hit}`?)"));
+                        }
+                        return AnalyzeOutcome::Error {
+                            status: 422,
+                            error_obj: error_obj(422, &message, &[]),
+                        };
+                    }
+                    set.insert(key);
+                }
+                preds_tag = set.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(",");
+                wanted = set;
+            }
+            Some(other) => {
+                return bad(format!("\"predicates\" must be an array, got {}", other.type_name()));
+            }
+        }
+
+        let cache_key = format!(
+            "argus-infer/v1\u{1}preds={preds_tag}\u{1}maxarity={}\u{1}propagate={}\u{1}\n{src}",
+            options.max_arity, options.propagate as u8,
+        );
+        let started = Instant::now();
+        if let Some(body) = self.conditions.get(&cache_key) {
+            self.metrics.analyze_latency_cached.record(started.elapsed());
+            return AnalyzeOutcome::Report { body: body.to_vec(), cache: "hit" };
+        }
+        let deadline = Instant::now() + Duration::from_millis(self.options.deadline_ms);
+        options.analysis.deadline = Some(deadline);
+        let report = infer_conditions_for(&program, &wanted, &options);
+        if report.partial || Instant::now() >= deadline {
+            // A deadline abort leaves conditions (and probe reports) that
+            // reflect interrupted analyses: discard rather than cache.
+            let message =
+                format!("inference exceeded the {} ms deadline", self.options.deadline_ms);
+            return AnalyzeOutcome::Error {
+                status: 504,
+                error_obj: error_obj(
+                    504,
+                    &message,
+                    &[("deadline_ms", self.options.deadline_ms.to_string())],
+                ),
+            };
+        }
+        // Every probe that reached a default-analyzer verdict is a future
+        // `/v1/analyze` answer the inference already paid for: prime the
+        // report cache under the exact key `prepare` would build.
+        for primed in &report.reports {
+            let key = default_analyze_key(&primed.query, &primed.adornment, src);
+            self.reports.put(&key, Arc::from(format!("{}\n", primed.json).into_bytes()));
+        }
+        self.metrics.infer_predicates.fetch_add(report.conditions.len() as u64, Ordering::Relaxed);
+        self.metrics.infer_analyses.fetch_add(report.analyses as u64, Ordering::Relaxed);
+        self.metrics.infer_primed.fetch_add(report.reports.len() as u64, Ordering::Relaxed);
+        let body = format!("{}\n", report.to_json()).into_bytes();
+        self.metrics.analyze_latency_computed.record(started.elapsed());
+        self.conditions.put(&cache_key, Arc::from(body.clone().into_boxed_slice()));
+        AnalyzeOutcome::Report { body, cache: "miss" }
     }
 
     fn handle_lint(&self, req: &Request) -> Response {
@@ -976,6 +1169,67 @@ mod tests {
         assert_eq!(s.handle(&get("/nope")).status, 404);
         assert_eq!(s.handle(&get("/v1/analyze")).status, 405);
         assert_eq!(s.handle(&post("/healthz", "")).status, 405);
+    }
+
+    #[test]
+    fn infer_returns_conditions_and_caches() {
+        let s = state();
+        let body = format!("{{\"program\":{}}}", json_str(APPEND));
+        let first = s.handle(&post("/v1/infer", &body));
+        assert_eq!(first.status, 200);
+        let text = String::from_utf8(first.body).unwrap();
+        assert!(text.contains("argus-infer/v1"), "{text}");
+        assert!(text.contains("\"disjuncts\":[[1],[3]]"), "{text}");
+        let second = s.handle(&post("/v1/infer", &body));
+        assert_eq!(
+            second
+                .extra_headers
+                .iter()
+                .find(|(n, _)| *n == "x-argus-cache")
+                .map(|(_, v)| v.as_str()),
+            Some("hit")
+        );
+        assert_eq!(s.conditions().hits(), 1);
+        assert_eq!(String::from_utf8(second.body).unwrap(), text);
+    }
+
+    #[test]
+    fn infer_primes_the_analyze_cache() {
+        let s = state();
+        let body = format!("{{\"program\":{}}}", json_str(APPEND));
+        assert_eq!(s.handle(&post("/v1/infer", &body)).status, 200);
+        assert!(s.reports().entries() > 0, "inference probes primed nothing");
+        // A default-options analyze covered by a probe is answered from
+        // the primed cache, byte-identical to a fresh CLI run.
+        let req = post(
+            "/v1/analyze",
+            &format!(
+                "{{\"program\":{},\"query\":\"append/3\",\"adornment\":\"bff\"}}",
+                json_str(APPEND)
+            ),
+        );
+        let resp = s.handle(&req);
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.extra_headers.iter().find(|(n, _)| *n == "x-argus-cache").map(|(_, v)| v.as_str()),
+            Some("hit")
+        );
+        let expected = format!(
+            "{}\n",
+            argus_core::analyze_source(APPEND, "append/3", "bff").unwrap().to_json()
+        );
+        assert_eq!(String::from_utf8(resp.body).unwrap(), expected);
+    }
+
+    #[test]
+    fn infer_rejects_unknown_predicates_and_keys() {
+        let s = state();
+        let body = format!("{{\"program\":{},\"predicates\":[\"appendd/3\"]}}", json_str(APPEND));
+        let resp = s.handle(&post("/v1/infer", &body));
+        assert_eq!(resp.status, 422);
+        assert!(String::from_utf8(resp.body).unwrap().contains("did you mean"), "typo hint");
+        let resp = s.handle(&post("/v1/infer", "{\"program\":\"p.\",\"bogus\":1}"));
+        assert_eq!(resp.status, 400);
     }
 
     #[test]

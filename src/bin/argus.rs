@@ -5,13 +5,16 @@
 //!               [--delta appendix-c] [--no-transform] [--certify]
 //!               [--lexicographic] [--json] [--jobs N] [--stats]
 //!               [--fm-tier 0..3] [--no-fm-cache]
+//! argus infer   <file.pl> [<name/arity> ...] [--json] [--jobs N]
+//!               [--max-arity N] [--no-propagate] [--certify]
+//! argus infer   --corpus [--certify]
 //! argus lint    <file.pl> [--query <name/arity> --mode <adornment>] [--json]
 //! argus compare <file.pl> <name/arity> <adornment>
 //! argus run     <file.pl> '<goal>'  [--steps N]
 //! argus corpus  [<entry-name>]
 //! argus fuzz    [--seed S] [--cases N] [--jobs J] [--json] [--max-steps N]
 //!               [--shrink-budget N] [--no-metamorphic] [--no-theta-search]
-//!               [--negation] [--repro-dir DIR] [--serve ADDR]
+//!               [--negation] [--infer] [--repro-dir DIR] [--serve ADDR]
 //! argus serve   [--addr HOST:PORT] [--jobs N] [--cache-mb N]
 //!               [--deadline-ms N]
 //! ```
@@ -46,13 +49,16 @@ fn usage() -> ExitCode {
          [--norm structural|list-length] [--delta paper|appendix-c] \
          [--no-transform] [--certify] [--lexicographic] [--jobs N] \
          [--stats] [--fm-tier 0..3] [--no-fm-cache]\n  \
+         argus infer <file.pl> [<name/arity> ...] [--json] [--jobs N] \
+         [--max-arity N] [--no-propagate] [--certify]\n  \
+         argus infer --corpus [--certify]\n  \
          argus lint <file.pl> [--query <name/arity> --mode <adornment>] [--json]\n  \
          argus compare <file.pl> <name/arity> <adornment>\n  \
          argus run <file.pl> '<goal>' [--steps N]\n  \
          argus corpus [<entry>]\n  \
          argus fuzz [--seed S] [--cases N] [--jobs J] [--json] [--max-steps N] \
          [--shrink-budget N] [--no-metamorphic] [--no-theta-search] [--negation] \
-         [--repro-dir DIR] [--serve ADDR]\n  \
+         [--infer] [--repro-dir DIR] [--serve ADDR]\n  \
          argus serve [--addr HOST:PORT] [--jobs N] [--cache-mb N] [--deadline-ms N]"
     );
     ExitCode::FAILURE
@@ -72,6 +78,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("infer") => cmd_infer(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
@@ -206,6 +213,205 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     } else {
         ExitCode::from(2)
     }
+}
+
+fn cmd_infer(args: &[String]) -> ExitCode {
+    use argus::core::{check_condition, infer_conditions_for, BackwardsOptions};
+
+    let mut positional: Vec<&str> = Vec::new();
+    let mut options = BackwardsOptions::default();
+    let mut json = false;
+    let mut certify = false;
+    let mut corpus_mode = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--certify" => certify = true,
+            "--corpus" => corpus_mode = true,
+            "--no-propagate" => options.propagate = false,
+            "--jobs" => {
+                i += 1;
+                options.analysis.parallelism = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--jobs wants a thread count (0 = one per core)");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--max-arity" => {
+                i += 1;
+                options.max_arity = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("bad --max-arity value");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+
+    if corpus_mode {
+        return infer_corpus(&options, certify);
+    }
+    let Some((path, specs)) = positional.split_first() else { return usage() };
+
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let idb = program.idb_predicates();
+    let preds: std::collections::BTreeSet<PredKey> = if specs.is_empty() {
+        idb.clone()
+    } else {
+        let mut set = std::collections::BTreeSet::new();
+        for spec in specs {
+            let Some(pred) = parse_spec(spec) else {
+                eprintln!("bad predicate spec {spec:?} (want name/arity)");
+                return ExitCode::FAILURE;
+            };
+            if !idb.contains(&pred) {
+                let defined: Vec<PredKey> = idb.iter().cloned().collect();
+                let mut d = Diagnostic::new(
+                    "L002",
+                    Severity::Error,
+                    None,
+                    format!("predicate {pred} is not defined in {path}"),
+                );
+                if let Some(hit) = argus::diag::passes::best_typo_candidate(&pred, &defined) {
+                    d = d.with_note(format!("did you mean `{hit}`?"));
+                }
+                eprint!("{}", argus::diag::render::render_text(&[d], &src, path));
+                return ExitCode::FAILURE;
+            }
+            set.insert(pred);
+        }
+        set
+    };
+
+    let report = infer_conditions_for(&program, &preds, &options);
+    if json {
+        say!("{}", report.to_json());
+    } else {
+        let mut carets: Vec<Diagnostic> = Vec::new();
+        for cond in &report.conditions {
+            if cond.condition.is_true() {
+                say!("{}: terminates unconditionally", cond.pred);
+            } else if cond.condition.is_false() {
+                say!("{}: no terminating instantiation found", cond.pred);
+                carets.push(unprovable_diagnostic(&program, &cond.pred));
+            } else {
+                let capped =
+                    if cond.capped { " (arity-capped: only all-bound probed)" } else { "" };
+                say!("{}: terminates if {}{capped}", cond.pred, cond.condition);
+            }
+        }
+        say!(
+            "inference: {} predicate(s), {} forward analyses, {} pruned{}",
+            report.conditions.len(),
+            report.analyses,
+            report.pruned,
+            if report.partial { " (PARTIAL: deadline hit)" } else { "" }
+        );
+        if !carets.is_empty() {
+            print!("{}", argus::diag::render::render_text(&carets, &src, path));
+        }
+    }
+    if certify {
+        let mut disjuncts = 0;
+        for cond in &report.conditions {
+            match check_condition(&program, cond, &options.analysis) {
+                Ok(n) => disjuncts += n,
+                Err(e) => {
+                    eprintln!("certificate: REJECTED — {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        say!("certificates: VERIFIED ({disjuncts} disjunct(s) re-checked)");
+    }
+    if report.conditions.iter().all(|c| !c.condition.is_false()) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+/// A caret diagnostic for a predicate with no provable instantiation,
+/// anchored at its first recursive rule (mirrors the L009/L010 spans).
+fn unprovable_diagnostic(program: &Program, pred: &PredKey) -> Diagnostic {
+    let span = program
+        .rules
+        .iter()
+        .filter(|r| r.head.key() == *pred)
+        .filter(|r| r.body.iter().any(|l| l.atom.key() == *pred))
+        .find_map(|r| r.head.span.get().or_else(|| r.span.get()));
+    Diagnostic::new(
+        "L011",
+        Severity::Warning,
+        span,
+        format!("no adornment of {pred} yields a termination proof"),
+    )
+    .with_note(
+        "even the all-bound instantiation was refuted, so no further \
+         binding can help (provability is monotone in boundness)",
+    )
+}
+
+/// `argus infer --corpus [--certify]`: whole-program inference over every
+/// corpus entry — the CI smoke lane.
+fn infer_corpus(options: &argus::core::BackwardsOptions, certify: bool) -> ExitCode {
+    use argus::core::{check_condition, infer_conditions};
+    let mut analyses = 0;
+    let mut preds = 0;
+    let mut disjuncts = 0;
+    for entry in argus::corpus::corpus() {
+        let program = match entry.program() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}: corpus source fails to parse: {e}", entry.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = infer_conditions(&program, options);
+        for cond in &report.conditions {
+            say!("{:24} {:16} {}", entry.name, cond.pred.to_string(), cond.condition);
+            if certify {
+                match check_condition(&program, cond, &options.analysis) {
+                    Ok(n) => disjuncts += n,
+                    Err(e) => {
+                        eprintln!("{}: certificate REJECTED — {e}", entry.name);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        analyses += report.analyses;
+        preds += report.conditions.len();
+    }
+    say!("corpus inference: {preds} predicate(s), {analyses} forward analyses");
+    if certify {
+        say!("certificates: VERIFIED ({disjuncts} disjunct(s) re-checked)");
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_lint(args: &[String]) -> ExitCode {
@@ -414,6 +620,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             "--no-metamorphic" => options.metamorphic = false,
             "--no-theta-search" => options.theta_search = false,
             "--negation" => options.gen.negation = true,
+            "--infer" => options.infer = true,
             "--seed" => {
                 let Some(v) = want_value(args, i, "--seed") else { return ExitCode::FAILURE };
                 let Ok(n) = v.parse() else {

@@ -61,8 +61,9 @@ pub use argus_transform as transform;
 /// The things almost every user needs.
 pub mod prelude {
     pub use argus_core::{
-        analyze, analyze_source, AnalysisOptions, DeltaMode, FmTier, SccOutcome, TerminationReport,
-        Verdict,
+        analyze, analyze_source, infer_conditions, infer_conditions_for, AnalysisOptions,
+        BackwardsOptions, DeltaMode, FmTier, InferenceReport, SccOutcome, TerminationCondition,
+        TerminationReport, Verdict,
     };
     pub use argus_diag::{lint_program, lint_source, Diagnostic, LintOptions, Severity};
     pub use argus_logic::{parser::parse_program, Adornment, PredKey, Program};

@@ -1,0 +1,170 @@
+//! Integration suite for backwards termination-condition inference.
+//!
+//! Three layers of pinning, strongest last:
+//!
+//! 1. golden files fix the exact `argus infer --json` bytes on selected
+//!    corpus entries, so schema drift shows up as a reviewed diff;
+//! 2. the hand-checked condition table in `argus_corpus` fixes the
+//!    *semantic* result for predicates whose conditions were verified
+//!    against the program meaning by hand;
+//! 3. the soundness gate independently confirms EVERY disjunct of EVERY
+//!    inferred condition across the whole corpus: the forward analyzer
+//!    proves it, the certificate checker accepts the proof, and the SLD
+//!    interpreter completes bounded queries of that adornment.
+//!
+//! To bless an intentional JSON change: `UPDATE_GOLDEN=1 cargo test -q
+//! --test infer`.
+
+use argus::prelude::*;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+fn golden_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(rel)
+}
+
+fn check_golden(rel: &str, actual: &str) {
+    let path = golden_path(rel);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create", path.display())
+    });
+    assert_eq!(
+        expected,
+        actual,
+        "{} drifted; if intentional, re-bless with UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+/// Whole-corpus inference, computed once (deduped by shared source text,
+/// default options) and reused by every test in this file.
+fn inferred() -> &'static BTreeMap<&'static str, InferenceReport> {
+    static CACHE: OnceLock<BTreeMap<&'static str, InferenceReport>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let mut by_source: BTreeMap<&'static str, InferenceReport> = BTreeMap::new();
+        let mut out = BTreeMap::new();
+        for entry in argus::corpus::corpus() {
+            let report = by_source
+                .entry(entry.source)
+                .or_insert_with(|| {
+                    let program = entry.program().unwrap();
+                    infer_conditions(&program, &BackwardsOptions::default())
+                })
+                .clone();
+            out.insert(entry.name, report);
+        }
+        out
+    })
+}
+
+/// Golden pins of the machine-readable inference JSON: one list program
+/// with a disjunctive condition, one accumulator program, one program with
+/// hand-written helpers, and the mutual-recursion FM stress entry.
+#[test]
+fn inference_json_golden() {
+    for name in ["append_bff", "perm", "reverse_acc", "mutual_fib_ring"] {
+        let report = &inferred()[name];
+        assert!(!report.partial, "{name}: inference hit a deadline without one configured");
+        check_golden(&format!("infer/{name}.json"), &report.to_json());
+    }
+}
+
+/// The hand-checked condition table must be reproduced exactly, including
+/// the `append/3` headline: `arg1 bound or arg3 bound`.
+#[test]
+fn expected_conditions_match() {
+    for (entry, spec, expected) in argus::corpus::expected_conditions() {
+        let report = inferred().get(entry).unwrap_or_else(|| panic!("no entry {entry}"));
+        let cond = report
+            .conditions
+            .iter()
+            .find(|c| c.pred.to_string() == spec)
+            .unwrap_or_else(|| panic!("{entry}: no condition inferred for {spec}"));
+        assert_eq!(cond.condition.to_string(), expected, "{entry}: condition for {spec} drifted");
+        assert!(!cond.capped, "{entry}: {spec} unexpectedly arity-capped");
+    }
+}
+
+/// Zero-arity predicates get the constant conditions, rendered without
+/// dangling separators.
+#[test]
+fn zero_arity_conditions_are_constants() {
+    let program =
+        argus::logic::parser::parse_program("main :- sub.\nsub.\nloop :- loop.\n").unwrap();
+    let report = infer_conditions(&program, &BackwardsOptions::default());
+    let get = |name: &str| {
+        report
+            .conditions
+            .iter()
+            .find(|c| c.pred == PredKey::new(name, 0))
+            .unwrap_or_else(|| panic!("no condition for {name}/0"))
+    };
+    assert_eq!(get("main").condition.to_string(), "true");
+    assert_eq!(get("sub").condition.to_string(), "true");
+    assert_eq!(get("loop").condition.to_string(), "false");
+}
+
+/// The soundness gate: every disjunct of every inferred condition for
+/// every corpus program is independently confirmed — forward analyzer,
+/// certificate checker, and SLD interpreter all agree it terminates.
+#[test]
+fn corpus_conditions_are_sound() {
+    let options = AnalysisOptions { parallelism: 1, ..AnalysisOptions::default() };
+    let mut checked_sources: BTreeMap<&str, ()> = BTreeMap::new();
+    let mut disjuncts = 0usize;
+    for entry in argus::corpus::corpus() {
+        if checked_sources.insert(entry.source, ()).is_some() {
+            continue; // entries sharing a program share its conditions
+        }
+        let program = entry.program().unwrap();
+        let report = &inferred()[entry.name];
+        for cond in &report.conditions {
+            for adn in cond.disjunct_adornments() {
+                disjuncts += 1;
+                let fwd = analyze(&program, &cond.pred, adn.clone(), &options);
+                assert_eq!(
+                    fwd.verdict,
+                    Verdict::Terminates,
+                    "{}: inferred disjunct `{adn}` of {} is not forward-provable",
+                    entry.name,
+                    cond.pred
+                );
+                argus::core::verify_report(&fwd, options.norm).unwrap_or_else(|e| {
+                    panic!(
+                        "{}: certificate for disjunct `{adn}` of {} rejected: {e}",
+                        entry.name, cond.pred
+                    )
+                });
+                argus::fuzz::oracle::check_differential_adorned(
+                    &program, &cond.pred, &adn, 300_000,
+                )
+                .unwrap_or_else(|e| {
+                    panic!("{}: disjunct `{adn}` of {}: {e}", entry.name, cond.pred)
+                });
+            }
+        }
+    }
+    assert!(disjuncts >= 50, "gate covered only {disjuncts} disjuncts — corpus shrank?");
+}
+
+/// The library-level certificate re-check (`argus infer --certify`)
+/// accepts every inferred condition.
+#[test]
+fn certificates_recheck_across_corpus() {
+    let options = AnalysisOptions { parallelism: 1, ..AnalysisOptions::default() };
+    for entry in argus::corpus::corpus() {
+        let program = entry.program().unwrap();
+        let report = &inferred()[entry.name];
+        for cond in &report.conditions {
+            argus::core::check_condition(&program, cond, &options).unwrap_or_else(|e| {
+                panic!("{}: condition for {} failed re-check: {e}", entry.name, cond.pred)
+            });
+        }
+    }
+}

@@ -240,6 +240,141 @@ fn shared_projection_cache_hammer() {
     });
 }
 
+/// Backwards condition inference schedules whole-SCC analysis jobs across
+/// workers; like the forward pipeline, the worker count must be invisible
+/// in the inference JSON, byte for byte.
+///
+/// `mutual_fib_ring` is excluded for runtime (its full adornment lattice
+/// is minutes of work in debug builds); `tests/infer.rs` covers it
+/// sequentially and the cheap entries exercise the same fan-out points.
+#[test]
+fn inference_json_identical_across_worker_counts() {
+    for entry in argus::corpus::corpus() {
+        if entry.name == "mutual_fib_ring" {
+            continue;
+        }
+        let program = entry.program().unwrap();
+        let seq = infer_conditions(
+            &program,
+            &BackwardsOptions {
+                analysis: AnalysisOptions { parallelism: 1, ..Default::default() },
+                ..Default::default()
+            },
+        )
+        .to_json();
+        for jobs in [2, 4] {
+            let par = infer_conditions(
+                &program,
+                &BackwardsOptions {
+                    analysis: AnalysisOptions { parallelism: jobs, ..Default::default() },
+                    ..Default::default()
+                },
+            )
+            .to_json();
+            assert_eq!(seq, par, "{}: inference JSON differs at --jobs {jobs}", entry.name);
+        }
+    }
+}
+
+/// The serve condition table must be consistent under concurrency: eight
+/// threads hammering `/v1/infer` and `/v1/analyze` on one shared
+/// `ServerState` must every time receive bodies byte-identical to an
+/// isolated single-request server, whether served fresh or from cache.
+#[test]
+fn serve_condition_table_consistent_under_hammer() {
+    use argus::serve::{jsonval::json_str, Request, ServeOptions, ServerState};
+
+    fn post(path: &str, body: String) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            keep_alive: true,
+        }
+    }
+    fn infer_body(src: &str) -> String {
+        format!("{{\"program\":{}}}", json_str(src))
+    }
+    fn analyze_body(entry: &argus::corpus::CorpusEntry) -> String {
+        format!(
+            "{{\"program\":{},\"query\":{},\"adornment\":{}}}",
+            json_str(entry.source),
+            json_str(entry.query),
+            json_str(entry.adornment),
+        )
+    }
+
+    let entries: Vec<_> = argus::corpus::corpus()
+        .into_iter()
+        .filter(|e| e.name != "mutual_fib_ring") // heavy; same routes either way
+        .collect();
+
+    // Generous deadline: debug builds under 8-way contention must never
+    // trip the 504 path, which would turn a slow machine into a failure.
+    let options = || ServeOptions { deadline_ms: 300_000, ..ServeOptions::default() };
+
+    // Baselines from a fresh state per request pair: no cross-request
+    // cache effects can leak into the expected bytes.
+    let baselines: Vec<(Vec<u8>, Vec<u8>)> = entries
+        .iter()
+        .map(|entry| {
+            let isolated = ServerState::new(options());
+            let inf = isolated.handle(&post("/v1/infer", infer_body(entry.source)));
+            assert_eq!(inf.status, 200, "{}: isolated infer failed", entry.name);
+            let ana = isolated.handle(&post("/v1/analyze", analyze_body(entry)));
+            assert_eq!(ana.status, 200, "{}: isolated analyze failed", entry.name);
+            (inf.body, ana.body)
+        })
+        .collect();
+
+    let shared = ServerState::new(options());
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let entries = &entries;
+            let baselines = &baselines;
+            let shared = &shared;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    for i in 0..entries.len() {
+                        let idx = (i + worker + round) % entries.len();
+                        let entry = &entries[idx];
+                        // Half the workers lead with infer (priming the
+                        // analyze cache), half with analyze: both orders
+                        // must converge on the same bytes.
+                        let reqs = if worker % 2 == 0 {
+                            [("/v1/infer", 0), ("/v1/analyze", 1)]
+                        } else {
+                            [("/v1/analyze", 1), ("/v1/infer", 0)]
+                        };
+                        for (path, which) in reqs {
+                            let body = if which == 0 {
+                                infer_body(entry.source)
+                            } else {
+                                analyze_body(entry)
+                            };
+                            let resp = shared.handle(&post(path, body));
+                            assert_eq!(
+                                resp.status, 200,
+                                "{}: {path} failed under hammer (worker {worker}, round {round})",
+                                entry.name
+                            );
+                            let expected =
+                                if which == 0 { &baselines[idx].0 } else { &baselines[idx].1 };
+                            assert_eq!(
+                                &resp.body, expected,
+                                "{}: {path} bytes diverge under hammer (worker {worker}, round {round})",
+                                entry.name
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert!(shared.conditions().hits() > 0, "hammer never hit the shared condition cache");
+}
+
 /// The example program shipped in `examples/` analyzes identically at any
 /// worker count, under both text and JSON rendering.
 #[test]
