@@ -100,4 +100,18 @@ echo "==> bench regression gate (FM row-reduction floors)"
 cargo run --release -q -p argus-bench "${CARGO_FLAGS[@]}" \
     --bin fm_gate -- /tmp/argus-fm-smoke.json
 
+echo "==> scaling smoke (50k-clause substrate gate)"
+# Million-clause substrate lane: generate and analyze a 50k-clause program
+# end to end (full scale suite restricted to the 50k size; the smoke tier
+# only exercises 2k and proves nothing about scale). scale_gate then pins
+# floors on the deterministic workload counters — so the generator can't
+# silently shrink — and a wall-clock ceiling (480 s, ~4× the reference
+# 111 s) that fails if the interning/arena/small-row wins regress to
+# pre-substrate speed (514 s on the same runner).
+ARGUS_SCALE_ONLY=50k cargo run --release -q -p argus-bench "${CARGO_FLAGS[@]}" \
+    --bin bench_report -- --suite scale \
+    --out /tmp/argus-scale-smoke.json
+cargo run --release -q -p argus-bench "${CARGO_FLAGS[@]}" \
+    --bin scale_gate -- /tmp/argus-scale-smoke.json
+
 echo "==> OK"

@@ -164,9 +164,9 @@ impl TerminationMethod for NaishSubset {
 /// `(constant, Option<variable>)`: `rs(v) = v`, `rs(c) = 0`,
 /// `rs(f(t1…tn)) = 1 + rs(tn)`. This is the measure of \[UVG88\] ("length
 /// of right spine … corresponds to length for lists").
-fn right_spine(t: &Term) -> (i64, Option<std::sync::Arc<str>>) {
+fn right_spine(t: &Term) -> (i64, Option<argus_logic::Sym>) {
     match t {
-        Term::Var(v) => (0, Some(v.clone())),
+        Term::Var(v) => (0, Some(*v)),
         Term::App(_, args) => match args.last() {
             None => (0, None),
             Some(last) => {

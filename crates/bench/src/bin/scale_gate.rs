@@ -1,0 +1,95 @@
+//! `scale_gate` — regression gate for the million-clause substrate.
+//!
+//! Reads a bench report containing the `scale` suite and fails if the
+//! 50k-clause lane regresses. Two kinds of checks:
+//!
+//! * **Counter floors** — the generated program's shape (rules,
+//!   predicates, SCCs) and the analysis work counters (SCCs analyzed, FM
+//!   rows) are deterministic; if any collapses, the workload silently
+//!   shrank and the timing ceiling below means nothing.
+//! * **Wall-clock ceiling** — unlike `fm_gate`, this gate exists for a
+//!   perf substrate (interning, arena terms, small-int rows), so one
+//!   generous end-to-end ceiling *is* gated: the 50k-clause analyze must
+//!   finish inside [`ANALYZE_50K_CEILING_S`], ~4× the post-substrate
+//!   measurement yet below the pre-substrate time — loaded CI machines
+//!   stay green, losing the substrate wins does not.
+//!
+//! Usage: `scale_gate [PATH]` (default `BENCH_argus.json`).
+
+use argus_bench::json::{scan_num_field, scan_str_field};
+use std::collections::BTreeMap;
+
+/// Ceiling for `scale/analyze/50k`, in seconds. Measured 111 s with the
+/// substrate (514 s before it) on the reference runner.
+const ANALYZE_50K_CEILING_S: f64 = 480.0;
+
+/// Deterministic floors on the 50k lane: `(sample id, counter, floor)`.
+const FLOORS: &[(&str, &str, f64)] = &[
+    ("scale/analyze/50k", "rules", 50_000.0),
+    ("scale/analyze/50k", "predicates", 14_000.0),
+    ("scale/analyze/50k", "sccs", 9_000.0),
+    ("scale/analyze/50k", "analyzed_sccs", 9_000.0),
+    ("scale/analyze/50k", "fm_rows_in", 100_000.0),
+    ("scale/analyze/50k", "fm_pairs_combined", 50_000.0),
+];
+
+fn counter(samples: &BTreeMap<String, String>, id: &str, key: &str) -> Result<f64, String> {
+    let line = samples.get(id).ok_or_else(|| format!("sample `{id}` missing from report"))?;
+    scan_num_field(line, key).ok_or_else(|| format!("sample `{id}` has no field `{key}`"))
+}
+
+fn run(path: &str) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut samples = BTreeMap::new();
+    for line in text.lines() {
+        if let Some(id) = scan_str_field(line, "id") {
+            samples.insert(id, line.to_string());
+        }
+    }
+    if samples.is_empty() {
+        return Err(format!("no samples found in {path}"));
+    }
+
+    let mut failures = Vec::new();
+    for (id, key, floor) in FLOORS {
+        let v = counter(&samples, id, key)?;
+        let ok = v >= *floor;
+        eprintln!(
+            "scale_gate: {} {id} {key} = {v:.0} (floor {floor})",
+            if ok { "ok  " } else { "FAIL" }
+        );
+        if !ok {
+            failures.push(format!("{id} {key} = {v:.0} < {floor}"));
+        }
+    }
+
+    let wall_s = counter(&samples, "scale/analyze/50k", "ns_per_iter")? / 1e9;
+    let ok = wall_s <= ANALYZE_50K_CEILING_S;
+    eprintln!(
+        "scale_gate: {} scale/analyze/50k wall = {wall_s:.1}s (ceiling {ANALYZE_50K_CEILING_S}s)",
+        if ok { "ok  " } else { "FAIL" }
+    );
+    if !ok {
+        failures.push(format!("scale/analyze/50k wall = {wall_s:.1}s > {ANALYZE_50K_CEILING_S}s"));
+    }
+    Ok(failures)
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_argus.json".to_string());
+    match run(&path) {
+        Ok(failures) if failures.is_empty() => {
+            eprintln!("scale_gate: substrate floors and ceiling hold ({path})");
+        }
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("scale_gate: FAIL {f}");
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("scale_gate: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -550,6 +550,102 @@ pub fn infer_suite(scale: Scale) -> Vec<Sample> {
     out
 }
 
+/// E14 — the million-clause substrate: generated chains of thousands of
+/// SCCs at 10k–100k clauses, timed per stage (parse, adorn, size-relation
+/// FM, end-to-end analyze). These are the cases the interner + arena +
+/// sparse-row layout exists for; each sample carries deterministic
+/// workload counters (rules, predicates, SCCs, FM rows) so `fm_gate`-style
+/// floors can pin the substrate, not just wall time.
+///
+/// The end-to-end sample is timed as a single run (no warmup) with its
+/// counters read off the same run: at these sizes a second analysis per
+/// case would dominate the whole report, and the deltas the suite tracks
+/// are ≥3×. `ARGUS_SCALE_ONLY=50k,100k` restricts the size list — used to
+/// split the long pre-refactor baseline capture across processes.
+pub fn scale_suite(scale: Scale) -> Vec<Sample> {
+    let sizes: &[(&str, usize)] = match scale {
+        Scale::Smoke => &[("2k", 2_000)],
+        Scale::Full => &[("10k", 10_000), ("50k", 50_000), ("100k", 100_000)],
+    };
+    let only: Option<Vec<String>> = std::env::var("ARGUS_SCALE_ONLY")
+        .ok()
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+    let mut out = Vec::new();
+    for &(label, clauses) in sizes {
+        if let Some(only) = &only {
+            if !only.iter().any(|o| o == label) {
+                continue;
+            }
+        }
+        let case = argus_fuzz::gen::scale_case(0xA11CE, clauses);
+        let src = case.program.to_string();
+        let program = argus_logic::parser::parse_program(&src).expect("scale case reparses");
+        let graph = argus_logic::DepGraph::build(&program);
+        let shape = vec![
+            ("rules", program.rules.len() as u64),
+            ("predicates", graph.predicates().len() as u64),
+            ("sccs", graph.scc_count() as u64),
+        ];
+        // Large cases are single-iteration: each run is seconds-to-minutes
+        // pre-refactor, and the deltas this suite tracks are ≥3×.
+        let iters = if clauses >= 50_000 { 1 } else { scale.iters().min(2) };
+
+        out.push(
+            bench_case("scale", &format!("parse/{label}"), 0, iters, || {
+                black_box(argus_logic::parser::parse_program(black_box(&src)).expect("parse"))
+            })
+            .with_counters(shape.clone()),
+        );
+        out.push(
+            bench_case("scale", &format!("adorn/{label}"), 0, iters, || {
+                black_box(argus_logic::adorn::adorn_program(
+                    black_box(&program),
+                    &case.query,
+                    case.adornment.clone(),
+                ))
+            })
+            .with_counters(shape.clone()),
+        );
+        // The FM-dominated size-relation stage in isolation, at the small
+        // size only: it re-runs the per-SCC fixpoint the end-to-end sample
+        // already contains, so one size is enough to pin the stage.
+        if clauses <= 10_000 {
+            out.push(
+                bench_case("scale", &format!("sizerel-fm/{label}"), 0, 1, || {
+                    black_box(argus_sizerel::infer_size_relations(
+                        black_box(&program),
+                        &argus_sizerel::InferOptions::default(),
+                    ))
+                })
+                .with_counters(shape.clone()),
+            );
+        }
+        let options = AnalysisOptions::default();
+        let start = std::time::Instant::now();
+        let report = black_box(analyze(&program, &case.query, case.adornment.clone(), &options));
+        let analyze_ns = start.elapsed().as_nanos() as f64;
+        let mut fm_stats = fm::FmStats::default();
+        for scc in &report.sccs {
+            fm_stats.merge(&scc.stats.fm);
+        }
+        let mut counters = shape.clone();
+        counters.push(("analyzed_sccs", report.sccs.len() as u64));
+        counters.push(("fm_rows_in", fm_stats.rows_in));
+        counters.push(("fm_pairs_combined", fm_stats.pairs_combined));
+        out.push(
+            Sample {
+                suite: "scale".to_string(),
+                name: format!("analyze/{label}"),
+                iters: 1,
+                ns_per_iter: analyze_ns,
+                counters: Vec::new(),
+            }
+            .with_counters(counters),
+        );
+    }
+    out
+}
+
 /// A suite entry point: workloads at a given scale, as samples.
 pub type SuiteFn = fn(Scale) -> Vec<Sample>;
 
@@ -565,6 +661,7 @@ pub fn all_suites() -> Vec<(&'static str, SuiteFn)> {
         ("parallel", parallel_suite),
         ("serve", serve_suite),
         ("infer", infer_suite),
+        ("scale", scale_suite),
     ]
 }
 

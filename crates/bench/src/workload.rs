@@ -18,7 +18,7 @@ pub fn random_int_list(r: &mut Rng64, len: usize) -> Term {
 /// A random proper list of lowercase atoms.
 pub fn random_atom_list(r: &mut Rng64, len: usize) -> Term {
     const ATOMS: &[&str] = &["a", "b", "c", "d", "e", "f", "g", "h"];
-    Term::list((0..len).map(|_| Term::atom(r.pick(ATOMS))))
+    Term::list((0..len).map(|_| Term::atom(*r.pick(ATOMS))))
 }
 
 /// A unary natural `s^n(z)`.

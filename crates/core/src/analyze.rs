@@ -369,7 +369,7 @@ impl TerminationReport {
             let _ = writeln!(
                 out,
                 "  SCC {{{}}}: {:.3}ms, {} projection(s), fm rows {} -> {} (peak {}), \
-                 pairs {}, dedup {}, subsume {}, chernikov {}, lp {}",
+                 pairs {}, dedup {}, subsume {}, chernikov {}, lp {}, combs {}i64/{}big",
                 names.join(", "),
                 scc.stats.wall_nanos as f64 / 1e6,
                 scc.stats.projections,
@@ -381,6 +381,8 @@ impl TerminationReport {
                 fm.subsume_hits,
                 fm.chernikov_drops,
                 fm.lp_drops,
+                fm.small_combs,
+                fm.big_combs,
             );
         }
         let rs = &self.run_stats;
@@ -396,6 +398,16 @@ impl TerminationReport {
         } else {
             let _ = writeln!(out, "  projection cache: disabled or unused");
         }
+        // Process-global substrate gauges (intentionally text-only: they
+        // accumulate across every program this process has touched, so
+        // they would break byte-stability of the JSON report).
+        let _ = writeln!(
+            out,
+            "  substrate: {} symbol(s) interned ({} bytes), {} arena byte(s) live",
+            argus_logic::intern::symbols_interned(),
+            argus_logic::intern::interned_bytes(),
+            argus_logic::arena::arena_bytes(),
+        );
         out
     }
 }
@@ -550,6 +562,7 @@ fn analyze_prepared(
     // report (and everything derived from it) is byte-identical at any
     // parallelism.
     let graph = DepGraph::build(&program);
+    let proc_index = argus_logic::program::ProcIndex::build(&program);
     // One projection cache per run, shared by every SCC and every worker —
     // unless the caller supplied a longer-lived one.
     let own_cache = match shared_cache {
@@ -567,7 +580,7 @@ fn analyze_prepared(
             .filter(|&id| {
                 let members = graph.scc(id);
                 let reachable = members.iter().any(|p| modes.get(p).is_some());
-                let has_rules = members.iter().any(|p| !program.procedure(p).is_empty());
+                let has_rules = members.iter().any(|p| !proc_index.rule_indices(p).is_empty());
                 reachable && has_rules
             })
             .collect();

@@ -173,7 +173,8 @@ impl TerminationReport {
                 format!(
                     ",\"stats\":{{\"projections\":{},\"eliminations\":{},\"gauss_steps\":{},\
                      \"rows_in\":{},\"rows_out\":{},\"pairs_combined\":{},\"dedup_hits\":{},\
-                     \"subsume_hits\":{},\"chernikov_drops\":{},\"lp_drops\":{},\"peak_rows\":{}}}",
+                     \"subsume_hits\":{},\"chernikov_drops\":{},\"lp_drops\":{},\"peak_rows\":{},\
+                     \"small_combs\":{},\"big_combs\":{}}}",
                     scc.stats.projections,
                     fm.eliminations,
                     fm.gauss_steps,
@@ -185,6 +186,8 @@ impl TerminationReport {
                     fm.chernikov_drops,
                     fm.lp_drops,
                     fm.peak_rows,
+                    fm.small_combs,
+                    fm.big_combs,
                 )
             } else {
                 String::new()
@@ -246,6 +249,24 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("zero_weight_cycle"), "{json}");
         assert!(json.contains("\"cycle\""), "{json}");
+    }
+
+    #[test]
+    fn stats_report_carries_comb_counters() {
+        let report = analyze_source(
+            "append([], Ys, Ys).\nappend([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).",
+            "append/3",
+            "bff",
+        )
+        .unwrap();
+        let json = report.to_json_with(true);
+        assert!(json.contains("\"small_combs\":"), "{json}");
+        assert!(json.contains("\"big_combs\":"), "{json}");
+        assert!(json.contains("\"run_stats\""), "{json}");
+        // Plain reports must not grow the stats members.
+        let plain = report.to_json();
+        assert!(!plain.contains("small_combs"), "{plain}");
+        assert!(!plain.contains("run_stats"), "{plain}");
     }
 
     #[test]

@@ -21,10 +21,9 @@
 
 use argus_linear::{Constraint, LinExpr, Rat, Rel, Var};
 use argus_logic::modes::{Adornment, ModeMap, TEST_BUILTINS};
-use argus_logic::{Norm, PredKey, Rule};
+use argus_logic::{Norm, PredKey, Rule, Sym};
 use argus_sizerel::SizeRelations;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 /// The Eq. (1) data for one rule × recursive-subgoal combination.
 #[derive(Debug, Clone)]
@@ -62,7 +61,7 @@ impl RuleSubgoalSystem {
 /// Helper that assigns α indices to logical variables and slacks.
 struct AlphaSpace {
     next: Var,
-    vars: BTreeMap<Arc<str>, Var>,
+    vars: BTreeMap<Sym, Var>,
     names: Vec<String>,
     norm: Norm,
 }
@@ -72,8 +71,8 @@ impl AlphaSpace {
         AlphaSpace { next: 0, vars: BTreeMap::new(), names: Vec::new(), norm }
     }
 
-    fn logical(&mut self, name: &Arc<str>) -> Var {
-        *self.vars.entry(name.clone()).or_insert_with(|| {
+    fn logical(&mut self, name: Sym) -> Var {
+        *self.vars.entry(name).or_insert_with(|| {
             let v = self.next;
             self.next += 1;
             self.names.push(name.to_string());
@@ -93,7 +92,7 @@ impl AlphaSpace {
         let sp = self.norm.polynomial(t);
         let mut e = LinExpr::constant(Rat::from_int(sp.constant as i64));
         for (name, coeff) in &sp.coeffs {
-            let v = self.logical(name);
+            let v = self.logical(*name);
             e.add_term(v, Rat::from_int(*coeff as i64));
         }
         e

@@ -23,22 +23,21 @@
 
 use crate::{Diagnostic, LintContext, LintPass, Severity};
 use argus_logic::modes::{infer_modes, is_builtin, Adornment, Mode, ModeMap, TEST_BUILTINS};
-use argus_logic::{Literal, PredKey, Rule};
-use std::collections::BTreeSet;
-use std::sync::Arc;
+use argus_logic::{Literal, PredKey, Rule, Sym};
+use std::collections::{BTreeSet, HashSet};
 
 /// The ground-variable set at one program point.
-type GroundSet = BTreeSet<Arc<str>>;
+type GroundSet = HashSet<Sym>;
 
 /// What the abstract execution of one literal observed.
 enum Step {
     /// Fine; the literal grounded these variables.
     Ok,
     /// The literal needs these variables ground and they are not.
-    Unbound(Vec<Arc<str>>),
+    Unbound(Vec<Sym>),
 }
 
-fn unbound_vars(vars: impl IntoIterator<Item = Arc<str>>, ground: &GroundSet) -> Vec<Arc<str>> {
+fn unbound_vars(vars: impl IntoIterator<Item = Sym>, ground: &GroundSet) -> Vec<Sym> {
     vars.into_iter().filter(|v| !ground.contains(v)).collect()
 }
 
@@ -100,7 +99,7 @@ fn query_modes(ctx: &LintContext<'_>) -> Option<ModeMap> {
     Some(infer_modes(ctx.program, root, adornment.clone()))
 }
 
-fn fmt_vars(vars: &[Arc<str>]) -> String {
+fn fmt_vars(vars: &[Sym]) -> String {
     let parts: Vec<String> = vars.iter().map(|v| format!("`{v}`")).collect();
     parts.join(", ")
 }

@@ -7,9 +7,8 @@ use crate::{Diagnostic, LintContext, LintPass, Severity};
 use argus_logic::modes::is_builtin;
 use argus_logic::parser::variable_spans;
 use argus_logic::span::Span;
-use argus_logic::{PredKey, Rule};
+use argus_logic::{PredKey, Rule, Sym};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
 
 /// L001: a named variable occurring exactly once in its clause. Almost
 /// always a typo (the classic `Xs`/`X` slip); intentional one-shot
@@ -220,14 +219,14 @@ impl LintPass for ArityMismatch {
 
     fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
         // Count occurrences (heads + body goals) of each (name, arity).
-        let mut by_name: BTreeMap<Arc<str>, BTreeMap<usize, usize>> = BTreeMap::new();
-        let mut record = |name: &Arc<str>, arity: usize| {
-            *by_name.entry(name.clone()).or_default().entry(arity).or_insert(0) += 1;
+        let mut by_name: BTreeMap<Sym, BTreeMap<usize, usize>> = BTreeMap::new();
+        let mut record = |name: Sym, arity: usize| {
+            *by_name.entry(name).or_default().entry(arity).or_insert(0) += 1;
         };
         for rule in &ctx.program.rules {
-            record(&rule.head.name, rule.head.args.len());
+            record(rule.head.name, rule.head.args.len());
             for lit in &rule.body {
-                record(&lit.atom.name, lit.atom.args.len());
+                record(lit.atom.name, lit.atom.args.len());
             }
         }
         // Flag occurrences of every arity other than the majority one.
@@ -284,7 +283,7 @@ impl LintPass for RangeRestriction {
 
     fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
         for rule in &ctx.program.rules {
-            let positive_vars: BTreeSet<Arc<str>> =
+            let positive_vars: BTreeSet<Sym> =
                 rule.body.iter().filter(|l| l.positive).flat_map(|l| l.atom.vars()).collect();
             let loose: Vec<String> = rule
                 .head

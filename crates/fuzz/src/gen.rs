@@ -171,6 +171,100 @@ pub fn generate(r: &mut Rng64, opts: &GenOptions) -> GenCase {
     }
 }
 
+/// Deterministic large program for the `scale` bench suite and the CI
+/// scaling lane. Levels are generated with the same clause shapes as
+/// [`generate`], but the level count is driven by a clause target rather
+/// than drawn at random, and every level gets a bridging clause whose body
+/// calls the level below — so the whole program is reachable from the
+/// query and the analyzer walks a chain of thousands of SCCs. Growth and
+/// negation are off: every case is provable end to end, which maximizes
+/// the FM work per SCC (proofs run to completion instead of bailing).
+pub fn scale_case(seed: u64, target_clauses: usize) -> GenCase {
+    let opts = GenOptions { growth: false, negation: false, ..GenOptions::default() };
+    let mut r = Rng64::new(seed);
+    let mut rules: Vec<Rule> = Vec::new();
+    let mut prev: Vec<Slot> = Vec::new(); // slots of the level just below
+    let mut top: Vec<Slot> = Vec::new();
+    let mut has_nonlinear = false;
+    let mut negation_used = false;
+    let mut s = 0usize;
+    while rules.len() < target_clauses.max(1) {
+        let width = r.range_usize(1, opts.max_width);
+        let shape = if r.bool() { Shape::List } else { Shape::Nat };
+        let slots: Vec<Slot> = (0..width)
+            .map(|i| {
+                let outputs = r.range_usize(0, opts.max_outputs);
+                Slot { key: PredKey::new(format!("p{s}_{i}"), 1 + outputs), outputs }
+            })
+            .collect();
+        for (i, slot) in slots.iter().enumerate() {
+            let nonlinear = opts.nonlinear && r.below(4) == 0;
+            let nbase = if nonlinear { 1 } else { r.range_usize(1, 2) };
+            let nrec = if nonlinear { 1 } else { r.range_usize(1, 2) };
+            for _ in 0..nbase {
+                rules.push(base_clause(&mut r, slot, shape));
+            }
+            for _ in 0..nrec {
+                let (rule, _) = rec_clause(
+                    &mut r,
+                    slot,
+                    &slots,
+                    i,
+                    shape,
+                    nonlinear,
+                    &prev,
+                    &opts,
+                    &mut negation_used,
+                );
+                has_nonlinear |= nonlinear;
+                rules.push(rule);
+            }
+        }
+        // Bridging clause: the level's first predicate always steps down
+        // into the level below, so reachability from the query covers the
+        // entire chain regardless of which optional lower calls were drawn.
+        if let Some(callee) = prev.first() {
+            let head = &slots[0];
+            let (input, rec) = match shape {
+                Shape::List => (Term::cons(Term::var("X"), Term::var("Xs")), Term::var("Xs")),
+                Shape::Nat => (Term::app("s", vec![Term::var("N")]), Term::var("N")),
+            };
+            let mut bound: Vec<Term> = match shape {
+                Shape::List => vec![Term::var("X"), Term::var("Xs")],
+                Shape::Nat => vec![Term::var("N")],
+            };
+            let mut call_args = vec![rec];
+            for k in 0..callee.outputs {
+                let v = Term::var(format!("B{}", k + 1));
+                call_args.push(v.clone());
+                bound.push(v);
+            }
+            let mut head_args = vec![input];
+            for _ in 0..head.outputs {
+                head_args.push(output_term(&mut r, shape, &bound));
+            }
+            rules.push(Rule::new(
+                Atom::new(head.key.name.as_ref(), head_args),
+                vec![Literal::pos(Atom::new(callee.key.name.as_ref(), call_args))],
+            ));
+        }
+        prev = slots.clone();
+        top = slots;
+        s += 1;
+    }
+
+    let q = top[0].clone();
+    let mut adornment = String::from("b");
+    adornment.push_str(&"f".repeat(q.outputs));
+    GenCase {
+        program: Program::from_rules(rules),
+        query: q.key,
+        adornment: Adornment::parse(&adornment).expect("generated adornment is valid"),
+        has_growth: false,
+        has_nonlinear,
+    }
+}
+
 /// A base clause: the input matches the measure's bottom (or a singleton),
 /// outputs are ground or copied from head-bound variables.
 fn base_clause(r: &mut Rng64, slot: &Slot, shape: Shape) -> Rule {
@@ -407,6 +501,38 @@ mod tests {
             assert_eq!(case.adornment.arity(), case.query.arity);
             assert_eq!(case.adornment.bound_positions(), vec![0]);
         }
+    }
+
+    #[test]
+    fn scale_case_is_deterministic_and_reachable() {
+        let a = scale_case(5, 500);
+        let b = scale_case(5, 500);
+        assert_eq!(a.program, b.program);
+        assert!(a.program.rules.len() >= 500);
+        assert!(!a.has_growth);
+        // The whole chain is reachable from the query: walk call edges.
+        use std::collections::BTreeSet;
+        let mut reach: BTreeSet<PredKey> = [a.query.clone()].into_iter().collect();
+        loop {
+            let mut grew = false;
+            for r in &a.program.rules {
+                if reach.contains(&r.head.key()) {
+                    for l in &r.body {
+                        grew |= reach.insert(l.atom.key());
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        for p in a.program.idb_predicates() {
+            assert!(reach.contains(&p), "unreachable predicate {p:?}");
+        }
+        // And it reparses.
+        let printed = a.program.to_string();
+        let back = argus_logic::parser::parse_program(&printed).expect("reparse");
+        assert_eq!(back, a.program);
     }
 
     #[test]

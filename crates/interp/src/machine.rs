@@ -20,9 +20,10 @@
 //! and the equivalence property test assert.
 
 use crate::sld::{InterpOptions, Outcome};
-use argus_logic::program::{Literal, Program};
+use argus_logic::program::{Literal, ProcIndex, Program};
 use argus_logic::term::Term;
 use argus_logic::unify::Subst;
+use argus_logic::Sym;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -47,7 +48,7 @@ struct Store {
     /// Shared substitution; variables are bound at most once between undo
     /// points (bind only ever targets unbound root variables).
     subst: Subst,
-    trail: Vec<Arc<str>>,
+    trail: Vec<Sym>,
 }
 
 impl Store {
@@ -62,7 +63,7 @@ impl Store {
     fn undo_to(&mut self, mark: usize) {
         while self.trail.len() > mark {
             let v = self.trail.pop().expect("trail");
-            self.subst.unbind(&v);
+            self.subst.unbind(v);
         }
     }
 
@@ -74,11 +75,11 @@ impl Store {
         match (&ra, &rb) {
             (Term::Var(v), Term::Var(w)) if v == w => true,
             (Term::Var(v), t) | (t, Term::Var(v)) => {
-                if occurs_check && self.occurs(v, t) {
+                if occurs_check && self.occurs(*v, t) {
                     return false;
                 }
-                self.subst.bind(v.clone(), t.clone());
-                self.trail.push(v.clone());
+                self.subst.bind(*v, t.clone());
+                self.trail.push(*v);
                 true
             }
             (Term::App(f, fa), Term::App(g, ga)) => {
@@ -90,9 +91,9 @@ impl Store {
         }
     }
 
-    fn occurs(&self, v: &str, t: &Term) -> bool {
+    fn occurs(&self, v: Sym, t: &Term) -> bool {
         match self.subst.walk(t) {
-            Term::Var(w) => &**w == v,
+            Term::Var(w) => *w == v,
             Term::App(_, args) => {
                 let args = args.clone();
                 args.iter().any(|a| self.occurs(v, a))
@@ -112,6 +113,7 @@ struct Choice {
 
 struct Machine<'p> {
     program: &'p Program,
+    index: ProcIndex,
     options: InterpOptions,
     store: Store,
     choices: Vec<Choice>,
@@ -128,12 +130,12 @@ enum Step {
 /// Run `goals` with the trail-based machine. Produces the same [`Outcome`]
 /// as [`crate::sld::solve`], in the same order.
 pub fn solve_iterative(program: &Program, goals: &[Literal], options: &InterpOptions) -> Outcome {
-    let mut query_vars: Vec<Arc<str>> = Vec::new();
+    let mut query_vars: Vec<Sym> = Vec::new();
     {
         let mut seen = std::collections::BTreeSet::new();
         for g in goals {
             for v in g.atom.vars() {
-                if seen.insert(v.clone()) {
+                if seen.insert(v) {
                     query_vars.push(v);
                 }
             }
@@ -141,6 +143,7 @@ pub fn solve_iterative(program: &Program, goals: &[Literal], options: &InterpOpt
     }
     let mut m = Machine {
         program,
+        index: ProcIndex::build(program),
         options: options.clone(),
         store: Store::new(),
         choices: Vec::new(),
@@ -157,7 +160,7 @@ pub fn solve_iterative(program: &Program, goals: &[Literal], options: &InterpOpt
                 solutions.push(
                     query_vars
                         .iter()
-                        .map(|v| (v.to_string(), m.store.subst.resolve(&Term::Var(v.clone()))))
+                        .map(|v| (v.to_string(), m.store.subst.resolve(&Term::Var(*v))))
                         .collect(),
                 );
                 if solutions.len() >= m.options.max_solutions {
@@ -318,7 +321,7 @@ impl<'p> Machine<'p> {
     /// for the remaining alternatives.
     fn try_clauses(&mut self, goal: &Literal, rest: &Arc<Goals>, from: usize) -> Step {
         let key = goal.atom.key();
-        let clauses: Vec<_> = self.program.procedure(&key);
+        let clauses: Vec<_> = self.index.procedure(self.program, &key);
         for idx in from..clauses.len() {
             if !self.tick() {
                 return Step::Budget;

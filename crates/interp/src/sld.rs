@@ -9,7 +9,7 @@
 //! analyzer proves terminating must complete (all solutions, finite search
 //! tree) within budget on any query of its declared mode.
 
-use argus_logic::program::{Literal, PredKey, Program};
+use argus_logic::program::{Literal, PredKey, ProcIndex, Program};
 use argus_logic::term::Term;
 use argus_logic::unify::{unify, unify_atoms, Subst};
 use std::collections::BTreeMap;
@@ -92,11 +92,12 @@ enum Stop {
 
 struct Machine<'p> {
     program: &'p Program,
+    index: ProcIndex,
     options: InterpOptions,
     steps: u64,
     rename_counter: u64,
     solutions: Vec<Subst>,
-    query_vars: Vec<std::sync::Arc<str>>,
+    query_vars: Vec<argus_logic::Sym>,
 }
 
 /// Run `goals` against `program`.
@@ -106,7 +107,7 @@ pub fn solve(program: &Program, goals: &[Literal], options: &InterpOptions) -> O
         let mut seen = std::collections::BTreeSet::new();
         for g in goals {
             for v in g.atom.vars() {
-                if seen.insert(v.clone()) {
+                if seen.insert(v) {
                     query_vars.push(v);
                 }
             }
@@ -114,6 +115,7 @@ pub fn solve(program: &Program, goals: &[Literal], options: &InterpOptions) -> O
     }
     let mut m = Machine {
         program,
+        index: ProcIndex::build(program),
         options: options.clone(),
         steps: 0,
         rename_counter: 0,
@@ -132,7 +134,7 @@ pub fn solve(program: &Program, goals: &[Literal], options: &InterpOptions) -> O
                 .map(|s| {
                     m.query_vars
                         .iter()
-                        .map(|v| (v.to_string(), s.resolve(&Term::Var(v.clone()))))
+                        .map(|v| (v.to_string(), s.resolve(&Term::Var(*v))))
                         .collect()
                 })
                 .collect();
@@ -299,7 +301,8 @@ impl<'p> Machine<'p> {
         depth: usize,
     ) -> Result<(), Stop> {
         // Snapshot matching clauses (textual order).
-        let clauses: Vec<_> = self.program.procedure(key).into_iter().cloned().collect();
+        let clauses: Vec<_> =
+            self.index.procedure(self.program, key).into_iter().cloned().collect();
         for clause in &clauses {
             self.tick()?;
             self.rename_counter += 1;

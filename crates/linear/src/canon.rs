@@ -127,8 +127,121 @@ impl IntRow {
     /// The canonical form of `p·self + q·other` with the coefficient of
     /// `drop` known to cancel (`p` must be positive so `≤` is preserved;
     /// the relation of `self` carries over).
+    ///
+    /// When every coefficient of both rows (and both multipliers) fits an
+    /// `i64`, the combination runs in a batched machine-integer kernel:
+    /// one merge pass accumulating `p·a + q·b` in `i128` (which two
+    /// `i64`×`i64` products cannot overflow, checked regardless), a word
+    /// gcd, and a direct rebuild — no big-integer dispatch per
+    /// coefficient. Any value outside `i64` falls back to the exact
+    /// big-integer path. Both paths produce the identical canonical row.
     pub fn linear_comb(&self, p: &BigInt, other: &IntRow, q: &BigInt, drop: Var) -> IntRow {
+        self.linear_comb_counted(p, other, q, drop).0
+    }
+
+    /// [`IntRow::linear_comb`], also reporting which kernel ran: `true`
+    /// for the batched `i64` fast path, `false` for the big-integer
+    /// fallback. Lets Fourier–Motzkin count how much of its combination
+    /// load stayed on machine words.
+    pub fn linear_comb_counted(
+        &self,
+        p: &BigInt,
+        other: &IntRow,
+        q: &BigInt,
+        drop: Var,
+    ) -> (IntRow, bool) {
         debug_assert!(p.is_positive(), "scaling a ≤ row by a nonpositive factor");
+        if let Some(row) = self.linear_comb_small(p, other, q, drop) {
+            return (row, true);
+        }
+        (self.linear_comb_big(p, other, q, drop), false)
+    }
+
+    /// Batched machine-integer kernel for [`IntRow::linear_comb`].
+    /// Returns `None` (caller falls back to exact arithmetic) as soon as
+    /// any input or intermediate leaves the `i64`/`i128` range.
+    fn linear_comb_small(
+        &self,
+        p: &BigInt,
+        other: &IntRow,
+        q: &BigInt,
+        drop: Var,
+    ) -> Option<IntRow> {
+        let p = p.to_i64()? as i128;
+        let q = q.to_i64()? as i128;
+        let mut coeffs: Vec<(Var, i64)> =
+            Vec::with_capacity(self.coeffs.len() + other.coeffs.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.coeffs.len() || j < other.coeffs.len() {
+            let va = self.coeffs.get(i).map(|(v, _)| *v);
+            let vb = other.coeffs.get(j).map(|(v, _)| *v);
+            let (v, k) = match (va, vb) {
+                (Some(a), Some(b)) if a == b => {
+                    let ka = p.checked_mul(self.coeffs[i].1.to_i64()? as i128)?;
+                    let kb = q.checked_mul(other.coeffs[j].1.to_i64()? as i128)?;
+                    i += 1;
+                    j += 1;
+                    (a, ka.checked_add(kb)?)
+                }
+                (Some(a), Some(b)) if a < b => {
+                    let k = p.checked_mul(self.coeffs[i].1.to_i64()? as i128)?;
+                    i += 1;
+                    (a, k)
+                }
+                (Some(_), Some(b)) => {
+                    let k = q.checked_mul(other.coeffs[j].1.to_i64()? as i128)?;
+                    j += 1;
+                    (b, k)
+                }
+                (Some(a), None) => {
+                    let k = p.checked_mul(self.coeffs[i].1.to_i64()? as i128)?;
+                    i += 1;
+                    (a, k)
+                }
+                (None, Some(b)) => {
+                    let k = q.checked_mul(other.coeffs[j].1.to_i64()? as i128)?;
+                    j += 1;
+                    (b, k)
+                }
+                (None, None) => unreachable!(),
+            };
+            if v == drop {
+                debug_assert!(k == 0, "dropped variable must cancel");
+                continue;
+            }
+            if k != 0 {
+                coeffs.push((v, i64::try_from(k).ok()?));
+            }
+        }
+        let constant = p
+            .checked_mul(self.constant.to_i64()? as i128)?
+            .checked_add(q.checked_mul(other.constant.to_i64()? as i128)?)?;
+        let mut constant = i64::try_from(constant).ok()?;
+        if coeffs.is_empty() {
+            constant = constant.signum();
+        } else {
+            let mut g = constant.unsigned_abs();
+            for (_, k) in &coeffs {
+                g = gcd_u64(g, k.unsigned_abs());
+            }
+            if g > 1 {
+                let g = g as i64;
+                for (_, k) in coeffs.iter_mut() {
+                    *k /= g;
+                }
+                constant /= g;
+            }
+        }
+        let row = IntRow {
+            coeffs: coeffs.into_iter().map(|(v, k)| (v, BigInt::from(k))).collect(),
+            constant: BigInt::from(constant),
+            rel: self.rel,
+        };
+        Some(row.sign_fixed())
+    }
+
+    /// Exact big-integer path of [`IntRow::linear_comb`].
+    fn linear_comb_big(&self, p: &BigInt, other: &IntRow, q: &BigInt, drop: Var) -> IntRow {
         let mut coeffs = Vec::with_capacity(self.coeffs.len() + other.coeffs.len());
         let (mut i, mut j) = (0, 0);
         while i < self.coeffs.len() || j < other.coeffs.len() {
@@ -174,6 +287,16 @@ impl IntRow {
         let constant = &(p * &self.constant) + &(q * &other.constant);
         IntRow { coeffs, constant, rel: self.rel }.normalized()
     }
+}
+
+/// Binary-free Euclid on machine words for the fast combination kernel.
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
 }
 
 /// `-1`, `0`, or `1` matching the sign of `x`.
@@ -227,6 +350,59 @@ mod tests {
         let out = a.linear_comb(&BigInt::one(), &b, &BigInt::one(), 0);
         assert_eq!(out.coeffs, vec![(1, BigInt::from(1i64))]);
         assert_eq!(out.constant, BigInt::from(-1i64));
+    }
+
+    #[test]
+    fn small_and_big_kernels_agree() {
+        // A grid of small rows and multipliers: the counted kernel must
+        // take the fast path and reproduce the exact big-path row.
+        let rows = [
+            IntRow::of_constraint(&Constraint {
+                expr: LinExpr::from_terms([(0, r(2, 1)), (1, r(4, 1)), (3, r(-7, 1))], r(-6, 1)),
+                rel: Rel::Le,
+            }),
+            IntRow::of_constraint(&Constraint {
+                expr: LinExpr::from_terms([(0, r(-1, 1)), (2, r(5, 1))], r(3, 1)),
+                rel: Rel::Le,
+            }),
+            IntRow::of_constraint(&Constraint {
+                expr: LinExpr::from_terms([(0, r(1, 1)), (1, r(-1, 1)), (2, r(-5, 1))], r(0, 1)),
+                rel: Rel::Le,
+            }),
+        ];
+        for a in &rows {
+            for b in &rows {
+                let ca = a.coeff(0).cloned().unwrap();
+                let cb = b.coeff(0).cloned().unwrap();
+                if ca.sign() == cb.sign() {
+                    continue; // multipliers below only cancel opposite signs
+                }
+                let (p, q) = (cb.abs(), ca.abs());
+                let (got, small) = a.linear_comb_counted(&p, b, &q, 0);
+                assert!(small, "small inputs must stay on the fast path");
+                assert_eq!(got, a.linear_comb_big(&p, b, &q, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn overflowing_combination_promotes_to_bigint() {
+        // 1·a + 1·b cancels x but doubles a y coefficient of 2^62 past
+        // i64: the kernel must fall back and still produce the exact row.
+        let big = 1i64 << 62;
+        let a = IntRow::of_constraint(&Constraint {
+            expr: LinExpr::from_terms([(0, r(1, 1)), (1, r(big, 1))], r(1, 1)),
+            rel: Rel::Le,
+        });
+        let b = IntRow::of_constraint(&Constraint {
+            expr: LinExpr::from_terms([(0, r(-1, 1)), (1, r(big, 1))], r(0, 1)),
+            rel: Rel::Le,
+        });
+        let one = BigInt::one();
+        let (got, small) = a.linear_comb_counted(&one, &b, &one, 0);
+        assert!(!small, "2^63 coefficient cannot stay in i64");
+        assert_eq!(got, a.linear_comb_big(&one, &b, &one, 0));
+        assert_eq!(got.coeff(1), Some(&(&BigInt::from(big) + &BigInt::from(big))));
     }
 
     #[test]

@@ -17,9 +17,17 @@ pub type Var = usize;
 
 /// A sparse linear expression `constant + Σ coeff(v)·v` with exact rational
 /// coefficients.
+///
+/// Terms are a sorted, zero-free `Vec<(Var, Rat)>` — the analysis
+/// manipulates many short rows (a handful of argument-size variables
+/// each), where a flat sorted vector beats a `BTreeMap` on every
+/// operation: lookups are a binary search over one contiguous allocation,
+/// and the add/scale workhorses are linear merges. The representation is
+/// canonical (sorted, no zero coefficients), so derived equality and
+/// hashing remain structural.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct LinExpr {
-    coeffs: BTreeMap<Var, Rat>,
+    terms: Vec<(Var, Rat)>,
     constant: Rat,
 }
 
@@ -31,7 +39,7 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant(c: Rat) -> LinExpr {
-        LinExpr { coeffs: BTreeMap::new(), constant: c }
+        LinExpr { terms: Vec::new(), constant: c }
     }
 
     /// The expression `1·v`.
@@ -41,11 +49,11 @@ impl LinExpr {
 
     /// The expression `coeff·v`.
     pub fn term(v: Var, coeff: Rat) -> LinExpr {
-        let mut coeffs = BTreeMap::new();
+        let mut terms = Vec::new();
         if !coeff.is_zero() {
-            coeffs.insert(v, coeff);
+            terms.push((v, coeff));
         }
-        LinExpr { coeffs, constant: Rat::zero() }
+        LinExpr { terms, constant: Rat::zero() }
     }
 
     /// Build from `(var, coeff)` pairs and a constant, merging duplicates.
@@ -64,32 +72,32 @@ impl LinExpr {
 
     /// Coefficient of `v` (zero if absent).
     pub fn coeff(&self, v: Var) -> Rat {
-        self.coeffs.get(&v).cloned().unwrap_or_else(Rat::zero)
+        self.coeff_ref(v).cloned().unwrap_or_else(Rat::zero)
     }
 
     /// Coefficient of `v` without materializing zero (`None` if absent).
     pub fn coeff_ref(&self, v: Var) -> Option<&Rat> {
-        self.coeffs.get(&v)
+        self.terms.binary_search_by_key(&v, |(w, _)| *w).ok().map(|i| &self.terms[i].1)
     }
 
     /// Iterate over `(var, coeff)` pairs with nonzero coefficients.
     pub fn terms(&self) -> impl Iterator<Item = (Var, &Rat)> + '_ {
-        self.coeffs.iter().map(|(v, c)| (*v, c))
+        self.terms.iter().map(|(v, c)| (*v, c))
     }
 
     /// The set of variables with nonzero coefficients.
     pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
-        self.coeffs.keys().copied()
+        self.terms.iter().map(|(v, _)| *v)
     }
 
     /// True iff there are no variable terms.
     pub fn is_constant(&self) -> bool {
-        self.coeffs.is_empty()
+        self.terms.is_empty()
     }
 
     /// True iff identically zero.
     pub fn is_zero(&self) -> bool {
-        self.coeffs.is_empty() && self.constant.is_zero()
+        self.terms.is_empty() && self.constant.is_zero()
     }
 
     /// Add `coeff·v` in place.
@@ -97,10 +105,14 @@ impl LinExpr {
         if coeff.is_zero() {
             return;
         }
-        let entry = self.coeffs.entry(v).or_insert_with(Rat::zero);
-        *entry += &coeff;
-        if entry.is_zero() {
-            self.coeffs.remove(&v);
+        match self.terms.binary_search_by_key(&v, |(w, _)| *w) {
+            Ok(i) => {
+                self.terms[i].1 += &coeff;
+                if self.terms[i].1.is_zero() {
+                    self.terms.remove(i);
+                }
+            }
+            Err(i) => self.terms.insert(i, (v, coeff)),
         }
     }
 
@@ -112,25 +124,64 @@ impl LinExpr {
     /// Scale by a rational in place.
     pub fn scale(&mut self, k: &Rat) {
         if k.is_zero() {
-            self.coeffs.clear();
+            self.terms.clear();
             self.constant = Rat::zero();
             return;
         }
-        for c in self.coeffs.values_mut() {
+        for (_, c) in self.terms.iter_mut() {
             *c *= k;
         }
         self.constant *= k;
     }
 
-    /// `self += k·other` in place — the pivot/eliminate workhorse; no row
-    /// copy, and coefficient updates reuse the in-place `Rat` shortcuts.
+    /// `self += k·other` in place — the pivot/eliminate workhorse. A
+    /// single linear merge of the two sorted term lists (no per-term
+    /// binary search or shifting); existing coefficients move, they are
+    /// not cloned.
     pub fn add_scaled_assign(&mut self, other: &LinExpr, k: &Rat) {
         if k.is_zero() {
             return;
         }
-        for (v, c) in other.terms() {
-            self.add_term(v, c * k);
+        if other.terms.is_empty() {
+            self.constant += &(&other.constant * k);
+            return;
         }
+        let old = std::mem::take(&mut self.terms);
+        let mut merged: Vec<(Var, Rat)> = Vec::with_capacity(old.len() + other.terms.len());
+        let mut a = old.into_iter();
+        let mut b = other.terms.iter();
+        let (mut na, mut nb) = (a.next(), b.next());
+        loop {
+            let ka = na.as_ref().map(|t| t.0);
+            let kb = nb.map(|t| t.0);
+            match (ka, kb) {
+                (Some(va), Some(vb)) if va == vb => {
+                    let (v, mut ca) = na.take().expect("peeked");
+                    let (_, cb) = nb.take().expect("peeked");
+                    ca += &(cb * k);
+                    if !ca.is_zero() {
+                        merged.push((v, ca));
+                    }
+                    na = a.next();
+                    nb = b.next();
+                }
+                (Some(va), Some(vb)) if va < vb => {
+                    merged.push(na.take().expect("peeked"));
+                    na = a.next();
+                }
+                (Some(_), Some(_)) | (None, Some(_)) => {
+                    let (v, cb) = nb.take().expect("peeked");
+                    merged.push((*v, cb * k));
+                    nb = b.next();
+                }
+                (Some(_), None) => {
+                    merged.push(na.take().expect("peeked"));
+                    na = a.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.terms = merged;
         self.constant += &(&other.constant * k);
     }
 
@@ -143,12 +194,11 @@ impl LinExpr {
 
     /// Substitute variable `v` by expression `repl`.
     pub fn substitute(&self, v: Var, repl: &LinExpr) -> LinExpr {
-        match self.coeff_ref(v) {
-            None => self.clone(),
-            Some(c) => {
-                let c = c.clone();
+        match self.terms.binary_search_by_key(&v, |(w, _)| *w) {
+            Err(_) => self.clone(),
+            Ok(i) => {
                 let mut out = self.clone();
-                out.coeffs.remove(&v);
+                let (_, c) = out.terms.remove(i);
                 out.add_scaled_assign(repl, &c);
                 out
             }
@@ -181,7 +231,7 @@ impl LinExpr {
     /// cosmetic/canonicalizing: represents the same hyperplane or halfspace
     /// direction up to positive scaling.
     pub fn normalized_direction(&self) -> LinExpr {
-        if self.coeffs.is_empty() {
+        if self.terms.is_empty() {
             // Preserve only the sign of the constant.
             use crate::bigint::Sign;
             return match self.constant.sign() {

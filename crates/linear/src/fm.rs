@@ -191,6 +191,10 @@ pub struct FmStats {
     pub lp_drops: u64,
     /// Maximum rows materialized at any point.
     pub peak_rows: u64,
+    /// Row combinations completed by the batched `i64` kernel.
+    pub small_combs: u64,
+    /// Row combinations that promoted to big-integer arithmetic.
+    pub big_combs: u64,
 }
 
 impl FmStats {
@@ -206,6 +210,8 @@ impl FmStats {
         self.chernikov_drops += other.chernikov_drops;
         self.lp_drops += other.lp_drops;
         self.peak_rows = self.peak_rows.max(other.peak_rows);
+        self.small_combs += other.small_combs;
+        self.big_combs += other.big_combs;
     }
 
     /// Total rows removed by redundancy control.
@@ -428,7 +434,12 @@ fn eliminate_round(
             };
             // r' = |ce|·r − sign(ce)·cr·e: v cancels, `≤` direction kept.
             let q = if ce.is_positive() { -cr } else { cr.clone() };
-            let row = d.row.linear_comb(&p, &pivot.row, &q, v);
+            let (row, small) = d.row.linear_comb_counted(&p, &pivot.row, &q, v);
+            if small {
+                stats.small_combs += 1;
+            } else {
+                stats.big_combs += 1;
+            }
             let hist = union_hist(&d.hist, &pivot.hist);
             match red.push(DRow { row, hist }, true, stats, None) {
                 Push::Infeasible => return Ok(RoundOut::Infeasible),
@@ -495,7 +506,12 @@ fn eliminate_round(
             if cfg.deadline.is_some() && stats.pairs_combined.is_multiple_of(DEADLINE_STRIDE) {
                 check_deadline(cfg, red.out.len())?;
             }
-            let row = lo.row.linear_comb(a, &up.row, &nb, v);
+            let (row, small) = lo.row.linear_comb_counted(a, &up.row, &nb, v);
+            if small {
+                stats.small_combs += 1;
+            } else {
+                stats.big_combs += 1;
+            }
             let hist = union_hist(&lo.hist, &up.hist);
             let res = red.push(
                 DRow { row, hist },

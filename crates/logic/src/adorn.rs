@@ -14,10 +14,10 @@
 use crate::groundness::{
     analyze_groundness, apply_groundness, call_adornment as ground_call_adornment,
 };
+use crate::intern::Sym;
 use crate::modes::{is_builtin, Adornment, Mode, ModeMap};
-use crate::program::{Atom, Literal, PredKey, Program, Rule};
-use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use crate::program::{Atom, Literal, PredKey, ProcIndex, Program, Rule};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Result of adorning a program for a query.
 #[derive(Debug, Clone)]
@@ -54,33 +54,35 @@ pub fn adorn_program(program: &Program, query: &PredKey, adornment: Adornment) -
     discovered.entry(query.clone()).or_default().insert(adornment.clone());
 
     // Naming: single-adornment IDB predicates keep their name.
-    let adorned_name = |pred: &PredKey, adn: &Adornment| -> Arc<str> {
+    let adorned_name = |pred: &PredKey, adn: &Adornment| -> Sym {
         let multi = discovered.get(pred).map(|s| s.len() > 1).unwrap_or(false);
         if multi && idb.contains(pred) {
-            Arc::from(format!("{}__{}", pred.name, adn))
+            Sym::new(format!("{}__{}", pred.name, adn))
         } else {
-            pred.name.clone()
+            pred.name
         }
     };
 
     // Pass 2: emit adorned rules.
+    let index = ProcIndex::build(program);
     let mut rules = Vec::new();
     let mut modes = ModeMap::default();
     let mut origin = BTreeMap::new();
+    let mut ground: HashSet<Sym> = HashSet::new();
     for (pred, adns) in &discovered {
         if !idb.contains(pred) {
             continue;
         }
         for adn in adns {
             let new_name = adorned_name(pred, adn);
-            let new_key = PredKey { name: new_name.clone(), arity: pred.arity };
+            let new_key = PredKey { name: new_name, arity: pred.arity };
             modes.insert(new_key.clone(), adn.clone());
             origin.insert(new_key, pred.clone());
-            for rule in program.procedure(pred) {
-                let mut ground: BTreeSet<Arc<str>> = BTreeSet::new();
+            for rule in index.procedure(program, pred) {
+                ground.clear();
                 for (i, arg) in rule.head.args.iter().enumerate() {
                     if adn.0[i] == Mode::Bound {
-                        ground.extend(arg.vars());
+                        arg.add_vars_to(&mut ground);
                     }
                 }
                 let mut new_body = Vec::new();
@@ -101,12 +103,12 @@ pub fn adorn_program(program: &Program, query: &PredKey, adornment: Adornment) -
                         positive: lit.positive,
                         span: lit.span,
                     });
-                    let lookup = |p: &PredKey, a: &Adornment| groundness.success_ground(p, a);
-                    apply_groundness(lit, &mut ground, &lookup);
+                    let mut lookup = |p: &PredKey, a: &Adornment| groundness.success_ground(p, a);
+                    apply_groundness(lit, &mut ground, &mut lookup);
                 }
                 rules.push(Rule {
                     head: Atom {
-                        name: new_name.clone(),
+                        name: new_name,
                         args: rule.head.args.clone(),
                         span: rule.head.span,
                     },

@@ -1,0 +1,538 @@
+//! Arena-allocated flat terms.
+//!
+//! [`Term`] is a pointer tree: every `App` owns a `Vec` of children, so a
+//! million-clause program pays one heap allocation per compound subterm
+//! and a pointer chase per edge on every traversal. [`TermArena`] stores
+//! the same terms as index-linked flat nodes: a node is a [`Sym`] plus a
+//! packed `(start, len)` range into one shared argument buffer, and a
+//! [`TermId`] is a 4-byte handle. Nodes are *hash-consed* — structurally
+//! equal subterms get the same id — so equality of interned terms is an
+//! id compare, repeated subterms are stored once, and per-node analyses
+//! (groundness, size polynomials) can be memoized by id.
+//!
+//! The arena is a cache-friendly *view* of the substrate, not a
+//! replacement for it: [`TermArena::insert`] brings a [`Term`] in,
+//! [`TermArena::view`] materializes one back out, and the traversals the
+//! analysis pipeline runs per fixpoint iteration — size-norm polynomials
+//! ([`TermArena::size_polynomial_into`], [`TermArena::right_spine_into`])
+//! and unification ([`TermArena::unify_ids`]) — run on indices without
+//! touching the tree form at all.
+//!
+//! Ids are arena-local and assigned in insertion order; nothing
+//! output-visible may depend on them (the same discipline as interner
+//! ids — see [`crate::intern`]).
+
+use crate::intern::Sym;
+use crate::term::{SizePolynomial, Term};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bytes currently held by all live [`TermArena`]s in the process (node,
+/// argument, and dedup-table storage). A gauge, not a counter: arenas
+/// subtract themselves on drop. Surfaced by `argus analyze --stats`.
+static ARENA_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Current process-wide [`TermArena`] footprint in bytes.
+pub fn arena_bytes() -> u64 {
+    ARENA_BYTES.load(Ordering::Relaxed)
+}
+
+/// Handle to a term in a [`TermArena`]. 4 bytes, `Copy`; equal ids mean
+/// structurally equal terms *within the same arena*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+impl TermId {
+    fn ix(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Packed argument range: `args[start..start + len]` in the arena's
+/// shared argument buffer.
+#[derive(Debug, Clone, Copy)]
+struct ArgRange {
+    start: u32,
+    len: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Node {
+    Var(Sym),
+    App(Sym, ArgRange),
+}
+
+/// A borrowed view of one arena node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRef<'a> {
+    /// A logical variable.
+    Var(Sym),
+    /// A function symbol applied to already-interned arguments.
+    App(Sym, &'a [TermId]),
+}
+
+/// A bump arena of hash-consed flat term nodes.
+#[derive(Debug, Default)]
+pub struct TermArena {
+    nodes: Vec<Node>,
+    /// Groundness bit per node, computed at insertion (children precede
+    /// parents, so it is O(arity) per node and O(1) to query).
+    ground: Vec<bool>,
+    /// Shared argument buffer; each `App` owns one contiguous range.
+    args: Vec<TermId>,
+    /// Hash-cons table: node hash → candidate ids (collision chain).
+    dedup: HashMap<u64, Vec<u32>>,
+    /// Total ids across all dedup chains (so [`TermArena::bytes`] is O(1)).
+    dedup_entries: usize,
+    /// Bytes last reported into the process-wide gauge.
+    reported_bytes: u64,
+}
+
+impl TermArena {
+    /// An empty arena.
+    pub fn new() -> TermArena {
+        TermArena::default()
+    }
+
+    /// Number of distinct nodes (hash-consed subterms).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate heap footprint of this arena in bytes.
+    pub fn bytes(&self) -> u64 {
+        let nodes = self.nodes.capacity() * std::mem::size_of::<Node>();
+        let ground = self.ground.capacity();
+        let args = self.args.capacity() * std::mem::size_of::<TermId>();
+        let dedup = self.dedup.capacity()
+            * (std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>())
+            + self.dedup_entries * std::mem::size_of::<u32>();
+        (nodes + ground + args + dedup) as u64
+    }
+
+    fn sync_gauge(&mut self) {
+        let now = self.bytes();
+        if now >= self.reported_bytes {
+            ARENA_BYTES.fetch_add(now - self.reported_bytes, Ordering::Relaxed);
+        } else {
+            ARENA_BYTES.fetch_sub(self.reported_bytes - now, Ordering::Relaxed);
+        }
+        self.reported_bytes = now;
+    }
+
+    /// The node behind `id`.
+    pub fn get(&self, id: TermId) -> NodeRef<'_> {
+        match self.nodes[id.ix()] {
+            Node::Var(v) => NodeRef::Var(v),
+            Node::App(f, r) => {
+                NodeRef::App(f, &self.args[r.start as usize..(r.start + r.len) as usize])
+            }
+        }
+    }
+
+    /// True iff the term behind `id` contains no variables. O(1).
+    pub fn is_ground(&self, id: TermId) -> bool {
+        self.ground[id.ix()]
+    }
+
+    /// Intern a variable node.
+    pub fn var(&mut self, v: Sym) -> TermId {
+        self.intern_node(Node::Var(v), &[])
+    }
+
+    /// Intern an application node over already-interned arguments.
+    pub fn app(&mut self, functor: Sym, args: &[TermId]) -> TermId {
+        self.intern_node(Node::App(functor, ArgRange { start: 0, len: 0 }), args)
+    }
+
+    /// Intern a whole [`Term`] tree, returning the id of its root.
+    /// Structurally equal subterms (within this arena) share ids.
+    pub fn insert(&mut self, t: &Term) -> TermId {
+        match t {
+            Term::Var(v) => self.var(*v),
+            Term::App(f, children) => {
+                let ids: Vec<TermId> = children.iter().map(|c| self.insert(c)).collect();
+                self.app(*f, &ids)
+            }
+        }
+    }
+
+    fn intern_node(&mut self, node: Node, args: &[TermId]) -> TermId {
+        let h = node_hash(&node, args);
+        if let Some(cands) = self.dedup.get(&h) {
+            for &id in cands {
+                if self.node_matches(id, &node, args) {
+                    return TermId(id);
+                }
+            }
+        }
+        let id = u32::try_from(self.nodes.len()).expect("term arena capacity exceeded");
+        let (stored, ground) = match node {
+            Node::Var(v) => (Node::Var(v), false),
+            Node::App(f, _) => {
+                let start = u32::try_from(self.args.len()).expect("term arena args exceeded");
+                self.args.extend_from_slice(args);
+                let ground = args.iter().all(|a| self.ground[a.ix()]);
+                (Node::App(f, ArgRange { start, len: args.len() as u32 }), ground)
+            }
+        };
+        self.nodes.push(stored);
+        self.ground.push(ground);
+        self.dedup.entry(h).or_default().push(id);
+        self.dedup_entries += 1;
+        self.sync_gauge();
+        TermId(id)
+    }
+
+    fn node_matches(&self, id: u32, node: &Node, args: &[TermId]) -> bool {
+        match (&self.nodes[id as usize], node) {
+            (Node::Var(a), Node::Var(b)) => a == b,
+            (Node::App(f, r), Node::App(g, _)) => {
+                f == g
+                    && r.len as usize == args.len()
+                    && &self.args[r.start as usize..(r.start + r.len) as usize] == args
+            }
+            _ => false,
+        }
+    }
+
+    /// Materialize the term behind `id` back into tree form.
+    pub fn view(&self, id: TermId) -> Term {
+        match self.get(id) {
+            NodeRef::Var(v) => Term::Var(v),
+            NodeRef::App(f, args) => Term::App(f, args.iter().map(|&a| self.view(a)).collect()),
+        }
+    }
+
+    /// Append the distinct variables of `id` to `out` in first-occurrence
+    /// depth-first order (deduplicated against existing contents, like
+    /// [`Term::vars_into`]).
+    pub fn vars_into(&self, id: TermId, out: &mut Vec<Sym>) {
+        if self.is_ground(id) {
+            return;
+        }
+        match self.get(id) {
+            NodeRef::Var(v) => {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+            NodeRef::App(_, args) => {
+                for &a in args {
+                    self.vars_into(a, out);
+                }
+            }
+        }
+    }
+
+    /// Accumulate the structural-size polynomial of `id` into `p`
+    /// (paper §2.2): constant += arity per application node, coefficient
+    /// += 1 per variable occurrence. Iterative, so deep right-spine lists
+    /// cannot overflow the stack.
+    pub fn size_polynomial_into(&self, id: TermId, p: &mut SizePolynomial) {
+        let mut stack = vec![id];
+        while let Some(id) = stack.pop() {
+            match self.get(id) {
+                NodeRef::Var(v) => *p.coeffs.entry(v).or_insert(0) += 1,
+                NodeRef::App(_, args) => {
+                    p.constant += args.len() as u64;
+                    stack.extend_from_slice(args);
+                }
+            }
+        }
+    }
+
+    /// Accumulate the right-spine (list-length) polynomial of `id` into
+    /// `p`: `|v| = v`, `|c| = 0`, `|f(t1…tn)| = 1 + |tn|`.
+    pub fn right_spine_into(&self, id: TermId, p: &mut SizePolynomial) {
+        let mut cur = id;
+        loop {
+            match self.get(cur) {
+                NodeRef::Var(v) => {
+                    *p.coeffs.entry(v).or_insert(0) += 1;
+                    return;
+                }
+                NodeRef::App(_, args) => match args.last() {
+                    None => return,
+                    Some(&last) => {
+                        p.constant += 1;
+                        cur = last;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Resolve `id` under `s` into tree form (substitution applied
+    /// recursively, like `Subst::resolve`).
+    pub fn resolve(&self, id: TermId, s: &IdSubst) -> Term {
+        let id = self.walk(id, s);
+        match self.get(id) {
+            NodeRef::Var(v) => Term::Var(v),
+            NodeRef::App(f, args) => {
+                Term::App(f, args.iter().map(|&a| self.resolve(a, s)).collect())
+            }
+        }
+    }
+
+    fn walk(&self, mut id: TermId, s: &IdSubst) -> TermId {
+        while let NodeRef::Var(v) = self.get(id) {
+            match s.map.get(&v) {
+                Some(&next) if next != id => id = next,
+                _ => break,
+            }
+        }
+        id
+    }
+
+    fn occurs(&self, v: Sym, id: TermId, s: &IdSubst) -> bool {
+        let id = self.walk(id, s);
+        match self.get(id) {
+            NodeRef::Var(w) => w == v,
+            NodeRef::App(_, args) => args.iter().any(|&a| self.occurs(v, a, s)),
+        }
+    }
+
+    /// Unify the terms behind `a` and `b`, extending `s` with bindings to
+    /// ids. Mirrors [`crate::unify::unify`]: variables bind to unwalked
+    /// ids, `occurs_check` rejects cyclic bindings.
+    pub fn unify_ids(&self, a: TermId, b: TermId, s: &mut IdSubst, occurs_check: bool) -> bool {
+        let a = self.walk(a, s);
+        let b = self.walk(b, s);
+        if a == b && !matches!(self.get(a), NodeRef::Var(_)) {
+            // Hash-consing bonus: identical ground-or-shared subterms
+            // unify without traversal. (Equal variables fall through to
+            // the Var/Var case below, which also succeeds.)
+            return true;
+        }
+        match (self.get(a), self.get(b)) {
+            (NodeRef::Var(x), NodeRef::Var(y)) if x == y => true,
+            (NodeRef::Var(x), _) => {
+                if occurs_check && self.occurs(x, b, s) {
+                    return false;
+                }
+                s.map.insert(x, b);
+                true
+            }
+            (_, NodeRef::Var(y)) => {
+                if occurs_check && self.occurs(y, a, s) {
+                    return false;
+                }
+                s.map.insert(y, a);
+                true
+            }
+            (NodeRef::App(f, fa), NodeRef::App(g, ga)) => {
+                if f != g || fa.len() != ga.len() {
+                    return false;
+                }
+                // The arg slices alias `self.args`; copy the ids (4 bytes
+                // each) so unification can walk `self` mutably-free.
+                let pairs: Vec<(TermId, TermId)> =
+                    fa.iter().copied().zip(ga.iter().copied()).collect();
+                pairs.into_iter().all(|(x, y)| self.unify_ids(x, y, s, occurs_check))
+            }
+        }
+    }
+}
+
+impl Drop for TermArena {
+    fn drop(&mut self) {
+        ARENA_BYTES.fetch_sub(self.reported_bytes, Ordering::Relaxed);
+    }
+}
+
+/// A substitution over arena ids: variable symbol → bound [`TermId`].
+#[derive(Debug, Default)]
+pub struct IdSubst {
+    map: HashMap<Sym, TermId>,
+}
+
+impl IdSubst {
+    /// An empty substitution.
+    pub fn new() -> IdSubst {
+        IdSubst::default()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+fn node_hash(node: &Node, args: &[TermId]) -> u64 {
+    // FNV-1a over the node's shape. Sym ids are stable within a process,
+    // which is all a private dedup table needs.
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    match node {
+        Node::Var(v) => {
+            mix(1);
+            mix(v.id() as u64);
+        }
+        Node::App(f, _) => {
+            mix(2);
+            mix(f.id() as u64);
+            mix(args.len() as u64);
+            for a in args {
+                mix(a.0 as u64);
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_term;
+    use crate::unify::mgu;
+
+    fn t(src: &str) -> Term {
+        parse_term(src).unwrap()
+    }
+
+    #[test]
+    fn insert_view_round_trips() {
+        let mut arena = TermArena::new();
+        for src in ["X", "a", "[]", "f(X, g(Y, a), [1, 2 | T])", "[a, b, c]", "'it''s'(X)"] {
+            let term = t(src);
+            let id = arena.insert(&term);
+            assert_eq!(arena.view(id), term, "{src}");
+            assert_eq!(arena.view(id).to_string(), term.to_string(), "{src}");
+        }
+    }
+
+    #[test]
+    fn hash_consing_shares_subterms() {
+        let mut arena = TermArena::new();
+        let a = arena.insert(&t("f(g(X), g(X))"));
+        let before = arena.node_count();
+        // g(X), X, f-node: the two g(X) occurrences share one node.
+        assert_eq!(before, 3);
+        let b = arena.insert(&t("f(g(X), g(X))"));
+        assert_eq!(a, b, "equal terms must get equal ids");
+        assert_eq!(arena.node_count(), before, "re-insert allocates nothing");
+        let c = arena.insert(&t("f(g(X), g(Y))"));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn groundness_is_precomputed() {
+        let mut arena = TermArena::new();
+        let ground = arena.insert(&t("f(a, [b, c])"));
+        let open = arena.insert(&t("f(a, [b | T])"));
+        let var = arena.insert(&t("X"));
+        assert!(arena.is_ground(ground));
+        assert!(!arena.is_ground(open));
+        assert!(!arena.is_ground(var));
+    }
+
+    #[test]
+    fn vars_match_tree_form() {
+        let mut arena = TermArena::new();
+        for src in ["f(B, A, B)", "f(X, g(Y, X), Z)", "a", "[H | T]"] {
+            let term = t(src);
+            let id = arena.insert(&term);
+            let mut got = Vec::new();
+            arena.vars_into(id, &mut got);
+            assert_eq!(got, term.vars(), "{src}");
+        }
+    }
+
+    #[test]
+    fn size_polynomial_matches_tree_form() {
+        let mut arena = TermArena::new();
+        for src in ["f(v1, g(v2), v2)", "[a, b, c]", "X", "f(u, v, a)"] {
+            let term = t(src);
+            let id = arena.insert(&term);
+            let mut p = SizePolynomial::default();
+            arena.size_polynomial_into(id, &mut p);
+            assert_eq!(p, term.size_polynomial(), "{src}");
+        }
+    }
+
+    #[test]
+    fn right_spine_matches_norm() {
+        let mut arena = TermArena::new();
+        for src in ["[a, b | T]", "node(Big, x, leaf)", "[]", "X", "[f(f(a))]"] {
+            let term = t(src);
+            let id = arena.insert(&term);
+            let mut p = SizePolynomial::default();
+            arena.right_spine_into(id, &mut p);
+            assert_eq!(p, crate::Norm::ListLength.polynomial(&term), "{src}");
+        }
+    }
+
+    #[test]
+    fn deep_list_does_not_overflow() {
+        // 100k-element list, built directly on indices — a depth the
+        // pointer-tree `Term` cannot even *drop* without overflowing.
+        // The iterative polynomial walks must survive it.
+        let mut arena = TermArena::new();
+        let cons = crate::term::sym_cons();
+        let mut id = arena.app(crate::term::sym_nil(), &[]);
+        for i in 0..100_000u32 {
+            let elem = arena.app(Sym::new(i.to_string()), &[]);
+            id = arena.app(cons, &[elem, id]);
+        }
+        let mut p = SizePolynomial::default();
+        arena.size_polynomial_into(id, &mut p);
+        assert_eq!(p.constant, 200_000);
+        let mut spine = SizePolynomial::default();
+        arena.right_spine_into(id, &mut spine);
+        assert_eq!(spine.constant, 100_000);
+    }
+
+    #[test]
+    fn unify_agrees_with_tree_unifier() {
+        let cases = [
+            ("f(X, b)", "f(a, Y)"),
+            ("f(X, X)", "f(a, b)"),
+            ("f(X, g(X))", "f(g(Y), Z)"),
+            ("X", "f(X)"),
+            ("[H | T]", "[a, b, c]"),
+            ("f(a)", "g(a)"),
+            ("f(a)", "f(a, b)"),
+            ("X", "Y"),
+            ("p(X, Y, Z)", "p(f(Y), f(Z), a)"),
+        ];
+        for (sa, sb) in cases {
+            let (ta, tb) = (t(sa), t(sb));
+            let mut arena = TermArena::new();
+            let (ia, ib) = (arena.insert(&ta), arena.insert(&tb));
+            let mut s = IdSubst::new();
+            let ok = arena.unify_ids(ia, ib, &mut s, true);
+            assert_eq!(ok, mgu(&ta, &tb, true).is_some(), "{sa} = {sb}");
+            if ok {
+                assert_eq!(
+                    arena.resolve(ia, &s),
+                    arena.resolve(ib, &s),
+                    "{sa} = {sb}: unifier must equalize both sides"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn byte_gauge_rises_and_falls() {
+        let before = arena_bytes();
+        let mut arena = TermArena::new();
+        for i in 0..256 {
+            arena.insert(&t(&format!("gauge_fn_{i}(X, [a, b])")));
+        }
+        assert!(arena.bytes() > 0);
+        assert!(arena_bytes() >= before + arena.bytes());
+        let high = arena.bytes();
+        drop(arena);
+        assert!(arena_bytes() + high >= before + high, "gauge must not underflow");
+        assert!(arena_bytes() < before + high, "drop must release the footprint");
+    }
+}

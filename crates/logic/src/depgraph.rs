@@ -22,6 +22,10 @@ pub struct DepGraph {
     scc_of: Vec<usize>,
     /// Members of each SCC.
     scc_members: Vec<Vec<usize>>,
+    /// Rule indices (into the program's rule list, ascending) headed in
+    /// each SCC, cached at build time so per-SCC rule access is O(|SCC
+    /// rules|) instead of a scan over the whole program.
+    scc_rule_ix: Vec<Vec<usize>>,
 }
 
 impl DepGraph {
@@ -51,7 +55,11 @@ impl DepGraph {
             }
         }
         let (scc_of, scc_members) = tarjan(&succ);
-        DepGraph { preds, index_of, succ, scc_of, scc_members }
+        let mut scc_rule_ix = vec![Vec::new(); scc_members.len()];
+        for (ri, r) in program.rules.iter().enumerate() {
+            scc_rule_ix[scc_of[index_of[&r.head.key()]]].push(ri);
+        }
+        DepGraph { preds, index_of, succ, scc_of, scc_members, scc_rule_ix }
     }
 
     /// All predicates.
@@ -142,10 +150,12 @@ impl DepGraph {
         members.len() == 1 && !self.succ[members[0]].contains(&members[0])
     }
 
-    /// The rules of `program` whose head is in SCC `id`.
+    /// The rules of `program` whose head is in SCC `id`, in program order.
+    /// `program` must be the program the graph was built from (the cached
+    /// rule indices index into its rule list).
     pub fn scc_rules<'p>(&self, program: &'p Program, id: usize) -> Vec<&'p Rule> {
-        let members: BTreeSet<PredKey> = self.scc(id).into_iter().collect();
-        program.rules.iter().filter(|r| members.contains(&r.head.key())).collect()
+        debug_assert!(self.scc_rule_ix.iter().map(Vec::len).sum::<usize>() == program.rules.len());
+        self.scc_rule_ix[id].iter().map(|&ri| &program.rules[ri]).collect()
     }
 
     /// The indices (within the rule body) of the *recursive* subgoals of

@@ -29,10 +29,10 @@
 //!   set to those reachable from the query under the final table
 //!   (patterns discovered only under transient assumptions are dropped).
 
-use crate::modes::{is_builtin, Adornment, Mode, TEST_BUILTINS};
-use crate::program::{Literal, PredKey, Program};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::Arc;
+use crate::intern::Sym;
+use crate::modes::{is_builtin, sym_eq, sym_is, test_builtin_syms, Adornment, Mode};
+use crate::program::{Literal, PredKey, ProcIndex, Program};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 /// Success-groundness table: for each reachable `(predicate, adornment)`,
 /// the argument positions ground in every solution.
@@ -59,22 +59,11 @@ impl Groundness {
 }
 
 /// The call adornment of an atom given the currently ground variables.
-pub(crate) fn call_adornment(
-    atom: &crate::program::Atom,
-    ground: &BTreeSet<Arc<str>>,
-) -> Adornment {
+pub(crate) fn call_adornment(atom: &crate::program::Atom, ground: &HashSet<Sym>) -> Adornment {
     Adornment(
         atom.args
             .iter()
-            .map(
-                |t| {
-                    if t.vars().iter().all(|v| ground.contains(v)) {
-                        Mode::Bound
-                    } else {
-                        Mode::Free
-                    }
-                },
-            )
+            .map(|t| if t.vars_subset_of(ground) { Mode::Bound } else { Mode::Free })
             .collect(),
     )
 }
@@ -84,36 +73,30 @@ pub(crate) fn call_adornment(
 /// predicates (callers record reachable patterns).
 pub(crate) fn apply_groundness(
     lit: &Literal,
-    ground: &mut BTreeSet<Arc<str>>,
-    lookup: &dyn Fn(&PredKey, &Adornment) -> BTreeSet<usize>,
+    ground: &mut HashSet<Sym>,
+    lookup: &mut dyn FnMut(&PredKey, &Adornment) -> BTreeSet<usize>,
 ) -> Option<(PredKey, Adornment)> {
     if !lit.positive {
         return None; // negation grounds nothing (Appendix D)
     }
     let key = lit.atom.key();
-    if key.arity == 2 && TEST_BUILTINS.contains(&&*key.name) {
+    if key.arity == 2 && test_builtin_syms().contains(&key.name) {
         return None;
     }
-    if key.arity == 2 && &*key.name == "is" {
-        for v in lit.atom.args[0].vars() {
-            ground.insert(v);
-        }
+    if key.arity == 2 && key.name == sym_is() {
+        lit.atom.args[0].add_vars_to(ground);
         return None;
     }
-    if key.arity == 2 && &*key.name == "=" {
+    if key.arity == 2 && key.name == sym_eq() {
         // Unification makes the sides equal: if either side is ground, the
         // other side's variables become ground.
-        let lg = lit.atom.args[0].vars().iter().all(|v| ground.contains(v));
-        let rg = lit.atom.args[1].vars().iter().all(|v| ground.contains(v));
+        let lg = lit.atom.args[0].vars_subset_of(ground);
+        let rg = lit.atom.args[1].vars_subset_of(ground);
         if lg {
-            for v in lit.atom.args[1].vars() {
-                ground.insert(v);
-            }
+            lit.atom.args[1].add_vars_to(ground);
         }
         if rg {
-            for v in lit.atom.args[0].vars() {
-                ground.insert(v);
-            }
+            lit.atom.args[0].add_vars_to(ground);
         }
         return None;
     }
@@ -122,9 +105,7 @@ pub(crate) fn apply_groundness(
     }
     let adornment = call_adornment(&lit.atom, ground);
     for j in lookup(&key, &adornment) {
-        for v in lit.atom.args[j].vars() {
-            ground.insert(v);
-        }
+        lit.atom.args[j].add_vars_to(ground);
     }
     Some((key, adornment))
 }
@@ -133,52 +114,64 @@ pub(crate) fn apply_groundness(
 /// `query` called with `root`.
 pub fn analyze_groundness(program: &Program, query: &PredKey, root: Adornment) -> Groundness {
     let idb = program.idb_predicates();
+    let index = ProcIndex::build(program);
     let all_positions = |p: &PredKey| -> BTreeSet<usize> { (0..p.arity).collect() };
     let mut table: BTreeMap<(PredKey, Adornment), BTreeSet<usize>> = BTreeMap::new();
     let mut worklist: VecDeque<(PredKey, Adornment)> = VecDeque::new();
+    let mut queued: HashSet<(PredKey, Adornment)> = HashSet::new();
+    // Callee pair -> pairs that consulted it. When an entry shrinks, only
+    // its recorded consumers can change, so only they are requeued (the
+    // old requeue-everything rule made large fixpoints quadratic). Edges
+    // are recorded at lookup time, including lookups of pairs not yet in
+    // the table, so a later-inserted entry knows its earlier callers.
+    let mut deps: HashMap<(PredKey, Adornment), HashSet<(PredKey, Adornment)>> = HashMap::new();
     let seed = (query.clone(), root.clone());
     table.insert(seed.clone(), all_positions(query));
+    queued.insert(seed.clone());
     worklist.push_back(seed);
 
     // Descending chaotic iteration: entries start optimistic ("all ground
     // on success") and only shrink; new pairs may be discovered as
     // entries shrink and call patterns weaken. Each entry shrinks at most
-    // `arity` times, so the loop terminates.
+    // `arity` times, so the loop terminates. The gfp is confluent (every
+    // update is a meet on a descending chain), so the deps-driven
+    // worklist order yields the same table as exhaustive requeueing.
     let mut iterations = 0usize;
-    while let Some((pred, adornment)) = worklist.pop_front() {
+    let mut ground: HashSet<Sym> = HashSet::new();
+    while let Some(pair) = worklist.pop_front() {
+        queued.remove(&pair);
+        let (ref pred, ref adornment) = pair;
         iterations += 1;
         if iterations > 100_000 {
             break; // defensive; far above any reachable bound
         }
-        if !idb.contains(&pred) {
+        if !idb.contains(pred) {
             continue;
         }
         let mut per_clause: Vec<BTreeSet<usize>> = Vec::new();
         let mut discovered: Vec<(PredKey, Adornment)> = Vec::new();
-        for rule in program.procedure(&pred) {
-            let mut ground: BTreeSet<Arc<str>> = BTreeSet::new();
+        for rule in index.procedure(program, pred) {
+            ground.clear();
             for (i, arg) in rule.head.args.iter().enumerate() {
                 if adornment.0[i] == Mode::Bound {
-                    ground.extend(arg.vars());
+                    arg.add_vars_to(&mut ground);
                 }
             }
             for lit in &rule.body {
-                let lookup = |p: &PredKey, a: &Adornment| -> BTreeSet<usize> {
-                    table.get(&(p.clone(), a.clone())).cloned().unwrap_or_else(|| {
-                        if idb.contains(p) {
-                            // Optimistic initial value (gfp start).
-                            (0..p.arity).collect()
-                        } else {
-                            // True EDB relations hold ground tuples;
-                            // predicates with no rules never succeed,
-                            // making the claim vacuous. Either way:
-                            (0..p.arity).collect()
-                        }
-                    })
+                let mut lookup = |p: &PredKey, a: &Adornment| -> BTreeSet<usize> {
+                    deps.entry((p.clone(), a.clone())).or_default().insert(pair.clone());
+                    // Missing entries — IDB pairs start at the optimistic
+                    // gfp top; true EDB relations hold ground tuples; and
+                    // predicates with no rules never succeed, making the
+                    // claim vacuous. Either way: all positions.
+                    table
+                        .get(&(p.clone(), a.clone()))
+                        .cloned()
+                        .unwrap_or_else(|| (0..p.arity).collect())
                 };
-                if let Some(pair) = apply_groundness(lit, &mut ground, &lookup) {
-                    if idb.contains(&pair.0) {
-                        discovered.push(pair);
+                if let Some(found) = apply_groundness(lit, &mut ground, &mut lookup) {
+                    if idb.contains(&found.0) {
+                        discovered.push(found);
                     }
                 }
             }
@@ -187,7 +180,7 @@ pub fn analyze_groundness(program: &Program, query: &PredKey, root: Adornment) -
                     .args
                     .iter()
                     .enumerate()
-                    .filter(|(_, arg)| arg.vars().iter().all(|v| ground.contains(v)))
+                    .filter(|(_, arg)| arg.vars_subset_of(&ground))
                     .map(|(i, _)| i)
                     .collect(),
             );
@@ -196,7 +189,7 @@ pub fn analyze_groundness(program: &Program, query: &PredKey, root: Adornment) -
         // means no successes (vacuously all positions).
         let mut joined: BTreeSet<usize> = adornment.bound_positions().into_iter().collect();
         match per_clause.first() {
-            None => joined = all_positions(&pred),
+            None => joined = all_positions(pred),
             Some(first) => {
                 let mut inter = first.clone();
                 for c in &per_clause[1..] {
@@ -207,14 +200,13 @@ pub fn analyze_groundness(program: &Program, query: &PredKey, root: Adornment) -
         }
 
         let mut requeue: Vec<(PredKey, Adornment)> = Vec::new();
-        for pair in discovered {
-            if !table.contains_key(&pair) {
-                table.insert(pair.clone(), all_positions(&pair.0));
-                requeue.push(pair);
+        for found in discovered {
+            if !table.contains_key(&found) {
+                table.insert(found.clone(), all_positions(&found.0));
+                requeue.push(found);
             }
         }
-        let key = (pred, adornment);
-        let entry = table.get_mut(&key).expect("seeded");
+        let entry = table.get_mut(&pair).expect("seeded");
         // Meet with the previous value rather than overwrite: when a callee
         // entry shrinks, a later subgoal's call adornment can weaken to a
         // *new* pair whose optimistic initial value transiently re-inflates
@@ -227,11 +219,15 @@ pub fn analyze_groundness(program: &Program, query: &PredKey, root: Adornment) -
         let met: BTreeSet<usize> = joined.intersection(entry).copied().collect();
         if &met != entry {
             *entry = met;
-            // An entry shrank: every pair may depend on it; requeue all.
-            requeue.extend(table.keys().cloned());
+            // The entry shrank: requeue exactly the pairs that consulted
+            // it (self-loops are captured naturally — a recursive clause
+            // looks up its own pair).
+            if let Some(callers) = deps.get(&pair) {
+                requeue.extend(callers.iter().cloned());
+            }
         }
         for p in requeue {
-            if !worklist.contains(&p) {
+            if queued.insert(p.clone()) {
                 worklist.push_back(p);
             }
         }
@@ -249,21 +245,21 @@ pub fn analyze_groundness(program: &Program, query: &PredKey, root: Adornment) -
         if !idb.contains(&pred) {
             continue;
         }
-        for rule in program.procedure(&pred) {
-            let mut ground: BTreeSet<Arc<str>> = BTreeSet::new();
+        for rule in index.procedure(program, &pred) {
+            ground.clear();
             for (i, arg) in rule.head.args.iter().enumerate() {
                 if adornment.0[i] == Mode::Bound {
-                    ground.extend(arg.vars());
+                    arg.add_vars_to(&mut ground);
                 }
             }
             for lit in &rule.body {
-                let lookup = |p: &PredKey, a: &Adornment| -> BTreeSet<usize> {
+                let mut lookup = |p: &PredKey, a: &Adornment| -> BTreeSet<usize> {
                     table
                         .get(&(p.clone(), a.clone()))
                         .cloned()
                         .unwrap_or_else(|| (0..p.arity).collect())
                 };
-                if let Some(pair) = apply_groundness(lit, &mut ground, &lookup) {
+                if let Some(pair) = apply_groundness(lit, &mut ground, &mut lookup) {
                     if idb.contains(&pair.0) && reachable.insert(pair.clone()) {
                         frontier.push_back(pair);
                     }

@@ -29,9 +29,11 @@
 #![warn(missing_docs)]
 
 pub mod adorn;
+pub mod arena;
 pub mod cond;
 pub mod depgraph;
 pub mod groundness;
+pub mod intern;
 pub mod modes;
 pub mod norm;
 pub mod parser;
@@ -41,9 +43,11 @@ pub mod term;
 pub mod unify;
 
 pub use adorn::{adorn_program, AdornedProgram};
+pub use arena::{TermArena, TermId};
 pub use cond::Dnf;
 pub use depgraph::DepGraph;
 pub use groundness::{analyze_groundness, Groundness};
+pub use intern::Sym;
 pub use modes::{Adornment, Mode, ModeMap};
 pub use norm::Norm;
 pub use program::{Atom, Literal, PredKey, Program, Rule};

@@ -16,10 +16,11 @@
 //! iterates to a fixpoint, so every predicate ends with a single adornment,
 //! as the paper's setup requires.
 
-use crate::program::{PredKey, Program};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use crate::intern::Sym;
+use crate::program::{PredKey, ProcIndex, Program};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::OnceLock;
 
 /// The mode of one argument position.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -137,9 +138,29 @@ pub const TEST_BUILTINS: &[&str] = &["<", ">", "=<", ">=", "==", "\\==", "\\="];
 /// argument.
 pub const BINDING_BUILTINS: &[&str] = &["=", "is"];
 
+/// The interned `is` operator.
+pub(crate) fn sym_is() -> Sym {
+    static S: OnceLock<Sym> = OnceLock::new();
+    *S.get_or_init(|| Sym::new("is"))
+}
+
+/// The interned `=` operator.
+pub(crate) fn sym_eq() -> Sym {
+    static S: OnceLock<Sym> = OnceLock::new();
+    *S.get_or_init(|| Sym::new("="))
+}
+
+/// The test builtins, interned once so the per-literal builtin check on
+/// the fixpoint hot paths compares symbol ids instead of string bytes.
+pub(crate) fn test_builtin_syms() -> &'static [Sym] {
+    static S: OnceLock<Vec<Sym>> = OnceLock::new();
+    S.get_or_init(|| TEST_BUILTINS.iter().map(Sym::new).collect())
+}
+
 /// Is `p` a builtin (not subject to rule lookup)?
 pub fn is_builtin(p: &PredKey) -> bool {
-    p.arity == 2 && (TEST_BUILTINS.contains(&&*p.name) || BINDING_BUILTINS.contains(&&*p.name))
+    p.arity == 2
+        && (test_builtin_syms().contains(&p.name) || p.name == sym_eq() || p.name == sym_is())
 }
 
 /// Propagate modes from `root` with `root_adornment` through `program`.
@@ -176,50 +197,49 @@ pub fn infer_modes(program: &Program, root: &PredKey, root_adornment: Adornment)
         }
     }
 
+    let index = ProcIndex::build(program);
+    let mut bound_vars: HashSet<Sym> = HashSet::new();
     while let Some(pred) = queue.pop_front() {
         let adornment = map[&pred].clone();
-        for rule in program.procedure(&pred) {
+        for rule in index.procedure(program, &pred) {
             // Variables bound by the head's bound arguments.
-            let mut bound_vars: BTreeSet<Arc<str>> = BTreeSet::new();
+            bound_vars.clear();
             for (i, arg) in rule.head.args.iter().enumerate() {
                 if adornment.0[i] == Mode::Bound {
-                    for v in arg.vars() {
-                        bound_vars.insert(v);
-                    }
+                    arg.add_vars_to(&mut bound_vars);
                 }
             }
             // Scan body left to right.
             for lit in &rule.body {
                 let key = lit.atom.key();
-                let sub_adornment = Adornment(
-                    lit.atom
-                        .args
-                        .iter()
-                        .map(|t| {
-                            if t.vars().iter().all(|v| bound_vars.contains(v)) {
-                                Mode::Bound
-                            } else {
-                                Mode::Free
-                            }
-                        })
-                        .collect(),
-                );
+                let sub_adornment =
+                    Adornment(
+                        lit.atom
+                            .args
+                            .iter()
+                            .map(|t| {
+                                if t.vars_subset_of(&bound_vars) {
+                                    Mode::Bound
+                                } else {
+                                    Mode::Free
+                                }
+                            })
+                            .collect(),
+                    );
                 if !is_builtin(&key) {
                     merge(&mut map, &mut queue, key.clone(), sub_adornment);
                 }
                 // Binding effect of the subgoal.
                 if lit.positive {
-                    if TEST_BUILTINS.contains(&&*key.name) && key.arity == 2 {
+                    if key.arity == 2 && test_builtin_syms().contains(&key.name) {
                         // Tests bind nothing.
-                    } else if &*key.name == "is" && key.arity == 2 {
-                        for v in lit.atom.args[0].vars() {
-                            bound_vars.insert(v);
-                        }
+                    } else if key.arity == 2 && key.name == sym_is() {
+                        lit.atom.args[0].add_vars_to(&mut bound_vars);
                     } else {
                         // `=`, user predicates, EDB: assume success grounds
                         // every variable of the subgoal.
-                        for v in lit.atom.vars() {
-                            bound_vars.insert(v);
+                        for a in &lit.atom.args {
+                            a.add_vars_to(&mut bound_vars);
                         }
                     }
                 }

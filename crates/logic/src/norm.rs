@@ -22,6 +22,7 @@
 //! `StructuralSize`; a recursion into the left branch of a tree is
 //! invisible to `ListLength` (the right spine is unchanged).
 
+use crate::arena::{TermArena, TermId};
 use crate::term::{SizePolynomial, Term};
 
 /// A linear term-size measure.
@@ -50,6 +51,18 @@ impl Norm {
         }
     }
 
+    /// The size polynomial of an arena-interned term: same result as
+    /// [`Norm::polynomial`] on the tree form, computed on flat indices
+    /// without touching the pointer tree (the fixpoint hot path).
+    pub fn polynomial_id(self, arena: &TermArena, id: TermId) -> SizePolynomial {
+        let mut p = SizePolynomial::default();
+        match self {
+            Norm::StructuralSize => arena.size_polynomial_into(id, &mut p),
+            Norm::ListLength => arena.right_spine_into(id, &mut p),
+        }
+        p
+    }
+
     /// Size of a ground term under this norm, if ground.
     pub fn ground_size(self, t: &Term) -> Option<u64> {
         let p = self.polynomial(t);
@@ -72,7 +85,7 @@ impl Norm {
 fn right_spine(t: &Term, p: &mut SizePolynomial) {
     match t {
         Term::Var(v) => {
-            *p.coeffs.entry(v.clone()).or_insert(0) += 1;
+            *p.coeffs.entry(*v).or_insert(0) += 1;
         }
         Term::App(_, args) => match args.last() {
             None => {}

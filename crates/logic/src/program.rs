@@ -4,26 +4,26 @@
 //! for that predicate; the complete rule set is the IDB (paper §2). EDB
 //! predicates are those that never appear in a rule head.
 
+use crate::intern::Sym;
 use crate::span::SpanSlot;
 use crate::term::Term;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::sync::Arc;
 
 /// A predicate identity: name plus arity. `append/3` and `append/2` are
 /// different predicates.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PredKey {
     /// Predicate name.
-    pub name: Arc<str>,
+    pub name: Sym,
     /// Number of arguments.
     pub arity: usize,
 }
 
 impl PredKey {
     /// Build a key.
-    pub fn new(name: impl AsRef<str>, arity: usize) -> PredKey {
-        PredKey { name: Arc::from(name.as_ref()), arity }
+    pub fn new(name: impl Into<Sym>, arity: usize) -> PredKey {
+        PredKey { name: name.into(), arity }
     }
 }
 
@@ -37,7 +37,7 @@ impl fmt::Display for PredKey {
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Atom {
     /// Predicate name.
-    pub name: Arc<str>,
+    pub name: Sym,
     /// Argument terms.
     pub args: Vec<Term>,
     /// Source span (comparison-transparent; empty for synthesized atoms).
@@ -46,8 +46,8 @@ pub struct Atom {
 
 impl Atom {
     /// Build an atom.
-    pub fn new(name: impl AsRef<str>, args: Vec<Term>) -> Atom {
-        Atom { name: Arc::from(name.as_ref()), args, span: SpanSlot::none() }
+    pub fn new(name: impl Into<Sym>, args: Vec<Term>) -> Atom {
+        Atom { name: name.into(), args, span: SpanSlot::none() }
     }
 
     /// The same atom carrying `span`.
@@ -58,24 +58,28 @@ impl Atom {
 
     /// The predicate key of this atom.
     pub fn key(&self) -> PredKey {
-        PredKey { name: self.name.clone(), arity: self.args.len() }
+        PredKey { name: self.name, arity: self.args.len() }
     }
 
     /// Distinct variables, first-occurrence order.
-    pub fn vars(&self) -> Vec<Arc<str>> {
+    pub fn vars(&self) -> Vec<Sym> {
         let mut occ = Vec::new();
-        for a in &self.args {
-            a.var_occurrences(&mut occ);
-        }
-        let mut seen = BTreeSet::new();
-        occ.retain(|v| seen.insert(v.clone()));
+        self.vars_into(&mut occ);
         occ
+    }
+
+    /// [`Atom::vars`] into a caller-owned buffer (appended, deduplicated
+    /// against existing contents).
+    pub fn vars_into(&self, out: &mut Vec<Sym>) {
+        for a in &self.args {
+            a.vars_into(out);
+        }
     }
 
     /// Rename all variables with a suffix.
     pub fn rename_suffix(&self, suffix: &str) -> Atom {
         Atom {
-            name: self.name.clone(),
+            name: self.name,
             args: self.args.iter().map(|t| t.rename_suffix(suffix)).collect(),
             span: self.span,
         }
@@ -86,7 +90,7 @@ impl Atom {
     pub fn is_most_general(&self) -> bool {
         let mut seen = BTreeSet::new();
         self.args.iter().all(|t| match t {
-            Term::Var(v) => seen.insert(v.clone()),
+            Term::Var(v) => seen.insert(*v),
             _ => false,
         })
     }
@@ -179,18 +183,12 @@ impl Rule {
     }
 
     /// Distinct variables over head and body, first occurrence order.
-    pub fn vars(&self) -> Vec<Arc<str>> {
+    pub fn vars(&self) -> Vec<Sym> {
         let mut occ = Vec::new();
-        for a in &self.head.args {
-            a.var_occurrences(&mut occ);
-        }
+        self.head.vars_into(&mut occ);
         for l in &self.body {
-            for a in &l.atom.args {
-                a.var_occurrences(&mut occ);
-            }
+            l.atom.vars_into(&mut occ);
         }
-        let mut seen = BTreeSet::new();
-        occ.retain(|v| seen.insert(v.clone()));
         occ
     }
 
@@ -270,6 +268,9 @@ impl Program {
     }
 
     /// The rules whose head is `pred` — the logic procedure for `pred`.
+    ///
+    /// This is a linear scan of the whole rule list; analysis passes that
+    /// look up many procedures should build a [`ProcIndex`] once instead.
     pub fn procedure(&self, pred: &PredKey) -> Vec<&Rule> {
         self.rules.iter().filter(|r| &r.head.key() == pred).collect()
     }
@@ -286,6 +287,38 @@ impl fmt::Display for Program {
             writeln!(f, "{r}")?;
         }
         Ok(())
+    }
+}
+
+/// An index from predicate to the rule positions of its procedure.
+///
+/// [`Program::procedure`] scans every rule; on the million-clause
+/// substrate the analysis passes call it once per worklist pop, turning
+/// the whole pipeline quadratic. Building this index once makes every
+/// lookup O(1) (predicate keys hash by interned-symbol id).
+#[derive(Debug, Clone, Default)]
+pub struct ProcIndex {
+    by_pred: HashMap<PredKey, Vec<usize>>,
+}
+
+impl ProcIndex {
+    /// Index `program`'s rules by head predicate.
+    pub fn build(program: &Program) -> ProcIndex {
+        let mut by_pred: HashMap<PredKey, Vec<usize>> = HashMap::new();
+        for (i, r) in program.rules.iter().enumerate() {
+            by_pred.entry(r.head.key()).or_default().push(i);
+        }
+        ProcIndex { by_pred }
+    }
+
+    /// Rule positions (in source order) of `pred`'s procedure.
+    pub fn rule_indices(&self, pred: &PredKey) -> &[usize] {
+        self.by_pred.get(pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The procedure for `pred`, equivalent to [`Program::procedure`].
+    pub fn procedure<'p>(&self, program: &'p Program, pred: &PredKey) -> Vec<&'p Rule> {
+        self.rule_indices(pred).iter().map(|&i| &program.rules[i]).collect()
     }
 }
 
@@ -341,13 +374,19 @@ mod tests {
         let p = append_program();
         assert_eq!(p.procedure(&PredKey::new("append", 3)).len(), 2);
         assert_eq!(p.procedure(&PredKey::new("nope", 1)).len(), 0);
+        let ix = ProcIndex::build(&p);
+        assert_eq!(
+            ix.procedure(&p, &PredKey::new("append", 3)),
+            p.procedure(&PredKey::new("append", 3))
+        );
+        assert!(ix.procedure(&p, &PredKey::new("nope", 1)).is_empty());
     }
 
     #[test]
     fn rule_vars_in_order() {
         let p = append_program();
         let vs = p.rules[1].vars();
-        let names: Vec<&str> = vs.iter().map(|v| &**v).collect();
+        let names: Vec<&str> = vs.iter().map(|v| v.as_str()).collect();
         assert_eq!(names, ["X", "Xs", "Ys", "Zs"]);
     }
 

@@ -7,33 +7,48 @@
 //! occurrences (§2.2). For non-ground terms the size is a linear polynomial
 //! over size variables, one per logical variable; see [`SizePolynomial`].
 
-use std::collections::BTreeMap;
+use crate::intern::Sym;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::OnceLock;
 
-/// A logical term.
+/// The interned cons functor `'.'`.
+pub fn sym_cons() -> Sym {
+    static S: OnceLock<Sym> = OnceLock::new();
+    *S.get_or_init(|| Sym::new("."))
+}
+
+/// The interned empty-list constant `[]`.
+pub fn sym_nil() -> Sym {
+    static S: OnceLock<Sym> = OnceLock::new();
+    *S.get_or_init(|| Sym::new("[]"))
+}
+
+/// A logical term over interned symbols: equality and hashing are O(1)
+/// per node, and ordering (via [`Sym`]'s string ordering) matches the
+/// pre-interning lexicographic behavior byte for byte.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
     /// A logical variable, by name (e.g. `Xs`).
-    Var(Arc<str>),
+    Var(Sym),
     /// A function symbol applied to arguments; constants have no arguments.
-    App(Arc<str>, Vec<Term>),
+    App(Sym, Vec<Term>),
 }
 
 impl Term {
     /// A variable.
-    pub fn var(name: impl AsRef<str>) -> Term {
-        Term::Var(Arc::from(name.as_ref()))
+    pub fn var(name: impl Into<Sym>) -> Term {
+        Term::Var(name.into())
     }
 
     /// A constant (zero-arity function symbol).
-    pub fn atom(name: impl AsRef<str>) -> Term {
-        Term::App(Arc::from(name.as_ref()), Vec::new())
+    pub fn atom(name: impl Into<Sym>) -> Term {
+        Term::App(name.into(), Vec::new())
     }
 
     /// A compound term.
-    pub fn app(functor: impl AsRef<str>, args: Vec<Term>) -> Term {
-        Term::App(Arc::from(functor.as_ref()), args)
+    pub fn app(functor: impl Into<Sym>, args: Vec<Term>) -> Term {
+        Term::App(functor.into(), args)
     }
 
     /// An integer constant, encoded as a constant symbol (the analyzer
@@ -44,12 +59,12 @@ impl Term {
 
     /// The empty list `[]`.
     pub fn nil() -> Term {
-        Term::atom("[]")
+        Term::App(sym_nil(), Vec::new())
     }
 
     /// The list cell `'.'(head, tail)` — the paper's infix cons `H • T`.
     pub fn cons(head: Term, tail: Term) -> Term {
-        Term::app(".", vec![head, tail])
+        Term::App(sym_cons(), vec![head, tail])
     }
 
     /// A proper list from an iterator of elements.
@@ -75,14 +90,16 @@ impl Term {
     pub fn functor(&self) -> Option<(&str, usize)> {
         match self {
             Term::Var(_) => None,
-            Term::App(f, args) => Some((f, args.len())),
+            Term::App(f, args) => Some((f.as_str(), args.len())),
         }
     }
 
-    /// Collect variable names (in depth-first order, with duplicates).
-    pub fn var_occurrences(&self, out: &mut Vec<Arc<str>>) {
+    /// Collect variable symbols (in depth-first order, with duplicates)
+    /// into a caller-owned buffer, so fixpoint loops can reuse one
+    /// allocation across calls.
+    pub fn var_occurrences(&self, out: &mut Vec<Sym>) {
         match self {
-            Term::Var(v) => out.push(v.clone()),
+            Term::Var(v) => out.push(*v),
             Term::App(_, args) => {
                 for a in args {
                     a.var_occurrences(out);
@@ -91,19 +108,59 @@ impl Term {
         }
     }
 
-    /// The set of distinct variable names.
-    pub fn vars(&self) -> Vec<Arc<str>> {
+    /// The set of distinct variables, in first-occurrence order.
+    pub fn vars(&self) -> Vec<Sym> {
         let mut occ = Vec::new();
-        self.var_occurrences(&mut occ);
-        let mut seen = std::collections::BTreeSet::new();
-        occ.retain(|v| seen.insert(v.clone()));
+        self.vars_into(&mut occ);
         occ
     }
 
-    /// True iff `name` occurs in the term.
-    pub fn mentions(&self, name: &str) -> bool {
+    /// [`Term::vars`] into a caller-owned buffer (appended; the buffer is
+    /// deduplicated against its existing contents, so a caller can fold
+    /// several terms into one first-occurrence-ordered variable list).
+    pub fn vars_into(&self, out: &mut Vec<Sym>) {
         match self {
-            Term::Var(v) => &**v == name,
+            Term::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Term::App(_, args) => {
+                for a in args {
+                    a.vars_into(out);
+                }
+            }
+        }
+    }
+
+    /// True iff every variable of the term is in `set` (allocation-free;
+    /// the groundness/mode fixpoints call this once per argument per
+    /// iteration).
+    pub fn vars_subset_of(&self, set: &HashSet<Sym>) -> bool {
+        match self {
+            Term::Var(v) => set.contains(v),
+            Term::App(_, args) => args.iter().all(|a| a.vars_subset_of(set)),
+        }
+    }
+
+    /// Insert every variable of the term into `set` (allocation-free).
+    pub fn add_vars_to(&self, set: &mut HashSet<Sym>) {
+        match self {
+            Term::Var(v) => {
+                set.insert(*v);
+            }
+            Term::App(_, args) => {
+                for a in args {
+                    a.add_vars_to(set);
+                }
+            }
+        }
+    }
+
+    /// True iff the variable occurs in the term.
+    pub fn mentions(&self, name: Sym) -> bool {
+        match self {
+            Term::Var(v) => *v == name,
             Term::App(_, args) => args.iter().any(|a| a.mentions(name)),
         }
     }
@@ -135,7 +192,7 @@ impl Term {
     fn accumulate_size(&self, p: &mut SizePolynomial) {
         match self {
             Term::Var(v) => {
-                *p.coeffs.entry(v.clone()).or_insert(0) += 1;
+                *p.coeffs.entry(*v).or_insert(0) += 1;
             }
             Term::App(_, args) => {
                 p.constant += args.len() as u64;
@@ -152,7 +209,7 @@ impl Term {
         match self {
             Term::Var(v) => Term::var(format!("{v}{suffix}")),
             Term::App(f, args) => {
-                Term::App(f.clone(), args.iter().map(|a| a.rename_suffix(suffix)).collect())
+                Term::App(*f, args.iter().map(|a| a.rename_suffix(suffix)).collect())
             }
         }
     }
@@ -174,8 +231,8 @@ impl Term {
         let mut cur = self;
         loop {
             match cur {
-                Term::App(f, args) if &**f == "[]" && args.is_empty() => return Some(out),
-                Term::App(f, args) if &**f == "." && args.len() == 2 => {
+                Term::App(f, args) if *f == sym_nil() && args.is_empty() => return Some(out),
+                Term::App(f, args) if *f == sym_cons() && args.len() == 2 => {
                     out.push(&args[0]);
                     cur = &args[1];
                 }
@@ -192,7 +249,7 @@ pub struct SizePolynomial {
     /// Constant part (total arity of the term's function symbols).
     pub constant: u64,
     /// Occurrence count per variable.
-    pub coeffs: BTreeMap<Arc<str>, u64>,
+    pub coeffs: BTreeMap<Sym, u64>,
 }
 
 impl fmt::Display for SizePolynomial {
@@ -259,18 +316,21 @@ impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Term::Var(v) => write!(f, "{v}"),
-            Term::App(name, args) if args.is_empty() => write_name(f, name, plain_atom(name)),
-            Term::App(name, args) if &**name == "." && args.len() == 2 => {
+            Term::App(name, args) if args.is_empty() => {
+                let name = name.as_str();
+                write_name(f, name, plain_atom(name))
+            }
+            Term::App(name, args) if *name == sym_cons() && args.len() == 2 => {
                 // List sugar: [a, b | T] or [a, b].
                 write!(f, "[{}", args[0])?;
                 let mut tail = &args[1];
                 loop {
                     match tail {
-                        Term::App(n2, a2) if &**n2 == "." && a2.len() == 2 => {
+                        Term::App(n2, a2) if *n2 == sym_cons() && a2.len() == 2 => {
                             write!(f, ", {}", a2[0])?;
                             tail = &a2[1];
                         }
-                        Term::App(n2, a2) if &**n2 == "[]" && a2.is_empty() => {
+                        Term::App(n2, a2) if *n2 == sym_nil() && a2.is_empty() => {
                             return write!(f, "]");
                         }
                         other => return write!(f, " | {other}]"),
@@ -278,6 +338,7 @@ impl fmt::Display for Term {
                 }
             }
             Term::App(name, args) => {
+                let name = name.as_str();
                 write_name(f, name, plain_functor(name))?;
                 write!(f, "(")?;
                 for (i, a) in args.iter().enumerate() {
@@ -315,8 +376,8 @@ mod tests {
         let t = Term::app("f", vec![Term::var("u"), Term::var("v"), Term::atom("a")]);
         let p = t.size_polynomial();
         assert_eq!(p.constant, 3);
-        assert_eq!(p.coeffs.get("u").copied(), Some(1));
-        assert_eq!(p.coeffs.get("v").copied(), Some(1));
+        assert_eq!(p.coeffs.get(&Sym::new("u")).copied(), Some(1));
+        assert_eq!(p.coeffs.get(&Sym::new("v")).copied(), Some(1));
     }
 
     #[test]
@@ -328,8 +389,8 @@ mod tests {
         );
         let p = t.size_polynomial();
         assert_eq!(p.constant, 4);
-        assert_eq!(p.coeffs.get("v1").copied(), Some(1));
-        assert_eq!(p.coeffs.get("v2").copied(), Some(2));
+        assert_eq!(p.coeffs.get(&Sym::new("v1")).copied(), Some(1));
+        assert_eq!(p.coeffs.get(&Sym::new("v2")).copied(), Some(2));
     }
 
     #[test]
@@ -418,7 +479,7 @@ mod tests {
     #[test]
     fn mentions() {
         let t = Term::app("f", vec![Term::var("X")]);
-        assert!(t.mentions("X"));
-        assert!(!t.mentions("Y"));
+        assert!(t.mentions(Sym::new("X")));
+        assert!(!t.mentions(Sym::new("Y")));
     }
 }

@@ -5,15 +5,16 @@
 //! fixed point. Unification optionally performs the occurs check (Prolog
 //! omits it by default; the analyzer's syntactic transformations use it).
 
+use crate::intern::Sym;
 use crate::program::Atom;
 use crate::term::Term;
 use std::collections::HashMap;
-use std::sync::Arc;
 
-/// A substitution: a finite map from variable names to terms.
+/// A substitution: a finite map from variables to terms. Keys hash by
+/// interned-symbol id, so lookups never touch string bytes.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Subst {
-    map: HashMap<Arc<str>, Term>,
+    map: HashMap<Sym, Term>,
 }
 
 impl Subst {
@@ -33,18 +34,18 @@ impl Subst {
     }
 
     /// Look up a direct binding.
-    pub fn get(&self, v: &str) -> Option<&Term> {
-        self.map.get(v)
+    pub fn get(&self, v: Sym) -> Option<&Term> {
+        self.map.get(&v)
     }
 
     /// Bind `v` to `t`. Overwrites silently; callers maintain consistency.
-    pub fn bind(&mut self, v: Arc<str>, t: Term) {
+    pub fn bind(&mut self, v: Sym, t: Term) {
         self.map.insert(v, t);
     }
 
     /// Remove a binding (used by trail-based engines to backtrack).
-    pub fn unbind(&mut self, v: &str) {
-        self.map.remove(v);
+    pub fn unbind(&mut self, v: Sym) {
+        self.map.remove(&v);
     }
 
     /// Walk variable bindings at the *root* only: follow `v -> t` while `t`
@@ -75,20 +76,20 @@ impl Subst {
         self.resolve_guarded(t, &mut stack)
     }
 
-    fn resolve_guarded(&self, t: &Term, stack: &mut Vec<Arc<str>>) -> Term {
+    fn resolve_guarded(&self, t: &Term, stack: &mut Vec<Sym>) -> Term {
         let mut cur = t;
         let mut pushed = 0usize;
         while let Term::Var(v) = cur {
-            if stack.iter().any(|s| s == v) {
+            if stack.contains(v) {
                 // Cycle: keep the variable unresolved.
                 for _ in 0..pushed {
                     stack.pop();
                 }
-                return Term::Var(v.clone());
+                return Term::Var(*v);
             }
             match self.map.get(v) {
                 Some(next) => {
-                    stack.push(v.clone());
+                    stack.push(*v);
                     pushed += 1;
                     cur = next;
                 }
@@ -98,7 +99,7 @@ impl Subst {
         let out = match cur {
             Term::Var(_) => cur.clone(),
             Term::App(f, args) => {
-                Term::App(f.clone(), args.iter().map(|a| self.resolve_guarded(a, stack)).collect())
+                Term::App(*f, args.iter().map(|a| self.resolve_guarded(a, stack)).collect())
             }
         };
         for _ in 0..pushed {
@@ -109,17 +110,13 @@ impl Subst {
 
     /// Apply to an atom.
     pub fn resolve_atom(&self, a: &Atom) -> Atom {
-        Atom {
-            name: a.name.clone(),
-            args: a.args.iter().map(|t| self.resolve(t)).collect(),
-            span: a.span,
-        }
+        Atom { name: a.name, args: a.args.iter().map(|t| self.resolve(t)).collect(), span: a.span }
     }
 
     /// Does `v` occur in `t` after resolution?
-    fn occurs(&self, v: &str, t: &Term) -> bool {
+    fn occurs(&self, v: Sym, t: &Term) -> bool {
         match self.walk(t) {
-            Term::Var(w) => &**w == v,
+            Term::Var(w) => *w == v,
             Term::App(_, args) => args.iter().any(|a| self.occurs(v, a)),
         }
     }
@@ -134,17 +131,17 @@ pub fn unify(s: &mut Subst, a: &Term, b: &Term, occurs_check: bool) -> bool {
     match (&ra, &rb) {
         (Term::Var(v), Term::Var(w)) if v == w => true,
         (Term::Var(v), t) => {
-            if occurs_check && s.occurs(v, t) {
+            if occurs_check && s.occurs(*v, t) {
                 return false;
             }
-            s.bind(v.clone(), t.clone());
+            s.bind(*v, t.clone());
             true
         }
         (t, Term::Var(v)) => {
-            if occurs_check && s.occurs(v, t) {
+            if occurs_check && s.occurs(*v, t) {
                 return false;
             }
-            s.bind(v.clone(), t.clone());
+            s.bind(*v, t.clone());
             true
         }
         (Term::App(f, fa), Term::App(g, ga)) => {

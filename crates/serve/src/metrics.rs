@@ -16,7 +16,7 @@ use std::time::Duration;
 
 /// Schema identifier pinned by the golden test. v2 added the `/v1/infer`
 /// counters and the condition cache.
-pub const METRICS_SCHEMA: &str = "argus-serve-metrics/v2";
+pub const METRICS_SCHEMA: &str = "argus-serve-metrics/v3";
 
 /// Histogram bucket upper bounds, in microseconds. The last bucket is
 /// unbounded (rendered as `"inf"`).
@@ -75,6 +75,8 @@ pub struct FmTotals {
     chernikov_drops: AtomicU64,
     lp_drops: AtomicU64,
     peak_rows: AtomicU64,
+    small_combs: AtomicU64,
+    big_combs: AtomicU64,
 }
 
 impl FmTotals {
@@ -91,6 +93,8 @@ impl FmTotals {
         self.chernikov_drops.fetch_add(s.chernikov_drops, Ordering::Relaxed);
         self.lp_drops.fetch_add(s.lp_drops, Ordering::Relaxed);
         self.peak_rows.fetch_max(s.peak_rows, Ordering::Relaxed);
+        self.small_combs.fetch_add(s.small_combs, Ordering::Relaxed);
+        self.big_combs.fetch_add(s.big_combs, Ordering::Relaxed);
     }
 }
 
@@ -236,7 +240,7 @@ impl Metrics {
             out,
             ",\"fm\":{{\"eliminations\":{},\"gauss_steps\":{},\"rows_in\":{},\"rows_out\":{},\
              \"pairs_combined\":{},\"dedup_hits\":{},\"subsume_hits\":{},\"chernikov_drops\":{},\
-             \"lp_drops\":{},\"peak_rows\":{}}}",
+             \"lp_drops\":{},\"peak_rows\":{},\"small_combs\":{},\"big_combs\":{}}}",
             g(&fm.eliminations),
             g(&fm.gauss_steps),
             g(&fm.rows_in),
@@ -247,6 +251,8 @@ impl Metrics {
             g(&fm.chernikov_drops),
             g(&fm.lp_drops),
             g(&fm.peak_rows),
+            g(&fm.small_combs),
+            g(&fm.big_combs),
         );
         out.push_str(",\"latency\":{\"analyze_cached\":");
         self.analyze_latency_cached.render(&mut out);

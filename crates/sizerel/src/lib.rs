@@ -36,10 +36,10 @@
 
 use argus_linear::fm::{self, FmResult};
 use argus_linear::{Constraint, ConstraintSystem, LinExpr, Poly, Rat, Rel, Var};
-use argus_logic::{DepGraph, Norm, PredKey, Program, Rule};
-use std::collections::{BTreeMap, BTreeSet};
+use argus_logic::program::ProcIndex;
+use argus_logic::{DepGraph, Norm, PredKey, Program, Rule, Sym, TermArena, TermId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
-use std::sync::Arc;
 
 /// Options controlling the fixpoint iteration.
 #[derive(Debug, Clone)]
@@ -190,18 +190,84 @@ pub fn rule_poly_instrumented(
     cfg: &fm::FmConfig,
     stats: &mut fm::FmStats,
 ) -> Poly {
+    let mut ctx = SizeCtx::new(norm);
+    let ids = RuleIds::of(rule, &mut ctx);
+    rule_poly_ids(rule, &ids, env, cfg, stats, &mut ctx)
+}
+
+/// Per-program size-polynomial context: every argument term is interned
+/// into one flat [`TermArena`] (hash-consed, so repeated argument shapes
+/// share nodes) and its norm polynomial is computed on indices exactly
+/// once, no matter how many fixpoint iterations revisit the rule.
+struct SizeCtx {
+    arena: TermArena,
+    memo: HashMap<TermId, argus_logic::SizePolynomial>,
+    norm: Norm,
+}
+
+impl SizeCtx {
+    fn new(norm: Norm) -> SizeCtx {
+        SizeCtx { arena: TermArena::new(), memo: HashMap::new(), norm }
+    }
+
+    fn poly(&mut self, id: TermId) -> &argus_logic::SizePolynomial {
+        if !self.memo.contains_key(&id) {
+            let p = self.norm.polynomial_id(&self.arena, id);
+            self.memo.insert(id, p);
+        }
+        &self.memo[&id]
+    }
+}
+
+/// Arena ids of one rule's argument terms: `head[i]` for the head,
+/// `body[k][j]` for positive literal `k` (negative literals get an empty
+/// row — they contribute no size information).
+struct RuleIds {
+    head: Vec<TermId>,
+    body: Vec<Vec<TermId>>,
+}
+
+impl RuleIds {
+    fn of(rule: &Rule, ctx: &mut SizeCtx) -> RuleIds {
+        RuleIds {
+            head: rule.head.args.iter().map(|t| ctx.arena.insert(t)).collect(),
+            body: rule
+                .body
+                .iter()
+                .map(|lit| {
+                    if lit.positive {
+                        lit.atom.args.iter().map(|t| ctx.arena.insert(t)).collect()
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// [`rule_poly_instrumented`] on pre-interned argument ids — the fixpoint
+/// body. All size polynomials come memoized out of `ctx`.
+fn rule_poly_ids(
+    rule: &Rule,
+    ids: &RuleIds,
+    env: &SizeRelations,
+    cfg: &fm::FmConfig,
+    stats: &mut fm::FmStats,
+    ctx: &mut SizeCtx,
+) -> Poly {
     let head_arity = rule.head.args.len();
     let mut next: Var = head_arity;
-    let mut var_of: BTreeMap<Arc<str>, Var> = BTreeMap::new();
+    let mut var_of: BTreeMap<Sym, Var> = BTreeMap::new();
     let mut sys = ConstraintSystem::new();
 
     let size_expr = |poly: &argus_logic::SizePolynomial,
-                     var_of: &mut BTreeMap<Arc<str>, Var>,
+                     var_of: &mut BTreeMap<Sym, Var>,
                      next: &mut Var,
                      sys: &mut ConstraintSystem| {
         let mut e = LinExpr::constant(Rat::from_int(poly.constant as i64));
         for (name, coeff) in &poly.coeffs {
-            let v = *var_of.entry(name.clone()).or_insert_with(|| {
+            let v = *var_of.entry(*name).or_insert_with(|| {
                 let v = *next;
                 *next += 1;
                 // Logical-variable sizes are nonnegative (§2.2).
@@ -214,15 +280,15 @@ pub fn rule_poly_instrumented(
     };
 
     // Head argument-size equations: x_i = size(t_i), x_i >= 0.
-    for (i, t) in rule.head.args.iter().enumerate() {
-        let sp = norm.polynomial(t);
-        let e = size_expr(&sp, &mut var_of, &mut next, &mut sys);
+    for (i, id) in ids.head.iter().enumerate() {
+        let sp = ctx.poly(*id);
+        let e = size_expr(sp, &mut var_of, &mut next, &mut sys);
         sys.push(Constraint::eq(LinExpr::var(i), e));
         sys.push(Constraint::nonneg(i));
     }
 
     // Subgoal contributions.
-    for lit in &rule.body {
+    for (lit, lit_ids) in rule.body.iter().zip(&ids.body) {
         if !lit.positive {
             // Negative subgoals yield no size information (Appendix D).
             continue;
@@ -230,18 +296,21 @@ pub fn rule_poly_instrumented(
         let key = lit.atom.key();
         match (&*key.name, key.arity) {
             ("=", 2) => {
-                // Unification: equal terms have equal sizes.
-                let a = norm.polynomial(&lit.atom.args[0]);
-                let b = norm.polynomial(&lit.atom.args[1]);
+                // Unification: equal terms have equal sizes. (`a` is
+                // cloned out of the memo so `b`'s lookup can re-borrow
+                // `ctx`; the expression build order — `ea` before `eb` —
+                // fixes fresh-variable numbering and must not change.)
+                let a = ctx.poly(lit_ids[0]).clone();
                 let ea = size_expr(&a, &mut var_of, &mut next, &mut sys);
-                let eb = size_expr(&b, &mut var_of, &mut next, &mut sys);
+                let b = ctx.poly(lit_ids[1]);
+                let eb = size_expr(b, &mut var_of, &mut next, &mut sys);
                 sys.push(Constraint::eq(ea, eb));
             }
             ("is", 2) => {
                 // The left argument becomes an integer constant, which has
                 // size 0 under either norm.
-                let a = norm.polynomial(&lit.atom.args[0]);
-                let ea = size_expr(&a, &mut var_of, &mut next, &mut sys);
+                let a = ctx.poly(lit_ids[0]);
+                let ea = size_expr(a, &mut var_of, &mut next, &mut sys);
                 sys.push(Constraint::eq(ea, LinExpr::zero()));
             }
             (op, 2) if argus_logic::modes::TEST_BUILTINS.contains(&op) => {
@@ -259,9 +328,9 @@ pub fn rule_poly_instrumented(
                 }
                 let base = next;
                 next += key.arity;
-                for (j, t) in lit.atom.args.iter().enumerate() {
-                    let sp = norm.polynomial(t);
-                    let e = size_expr(&sp, &mut var_of, &mut next, &mut sys);
+                for (j, id) in lit_ids.iter().enumerate() {
+                    let sp = ctx.poly(*id);
+                    let e = size_expr(sp, &mut var_of, &mut next, &mut sys);
                     sys.push(Constraint::eq(LinExpr::var(base + j), e));
                     sys.push(Constraint::nonneg(base + j));
                 }
@@ -317,11 +386,17 @@ pub fn infer_size_relations_instrumented(
     let hull_cfg =
         fm::FmConfig { max_rows: cfg.max_rows.min(argus_linear::poly::HULL_ROW_CAP), ..*cfg };
     let graph = DepGraph::build(program);
+    let index = ProcIndex::build(program);
+    // One arena + polynomial memo for the whole program: argument-term
+    // polynomials are computed once, then every fixpoint iteration (and
+    // every SCC) reuses them by id.
+    let mut ctx = SizeCtx::new(options.norm);
+    let rule_ids: Vec<RuleIds> = program.rules.iter().map(|r| RuleIds::of(r, &mut ctx)).collect();
     let mut rels = SizeRelations::new();
 
     for scc_id in graph.sccs_bottom_up() {
         let members: Vec<PredKey> =
-            graph.scc(scc_id).into_iter().filter(|p| !program.procedure(p).is_empty()).collect();
+            graph.scc(scc_id).into_iter().filter(|p| !index.rule_indices(p).is_empty()).collect();
         if members.is_empty() {
             continue; // EDB-only SCC; stays at implicit top.
         }
@@ -331,8 +406,15 @@ pub fn infer_size_relations_instrumented(
         if !recursive {
             for p in &members {
                 let mut acc = Poly::empty(p.arity);
-                for rule in program.procedure(p) {
-                    let rp = rule_poly_instrumented(rule, &rels, options.norm, &rule_cfg, stats);
+                for &ri in index.rule_indices(p) {
+                    let rp = rule_poly_ids(
+                        &program.rules[ri],
+                        &rule_ids[ri],
+                        &rels,
+                        &rule_cfg,
+                        stats,
+                        &mut ctx,
+                    );
                     acc = acc.hull_with(&rp, &hull_cfg, stats);
                 }
                 rels.insert(p.clone(), acc.minimized());
@@ -350,8 +432,15 @@ pub fn infer_size_relations_instrumented(
             for p in &members {
                 let old = rels.get(p).cloned().expect("seeded");
                 let mut new = Poly::empty(p.arity);
-                for rule in program.procedure(p) {
-                    let rp = rule_poly_instrumented(rule, &rels, options.norm, &rule_cfg, stats);
+                for &ri in index.rule_indices(p) {
+                    let rp = rule_poly_ids(
+                        &program.rules[ri],
+                        &rule_ids[ri],
+                        &rels,
+                        &rule_cfg,
+                        stats,
+                        &mut ctx,
+                    );
                     new = new.hull_with(&rp, &hull_cfg, stats);
                 }
                 // Join with previous to enforce monotonicity, then widen.

@@ -157,8 +157,8 @@ pub fn split_step(program: &Program, counter: &mut usize) -> Option<Program> {
             let u1 = heads1.iter().any(|h| args_unify(&lit.atom, h));
             let u2 = heads2.iter().any(|h| args_unify(&lit.atom, h));
             match (u1, u2) {
-                (true, false) => lit.atom.name = std::sync::Arc::from(n1.as_str()),
-                (false, true) => lit.atom.name = std::sync::Arc::from(n2.as_str()),
+                (true, false) => lit.atom.name = argus_logic::Sym::new(n1.as_str()),
+                (false, true) => lit.atom.name = argus_logic::Sym::new(n2.as_str()),
                 _ => {}
             }
         }

@@ -27,7 +27,6 @@
 use argus_logic::modes::{is_builtin, Adornment, ModeMap};
 use argus_logic::program::{Atom, Literal, PredKey, Program, Rule};
 use argus_logic::span::SpanSlot;
-use std::sync::Arc;
 
 /// Result of the magic-sets rewriting.
 #[derive(Debug, Clone)]
@@ -39,8 +38,8 @@ pub struct MagicProgram {
     pub seed: PredKey,
 }
 
-fn magic_name(pred: &PredKey) -> Arc<str> {
-    Arc::from(format!("magic__{}", pred.name))
+fn magic_name(pred: &PredKey) -> argus_logic::Sym {
+    argus_logic::Sym::new(format!("magic__{}", pred.name))
 }
 
 /// Project an atom's arguments onto the bound positions of `adornment`.
@@ -135,7 +134,7 @@ mod tests {
         // The goal predicate may have been renamed by adornment; the
         // corpus-style single-adornment cases keep their names.
         let goal =
-            Atom { name: adorned.query.name.clone(), args: goal.args, span: SpanSlot::none() };
+            Atom { name: adorned.query.name, args: goal.args, span: SpanSlot::none() };
         let rewritten = magic_rewrite(&adorned.program, &adorned.modes, &goal);
         (rewritten, goal)
     }

@@ -114,7 +114,7 @@ pub fn execute(program: &Program, goal: &Literal, plan: &Plan, options: &ExecOpt
             // saturate — only facts relevant to the query are derived.
             let adorned = crate::logic::adorn_program(program, &plan.query, plan.adornment.clone());
             let adorned_goal = crate::logic::Atom {
-                name: adorned.query.name.clone(),
+                name: adorned.query.name,
                 args: goal.atom.args.clone(),
                 span: goal.atom.span,
             };
@@ -130,7 +130,7 @@ pub fn execute(program: &Program, goal: &Literal, plan: &Plan, options: &ExecOpt
                         if unify_atoms(&mut s, &goal.atom, fact, false) {
                             answers.push(
                                 vars.iter()
-                                    .map(|v| (v.to_string(), s.resolve(&Term::Var(v.clone()))))
+                                    .map(|v| (v.to_string(), s.resolve(&Term::Var(*v))))
                                     .collect(),
                             );
                         }

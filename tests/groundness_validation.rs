@@ -61,7 +61,7 @@ fn resolve_with(t: &Term, sol: &std::collections::BTreeMap<String, Term>) -> Ter
     match t {
         Term::Var(v) => sol.get(&**v).cloned().unwrap_or_else(|| t.clone()),
         Term::App(f, args) => {
-            Term::App(f.clone(), args.iter().map(|a| resolve_with(a, sol)).collect())
+            Term::App(*f, args.iter().map(|a| resolve_with(a, sol)).collect())
         }
     }
 }
