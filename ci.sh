@@ -54,6 +54,30 @@ echo "==> infer smoke"
 ./target/release/argus infer --corpus --certify > /dev/null
 ./target/release/argus fuzz --infer --seed 7 --cases 200 --jobs 0
 
+echo "==> portfolio smoke"
+# The engine portfolio: sweep the corpus through the SCT engine and the
+# full five-engine race (exit 0 = proved, 2 = unknown — both fine here;
+# anything else is a crash), pinning the corpus-wide win counts so an
+# engine that silently stops proving its separators fails the gate. Then
+# the cross-engine fuzz oracle: every engine's claimed proof on 200
+# generated programs must survive the SLD interpreter and θ's
+# zero-weight-cycle evidence.
+SCT_WINS=0; THETA_WINS=0
+while read -r name query mode; do
+    ./target/release/argus corpus "$name" > /tmp/argus-portfolio-prog.pl
+    ./target/release/argus analyze /tmp/argus-portfolio-prog.pl "$query" "$mode" \
+        --engine sct > /dev/null || [[ $? -eq 2 ]]
+    out=$(./target/release/argus analyze /tmp/argus-portfolio-prog.pl "$query" "$mode" \
+        --engine portfolio --json --jobs 0) || [[ $? -eq 2 ]]
+    case "$out" in
+        *'"winner":"sct"'*) SCT_WINS=$((SCT_WINS + 1)) ;;
+        *'"winner":"theta"'*) THETA_WINS=$((THETA_WINS + 1)) ;;
+    esac
+done < <(./target/release/argus corpus | tail -n +2 | awk '{print $1, $2, $3}')
+[[ "$SCT_WINS" -ge 4 ]] || { echo "portfolio: expected >=4 sct wins, got $SCT_WINS"; exit 1; }
+[[ "$THETA_WINS" -ge 28 ]] || { echo "portfolio: expected >=28 theta wins, got $THETA_WINS"; exit 1; }
+./target/release/argus fuzz --portfolio --seed 5 --cases 200 --jobs 0
+
 echo "==> serve smoke"
 # Boot the analysis server on an ephemeral port and drive it over real
 # sockets: loadgen primes the caches through /v1/infer then replays the

@@ -26,6 +26,10 @@
 
 #![warn(missing_docs)]
 
+pub mod engines;
+
+pub use engines::{engine_by_id, standard_engines, SctEngine, ThetaEngine, ENGINE_IDS};
+
 use argus_core::{AnalysisOptions, Verdict};
 use argus_logic::modes::Adornment;
 use argus_logic::{DepGraph, PredKey, Program, Term};
@@ -291,12 +295,36 @@ impl TerminationMethod for SohnVanGelder {
     }
 }
 
-/// All four methods, in presentation order.
+/// Size-change termination (`argus-sct`), wrapped for the comparison
+/// matrix beside the methods above. Not a "prior" method — it is the
+/// portfolio's second engine — but the E15 win-count experiment wants it
+/// in the same table.
+pub struct SizeChange;
+
+impl TerminationMethod for SizeChange {
+    fn name(&self) -> &'static str {
+        "Size-change termination"
+    }
+
+    fn prove(&self, program: &Program, query: &PredKey, adornment: &Adornment) -> MethodResult {
+        let report = argus_sct::analyze_sct(
+            program,
+            query,
+            adornment.clone(),
+            &AnalysisOptions::default(),
+            None,
+        );
+        MethodResult { proved: report.proved, detail: report.detail() }
+    }
+}
+
+/// All five methods, in presentation order.
 pub fn all_methods() -> Vec<Box<dyn TerminationMethod>> {
     vec![
         Box::new(NaishSubset),
         Box::new(UvgSingleArgument),
         Box::new(BrodskySagivBinary),
+        Box::new(SizeChange),
         Box::new(SohnVanGelder),
     ]
 }

@@ -646,6 +646,73 @@ pub fn scale_suite(scale: Scale) -> Vec<Sample> {
     out
 }
 
+/// E15 — the engine portfolio: every engine timed alone on the corpus
+/// separator entries (θ-only, SCT-only, and both-prove programs), then
+/// the full five-engine race sequentially and with the worker pool. Each
+/// single-engine sample carries that engine's deterministic work
+/// counters (θ's FM rows, SCT's graph/closure/idempotent counts), so the
+/// report records *why* an engine wins an entry, not just how fast; the
+/// race samples carry the winner index so attribution drift is visible
+/// in the committed report.
+pub fn portfolio_suite(scale: Scale) -> Vec<Sample> {
+    use argus_baselines::{engine_by_id, standard_engines, ENGINE_IDS};
+    use argus_core::run_portfolio;
+
+    let entries: &[&str] = match scale {
+        Scale::Smoke => &["append_bff", "sct_lex_reset"],
+        Scale::Full => {
+            &["append_bff", "quicksort", "sct_lex_reset", "ackermann", "theta_crossed_descent"]
+        }
+    };
+    let options = AnalysisOptions { parallelism: 1, ..AnalysisOptions::default() };
+    let mut out = Vec::new();
+    for name in entries {
+        let entry = argus_corpus::find(name).expect("corpus entry");
+        let program = entry.program().expect("parse");
+        let (query, adornment) = entry.query_key();
+        for id in ENGINE_IDS {
+            let engines = vec![engine_by_id(id).expect("known engine id")];
+            let report = run_portfolio(&engines, &program, &query, &adornment, &options, 1, false);
+            out.push(
+                bench_case("portfolio", &format!("engine/{name}/{id}"), 1, scale.iters(), || {
+                    black_box(run_portfolio(
+                        black_box(&engines),
+                        &program,
+                        &query,
+                        &adornment,
+                        &options,
+                        1,
+                        false,
+                    ))
+                })
+                .with_counters(report.entries[0].run.stats.clone()),
+            );
+        }
+        let engines = standard_engines();
+        for (label, jobs) in [("jobs-1", 1usize), ("jobs-auto", 0)] {
+            let race_options = AnalysisOptions { parallelism: jobs, ..AnalysisOptions::default() };
+            let report =
+                run_portfolio(&engines, &program, &query, &adornment, &race_options, jobs, true);
+            let winner = report.winner.map(|w| w as u64).unwrap_or(u64::MAX);
+            out.push(
+                bench_case("portfolio", &format!("race/{name}/{label}"), 1, scale.iters(), || {
+                    black_box(run_portfolio(
+                        black_box(&engines),
+                        &program,
+                        &query,
+                        &adornment,
+                        &race_options,
+                        jobs,
+                        true,
+                    ))
+                })
+                .with_counters(vec![("engines", engines.len() as u64), ("winner_index", winner)]),
+            );
+        }
+    }
+    out
+}
+
 /// A suite entry point: workloads at a given scale, as samples.
 pub type SuiteFn = fn(Scale) -> Vec<Sample>;
 
@@ -661,6 +728,7 @@ pub fn all_suites() -> Vec<(&'static str, SuiteFn)> {
         ("parallel", parallel_suite),
         ("serve", serve_suite),
         ("infer", infer_suite),
+        ("portfolio", portfolio_suite),
         ("scale", scale_suite),
     ]
 }

@@ -54,6 +54,44 @@ use crate::par::{effective_workers, par_map_indexed};
 use argus_logic::{adorn_program, Adornment, DepGraph, Dnf, PredKey, Program};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// The signature of a pluggable probe: decide one (program, predicate,
+/// adornment) instance under the given analysis options.
+pub type ProbeFn =
+    dyn Fn(&Program, &PredKey, &Adornment, &AnalysisOptions) -> Verdict + Send + Sync;
+
+/// A cloneable, `Debug`-opaque wrapper around a probe closure, so
+/// [`BackwardsOptions`] can keep deriving `Debug` and `Clone`. Used by the
+/// CLI to run inference under a non-default engine (`infer --engine sct`)
+/// without `argus-core` depending on the engine crates.
+#[derive(Clone)]
+pub struct ProbeHook(std::sync::Arc<ProbeFn>);
+
+impl ProbeHook {
+    /// Wrap a probe closure.
+    pub fn new(
+        f: impl Fn(&Program, &PredKey, &Adornment, &AnalysisOptions) -> Verdict + Send + Sync + 'static,
+    ) -> ProbeHook {
+        ProbeHook(std::sync::Arc::new(f))
+    }
+
+    /// Run the probe.
+    pub fn call(
+        &self,
+        program: &Program,
+        pred: &PredKey,
+        adn: &Adornment,
+        options: &AnalysisOptions,
+    ) -> Verdict {
+        (self.0)(program, pred, adn, options)
+    }
+}
+
+impl std::fmt::Debug for ProbeHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProbeHook(..)")
+    }
+}
+
 /// Options for [`infer_conditions`].
 #[derive(Debug, Clone)]
 pub struct BackwardsOptions {
@@ -81,6 +119,13 @@ pub struct BackwardsOptions {
     /// Keep the rendered forward report of every analyzed candidate, so a
     /// server can prime its analyze cache from one inference pass.
     pub collect_reports: bool,
+    /// Replace the built-in θ-method probe with a custom decision
+    /// procedure (e.g. the size-change engine, or a racing portfolio).
+    /// Overridden probes skip the two-phase raw/escalated split and never
+    /// collect priming reports; backwards propagation stays sound because
+    /// every summarized callee condition in one sweep comes from the same
+    /// probe, and provability is monotone in boundness for every engine.
+    pub probe_override: Option<ProbeHook>,
 }
 
 impl Default for BackwardsOptions {
@@ -91,6 +136,7 @@ impl Default for BackwardsOptions {
             propagate: true,
             escalate_zero_weight: false,
             collect_reports: false,
+            probe_override: None,
         }
     }
 }
@@ -324,6 +370,16 @@ fn probe(
     options: &BackwardsOptions,
     result: &mut PredResult,
 ) -> Verdict {
+    if let Some(hook) = &options.probe_override {
+        result.analyses += 1;
+        let verdict = hook.call(program, pred, adn, probe_options);
+        result.condition.checked.push(CandidateOutcome {
+            adornment: adn.clone(),
+            verdict,
+            pruned: false,
+        });
+        return verdict;
+    }
     let raw_options = AnalysisOptions { transform_phases: 0, ..probe_options.clone() };
     let raw = analyze_with_cache(program, pred, adn.clone(), &raw_options, Some(shared));
     result.analyses += 1;

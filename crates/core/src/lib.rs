@@ -40,6 +40,7 @@ pub mod backwards;
 pub mod certificate;
 pub mod delta;
 pub mod dual;
+pub mod engine;
 pub mod json;
 pub mod lexico;
 pub mod negweight;
@@ -54,10 +55,13 @@ pub use analyze::{
 pub use argus_linear::{FmStats, FmTier};
 pub use backwards::{
     check_condition, infer_conditions, infer_conditions_for, BackwardsOptions, CandidateOutcome,
-    InferenceReport, TerminationCondition,
+    InferenceReport, ProbeFn, ProbeHook, TerminationCondition,
 };
 pub use certificate::{verify_report, CertificateError};
 pub use delta::{assign_deltas, DeltaAssignment, DeltaOutcome};
+pub use engine::{
+    run_portfolio, Engine, EngineCtx, EngineEntry, EngineRun, EngineVerdict, PortfolioReport,
+};
 pub use lexico::{prove_lexicographic, prove_scc_lexicographic, LexicographicProof};
 pub use pairs::{build_pair, ProjectionCache, RuleSubgoalSystem};
 pub use theta::ThetaSpace;

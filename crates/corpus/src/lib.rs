@@ -481,6 +481,61 @@ pub fn corpus() -> Vec<CorpusEntry> {
                 "f0(s(s(s(s(s(s(s(z))))))), R)",
             ],
         },
+        CorpusEntry {
+            name: "sct_lex_reset",
+            source: SCT_LEX_RESET,
+            query: "d/2",
+            adornment: "bb",
+            terminates: true,
+            expected_provable: false,
+            paper_ref: None,
+            description: "lexicographic descent with a doubling reset of the minor \
+                          argument: the θ-method is infeasible (any weight on arg2 \
+                          is defeated by the 2× reset), while size-change \
+                          termination proves it from the per-call graphs",
+            sample_queries: &["d(z, z)", "d(s(s(z)), s(z))", "d(s(z), s(s(z)))"],
+        },
+        CorpusEntry {
+            name: "sct_lex_reset_append",
+            source: SCT_LEX_RESET_APPEND,
+            query: "w/2",
+            adornment: "bb",
+            terminates: true,
+            expected_provable: false,
+            paper_ref: None,
+            description: "list-norm variant of the reset pattern: the minor argument \
+                          is reset through append's 3-variable size relation \
+                          (|Zs| = 2|Ys|); SCT-provable, θ-infeasible",
+            sample_queries: &["w(z, [])", "w(s(z), [a])", "w(s(s(z)), [a, b])"],
+        },
+        CorpusEntry {
+            name: "sct_lex_reset_mutual",
+            source: SCT_LEX_RESET_MUTUAL,
+            query: "pm/2",
+            adornment: "bb",
+            terminates: true,
+            expected_provable: false,
+            paper_ref: None,
+            description: "the reset pattern spread over a 2-predicate mutual ring: \
+                          size-change graphs compose across the ring and prove it; \
+                          the θ-system forces both arg2 weights to zero and fails",
+            sample_queries: &["pm(z, z)", "pm(s(z), s(z))", "pm(s(s(z)), s(z))"],
+        },
+        CorpusEntry {
+            name: "theta_crossed_descent",
+            source: THETA_CROSSED,
+            query: "m/2",
+            adornment: "bb",
+            terminates: true,
+            expected_provable: true,
+            paper_ref: None,
+            description: "crossed growth: each rule grows one argument while \
+                          shrinking the other by two, so x1 + x2 decreases (θ \
+                          proves it) but no single argument pair descends — the \
+                          size-change closure's idempotents have no strict \
+                          self-edge",
+            sample_queries: &["m(z, s(z))", "m(s(s(z)), s(s(s(z))))", "m(s(s(s(z))), s(s(z)))"],
+        },
     ]
 }
 
@@ -753,6 +808,40 @@ expr(L, R) :- expr(L, M), eat_plus(M, M1), term(M1, R).
 expr(L, R) :- term(L, R).
 term([n|R], R).
 eat_plus(['+'|R], R).
+";
+
+const SCT_LEX_RESET: &str = "\
+double(z, z).
+double(s(N), s(s(M))) :- double(N, M).
+d(z, Y).
+d(s(X), Y) :- double(Y, A), d(X, A).
+d(X, s(Y)) :- d(X, Y).
+";
+
+const SCT_LEX_RESET_APPEND: &str = "\
+app([], Ys, Ys).
+app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
+w(z, Ys).
+w(s(X), Ys) :- app(Ys, Ys, Zs), w(X, Zs).
+w(X, [Y|Ys]) :- w(X, Ys).
+";
+
+const SCT_LEX_RESET_MUTUAL: &str = "\
+double(z, z).
+double(s(N), s(s(M))) :- double(N, M).
+pm(z, Y).
+pm(s(X), Y) :- double(Y, A), qm(X, A).
+pm(X, s(Y)) :- qm(X, Y).
+qm(z, Y).
+qm(s(X), Y) :- double(Y, A), pm(X, A).
+qm(X, s(Y)) :- pm(X, Y).
+";
+
+const THETA_CROSSED: &str = "\
+m(z, Y).
+m(X, z).
+m(X, s(s(Y))) :- m(s(X), Y).
+m(s(s(X)), Y) :- m(X, s(Y)).
 ";
 
 #[cfg(test)]

@@ -10,9 +10,12 @@
 //! * [`oracle`] runs three checks per case — differential soundness
 //!   against the SLD interpreter, certificate cross-checks (both
 //!   directions), and metamorphic invariance under semantics-preserving
-//!   program rewrites — plus two opt-in ones: byte-identical round-trips
-//!   through a live `argus serve` (`--serve`) and confirmation of every
-//!   backwards-inferred termination-condition disjunct (`--infer`);
+//!   program rewrites — plus three opt-in ones: byte-identical round-trips
+//!   through a live `argus serve` (`--serve`), confirmation of every
+//!   backwards-inferred termination-condition disjunct (`--infer`), and a
+//!   cross-engine portfolio differential in which every registered
+//!   engine's claimed proof must survive the interpreter and θ's
+//!   zero-weight-cycle evidence (`--portfolio`);
 //! * [`shrink`] minimizes any failing program to a small reproducer.
 //!
 //! Everything is keyed on [`argus_prng::Rng64`], so a run is identified by
@@ -34,7 +37,7 @@ use argus_prng::Rng64;
 use gen::{generate, GenCase, GenOptions};
 use oracle::{
     analysis_options, check_certificate, check_differential, check_infer, check_metamorphic,
-    check_serve, theta_refutes_unknown, ServeCheckFailure, ViolationKind,
+    check_portfolio, check_serve, theta_refutes_unknown, ServeCheckFailure, ViolationKind,
 };
 use std::fmt;
 use std::fmt::Write as _;
@@ -68,6 +71,12 @@ pub struct FuzzOptions {
     /// forward analyzer, the certificate checker, and the interpreter.
     /// Off by default — it multiplies analysis cost per case.
     pub infer: bool,
+    /// Run the cross-engine portfolio oracle (`--portfolio`): every
+    /// registered engine analyzes every case un-raced, and any claimed
+    /// proof is checked against the interpreter and against θ's
+    /// zero-weight-cycle evidence. Off by default — it runs five engines
+    /// per case.
+    pub portfolio: bool,
     /// Test-only hook: treat every `Unknown` verdict as a claimed
     /// `Terminates` so the differential oracle and the shrinker can be
     /// exercised end-to-end. Never set outside tests.
@@ -88,6 +97,7 @@ impl Default for FuzzOptions {
             gen: GenOptions::default(),
             serve_addr: None,
             infer: false,
+            portfolio: false,
             inject_soundness_bug: false,
         }
     }
@@ -328,6 +338,10 @@ fn still_fails(
             check_metamorphic(&c2, &report, transform_seed).is_err()
         }
         ViolationKind::InferSoundness => check_infer(candidate, opts.max_steps).is_err(),
+        ViolationKind::Portfolio => {
+            check_portfolio(candidate, &case.query, &case.adornment, report.verdict, opts.max_steps)
+                .is_err()
+        }
         ViolationKind::ServeDivergence => {
             let Some(addr) = opts.serve_addr.as_deref() else { return false };
             // Only a confirmed divergence keeps the shrinker going; a
@@ -393,6 +407,20 @@ fn run_case(index: usize, opts: &FuzzOptions) -> CaseResult {
     if failure.is_none() && opts.infer {
         if let Err(detail) = check_infer(&case.program, opts.max_steps) {
             failure = Some((ViolationKind::InferSoundness, detail));
+        }
+    }
+    // Oracle 6 (opt-in): cross-engine portfolio differential — any
+    // engine's claimed proof must survive the interpreter and θ's
+    // zero-weight-cycle evidence.
+    if failure.is_none() && opts.portfolio {
+        if let Err(detail) = check_portfolio(
+            &case.program,
+            &case.query,
+            &case.adornment,
+            report.verdict,
+            opts.max_steps,
+        ) {
+            failure = Some((ViolationKind::Portfolio, detail));
         }
     }
     // Oracle 4 (opt-in): byte-identical round-trip through a live server.
@@ -525,6 +553,20 @@ mod tests {
             metamorphic: false,
             theta_search: false,
             infer: true,
+            ..FuzzOptions::default()
+        };
+        let report = run(&opts);
+        assert!(report.clean(), "{report}");
+    }
+
+    #[test]
+    fn portfolio_oracle_small_run_is_clean() {
+        let opts = FuzzOptions {
+            cases: 15,
+            seed: 21,
+            metamorphic: false,
+            theta_search: false,
+            portfolio: true,
             ..FuzzOptions::default()
         };
         let report = run(&opts);

@@ -47,6 +47,10 @@ pub enum ViolationKind {
     /// Backwards inference produced a disjunct the forward analyzer, the
     /// certificate checker, or the SLD interpreter does not confirm.
     InferSoundness,
+    /// An engine in the portfolio claimed a termination proof that the
+    /// differential interpreter check refutes, or that contradicts the
+    /// θ-method's zero-weight-cycle evidence.
+    Portfolio,
 }
 
 impl ViolationKind {
@@ -59,6 +63,7 @@ impl ViolationKind {
             ViolationKind::JobsDivergence => "jobs-divergence",
             ViolationKind::ServeDivergence => "serve-divergence",
             ViolationKind::InferSoundness => "infer-soundness",
+            ViolationKind::Portfolio => "portfolio",
         }
     }
 }
@@ -230,6 +235,56 @@ pub fn check_infer(program: &Program, max_steps: u64) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Oracle 6 (opt-in, `--portfolio`): run every registered engine on the
+/// case (un-raced, so every verdict is real) and cross-check the proofs.
+///
+/// The engines prove *incomparable* program classes, so a plain
+/// `Terminates`-vs-`Unknown` disagreement is expected — it is the whole
+/// point of racing them. Only two outcomes are violations:
+///
+/// * an engine claims a proof but a bounded ground evaluation of the
+///   claimed mode exhausts the interpreter budget (per-engine
+///   differential soundness), or
+/// * an engine claims a proof while the θ-method exhibits a zero-weight
+///   cycle — a concrete witness that some recursion path never shrinks
+///   any bound argument, which no sound engine may contradict.
+pub fn check_portfolio(
+    program: &Program,
+    query: &PredKey,
+    adornment: &Adornment,
+    theta_verdict: Verdict,
+    max_steps: u64,
+) -> Result<(), String> {
+    let engines = argus_baselines::standard_engines();
+    let report = argus_core::run_portfolio(
+        &engines,
+        program,
+        query,
+        adornment,
+        &analysis_options(),
+        1,
+        false,
+    );
+    let provers: Vec<&str> = report
+        .entries
+        .iter()
+        .filter(|e| e.run.verdict == argus_core::EngineVerdict::Proved)
+        .map(|e| e.id)
+        .collect();
+    if provers.is_empty() {
+        return Ok(());
+    }
+    if theta_verdict == Verdict::ZeroWeightCycle {
+        return Err(format!(
+            "engine(s) {} proved termination but the theta-method found a zero-weight cycle",
+            provers.join("/")
+        ));
+    }
+    check_differential_adorned(program, query, adornment, max_steps).map_err(|e| {
+        format!("engine(s) {} proved termination but evaluation diverges: {e}", provers.join("/"))
+    })
 }
 
 /// Oracle 2a: a `Terminates` report must pass the certificate checker.

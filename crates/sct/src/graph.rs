@@ -1,0 +1,329 @@
+//! Size-change graphs: representation, interned arena, memoized
+//! composition, and the closure-based termination criterion.
+//!
+//! A size-change graph describes one call site: nodes are the *bound*
+//! argument positions of the caller (source) and callee (target), and an
+//! edge `i → j` asserts that in every reachable instance of the call,
+//! `size(caller arg i) ≥ size(callee arg j)` — strictly, when the edge is
+//! strict. The termination criterion (Lee–Jones–Ben-Amram, POPL 2001) is
+//! decided on the composition closure of the per-call-site graphs: the
+//! program part terminates iff every **idempotent** graph in the closure
+//! (`g ∘ g = g`, same source and target) carries a strict self-edge
+//! `i → i`. Graphs are interned in a [`GraphArena`] so the closure
+//! worklist and the composition memo work over dense `u32` ids — the same
+//! `Sym`/arena discipline the rest of the workspace uses.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Interned graph id, dense per [`GraphArena`].
+pub type GraphId = u32;
+
+/// One size-change edge between bound argument positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Bound-argument index in the source (caller) predicate.
+    pub from: u16,
+    /// Bound-argument index in the target (callee) predicate.
+    pub to: u16,
+    /// `true`: the size strictly decreases (`>`); `false`: non-strict (`≥`).
+    pub strict: bool,
+}
+
+/// A size-change graph between two predicates of one SCC.
+///
+/// `source`/`target` are SCC-local predicate indices (assigned by the
+/// analysis in member order). `edges` is sorted by `(from, to)` with at
+/// most one edge per position pair — strict subsumes non-strict, so only
+/// the strongest claim is kept.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Graph {
+    /// SCC-local index of the caller predicate.
+    pub source: u32,
+    /// SCC-local index of the callee predicate.
+    pub target: u32,
+    /// Sorted, deduplicated edges.
+    pub edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Build a graph from arbitrary edge claims, keeping per position pair
+    /// the strongest (strict wins) and sorting canonically.
+    pub fn new(source: u32, target: u32, edges: impl IntoIterator<Item = Edge>) -> Graph {
+        let mut best: BTreeMap<(u16, u16), bool> = BTreeMap::new();
+        for e in edges {
+            let s = best.entry((e.from, e.to)).or_insert(false);
+            *s = *s || e.strict;
+        }
+        let edges =
+            best.into_iter().map(|((from, to), strict)| Edge { from, to, strict }).collect();
+        Graph { source, target, edges }
+    }
+
+    /// Does the graph carry a strict self-edge `i → i`?
+    pub fn has_strict_self_edge(&self) -> bool {
+        self.edges.iter().any(|e| e.strict && e.from == e.to)
+    }
+
+    /// Compose with `other` (`self.target` must equal `other.source`):
+    /// edge `i → k` exists when some `j` links `i → j` and `j → k`, strict
+    /// when either hop (on the *best* path) is strict.
+    pub fn compose(&self, other: &Graph) -> Graph {
+        debug_assert_eq!(self.target, other.source, "composition mismatch");
+        let mut best: BTreeMap<(u16, u16), bool> = BTreeMap::new();
+        for a in &self.edges {
+            for b in &other.edges {
+                if a.to != b.from {
+                    continue;
+                }
+                let s = best.entry((a.from, b.to)).or_insert(false);
+                *s = *s || a.strict || b.strict;
+            }
+        }
+        let edges =
+            best.into_iter().map(|((from, to), strict)| Edge { from, to, strict }).collect();
+        Graph { source: self.source, target: other.target, edges }
+    }
+}
+
+/// Deterministic counters of one arena's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArenaStats {
+    /// Graphs interned (distinct graphs resident).
+    pub graphs: u64,
+    /// Compositions computed (memo misses).
+    pub compositions: u64,
+    /// Compositions answered from the memo.
+    pub memo_hits: u64,
+}
+
+/// Interning arena for size-change graphs with a memoized composition
+/// table over graph ids. All iteration the analysis performs is over
+/// insertion-ordered vectors, so results are deterministic regardless of
+/// the hash maps' internal layout.
+#[derive(Debug, Default)]
+pub struct GraphArena {
+    graphs: Vec<Graph>,
+    ids: HashMap<Graph, GraphId>,
+    memo: HashMap<(GraphId, GraphId), GraphId>,
+    /// Lifetime counters.
+    pub stats: ArenaStats,
+}
+
+impl GraphArena {
+    /// Fresh empty arena.
+    pub fn new() -> GraphArena {
+        GraphArena::default()
+    }
+
+    /// Intern `g`, returning its id (existing id if already present).
+    pub fn intern(&mut self, g: Graph) -> GraphId {
+        if let Some(&id) = self.ids.get(&g) {
+            return id;
+        }
+        let id = self.graphs.len() as GraphId;
+        self.ids.insert(g.clone(), id);
+        self.graphs.push(g);
+        self.stats.graphs += 1;
+        id
+    }
+
+    /// The graph behind `id`.
+    pub fn get(&self, id: GraphId) -> &Graph {
+        &self.graphs[id as usize]
+    }
+
+    /// Number of interned graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Is the arena empty?
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Compose two interned graphs, memoized on the id pair.
+    pub fn compose_ids(&mut self, a: GraphId, b: GraphId) -> GraphId {
+        if let Some(&id) = self.memo.get(&(a, b)) {
+            self.stats.memo_hits += 1;
+            return id;
+        }
+        self.stats.compositions += 1;
+        let g = self.get(a).compose(self.get(b));
+        let id = self.intern(g);
+        self.memo.insert((a, b), id);
+        id
+    }
+}
+
+/// The composition closure of `initial`: the least set containing the
+/// initial graphs and closed under composition of source/target-compatible
+/// pairs. Returned in deterministic first-discovery order.
+pub fn closure(arena: &mut GraphArena, initial: &[GraphId]) -> Vec<GraphId> {
+    let mut out: Vec<GraphId> = Vec::new();
+    let mut seen: HashMap<GraphId, ()> = HashMap::new();
+    for &id in initial {
+        if seen.insert(id, ()).is_none() {
+            out.push(id);
+        }
+    }
+    let mut i = 0;
+    while i < out.len() {
+        let g = out[i];
+        // Compose with everything discovered so far (both directions);
+        // iterate by index so newly discovered graphs join the frontier.
+        for j in 0..=i {
+            let h = out[j];
+            for (a, b) in [(g, h), (h, g)] {
+                if arena.get(a).target != arena.get(b).source {
+                    continue;
+                }
+                let c = arena.compose_ids(a, b);
+                if seen.insert(c, ()).is_none() {
+                    out.push(c);
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The size-change termination criterion over a closed set: every
+/// idempotent graph (`g ∘ g = g`, `source == target`) must carry a strict
+/// self-edge. Returns the first offending graph id in closure order, or
+/// `None` when the criterion holds. `idempotents` counts the idempotent
+/// graphs examined.
+pub fn criterion(
+    arena: &mut GraphArena,
+    closed: &[GraphId],
+    idempotents: &mut u64,
+) -> Option<GraphId> {
+    for &id in closed {
+        let g = arena.get(id);
+        if g.source != g.target {
+            continue;
+        }
+        if arena.compose_ids(id, id) != id {
+            continue;
+        }
+        *idempotents += 1;
+        if !arena.get(id).has_strict_self_edge() {
+            return Some(id);
+        }
+    }
+    None
+}
+
+/// An independent decision procedure used by the property tests: for every
+/// cyclic graph `g` in the closure, iterate `g, g², g⁴, …` until the power
+/// sequence reaches an idempotent (it must — the closure is finite), and
+/// require a strict self-edge there. Equivalent to [`criterion`] on closed
+/// sets; deliberately structured differently so the two can cross-check
+/// each other.
+pub fn criterion_by_powers(arena: &mut GraphArena, closed: &[GraphId]) -> bool {
+    for &id in closed {
+        let g = arena.get(id);
+        if g.source != g.target {
+            continue;
+        }
+        let mut p = id;
+        // The interned-id sequence p, p², p⁴, … lives in a finite set and
+        // squaring is deterministic, so it must eventually cycle; an
+        // idempotent appears as a fixed point of squaring. Bound the walk
+        // defensively anyway.
+        for _ in 0..64 {
+            let q = arena.compose_ids(p, p);
+            if q == p {
+                break;
+            }
+            p = q;
+        }
+        if arena.compose_ids(p, p) == p && !arena.get(p).has_strict_self_edge() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(from: u16, to: u16, strict: bool) -> Edge {
+        Edge { from, to, strict }
+    }
+
+    #[test]
+    fn compose_prefers_strict_paths() {
+        // Two paths 0→0: one strict via 1, one non-strict via 0.
+        let g = Graph::new(0, 0, [e(0, 0, false), e(0, 1, true)]);
+        let h = Graph::new(0, 0, [e(0, 0, false), e(1, 0, false)]);
+        let c = g.compose(&h);
+        assert_eq!(c.edges, vec![e(0, 0, true)]);
+    }
+
+    #[test]
+    fn intern_dedups_and_memoizes() {
+        let mut arena = GraphArena::new();
+        let a = arena.intern(Graph::new(0, 0, [e(0, 0, true)]));
+        let b = arena.intern(Graph::new(0, 0, [e(0, 0, true)]));
+        assert_eq!(a, b);
+        assert_eq!(arena.len(), 1);
+        let c1 = arena.compose_ids(a, a);
+        let hits = arena.stats.memo_hits;
+        let c2 = arena.compose_ids(a, a);
+        assert_eq!(c1, c2);
+        assert_eq!(arena.stats.memo_hits, hits + 1);
+    }
+
+    #[test]
+    fn strict_self_loop_passes_criterion() {
+        let mut arena = GraphArena::new();
+        let a = arena.intern(Graph::new(0, 0, [e(0, 0, true)]));
+        let closed = closure(&mut arena, &[a]);
+        let mut idem = 0;
+        assert_eq!(criterion(&mut arena, &closed, &mut idem), None);
+        assert!(idem >= 1);
+    }
+
+    #[test]
+    fn nonstrict_self_loop_fails_criterion() {
+        let mut arena = GraphArena::new();
+        let a = arena.intern(Graph::new(0, 0, [e(0, 0, false)]));
+        let closed = closure(&mut arena, &[a]);
+        let mut idem = 0;
+        assert!(criterion(&mut arena, &closed, &mut idem).is_some());
+    }
+
+    #[test]
+    fn crossed_descent_fails_criterion() {
+        // g = {0→1 strict} composes with itself to the empty graph
+        // (nothing leaves position 1), which is idempotent with no strict
+        // self-edge — the criterion must reject it.
+        let mut arena = GraphArena::new();
+        let a = arena.intern(Graph::new(0, 0, [e(0, 1, true)]));
+        let closed = closure(&mut arena, &[a]);
+        let mut idem = 0;
+        assert!(criterion(&mut arena, &closed, &mut idem).is_some());
+    }
+
+    #[test]
+    fn powers_criterion_agrees_on_small_cases() {
+        for (edges, expect) in [
+            (vec![e(0, 0, true)], true),
+            (vec![e(0, 0, false)], false),
+            (vec![e(0, 1, true), e(1, 0, true)], true),
+            (vec![e(0, 1, true)], false),
+        ] {
+            let mut arena = GraphArena::new();
+            let a = arena.intern(Graph::new(0, 0, edges));
+            let closed = closure(&mut arena, &[a]);
+            let mut idem = 0;
+            let by_closure = criterion(&mut arena, &closed, &mut idem).is_none();
+            let by_powers = criterion_by_powers(&mut arena, &closed);
+            assert_eq!(by_closure, by_powers);
+            assert_eq!(by_closure, expect);
+        }
+    }
+}

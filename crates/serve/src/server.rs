@@ -99,7 +99,7 @@ enum AnalyzeOutcome {
 }
 
 /// Top-level keys accepted by `/v1/analyze` (and batch items).
-const ANALYZE_KEYS: [&str; 11] = [
+const ANALYZE_KEYS: [&str; 12] = [
     "program",
     "query",
     "adornment",
@@ -111,6 +111,7 @@ const ANALYZE_KEYS: [&str; 11] = [
     "fm_tier",
     "no_fm_cache",
     "stats",
+    "engine",
 ];
 
 /// Top-level keys accepted by `/v1/infer`.
@@ -124,7 +125,8 @@ fn default_analyze_key(query: &PredKey, adornment: &Adornment, src: &str) -> Str
     let defaults = AnalysisOptions::default();
     format!(
         "argus/v1\u{1}q={query}\u{1}a={adornment}\u{1}norm=structural\u{1}\
-         delta=paper\u{1}transform={}\u{1}lex=0\u{1}tier={}\u{1}fmcache=1\u{1}\n{src}",
+         delta=paper\u{1}transform={}\u{1}lex=0\u{1}tier={}\u{1}fmcache=1\u{1}\
+         engine=theta\u{1}\n{src}",
         defaults.transform_phases,
         defaults.fm_tier.index(),
     )
@@ -137,10 +139,24 @@ struct Prepared {
     adornment: Adornment,
     options: AnalysisOptions,
     stats: bool,
+    /// Validated engine tag: `theta` (default, classic report JSON), a
+    /// single engine id, or `portfolio` (racing, `argus-engine/v1` JSON).
+    engine: &'static str,
     /// Canonical content address (everything that determines the bytes).
     cache_key: String,
     /// Whether to use the process-lifetime projection cache.
     share_projections: bool,
+}
+
+/// Resolve a validated engine tag to the engine list and race flag, as
+/// the CLI does: `portfolio` races the full registry, a single id runs
+/// that engine alone un-raced.
+fn engines_for(tag: &str) -> (Vec<Box<dyn argus_core::Engine>>, bool) {
+    if tag == "portfolio" {
+        (argus_baselines::standard_engines(), true)
+    } else {
+        (vec![argus_baselines::engine_by_id(tag).expect("validated engine tag")], false)
+    }
 }
 
 impl ServerState {
@@ -508,6 +524,41 @@ impl ServerState {
         let deadline = Instant::now() + Duration::from_millis(self.options.deadline_ms);
         let mut options = prepared.options;
         options.deadline = Some(deadline);
+        if prepared.engine != "theta" {
+            // Engine-selected requests render `argus-engine/v1` bodies;
+            // they share the report cache (the engine tag is part of the
+            // cache key) but not the FM projection cache, which only the
+            // θ pipeline reads.
+            let (engines, race) = engines_for(prepared.engine);
+            let report = argus_core::run_portfolio(
+                &engines,
+                &prepared.program,
+                &prepared.query,
+                &prepared.adornment,
+                &options,
+                options.parallelism,
+                race,
+            );
+            if Instant::now() >= deadline {
+                let message =
+                    format!("analysis exceeded the {} ms deadline", self.options.deadline_ms);
+                return AnalyzeOutcome::Error {
+                    status: 504,
+                    error_obj: error_obj(
+                        504,
+                        &message,
+                        &[("deadline_ms", self.options.deadline_ms.to_string())],
+                    ),
+                };
+            }
+            let body = format!("{}\n", report.to_json(prepared.stats)).into_bytes();
+            self.metrics.analyze_latency_computed.record(started.elapsed());
+            if prepared.stats {
+                return AnalyzeOutcome::Report { body, cache: "bypass" };
+            }
+            self.reports.put(&prepared.cache_key, Arc::from(body.clone().into_boxed_slice()));
+            return AnalyzeOutcome::Report { body, cache: "miss" };
+        }
         // `stats` requests always get a fresh per-run cache so their
         // `run_stats` are byte-identical to `argus analyze --stats --json`.
         let shared = if prepared.share_projections && !prepared.stats {
@@ -639,6 +690,18 @@ impl ServerState {
         }
         options.fm_cache = !bool_field("no_fm_cache")?;
         let stats = bool_field("stats")?;
+        let engine: &'static str = match str_field("engine")? {
+            None | Some("theta") => "theta",
+            Some("portfolio") => "portfolio",
+            Some(other) => match argus_baselines::ENGINE_IDS.iter().find(|id| **id == other) {
+                Some(id) => id,
+                None => {
+                    return Err(bad(format!(
+                        "\"engine\" wants theta|sct|bs|uvg|naish|portfolio, got {other:?}"
+                    )));
+                }
+            },
+        };
 
         let (name, arity_str) = query_spec
             .rsplit_once('/')
@@ -688,7 +751,8 @@ impl ServerState {
         // and make the key self-evidently sound.
         let cache_key = format!(
             "argus/v1\u{1}q={query_spec}\u{1}a={adn_spec}\u{1}norm={norm_tag}\u{1}\
-             delta={delta_tag}\u{1}transform={}\u{1}lex={}\u{1}tier={}\u{1}fmcache={}\u{1}\n{src}",
+             delta={delta_tag}\u{1}transform={}\u{1}lex={}\u{1}tier={}\u{1}fmcache={}\u{1}\
+             engine={engine}\u{1}\n{src}",
             options.transform_phases,
             options.lexicographic as u8,
             options.fm_tier.index(),
@@ -702,6 +766,7 @@ impl ServerState {
             share_projections: options.fm_cache,
             options,
             stats,
+            engine,
             cache_key,
         })
     }

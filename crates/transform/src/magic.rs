@@ -133,8 +133,7 @@ mod tests {
         let adorned = adorn_program(&program, &goal.key(), Adornment::parse(adn).unwrap());
         // The goal predicate may have been renamed by adornment; the
         // corpus-style single-adornment cases keep their names.
-        let goal =
-            Atom { name: adorned.query.name, args: goal.args, span: SpanSlot::none() };
+        let goal = Atom { name: adorned.query.name, args: goal.args, span: SpanSlot::none() };
         let rewritten = magic_rewrite(&adorned.program, &adorned.modes, &goal);
         (rewritten, goal)
     }

@@ -4,9 +4,9 @@
 //! argus analyze <file.pl> <name/arity> <adornment> [--norm list-length]
 //!               [--delta appendix-c] [--no-transform] [--certify]
 //!               [--lexicographic] [--json] [--jobs N] [--stats]
-//!               [--fm-tier 0..3] [--no-fm-cache]
+//!               [--fm-tier 0..3] [--no-fm-cache] [--engine ID]
 //! argus infer   <file.pl> [<name/arity> ...] [--json] [--jobs N]
-//!               [--max-arity N] [--no-propagate] [--certify]
+//!               [--max-arity N] [--no-propagate] [--certify] [--engine ID]
 //! argus infer   --corpus [--certify]
 //! argus lint    <file.pl> [--query <name/arity> --mode <adornment>] [--json]
 //! argus compare <file.pl> <name/arity> <adornment>
@@ -14,7 +14,8 @@
 //! argus corpus  [<entry-name>]
 //! argus fuzz    [--seed S] [--cases N] [--jobs J] [--json] [--max-steps N]
 //!               [--shrink-budget N] [--no-metamorphic] [--no-theta-search]
-//!               [--negation] [--infer] [--repro-dir DIR] [--serve ADDR]
+//!               [--negation] [--infer] [--portfolio] [--repro-dir DIR]
+//!               [--serve ADDR]
 //! argus serve   [--addr HOST:PORT] [--jobs N] [--cache-mb N]
 //!               [--deadline-ms N]
 //! ```
@@ -48,9 +49,11 @@ fn usage() -> ExitCode {
         "usage:\n  argus analyze <file.pl> <name/arity> <adornment> \
          [--norm structural|list-length] [--delta paper|appendix-c] \
          [--no-transform] [--certify] [--lexicographic] [--jobs N] \
-         [--stats] [--fm-tier 0..3] [--no-fm-cache]\n  \
+         [--stats] [--fm-tier 0..3] [--no-fm-cache] \
+         [--engine theta|sct|bs|uvg|naish|portfolio]\n  \
          argus infer <file.pl> [<name/arity> ...] [--json] [--jobs N] \
-         [--max-arity N] [--no-propagate] [--certify]\n  \
+         [--max-arity N] [--no-propagate] [--certify] \
+         [--engine theta|sct|bs|uvg|naish|portfolio]\n  \
          argus infer --corpus [--certify]\n  \
          argus lint <file.pl> [--query <name/arity> --mode <adornment>] [--json]\n  \
          argus compare <file.pl> <name/arity> <adornment>\n  \
@@ -58,7 +61,7 @@ fn usage() -> ExitCode {
          argus corpus [<entry>]\n  \
          argus fuzz [--seed S] [--cases N] [--jobs J] [--json] [--max-steps N] \
          [--shrink-budget N] [--no-metamorphic] [--no-theta-search] [--negation] \
-         [--infer] [--repro-dir DIR] [--serve ADDR]\n  \
+         [--infer] [--portfolio] [--repro-dir DIR] [--serve ADDR]\n  \
          argus serve [--addr HOST:PORT] [--jobs N] [--cache-mb N] [--deadline-ms N]"
     );
     ExitCode::FAILURE
@@ -95,6 +98,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let mut certify = false;
     let mut json = false;
     let mut stats = false;
+    let mut engine_id = "theta".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -104,6 +108,16 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             "--json" => json = true,
             "--stats" => stats = true,
             "--no-fm-cache" => options.fm_cache = false,
+            "--engine" => {
+                i += 1;
+                engine_id = match args.get(i) {
+                    Some(v) => v.clone(),
+                    None => {
+                        eprintln!("--engine wants theta|sct|bs|uvg|naish|portfolio");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--fm-tier" => {
                 i += 1;
                 options.fm_tier =
@@ -190,6 +204,14 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if engine_id != "theta" {
+        if certify {
+            eprintln!("--certify re-checks theta witnesses; rerun with --engine theta");
+            return ExitCode::FAILURE;
+        }
+        return engine_analyze(&program, &query, adornment, &options, &engine_id, json, stats);
+    }
+
     let report = analyze(&program, &query, adornment, &options);
     if json {
         println!("{}", report.to_json_with(stats));
@@ -215,6 +237,59 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     }
 }
 
+/// Resolve an `--engine` value to the engine list (and whether to race).
+/// `portfolio` races every registered engine; a single id runs just that
+/// engine, un-raced, through the same runner so output shapes match.
+fn resolve_engines(engine_id: &str) -> Option<(Vec<Box<dyn argus::core::Engine>>, bool)> {
+    use argus::baselines::{engine_by_id, standard_engines};
+    if engine_id == "portfolio" {
+        Some((standard_engines(), true))
+    } else {
+        engine_by_id(engine_id).map(|e| (vec![e], false))
+    }
+}
+
+/// `argus analyze --engine <id>`: run one engine (or the racing
+/// portfolio) and render the `argus-engine/v1` report. The default
+/// `--engine theta` never reaches here — it keeps the original
+/// `TerminationReport` output byte-for-byte.
+fn engine_analyze(
+    program: &Program,
+    query: &PredKey,
+    adornment: Adornment,
+    options: &AnalysisOptions,
+    engine_id: &str,
+    json: bool,
+    stats: bool,
+) -> ExitCode {
+    let Some((engines, race)) = resolve_engines(engine_id) else {
+        eprintln!("--engine wants theta|sct|bs|uvg|naish|portfolio, got {engine_id:?}");
+        return ExitCode::FAILURE;
+    };
+    let report = argus::core::run_portfolio(
+        &engines,
+        program,
+        query,
+        &adornment,
+        options,
+        options.parallelism,
+        race,
+    );
+    if json {
+        println!("{}", report.to_json(stats));
+    } else {
+        print!("{report}");
+        if stats {
+            print!("{}", report.render_stats());
+        }
+    }
+    if report.verdict == Verdict::Terminates {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
 fn cmd_infer(args: &[String]) -> ExitCode {
     use argus::core::{check_condition, infer_conditions_for, BackwardsOptions};
 
@@ -223,6 +298,7 @@ fn cmd_infer(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut certify = false;
     let mut corpus_mode = false;
+    let mut engine_id = "theta".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -230,6 +306,16 @@ fn cmd_infer(args: &[String]) -> ExitCode {
             "--certify" => certify = true,
             "--corpus" => corpus_mode = true,
             "--no-propagate" => options.propagate = false,
+            "--engine" => {
+                i += 1;
+                engine_id = match args.get(i) {
+                    Some(v) => v.clone(),
+                    None => {
+                        eprintln!("--engine wants theta|sct|bs|uvg|naish|portfolio");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--jobs" => {
                 i += 1;
                 options.analysis.parallelism = match args.get(i).and_then(|v| v.parse().ok()) {
@@ -257,6 +343,26 @@ fn cmd_infer(args: &[String]) -> ExitCode {
             other => positional.push(other),
         }
         i += 1;
+    }
+
+    if engine_id != "theta" {
+        if corpus_mode {
+            eprintln!("--engine is not supported with --corpus (the corpus lane is theta-only)");
+            return ExitCode::FAILURE;
+        }
+        let Some((engines, race)) = resolve_engines(&engine_id) else {
+            eprintln!("--engine wants theta|sct|bs|uvg|naish|portfolio, got {engine_id:?}");
+            return ExitCode::FAILURE;
+        };
+        // Every probe of the lattice sweep goes through the selected
+        // engine (or the racing portfolio) instead of the θ pipeline.
+        // Probes stay sequential — run_portfolio with jobs 1 — because
+        // infer's parallelism lives at the predicate level.
+        let engines = std::sync::Arc::new(engines);
+        options.probe_override =
+            Some(argus::core::ProbeHook::new(move |program, pred, adn, opts| {
+                argus::core::run_portfolio(&engines, program, pred, adn, opts, 1, race).verdict
+            }));
     }
 
     if corpus_mode {
@@ -338,11 +444,29 @@ fn cmd_infer(args: &[String]) -> ExitCode {
     if certify {
         let mut disjuncts = 0;
         for cond in &report.conditions {
-            match check_condition(&program, cond, &options.analysis) {
-                Ok(n) => disjuncts += n,
-                Err(e) => {
-                    eprintln!("certificate: REJECTED — {e}");
-                    return ExitCode::FAILURE;
+            if let Some(hook) = &options.probe_override {
+                // Non-theta engines have no LP certificate to re-check;
+                // the strongest re-validation is an independent re-run of
+                // the probe on every disjunct.
+                let seq = AnalysisOptions { parallelism: 1, ..options.analysis.clone() };
+                for adn in cond.disjunct_adornments() {
+                    if hook.call(&program, &cond.pred, &adn, &seq) != Verdict::Terminates {
+                        eprintln!(
+                            "certificate: REJECTED — {} disjunct {adn} not reproducible \
+                             under --engine {engine_id}",
+                            cond.pred
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    disjuncts += 1;
+                }
+            } else {
+                match check_condition(&program, cond, &options.analysis) {
+                    Ok(n) => disjuncts += n,
+                    Err(e) => {
+                        eprintln!("certificate: REJECTED — {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
         }
@@ -621,6 +745,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             "--no-theta-search" => options.theta_search = false,
             "--negation" => options.gen.negation = true,
             "--infer" => options.infer = true,
+            "--portfolio" => options.portfolio = true,
             "--seed" => {
                 let Some(v) = want_value(args, i, "--seed") else { return ExitCode::FAILURE };
                 let Ok(n) = v.parse() else {

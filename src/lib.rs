@@ -35,7 +35,8 @@
 //! | [`logic`] | `argus-logic` | terms, rules, parser, unification, SCCs, modes, adornment |
 //! | [`sizerel`] | `argus-sizerel` | inter-argument size-relation inference (\[VG90\]) |
 //! | [`transform`] | `argus-transform` | equality elimination, predicate splitting, safe unfolding (App. A) |
-//! | [`core`] | `argus-core` | the termination analysis itself (§3–§6, App. C/D) |
+//! | [`core`] | `argus-core` | the termination analysis itself (§3–§6, App. C/D), engine trait + racing portfolio |
+//! | [`sct`] | `argus-sct` | size-change termination engine (LJB 2001) over the same size relations |
 //! | [`diag`] | `argus-diag` | span-aware lint passes and diagnostic renderers (`argus lint`) |
 //! | [`baselines`] | `argus-baselines` | Naish/SU, UVG88, Brodsky–Sagiv-style comparators |
 //! | [`interp`] | `argus-interp` | SLD interpreter + bottom-up evaluator (validation) |
@@ -54,6 +55,7 @@ pub use argus_fuzz as fuzz;
 pub use argus_interp as interp;
 pub use argus_linear as linear;
 pub use argus_logic as logic;
+pub use argus_sct as sct;
 pub use argus_serve as serve;
 pub use argus_sizerel as sizerel;
 pub use argus_transform as transform;

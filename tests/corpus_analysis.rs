@@ -105,6 +105,74 @@ fn capture_rule_contrast() {
     assert!(matches!(sat, Saturation::Diverged { .. }));
 }
 
+/// The engines are incomparable by construction, and the corpus pins
+/// separators in both directions: four programs the size-change engine
+/// proves while the θ-method stays `Unknown` (lexicographic/reset
+/// descent θ's single linear combination cannot express), and one the
+/// θ-method proves while size-change misses (crossed descent where only
+/// a *sum* of arguments shrinks). The portfolio must therefore beat
+/// either engine alone on the corpus.
+#[test]
+fn engine_separators_hold_in_both_directions() {
+    let options = AnalysisOptions::default();
+    let sct_only = ["sct_lex_reset", "sct_lex_reset_append", "sct_lex_reset_mutual", "ackermann"];
+    for name in sct_only {
+        let entry = argus::corpus::find(name).unwrap();
+        let program = entry.program().unwrap();
+        let (query, adornment) = entry.query_key();
+        let theta = analyze(&program, &query, adornment.clone(), &options);
+        assert_eq!(theta.verdict, Verdict::Unknown, "{name}: theta should be Unknown");
+        let sct = argus::sct::analyze_sct(&program, &query, adornment, &options, None);
+        assert!(sct.proved, "{name}: sct should prove\n{sct}");
+    }
+    let entry = argus::corpus::find("theta_crossed_descent").unwrap();
+    let program = entry.program().unwrap();
+    let (query, adornment) = entry.query_key();
+    let theta = analyze(&program, &query, adornment.clone(), &options);
+    assert_eq!(theta.verdict, Verdict::Terminates, "theta_crossed_descent: theta should prove");
+    let sct = argus::sct::analyze_sct(&program, &query, adornment, &options, None);
+    assert!(!sct.proved, "theta_crossed_descent: sct should miss\n{sct}");
+}
+
+/// The racing portfolio subsumes both engines on the whole corpus: it
+/// proves exactly the union, and its winner attribution names an engine
+/// that really proves the entry.
+#[test]
+fn portfolio_subsumes_both_engines_on_corpus() {
+    use argus::baselines::standard_engines;
+    use argus::core::run_portfolio;
+    let options = AnalysisOptions::default();
+    let engines = standard_engines();
+    for entry in argus::corpus::corpus() {
+        let program = entry.program().unwrap();
+        let (query, adornment) = entry.query_key();
+        let theta = analyze(&program, &query, adornment.clone(), &options);
+        let sct = argus::sct::analyze_sct(&program, &query, adornment.clone(), &options, None);
+        let portfolio = run_portfolio(&engines, &program, &query, &adornment, &options, 0, true);
+        if theta.verdict == Verdict::Terminates || sct.proved {
+            assert_eq!(
+                portfolio.verdict,
+                Verdict::Terminates,
+                "{}: portfolio lost a proof an engine has",
+                entry.name
+            );
+        }
+        if portfolio.verdict == Verdict::Terminates && !entry.terminates {
+            panic!("SOUNDNESS VIOLATION on {}: portfolio proved a nonterminating mode", entry.name);
+        }
+        if let Some(winner) = portfolio.winner {
+            let e = &portfolio.entries[winner];
+            assert_eq!(
+                e.run.verdict,
+                argus::core::EngineVerdict::Proved,
+                "{}: winner {} did not prove",
+                entry.name,
+                e.id
+            );
+        }
+    }
+}
+
 /// The witnesses the analyzer returns are genuine: re-check the decrease
 /// condition for each proved SCC by LP on the primal side.
 #[test]

@@ -60,9 +60,7 @@ fn groundness_claims_hold_at_runtime() {
 fn resolve_with(t: &Term, sol: &std::collections::BTreeMap<String, Term>) -> Term {
     match t {
         Term::Var(v) => sol.get(&**v).cloned().unwrap_or_else(|| t.clone()),
-        Term::App(f, args) => {
-            Term::App(*f, args.iter().map(|a| resolve_with(a, sol)).collect())
-        }
+        Term::App(f, args) => Term::App(*f, args.iter().map(|a| resolve_with(a, sol)).collect()),
     }
 }
 

@@ -112,6 +112,42 @@ fn serve_metrics_snapshot_schema() {
     check_golden("serve/metrics.json", &normalize_counter_values(&snapshot));
 }
 
+/// Pin the `argus-engine/v1` surface: a portfolio race with an SCT win
+/// (later engines rewritten to `cancelled`), a single-engine run, and a
+/// no-winner race, each with the per-engine stats objects included. The
+/// counters are deterministic by construction (no wall clock), so the
+/// snapshots pin them verbatim — any drift in SCT's graph/closure
+/// accounting or θ's per-SCC counters shows up here as a reviewed diff.
+#[test]
+fn engine_json_snapshots_on_corpus() {
+    use argus::baselines::{engine_by_id, standard_engines};
+    use argus::core::run_portfolio;
+    let options = AnalysisOptions { parallelism: 1, ..AnalysisOptions::default() };
+    let cases: [(&str, &str, bool); 3] = [
+        ("sct_lex_reset", "portfolio", true), // sct wins, bs/uvg/naish cancelled
+        ("sct_lex_reset", "sct", false),      // single engine, un-raced
+        ("loop_direct", "portfolio", true),   // no winner, every verdict real
+    ];
+    for (name, engine, race) in cases {
+        let entry = argus::corpus::find(name).expect(name);
+        let program = entry.program().unwrap();
+        let (query, adornment) = entry.query_key();
+        let engines = if engine == "portfolio" {
+            standard_engines()
+        } else {
+            vec![engine_by_id(engine).unwrap()]
+        };
+        let report = run_portfolio(&engines, &program, &query, &adornment, &options, 1, race);
+        let json = report.to_json(true);
+        assert_has_keys(&json, &["schema", "query", "adornment", "verdict", "winner", "engines"]);
+        assert!(json.contains("\"schema\":\"argus-engine/v1\""), "{json}");
+        check_golden(&format!("engine/{name}-{engine}.json"), &json);
+        // The text rendering and its stats block ride along in one file.
+        let text = format!("{}{}", report, report.render_stats());
+        check_golden(&format!("engine/{name}-{engine}.txt"), &text);
+    }
+}
+
 #[test]
 fn fuzz_json_snapshot() {
     let opts = FuzzOptions { seed: 1, cases: 20, jobs: 1, ..FuzzOptions::default() };

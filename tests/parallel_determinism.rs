@@ -276,6 +276,31 @@ fn inference_json_identical_across_worker_counts() {
     }
 }
 
+/// The racing portfolio's first-proof-wins cancellation is a pure
+/// efficiency knob: the rendered report — Display text, JSON, and the
+/// per-engine stats — must be byte-identical at every `--jobs` setting,
+/// including the fully sequential run, on every corpus entry.
+#[test]
+fn portfolio_reports_identical_across_worker_counts() {
+    use argus::baselines::standard_engines;
+    use argus::core::run_portfolio;
+    let engines = standard_engines();
+    let options = AnalysisOptions::default();
+    for entry in argus::corpus::corpus() {
+        let program = entry.program().unwrap();
+        let (query, adornment) = entry.query_key();
+        let render = |jobs: usize| {
+            let r = run_portfolio(&engines, &program, &query, &adornment, &options, jobs, true);
+            (r.to_string(), r.to_json(true), r.render_stats())
+        };
+        let seq = render(1);
+        for jobs in [0, 2, 8] {
+            let par = render(jobs);
+            assert_eq!(seq, par, "{}: portfolio output differs at --jobs {jobs}", entry.name);
+        }
+    }
+}
+
 /// The serve condition table must be consistent under concurrency: eight
 /// threads hammering `/v1/infer` and `/v1/analyze` on one shared
 /// `ServerState` must every time receive bodies byte-identical to an

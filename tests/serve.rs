@@ -246,6 +246,51 @@ fn graceful_drain_stops_accepting() {
     );
 }
 
+/// `/v1/analyze` accepts an `"engine"` knob: non-theta engines render
+/// `argus-engine/v1` bodies byte-identical to the CLI runner, the engine
+/// id is part of the cache key (cold miss, warm hit, no collision with
+/// the default theta entry), and unknown ids are 400s.
+#[test]
+fn engine_knob_round_trips_and_caches_per_engine() {
+    let server = spawn(ServeOptions::default());
+    let addr = server.addr.to_string();
+    let entry = argus::corpus::find("sct_lex_reset").unwrap();
+    let body = format!(
+        "{{\"program\":{},\"query\":{},\"adornment\":{},\"engine\":\"sct\"}}",
+        json_str(entry.source),
+        json_str(entry.query),
+        json_str(entry.adornment)
+    );
+    let program = entry.program().unwrap();
+    let (query, adornment) = entry.query_key();
+    let options = AnalysisOptions { parallelism: 1, ..AnalysisOptions::default() };
+    let engines = vec![argus::baselines::engine_by_id("sct").unwrap()];
+    let expected = format!(
+        "{}\n",
+        argus::core::run_portfolio(&engines, &program, &query, &adornment, &options, 1, false)
+            .to_json(false)
+    );
+    let cold = request_once(&addr, "POST", "/v1/analyze", body.as_bytes(), TIMEOUT).unwrap();
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-argus-cache"), Some("miss"));
+    assert_eq!(String::from_utf8_lossy(&cold.body), expected);
+    let warm = request_once(&addr, "POST", "/v1/analyze", body.as_bytes(), TIMEOUT).unwrap();
+    assert_eq!(warm.header("x-argus-cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body);
+    // The default (theta) request is a distinct cache entry rendering the
+    // classic TerminationReport body.
+    let theta = request_once(&addr, "POST", "/v1/analyze", &analyze_body(&entry), TIMEOUT).unwrap();
+    assert_eq!(theta.status, 200);
+    assert_eq!(theta.header("x-argus-cache"), Some("miss"));
+    assert_ne!(theta.body, cold.body);
+    // Unknown engine ids are request errors, not silent defaults.
+    let bad = body.replace("\"sct\"", "\"zzz\"");
+    let resp = request_once(&addr, "POST", "/v1/analyze", bad.as_bytes(), TIMEOUT).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(String::from_utf8_lossy(&resp.body).contains("engine"), "{resp:?}");
+    server.shutdown().unwrap();
+}
+
 /// The fuzz harness's serve oracle runs end-to-end: every generated case
 /// round-trips through a live server byte-identically.
 #[test]
