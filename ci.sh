@@ -99,6 +99,11 @@ done
 [[ -n "$SERVE_ADDR" ]] || { echo "serve never printed its address"; cat "$SERVE_LOG"; exit 1; }
 ./target/release/loadgen --addr "$SERVE_ADDR" --wait-healthz 10 \
     --connections 64 --requests 10 --prime-infer
+# Edit-stream lane: one-clause edits (delete, restore, next clause)
+# replayed sequentially — the `argus watch` request pattern. Every edited
+# variant misses the whole-report cache, so this drives the server's
+# per-SCC incremental path and prints warm re-analysis p50/p99.
+./target/release/loadgen --addr "$SERVE_ADDR" --edit-stream
 ./target/release/argus fuzz --serve "$SERVE_ADDR" --seed 1 --cases 200 --jobs 0
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
@@ -123,6 +128,23 @@ echo "==> bench regression gate (FM row-reduction floors)"
 # not gated — only work done.
 cargo run --release -q -p argus-bench "${CARGO_FLAGS[@]}" \
     --bin fm_gate -- /tmp/argus-fm-smoke.json
+
+echo "==> incremental smoke + gate (dirty-cone floors)"
+# Incremental re-analysis lane: prime a per-SCC memo on a generated
+# 2k-clause program, apply a one-clause edit, re-analyze. incr_gate pins
+# the structural floors — the warm edit must recompute < 10% of the SCC
+# computations and a no-op resubmission exactly 0 — plus the ≥10× 50k
+# warm-vs-cold speedup whenever a full-scale report is given. The fuzz
+# incremental oracle then asserts byte-identity of memoized re-analysis
+# against from-scratch runs across 150 generated programs, one clause
+# mutation at a time.
+cargo run --release -q -p argus-bench "${CARGO_FLAGS[@]}" \
+    --bin bench_report -- --smoke --suite incremental \
+    --out /tmp/argus-incr-smoke.json
+cargo run --release -q -p argus-bench "${CARGO_FLAGS[@]}" \
+    --bin incr_gate -- /tmp/argus-incr-smoke.json
+./target/release/argus fuzz --incremental --seed 3 --cases 150 --jobs 0 \
+    --no-metamorphic --no-theta-search
 
 echo "==> scaling smoke (50k-clause substrate gate)"
 # Million-clause substrate lane: generate and analyze a 50k-clause program

@@ -14,7 +14,7 @@
 
 use crate::{BrodskySagivBinary, NaishSubset, TerminationMethod, UvgSingleArgument};
 use argus_core::engine::{Engine, EngineCtx, EngineRun, EngineVerdict};
-use argus_core::{analyze, SccOutcome, Verdict};
+use argus_core::{analyze_with_caches, SccOutcome, Verdict};
 use argus_logic::modes::Adornment;
 use argus_logic::{PredKey, Program};
 
@@ -43,7 +43,8 @@ impl Engine for ThetaEngine {
         if ctx.cancelled() {
             return EngineRun::cancelled();
         }
-        let report = analyze(program, query, adornment.clone(), ctx.options);
+        let report =
+            analyze_with_caches(program, query, adornment.clone(), ctx.options, None, ctx.scc_memo);
         let verdict = match report.verdict {
             Verdict::Terminates => EngineVerdict::Proved,
             Verdict::Unknown => EngineVerdict::Unknown,

@@ -1,0 +1,113 @@
+//! `incr_gate` — regression gate for incremental re-analysis.
+//!
+//! Reads a bench report containing the `incremental` suite and fails if
+//! the memo stops cutting the work down. Checks, per size label found in
+//! the report:
+//!
+//! * **Dirty-cone floor** — a one-clause warm edit must recompute fewer
+//!   than 10% of the program's SCC computations (`dirty_sccs * 10 <
+//!   total_sccs`). This is the structural claim: invalidation stays a
+//!   cone, not a flood.
+//! * **No-op floor** — resubmitting the unchanged program must recompute
+//!   nothing (`dirty_sccs == 0`).
+//! * **Warm speedup** (50k lane only, when present) — the warm edit must
+//!   re-analyze at least [`WARM_SPEEDUP_50K_FLOOR`]× faster than the
+//!   from-scratch analysis of the same edited program. Smaller labels are
+//!   not wall-clock-gated: at smoke sizes the non-memoized per-run work
+//!   (parsing-adjacent setup, adornment, SCC condensation) is a larger
+//!   share of the total, and CI machines are noisy.
+//!
+//! Usage: `incr_gate [PATH]` (default `BENCH_argus.json`).
+
+use argus_bench::json::{scan_num_field, scan_str_field};
+use std::collections::BTreeMap;
+
+/// Required cold/warm ratio on the 50k-clause lane. Measured ~200× on the
+/// reference runner; 10× is the committed claim.
+const WARM_SPEEDUP_50K_FLOOR: f64 = 10.0;
+
+fn counter(samples: &BTreeMap<String, String>, id: &str, key: &str) -> Result<f64, String> {
+    let line = samples.get(id).ok_or_else(|| format!("sample `{id}` missing from report"))?;
+    scan_num_field(line, key).ok_or_else(|| format!("sample `{id}` has no field `{key}`"))
+}
+
+fn run(path: &str) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut samples = BTreeMap::new();
+    let mut labels: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if let Some(id) = scan_str_field(line, "id") {
+            if let Some(label) = id.strip_prefix("incremental/warm-edit/") {
+                labels.push(label.to_string());
+            }
+            samples.insert(id, line.to_string());
+        }
+    }
+    if labels.is_empty() {
+        return Err(format!("no incremental/warm-edit samples found in {path}"));
+    }
+
+    let mut failures = Vec::new();
+    for label in &labels {
+        let edit_id = format!("incremental/warm-edit/{label}");
+        let dirty = counter(&samples, &edit_id, "dirty_sccs")?;
+        let total = counter(&samples, &edit_id, "total_sccs")?;
+        let ok = total > 0.0 && dirty * 10.0 < total;
+        eprintln!(
+            "incr_gate: {} {edit_id} dirty cone = {dirty:.0} of {total:.0} (floor < 10%)",
+            if ok { "ok  " } else { "FAIL" }
+        );
+        if !ok {
+            failures.push(format!("{edit_id} dirty cone {dirty:.0}/{total:.0} is not < 10%"));
+        }
+
+        let noop_id = format!("incremental/warm-noop/{label}");
+        let noop_dirty = counter(&samples, &noop_id, "dirty_sccs")?;
+        let ok = noop_dirty == 0.0;
+        eprintln!(
+            "incr_gate: {} {noop_id} dirty cone = {noop_dirty:.0} (must be 0)",
+            if ok { "ok  " } else { "FAIL" }
+        );
+        if !ok {
+            failures.push(format!("{noop_id} recomputed {noop_dirty:.0} SCC computation(s)"));
+        }
+
+        if label == "50k" {
+            let cold_ns = counter(&samples, "incremental/cold/50k", "ns_per_iter")?;
+            let warm_ns = counter(&samples, &edit_id, "ns_per_iter")?;
+            let speedup = if warm_ns > 0.0 { cold_ns / warm_ns } else { f64::INFINITY };
+            let ok = speedup >= WARM_SPEEDUP_50K_FLOOR;
+            eprintln!(
+                "incr_gate: {} incremental/50k warm speedup = {speedup:.1}x \
+                 (floor {WARM_SPEEDUP_50K_FLOOR}x)",
+                if ok { "ok  " } else { "FAIL" }
+            );
+            if !ok {
+                failures.push(format!(
+                    "50k warm edit only {speedup:.1}x faster than cold (floor \
+                     {WARM_SPEEDUP_50K_FLOOR}x)"
+                ));
+            }
+        }
+    }
+    Ok(failures)
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_argus.json".to_string());
+    match run(&path) {
+        Ok(failures) if failures.is_empty() => {
+            eprintln!("incr_gate: dirty-cone and speedup floors hold ({path})");
+        }
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("incr_gate: FAIL {f}");
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("incr_gate: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -4,6 +4,7 @@
 //! ```text
 //! loadgen --addr HOST:PORT [--connections N] [--requests N]
 //!         [--wait-healthz SECS] [--no-verify] [--prime-infer]
+//!         [--edit-stream]
 //! ```
 //!
 //! * `--addr` — the server address (required).
@@ -21,6 +22,13 @@
 //!   distinct corpus program; the server's condition inference deposits
 //!   every probed report into the analyze cache, so the load phase
 //!   measures the primed-cache path instead of cold analyses.
+//! * `--edit-stream` — instead of the round-robin load phase, replay
+//!   corpus-derived one-clause edits (delete a clause, restore it, next
+//!   clause) sequentially over one connection — the request pattern
+//!   `argus watch` generates — and report p50/p99 re-analysis latency.
+//!   Every edited variant misses the whole-report cache, so the numbers
+//!   measure the server's per-SCC incremental path, not the body-bytes
+//!   hit path.
 //!
 //! Exit code 0 only when **every** response was 200 with the exact bytes
 //! `argus analyze --json` produces. Prints total/failed counts, p50/p99
@@ -39,6 +47,7 @@ struct Options {
     wait_healthz: Option<u64>,
     verify: bool,
     prime_infer: bool,
+    edit_stream: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -49,6 +58,7 @@ fn parse_args() -> Result<Options, String> {
         wait_healthz: None,
         verify: true,
         prime_infer: false,
+        edit_stream: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -68,6 +78,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--no-verify" => opts.verify = false,
             "--prime-infer" => opts.prime_infer = true,
+            "--edit-stream" => opts.edit_stream = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -135,6 +146,79 @@ fn prime_infer(addr: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `--edit-stream`: replay corpus-derived one-clause edits sequentially
+/// over one keep-alive connection — for each entry, the base program,
+/// then for each clause a deletion followed by a restore — and report
+/// p50/p99 latency over the post-prime requests. Deleted variants that
+/// leave the query predicate undefined are skipped (the server would
+/// correctly reject them). The FM-stress entry is skipped: its per-edit
+/// recomputes are benchmark material (`incremental` suite), not a
+/// latency smoke.
+fn edit_stream(addr: &str) -> Result<(), String> {
+    use argus_logic::Program;
+    let mut client =
+        HttpClient::connect(addr, Duration::from_secs(300)).map_err(|e| e.to_string())?;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut primes = 0usize;
+    let started = Instant::now();
+    for entry in argus_corpus::corpus() {
+        if entry.name == "mutual_fib_ring" {
+            continue;
+        }
+        let program = entry.program().expect("corpus entry parses");
+        // Variants are shipped as printed text; entries whose programs
+        // don't survive the Display -> parse round-trip (infix comparison
+        // builtins print prefix-style) can't be edited this way.
+        if argus_logic::parser::parse_program(&program.to_string()).is_err() {
+            continue;
+        }
+        let (query, _) = entry.query_key();
+        let mut variants: Vec<Program> = vec![program.clone()];
+        for i in 0..program.rules.len() {
+            let mut rules = program.rules.clone();
+            rules.remove(i);
+            let edited = Program::from_rules(rules);
+            if !edited.idb_predicates().contains(&query) {
+                continue;
+            }
+            variants.push(edited);
+            variants.push(program.clone());
+        }
+        for (vi, variant) in variants.iter().enumerate() {
+            let src = variant.to_string();
+            let body = format!(
+                "{{\"program\":{},\"query\":{},\"adornment\":{}}}",
+                json_str(&src),
+                json_str(entry.query),
+                json_str(entry.adornment)
+            );
+            let t = Instant::now();
+            let resp = client
+                .request("POST", "/v1/analyze", body.as_bytes())
+                .map_err(|e| format!("{}: edit {vi}: {e}", entry.name))?;
+            let us = t.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            if resp.status != 200 {
+                return Err(format!("{}: edit {vi}: status {}", entry.name, resp.status));
+            }
+            if vi == 0 {
+                primes += 1;
+            } else {
+                latencies.push(us);
+            }
+        }
+    }
+    latencies.sort_unstable();
+    println!(
+        "loadgen: edit-stream {} re-analyses over {primes} programs in {:.2}s, \
+         p50 {}us p99 {}us",
+        latencies.len(),
+        started.elapsed().as_secs_f64(),
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+    );
+    Ok(())
+}
+
 fn wait_healthz(addr: &str, secs: u64) -> bool {
     let deadline = Instant::now() + Duration::from_secs(secs);
     while Instant::now() < deadline {
@@ -177,6 +261,13 @@ fn main() {
             eprintln!("loadgen: prime-infer failed: {e}");
             std::process::exit(1);
         }
+    }
+    if opts.edit_stream {
+        if let Err(e) = edit_stream(&opts.addr) {
+            eprintln!("loadgen: edit-stream failed: {e}");
+            std::process::exit(1);
+        }
+        return;
     }
     if opts.connections == 0 || opts.requests == 0 {
         println!("loadgen: healthz ok, no load requested");

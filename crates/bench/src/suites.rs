@@ -646,6 +646,114 @@ pub fn scale_suite(scale: Scale) -> Vec<Sample> {
     out
 }
 
+/// E16 — incremental re-analysis: a per-SCC memo is primed on a
+/// generated scale program, then a one-clause edit is re-analyzed
+/// through the memo and timed against a from-scratch analysis of the
+/// same edited program. The edit duplicates the middle clause: the
+/// edited SCC's canonical rule content changes (forcing its recompute)
+/// while its exported size summary does not — the early-cutoff shape
+/// real edits overwhelmingly have, so the dirty cone stays a handful of
+/// SCC computations out of thousands. Each warm sample carries the
+/// dirty-cone counters (`dirty_sccs` / `total_sccs`) that `incr_gate`
+/// pins; the committed 50k numbers back the ≥10× warm-vs-cold claim.
+/// `ARGUS_SCALE_ONLY` restricts the size list exactly as in
+/// [`scale_suite`].
+pub fn incremental_suite(scale: Scale) -> Vec<Sample> {
+    use argus_core::analyze_with_caches;
+    use argus_core::SccCache;
+
+    let sizes: &[(&str, usize)] = match scale {
+        Scale::Smoke => &[("2k", 2_000)],
+        Scale::Full => &[("10k", 10_000), ("50k", 50_000)],
+    };
+    let only: Option<Vec<String>> = std::env::var("ARGUS_SCALE_ONLY")
+        .ok()
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+    let mut out = Vec::new();
+    for &(label, clauses) in sizes {
+        if let Some(only) = &only {
+            if !only.iter().any(|o| o == label) {
+                continue;
+            }
+        }
+        let case = argus_fuzz::gen::scale_case(0xA11CE, clauses);
+        let base = &case.program;
+        let mut rules = base.rules.clone();
+        rules.push(rules[rules.len() / 2].clone());
+        let edited = argus_logic::Program::from_rules(rules);
+        let options = AnalysisOptions::default();
+        let timed = |name: String, counters: Vec<(&'static str, u64)>, ns: f64| Sample {
+            suite: "incremental".to_string(),
+            name,
+            iters: 1,
+            ns_per_iter: ns,
+            counters,
+        };
+
+        // Cold baseline: from-scratch analysis of the edited program.
+        let start = std::time::Instant::now();
+        let cold = black_box(analyze(&edited, &case.query, case.adornment.clone(), &options));
+        out.push(timed(
+            format!("cold/{label}"),
+            vec![("rules", edited.rules.len() as u64), ("sccs", cold.sccs.len() as u64)],
+            start.elapsed().as_nanos() as f64,
+        ));
+
+        // Prime the memo (untimed) with the pre-edit program.
+        let memo = SccCache::unbounded();
+        let _ = black_box(analyze_with_caches(
+            base,
+            &case.query,
+            case.adornment.clone(),
+            &options,
+            None,
+            Some(&memo),
+        ));
+
+        // Warm edit: only the duplicated clause's SCC cone recomputes.
+        let start = std::time::Instant::now();
+        let report = black_box(analyze_with_caches(
+            &edited,
+            &case.query,
+            case.adornment.clone(),
+            &options,
+            None,
+            Some(&memo),
+        ));
+        let ns = start.elapsed().as_nanos() as f64;
+        let incr = report.incremental.expect("memoized run records incremental stats");
+        out.push(timed(
+            format!("warm-edit/{label}"),
+            vec![
+                ("dirty_sccs", incr.dirty()),
+                ("total_sccs", incr.total()),
+                ("size_hits", incr.size_hits),
+                ("theta_hits", incr.theta_hits),
+            ],
+            ns,
+        ));
+
+        // Warm no-op: the unchanged program resubmitted — a pure hit.
+        let start = std::time::Instant::now();
+        let report = black_box(analyze_with_caches(
+            base,
+            &case.query,
+            case.adornment.clone(),
+            &options,
+            None,
+            Some(&memo),
+        ));
+        let ns = start.elapsed().as_nanos() as f64;
+        let incr = report.incremental.expect("memoized run records incremental stats");
+        out.push(timed(
+            format!("warm-noop/{label}"),
+            vec![("dirty_sccs", incr.dirty()), ("total_sccs", incr.total())],
+            ns,
+        ));
+    }
+    out
+}
+
 /// E15 — the engine portfolio: every engine timed alone on the corpus
 /// separator entries (θ-only, SCT-only, and both-prove programs), then
 /// the full five-engine race sequentially and with the worker pool. Each
@@ -730,6 +838,7 @@ pub fn all_suites() -> Vec<(&'static str, SuiteFn)> {
         ("infer", infer_suite),
         ("portfolio", portfolio_suite),
         ("scale", scale_suite),
+        ("incremental", incremental_suite),
     ]
 }
 

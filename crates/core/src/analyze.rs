@@ -21,6 +21,7 @@
 
 use crate::delta::{assign_deltas, DeltaOutcome};
 use crate::dual::{dual_fm_config, eq9_system, feasibility_system, project_pair_with, DeltaTerm};
+use crate::incremental::{IncrementalRunStats, SccCache};
 use crate::negweight::{positive_cycle_constraints, DeltaVars};
 use crate::pairs::{ProjectionCache, RuleSubgoalSystem};
 use crate::theta::ThetaSpace;
@@ -177,6 +178,10 @@ pub struct PairBlame {
     pub sub_pred: PredKey,
     /// The blamed rule itself (spans intact when the program was parsed).
     pub rule: Rule,
+    /// Index of the blamed rule in the SCC's [`DepGraph::scc_rules`] list
+    /// (lets the incremental memo store blame positionally and re-attach
+    /// the rule — with current spans — on a cache hit).
+    pub rule_index: usize,
     /// Index of the blamed recursive subgoal in the rule body.
     pub subgoal_index: usize,
     /// Whether the pair fails alone or only in conjunction.
@@ -342,6 +347,11 @@ pub struct TerminationReport {
     pub verdict: Verdict,
     /// Whole-run performance counters.
     pub run_stats: RunStats,
+    /// Per-SCC memo counters when the run used [`analyze_with_caches`]'s
+    /// incremental mode (`None` on a cold run). Stats-only: never part of
+    /// the default report text or JSON, which stay byte-identical to a
+    /// cold run.
+    pub incremental: Option<IncrementalRunStats>,
 }
 
 impl TerminationReport {
@@ -397,6 +407,19 @@ impl TerminationReport {
             );
         } else {
             let _ = writeln!(out, "  projection cache: disabled or unused");
+        }
+        if let Some(inc) = &self.incremental {
+            let _ = writeln!(
+                out,
+                "  incremental: sizerel {} hit(s) / {} miss(es), theta {} hit(s) / {} miss(es), \
+                 dirty cone {} of {} scc computation(s)",
+                inc.size_hits,
+                inc.size_misses,
+                inc.theta_hits,
+                inc.theta_misses,
+                inc.dirty(),
+                inc.total(),
+            );
         }
         // Process-global substrate gauges (intentionally text-only: they
         // accumulate across every program this process has touched, so
@@ -499,7 +522,31 @@ pub fn analyze_with_cache(
     options: &AnalysisOptions,
     shared_cache: Option<&ProjectionCache>,
 ) -> TerminationReport {
-    let raw = analyze_prepared(program, query, adornment.clone(), options, shared_cache);
+    analyze_with_caches(program, query, adornment, options, shared_cache, None)
+}
+
+/// [`analyze_with_cache`] with an additional per-SCC memo (the incremental
+/// mode behind `argus analyze --incremental`, `argus watch`, and the serve
+/// layer's SCC cache).
+///
+/// With `scc_memo` supplied, both per-SCC computations of the pipeline —
+/// the size-relation fixpoint and the θ analysis — are keyed on a content
+/// hash of the SCC's rules plus its imported inputs and answered from the
+/// memo when unchanged (see [`crate::incremental`]). After an edit only
+/// the dirty SCC cone recomputes, and the resulting report is
+/// byte-identical to a cold run in its text and default-JSON forms.
+/// [`RunStats`] (projection-cache totals, `--stats` only) legitimately
+/// differs — cache hits skip projections entirely — and
+/// [`TerminationReport::incremental`] is populated with hit/miss counters.
+pub fn analyze_with_caches(
+    program: &Program,
+    query: &PredKey,
+    adornment: Adornment,
+    options: &AnalysisOptions,
+    shared_cache: Option<&ProjectionCache>,
+    scc_memo: Option<&SccCache>,
+) -> TerminationReport {
+    let raw = analyze_prepared(program, query, adornment.clone(), options, shared_cache, scc_memo);
     if raw.verdict == Verdict::Terminates || options.transform_phases == 0 {
         return raw;
     }
@@ -513,7 +560,7 @@ pub fn analyze_with_cache(
     if transformed == *program || transformed.rules.len() > 1000 {
         return raw; // nothing changed, or growth guard tripped
     }
-    let cooked = analyze_prepared(&transformed, query, adornment, options, shared_cache);
+    let cooked = analyze_prepared(&transformed, query, adornment, options, shared_cache, scc_memo);
     if cooked.verdict == Verdict::Terminates {
         return cooked;
     }
@@ -533,6 +580,7 @@ fn analyze_prepared(
     adornment: Adornment,
     options: &AnalysisOptions,
     shared_cache: Option<&ProjectionCache>,
+    scc_memo: Option<&SccCache>,
 ) -> TerminationReport {
     let program = program.clone();
 
@@ -544,15 +592,36 @@ fn analyze_prepared(
     let query = &adorned.query;
     let modes = adorned.modes;
 
-    // 3. Size relations (inferred under the analysis norm).
+    let graph = DepGraph::build(&program);
+    let proc_index = argus_logic::program::ProcIndex::build(&program);
+    let mut incr = IncrementalRunStats::default();
+
+    // 3. Size relations (inferred under the analysis norm). The memoized
+    // path walks the same SCCs in the same order with the same per-SCC
+    // fixpoint, so its result is byte-identical to the cold inference.
     let infer_options = InferOptions { norm: options.norm, ..options.infer.clone() };
-    let mut rels = infer_size_relations(&program, &infer_options);
+    let mut rels = match scc_memo {
+        None => infer_size_relations(&program, &infer_options),
+        Some(memo) => crate::incremental::incremental_size_relations(
+            &program,
+            &graph,
+            &proc_index,
+            &infer_options,
+            memo,
+            &mut incr,
+        ),
+    };
     for (p, poly) in &options.imported {
         rels.insert(p.clone(), poly.clone());
     }
     if options.restrict_imports_to_binary_orders {
         rels = restrict_to_binary_orders(&rels);
     }
+    // Digests of the final relations, for θ-phase memo keys (computed once
+    // up front so the per-SCC workers share an immutable map).
+    let rel_digests: Option<std::collections::HashMap<PredKey, u64>> = scc_memo.map(|_| {
+        rels.iter().map(|(p, poly)| (p.clone(), crate::incremental::poly_digest(poly))).collect()
+    });
 
     // 4. SCCs bottom-up, scheduled by topological level. The size
     // relations every SCC imports (§6.2) were inferred globally above, so
@@ -561,8 +630,7 @@ fn analyze_prepared(
     // emitted in the sequential path's exact bottom-up order, so the
     // report (and everything derived from it) is byte-identical at any
     // parallelism.
-    let graph = DepGraph::build(&program);
-    let proc_index = argus_logic::program::ProcIndex::build(&program);
+    //
     // One projection cache per run, shared by every SCC and every worker —
     // unless the caller supplied a longer-lived one.
     let own_cache = match shared_cache {
@@ -586,9 +654,19 @@ fn analyze_prepared(
             .collect();
         let workers = crate::par::effective_workers(options.parallelism, jobs.len());
         let results = crate::par::par_map_indexed(&jobs, workers, |_, &scc_id| {
-            analyze_one_scc(&graph, &program, scc_id, &modes, &rels, options, cache)
+            match (scc_memo, &rel_digests) {
+                (Some(memo), Some(digests)) => analyze_one_scc_memo(
+                    &graph, &program, scc_id, &modes, &rels, digests, options, cache, memo,
+                ),
+                _ => (analyze_one_scc(&graph, &program, scc_id, &modes, &rels, options, cache), 0),
+            }
         });
-        for (id, analysis) in jobs.into_iter().zip(results) {
+        for (id, (analysis, memo_flag)) in jobs.into_iter().zip(results) {
+            match memo_flag {
+                THETA_HIT => incr.theta_hits += 1,
+                THETA_MISS => incr.theta_misses += 1,
+                _ => {}
+            }
             slots[id] = Some(analysis);
         }
     }
@@ -619,7 +697,66 @@ fn analyze_prepared(
         sccs,
         verdict,
         run_stats,
+        incremental: scc_memo.map(|_| incr),
     }
+}
+
+/// θ-phase memo flags returned by [`analyze_one_scc_memo`].
+const THETA_HIT: u8 = 1;
+/// See [`THETA_HIT`].
+const THETA_MISS: u8 = 2;
+
+/// [`analyze_one_scc`] with a memo: recursive SCCs are keyed on their
+/// rules, adornments, and imported size relations, and replayed from the
+/// memo when unchanged. Nonrecursive SCCs are computed directly (the
+/// short-circuit is cheaper than a probe). Returns the analysis plus a
+/// flag: 0 unmemoized, [`THETA_HIT`], or [`THETA_MISS`].
+#[allow(clippy::too_many_arguments)] // same shared context as analyze_one_scc
+fn analyze_one_scc_memo(
+    graph: &DepGraph,
+    program: &Program,
+    scc_id: usize,
+    modes: &ModeMap,
+    rels: &SizeRelations,
+    rel_digests: &std::collections::HashMap<PredKey, u64>,
+    options: &AnalysisOptions,
+    cache: Option<&ProjectionCache>,
+    memo: &SccCache,
+) -> (SccAnalysis, u8) {
+    let started = std::time::Instant::now();
+    let members: Vec<PredKey> = graph.scc(scc_id);
+    if !members.iter().any(|p| graph.is_recursive(p)) {
+        return (analyze_one_scc(graph, program, scc_id, modes, rels, options, cache), 0);
+    }
+    let rules = graph.scc_rules(program, scc_id);
+    let mentioned: Vec<PredKey> = {
+        let mut set: BTreeSet<PredKey> = BTreeSet::new();
+        for r in &rules {
+            set.insert(PredKey { name: r.head.name, arity: r.head.args.len() });
+            for l in &r.body {
+                set.insert(PredKey { name: l.atom.name, arity: l.atom.args.len() });
+            }
+        }
+        set.into_iter().collect()
+    };
+    let key =
+        crate::incremental::theta_key(&members, &rules, &mentioned, modes, rel_digests, options);
+    if let Some(body) = memo.get(&key) {
+        if let Some(mut analysis) =
+            crate::incremental::decode_theta_entry(&body, &members, &rules, modes)
+        {
+            analysis.stats.wall_nanos = started.elapsed().as_nanos();
+            return (analysis, THETA_HIT);
+        }
+    }
+    let analysis = analyze_one_scc(graph, program, scc_id, modes, rels, options, cache);
+    // Deadline safety: FM aborts only fire once the wall clock passes the
+    // deadline, so an SCC finishing *before* the deadline cannot contain a
+    // degraded projection — only those results are published.
+    if options.deadline.is_none_or(|d| std::time::Instant::now() < d) {
+        memo.put(&key, &crate::incremental::encode_theta_entry(&analysis));
+    }
+    (analysis, THETA_MISS)
 }
 
 /// Analyze one SCC end-to-end: nonrecursive short-circuit, the θ search,
@@ -939,6 +1076,7 @@ fn compute_blame(
             head_pred: pair.head_pred.clone(),
             sub_pred: pair.sub_pred.clone(),
             rule,
+            rule_index: pair.rule_index,
             subgoal_index: pair.subgoal_index,
             kind,
         })

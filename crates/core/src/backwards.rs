@@ -46,8 +46,9 @@
 //! analysis on each disjunct — see [`check_condition`] — must reproduce
 //! `Terminates`, witness included.
 
-use crate::analyze::{analyze_with_cache, AnalysisOptions, Verdict};
+use crate::analyze::{analyze_with_caches, AnalysisOptions, Verdict};
 use crate::certificate::verify_report;
+use crate::incremental::SccCache;
 use crate::json::json_str;
 use crate::pairs::ProjectionCache;
 use crate::par::{effective_workers, par_map_indexed};
@@ -126,6 +127,11 @@ pub struct BackwardsOptions {
     /// every summarized callee condition in one sweep comes from the same
     /// probe, and provability is monotone in boundness for every engine.
     pub probe_override: Option<ProbeHook>,
+    /// Shared per-SCC memo threaded into every built-in probe (the
+    /// incremental-analysis layer). Probes under a memo render the same
+    /// bytes as cold probes — the memo only skips recomputation — so the
+    /// inference JSON stays byte-identical with or without it.
+    pub scc_memo: Option<std::sync::Arc<SccCache>>,
 }
 
 impl Default for BackwardsOptions {
@@ -137,6 +143,7 @@ impl Default for BackwardsOptions {
             escalate_zero_weight: false,
             collect_reports: false,
             probe_override: None,
+            scc_memo: None,
         }
     }
 }
@@ -380,8 +387,9 @@ fn probe(
         });
         return verdict;
     }
+    let memo = options.scc_memo.as_deref();
     let raw_options = AnalysisOptions { transform_phases: 0, ..probe_options.clone() };
-    let raw = analyze_with_cache(program, pred, adn.clone(), &raw_options, Some(shared));
+    let raw = analyze_with_caches(program, pred, adn.clone(), &raw_options, Some(shared), memo);
     result.analyses += 1;
     let skip_escalation = raw.verdict == Verdict::Terminates
         || probe_options.transform_phases == 0
@@ -395,7 +403,7 @@ fn probe(
     } else {
         result.analyses += 1;
         primable = true;
-        analyze_with_cache(program, pred, adn.clone(), probe_options, Some(shared))
+        analyze_with_caches(program, pred, adn.clone(), probe_options, Some(shared), memo)
     };
     result.condition.checked.push(CandidateOutcome {
         adornment: adn.clone(),

@@ -21,6 +21,7 @@
 //! pure efficiency knob, invisible in the output.
 
 use crate::analyze::{AnalysisOptions, Verdict};
+use crate::incremental::SccCache;
 use crate::json::esc;
 use argus_logic::modes::Adornment;
 use argus_logic::{PredKey, Program};
@@ -85,6 +86,11 @@ pub struct EngineCtx<'a> {
     /// poll it at natural checkpoints and bail out with
     /// [`EngineRun::cancelled`].
     pub cancel: Option<&'a AtomicBool>,
+    /// Shared per-SCC memo (the incremental-analysis layer). Engines that
+    /// route through the θ pipeline thread it into
+    /// [`crate::analyze_with_caches`]; the rest ignore it. Memoized runs
+    /// render byte-identical reports, so this is invisible in the output.
+    pub scc_memo: Option<&'a SccCache>,
 }
 
 impl EngineCtx<'_> {
@@ -258,6 +264,23 @@ pub fn run_portfolio(
     jobs: usize,
     race: bool,
 ) -> PortfolioReport {
+    run_portfolio_with_memo(engines, program, query, adornment, options, jobs, race, None)
+}
+
+/// [`run_portfolio`] with a shared per-SCC memo handed to every engine
+/// context (the incremental-analysis layer). Memoized engine runs render
+/// the same bytes as cold runs, so the memo is invisible in the report.
+#[allow(clippy::too_many_arguments)]
+pub fn run_portfolio_with_memo(
+    engines: &[Box<dyn Engine>],
+    program: &Program,
+    query: &PredKey,
+    adornment: &Adornment,
+    options: &AnalysisOptions,
+    jobs: usize,
+    race: bool,
+    scc_memo: Option<&SccCache>,
+) -> PortfolioReport {
     // Engine completion states, indexed like `engines`.
     const RUNNING: u8 = 0;
     const DONE_PROVED: u8 = 1;
@@ -268,7 +291,7 @@ pub fn run_portfolio(
     let indices: Vec<usize> = (0..engines.len()).collect();
     let workers = crate::par::effective_workers(jobs, indices.len());
     let runs = crate::par::par_map_indexed(&indices, workers, |_, &i| {
-        let ctx = EngineCtx { options, cancel: if race { Some(&cancel) } else { None } };
+        let ctx = EngineCtx { options, cancel: if race { Some(&cancel) } else { None }, scc_memo };
         let run = if race && ctx.cancelled() {
             EngineRun::cancelled()
         } else {

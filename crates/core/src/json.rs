@@ -198,12 +198,26 @@ impl TerminationReport {
             )
         }));
         let run_stats = if stats {
-            format!(
+            let mut out = format!(
                 ",\"run_stats\":{{\"cache_requests\":{},\"cache_entries\":{},\"cache_hits\":{}}}",
                 self.run_stats.cache_requests,
                 self.run_stats.cache_entries,
                 self.run_stats.cache_hits(),
-            )
+            );
+            // Incremental memo counters are stats-only, like run_stats: the
+            // default JSON must stay byte-identical with the memo on or off.
+            if let Some(incr) = &self.incremental {
+                out.push_str(&format!(
+                    ",\"incremental\":{{\"size_hits\":{},\"size_misses\":{},\"theta_hits\":{},\"theta_misses\":{},\"dirty\":{},\"total\":{}}}",
+                    incr.size_hits,
+                    incr.size_misses,
+                    incr.theta_hits,
+                    incr.theta_misses,
+                    incr.dirty(),
+                    incr.total(),
+                ));
+            }
+            out
         } else {
             String::new()
         };

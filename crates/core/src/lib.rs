@@ -41,6 +41,7 @@ pub mod certificate;
 pub mod delta;
 pub mod dual;
 pub mod engine;
+pub mod incremental;
 pub mod json;
 pub mod lexico;
 pub mod negweight;
@@ -49,8 +50,8 @@ pub mod par;
 pub mod theta;
 
 pub use analyze::{
-    analyze, analyze_source, analyze_with_cache, AnalysisOptions, BlameKind, DeltaMode, PairBlame,
-    RunStats, SccAnalysis, SccOutcome, SccStats, TerminationReport, Verdict,
+    analyze, analyze_source, analyze_with_cache, analyze_with_caches, AnalysisOptions, BlameKind,
+    DeltaMode, PairBlame, RunStats, SccAnalysis, SccOutcome, SccStats, TerminationReport, Verdict,
 };
 pub use argus_linear::{FmStats, FmTier};
 pub use backwards::{
@@ -60,8 +61,10 @@ pub use backwards::{
 pub use certificate::{verify_report, CertificateError};
 pub use delta::{assign_deltas, DeltaAssignment, DeltaOutcome};
 pub use engine::{
-    run_portfolio, Engine, EngineCtx, EngineEntry, EngineRun, EngineVerdict, PortfolioReport,
+    run_portfolio, run_portfolio_with_memo, Engine, EngineCtx, EngineEntry, EngineRun,
+    EngineVerdict, PortfolioReport,
 };
+pub use incremental::{IncrementalRunStats, SccCache};
 pub use lexico::{prove_lexicographic, prove_scc_lexicographic, LexicographicProof};
 pub use pairs::{build_pair, ProjectionCache, RuleSubgoalSystem};
 pub use theta::ThetaSpace;

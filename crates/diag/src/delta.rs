@@ -1,0 +1,128 @@
+//! Line-level deltas between two rendered reports.
+//!
+//! `argus watch` re-analyzes a file on every change and should print only
+//! what *changed*, not the whole report again. The unit of change is a
+//! rendered line — each diagnostic, verdict, and certificate row is one
+//! line in both the text and JSON renderers, so a line-level multiset
+//! diff is exactly a diagnostic-level diff without re-parsing anything.
+//!
+//! The diff is a multiset comparison, not an LCS: reports are generated
+//! (not hand-edited) text, so a line either persists verbatim between
+//! runs or it is a genuinely new/retired diagnostic. Removed lines come
+//! first (in old-report order, prefixed `- `), then added lines (in
+//! new-report order, prefixed `+ `). Identical reports diff to nothing.
+
+use std::collections::HashMap;
+
+/// One changed line between two report renderings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaLine {
+    /// Present in the old rendering only.
+    Removed(String),
+    /// Present in the new rendering only.
+    Added(String),
+}
+
+impl std::fmt::Display for DeltaLine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaLine::Removed(l) => write!(f, "- {l}"),
+            DeltaLine::Added(l) => write!(f, "+ {l}"),
+        }
+    }
+}
+
+/// Multiset line diff: every line of `old` not matched by an equal line
+/// of `new` is `Removed`, every unmatched line of `new` is `Added`.
+/// Duplicate lines are matched one-for-one, so a diagnostic that appears
+/// twice and now appears once shows up as exactly one removal.
+pub fn changed_lines(old: &str, new: &str) -> Vec<DeltaLine> {
+    let mut balance: HashMap<&str, i64> = HashMap::new();
+    for line in old.lines() {
+        *balance.entry(line).or_insert(0) += 1;
+    }
+    for line in new.lines() {
+        *balance.entry(line).or_insert(0) -= 1;
+    }
+    let mut out = Vec::new();
+    let mut left = balance.clone();
+    for line in old.lines() {
+        let n = left.get_mut(line).expect("counted above");
+        if *n > 0 {
+            *n -= 1;
+            out.push(DeltaLine::Removed(line.to_string()));
+        }
+    }
+    let mut right = balance;
+    for line in new.lines() {
+        let n = right.get_mut(line).expect("counted above");
+        if *n < 0 {
+            *n += 1;
+            out.push(DeltaLine::Added(line.to_string()));
+        }
+    }
+    out
+}
+
+/// Render a delta as the block `argus watch` prints: one `- `/`+ ` line
+/// per change, or nothing at all when the reports are identical.
+pub fn render_delta(old: &str, new: &str) -> String {
+    let mut s = String::new();
+    for line in changed_lines(old, new) {
+        s.push_str(&line.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_reports_have_no_delta() {
+        let r = "verdict: TERMINATES\ntheta[p/2] = [1, 0]\n";
+        assert!(changed_lines(r, r).is_empty());
+        assert_eq!(render_delta(r, r), "");
+    }
+
+    #[test]
+    fn changed_line_is_one_removal_and_one_addition() {
+        let old = "verdict: TERMINATES\ntheta[p/2] = [1, 0]\n";
+        let new = "verdict: TERMINATES\ntheta[p/2] = [1, 1]\n";
+        assert_eq!(
+            changed_lines(old, new),
+            vec![
+                DeltaLine::Removed("theta[p/2] = [1, 0]".to_string()),
+                DeltaLine::Added("theta[p/2] = [1, 1]".to_string()),
+            ]
+        );
+        assert_eq!(render_delta(old, new), "- theta[p/2] = [1, 0]\n+ theta[p/2] = [1, 1]\n");
+    }
+
+    #[test]
+    fn unchanged_shared_lines_never_appear() {
+        let old = "a\nb\nc\n";
+        let new = "a\nc\nd\n";
+        let delta = changed_lines(old, new);
+        assert_eq!(
+            delta,
+            vec![DeltaLine::Removed("b".to_string()), DeltaLine::Added("d".to_string())]
+        );
+    }
+
+    #[test]
+    fn duplicates_match_one_for_one() {
+        let old = "warn: x\nwarn: x\n";
+        let new = "warn: x\n";
+        assert_eq!(changed_lines(old, new), vec![DeltaLine::Removed("warn: x".to_string())]);
+        // And the symmetric case.
+        assert_eq!(changed_lines(new, old), vec![DeltaLine::Added("warn: x".to_string())]);
+    }
+
+    #[test]
+    fn empty_old_report_emits_everything_as_added() {
+        let new = "verdict: UNKNOWN\n";
+        assert_eq!(changed_lines("", new), vec![DeltaLine::Added("verdict: UNKNOWN".to_string())]);
+    }
+}

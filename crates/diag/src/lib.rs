@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod blame;
+pub mod delta;
 pub mod moded;
 pub mod passes;
 pub mod render;

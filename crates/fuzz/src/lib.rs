@@ -15,7 +15,10 @@
 //!   backwards-inferred termination-condition disjunct (`--infer`), and a
 //!   cross-engine portfolio differential in which every registered
 //!   engine's claimed proof must survive the interpreter and θ's
-//!   zero-weight-cycle evidence (`--portfolio`);
+//!   zero-weight-cycle evidence (`--portfolio`), and a seventh
+//!   (`--incremental`) that replays single-clause edits through the
+//!   per-SCC incremental memo and requires the report to stay
+//!   byte-identical to a from-scratch analysis at every step;
 //! * [`shrink`] minimizes any failing program to a small reproducer.
 //!
 //! Everything is keyed on [`argus_prng::Rng64`], so a run is identified by
@@ -36,8 +39,9 @@ use argus_logic::program::Program;
 use argus_prng::Rng64;
 use gen::{generate, GenCase, GenOptions};
 use oracle::{
-    analysis_options, check_certificate, check_differential, check_infer, check_metamorphic,
-    check_portfolio, check_serve, theta_refutes_unknown, ServeCheckFailure, ViolationKind,
+    analysis_options, check_certificate, check_differential, check_incremental, check_infer,
+    check_metamorphic, check_portfolio, check_serve, theta_refutes_unknown, ServeCheckFailure,
+    ViolationKind,
 };
 use std::fmt;
 use std::fmt::Write as _;
@@ -77,6 +81,11 @@ pub struct FuzzOptions {
     /// zero-weight-cycle evidence. Off by default — it runs five engines
     /// per case.
     pub portfolio: bool,
+    /// Run the incremental-analysis oracle (`--incremental`): mutate the
+    /// generated program one clause at a time and require every
+    /// memo-backed re-analysis to be byte-identical to a from-scratch
+    /// run. Off by default — it re-analyzes the case ~3× per clause.
+    pub incremental: bool,
     /// Test-only hook: treat every `Unknown` verdict as a claimed
     /// `Terminates` so the differential oracle and the shrinker can be
     /// exercised end-to-end. Never set outside tests.
@@ -98,6 +107,7 @@ impl Default for FuzzOptions {
             serve_addr: None,
             infer: false,
             portfolio: false,
+            incremental: false,
             inject_soundness_bug: false,
         }
     }
@@ -342,6 +352,9 @@ fn still_fails(
             check_portfolio(candidate, &case.query, &case.adornment, report.verdict, opts.max_steps)
                 .is_err()
         }
+        ViolationKind::IncrementalDivergence => {
+            check_incremental(candidate, &case.query, &case.adornment).is_err()
+        }
         ViolationKind::ServeDivergence => {
             let Some(addr) = opts.serve_addr.as_deref() else { return false };
             // Only a confirmed divergence keeps the shrinker going; a
@@ -421,6 +434,13 @@ fn run_case(index: usize, opts: &FuzzOptions) -> CaseResult {
             opts.max_steps,
         ) {
             failure = Some((ViolationKind::Portfolio, detail));
+        }
+    }
+    // Oracle 7 (opt-in): the per-SCC incremental memo is invisible in the
+    // output under a single-clause edit stream.
+    if failure.is_none() && opts.incremental {
+        if let Err(detail) = check_incremental(&case.program, &case.query, &case.adornment) {
+            failure = Some((ViolationKind::IncrementalDivergence, detail));
         }
     }
     // Oracle 4 (opt-in): byte-identical round-trip through a live server.
@@ -567,6 +587,20 @@ mod tests {
             metamorphic: false,
             theta_search: false,
             portfolio: true,
+            ..FuzzOptions::default()
+        };
+        let report = run(&opts);
+        assert!(report.clean(), "{report}");
+    }
+
+    #[test]
+    fn incremental_oracle_small_run_is_clean() {
+        let opts = FuzzOptions {
+            cases: 12,
+            seed: 17,
+            metamorphic: false,
+            theta_search: false,
+            incremental: true,
             ..FuzzOptions::default()
         };
         let report = run(&opts);

@@ -17,8 +17,8 @@
 
 use crate::gen::{ground_inputs, ground_query, GenCase};
 use argus_core::{
-    analyze, infer_conditions, verify_report, AnalysisOptions, BackwardsOptions, SccOutcome,
-    TerminationReport, Verdict,
+    analyze, analyze_with_caches, infer_conditions, verify_report, AnalysisOptions,
+    BackwardsOptions, SccCache, SccOutcome, TerminationReport, Verdict,
 };
 use argus_interp::sld::{solve, InterpOptions};
 use argus_linear::Rat;
@@ -51,6 +51,10 @@ pub enum ViolationKind {
     /// differential interpreter check refutes, or that contradicts the
     /// θ-method's zero-weight-cycle evidence.
     Portfolio,
+    /// A re-analysis through the per-SCC incremental memo produced a
+    /// report that is not byte-identical to a from-scratch analysis of
+    /// the same (edited) program.
+    IncrementalDivergence,
 }
 
 impl ViolationKind {
@@ -64,6 +68,7 @@ impl ViolationKind {
             ViolationKind::ServeDivergence => "serve-divergence",
             ViolationKind::InferSoundness => "infer-soundness",
             ViolationKind::Portfolio => "portfolio",
+            ViolationKind::IncrementalDivergence => "incremental-divergence",
         }
     }
 }
@@ -285,6 +290,60 @@ pub fn check_portfolio(
     check_differential_adorned(program, query, adornment, max_steps).map_err(|e| {
         format!("engine(s) {} proved termination but evaluation diverges: {e}", provers.join("/"))
     })
+}
+
+/// Oracle 7 (opt-in, `--incremental`): the per-SCC memo must be invisible
+/// in the output under an edit stream. Starting from the generated
+/// program, apply single-clause edits (delete rule `i`, then restore it)
+/// one step at a time, re-analyzing after each step against one
+/// persistent memo, and require the report — default text and JSON — to
+/// be byte-identical to a from-scratch analysis at every step. The
+/// restore step re-analyzes the unedited program through a memo that now
+/// also holds entries for every edited variant, so stale-entry reuse and
+/// key collisions both surface as divergences.
+pub fn check_incremental(
+    program: &Program,
+    query: &PredKey,
+    adornment: &Adornment,
+) -> Result<(), String> {
+    let opts = analysis_options();
+    let memo = SccCache::unbounded();
+    let render = |r: &TerminationReport| (r.to_string(), r.to_json());
+    let cold = render(&analyze(program, query, adornment.clone(), &opts));
+    let warm =
+        render(&analyze_with_caches(program, query, adornment.clone(), &opts, None, Some(&memo)));
+    if cold != warm {
+        return Err("memoized report differs from cold on the unedited program".to_string());
+    }
+    for i in 0..program.rules.len() {
+        let mut rules = program.rules.clone();
+        rules.remove(i);
+        let edited = Program::from_rules(rules);
+        let cold_e = render(&analyze(&edited, query, adornment.clone(), &opts));
+        let incr_e = render(&analyze_with_caches(
+            &edited,
+            query,
+            adornment.clone(),
+            &opts,
+            None,
+            Some(&memo),
+        ));
+        if cold_e != incr_e {
+            return Err(format!("incremental report diverges after deleting clause {i}"));
+        }
+        let undo = render(&analyze_with_caches(
+            program,
+            query,
+            adornment.clone(),
+            &opts,
+            None,
+            Some(&memo),
+        ));
+        if cold != undo {
+            return Err(format!("incremental report diverges after restoring clause {i}"));
+        }
+    }
+    Ok(())
 }
 
 /// Oracle 2a: a `Terminates` report must pass the certificate checker.

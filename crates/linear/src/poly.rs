@@ -75,6 +75,17 @@ impl Poly {
         p
     }
 
+    /// Reassemble a polyhedron from parts previously observed via
+    /// [`Poly::dim`], [`Poly::constraints`] and [`Poly::is_empty`],
+    /// trusting `empty` instead of re-running the feasibility LP. Intended
+    /// for deserializing polyhedra this library produced (e.g. the
+    /// incremental analyzer's on-disk cache); handing it an inconsistent
+    /// `empty` flag yields a polyhedron that misreports emptiness.
+    pub fn from_raw_parts(dim: usize, sys: ConstraintSystem, empty: bool) -> Poly {
+        debug_assert!(sys.vars().iter().all(|&v| v < dim));
+        Poly { dim, sys, empty }
+    }
+
     /// Number of dimensions.
     pub fn dim(&self) -> usize {
         self.dim

@@ -33,6 +33,7 @@ pub mod arena;
 pub mod cond;
 pub mod depgraph;
 pub mod groundness;
+pub mod hash;
 pub mod intern;
 pub mod modes;
 pub mod norm;

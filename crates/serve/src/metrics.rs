@@ -9,14 +9,15 @@
 //! dependencies.
 
 use crate::cache::ReportCache;
-use argus_core::ProjectionCache;
+use argus_core::{ProjectionCache, SccCache};
 use argus_linear::FmStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Schema identifier pinned by the golden test. v2 added the `/v1/infer`
-/// counters and the condition cache.
-pub const METRICS_SCHEMA: &str = "argus-serve-metrics/v3";
+/// counters and the condition cache; v4 added the per-SCC incremental
+/// cache gauges.
+pub const METRICS_SCHEMA: &str = "argus-serve-metrics/v4";
 
 /// Histogram bucket upper bounds, in microseconds. The last bucket is
 /// unbounded (rendered as `"inf"`).
@@ -161,6 +162,7 @@ impl Metrics {
         reports: &ReportCache,
         conditions: &ReportCache,
         projections: &ProjectionCache,
+        scc: &SccCache,
     ) -> String {
         use std::fmt::Write as _;
         let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
@@ -235,6 +237,16 @@ impl Metrics {
             projections.entries(),
             projections.resident_bytes(),
         );
+        let _ = write!(
+            out,
+            ",\"scc_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
+             \"entries\":{},\"resident_bytes\":{}}}",
+            scc.hits(),
+            scc.misses(),
+            scc.evictions(),
+            scc.entries(),
+            scc.resident_bytes(),
+        );
         let fm = &self.fm;
         let _ = write!(
             out,
@@ -288,7 +300,9 @@ mod tests {
         let reports = ReportCache::new(1024);
         let conditions = ReportCache::new(1024);
         let projections = ProjectionCache::new();
-        let snap = m.snapshot_json(Duration::from_millis(5), &reports, &conditions, &projections);
+        let scc = SccCache::new(1024);
+        let snap =
+            m.snapshot_json(Duration::from_millis(5), &reports, &conditions, &projections, &scc);
         let v = crate::jsonval::parse(&snap).expect("snapshot parses");
         assert_eq!(v.get("schema").and_then(crate::jsonval::Json::as_str), Some(METRICS_SCHEMA));
         assert_eq!(

@@ -22,8 +22,8 @@ use crate::jsonval::{self, json_str, Json};
 use crate::metrics::Metrics;
 use argus_core::par::{effective_workers, par_map_indexed};
 use argus_core::{
-    analyze_with_cache, infer_conditions_for, AnalysisOptions, BackwardsOptions, DeltaMode,
-    ProjectionCache,
+    analyze_with_caches, infer_conditions_for, AnalysisOptions, BackwardsOptions, DeltaMode,
+    ProjectionCache, SccCache,
 };
 use argus_diag::render::{render_json, render_text};
 use argus_diag::{lint_source, Diagnostic, LintOptions, Severity};
@@ -49,9 +49,14 @@ pub struct ServeOptions {
     /// Worker threads (0 = one per available core).
     pub jobs: usize,
     /// Combined byte budget for the caches, in MiB (half to the report
-    /// cache, a quarter each to the projection and condition caches; `0`
-    /// keeps at most one resident entry per cache).
+    /// cache, a quarter to the condition cache, an eighth each to the
+    /// projection and per-SCC caches; `0` keeps at most one resident
+    /// entry per cache).
     pub cache_mb: usize,
+    /// Directory for the persistent per-SCC cache, shared with `argus
+    /// analyze --incremental --cache-dir`. `None` keeps the SCC memo
+    /// in-memory only.
+    pub cache_dir: Option<std::path::PathBuf>,
     /// Per-request wall-clock analysis deadline, in milliseconds.
     pub deadline_ms: u64,
     /// Reading-side limits (body cap, head cap, read timeout).
@@ -67,6 +72,7 @@ impl Default for ServeOptions {
             addr: "127.0.0.1:7177".to_string(),
             jobs: 0,
             cache_mb: 64,
+            cache_dir: None,
             deadline_ms: 10_000,
             limits: Limits::default(),
             queue_depth: 256,
@@ -82,6 +88,7 @@ pub struct ServerState {
     reports: ReportCache,
     conditions: ReportCache,
     projections: ProjectionCache,
+    scc: SccCache,
     started: Instant,
     draining: AtomicBool,
 }
@@ -163,11 +170,17 @@ impl ServerState {
     /// Fresh state for `options`.
     pub fn new(options: ServeOptions) -> ServerState {
         let budget = options.cache_mb.saturating_mul(1024 * 1024);
+        let scc_budget = (budget / 8).max(1);
+        let scc = match &options.cache_dir {
+            Some(dir) => SccCache::with_disk(scc_budget, dir.clone()),
+            None => SccCache::new(scc_budget),
+        };
         ServerState {
             metrics: Metrics::default(),
             reports: ReportCache::new((budget / 2).max(1)),
             conditions: ReportCache::new((budget / 4).max(1)),
-            projections: ProjectionCache::with_byte_budget((budget / 4).max(1)),
+            projections: ProjectionCache::with_byte_budget((budget / 8).max(1)),
+            scc,
             started: Instant::now(),
             draining: AtomicBool::new(false),
             options,
@@ -194,6 +207,12 @@ impl ServerState {
         &self.projections
     }
 
+    /// The per-SCC incremental memo (persistent when `--cache-dir` is
+    /// set).
+    pub fn scc_cache(&self) -> &SccCache {
+        &self.scc
+    }
+
     /// Stop accepting new connections; in-flight requests finish.
     pub fn begin_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
@@ -211,6 +230,7 @@ impl ServerState {
             &self.reports,
             &self.conditions,
             &self.projections,
+            &self.scc,
         )
     }
 
@@ -530,7 +550,8 @@ impl ServerState {
             // cache key) but not the FM projection cache, which only the
             // θ pipeline reads.
             let (engines, race) = engines_for(prepared.engine);
-            let report = argus_core::run_portfolio(
+            let memo = if prepared.stats { None } else { Some(&self.scc) };
+            let report = argus_core::run_portfolio_with_memo(
                 &engines,
                 &prepared.program,
                 &prepared.query,
@@ -538,6 +559,7 @@ impl ServerState {
                 &options,
                 options.parallelism,
                 race,
+                memo,
             );
             if Instant::now() >= deadline {
                 let message =
@@ -559,19 +581,22 @@ impl ServerState {
             self.reports.put(&prepared.cache_key, Arc::from(body.clone().into_boxed_slice()));
             return AnalyzeOutcome::Report { body, cache: "miss" };
         }
-        // `stats` requests always get a fresh per-run cache so their
-        // `run_stats` are byte-identical to `argus analyze --stats --json`.
+        // `stats` requests always get a fresh per-run cache (and no SCC
+        // memo) so their `run_stats` are byte-identical to `argus analyze
+        // --stats --json`.
         let shared = if prepared.share_projections && !prepared.stats {
             Some(&self.projections)
         } else {
             None
         };
-        let report = analyze_with_cache(
+        let memo = if prepared.stats { None } else { Some(&self.scc) };
+        let report = analyze_with_caches(
             &prepared.program,
             &prepared.query,
             prepared.adornment,
             &options,
             shared,
+            memo,
         );
         for scc in &report.sccs {
             self.metrics.fm.merge(&scc.stats.fm);
@@ -1295,6 +1320,21 @@ mod tests {
         assert!(String::from_utf8(resp.body).unwrap().contains("did you mean"), "typo hint");
         let resp = s.handle(&post("/v1/infer", "{\"program\":\"p.\",\"bogus\":1}"));
         assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn scc_memo_survives_program_edits() {
+        let s = state();
+        assert_eq!(s.handle(&post("/v1/analyze", &analyze_body(APPEND))).status, 200);
+        // An edit that adds an unrelated predicate: the append SCC is
+        // outside the dirty cone and must be answered from the memo,
+        // with the body byte-identical to a fresh server's.
+        let edited = format!("{APPEND}len([], z).\nlen([_|T], s(N)) :- len(T, N).\n");
+        let resp = s.handle(&post("/v1/analyze", &analyze_body(&edited)));
+        assert_eq!(resp.status, 200);
+        assert!(s.scc_cache().hits() > 0, "append SCC did not hit the memo after the edit");
+        let fresh = state().handle(&post("/v1/analyze", &analyze_body(&edited)));
+        assert_eq!(resp.body, fresh.body, "memoized body differs from a cold server");
     }
 
     #[test]

@@ -400,72 +400,20 @@ pub fn infer_size_relations_instrumented(
         if members.is_empty() {
             continue; // EDB-only SCC; stays at implicit top.
         }
-
-        // Non-recursive SCC: single pass.
         let recursive = members.iter().any(|p| graph.is_recursive(p));
-        if !recursive {
-            for p in &members {
-                let mut acc = Poly::empty(p.arity);
-                for &ri in index.rule_indices(p) {
-                    let rp = rule_poly_ids(
-                        &program.rules[ri],
-                        &rule_ids[ri],
-                        &rels,
-                        &rule_cfg,
-                        stats,
-                        &mut ctx,
-                    );
-                    acc = acc.hull_with(&rp, &hull_cfg, stats);
-                }
-                rels.insert(p.clone(), acc.minimized());
-            }
-            continue;
-        }
-
-        // Recursive SCC: Kleene iteration from bottom with delayed widening.
-        for p in &members {
-            rels.insert(p.clone(), Poly::empty(p.arity));
-        }
-        let mut stable = false;
-        for iteration in 0..options.max_iterations {
-            let mut changed = false;
-            for p in &members {
-                let old = rels.get(p).cloned().expect("seeded");
-                let mut new = Poly::empty(p.arity);
-                for &ri in index.rule_indices(p) {
-                    let rp = rule_poly_ids(
-                        &program.rules[ri],
-                        &rule_ids[ri],
-                        &rels,
-                        &rule_cfg,
-                        stats,
-                        &mut ctx,
-                    );
-                    new = new.hull_with(&rp, &hull_cfg, stats);
-                }
-                // Join with previous to enforce monotonicity, then widen.
-                let joined = old.hull_with(&new, &hull_cfg, stats);
-                let next =
-                    if iteration >= options.widening_delay { old.widen(&joined) } else { joined };
-                if !next.same_set(&old) {
-                    // Keep representations minimal between iterations:
-                    // redundant rows compound across hulls and can trip
-                    // the FM row caps.
-                    rels.insert(p.clone(), next.minimized());
-                    changed = true;
-                }
-            }
-            if !changed {
-                stable = true;
-                break;
-            }
-        }
-        if !stable {
-            // Sound fallback: forget everything for this SCC.
-            for p in &members {
-                rels.insert(p.clone(), Poly::nonneg_universe(p.arity));
-            }
-        }
+        infer_scc_inner(
+            program,
+            &index,
+            &members,
+            recursive,
+            &mut rels,
+            options,
+            &rule_cfg,
+            &hull_cfg,
+            stats,
+            &mut ctx,
+            &IdsTable::Full(&rule_ids),
+        );
     }
     // Canonicalize: drop redundant rows so downstream consumers (the
     // termination analyzer's Eq. 1 assembly) see minimal systems, matching
@@ -476,6 +424,142 @@ pub fn infer_size_relations_instrumented(
         rels.map.insert(k, minimized);
     }
     rels
+}
+
+/// Rule-id lookup used by the shared per-SCC fixpoint body: the global
+/// entry point precomputes ids for the whole program, while the per-SCC
+/// entry point builds them only for the SCC's own rules.
+enum IdsTable<'a> {
+    Full(&'a [RuleIds]),
+    Sparse(&'a BTreeMap<usize, RuleIds>),
+}
+
+impl IdsTable<'_> {
+    fn get(&self, ri: usize) -> &RuleIds {
+        match self {
+            IdsTable::Full(v) => &v[ri],
+            IdsTable::Sparse(m) => &m[&ri],
+        }
+    }
+}
+
+/// The per-SCC inference body shared by [`infer_size_relations_instrumented`]
+/// and [`infer_scc_sizes`]: a single pass for non-recursive SCCs, a Kleene
+/// iteration with delayed widening for recursive ones. On return `rels`
+/// holds the SCC's *work-state* polyhedra (inserted pre-minimized between
+/// iterations, not re-minimized at the end) — callers that feed the result
+/// to the termination analyzer must still canonicalize with
+/// [`Poly::minimized`].
+#[allow(clippy::too_many_arguments)]
+fn infer_scc_inner(
+    program: &Program,
+    index: &ProcIndex,
+    members: &[PredKey],
+    recursive: bool,
+    rels: &mut SizeRelations,
+    options: &InferOptions,
+    rule_cfg: &fm::FmConfig,
+    hull_cfg: &fm::FmConfig,
+    stats: &mut fm::FmStats,
+    ctx: &mut SizeCtx,
+    ids: &IdsTable<'_>,
+) {
+    // Non-recursive SCC: single pass.
+    if !recursive {
+        for p in members {
+            let mut acc = Poly::empty(p.arity);
+            for &ri in index.rule_indices(p) {
+                let rp = rule_poly_ids(&program.rules[ri], ids.get(ri), rels, rule_cfg, stats, ctx);
+                acc = acc.hull_with(&rp, hull_cfg, stats);
+            }
+            rels.insert(p.clone(), acc.minimized());
+        }
+        return;
+    }
+
+    // Recursive SCC: Kleene iteration from bottom with delayed widening.
+    for p in members {
+        rels.insert(p.clone(), Poly::empty(p.arity));
+    }
+    let mut stable = false;
+    for iteration in 0..options.max_iterations {
+        let mut changed = false;
+        for p in members {
+            let old = rels.get(p).cloned().expect("seeded");
+            let mut new = Poly::empty(p.arity);
+            for &ri in index.rule_indices(p) {
+                let rp = rule_poly_ids(&program.rules[ri], ids.get(ri), rels, rule_cfg, stats, ctx);
+                new = new.hull_with(&rp, hull_cfg, stats);
+            }
+            // Join with previous to enforce monotonicity, then widen.
+            let joined = old.hull_with(&new, hull_cfg, stats);
+            let next =
+                if iteration >= options.widening_delay { old.widen(&joined) } else { joined };
+            if !next.same_set(&old) {
+                // Keep representations minimal between iterations:
+                // redundant rows compound across hulls and can trip
+                // the FM row caps.
+                rels.insert(p.clone(), next.minimized());
+                changed = true;
+            }
+        }
+        if !changed {
+            stable = true;
+            break;
+        }
+    }
+    if !stable {
+        // Sound fallback: forget everything for this SCC.
+        for p in members {
+            rels.insert(p.clone(), Poly::nonneg_universe(p.arity));
+        }
+    }
+}
+
+/// Run the size-relation fixpoint for a single SCC against an environment
+/// `rels` that already holds the work-state polyhedra of every callee SCC
+/// (absent entries are treated as top, exactly as in the global pass).
+///
+/// `members` must list the SCC's predicates that have rules, in the
+/// [`DepGraph::scc`] order, and `recursive` must be the SCC's
+/// [`DepGraph::is_recursive`] status — passing the same values the global
+/// pass derives makes the inserted polyhedra byte-identical to a cold
+/// [`infer_size_relations`] run. A fresh term arena is built for just this
+/// SCC's rules; the arena is a pure memo, so sharing or not sharing it
+/// does not change any result.
+pub fn infer_scc_sizes(
+    program: &Program,
+    index: &ProcIndex,
+    members: &[PredKey],
+    recursive: bool,
+    rels: &mut SizeRelations,
+    options: &InferOptions,
+) {
+    let cfg = fm::FmConfig::default();
+    let rule_cfg = fm::FmConfig { max_rows: cfg.max_rows.min(FM_ROW_CAP), ..cfg };
+    let hull_cfg =
+        fm::FmConfig { max_rows: cfg.max_rows.min(argus_linear::poly::HULL_ROW_CAP), ..cfg };
+    let mut stats = fm::FmStats::default();
+    let mut ctx = SizeCtx::new(options.norm);
+    let mut ids: BTreeMap<usize, RuleIds> = BTreeMap::new();
+    for p in members {
+        for &ri in index.rule_indices(p) {
+            ids.entry(ri).or_insert_with(|| RuleIds::of(&program.rules[ri], &mut ctx));
+        }
+    }
+    infer_scc_inner(
+        program,
+        index,
+        members,
+        recursive,
+        rels,
+        options,
+        &rule_cfg,
+        &hull_cfg,
+        &mut stats,
+        &mut ctx,
+        &IdsTable::Sparse(&ids),
+    );
 }
 
 #[cfg(test)]

@@ -5,6 +5,9 @@
 //!               [--delta appendix-c] [--no-transform] [--certify]
 //!               [--lexicographic] [--json] [--jobs N] [--stats]
 //!               [--fm-tier 0..3] [--no-fm-cache] [--engine ID]
+//!               [--incremental] [--cache-dir DIR]
+//! argus watch   <file.pl> <name/arity> <adornment> [--cache-dir DIR]
+//!               [--jobs N] [--poll-ms N] [--iterations N]
 //! argus infer   <file.pl> [<name/arity> ...] [--json] [--jobs N]
 //!               [--max-arity N] [--no-propagate] [--certify] [--engine ID]
 //! argus infer   --corpus [--certify]
@@ -14,11 +17,17 @@
 //! argus corpus  [<entry-name>]
 //! argus fuzz    [--seed S] [--cases N] [--jobs J] [--json] [--max-steps N]
 //!               [--shrink-budget N] [--no-metamorphic] [--no-theta-search]
-//!               [--negation] [--infer] [--portfolio] [--repro-dir DIR]
-//!               [--serve ADDR]
+//!               [--negation] [--infer] [--portfolio] [--incremental]
+//!               [--repro-dir DIR] [--serve ADDR]
 //! argus serve   [--addr HOST:PORT] [--jobs N] [--cache-mb N]
-//!               [--deadline-ms N]
+//!               [--deadline-ms N] [--cache-dir DIR]
 //! ```
+//!
+//! `--incremental` memoizes per-SCC results so repeated analyses of a
+//! lightly-edited file recompute only the dirty SCC cone; `--cache-dir`
+//! persists the memo on disk (and implies `--incremental`). `argus watch`
+//! re-analyzes the file whenever it changes and prints only the changed
+//! report lines.
 //!
 //! Exit codes: 0 = proved / clean (or command succeeded), 2 = not proved
 //! (or lint produced warnings), 1 = usage/parse/lint error.
@@ -50,7 +59,10 @@ fn usage() -> ExitCode {
          [--norm structural|list-length] [--delta paper|appendix-c] \
          [--no-transform] [--certify] [--lexicographic] [--jobs N] \
          [--stats] [--fm-tier 0..3] [--no-fm-cache] \
-         [--engine theta|sct|bs|uvg|naish|portfolio]\n  \
+         [--engine theta|sct|bs|uvg|naish|portfolio] \
+         [--incremental] [--cache-dir DIR]\n  \
+         argus watch <file.pl> <name/arity> <adornment> [--cache-dir DIR] \
+         [--jobs N] [--poll-ms N] [--iterations N]\n  \
          argus infer <file.pl> [<name/arity> ...] [--json] [--jobs N] \
          [--max-arity N] [--no-propagate] [--certify] \
          [--engine theta|sct|bs|uvg|naish|portfolio]\n  \
@@ -61,8 +73,9 @@ fn usage() -> ExitCode {
          argus corpus [<entry>]\n  \
          argus fuzz [--seed S] [--cases N] [--jobs J] [--json] [--max-steps N] \
          [--shrink-budget N] [--no-metamorphic] [--no-theta-search] [--negation] \
-         [--infer] [--portfolio] [--repro-dir DIR] [--serve ADDR]\n  \
-         argus serve [--addr HOST:PORT] [--jobs N] [--cache-mb N] [--deadline-ms N]"
+         [--infer] [--portfolio] [--incremental] [--repro-dir DIR] [--serve ADDR]\n  \
+         argus serve [--addr HOST:PORT] [--jobs N] [--cache-mb N] [--deadline-ms N] \
+         [--cache-dir DIR]"
     );
     ExitCode::FAILURE
 }
@@ -81,6 +94,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("infer") => cmd_infer(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
@@ -99,6 +113,8 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut stats = false;
     let mut engine_id = "theta".to_string();
+    let mut incremental = false;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -108,6 +124,19 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             "--json" => json = true,
             "--stats" => stats = true,
             "--no-fm-cache" => options.fm_cache = false,
+            "--incremental" => incremental = true,
+            "--cache-dir" => {
+                i += 1;
+                cache_dir = match args.get(i) {
+                    Some(v) => Some(std::path::PathBuf::from(v)),
+                    None => {
+                        eprintln!("--cache-dir wants a directory");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                // A persistent cache is only useful incrementally.
+                incremental = true;
+            }
             "--engine" => {
                 i += 1;
                 engine_id = match args.get(i) {
@@ -204,15 +233,36 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // `--incremental` memoizes per-SCC results; with `--cache-dir` (or a
+    // resolvable default cache directory) the memo persists across runs,
+    // so only the SCC cone dirtied since the last invocation recomputes.
+    let memo = if incremental { Some(open_scc_cache(cache_dir)) } else { None };
+
     if engine_id != "theta" {
         if certify {
             eprintln!("--certify re-checks theta witnesses; rerun with --engine theta");
             return ExitCode::FAILURE;
         }
-        return engine_analyze(&program, &query, adornment, &options, &engine_id, json, stats);
+        return engine_analyze(
+            &program,
+            &query,
+            adornment,
+            &options,
+            &engine_id,
+            json,
+            stats,
+            memo.as_ref(),
+        );
     }
 
-    let report = analyze(&program, &query, adornment, &options);
+    let report = argus::core::analyze_with_caches(
+        &program,
+        &query,
+        adornment,
+        &options,
+        None,
+        memo.as_ref(),
+    );
     if json {
         println!("{}", report.to_json_with(stats));
     } else {
@@ -237,6 +287,19 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     }
 }
 
+/// Open the per-SCC memo for `--incremental`: the given `--cache-dir`,
+/// else the default per-user cache directory, else (no resolvable home)
+/// a process-local in-memory memo. The CLI memo is unbounded — a run
+/// lives for one analysis, and the disk tier is pruned by content hash,
+/// not residency.
+fn open_scc_cache(cache_dir: Option<std::path::PathBuf>) -> argus::core::SccCache {
+    use argus::core::SccCache;
+    match cache_dir.or_else(SccCache::default_disk_dir) {
+        Some(dir) => SccCache::with_disk(usize::MAX, dir),
+        None => SccCache::unbounded(),
+    }
+}
+
 /// Resolve an `--engine` value to the engine list (and whether to race).
 /// `portfolio` races every registered engine; a single id runs just that
 /// engine, un-raced, through the same runner so output shapes match.
@@ -253,6 +316,7 @@ fn resolve_engines(engine_id: &str) -> Option<(Vec<Box<dyn argus::core::Engine>>
 /// portfolio) and render the `argus-engine/v1` report. The default
 /// `--engine theta` never reaches here — it keeps the original
 /// `TerminationReport` output byte-for-byte.
+#[allow(clippy::too_many_arguments)]
 fn engine_analyze(
     program: &Program,
     query: &PredKey,
@@ -261,12 +325,13 @@ fn engine_analyze(
     engine_id: &str,
     json: bool,
     stats: bool,
+    memo: Option<&argus::core::SccCache>,
 ) -> ExitCode {
     let Some((engines, race)) = resolve_engines(engine_id) else {
         eprintln!("--engine wants theta|sct|bs|uvg|naish|portfolio, got {engine_id:?}");
         return ExitCode::FAILURE;
     };
-    let report = argus::core::run_portfolio(
+    let report = argus::core::run_portfolio_with_memo(
         &engines,
         program,
         query,
@@ -274,6 +339,7 @@ fn engine_analyze(
         options,
         options.parallelism,
         race,
+        memo,
     );
     if json {
         println!("{}", report.to_json(stats));
@@ -287,6 +353,146 @@ fn engine_analyze(
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)
+    }
+}
+
+/// `argus watch <file.pl> <name/arity> <adornment>`: re-analyze the file
+/// whenever its mtime changes, keeping a per-SCC memo warm across
+/// re-analyses so each edit recomputes only its dirty SCC cone. The first
+/// report prints in full; every subsequent one prints only the changed
+/// lines (`- ` removed, `+ ` added) via [`argus::diag::delta`]. A file
+/// that stops parsing reports the error and keeps watching.
+fn cmd_watch(args: &[String]) -> ExitCode {
+    use argus::core::{analyze_with_caches, SccCache};
+
+    let mut positional: Vec<&str> = Vec::new();
+    let mut options = AnalysisOptions::default();
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut poll_ms: u64 = 200;
+    let mut iterations: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cache-dir" => {
+                i += 1;
+                cache_dir = match args.get(i) {
+                    Some(v) => Some(std::path::PathBuf::from(v)),
+                    None => {
+                        eprintln!("--cache-dir wants a directory");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--jobs" => {
+                i += 1;
+                options.parallelism = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--jobs wants a thread count (0 = one per core)");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--poll-ms" => {
+                i += 1;
+                poll_ms = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("bad --poll-ms value");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--iterations" => {
+                i += 1;
+                iterations = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("bad --iterations value");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown watch flag {other}");
+                return ExitCode::FAILURE;
+            }
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+    let [path, spec, adn] = positional.as_slice() else { return usage() };
+    let Some(query) = parse_spec(spec) else { return usage() };
+    let Some(adornment) = Adornment::parse(adn) else {
+        eprintln!("bad adornment {adn:?}");
+        return ExitCode::FAILURE;
+    };
+    if adornment.arity() != query.arity {
+        eprintln!("adornment arity mismatch");
+        return ExitCode::FAILURE;
+    }
+
+    // `--cache-dir` only; no implicit default dir — a watcher's memo is
+    // already warm across edits in memory, so disk is opt-in here.
+    let memo = match cache_dir {
+        Some(dir) => SccCache::with_disk(usize::MAX, dir),
+        None => SccCache::unbounded(),
+    };
+
+    let mut last_mtime: Option<std::time::SystemTime> = None;
+    let mut last_render: Option<String> = None;
+    let mut analyses = 0usize;
+    loop {
+        let mtime = std::fs::metadata(path).and_then(|m| m.modified()).ok();
+        let changed = last_render.is_none() || mtime != last_mtime;
+        if changed {
+            last_mtime = mtime;
+            match load(path) {
+                Ok(program) if !program.idb_predicates().contains(&query) => {
+                    say!("watch: {query} is not defined in {path} — waiting for edits");
+                }
+                Ok(program) => {
+                    let started = std::time::Instant::now();
+                    let report = analyze_with_caches(
+                        &program,
+                        &query,
+                        adornment.clone(),
+                        &options,
+                        None,
+                        Some(&memo),
+                    );
+                    let elapsed = started.elapsed();
+                    let rendered = report.to_string();
+                    match &last_render {
+                        None => print!("{rendered}"),
+                        Some(prev) => {
+                            let delta = argus::diag::delta::render_delta(prev, &rendered);
+                            if delta.is_empty() {
+                                say!("watch: report unchanged");
+                            } else {
+                                print!("{delta}");
+                            }
+                        }
+                    }
+                    let incr = report
+                        .incremental
+                        .map(|s| format!(", {}/{} SCCs recomputed", s.dirty(), s.total()))
+                        .unwrap_or_default();
+                    say!("watch: analyzed {path} in {:.1}ms{incr}", elapsed.as_secs_f64() * 1e3);
+                    last_render = Some(rendered);
+                }
+                Err(e) => {
+                    // Mid-edit files often fail to parse; report and keep
+                    // watching — the next save gets a fresh chance.
+                    say!("watch: {e}");
+                }
+            }
+            analyses += 1;
+            if iterations.is_some_and(|n| analyses >= n) {
+                return ExitCode::SUCCESS;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(1)));
     }
 }
 
@@ -746,6 +952,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             "--negation" => options.gen.negation = true,
             "--infer" => options.infer = true,
             "--portfolio" => options.portfolio = true,
+            "--incremental" => options.incremental = true,
             "--seed" => {
                 let Some(v) = want_value(args, i, "--seed") else { return ExitCode::FAILURE };
                 let Ok(n) = v.parse() else {
@@ -902,6 +1109,13 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 options.deadline_ms = n;
+                i += 1;
+            }
+            "--cache-dir" => {
+                let Some(v) = want_value(args, i, "--cache-dir") else {
+                    return ExitCode::FAILURE;
+                };
+                options.cache_dir = Some(std::path::PathBuf::from(v));
                 i += 1;
             }
             other => {

@@ -400,6 +400,110 @@ fn serve_condition_table_consistent_under_hammer() {
     assert!(shared.conditions().hits() > 0, "hammer never hit the shared condition cache");
 }
 
+/// The incremental per-SCC memo must be invisible in the output through
+/// an edit session: prime a memo on a program, then replay every
+/// single-clause deletion (plus the no-op edit) and check that the
+/// memoized report is byte-identical to a from-scratch run of the edited
+/// program — text and JSON, at `--jobs 0` and `--jobs 8`. This is the
+/// incremental layer's core soundness property: a stale or over-shared
+/// cache entry would surface here as a divergence.
+#[test]
+fn incremental_reports_identical_under_clause_edits() {
+    use argus::core::{analyze_with_caches, SccCache};
+    for entry in argus::corpus::corpus() {
+        if entry.name == "mutual_fib_ring" {
+            continue; // FM-heavy; the cheap entries cover the same memo paths
+        }
+        let program = entry.program().unwrap();
+        let (query, adornment) = entry.query_key();
+        let memo = SccCache::unbounded();
+        let options = |jobs: usize| AnalysisOptions { parallelism: jobs, ..Default::default() };
+
+        // Prime on the original program; the primed run itself must match.
+        let cold0 = render(&analyze(&program, &query, adornment.clone(), &options(1)));
+        let warm0 = render(&analyze_with_caches(
+            &program,
+            &query,
+            adornment.clone(),
+            &options(1),
+            None,
+            Some(&memo),
+        ));
+        assert_eq!(cold0, warm0, "{}: primed report differs from cold", entry.name);
+
+        // The no-op edit, then every single-clause deletion, against the
+        // memo that still holds the pre-edit entries.
+        let mut edits: Vec<Program> = vec![program.clone()];
+        for i in 0..program.rules.len() {
+            let mut edited = program.clone();
+            edited.rules.remove(i);
+            edits.push(edited);
+        }
+        for (edit, edited) in edits.iter().enumerate() {
+            for jobs in [0usize, 8] {
+                let cold = render(&analyze(edited, &query, adornment.clone(), &options(jobs)));
+                let warm = render(&analyze_with_caches(
+                    edited,
+                    &query,
+                    adornment.clone(),
+                    &options(jobs),
+                    None,
+                    Some(&memo),
+                ));
+                assert_eq!(
+                    cold, warm,
+                    "{}: edit {edit} memoized report differs at --jobs {jobs}",
+                    entry.name
+                );
+            }
+        }
+    }
+}
+
+/// Backwards inference under a shared per-SCC memo — including a memo
+/// already primed by forward analysis — must render byte-identical
+/// inference JSON to the memo-free run, at several worker counts.
+#[test]
+fn inference_json_identical_with_scc_memo() {
+    use argus::core::{analyze_with_caches, SccCache};
+    use std::sync::Arc;
+    for entry in argus::corpus::corpus() {
+        if entry.name == "mutual_fib_ring" {
+            continue; // runtime; see inference_json_identical_across_worker_counts
+        }
+        let program = entry.program().unwrap();
+        let (query, adornment) = entry.query_key();
+        let cold = infer_conditions(&program, &BackwardsOptions::default()).to_json();
+        let memo = Arc::new(SccCache::unbounded());
+        // Prime from the forward side first: inference probes must then
+        // hit entries written by plain `analyze`, bytes unchanged.
+        analyze_with_caches(
+            &program,
+            &query,
+            adornment,
+            &AnalysisOptions::default(),
+            None,
+            Some(&memo),
+        );
+        for jobs in [1usize, 4] {
+            let warm = infer_conditions(
+                &program,
+                &BackwardsOptions {
+                    analysis: AnalysisOptions { parallelism: jobs, ..Default::default() },
+                    scc_memo: Some(Arc::clone(&memo)),
+                    ..Default::default()
+                },
+            )
+            .to_json();
+            assert_eq!(
+                cold, warm,
+                "{}: inference JSON differs under scc memo at --jobs {jobs}",
+                entry.name
+            );
+        }
+    }
+}
+
 /// The example program shipped in `examples/` analyzes identically at any
 /// worker count, under both text and JSON rendering.
 #[test]
