@@ -146,6 +146,20 @@ cargo run --release -q -p argus-bench "${CARGO_FLAGS[@]}" \
 ./target/release/argus fuzz --incremental --seed 3 --cases 150 --jobs 0 \
     --no-metamorphic --no-theta-search
 
+echo "==> lsp smoke + gate (editor-session floors)"
+# LSP lane: a scripted stdio session against the real `argus lsp` binary
+# (initialize → didOpen a corpus program → three one-clause incremental
+# edits → shutdown/exit, which must exit 0), then the in-process
+# edit-session bench and lsp_gate's structural floors — the worst warm
+# edit of the session must recompute < 10% of the document's SCC
+# computations and an edit that leaves the text unchanged exactly 0.
+./target/release/lsp_session ./target/release/argus
+cargo run --release -q -p argus-bench "${CARGO_FLAGS[@]}" \
+    --bin bench_report -- --smoke --suite lsp \
+    --out /tmp/argus-lsp-smoke.json
+cargo run --release -q -p argus-bench "${CARGO_FLAGS[@]}" \
+    --bin lsp_gate -- /tmp/argus-lsp-smoke.json
+
 echo "==> scaling smoke (50k-clause substrate gate)"
 # Million-clause substrate lane: generate and analyze a 50k-clause program
 # end to end (full scale suite restricted to the 50k size; the smoke tier

@@ -1,0 +1,93 @@
+//! `lsp_gate` — regression gate for the LSP edit-session pipeline.
+//!
+//! Reads a bench report containing the `lsp` suite and fails if the
+//! server stops re-analyzing incrementally. Checks, per size label found
+//! in the report:
+//!
+//! * **Dirty-cone floor** — the worst one-clause warm edit of the
+//!   session must recompute fewer than 10% of the document's SCC
+//!   computations (`dirty_sccs * 10 < total_sccs`). Same structural
+//!   claim as `incr_gate`, but measured through the whole protocol
+//!   stack (framing → dispatch → lint → memoized analysis).
+//! * **No-op floor** — an edit that leaves the text unchanged must
+//!   recompute nothing (`dirty_sccs == 0`).
+//!
+//! Latency percentiles (`p50_us` / `p99_us`) are recorded in the report
+//! but not wall-clock-gated: CI machines are noisy, and the structural
+//! counters are what guarantee the latencies stay flat as programs grow.
+//!
+//! Usage: `lsp_gate [PATH]` (default `BENCH_argus.json`).
+
+use argus_bench::json::{scan_num_field, scan_str_field};
+use std::collections::BTreeMap;
+
+fn counter(samples: &BTreeMap<String, String>, id: &str, key: &str) -> Result<f64, String> {
+    let line = samples.get(id).ok_or_else(|| format!("sample `{id}` missing from report"))?;
+    scan_num_field(line, key).ok_or_else(|| format!("sample `{id}` has no field `{key}`"))
+}
+
+fn run(path: &str) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut samples = BTreeMap::new();
+    let mut labels: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if let Some(id) = scan_str_field(line, "id") {
+            if let Some(label) = id.strip_prefix("lsp/warm-edit/") {
+                labels.push(label.to_string());
+            }
+            samples.insert(id, line.to_string());
+        }
+    }
+    if labels.is_empty() {
+        return Err(format!("no lsp/warm-edit samples found in {path}"));
+    }
+
+    let mut failures = Vec::new();
+    for label in &labels {
+        let edit_id = format!("lsp/warm-edit/{label}");
+        let dirty = counter(&samples, &edit_id, "dirty_sccs")?;
+        let total = counter(&samples, &edit_id, "total_sccs")?;
+        let p50 = counter(&samples, &edit_id, "p50_us").unwrap_or(f64::NAN);
+        let p99 = counter(&samples, &edit_id, "p99_us").unwrap_or(f64::NAN);
+        let ok = total > 0.0 && dirty * 10.0 < total;
+        eprintln!(
+            "lsp_gate: {} {edit_id} dirty cone = {dirty:.0} of {total:.0} (floor < 10%), \
+             latency p50 = {p50:.0}us p99 = {p99:.0}us",
+            if ok { "ok  " } else { "FAIL" }
+        );
+        if !ok {
+            failures.push(format!("{edit_id} dirty cone {dirty:.0}/{total:.0} is not < 10%"));
+        }
+
+        let noop_id = format!("lsp/warm-noop/{label}");
+        let noop_dirty = counter(&samples, &noop_id, "dirty_sccs")?;
+        let ok = noop_dirty == 0.0;
+        eprintln!(
+            "lsp_gate: {} {noop_id} dirty cone = {noop_dirty:.0} (must be 0)",
+            if ok { "ok  " } else { "FAIL" }
+        );
+        if !ok {
+            failures.push(format!("{noop_id} recomputed {noop_dirty:.0} SCC computation(s)"));
+        }
+    }
+    Ok(failures)
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_argus.json".to_string());
+    match run(&path) {
+        Ok(failures) if failures.is_empty() => {
+            eprintln!("lsp_gate: dirty-cone floors hold ({path})");
+        }
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("lsp_gate: FAIL {f}");
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("lsp_gate: {e}");
+            std::process::exit(1);
+        }
+    }
+}

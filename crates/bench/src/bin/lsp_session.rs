@@ -1,0 +1,72 @@
+//! `lsp_session` — the CI lane's scripted end-to-end LSP session.
+//!
+//! Spawns the **real** `argus lsp` binary (not the in-process harness)
+//! and drives a full editor session over its stdio: `initialize` →
+//! `didOpen` a corpus program → three one-clause incremental edits →
+//! `shutdown`/`exit`. Succeeds (exit 0) only if every edit produced a
+//! `publishDiagnostics` round trip and the server exited with status 0 —
+//! proving the production transport, not just the library, survives a
+//! realistic session.
+//!
+//! Usage: `lsp_session [ARGUS_BINARY]` (default `target/release/argus`).
+
+use argus_lsp::LspClient;
+use argus_serve::jsonval::Json;
+use std::process::{Command, Stdio};
+
+fn main() {
+    let binary = std::env::args().nth(1).unwrap_or_else(|| "target/release/argus".to_string());
+    let entry = argus_corpus::find("append_bff").expect("corpus entry append_bff");
+    let mut text = entry.source.trim_end().to_string();
+    text.push('\n');
+    text.push_str(&format!("% argus query: {} {}\n", entry.query, entry.adornment));
+
+    let mut child = match Command::new(&binary)
+        .args(["lsp", "--debounce-ms", "0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("lsp_session: cannot spawn {binary}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut client = LspClient::over_child(&mut child);
+
+    client.initialize(None);
+    let uri = "file:///ci/session.pl";
+    client.did_open(uri, 1, &text);
+    client.wait_publish(uri, 1);
+
+    // Three one-clause edits, each appended at the end of the document.
+    let edits = [
+        "last([X], X).",
+        "last([Y|Ys], X) :- last(Ys, X).",
+        "main :- last([a, b], X), append([X], [], [X]).",
+    ];
+    let first_line = text.lines().count();
+    let mut diags = 0usize;
+    for (k, clause) in edits.iter().enumerate() {
+        let line = first_line + k;
+        let version = k as i64 + 2;
+        client.did_change_range(uri, version, ((line, 0), (line, 0)), &format!("{clause}\n"));
+        let publish = client.wait_publish(uri, version);
+        diags = publish.get("diagnostics").and_then(Json::as_array).map_or(0, <[Json]>::len);
+    }
+
+    client.shutdown_exit();
+    drop(client);
+    let status = child.wait().expect("wait for argus lsp");
+    if !status.success() {
+        eprintln!("lsp_session: server exited with {status}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "lsp_session: ok — {} edits published diagnostics ({diags} on the final version), \
+         server exited 0",
+        edits.len()
+    );
+}

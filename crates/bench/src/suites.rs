@@ -821,6 +821,119 @@ pub fn portfolio_suite(scale: Scale) -> Vec<Sample> {
     out
 }
 
+/// E17 — LSP edit-session replay: a scripted client drives the
+/// in-process `argus-lsp` server through a realistic editing session on
+/// a generated scale program and measures end-to-end
+/// `didChange` → `publishDiagnostics` latency — framing, JSON-RPC
+/// dispatch, the full lint battery, and the memoized termination
+/// analysis, exactly what an editor user waits on. One cold open primes
+/// the per-SCC memo, then a burst of one-clause warm edits (each
+/// appending a duplicate of a distinct mid-program rule) and a no-op
+/// edit replay the `incremental` suite's shapes through the protocol.
+/// Warm samples carry client-observed p50/p99 latencies and the
+/// worst-case dirty-cone counters (`dirty_sccs` / `total_sccs`) that
+/// `lsp_gate` pins.
+pub fn lsp_suite(scale: Scale) -> Vec<Sample> {
+    use argus_lsp::{spawn_in_process, LspOptions};
+    use argus_serve::jsonval::Json;
+
+    let (label, clauses, edits) = match scale {
+        Scale::Smoke => ("2k", 2_000usize, 4usize),
+        Scale::Full => ("10k", 10_000, 16),
+    };
+    let case = argus_fuzz::gen::scale_case(0xA11CE, clauses);
+    let mut text = case.program.to_string();
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    text.push_str(&format!("% argus query: {} {}\n", case.query, case.adornment));
+    let uri = "file:///bench/session.pl";
+    let stat = |params: &Json, key: &str| params.get(key).and_then(Json::as_u64).unwrap_or(0);
+
+    let (mut client, handle) = spawn_in_process(LspOptions::default());
+    client.initialize(None);
+
+    // Cold open: the whole document analyzed against an empty memo.
+    let start = std::time::Instant::now();
+    client.did_open(uri, 1, &text);
+    let publish = client.wait_publish(uri, 1);
+    let stats = client.wait_stats(uri, 1);
+    let cold_ns = start.elapsed().as_nanos() as f64;
+    let diags = publish.get("diagnostics").and_then(Json::as_array).map_or(0, <[Json]>::len);
+    let mut out = vec![Sample {
+        suite: "lsp".to_string(),
+        name: format!("cold-open/{label}"),
+        iters: 1,
+        ns_per_iter: cold_ns,
+        counters: vec![
+            ("rules", case.program.rules.len() as u64),
+            ("diagnostics", diags as u64),
+            ("total_sccs", stat(&stats, "total")),
+        ],
+    }];
+
+    // Warm edits: append duplicates of distinct mid-program rules at the
+    // end of the document — the early-cutoff shape real edits have.
+    let first_line = text.lines().count();
+    let mut version = 1i64;
+    let mut latencies = Vec::new();
+    let (mut worst_dirty, mut worst_total) = (0u64, stat(&stats, "total").max(1));
+    for k in 0..edits {
+        let line = first_line + k;
+        let rule = case.program.rules[case.program.rules.len() / 2 + k].to_string();
+        version += 1;
+        let start = std::time::Instant::now();
+        client.did_change_range(uri, version, ((line, 0), (line, 0)), &format!("{rule}\n"));
+        client.wait_publish(uri, version);
+        let stats = client.wait_stats(uri, version);
+        latencies.push(start.elapsed().as_nanos() as f64);
+        let (dirty, total) = (stat(&stats, "dirty"), stat(&stats, "total"));
+        if dirty * worst_total >= worst_dirty * total.max(1) {
+            (worst_dirty, worst_total) = (dirty, total.max(1));
+        }
+    }
+    let mut sorted = latencies.clone();
+    sorted.sort_by(f64::total_cmp);
+    let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+    let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    out.push(Sample {
+        suite: "lsp".to_string(),
+        name: format!("warm-edit/{label}"),
+        iters: edits as u32,
+        ns_per_iter: mean,
+        counters: vec![
+            ("dirty_sccs", worst_dirty),
+            ("total_sccs", worst_total),
+            ("p50_us", (pct(0.50) / 1_000.0) as u64),
+            ("p99_us", (pct(0.99) / 1_000.0) as u64),
+        ],
+    });
+
+    // Warm no-op: replace the first character with itself — the text is
+    // unchanged, so the memo must satisfy every SCC computation.
+    let first = text.chars().next().expect("nonempty program").to_string();
+    version += 1;
+    let start = std::time::Instant::now();
+    client.did_change_range(uri, version, ((0, 0), (0, 1)), &first);
+    client.wait_publish(uri, version);
+    let stats = client.wait_stats(uri, version);
+    out.push(Sample {
+        suite: "lsp".to_string(),
+        name: format!("warm-noop/{label}"),
+        iters: 1,
+        ns_per_iter: start.elapsed().as_nanos() as f64,
+        counters: vec![
+            ("dirty_sccs", stat(&stats, "dirty")),
+            ("total_sccs", stat(&stats, "total")),
+        ],
+    });
+
+    client.shutdown_exit();
+    drop(client);
+    assert_eq!(handle.join().expect("server thread"), 0, "orderly LSP shutdown");
+    out
+}
+
 /// A suite entry point: workloads at a given scale, as samples.
 pub type SuiteFn = fn(Scale) -> Vec<Sample>;
 
@@ -839,6 +952,7 @@ pub fn all_suites() -> Vec<(&'static str, SuiteFn)> {
         ("portfolio", portfolio_suite),
         ("scale", scale_suite),
         ("incremental", incremental_suite),
+        ("lsp", lsp_suite),
     ]
 }
 

@@ -17,7 +17,7 @@
 //! is silent.
 
 use crate::{Diagnostic, LintContext, LintPass, Severity};
-use argus_core::{analyze, AnalysisOptions, SccOutcome};
+use argus_core::{analyze_with_caches, AnalysisOptions, SccOutcome};
 use argus_logic::span::Span;
 use argus_logic::PredKey;
 
@@ -46,8 +46,20 @@ impl LintPass for TerminationBlame {
         }
         // Preprocessing rewrites rules (losing their source spans), so run
         // the analysis on the program exactly as written.
-        let options = AnalysisOptions { transform_phases: 0, ..AnalysisOptions::default() };
-        let report = analyze(ctx.program, root, adornment.clone(), &options);
+        let options = AnalysisOptions {
+            transform_phases: 0,
+            parallelism: ctx.jobs,
+            ..AnalysisOptions::default()
+        };
+        let report = analyze_with_caches(
+            ctx.program,
+            root,
+            adornment.clone(),
+            &options,
+            None,
+            ctx.memo.as_deref(),
+        );
+        ctx.record_incremental(report.incremental);
         for scc in &report.sccs {
             match &scc.outcome {
                 SccOutcome::ZeroWeightCycle(cycle) => {

@@ -44,16 +44,20 @@
 
 pub mod blame;
 pub mod delta;
+pub mod lsp;
 pub mod moded;
 pub mod passes;
 pub mod render;
 pub mod suggest;
 
+use argus_core::incremental::{IncrementalRunStats, SccCache};
 use argus_logic::modes::Adornment;
 use argus_logic::parser::parse_program;
 use argus_logic::span::Span;
 use argus_logic::{DepGraph, PredKey, Program};
+use std::cell::Cell;
 use std::fmt;
+use std::sync::Arc;
 
 /// How serious a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -133,6 +137,36 @@ pub struct LintContext<'a> {
     pub graph: &'a DepGraph,
     /// Query predicate + adornment, when supplied.
     pub query: Option<&'a (PredKey, Adornment)>,
+    /// Per-SCC memo for the analysis-backed passes (L009–L011). When
+    /// supplied, their termination analyses answer unchanged SCCs from
+    /// the memo (see [`argus_core::incremental`]); diagnostics are
+    /// byte-identical either way.
+    pub memo: Option<Arc<SccCache>>,
+    /// Worker threads for the analysis-backed passes (`0` = one per
+    /// core, as [`argus_core::AnalysisOptions::parallelism`]).
+    pub jobs: usize,
+    /// Accumulated memo hit/miss counters from the analysis-backed
+    /// passes, populated when `memo` is set (passes merge via
+    /// [`LintContext::record_incremental`]).
+    pub incremental: Cell<Option<IncrementalRunStats>>,
+}
+
+impl LintContext<'_> {
+    /// Merge one analysis run's memo counters into the accumulated
+    /// per-lint-run total.
+    pub fn record_incremental(&self, stats: Option<IncrementalRunStats>) {
+        let Some(s) = stats else { return };
+        let merged = match self.incremental.get() {
+            None => s,
+            Some(prev) => IncrementalRunStats {
+                size_hits: prev.size_hits + s.size_hits,
+                size_misses: prev.size_misses + s.size_misses,
+                theta_hits: prev.theta_hits + s.theta_hits,
+                theta_misses: prev.theta_misses + s.theta_misses,
+            },
+        };
+        self.incremental.set(Some(merged));
+    }
 }
 
 /// One lint: inspects the program and appends diagnostics.
@@ -158,14 +192,49 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
     ]
 }
 
+/// The result of a memo-aware lint run: the diagnostics plus the memo
+/// counters accumulated across the analysis-backed passes.
+#[derive(Debug, Clone)]
+pub struct LintRun {
+    /// The diagnostics, sorted and deduplicated exactly as
+    /// [`lint_program`] returns them.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Summed memo hit/miss counters from every termination analysis the
+    /// run performed; `None` when no memo was supplied or no
+    /// analysis-backed pass ran.
+    pub incremental: Option<IncrementalRunStats>,
+}
+
 /// Lint an already-parsed program.
 ///
 /// `src` must be the text `program` was parsed from (it supplies variable
 /// occurrence spans); pass `""` for programs built programmatically —
 /// span-dependent lints then degrade gracefully.
 pub fn lint_program(src: &str, program: &Program, options: &LintOptions) -> Vec<Diagnostic> {
+    lint_program_memo(src, program, options, None, 0).diagnostics
+}
+
+/// [`lint_program`] with a per-SCC memo and a worker count for the
+/// analysis-backed passes (the LSP server's entry point). Diagnostics are
+/// byte-identical to [`lint_program`] at every memo/jobs setting; only
+/// [`LintRun::incremental`] reflects the configuration.
+pub fn lint_program_memo(
+    src: &str,
+    program: &Program,
+    options: &LintOptions,
+    memo: Option<Arc<SccCache>>,
+    jobs: usize,
+) -> LintRun {
     let graph = DepGraph::build(program);
-    let ctx = LintContext { src, program, graph: &graph, query: options.query.as_ref() };
+    let ctx = LintContext {
+        src,
+        program,
+        graph: &graph,
+        query: options.query.as_ref(),
+        memo,
+        jobs,
+        incremental: Cell::new(None),
+    };
     let mut out = Vec::new();
     for pass in default_passes() {
         pass.run(&ctx, &mut out);
@@ -177,13 +246,24 @@ pub fn lint_program(src: &str, program: &Program, options: &LintOptions) -> Vec<
         ka.cmp(&kb).then_with(|| a.message.cmp(&b.message))
     });
     out.dedup();
-    out
+    LintRun { diagnostics: out, incremental: ctx.incremental.get() }
 }
 
 /// Lint source text. A parse failure yields a single `L000` diagnostic.
 pub fn lint_source(src: &str, options: &LintOptions) -> Vec<Diagnostic> {
+    lint_source_memo(src, options, None, 0).diagnostics
+}
+
+/// [`lint_source`] with a per-SCC memo and worker count (see
+/// [`lint_program_memo`]).
+pub fn lint_source_memo(
+    src: &str,
+    options: &LintOptions,
+    memo: Option<Arc<SccCache>>,
+    jobs: usize,
+) -> LintRun {
     match parse_program(src) {
-        Ok(program) => lint_program(src, &program, options),
+        Ok(program) => lint_program_memo(src, &program, options, memo, jobs),
         Err(e) => {
             // Reconstruct a byte offset for the error position so renderers
             // can excerpt the line.
@@ -194,12 +274,15 @@ pub fn lint_source(src: &str, options: &LintOptions) -> Vec<Diagnostic> {
                 .nth(e.col.saturating_sub(1))
                 .map(|(i, _)| line_start + i)
                 .unwrap_or(src.len());
-            vec![Diagnostic::new(
-                "L000",
-                Severity::Error,
-                Some(Span::new(off, (off + 1).min(src.len()), e.line, e.col)),
-                e.message,
-            )]
+            LintRun {
+                diagnostics: vec![Diagnostic::new(
+                    "L000",
+                    Severity::Error,
+                    Some(Span::new(off, (off + 1).min(src.len()), e.line, e.col)),
+                    e.message,
+                )],
+                incremental: None,
+            }
         }
     }
 }

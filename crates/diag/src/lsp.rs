@@ -1,0 +1,150 @@
+//! Diagnostic → Language Server Protocol conversion.
+//!
+//! The LSP server (`crates/lsp`) publishes the exact diagnostics the
+//! CLI renders — same codes, same messages, same byte spans — but the
+//! protocol speaks 0-based UTF-16 positions where [`crate::Diagnostic`]
+//! carries byte offsets. This module owns that translation:
+//!
+//! * [`lsp_severity`] maps [`Severity`] onto the protocol's
+//!   `DiagnosticSeverity` numbers (Error → 1, Warning → 2, Note → 3 /
+//!   Information);
+//! * [`lsp_range`] converts a byte [`Span`] to a `(line, character)`
+//!   range via [`LineIndex::utf16_position`];
+//! * [`render_lsp_diagnostic`] / [`render_lsp_diagnostics`] emit the
+//!   protocol's `Diagnostic` JSON objects, with notes surfaced as
+//!   `relatedInformation` and the raw byte offsets preserved under
+//!   `data` (`{"start":…,"end":…}`) so tooling can assert
+//!   byte-equivalence against `argus lint --json` without re-deriving
+//!   offsets from UTF-16 positions.
+//!
+//! Spanless diagnostics (e.g. L003 on a predicate with no parsed rule)
+//! get the protocol's conventional zero range and no `data` field.
+
+use crate::render::json_str;
+use crate::{Diagnostic, Severity};
+use argus_logic::span::{LineIndex, Span};
+
+/// The LSP `DiagnosticSeverity` value for `s`: Error → 1, Warning → 2,
+/// Note → 3 (`Information`).
+pub fn lsp_severity(s: Severity) -> u32 {
+    match s {
+        Severity::Error => 1,
+        Severity::Warning => 2,
+        Severity::Note => 3,
+    }
+}
+
+/// The 0-based UTF-16 `((start line, start char), (end line, end char))`
+/// range of `span` in `src`.
+pub fn lsp_range(index: &LineIndex, src: &str, span: &Span) -> ((usize, usize), (usize, usize)) {
+    (index.utf16_position(src, span.start), index.utf16_position(src, span.end))
+}
+
+fn range_json(range: ((usize, usize), (usize, usize))) -> String {
+    let ((sl, sc), (el, ec)) = range;
+    format!(
+        "{{\"start\":{{\"line\":{sl},\"character\":{sc}}},\
+         \"end\":{{\"line\":{el},\"character\":{ec}}}}}"
+    )
+}
+
+/// Render one diagnostic as an LSP `Diagnostic` JSON object. `uri` is the
+/// document the diagnostic belongs to (needed because
+/// `relatedInformation` entries carry full locations).
+pub fn render_lsp_diagnostic(d: &Diagnostic, src: &str, index: &LineIndex, uri: &str) -> String {
+    let range = match &d.span {
+        Some(span) => lsp_range(index, src, span),
+        None => ((0, 0), (0, 0)),
+    };
+    let mut fields = vec![
+        format!("\"range\":{}", range_json(range)),
+        format!("\"severity\":{}", lsp_severity(d.severity)),
+        format!("\"code\":{}", json_str(d.code)),
+        "\"source\":\"argus\"".to_string(),
+        format!("\"message\":{}", json_str(&d.message)),
+    ];
+    if !d.notes.is_empty() {
+        let related: Vec<String> = d
+            .notes
+            .iter()
+            .map(|note| {
+                format!(
+                    "{{\"location\":{{\"uri\":{},\"range\":{}}},\"message\":{}}}",
+                    json_str(uri),
+                    range_json(range),
+                    json_str(note)
+                )
+            })
+            .collect();
+        fields.push(format!("\"relatedInformation\":[{}]", related.join(",")));
+    }
+    if let Some(span) = &d.span {
+        fields.push(format!("\"data\":{{\"start\":{},\"end\":{}}}", span.start, span.end));
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Render `diags` as the LSP `diagnostics` JSON array for a
+/// `textDocument/publishDiagnostics` notification over `src`.
+pub fn render_lsp_diagnostics(diags: &[Diagnostic], src: &str, uri: &str) -> String {
+    let index = LineIndex::new(src);
+    let items: Vec<String> =
+        diags.iter().map(|d| render_lsp_diagnostic(d, src, &index, uri)).collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_source, LintOptions};
+
+    #[test]
+    fn severities_map_to_lsp_numbers() {
+        assert_eq!(lsp_severity(Severity::Error), 1);
+        assert_eq!(lsp_severity(Severity::Warning), 2);
+        assert_eq!(lsp_severity(Severity::Note), 3);
+    }
+
+    #[test]
+    fn ranges_are_utf16_code_units() {
+        // The emoji is 4 bytes / 2 UTF-16 units, so the undefined call
+        // after it lands at character 4 + 2 = not its char count.
+        let src = "p(X) :- q('😀', X).\n";
+        let diags = lint_source(src, &LintOptions::default());
+        let d = diags.iter().find(|d| d.code == "L002").expect("L002");
+        let json = render_lsp_diagnostics(std::slice::from_ref(d), src, "file:///demo.pl");
+        // `q(...)` starts at byte 8, char 9, UTF-16 unit 8 on line 0.
+        assert!(json.contains("\"start\":{\"line\":0,\"character\":8}"), "{json}");
+        // Byte offsets survive verbatim under data.
+        let span = d.span.unwrap();
+        assert!(
+            json.contains(&format!("\"data\":{{\"start\":{},\"end\":{}}}", span.start, span.end)),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn notes_become_related_information() {
+        let src = "p(X, X).\np(X, Y) :- p(X, Y).\nmain(X) :- p(X, _).\n";
+        let diags = lint_source(src, &LintOptions::default());
+        let noted = diags.iter().find(|d| !d.notes.is_empty()).expect("a diagnostic with notes");
+        let json = render_lsp_diagnostic(noted, src, &LineIndex::new(src), "file:///demo.pl");
+        assert!(json.contains("\"relatedInformation\":["), "{json}");
+        assert!(json.contains("\"uri\":\"file:///demo.pl\""), "{json}");
+        assert!(json.contains(&json_str(&noted.notes[0])), "{json}");
+    }
+
+    #[test]
+    fn spanless_diagnostics_get_zero_range_and_no_data() {
+        let d = Diagnostic::new("L003", Severity::Warning, None, "orphan");
+        let json = render_lsp_diagnostic(&d, "", &LineIndex::new(""), "file:///x.pl");
+        assert!(
+            json.contains(
+                "\"range\":{\"start\":{\"line\":0,\"character\":0},\
+             \"end\":{\"line\":0,\"character\":0}}"
+            ),
+            "{json}"
+        );
+        assert!(!json.contains("\"data\""), "{json}");
+    }
+}

@@ -20,7 +20,7 @@ use crate::{Diagnostic, Severity};
 use argus_logic::span::LineIndex;
 use std::fmt::Write as _;
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -38,7 +38,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     format!("\"{}\"", esc(s))
 }
 

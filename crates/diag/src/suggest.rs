@@ -18,7 +18,9 @@
 //! cover "nothing helps") — there is no instantiation to suggest.
 
 use crate::{Diagnostic, LintContext, LintPass, Severity};
-use argus_core::{analyze, infer_conditions_for, AnalysisOptions, BackwardsOptions, Verdict};
+use argus_core::{
+    analyze_with_caches, infer_conditions_for, AnalysisOptions, BackwardsOptions, Verdict,
+};
 use argus_logic::span::Span;
 use argus_logic::PredKey;
 use std::collections::BTreeSet;
@@ -56,11 +58,25 @@ impl LintPass for ConditionSuggestion {
         if !ctx.program.idb_predicates().contains(root) {
             return; // L002 already covers the undefined query
         }
-        let report = analyze(ctx.program, root, adornment.clone(), &AnalysisOptions::default());
+        let analysis = AnalysisOptions { parallelism: ctx.jobs, ..AnalysisOptions::default() };
+        let report = analyze_with_caches(
+            ctx.program,
+            root,
+            adornment.clone(),
+            &analysis,
+            None,
+            ctx.memo.as_deref(),
+        );
+        ctx.record_incremental(report.incremental);
         if report.verdict == Verdict::Terminates {
             return;
         }
-        let options = BackwardsOptions { max_arity: LINT_MAX_ARITY, ..Default::default() };
+        let options = BackwardsOptions {
+            max_arity: LINT_MAX_ARITY,
+            analysis,
+            scc_memo: ctx.memo.clone(),
+            ..Default::default()
+        };
         let inferred =
             infer_conditions_for(ctx.program, &[root.clone()].into_iter().collect(), &options);
         let Some(cond) = inferred.conditions.iter().find(|c| c.pred == *root) else { return };

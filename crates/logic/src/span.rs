@@ -184,6 +184,61 @@ impl LineIndex {
     pub fn line_count(&self) -> usize {
         self.line_starts.len()
     }
+
+    /// The 0-based UTF-16 column of byte `offset` — code units from the
+    /// start of its line. This is the Language Server Protocol's position
+    /// unit (neither bytes nor chars): characters outside the BMP count as
+    /// two units, everything else as one. An offset inside a multi-byte
+    /// scalar is treated as pointing at that scalar's start.
+    pub fn utf16_col(&self, src: &str, offset: usize) -> usize {
+        let offset = offset.min(src.len());
+        let line = self.line_of(offset);
+        let start = self.line_starts[line - 1];
+        let mut col = 0;
+        for (i, c) in src[start..].char_indices() {
+            // Stop before any scalar that starts at — or straddles — the
+            // offset, so mid-scalar offsets round down to the scalar start.
+            if start + i + c.len_utf8() > offset {
+                break;
+            }
+            col += c.len_utf16();
+        }
+        col
+    }
+
+    /// The 0-based (line, UTF-16 column) of byte `offset` — the LSP
+    /// `Position` of that byte. Offsets past the end of the text clamp to
+    /// the end position.
+    pub fn utf16_position(&self, src: &str, offset: usize) -> (usize, usize) {
+        let offset = offset.min(src.len());
+        (self.line_of(offset) - 1, self.utf16_col(src, offset))
+    }
+
+    /// Byte offset of the 0-based LSP position (`line`, UTF-16 column
+    /// `col`), the inverse of [`LineIndex::utf16_position`]. Per the LSP
+    /// spec's lenient reading: a line past the end of the document maps to
+    /// the end of the text, a column past the end of its line maps to the
+    /// line end (before the newline), and a column landing inside a
+    /// surrogate pair rounds down to the scalar's start.
+    pub fn position_to_offset(&self, src: &str, line: usize, col: usize) -> usize {
+        let Some(&start) = self.line_starts.get(line) else { return src.len() };
+        let end = self
+            .line_starts
+            .get(line + 1)
+            .map(|&e| e.saturating_sub(1)) // exclude the newline itself
+            .unwrap_or(src.len());
+        let line_text = src.get(start..end).unwrap_or("");
+        let mut units = 0;
+        for (i, c) in line_text.char_indices() {
+            // `units + len > col` catches both an exact hit and a column
+            // pointing at the low half of a surrogate pair (round down).
+            if units >= col || units + c.len_utf16() > col {
+                return start + i;
+            }
+            units += c.len_utf16();
+        }
+        end
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +266,51 @@ mod tests {
         let mut set = BTreeSet::new();
         set.insert((with, 1));
         assert!(set.contains(&(without, 1)));
+    }
+
+    #[test]
+    fn utf16_positions_on_multibyte_quoted_atoms() {
+        // 'é' is 2 bytes / 1 UTF-16 unit; '😀' is 4 bytes / 2 units.
+        let src = "p('héllo').\nq('a😀b', X).\n";
+        let ix = LineIndex::new(src);
+        // Byte offset of the quote opening 'a😀b' on line 2.
+        let q = src.find("'a😀b'").unwrap();
+        assert_eq!(ix.utf16_position(src, q), (1, 2));
+        // Offset of `b` inside the atom: q ( ' a then the 2-unit emoji.
+        let b = src.find('b').unwrap();
+        assert_eq!(ix.utf16_position(src, b), (1, 6));
+        // End-of-text clamps.
+        assert_eq!(ix.utf16_position(src, src.len() + 10), (2, 0));
+    }
+
+    #[test]
+    fn position_offset_round_trip() {
+        let src = "p('héllo').\nq('a😀b', X).\n'ωmega'(Y) :- q('a😀b', Y).\n";
+        let ix = LineIndex::new(src);
+        // Every char boundary round-trips exactly.
+        for (off, _) in src.char_indices() {
+            let (line, col) = ix.utf16_position(src, off);
+            assert_eq!(ix.position_to_offset(src, line, col), off, "offset {off}");
+        }
+        let (line, col) = ix.utf16_position(src, src.len());
+        assert_eq!(ix.position_to_offset(src, line, col), src.len());
+    }
+
+    #[test]
+    fn position_to_offset_clamps_like_lsp() {
+        let src = "p(a).\nq('é😀').\n";
+        let ix = LineIndex::new(src);
+        // Column past the line end clamps to the line end (before '\n').
+        assert_eq!(ix.position_to_offset(src, 0, 99), 5);
+        // Line past EOF clamps to the text end.
+        assert_eq!(ix.position_to_offset(src, 42, 0), src.len());
+        // A column inside the emoji's surrogate pair rounds down to the
+        // scalar's start: the emoji spans units 4–5 of line 2 (q ( ' é).
+        let emoji = src.find('😀').unwrap();
+        assert_eq!(ix.position_to_offset(src, 1, 4), emoji);
+        assert_eq!(ix.position_to_offset(src, 1, 5), emoji);
+        // Mid-scalar byte offsets report the scalar's start column.
+        assert_eq!(ix.utf16_col(src, emoji + 2), 4);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! The in-memory document store.
+//!
+//! LSP makes the client authoritative for open-document text: the server
+//! never reads files, it mirrors the editor buffer through
+//! `didOpen`/`didChange`/`didClose`. Incremental sync (`change: 2`)
+//! delivers edits as UTF-16 `(line, character)` ranges plus replacement
+//! text; [`Document::apply_change`] maps them to byte offsets through
+//! [`LineIndex::position_to_offset`] and splices.
+
+use argus_logic::span::LineIndex;
+use std::collections::BTreeMap;
+
+/// A 0-based UTF-16 position pair: `((start line, start char), (end
+/// line, end char))`.
+pub type LspRange = ((usize, usize), (usize, usize));
+
+/// One open document.
+#[derive(Debug, Clone)]
+pub struct Document {
+    /// The document URI, exactly as the client sent it.
+    pub uri: String,
+    /// Current buffer text.
+    pub text: String,
+    /// Version of the last applied change.
+    pub version: i64,
+}
+
+impl Document {
+    /// Apply one `TextDocumentContentChangeEvent`: a ranged splice, or a
+    /// full-text replacement when `range` is `None`. Out-of-range
+    /// positions clamp per the spec's lenient reading (see
+    /// [`LineIndex::position_to_offset`]); an inverted range is treated
+    /// as empty at its start.
+    pub fn apply_change(&mut self, range: Option<LspRange>, new_text: &str) {
+        match range {
+            None => {
+                self.text = new_text.to_string();
+            }
+            Some(((sl, sc), (el, ec))) => {
+                let index = LineIndex::new(&self.text);
+                let start = index.position_to_offset(&self.text, sl, sc);
+                let end = index.position_to_offset(&self.text, el, ec).max(start);
+                self.text.replace_range(start..end, new_text);
+            }
+        }
+    }
+}
+
+/// All open documents, keyed by URI.
+#[derive(Debug, Default)]
+pub struct DocStore {
+    docs: BTreeMap<String, Document>,
+}
+
+impl DocStore {
+    /// Open (or re-open) a document.
+    pub fn open(&mut self, uri: &str, version: i64, text: String) {
+        self.docs.insert(uri.to_string(), Document { uri: uri.to_string(), text, version });
+    }
+
+    /// Close a document, returning it if it was open.
+    pub fn close(&mut self, uri: &str) -> Option<Document> {
+        self.docs.remove(uri)
+    }
+
+    /// The open document at `uri`.
+    pub fn get(&self, uri: &str) -> Option<&Document> {
+        self.docs.get(uri)
+    }
+
+    /// Mutable access for `didChange`.
+    pub fn get_mut(&mut self, uri: &str) -> Option<&mut Document> {
+        self.docs.get_mut(uri)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Document {
+        Document { uri: "file:///t.pl".into(), text: text.into(), version: 1 }
+    }
+
+    #[test]
+    fn full_sync_replaces_everything() {
+        let mut d = doc("p(a).\n");
+        d.apply_change(None, "q(b).\n");
+        assert_eq!(d.text, "q(b).\n");
+    }
+
+    #[test]
+    fn ranged_edits_splice_by_utf16_position() {
+        let mut d = doc("p(a).\nq(b).\n");
+        // Replace `b` on line 1 (chars 2..3) with `c`.
+        d.apply_change(Some(((1, 2), (1, 3))), "c");
+        assert_eq!(d.text, "p(a).\nq(c).\n");
+        // Insert at a point: empty range.
+        d.apply_change(Some(((0, 5), (0, 5))), " % end");
+        assert_eq!(d.text, "p(a). % end\nq(c).\n");
+    }
+
+    #[test]
+    fn ranged_edits_count_utf16_units_not_bytes() {
+        // The emoji is 4 bytes but 2 UTF-16 units: editing the `X` after
+        // it must land after the atom, not inside it.
+        let mut d = doc("q('a😀b', X).\n");
+        // `X` is at units: q ( ' a 😀😀 b ' , ␣ => 10.
+        d.apply_change(Some(((0, 10), (0, 11))), "Y");
+        assert_eq!(d.text, "q('a😀b', Y).\n");
+    }
+
+    #[test]
+    fn multi_line_ranges_and_clamping() {
+        let mut d = doc("p(a).\nq(b).\nr(c).\n");
+        d.apply_change(Some(((0, 2), (2, 2))), "x");
+        assert_eq!(d.text, "p(xc).\n");
+        // Past-the-end positions clamp to the text end.
+        let mut d = doc("p(a).");
+        d.apply_change(Some(((5, 0), (9, 9))), "\nq(b).");
+        assert_eq!(d.text, "p(a).\nq(b).");
+    }
+
+    #[test]
+    fn store_tracks_open_documents() {
+        let mut s = DocStore::default();
+        s.open("file:///a.pl", 1, "p(a).".into());
+        assert_eq!(s.get("file:///a.pl").unwrap().version, 1);
+        s.get_mut("file:///a.pl").unwrap().version = 2;
+        assert!(s.close("file:///a.pl").is_some());
+        assert!(s.get("file:///a.pl").is_none());
+    }
+}

@@ -1,0 +1,260 @@
+//! Content-Length framing for the LSP stdio transport.
+//!
+//! The base protocol is HTTP-ish without being HTTP: each message is a
+//! block of `\r\n`-terminated header lines, a blank line, then exactly
+//! `Content-Length` bytes of UTF-8 JSON. Unlike a socket server, a
+//! language server shares its transport with nothing — one malformed
+//! *header* means the byte stream can never be re-synchronized, while a
+//! malformed *payload* of known length can be skipped and the stream
+//! survives. [`FrameError::recoverable`] encodes exactly that split, and
+//! the server's hostile-input policy follows it: oversized or garbage
+//! payloads get a JSON-RPC error response, broken headers end the
+//! session gracefully.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Bounds on what [`read_frame`] accepts.
+#[derive(Debug, Clone)]
+pub struct FrameLimits {
+    /// Largest `Content-Length` honored. Larger payloads are drained (in
+    /// bounded chunks, so memory stays flat) and reported as
+    /// [`FrameError::TooLarge`].
+    pub max_content_length: usize,
+    /// Longest single header line accepted.
+    pub max_header_bytes: usize,
+}
+
+impl Default for FrameLimits {
+    fn default() -> FrameLimits {
+        FrameLimits { max_content_length: 16 * 1024 * 1024, max_header_bytes: 4 * 1024 }
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean end of stream at a frame boundary.
+    Eof,
+    /// Transport error.
+    Io(io::Error),
+    /// A header the stream cannot be re-synchronized past: a line without
+    /// a colon, a missing or unparsable `Content-Length`, an over-long
+    /// line, or EOF mid-frame.
+    BadHeader(String),
+    /// `Content-Length` exceeded [`FrameLimits::max_content_length`]. The
+    /// declared bytes have been consumed, so the stream is still framed.
+    TooLarge {
+        /// The length the header declared.
+        declared: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// The payload was not valid UTF-8. The frame has been consumed.
+    BadPayload(String),
+}
+
+impl FrameError {
+    /// Can the connection keep serving after this error? True exactly
+    /// when the erroneous frame was fully consumed, leaving the stream at
+    /// the next frame boundary.
+    pub fn recoverable(&self) -> bool {
+        matches!(self, FrameError::TooLarge { .. } | FrameError::BadPayload(_))
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "end of stream"),
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::BadHeader(m) => write!(f, "bad frame header: {m}"),
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "Content-Length {declared} exceeds the limit of {max} bytes")
+            }
+            FrameError::BadPayload(m) => write!(f, "bad frame payload: {m}"),
+        }
+    }
+}
+
+/// Read one framed message, returning its JSON payload text.
+pub fn read_frame(r: &mut impl BufRead, limits: &FrameLimits) -> Result<String, FrameError> {
+    let mut content_length: Option<usize> = None;
+    let mut first = true;
+    loop {
+        let mut line = Vec::new();
+        let mut got = 0usize;
+        // Bounded header read: stop a runaway (newline-free) header at the
+        // limit instead of buffering it.
+        loop {
+            let available = r.fill_buf().map_err(FrameError::Io)?;
+            if available.is_empty() {
+                if first && line.is_empty() && got == 0 {
+                    return Err(FrameError::Eof);
+                }
+                return Err(FrameError::BadHeader("unexpected end of stream".into()));
+            }
+            let take = available.len().min(limits.max_header_bytes + 2 - line.len());
+            match available[..take].iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    line.extend_from_slice(&available[..nl]);
+                    r.consume(nl + 1);
+                    break;
+                }
+                None => {
+                    line.extend_from_slice(&available[..take]);
+                    r.consume(take);
+                    got += take;
+                    if line.len() > limits.max_header_bytes {
+                        return Err(FrameError::BadHeader("header line too long".into()));
+                    }
+                }
+            }
+        }
+        first = false;
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        if line.is_empty() {
+            break; // end of headers
+        }
+        let text = std::str::from_utf8(&line)
+            .map_err(|_| FrameError::BadHeader("header is not UTF-8".into()))?;
+        let Some((name, value)) = text.split_once(':') else {
+            return Err(FrameError::BadHeader(format!("header line without a colon: {text:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let n: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| FrameError::BadHeader(format!("bad Content-Length {value:?}")))?;
+            content_length = Some(n);
+        }
+        // Other headers (Content-Type) are ignored, per the spec.
+    }
+    let Some(len) = content_length else {
+        return Err(FrameError::BadHeader("missing Content-Length".into()));
+    };
+    if len > limits.max_content_length {
+        // Drain the declared bytes in bounded chunks so the next frame
+        // starts clean without ever holding the payload in memory.
+        let mut remaining = len;
+        let mut chunk = [0u8; 64 * 1024];
+        while remaining > 0 {
+            let take = remaining.min(chunk.len());
+            if let Err(e) = io::Read::read_exact(r, &mut chunk[..take]) {
+                return Err(if e.kind() == io::ErrorKind::UnexpectedEof {
+                    FrameError::BadHeader("unexpected end of stream in payload".into())
+                } else {
+                    FrameError::Io(e)
+                });
+            }
+            remaining -= take;
+        }
+        return Err(FrameError::TooLarge { declared: len, max: limits.max_content_length });
+    }
+    let mut payload = vec![0u8; len];
+    if let Err(e) = io::Read::read_exact(r, &mut payload) {
+        return Err(if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::BadHeader("unexpected end of stream in payload".into())
+        } else {
+            FrameError::Io(e)
+        });
+    }
+    String::from_utf8(payload).map_err(|e| FrameError::BadPayload(e.to_string()))
+}
+
+/// Write one framed message.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    write!(w, "Content-Length: {}\r\n\r\n{payload}", payload.len())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read(bytes: &[u8], limits: &FrameLimits) -> Result<String, FrameError> {
+        read_frame(&mut BufReader::new(bytes), limits)
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "{\"x\":1}").unwrap();
+        write_frame(&mut wire, "[]").unwrap();
+        let mut r = BufReader::new(wire.as_slice());
+        let limits = FrameLimits::default();
+        assert_eq!(read_frame(&mut r, &limits).unwrap(), "{\"x\":1}");
+        assert_eq!(read_frame(&mut r, &limits).unwrap(), "[]");
+        assert!(matches!(read_frame(&mut r, &limits), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn content_type_headers_are_ignored() {
+        let wire = b"Content-Type: application/vscode-jsonrpc\r\n\
+                     Content-Length: 2\r\n\r\n{}";
+        assert_eq!(read(wire, &FrameLimits::default()).unwrap(), "{}");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let wire = b"Content-Length: 4\n\ntrue";
+        assert_eq!(read(wire, &FrameLimits::default()).unwrap(), "true");
+    }
+
+    #[test]
+    fn oversized_content_length_is_drained_and_recoverable() {
+        let limits = FrameLimits { max_content_length: 8, ..FrameLimits::default() };
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"Content-Length: 20\r\n\r\n");
+        wire.extend_from_slice(&[b'x'; 20]);
+        wire.extend_from_slice(b"Content-Length: 2\r\n\r\n{}");
+        let mut r = BufReader::new(wire.as_slice());
+        let err = read_frame(&mut r, &limits).unwrap_err();
+        assert!(matches!(err, FrameError::TooLarge { declared: 20, max: 8 }), "{err}");
+        assert!(err.recoverable());
+        // The oversized payload was skipped: the next frame still parses.
+        assert_eq!(read_frame(&mut r, &limits).unwrap(), "{}");
+    }
+
+    #[test]
+    fn truncated_header_is_fatal() {
+        let err = read(b"Content-Length: 10\r\n", &FrameLimits::default()).unwrap_err();
+        assert!(matches!(err, FrameError::BadHeader(_)), "{err}");
+        assert!(!err.recoverable());
+        let err = read(b"Content-Length: 10\r\n\r\nhi", &FrameLimits::default()).unwrap_err();
+        assert!(matches!(err, FrameError::BadHeader(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_or_malformed_lengths_are_fatal() {
+        for wire in [&b"\r\n{}"[..], b"Content-Length: banana\r\n\r\n{}", b"no colon here\r\n\r\n"]
+        {
+            let err = read(wire, &FrameLimits::default()).unwrap_err();
+            assert!(matches!(err, FrameError::BadHeader(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn runaway_header_is_bounded() {
+        let limits = FrameLimits { max_header_bytes: 64, ..FrameLimits::default() };
+        let wire = vec![b'a'; 1024];
+        let err = read(&wire, &limits).unwrap_err();
+        assert!(matches!(err, FrameError::BadHeader(_)), "{err}");
+    }
+
+    #[test]
+    fn non_utf8_payload_is_recoverable() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"Content-Length: 2\r\n\r\n\xff\xfe");
+        wire.extend_from_slice(b"Content-Length: 2\r\n\r\n{}");
+        let mut r = BufReader::new(wire.as_slice());
+        let limits = FrameLimits::default();
+        let err = read_frame(&mut r, &limits).unwrap_err();
+        assert!(matches!(err, FrameError::BadPayload(_)), "{err}");
+        assert!(err.recoverable());
+        assert_eq!(read_frame(&mut r, &limits).unwrap(), "{}");
+    }
+}

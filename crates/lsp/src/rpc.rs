@@ -1,0 +1,130 @@
+//! JSON-RPC 2.0 message model over [`argus_serve::jsonval`].
+//!
+//! Incoming frames are parsed into [`Incoming`] — requests carry an `id`,
+//! notifications do not. Outgoing messages are built as strings: results
+//! and params arrive pre-rendered (the diagnostic payloads come out of
+//! `argus_diag::lsp` as JSON text already), so the writers just splice
+//! them into the envelope.
+
+use argus_serve::jsonval::{self, json_str, Json};
+
+/// JSON-RPC: the payload was not valid JSON.
+pub const PARSE_ERROR: i64 = -32700;
+/// JSON-RPC: the payload was JSON but not a valid request object.
+pub const INVALID_REQUEST: i64 = -32600;
+/// JSON-RPC: no such method.
+pub const METHOD_NOT_FOUND: i64 = -32601;
+/// JSON-RPC: the method exists but the params are malformed.
+pub const INVALID_PARAMS: i64 = -32602;
+
+/// One parsed incoming message.
+#[derive(Debug, Clone)]
+pub struct Incoming {
+    /// Request id; `None` for notifications.
+    pub id: Option<Json>,
+    /// Method name.
+    pub method: String,
+    /// Params value (`Json::Null` when absent).
+    pub params: Json,
+}
+
+/// Parse one frame payload into an [`Incoming`].
+pub fn parse_message(payload: &str) -> Result<Incoming, String> {
+    let v = jsonval::parse(payload).map_err(|e| e.to_string())?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err(format!("message is {}, not an object", v.type_name()));
+    }
+    if v.get("jsonrpc").and_then(Json::as_str) != Some("2.0") {
+        return Err("missing `\"jsonrpc\": \"2.0\"`".to_string());
+    }
+    let method = v
+        .get("method")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing `method`".to_string())?
+        .to_string();
+    let id = match v.get("id") {
+        None | Some(Json::Null) => None,
+        Some(id @ (Json::Num(_) | Json::Str(_))) => Some(id.clone()),
+        Some(other) => {
+            return Err(format!("id must be a number or string, got {}", other.type_name()))
+        }
+    };
+    let params = v.get("params").cloned().unwrap_or(Json::Null);
+    Ok(Incoming { id, method, params })
+}
+
+/// Render a request id back to JSON text (`null` when absent).
+pub fn render_id(id: Option<&Json>) -> String {
+    match id {
+        Some(Json::Num(n)) if n.fract() == 0.0 && n.abs() < 9e15 => format!("{}", *n as i64),
+        Some(Json::Num(n)) => format!("{n}"),
+        Some(Json::Str(s)) => json_str(s),
+        _ => "null".to_string(),
+    }
+}
+
+/// A success response. `result` is pre-rendered JSON text.
+pub fn response(id: &str, result: &str) -> String {
+    format!("{{\"jsonrpc\":\"2.0\",\"id\":{id},\"result\":{result}}}")
+}
+
+/// An error response. `id` is pre-rendered (use `"null"` when the request
+/// id is unknown, e.g. for unparsable payloads).
+pub fn error_response(id: &str, code: i64, message: &str) -> String {
+    format!(
+        "{{\"jsonrpc\":\"2.0\",\"id\":{id},\"error\":{{\"code\":{code},\"message\":{}}}}}",
+        json_str(message)
+    )
+}
+
+/// A notification. `params` is pre-rendered JSON text.
+pub fn notification(method: &str, params: &str) -> String {
+    format!("{{\"jsonrpc\":\"2.0\",\"method\":{},\"params\":{params}}}", json_str(method))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_and_notifications_parse() {
+        let req =
+            parse_message("{\"jsonrpc\":\"2.0\",\"id\":3,\"method\":\"initialize\",\"params\":{}}")
+                .unwrap();
+        assert_eq!(req.method, "initialize");
+        assert_eq!(render_id(req.id.as_ref()), "3");
+
+        let note = parse_message("{\"jsonrpc\":\"2.0\",\"method\":\"initialized\"}").unwrap();
+        assert!(note.id.is_none());
+        assert_eq!(note.params, Json::Null);
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected() {
+        assert!(parse_message("[1,2]").is_err());
+        assert!(parse_message("{\"jsonrpc\":\"1.0\",\"method\":\"m\"}").is_err());
+        assert!(parse_message("{\"jsonrpc\":\"2.0\"}").is_err());
+        assert!(parse_message("{\"jsonrpc\":\"2.0\",\"method\":\"m\",\"id\":[1]}").is_err());
+        assert!(parse_message("not json").is_err());
+    }
+
+    #[test]
+    fn envelopes_render_stably() {
+        assert_eq!(response("7", "null"), "{\"jsonrpc\":\"2.0\",\"id\":7,\"result\":null}");
+        assert_eq!(
+            error_response("null", PARSE_ERROR, "bad \"json\""),
+            "{\"jsonrpc\":\"2.0\",\"id\":null,\"error\":{\"code\":-32700,\
+             \"message\":\"bad \\\"json\\\"\"}}"
+        );
+        assert_eq!(
+            notification("exit", "null"),
+            "{\"jsonrpc\":\"2.0\",\"method\":\"exit\",\"params\":null}"
+        );
+    }
+
+    #[test]
+    fn string_ids_round_trip() {
+        let req = parse_message("{\"jsonrpc\":\"2.0\",\"id\":\"a-1\",\"method\":\"m\"}").unwrap();
+        assert_eq!(render_id(req.id.as_ref()), "\"a-1\"");
+    }
+}

@@ -293,12 +293,22 @@ impl<'a> Parser<'a> {
                 }
                 Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
                 Some(_) => {
-                    // Copy one UTF-8 scalar (the input is validated UTF-8).
-                    let rest = std::str::from_utf8(&self.src[self.pos..])
+                    // Bulk-copy the maximal run of plain characters. The
+                    // delimiters scanned for are all ASCII (and UTF-8
+                    // continuation bytes are ≥ 0x80), so the run always
+                    // ends on a scalar boundary and each input byte is
+                    // validated exactly once — keeping the whole parse
+                    // linear even for megabyte string payloads.
+                    let start = self.pos;
+                    while let Some(&b) = self.src.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.src[start..self.pos])
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().expect("peeked nonempty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
@@ -409,6 +419,15 @@ mod tests {
         let lit = json_str(src);
         let back = parse(&lit).unwrap();
         assert_eq!(back.as_str(), Some(src));
+    }
+
+    #[test]
+    fn long_mixed_strings_round_trip() {
+        // Exercises the bulk-copy fast path: long plain runs interleaved
+        // with escapes and multibyte scalars, at LSP-payload sizes.
+        let src = format!("{}\"é😀\\{}\n", "a".repeat(50_000), "b".repeat(50_000)).repeat(4);
+        let back = parse(&json_str(&src)).unwrap();
+        assert_eq!(back.as_str(), Some(src.as_str()));
     }
 
     #[test]

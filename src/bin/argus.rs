@@ -21,6 +21,8 @@
 //!               [--repro-dir DIR] [--serve ADDR]
 //! argus serve   [--addr HOST:PORT] [--jobs N] [--cache-mb N]
 //!               [--deadline-ms N] [--cache-dir DIR]
+//! argus lsp     [--jobs N] [--debounce-ms N] [--cache-dir DIR]
+//!               [--query <name/arity> --mode <adornment>]
 //! ```
 //!
 //! `--incremental` memoizes per-SCC results so repeated analyses of a
@@ -75,7 +77,9 @@ fn usage() -> ExitCode {
          [--shrink-budget N] [--no-metamorphic] [--no-theta-search] [--negation] \
          [--infer] [--portfolio] [--incremental] [--repro-dir DIR] [--serve ADDR]\n  \
          argus serve [--addr HOST:PORT] [--jobs N] [--cache-mb N] [--deadline-ms N] \
-         [--cache-dir DIR]"
+         [--cache-dir DIR]\n  \
+         argus lsp [--jobs N] [--debounce-ms N] [--cache-dir DIR] \
+         [--query <name/arity> --mode <adornment>]"
     );
     ExitCode::FAILURE
 }
@@ -102,6 +106,7 @@ fn main() -> ExitCode {
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("lsp") => cmd_lsp(&args[1..]),
         _ => usage(),
     }
 }
@@ -439,15 +444,30 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         None => SccCache::unbounded(),
     };
 
-    let mut last_mtime: Option<std::time::SystemTime> = None;
+    // Change detection compares mtime AND (length, FNV-1a content hash):
+    // mtime alone misses rapid same-second edits on coarse-granularity
+    // filesystems, and editors that restore a file byte-for-byte (undo)
+    // would re-trigger on mtime alone. The content read here is reused
+    // for parsing, so detection costs no extra I/O.
+    type WatchSig = (Option<std::time::SystemTime>, Option<(u64, u64)>);
+    let mut last_sig: Option<WatchSig> = None;
     let mut last_render: Option<String> = None;
     let mut analyses = 0usize;
     loop {
         let mtime = std::fs::metadata(path).and_then(|m| m.modified()).ok();
-        let changed = last_render.is_none() || mtime != last_mtime;
+        let content = std::fs::read_to_string(path);
+        let sig: WatchSig = (
+            mtime,
+            content.as_ref().ok().map(|s| (s.len() as u64, argus::serve::fnv1a64(s.as_bytes()))),
+        );
+        let changed = last_render.is_none() || last_sig.as_ref() != Some(&sig);
         if changed {
-            last_mtime = mtime;
-            match load(path) {
+            last_sig = Some(sig);
+            let loaded = match &content {
+                Ok(src) => parse_program(src).map_err(|e| e.to_string()),
+                Err(e) => Err(format!("cannot read {path}: {e}")),
+            };
+            match loaded {
                 Ok(program) if !program.idb_predicates().contains(&query) => {
                     say!("watch: {query} is not defined in {path} — waiting for edits");
                 }
@@ -1147,4 +1167,88 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn cmd_lsp(args: &[String]) -> ExitCode {
+    let mut options = argus::lsp::LspOptions::default();
+    let mut query_spec: Option<&str> = None;
+    let mut mode_spec: Option<&str> = None;
+    let want_value = |args: &[String], i: usize, flag: &str| -> Option<String> {
+        match args.get(i + 1) {
+            Some(v) => Some(v.clone()),
+            None => {
+                eprintln!("{flag} wants a value");
+                None
+            }
+        }
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                let Some(v) = want_value(args, i, "--jobs") else { return ExitCode::FAILURE };
+                let Ok(n) = v.parse() else {
+                    eprintln!("bad --jobs value {v:?}");
+                    return ExitCode::FAILURE;
+                };
+                options.jobs = n;
+                i += 1;
+            }
+            "--debounce-ms" => {
+                let Some(v) = want_value(args, i, "--debounce-ms") else {
+                    return ExitCode::FAILURE;
+                };
+                let Ok(n) = v.parse() else {
+                    eprintln!("bad --debounce-ms value {v:?}");
+                    return ExitCode::FAILURE;
+                };
+                options.debounce_ms = n;
+                i += 1;
+            }
+            "--cache-dir" => {
+                let Some(v) = want_value(args, i, "--cache-dir") else {
+                    return ExitCode::FAILURE;
+                };
+                options.cache_dir = Some(std::path::PathBuf::from(v));
+                i += 1;
+            }
+            "--query" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--query wants <name/arity>");
+                    return ExitCode::FAILURE;
+                };
+                query_spec = Some(v);
+                i += 1;
+            }
+            "--mode" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--mode wants an adornment like bf");
+                    return ExitCode::FAILURE;
+                };
+                mode_spec = Some(v);
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown lsp argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    match (query_spec, mode_spec) {
+        (None, None) => {}
+        (Some(q), Some(m)) => match argus::diag::moded::parse_query_spec(q, m) {
+            Ok(query) => options.query = Some(query),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("--query and --mode must be given together");
+            return ExitCode::FAILURE;
+        }
+    }
+    let code = argus::lsp::run_server(std::io::stdin(), std::io::stdout().lock(), options);
+    ExitCode::from(code.clamp(0, 255) as u8)
 }

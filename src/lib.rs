@@ -55,6 +55,7 @@ pub use argus_fuzz as fuzz;
 pub use argus_interp as interp;
 pub use argus_linear as linear;
 pub use argus_logic as logic;
+pub use argus_lsp as lsp;
 pub use argus_sct as sct;
 pub use argus_serve as serve;
 pub use argus_sizerel as sizerel;
